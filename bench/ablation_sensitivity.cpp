@@ -1,0 +1,132 @@
+// Ablation — the Definition-4 sensitivity thresholds RT and DT.
+//
+// The paper picks RT = 2.8 and DT = 8 "by sensitivity test" against the
+// reference method. This bench sweeps both thresholds over a workload with
+// injected ground truth and reports precision/recall per setting — the
+// trade-off surface behind the paper's operating point: loose thresholds
+// flood the operator with alarms, tight ones miss true events, and the
+// dual criterion (ratio AND difference) beats either criterion alone.
+#include "bench/bench_util.h"
+
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace tiresias;
+using namespace tiresias::workload;
+
+struct Scored {
+  double rt;
+  double dt;
+  eval::ConfusionCounts counts;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: RT/DT",
+                "sensitivity-threshold sweep (Definition 4)");
+  const auto spec = ccdNetworkWorkload(Scale::kTest);
+  const auto& h = spec.hierarchy;
+  bench::note("CCD network (test preset), 4 days, 12 injected spikes; "
+              "scored against the injection ledger");
+
+  GroundTruthLedger ledger;
+  Rng rng(42);
+  const std::size_t window = 96;
+  for (int i = 0; i < 12; ++i) {
+    const auto node = static_cast<NodeId>(rng.below(h.size() - 1) + 1);
+    ledger.add({node, static_cast<TimeUnit>(120 + i * 20), 2,
+                35.0 + static_cast<double>(rng.below(35))});
+  }
+  auto injector = std::make_shared<AnomalyInjector>(h, ledger);
+
+  // One detector pass records every (node, unit, actual, forecast); the
+  // RT/DT sweep is then pure post-processing, as a real sensitivity test
+  // would do.
+  struct Decision {
+    NodeId node;
+    TimeUnit unit;
+    double actual;
+    double forecast;
+  };
+  std::vector<Decision> decisions;
+  {
+    DetectorConfig cfg = bench::paperConfig(window, 8.0, bench::hwFactory());
+    cfg.ratioThreshold = 1.0;  // record everything; judge in the sweep
+    cfg.diffThreshold = -1e18;
+    AdaDetector ada(h, cfg);
+    GeneratorSource src(spec, 0, 96 * 4, 99, injector);
+    TimeUnitBatcher batcher(src, spec.unit, 0);
+    while (auto b = batcher.next()) {
+      if (auto r = ada.step(*b)) {
+        for (NodeId n : r->shhh) {
+          const auto series = ada.seriesOf(n);
+          const auto fc = ada.forecastSeriesOf(n);
+          decisions.push_back({n, r->unit, series.back(), fc.back()});
+        }
+      }
+    }
+  }
+
+  auto score = [&](double rt, double dt) {
+    Scored s{rt, dt, {}};
+    for (const auto& d : decisions) {
+      const bool flagged = isAnomalous(d.actual, d.forecast, rt, dt);
+      const bool real = ledger.matches(h, d.node, d.unit);
+      if (flagged && real) {
+        ++s.counts.tp;
+      } else if (flagged) {
+        ++s.counts.fp;
+      } else if (real) {
+        ++s.counts.fn;
+      } else {
+        ++s.counts.tn;
+      }
+    }
+    return s;
+  };
+
+  const std::vector<double> rts{1.2, 2.0, 2.8, 4.0, 8.0};
+  const std::vector<double> dts{0, 4, 8, 16, 32};
+  AsciiTable table({"RT \\ DT", "0", "4", "8", "16", "32"});
+  std::vector<std::vector<Scored>> grid;
+  for (double rt : rts) {
+    std::vector<Scored> row;
+    std::vector<std::string> cells{fmtF(rt, 1)};
+    for (double dt : dts) {
+      row.push_back(score(rt, dt));
+      const auto& c = row.back().counts;
+      cells.push_back("P" + fmtPct(c.precision(), 0) + "/R" +
+                      fmtPct(c.recall(), 0));
+    }
+    grid.push_back(std::move(row));
+    table.addRow(cells);
+  }
+  std::printf("cells are precision/recall of flagged (node,unit) decisions\n");
+  table.print(std::cout);
+
+  const auto paperPoint = score(2.8, 8.0);
+  const auto ratioOnly = score(2.8, 0.0);
+  const auto diffOnly = score(1.0, 8.0);
+  std::printf("paper operating point RT=2.8 DT=8: precision %s recall %s "
+              "F1 %.2f\n",
+              fmtPct(paperPoint.counts.precision(), 1).c_str(),
+              fmtPct(paperPoint.counts.recall(), 1).c_str(),
+              paperPoint.counts.f1());
+
+  bool ok = true;
+  ok &= bench::check(grid[0][0].counts.recall() >=
+                         grid.back().back().counts.recall(),
+                     "loosening thresholds cannot reduce recall");
+  ok &= bench::check(grid.back().back().counts.precision() + 1e-9 >=
+                         grid[0][0].counts.precision(),
+                     "tightening thresholds cannot reduce precision");
+  ok &= bench::check(paperPoint.counts.f1() >= ratioOnly.counts.f1() - 0.02 &&
+                         paperPoint.counts.f1() >= diffOnly.counts.f1() - 0.02,
+                     "the dual criterion is at least as good as either "
+                     "criterion alone (the paper's motivation)");
+  ok &= bench::check(paperPoint.counts.recall() > 0.5,
+                     "the paper's operating point catches most events");
+  return ok ? 0 : 1;
+}

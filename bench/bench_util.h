@@ -1,0 +1,62 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench prints (1) the paper artifact it regenerates, (2) the scale
+// it runs at (test/medium presets — absolute numbers differ from the
+// paper's testbed, shapes should not), and (3) one or more CHECK lines
+// stating whether the qualitative claim holds in this run.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "core/ada.h"
+#include "core/sta.h"
+#include "stream/window.h"
+#include "timeseries/holt_winters.h"
+#include "workload/ccd.h"
+#include "workload/scd.h"
+
+namespace tiresias::bench {
+
+inline void banner(const char* artifact, const char* description) {
+  std::printf("==========================================================\n");
+  std::printf("Reproduction of %s\n  %s\n", artifact, description);
+  std::printf("==========================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+/// A single qualitative pass/fail line; benches aggregate their own exit
+/// code so `for b in bench/*; do $b; done` surfaces regressions.
+inline bool check(bool ok, const std::string& claim) {
+  std::printf("CHECK %-4s %s\n", ok ? "[ok]" : "[!!]", claim.c_str());
+  return ok;
+}
+
+/// Default Holt-Winters factory used across benches (single diurnal season
+/// at 15-minute units unless a bench overrides it).
+inline std::shared_ptr<ForecasterFactory> hwFactory(
+    std::vector<SeasonSpec> seasons = {{96, 1.0}},
+    HoltWintersParams params = {0.5, 0.05, 0.3}) {
+  return std::make_shared<HoltWintersFactory>(params, std::move(seasons));
+}
+
+/// Paper §VII defaults scaled to bench runs.
+inline DetectorConfig paperConfig(std::size_t windowLength, double theta,
+                                  std::shared_ptr<ForecasterFactory> factory) {
+  DetectorConfig cfg;
+  cfg.theta = theta;
+  cfg.windowLength = windowLength;
+  cfg.ratioThreshold = 2.8;
+  cfg.diffThreshold = 8.0;
+  cfg.referenceLevels = 2;
+  cfg.forecasterFactory = std::move(factory);
+  return cfg;
+}
+
+}  // namespace tiresias::bench

@@ -1,0 +1,94 @@
+// Fig 11 — FFT periodogram of the root count series for (a) CCD and
+// (b) SCD, magnitudes normalized by the maximum.
+//
+// Shape to reproduce: the strongest period is 24 hours in both datasets;
+// CCD additionally shows a noticeable weekly line (the paper reports it at
+// ~170 hours, the closest measurable bin to 168), while SCD does not.
+// The wavelet detail-energy cross-check of §VI is printed alongside.
+#include "bench/bench_util.h"
+
+#include "analysis/fft.h"
+#include "analysis/seasonality.h"
+
+namespace {
+
+using namespace tiresias;
+using namespace tiresias::workload;
+
+std::vector<double> rootSeries(const WorkloadSpec& spec, TimeUnit units,
+                               std::uint64_t seed) {
+  GeneratorSource src(spec, 0, units, seed);
+  TimeUnitBatcher batcher(src, spec.unit, 0);
+  std::vector<double> counts;
+  while (auto b = batcher.next()) {
+    counts.push_back(static_cast<double>(b->records.size()));
+  }
+  return counts;
+}
+
+void printDataset(const char* name, const WorkloadSpec& spec,
+                  std::uint64_t seed, bool weeklyExpected, bool& ok) {
+  std::printf("\n--- %s ---\n", name);
+  // 6 weeks of 15-minute units: enough resolution to separate 24h / 168h.
+  const auto series = rootSeries(spec, 6 * 7 * 96, seed);
+  const auto spectrum = periodogram(series);
+  double peak = 0.0;
+  for (const auto& line : spectrum) peak = std::max(peak, line.magnitude);
+
+  AsciiTable table({"Period (hours)", "Normalized magnitude"});
+  for (double hours : {6.0, 12.0, 24.0, 84.0, 168.0, 336.0}) {
+    const double mag = magnitudeNearPeriod(spectrum, hours * 4.0);  // 15-min
+    table.addRow({fmtF(hours, 0), fmtG(mag / peak, 3)});
+  }
+  table.print(std::cout);
+
+  const auto top = dominantPeriods(series, 3);
+  std::printf("strongest spectral lines (hours): ");
+  for (const auto& line : top) std::printf("%.1f ", line.period / 4.0);
+  std::printf("\n");
+
+  ok &= bench::check(std::abs(top[0].period / 4.0 - 24.0) < 2.0,
+                     std::string(name) + ": dominant period is 24 hours");
+  const double weekly = magnitudeNearPeriod(spectrum, 168.0 * 4.0) / peak;
+  if (weeklyExpected) {
+    // The paper reports the weekly line at ~170 hours (the most measurable
+    // bin); require a clearly elevated magnitude and a top-3 placement.
+    bool weeklyInTop = false;
+    for (const auto& line : top) {
+      if (std::abs(line.period / 4.0 - 168.0) < 24.0) weeklyInTop = true;
+    }
+    ok &= bench::check(weekly > 0.1 && weeklyInTop,
+                       std::string(name) + ": weekly (~168h) line visible");
+  } else {
+    ok &= bench::check(weekly < 0.1,
+                       std::string(name) + ": no strong weekly line");
+  }
+
+  // §VI cross-check: wavelet detail energies agree with the FFT.
+  SeasonalityOptions opts;
+  opts.candidatePeriods = {96, 672};
+  const auto result = analyzeSeasonality(series, opts);
+  std::printf("seasonality analysis picked: ");
+  for (const auto& s : result.seasons) {
+    std::printf("period=%zu units (weight %.2f)  ", s.period, s.weight);
+  }
+  std::printf("\n");
+  ok &= bench::check(!result.seasons.empty() && result.seasons[0].period == 96,
+                     std::string(name) + ": day season selected first");
+  if (weeklyExpected) {
+    const double xi = result.seasons[0].weight;
+    std::printf("xi (day share of combined season) = %.2f "
+                "(paper: 0.76 / (1 + 0.76) ~ 0.43 as a raw FFT ratio; our "
+                "normalization reports day / (day + week))\n", xi);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 11", "FFT periodogram of root counts, CCD and SCD");
+  bool ok = true;
+  printDataset("(a) CCD", ccdTroubleWorkload(Scale::kTest), 301, true, ok);
+  printDataset("(b) SCD", scdNetworkWorkload(Scale::kTest), 302, false, ok);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,156 @@
+// Fig 12 — absolute error of ADA's time series against STA's exact
+// reconstruction, (a) per timeunit offset and (b) per hierarchy depth, for
+// the split heuristics and reference depths h of §V-B4/§V-B5.
+//
+// Shape to reproduce: error drops sharply as reference levels are added
+// (h=2 reaches ~1% in the paper); Long-Term-History is slightly better
+// than the other heuristics; error is stable across timeunit offsets.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tiresias;
+using namespace tiresias::workload;
+
+struct ErrorProfile {
+  std::vector<double> byOffset;  // mean |ADA-STA| / mean|STA|, per offset
+  std::vector<double> byDepth;   // same, grouped by node depth (1-based)
+  double overall = 0.0;
+};
+
+struct Variant {
+  std::string label;
+  SplitRule rule;
+  double ewmaAlpha;
+  std::size_t refLevels;
+};
+
+ErrorProfile measure(const WorkloadSpec& spec, const Variant& variant,
+                     std::size_t window, TimeUnit totalUnits,
+                     const std::vector<std::size_t>& offsets) {
+  const auto& h = spec.hierarchy;
+  DetectorConfig cfg = bench::paperConfig(window, 8.0, bench::hwFactory());
+  cfg.splitRule = variant.rule;
+  cfg.splitEwmaAlpha = variant.ewmaAlpha;
+  cfg.referenceLevels = variant.refLevels;
+
+  AdaDetector ada(h, cfg);
+  StaDetector sta(h, cfg);
+  GeneratorSource src(spec, 0, totalUnits, 1207);
+  TimeUnitBatcher batcher(src, spec.unit, 0);
+
+  std::vector<double> errSum(offsets.size(), 0.0), refSum(offsets.size(), 0.0);
+  std::vector<double> depthErr(static_cast<std::size_t>(h.height()) + 1, 0.0);
+  std::vector<double> depthRef(static_cast<std::size_t>(h.height()) + 1, 0.0);
+  double allErr = 0.0, allRef = 0.0;
+
+  while (auto b = batcher.next()) {
+    auto ra = ada.step(*b);
+    auto rs = sta.step(*b);
+    if (!ra || !rs) continue;
+    for (NodeId n : rs->shhh) {
+      const auto sa = ada.seriesOf(n);
+      const auto ss = sta.seriesOf(n);
+      if (sa.size() != ss.size() || sa.empty()) continue;
+      const auto d = static_cast<std::size_t>(h.depth(n));
+      for (std::size_t o = 0; o < offsets.size(); ++o) {
+        if (offsets[o] >= ss.size()) continue;
+        const std::size_t idx = ss.size() - 1 - offsets[o];
+        errSum[o] += std::abs(sa[idx] - ss[idx]);
+        refSum[o] += std::abs(ss[idx]);
+      }
+      for (std::size_t i = 0; i < ss.size(); ++i) {
+        const double e = std::abs(sa[i] - ss[i]);
+        depthErr[d] += e;
+        depthRef[d] += std::abs(ss[i]);
+        allErr += e;
+        allRef += std::abs(ss[i]);
+      }
+    }
+  }
+
+  ErrorProfile profile;
+  for (std::size_t o = 0; o < offsets.size(); ++o) {
+    profile.byOffset.push_back(refSum[o] > 0 ? errSum[o] / refSum[o] : 0.0);
+  }
+  for (std::size_t d = 0; d < depthErr.size(); ++d) {
+    profile.byDepth.push_back(depthRef[d] > 0 ? depthErr[d] / depthRef[d]
+                                              : 0.0);
+  }
+  profile.overall = allRef > 0 ? allErr / allRef : 0.0;
+  return profile;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 12", "ADA time-series error vs STA ground truth");
+  const auto spec = ccdNetworkWorkload(Scale::kTest);
+  const std::size_t window = 192;     // 2 days of 15-min units
+  const TimeUnit totalUnits = 292;    // ~100 detection instances
+  const std::vector<std::size_t> offsets{0, 10, 20, 30, 40};
+  bench::note("CCD network (test preset), window=192 units, 100 instances; "
+              "STA is the exact reference");
+
+  const std::vector<Variant> variants = {
+      {"Long-Term-History; h=0", SplitRule::kLongTermHistory, 0.4, 0},
+      {"Long-Term-History; h=1", SplitRule::kLongTermHistory, 0.4, 1},
+      {"Long-Term-History; h=2", SplitRule::kLongTermHistory, 0.4, 2},
+      {"EWMA a=0.8; h=2", SplitRule::kEwma, 0.8, 2},
+      {"EWMA a=0.4; h=2", SplitRule::kEwma, 0.4, 2},
+      {"Last-Time-Unit; h=2", SplitRule::kLastTimeUnit, 0.4, 2},
+      {"Uniform; h=2", SplitRule::kUniform, 0.4, 2},
+  };
+
+  std::vector<ErrorProfile> profiles;
+  for (const auto& v : variants) {
+    profiles.push_back(measure(spec, v, window, totalUnits, offsets));
+  }
+
+  std::printf("\n(a) mean relative error by timeunit offset "
+              "(0 = detection unit)\n");
+  AsciiTable byOffset({"Heuristic", "-40", "-30", "-20", "-10", "0"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    std::vector<std::string> cells{variants[i].label};
+    for (std::size_t o = offsets.size(); o-- > 0;) {
+      cells.push_back(fmtPct(profiles[i].byOffset[o], 2));
+    }
+    byOffset.addRow(cells);
+  }
+  byOffset.print(std::cout);
+
+  std::printf("\n(b) mean relative error by hierarchy depth\n");
+  AsciiTable byDepth({"Heuristic", "d=1", "d=2", "d=3", "d=4", "d=5"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    std::vector<std::string> cells{variants[i].label};
+    for (int d = 1; d <= 5; ++d) {
+      cells.push_back(
+          fmtPct(profiles[i].byDepth[static_cast<std::size_t>(d)], 2));
+    }
+    byDepth.addRow(cells);
+  }
+  byDepth.print(std::cout);
+
+  std::printf("\noverall relative error per heuristic\n");
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    std::printf("  %-24s %s\n", variants[i].label.c_str(),
+                fmtPct(profiles[i].overall, 2).c_str());
+  }
+
+  bool ok = true;
+  ok &= bench::check(profiles[2].overall < profiles[0].overall,
+                     "h=2 reference levels reduce error vs h=0");
+  ok &= bench::check(profiles[2].overall < 0.05,
+                     "Long-Term-History h=2 error is small (~1% in paper)");
+  ok &= bench::check(profiles[1].overall <= profiles[0].overall + 1e-9,
+                     "h=1 is no worse than h=0");
+  // Stability across offsets for the best variant (paper: "very stable").
+  const auto& best = profiles[2].byOffset;
+  double lo = 1e9, hi = 0.0;
+  for (double e : best) {
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  ok &= bench::check(hi - lo < 0.05, "h=2 error stable across timeunits");
+  return ok ? 0 : 1;
+}

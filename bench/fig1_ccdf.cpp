@@ -1,0 +1,108 @@
+// Fig 1 — per-level CCDF of the normalized count of cases across nodes and
+// timeunits, for (a) CCD trouble issues, (b) CCD network locations and
+// (c) SCD network locations.
+//
+// For each hierarchy level we collect the per-(node, unit) raw aggregate
+// counts over a multi-day window, normalize by the global maximum (as the
+// paper does) and print a log-binned CCDF. The qualitative shape to
+// reproduce: deeper levels are strictly sparser (their CCDFs sit below the
+// shallower ones), and CO-level cells are overwhelmingly empty.
+#include "bench/bench_util.h"
+
+#include "common/stats.h"
+
+namespace {
+
+using namespace tiresias;
+using namespace tiresias::workload;
+
+struct LevelSamples {
+  int depth;
+  std::vector<double> counts;  // per (node, unit), including zeros
+  double emptyFraction = 0.0;
+};
+
+std::vector<LevelSamples> collect(const WorkloadSpec& spec, TimeUnit units,
+                                  std::uint64_t seed) {
+  const auto& h = spec.hierarchy;
+  GeneratorSource src(spec, 0, units, seed);
+  TimeUnitBatcher batcher(src, spec.unit, 0);
+  std::vector<LevelSamples> levels;
+  for (int d = 1; d <= h.height(); ++d) levels.push_back({d, {}, 0.0});
+
+  while (auto b = batcher.next()) {
+    std::vector<double> agg(h.size(), 0.0);
+    for (const auto& r : b->records) agg[r.category] += 1.0;
+    for (NodeId n = static_cast<NodeId>(h.size()); n-- > 1;) {
+      agg[h.parent(n)] += agg[n];
+    }
+    for (NodeId n = 0; n < h.size(); ++n) {
+      levels[static_cast<std::size_t>(h.depth(n) - 1)].counts.push_back(
+          agg[n]);
+    }
+  }
+  return levels;
+}
+
+void printDataset(const char* name, const WorkloadSpec& spec, TimeUnit units,
+                  std::uint64_t seed, bool& ok) {
+  std::printf("\n--- %s ---\n", name);
+  auto levels = collect(spec, units, seed);
+  double maxCount = 0.0;
+  for (const auto& lvl : levels) {
+    for (double c : lvl.counts) maxCount = std::max(maxCount, c);
+  }
+  AsciiTable table({"Level", "Nodes x Units", "Empty cells",
+                    "P(x>=0.001)", "P(x>=0.01)", "P(x>=0.1)"});
+  std::vector<double> sparsity;
+  for (auto& lvl : levels) {
+    std::size_t empty = 0;
+    std::vector<double> normalized;
+    normalized.reserve(lvl.counts.size());
+    for (double c : lvl.counts) {
+      if (c == 0.0) ++empty;
+      normalized.push_back(c / maxCount);
+    }
+    auto ccdfAt = [&](double x) {
+      std::size_t cnt = 0;
+      for (double v : normalized) cnt += (v >= x);
+      return static_cast<double>(cnt) / static_cast<double>(normalized.size());
+    };
+    lvl.emptyFraction =
+        static_cast<double>(empty) / static_cast<double>(lvl.counts.size());
+    sparsity.push_back(lvl.emptyFraction);
+    table.addRow({std::to_string(lvl.depth),
+                  fmtI(static_cast<long long>(lvl.counts.size())),
+                  fmtPct(lvl.emptyFraction, 1), fmtG(ccdfAt(0.001), 3),
+                  fmtG(ccdfAt(0.01), 3), fmtG(ccdfAt(0.1), 3)});
+  }
+  table.print(std::cout);
+  for (std::size_t d = 1; d < sparsity.size(); ++d) {
+    ok &= bench::check(sparsity[d] >= sparsity[d - 1] - 1e-9,
+                       std::string(name) + ": level " + std::to_string(d + 1) +
+                           " at least as sparse as level " +
+                           std::to_string(d));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 1", "CCDF of normalized counts per hierarchy level");
+  bench::note("test-scale trees, 4 days of 15-minute units; the paper's "
+              "claim is the ordering of the per-level curves, not absolute "
+              "values");
+  bool ok = true;
+  printDataset("(a) CCD trouble issues", ccdTroubleWorkload(Scale::kTest),
+               4 * 96, 101, ok);
+  printDataset("(b) CCD network locations", ccdNetworkWorkload(Scale::kTest),
+               4 * 96, 102, ok);
+  const auto scd = scdNetworkWorkload(Scale::kTest);
+  printDataset("(c) SCD network locations", scd, 4 * 96, 103, ok);
+
+  // Paper headline: ~93% of CO-level cells empty in CCD, ~70% in SCD.
+  // With test-scale trees the exact fractions differ; the CCD-sparser-
+  // than-SCD-at-matching-level relation is scale-dependent, so we check
+  // the within-dataset ordering above and print the headline numbers here.
+  return ok ? 0 : 1;
+}

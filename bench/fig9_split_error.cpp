@@ -1,0 +1,74 @@
+// Fig 9 — relative forecast error RE[t+k] after a biased split, for bias
+// xi in {2F[t], F[t], 0.5F[t]}, EWMA alpha = 0.5, T[i] = 1.
+//
+// Two independent computations that must agree:
+//   closed form  RE[t+k] = |xi| (1-alpha)^k / F[t+k]   (Eq. 1-2)
+//   simulation   run two EWMA forecasters, inject the bias, measure.
+// Shape to reproduce: error decays exponentially at rate (1-alpha), i.e.
+// halves every iteration at alpha = 0.5, independent of xi's magnitude.
+#include "bench/bench_util.h"
+
+#include "timeseries/ewma.h"
+
+int main() {
+  using namespace tiresias;
+  bench::banner("Fig 9", "relative error RE[t+k] after a split bias");
+  const double alpha = 0.5;
+  const int iterations = 10;
+  const std::vector<std::pair<const char*, double>> biases = {
+      {"xi=2F[t]", 2.0}, {"xi=F[t]", 1.0}, {"xi=0.5F[t]", 0.5}};
+
+  AsciiTable table({"k", "RE xi=2F (sim)", "RE xi=2F (eq)", "RE xi=F (sim)",
+                    "RE xi=F (eq)", "RE xi=0.5F (sim)", "RE xi=0.5F (eq)"});
+  bool ok = true;
+  std::vector<std::vector<double>> simCurves;
+
+  for (const auto& [name, factor] : biases) {
+    (void)name;
+    EwmaForecaster unbiased(alpha), biased(alpha);
+    for (int i = 0; i < 200; ++i) {
+      unbiased.update(1.0);  // steady T[i] = 1 -> F converges to 1
+      biased.update(1.0);
+    }
+    const double f = unbiased.forecast();
+    // Inject xi = factor * F[t].
+    biased.scale((f + factor * f) / f);
+    std::vector<double> curve;
+    for (int k = 1; k <= iterations; ++k) {
+      unbiased.update(1.0);
+      biased.update(1.0);
+      curve.push_back(std::abs(biased.forecast() - unbiased.forecast()) /
+                      unbiased.forecast());
+    }
+    simCurves.push_back(curve);
+  }
+
+  for (int k = 1; k <= iterations; ++k) {
+    std::vector<std::string> cells{std::to_string(k)};
+    for (std::size_t b = 0; b < biases.size(); ++b) {
+      const double eq = biases[b].second * std::pow(1.0 - alpha, k);
+      const double sim = simCurves[b][static_cast<std::size_t>(k - 1)];
+      cells.push_back(fmtG(sim, 4));
+      cells.push_back(fmtG(eq, 4));
+      ok &= std::abs(sim - eq) < 1e-9;
+    }
+    table.addRow(cells);
+  }
+  table.print(std::cout);
+
+  ok = bench::check(ok, "simulation matches Eq. (1)-(2) closed form");
+  for (std::size_t b = 0; b < biases.size(); ++b) {
+    bool expDecay = true;
+    for (int k = 1; k < iterations; ++k) {
+      const double ratio = simCurves[b][static_cast<std::size_t>(k)] /
+                           simCurves[b][static_cast<std::size_t>(k - 1)];
+      expDecay = expDecay && std::abs(ratio - (1.0 - alpha)) < 1e-6;
+    }
+    ok &= bench::check(expDecay, std::string(biases[b].first) +
+                                     ": error halves every iteration "
+                                     "(rate = 1-alpha)");
+  }
+  ok &= bench::check(simCurves[0][9] < 0.005,
+                     "after 10 iterations the worst bias is <0.5% error");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Table IV — normalized memory cost of Tiresias with STA vs ADA at
+// reference depths h = 0, 1, 2.
+//
+// Normalization follows the paper: total memory / average tree size /
+// per-node cost. Shape to reproduce: ADA needs a small fraction of STA's
+// space (~36% at h=0 in the paper), and each added reference level costs a
+// little more but stays far below STA.
+#include "bench/bench_util.h"
+
+#include "eval/memory_model.h"
+
+namespace {
+
+using namespace tiresias;
+using namespace tiresias::workload;
+
+struct Run {
+  MemoryStats stats;
+  double avgTreeNodes = 0.0;
+};
+
+Run run(const WorkloadSpec& spec, bool useAda, std::size_t refLevels,
+        std::size_t window, TimeUnit totalUnits) {
+  DetectorConfig cfg = bench::paperConfig(window, 8.0, bench::hwFactory());
+  cfg.referenceLevels = refLevels;
+  std::unique_ptr<Detector> detector;
+  if (useAda) {
+    detector = std::make_unique<AdaDetector>(spec.hierarchy, cfg);
+  } else {
+    detector = std::make_unique<StaDetector>(spec.hierarchy, cfg);
+  }
+  GeneratorSource src(spec, 0, totalUnits, 4242);
+  TimeUnitBatcher batcher(src, spec.unit, 0);
+  Run result;
+  std::size_t units = 0;
+  std::size_t touchedTotal = 0;
+  while (auto batch = batcher.next()) {
+    detector->step(*batch);
+    ++units;
+    // Average sparse-tree size: counted nodes plus ancestors.
+    CountMap counts;
+    for (const auto& r : batch->records) counts[r.category] += 1.0;
+    std::unordered_map<NodeId, bool> seen;
+    for (const auto& [n, c] : counts) {
+      (void)c;
+      for (NodeId cur = n; cur != kInvalidNode;
+           cur = spec.hierarchy.parent(cur)) {
+        if (!seen.emplace(cur, true).second) break;
+      }
+    }
+    touchedTotal += seen.size();
+  }
+  result.stats = detector->memoryStats();
+  result.avgTreeNodes =
+      static_cast<double>(touchedTotal) / static_cast<double>(units);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table IV", "normalized memory cost, STA vs ADA(h=0,1,2)");
+  const auto spec = ccdNetworkWorkload(Scale::kMedium);
+  const std::size_t window = 2 * 96;  // 2 days of 15-min units
+  const TimeUnit totalUnits = 4 * 96;
+  bench::note("CCD network (medium preset), measured after a long run as "
+              "in the paper (window full, adaptation active)");
+
+  const auto sta = run(spec, false, 0, window, totalUnits);
+  std::vector<Run> ada;
+  for (std::size_t h : {0u, 1u, 2u}) {
+    ada.push_back(run(spec, true, h, window, totalUnits));
+  }
+
+  AsciiTable table({"Algorithm", "# ref levels (h)", "Normalized space",
+                    "Bytes", "Ref series"});
+  const auto staReport =
+      eval::normalizeMemory(sta.stats, sta.avgTreeNodes);
+  table.addRow({"STA", "N/A", fmtF(staReport.normalized, 1),
+                fmtI(static_cast<long long>(staReport.bytes)), "0"});
+  std::vector<double> adaNorm;
+  for (std::size_t h = 0; h < ada.size(); ++h) {
+    const auto report =
+        eval::normalizeMemory(ada[h].stats, ada[h].avgTreeNodes);
+    adaNorm.push_back(report.normalized);
+    table.addRow({"ADA", std::to_string(h), fmtF(report.normalized, 1),
+                  fmtI(static_cast<long long>(report.bytes)),
+                  std::to_string(ada[h].stats.refSeriesCount / 2)});
+  }
+  table.print(std::cout);
+
+  std::printf("ADA/STA space ratio: h=0 %.0f%%, h=1 %.0f%%, h=2 %.0f%% "
+              "(paper: 36%%, 38%%, 43%%)\n",
+              100.0 * adaNorm[0] / staReport.normalized,
+              100.0 * adaNorm[1] / staReport.normalized,
+              100.0 * adaNorm[2] / staReport.normalized);
+
+  bool ok = true;
+  ok &= bench::check(adaNorm[0] < staReport.normalized,
+                     "ADA uses less memory than STA");
+  ok &= bench::check(adaNorm[0] <= adaNorm[1] && adaNorm[1] <= adaNorm[2],
+                     "memory grows with reference levels");
+  ok &= bench::check(adaNorm[2] < 0.8 * staReport.normalized,
+                     "even h=2 stays well below STA (paper: 43%)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,160 @@
+// Table VI — comparison of ADA against the ISP's current practice
+// (control charts on VHO-level aggregates), plus the level distribution of
+// the new anomalies (NAs) Tiresias finds below the VHO level.
+//
+// Setup mirrors §VII-B: the reference method only sees the first network
+// level, so its anomaly set is incomplete by construction. We inject
+// ground-truth spikes at several depths; the control chart's alarms are
+// screened against the injection ledger — the synthetic equivalent of the
+// paper's "reference set verified by the ISP's operational group" — and
+// ADA's detections are scored with the TA/MA/NA/TN semantics and
+// Type 1/2/3 metrics.
+#include "bench/bench_util.h"
+
+#include <set>
+
+#include "eval/comparison.h"
+#include "eval/reference_method.h"
+
+int main() {
+  using namespace tiresias;
+  using namespace tiresias::workload;
+  bench::banner("Table VI", "ADA vs the VHO-level control-chart practice");
+
+  const auto spec = ccdNetworkWorkload(Scale::kMedium);
+  const auto& h = spec.hierarchy;
+  bench::note("CCD network (medium preset), 25 simulated days, spikes "
+              "injected at VHO/IO/CO/DSLAM levels; chart alarms verified "
+              "against the injection ledger as the ISP ops group did");
+
+  // Ground truth: a few large VHO-level events (visible to the reference
+  // method) plus many deeper events (structurally invisible to it).
+  GroundTruthLedger ledger;
+  Rng rng(2026);
+  const std::size_t window = 14 * 96;  // two weeks: day+week seasons fit
+  const TimeUnit firstSpike = static_cast<TimeUnit>(window) + 12;
+  int spikeIdx = 0;
+  auto addSpikes = [&](int depth, int count, double magnitude) {
+    for (int i = 0; i < count; ++i) {
+      std::vector<NodeId> level;
+      for (NodeId n : h.nodesAtDepth(depth)) level.push_back(n);
+      const NodeId node = level[rng.below(level.size())];
+      ledger.add({node, firstSpike + spikeIdx * 9, 3, magnitude});
+      ++spikeIdx;
+    }
+  };
+  addSpikes(2, 3, 260.0);   // VHO-level, big enough for the chart
+  addSpikes(3, 8, 60.0);    // IO
+  addSpikes(4, 5, 35.0);    // CO
+  addSpikes(5, 2, 25.0);    // DSLAM
+
+  auto injector = std::make_shared<AnomalyInjector>(h, ledger);
+  GeneratorSource src(spec, 0, 25 * 96, 606, injector);
+
+  // Dual seasonality as the paper uses for CCD (xi = 0.76).
+  DetectorConfig cfg = bench::paperConfig(
+      window, 10.0,
+      bench::hwFactory({{96, 0.76}, {672, 0.24}}, {0.1, 0.01, 0.15}));
+  // Sensitivity thresholds re-tuned for this workload's scale, as the
+  // paper's sensitivity test did for its own traffic volumes.
+  cfg.ratioThreshold = 3.0;
+  cfg.diffThreshold = 15.0;
+  AdaDetector ada(h, cfg);
+  eval::ControlChartConfig chartCfg;
+  chartCfg.depth = 2;
+  chartCfg.sigmas = 3.0;
+  chartCfg.history = 672;
+  chartCfg.minHistory = 672;
+  eval::ControlChartReference chart(h, chartCfg);
+
+  TimeUnitBatcher batcher(src, spec.unit, 0);
+  std::vector<eval::LocatedEvent> tiresias, rawChart, negatives;
+  while (auto b = batcher.next()) {
+    const auto alarms = chart.step(*b);
+    rawChart.insert(rawChart.end(), alarms.begin(), alarms.end());
+    if (auto r = ada.step(*b)) {
+      std::set<NodeId> reported;
+      for (const auto& a : r->anomalies) {
+        tiresias.push_back({a.node, a.unit});
+        reported.insert(a.node);
+      }
+      for (NodeId n : r->shhh) {
+        if (!reported.count(n)) negatives.push_back({n, r->unit});
+      }
+    }
+  }
+
+  // Operational verification: keep only chart alarms that correspond to a
+  // real (injected) event.
+  std::vector<eval::LocatedEvent> reference;
+  for (const auto& alarm : rawChart) {
+    if (ledger.matches(h, alarm.node, alarm.unit)) reference.push_back(alarm);
+  }
+  std::printf("chart alarms: %zu raw, %zu verified by the ledger\n",
+              rawChart.size(), reference.size());
+
+  const auto counts =
+      eval::compareToReference(h, tiresias, reference, negatives);
+  AsciiTable table({"Performance metric", "Formula", "Value", "Paper"});
+  table.addRow({"Type 1 (Accuracy)", "(TA+TN)/cases", fmtPct(counts.type1(), 1),
+                "94.1%"});
+  table.addRow({"Type 2", "TA/(TA+MA)", fmtPct(counts.type2(), 1), "90.9%"});
+  table.addRow({"Type 3", "TN/(TN+NA)", fmtPct(counts.type3(), 1), "94.1%"});
+  table.print(std::cout);
+  std::printf("raw counts: TA=%zu MA=%zu NA=%zu TN=%zu, Tiresias "
+              "detections=%zu\n",
+              counts.trueAlarms, counts.missedAnomalies, counts.newAnomalies,
+              counts.trueNegatives, tiresias.size());
+
+  // NA level distribution (paper: 5% / 56.3% / 29.3% / 9.4% at
+  // VHO/IO/CO/DSLAM — 95% of new anomalies live below the VHO level).
+  // Following the paper, NAs that are real events (they match the ledger
+  // even though the VHO-level reference missed them) are what Tiresias
+  // contributes; we report all NAs after ancestor dedup.
+  const auto naSet = eval::dropAncestorDuplicates(
+      h, eval::newAnomalySet(h, tiresias, reference));
+  const auto byDepth = eval::countByDepth(h, naSet);
+  double naTotal = 0.0;
+  for (int d = 2; d <= 5; ++d) naTotal += static_cast<double>(byDepth[d]);
+  AsciiTable na({"Level", "VHO", "IO", "CO", "DSLAM"});
+  na.addRow({"NA share",
+             fmtPct(naTotal ? byDepth[2] / naTotal : 0.0, 1),
+             fmtPct(naTotal ? byDepth[3] / naTotal : 0.0, 1),
+             fmtPct(naTotal ? byDepth[4] / naTotal : 0.0, 1),
+             fmtPct(naTotal ? byDepth[5] / naTotal : 0.0, 1)});
+  std::printf("\nnew-anomaly (NA) level distribution after ancestor dedup:\n");
+  na.print(std::cout);
+
+  bool ok = true;
+  ok &= bench::check(counts.type1() > 0.85,
+                     "Type 1 accuracy high (paper: 94.1%)");
+  ok &= bench::check(counts.type2() > 0.7,
+                     "most reference anomalies are re-found (paper: 90.9%)");
+  ok &= bench::check(counts.type3() > 0.85,
+                     "few spurious new anomalies (paper Type 3: 94.1%)");
+  const double belowVho = naTotal ? (naTotal - byDepth[2]) / naTotal : 0.0;
+  ok &= bench::check(belowVho > 0.6,
+                     "most NAs are below the VHO level (paper: 95%)");
+  // Ground-truth sanity: how many injected spikes did each method see?
+  std::size_t adaHits = 0, chartHits = 0;
+  for (const auto& s : ledger.specs()) {
+    auto sees = [&](const std::vector<eval::LocatedEvent>& events) {
+      for (const auto& e : events) {
+        if (s.activeAt(e.unit) && (h.isAncestorOrEqual(e.node, s.node) ||
+                                   h.isAncestorOrEqual(s.node, e.node))) {
+          return true;
+        }
+      }
+      return false;
+    };
+    adaHits += sees(tiresias);
+    chartHits += sees(rawChart);
+  }
+  std::printf("injected spikes found: Tiresias %zu/%zu, reference %zu/%zu\n",
+              adaHits, ledger.specs().size(), chartHits,
+              ledger.specs().size());
+  ok &= bench::check(adaHits > chartHits,
+                     "Tiresias finds more injected events than the "
+                     "VHO-only practice");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Scalability headline (§I / §VII-A): a Tier-1 ISP inspects >300,000
+// customer care calls per working day; Tiresias must keep up online on a
+// single core. This bench measures end-to-end detector throughput
+// (records/second through ADA, including batching) and reports the
+// headroom over the paper's operational load.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tiresias;
+  using namespace tiresias::workload;
+  bench::banner("Throughput", "single-core records/second vs ISP load");
+
+  const auto spec = ccdNetworkWorkload(Scale::kMedium);
+  const std::size_t window = 2 * 96;
+  DetectorConfig cfg = bench::paperConfig(window, 10.0, bench::hwFactory());
+  AdaDetector ada(spec.hierarchy, cfg);
+
+  // Pre-generate three days so generation cost is excluded from the
+  // detector measurement (the paper's "Reading Traces" stage).
+  std::vector<TimeUnitBatch> batches;
+  std::size_t records = 0;
+  {
+    GeneratorSource src(spec, 0, 3 * 96, 90210);
+    TimeUnitBatcher batcher(src, spec.unit, 0);
+    while (auto b = batcher.next()) {
+      records += b->records.size();
+      batches.push_back(std::move(*b));
+    }
+  }
+
+  Stopwatch watch;
+  std::size_t instances = 0;
+  for (const auto& b : batches) {
+    if (ada.step(b)) ++instances;
+  }
+  const double seconds = watch.elapsedSeconds();
+  const double recordsPerSec = static_cast<double>(records) / seconds;
+  const double paperDailyLoad = 300000.0;
+  const double daysPerSec = recordsPerSec / paperDailyLoad;
+
+  AsciiTable table({"Metric", "Value"});
+  table.addRow({"records processed", fmtI(static_cast<long long>(records))});
+  table.addRow({"detection instances", fmtI(static_cast<long long>(instances))});
+  table.addRow({"wall time (s)", fmtF(seconds, 3)});
+  table.addRow({"throughput (records/s)",
+                fmtI(static_cast<long long>(recordsPerSec))});
+  table.addRow({"ISP days of calls per second", fmtF(daysPerSec, 2)});
+  table.addRow({"splits / merges", std::to_string(ada.splitCount()) + " / " +
+                                       std::to_string(ada.mergeCount())});
+  table.print(std::cout);
+
+  bool ok = true;
+  // Online operation needs to clear one day of calls in well under a day;
+  // we ask for 4 orders of magnitude of headroom.
+  ok &= bench::check(recordsPerSec > paperDailyLoad / 8.64,
+                     "clears one ISP day of calls in <1% of a day");
+  ok &= bench::check(instances + window - 1 == batches.size(),
+                     "one detection instance per unit after warm-up");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Customer-care scenario (the paper's CCD case study, §II/§VII-B):
+// a month of synthetic customer calls over the SHO/VHO/IO/CO/DSLAM network
+// hierarchy, with injected incidents at several network levels. Runs the
+// full pipeline — automatic seasonality analysis, ADA detection, anomaly
+// store — and prints an operator-style incident digest.
+//
+//   $ ./customer_care [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "report/store.h"
+#include "workload/ccd.h"
+
+using namespace tiresias;
+using namespace tiresias::workload;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2026;
+
+  const auto spec = ccdNetworkWorkload(Scale::kMedium);
+  const auto& h = spec.hierarchy;
+  std::printf("CCD network hierarchy: %zu nodes (%zu DSLAMs)\n", h.size(),
+              h.leafCount());
+
+  // Incidents: one regional (VHO) outage and two metro (IO/CO) events.
+  GroundTruthLedger ledger;
+  ledger.add({h.find("VHO1"), 9 * 96 + 60, 4, 220.0});
+  ledger.add({h.find("VHO0/IO2"), 13 * 96 + 40, 3, 60.0});
+  ledger.add({h.find("VHO2/IO0/CO1"), 20 * 96 + 70, 6, 35.0});
+  auto injector = std::make_shared<AnomalyInjector>(h, ledger);
+  std::printf("injected incidents:\n");
+  for (const auto& s : ledger.specs()) {
+    std::printf("  %-22s units [%lld, %lld)  +%.0f calls/unit\n",
+                h.path(s.node).c_str(), static_cast<long long>(s.startUnit),
+                static_cast<long long>(s.startUnit +
+                                       static_cast<TimeUnit>(s.durationUnits)),
+                s.extraPerUnit);
+  }
+
+  GeneratorSource source(spec, 0, 28 * 96, seed, injector);
+
+  PipelineConfig cfg;
+  cfg.delta = spec.unit;
+  cfg.detector.theta = 10.0;
+  cfg.detector.windowLength = 7 * 96;  // one week of history
+  cfg.detector.referenceLevels = 2;
+  cfg.candidatePeriods = {96, 672};  // let Step 3 pick day/week seasons
+  TiresiasPipeline pipeline(h, cfg);
+  report::AnomalyStore store(h);
+
+  const auto summary =
+      pipeline.run(source, [&](const InstanceResult& r) { store.add(r); });
+
+  std::printf("\nprocessed %zu units / %zu calls; %zu detection instances\n",
+              summary.unitsProcessed, summary.recordsProcessed,
+              summary.instancesDetected);
+  std::printf("seasonality chosen: ");
+  for (const auto& s : summary.seasons) {
+    std::printf("%zu-unit season (weight %.2f)  ", s.period, s.weight);
+  }
+  std::printf("\n%zu anomalies stored\n\n", store.size());
+
+  // Operator digest: anomalies grouped per injected incident window.
+  for (const auto& s : ledger.specs()) {
+    report::Query q;
+    q.fromUnit = s.startUnit;
+    q.toUnit = s.startUnit + static_cast<TimeUnit>(s.durationUnits) - 1;
+    const auto hits = store.query(q);
+    std::printf("incident at %s:\n", h.path(s.node).c_str());
+    if (hits.empty()) std::printf("  (missed)\n");
+    for (const auto& hit : hits) {
+      std::printf("  unit %lld  %-28s actual=%.0f forecast=%.1f\n",
+                  static_cast<long long>(hit.anomaly.unit), hit.path.c_str(),
+                  hit.anomaly.actual, hit.anomaly.forecast);
+    }
+  }
+
+  // Anomalies by network level — the "previously unknown anomalies hidden
+  // in the lower levels" of the paper's abstract.
+  const auto byDepth = store.countByDepth();
+  std::printf("\nanomalies by network level: ");
+  const char* levels[] = {"", "SHO", "VHO", "IO", "CO", "DSLAM"};
+  for (int d = 1; d <= h.height(); ++d) {
+    std::printf("%s=%zu  ", levels[d], byDepth[static_cast<std::size_t>(d)]);
+  }
+  std::printf("\n");
+
+  store.exportCsv("customer_care_anomalies.csv");
+  std::printf("full report written to customer_care_anomalies.csv\n");
+  return 0;
+}

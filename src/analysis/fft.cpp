@@ -1,0 +1,121 @@
+#include "analysis/fft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  TIRESIAS_EXPECT(n > 0 && (n & (n - 1)) == 0, "FFT size must be a power of 2");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::size_t nextPow2(std::size_t n) {
+  TIRESIAS_EXPECT(n >= 1, "nextPow2 requires n >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<SpectralLine> periodogram(const std::vector<double>& series,
+                                      const PeriodogramOptions& options) {
+  TIRESIAS_EXPECT(series.size() >= 4, "series too short for a periodogram");
+  const std::size_t n = series.size();
+  double m = 0.0;
+  if (options.removeMean) {
+    for (double v : series) m += v;
+    m /= static_cast<double>(n);
+  }
+
+  const std::size_t padded = nextPow2(n);
+  std::vector<std::complex<double>> buf(padded, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = series[i] - m;
+    if (options.hannWindow) {
+      v *= 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                                 static_cast<double>(i) /
+                                 static_cast<double>(n - 1)));
+    }
+    buf[i] = {v, 0.0};
+  }
+  fft(buf);
+
+  std::vector<SpectralLine> lines;
+  lines.reserve(padded / 2);
+  for (std::size_t k = 1; k <= padded / 2; ++k) {
+    const double freq = static_cast<double>(k) / static_cast<double>(padded);
+    lines.push_back({freq, std::abs(buf[k]), 1.0 / freq});
+  }
+  return lines;
+}
+
+std::vector<SpectralLine> dominantPeriods(const std::vector<double>& series,
+                                          std::size_t count,
+                                          const PeriodogramOptions& options) {
+  const auto spec = periodogram(series, options);
+  std::vector<std::size_t> maxima;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const double left = i > 0 ? spec[i - 1].magnitude : 0.0;
+    const double right = i + 1 < spec.size() ? spec[i + 1].magnitude : 0.0;
+    if (spec[i].magnitude >= left && spec[i].magnitude >= right) {
+      maxima.push_back(i);
+    }
+  }
+  std::sort(maxima.begin(), maxima.end(), [&](std::size_t a, std::size_t b) {
+    return spec[a].magnitude > spec[b].magnitude;
+  });
+  std::vector<SpectralLine> out;
+  for (std::size_t i = 0; i < maxima.size() && out.size() < count; ++i) {
+    out.push_back(spec[maxima[i]]);
+  }
+  return out;
+}
+
+double magnitudeNearPeriod(const std::vector<SpectralLine>& spectrum,
+                           double periodSamples) {
+  TIRESIAS_EXPECT(!spectrum.empty(), "empty spectrum");
+  double best = spectrum.front().magnitude;
+  double bestDist = std::abs(std::log(spectrum.front().period) -
+                             std::log(periodSamples));
+  for (const auto& line : spectrum) {
+    const double dist =
+        std::abs(std::log(line.period) - std::log(periodSamples));
+    if (dist < bestDist) {
+      bestDist = dist;
+      best = line.magnitude;
+    }
+  }
+  return best;
+}
+
+}  // namespace tiresias

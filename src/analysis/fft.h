@@ -1,0 +1,50 @@
+// Fast Fourier Transform and periodogram (Step 3, Fig 11).
+//
+// Iterative radix-2 Cooley-Tukey over std::complex<double>. Real input is
+// zero-padded (after mean removal and optional Hann windowing) to the next
+// power of two; the periodogram reports magnitude per period so benches can
+// print the paper's "FFT magnitude vs period in hours" series directly.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tiresias {
+
+/// In-place radix-2 FFT. Size must be a power of two. `inverse` applies the
+/// conjugate transform and 1/n normalization.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t nextPow2(std::size_t n);
+
+/// One spectral line: frequency in cycles-per-sample and its magnitude.
+struct SpectralLine {
+  double frequency;  // cycles per sample, in (0, 0.5]
+  double magnitude;  // |X(f)|, arbitrary units
+  double period;     // 1/frequency, in samples
+};
+
+struct PeriodogramOptions {
+  bool removeMean = true;
+  bool hannWindow = true;
+};
+
+/// Magnitude spectrum of a real series (positive frequencies only,
+/// DC excluded). Lines come back ordered by ascending frequency.
+std::vector<SpectralLine> periodogram(const std::vector<double>& series,
+                                      const PeriodogramOptions& options = {});
+
+/// The `count` strongest spectral lines, strongest first, with a simple
+/// local-maximum requirement so one wide peak doesn't claim every slot.
+std::vector<SpectralLine> dominantPeriods(const std::vector<double>& series,
+                                          std::size_t count,
+                                          const PeriodogramOptions& options = {});
+
+/// Magnitude at the spectral line nearest the given period (in samples).
+/// Used for the paper's ξ = FFT_day / FFT_week seasonal weight.
+double magnitudeNearPeriod(const std::vector<SpectralLine>& spectrum,
+                           double periodSamples);
+
+}  // namespace tiresias

@@ -1,0 +1,103 @@
+#include "analysis/seasonality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/fft.h"
+#include "analysis/wavelet.h"
+#include "common/expect.h"
+
+namespace tiresias {
+namespace {
+
+/// Largest wavelet level whose timescale (~2^(level+1) samples) does not
+/// exceed the series length.
+std::size_t usableWaveletLevels(std::size_t seriesLen, std::size_t requested) {
+  std::size_t levels = 0;
+  std::size_t scale = 2;
+  while (levels < requested && scale * 4 < seriesLen) {
+    ++levels;
+    scale <<= 1;
+  }
+  return std::max<std::size_t>(levels, 1);
+}
+
+}  // namespace
+
+SeasonalityResult analyzeSeasonality(const std::vector<double>& series,
+                                     const SeasonalityOptions& options) {
+  TIRESIAS_EXPECT(series.size() >= 16, "series too short for seasonality");
+  SeasonalityResult result;
+
+  const auto spectrum = periodogram(series);
+  double peak = 0.0;
+  for (const auto& line : spectrum) peak = std::max(peak, line.magnitude);
+  TIRESIAS_EXPECT(peak > 0.0, "degenerate spectrum");
+
+  // Candidate periods: caller-provided, else the strongest distinct peaks.
+  std::vector<std::size_t> candidates = options.candidatePeriods;
+  if (candidates.empty()) {
+    for (const auto& line : dominantPeriods(series, options.maxSeasons * 3)) {
+      const auto period = static_cast<std::size_t>(std::lround(line.period));
+      if (period < 2 || period * 2 > series.size()) continue;
+      // Skip near-duplicates (within 20%).
+      bool dup = false;
+      for (std::size_t p : candidates) {
+        const double ratio =
+            static_cast<double>(period) / static_cast<double>(p);
+        if (ratio > 0.8 && ratio < 1.25) dup = true;
+      }
+      if (!dup) candidates.push_back(period);
+    }
+  }
+
+  // Wavelet cross-check (diagnostic + veto of spurious FFT peaks).
+  std::vector<double> energies;
+  if (options.waveletLevels > 0) {
+    const std::size_t levels =
+        usableWaveletLevels(series.size(), options.waveletLevels);
+    energies = detailEnergies(atrousTransform(series, levels));
+    result.waveletEnergies = energies;
+  }
+
+  struct Scored {
+    std::size_t period;
+    double magnitude;
+  };
+  std::vector<Scored> accepted;
+  for (std::size_t period : candidates) {
+    if (period < 2 || period * 2 > series.size()) continue;
+    const double magnitude = magnitudeNearPeriod(spectrum,
+                                                 static_cast<double>(period));
+    if (magnitude < options.significanceRatio * peak) continue;
+    if (!energies.empty()) {
+      // The detail level covering this period must carry a non-trivial
+      // share of the total fluctuation energy.
+      const auto level = static_cast<std::size_t>(
+          std::clamp(std::log2(static_cast<double>(period)) - 1.0, 0.0,
+                     static_cast<double>(energies.size() - 1)));
+      double total = 0.0;
+      for (double e : energies) total += e;
+      if (total > 0.0 && energies[level] < 0.005 * total) continue;
+    }
+    accepted.push_back({period, magnitude});
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.magnitude > b.magnitude;
+            });
+  if (accepted.size() > options.maxSeasons) {
+    accepted.resize(options.maxSeasons);
+  }
+
+  // Paper's weight rule generalized: weight_i ∝ FFT magnitude of season i.
+  double total = 0.0;
+  for (const auto& s : accepted) total += s.magnitude;
+  for (const auto& s : accepted) {
+    result.seasons.push_back({s.period, s.magnitude / total});
+    result.magnitudes.push_back(s.magnitude);
+  }
+  return result;
+}
+
+}  // namespace tiresias

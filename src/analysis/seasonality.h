@@ -1,0 +1,48 @@
+// Automatic seasonality selection (Step 3, Fig 3(d)).
+//
+// Combines the FFT periodogram with the à-trous detail-energy spectrum to
+// pick seasonal periods for the Holt-Winters model, mirroring the paper:
+// a candidate period is accepted when it is a strong FFT peak AND the
+// wavelet detail energy at the matching dyadic timescale is locally
+// elevated. The combination weight for two seasons follows the paper's
+// ξ = FFT(period₁) / FFT(period₂) rule (ξ = 0.76 for CCD's day/week pair).
+//
+// The paper runs this offline on the first window ("the periodicities of
+// operational datasets we had are fairly stable across time"); the pipeline
+// does the same.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/holt_winters.h"
+
+namespace tiresias {
+
+struct SeasonalityOptions {
+  /// Candidate periods to test, in samples (e.g. {96, 672} for day/week at
+  /// 15-minute units). Empty means "take the strongest FFT peaks".
+  std::vector<std::size_t> candidatePeriods;
+  /// Max number of seasons to select.
+  std::size_t maxSeasons = 2;
+  /// A candidate is significant if its FFT magnitude is at least this
+  /// fraction of the strongest line's magnitude.
+  double significanceRatio = 0.05;
+  /// Wavelet levels to compute for the cross-check (0 = skip cross-check).
+  std::size_t waveletLevels = 10;
+};
+
+struct SeasonalityResult {
+  /// Selected seasons with combination weights (sums to 1), strongest first.
+  std::vector<SeasonSpec> seasons;
+  /// FFT magnitude of each selected season (same order).
+  std::vector<double> magnitudes;
+  /// Detail energy per wavelet level (diagnostic; empty if skipped).
+  std::vector<double> waveletEnergies;
+};
+
+/// Analyze one representative series (usually the root node's counts).
+SeasonalityResult analyzeSeasonality(const std::vector<double>& series,
+                                     const SeasonalityOptions& options = {});
+
+}  // namespace tiresias

@@ -1,0 +1,90 @@
+#include "analysis/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/expect.h"
+
+namespace tiresias {
+namespace {
+
+constexpr double kB3[5] = {1.0 / 16, 1.0 / 4, 3.0 / 8, 1.0 / 4, 1.0 / 16};
+
+/// Mirror (symmetric, non-repeating edge) index into [0, n).
+std::size_t mirror(long long i, std::size_t n) {
+  const long long m = static_cast<long long>(n);
+  if (m == 1) return 0;
+  const long long period = 2 * (m - 1);
+  long long r = i % period;
+  if (r < 0) r += period;
+  if (r >= m) r = period - r;
+  return static_cast<std::size_t>(r);
+}
+
+std::vector<double> smoothOnce(const std::vector<double>& in,
+                               std::size_t dilation) {
+  const std::size_t n = in.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    double acc = 0.0;
+    for (int k = -2; k <= 2; ++k) {
+      const long long idx =
+          static_cast<long long>(t) + k * static_cast<long long>(dilation);
+      acc += kB3[k + 2] * in[mirror(idx, n)];
+    }
+    out[t] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+AtrousDecomposition atrousTransform(const std::vector<double>& series,
+                                    std::size_t levels) {
+  TIRESIAS_EXPECT(levels >= 1, "need at least one level");
+  TIRESIAS_EXPECT(series.size() >= 8, "series too short for wavelet analysis");
+  AtrousDecomposition out;
+  out.smooth.reserve(levels);
+  out.detail.reserve(levels);
+
+  const std::vector<double>* prev = &series;
+  std::size_t dilation = 1;
+  for (std::size_t j = 0; j < levels; ++j) {
+    std::vector<double> smoothed = smoothOnce(*prev, dilation);
+    std::vector<double> detail(series.size());
+    for (std::size_t t = 0; t < series.size(); ++t) {
+      detail[t] = (*prev)[t] - smoothed[t];
+    }
+    out.smooth.push_back(std::move(smoothed));
+    out.detail.push_back(std::move(detail));
+    prev = &out.smooth.back();
+    dilation <<= 1;
+  }
+  return out;
+}
+
+std::vector<double> detailEnergies(const AtrousDecomposition& decomposition) {
+  std::vector<double> energies;
+  energies.reserve(decomposition.detail.size());
+  for (const auto& d : decomposition.detail) {
+    double e = 0.0;
+    for (double v : d) e += v * v;
+    energies.push_back(e);
+  }
+  return energies;
+}
+
+double reconstructionError(const std::vector<double>& series,
+                           const AtrousDecomposition& decomposition) {
+  TIRESIAS_EXPECT(!decomposition.smooth.empty(), "empty decomposition");
+  double worst = 0.0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    double rebuilt = decomposition.smooth.back()[t];
+    for (const auto& d : decomposition.detail) rebuilt += d[t];
+    worst = std::max(worst, std::abs(series[t] - rebuilt));
+  }
+  return worst;
+}
+
+}  // namespace tiresias

@@ -1,0 +1,37 @@
+// À-trous (stationary) wavelet transform with the B3-spline low-pass filter
+// (1/16, 1/4, 3/8, 1/4, 1/16) — the paper's §VI seasonality cross-check
+// (Shensa [13], as applied by Papagiannaki et al. [16]).
+//
+// Level j smooths with the filter dilated by 2^(j-1) (holes between taps);
+// the detail at level j is d_j(t) = c_{j-1}(t) − c_j(t) and its energy
+// indicates fluctuation strength at timescale ~2^j samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tiresias {
+
+struct AtrousDecomposition {
+  /// smooth[j] = c_{j+1}, j = 0..levels-1 (c_0 is the input itself).
+  std::vector<std::vector<double>> smooth;
+  /// detail[j] = c_j − c_{j+1} at the same indexing.
+  std::vector<std::vector<double>> detail;
+};
+
+/// Decompose `series` into `levels` dyadic scales. Boundaries use symmetric
+/// (mirror) extension to avoid phase artifacts. Requires levels >= 1 and a
+/// series long enough for the largest dilation (2^(levels-1)·4 < size).
+AtrousDecomposition atrousTransform(const std::vector<double>& series,
+                                    std::size_t levels);
+
+/// Energy (sum of squares) of each detail level, index 0 = finest scale
+/// (~2 samples). The paper plots these to confirm the FFT's periodicities.
+std::vector<double> detailEnergies(const AtrousDecomposition& decomposition);
+
+/// Reconstruction check: input == smooth.back() + Σ details (exact up to
+/// floating point). Returns the maximum absolute reconstruction error.
+double reconstructionError(const std::vector<double>& series,
+                           const AtrousDecomposition& decomposition);
+
+}  // namespace tiresias

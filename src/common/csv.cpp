@@ -1,0 +1,79 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace tiresias {
+
+std::string csvEscape(const std::string& field, char sep) {
+  const bool needsQuote =
+      field.find(sep) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos ||
+      field.find('\r') != std::string::npos;
+  if (!needsQuote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csvJoin(const std::vector<std::string>& fields, char sep) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += sep;
+    line += csvEscape(fields[i], sep);
+  }
+  return line;
+}
+
+std::vector<std::string> csvSplit(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool inQuotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (inQuotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          inQuotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      inQuotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  out_ << csvJoin(fields, sep_) << '\n';
+}
+
+bool csvReadFile(const std::string& path,
+                 std::vector<std::vector<std::string>>& rows, char sep) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(csvSplit(line, sep));
+  }
+  return true;
+}
+
+}  // namespace tiresias

@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing for record traces and bench output.
+// Handles quoting of fields containing separators/quotes/newlines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tiresias {
+
+/// Escape a field per RFC 4180 if it contains the separator, quotes or
+/// newlines; otherwise return it unchanged.
+std::string csvEscape(const std::string& field, char sep = ',');
+
+/// Join fields into one CSV line (no trailing newline).
+std::string csvJoin(const std::vector<std::string>& fields, char sep = ',');
+
+/// Parse one CSV line into fields, honouring RFC 4180 quoting.
+std::vector<std::string> csvSplit(const std::string& line, char sep = ',');
+
+/// Streaming CSV writer bound to an ostream the caller owns.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+/// Reads a whole CSV file into memory. Returns false if the file cannot be
+/// opened. Blank lines are skipped.
+bool csvReadFile(const std::string& path,
+                 std::vector<std::vector<std::string>>& rows, char sep = ',');
+
+}  // namespace tiresias

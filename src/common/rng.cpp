@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace tiresias {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  TIRESIAS_EXPECT(n > 0, "Rng::below requires n > 0");
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (haveSpare_) {
+    haveSpare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  haveSpare_ = true;
+  return u * m;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  TIRESIAS_EXPECT(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below exp(-mean).
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    std::uint64_t count = 0;
+    do {
+      ++count;
+      product *= uniform();
+    } while (product > limit);
+    return count - 1;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // synthesis at high rates.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  SplitMix64 sm(next() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  Rng child(0);
+  for (auto& s : child.s_) s = sm.next();
+  return child;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  TIRESIAS_EXPECT(n > 0, "ZipfSampler requires at least one element");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  // First index whose CDF value exceeds u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+  TIRESIAS_EXPECT(i < cdf_.size(), "ZipfSampler::pmf index out of range");
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace tiresias

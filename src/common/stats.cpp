@@ -1,0 +1,102 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+void RunningMoments::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(xs.size() - 1));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  TIRESIAS_EXPECT(!xs.empty(), "quantile of empty sample");
+  TIRESIAS_EXPECT(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+std::vector<CcdfPoint> ccdf(std::vector<double> xs) {
+  TIRESIAS_EXPECT(!xs.empty(), "ccdf of empty sample");
+  std::sort(xs.begin(), xs.end());
+  std::vector<CcdfPoint> out;
+  const double n = static_cast<double>(xs.size());
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    std::size_t j = i;
+    while (j < xs.size() && xs[j] == xs[i]) ++j;
+    // P(X >= xs[i]) = (count of samples at index >= i) / n.
+    out.push_back({xs[i], static_cast<double>(xs.size() - i) / n});
+    i = j;
+  }
+  return out;
+}
+
+std::vector<CcdfPoint> ccdfLogBinned(const std::vector<double>& xs,
+                                     std::size_t bins) {
+  TIRESIAS_EXPECT(bins >= 2, "need at least two bins");
+  const auto full = ccdf(xs);
+  double minPos = 0.0;
+  for (const auto& p : full) {
+    if (p.x > 0.0) {
+      minPos = p.x;
+      break;
+    }
+  }
+  const double maxX = full.back().x;
+  if (minPos <= 0.0 || maxX <= minPos) return full;
+  std::vector<CcdfPoint> out;
+  const double logLo = std::log10(minPos);
+  const double logHi = std::log10(maxX);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double x = std::pow(
+        10.0, logLo + (logHi - logLo) * static_cast<double>(b) /
+                          static_cast<double>(bins - 1));
+    // CCDF value at the largest sample value <= x (step function).
+    double y = 1.0;
+    for (const auto& p : full) {
+      if (p.x > x) break;
+      y = p.y;
+    }
+    out.push_back({x, y});
+  }
+  return out;
+}
+
+}  // namespace tiresias

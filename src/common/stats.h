@@ -1,0 +1,55 @@
+// Descriptive statistics used throughout measurement and evaluation:
+// running moments, quantiles, and the complementary CDF plots of Fig 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tiresias {
+
+/// Welford's online mean/variance accumulator.
+class RunningMoments {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+double quantile(std::vector<double> xs, double q);
+
+/// One (x, y) point of an empirical complementary CDF: y = P(X >= x).
+struct CcdfPoint {
+  double x;
+  double y;
+};
+
+/// Empirical CCDF of the sample, evaluated at each distinct sample value
+/// (ascending x). Requires non-empty input.
+std::vector<CcdfPoint> ccdf(std::vector<double> xs);
+
+/// CCDF downsampled onto logarithmically spaced x values between the
+/// smallest positive sample and the maximum — the form plotted in Fig 1.
+std::vector<CcdfPoint> ccdfLogBinned(const std::vector<double>& xs,
+                                     std::size_t bins);
+
+}  // namespace tiresias

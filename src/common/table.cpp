@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TIRESIAS_EXPECT(!header_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::addRow(std::vector<std::string> cells) {
+  TIRESIAS_EXPECT(cells.size() == header_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::addRule() { rows_.emplace_back(); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += ' ';
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      line.append(widths[c] + 2, '-');
+      line += '+';
+    }
+    return line + "\n";
+  };
+  std::string out = rule() + renderRow(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : renderRow(row);
+  }
+  out += rule();
+  return out;
+}
+
+void AsciiTable::print(std::ostream& out) const { out << render(); }
+
+std::string fmtF(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmtPct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmtI(long long v) {
+  const bool neg = v < 0;
+  unsigned long long mag = neg ? 0ULL - static_cast<unsigned long long>(v)
+                               : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(mag);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmtG(double v, int significant) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", significant, v);
+  return buf;
+}
+
+}  // namespace tiresias

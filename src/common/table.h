@@ -1,0 +1,43 @@
+// ASCII table rendering for bench output: every bench prints the paper's
+// tables in a fixed-width layout so paper-vs-measured comparison is a
+// side-by-side read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tiresias {
+
+/// Column-aligned ASCII table. Cells are strings; numeric formatting is the
+/// caller's job (see fmt helpers below).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next added row.
+  void addRule();
+
+  /// Render with column padding and header separator.
+  std::string render() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Fixed-precision float formatting ("3.142" for (pi, 3)).
+std::string fmtF(double v, int precision = 3);
+
+/// Percentage formatting ("94.1%" for (0.941, 1)).
+std::string fmtPct(double fraction, int precision = 1);
+
+/// Integer with thousands separators ("45,479").
+std::string fmtI(long long v);
+
+/// Scientific-ish compact formatting for log-scale plot values.
+std::string fmtG(double v, int significant = 4);
+
+}  // namespace tiresias

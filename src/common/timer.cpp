@@ -1,0 +1,41 @@
+#include "common/timer.h"
+
+namespace tiresias {
+
+void StageTimer::add(const std::string& stage, double seconds) {
+  auto it = byStage_.find(stage);
+  if (it == byStage_.end()) {
+    order_.push_back(stage);
+    it = byStage_.emplace(stage, RunningMoments{}).first;
+  }
+  it->second.add(seconds);
+}
+
+double StageTimer::totalSeconds(const std::string& stage) const {
+  auto it = byStage_.find(stage);
+  if (it == byStage_.end()) return 0.0;
+  return it->second.mean() * static_cast<double>(it->second.count());
+}
+
+double StageTimer::totalSeconds() const {
+  double total = 0.0;
+  for (const auto& name : order_) total += totalSeconds(name);
+  return total;
+}
+
+double StageTimer::meanSeconds(const std::string& stage) const {
+  auto it = byStage_.find(stage);
+  return it == byStage_.end() ? 0.0 : it->second.mean();
+}
+
+double StageTimer::varianceSeconds(const std::string& stage) const {
+  auto it = byStage_.find(stage);
+  return it == byStage_.end() ? 0.0 : it->second.variance();
+}
+
+std::size_t StageTimer::samples(const std::string& stage) const {
+  auto it = byStage_.find(stage);
+  return it == byStage_.end() ? 0 : it->second.count();
+}
+
+}  // namespace tiresias

@@ -1,0 +1,70 @@
+// Wall-clock stage timing for the Table III runtime breakdown (Reading
+// Traces / Updating Hierarchies / Creating Time Series / Detecting
+// Anomalies). A StageTimer accumulates per-stage totals and per-instance
+// samples so benches can report mean and variance like the paper does.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace tiresias {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named stage durations. Stages are created on first use and
+/// remembered in first-use order for stable report layout.
+class StageTimer {
+ public:
+  /// RAII scope that adds its lifetime to a stage.
+  class Scope {
+   public:
+    Scope(StageTimer& timer, const std::string& stage)
+        : timer_(timer), stage_(stage) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { timer_.add(stage_, watch_.elapsedSeconds()); }
+
+   private:
+    StageTimer& timer_;
+    std::string stage_;
+    Stopwatch watch_;
+  };
+
+  void add(const std::string& stage, double seconds);
+
+  /// Stage names in first-use order.
+  const std::vector<std::string>& stages() const { return order_; }
+
+  double totalSeconds(const std::string& stage) const;
+  double totalSeconds() const;
+  /// Mean of the individual samples added to the stage.
+  double meanSeconds(const std::string& stage) const;
+  /// Sample variance of the individual samples.
+  double varianceSeconds(const std::string& stage) const;
+  std::size_t samples(const std::string& stage) const;
+
+ private:
+  std::vector<std::string> order_;
+  std::map<std::string, RunningMoments> byStage_;
+};
+
+}  // namespace tiresias

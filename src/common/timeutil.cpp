@@ -1,0 +1,19 @@
+#include "common/timeutil.h"
+
+#include <cstdio>
+
+namespace tiresias {
+
+std::string formatTimestamp(Timestamp t) {
+  const Timestamp day = timeUnitOf(t, kDay);
+  const Duration sod = secondOfDay(t);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "day%+lld %02lld:%02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(sod / kHour),
+                static_cast<long long>((sod % kHour) / kMinute),
+                static_cast<long long>(sod % kMinute));
+  return buf;
+}
+
+}  // namespace tiresias

@@ -1,0 +1,55 @@
+// Time representation shared across the library.
+//
+// Operational records carry second-resolution timestamps (the paper's data
+// arrives "on the order of minutes"). We model time as seconds from an
+// arbitrary epoch; workloads use a synthetic calendar where the epoch is
+// midnight on a configurable weekday so diurnal/weekly seasonality is
+// well-defined without pulling in timezone machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tiresias {
+
+/// Seconds since the synthetic epoch.
+using Timestamp = std::int64_t;
+/// A duration in seconds.
+using Duration = std::int64_t;
+/// Index of a timeunit of size delta: unit = floor(t / delta).
+using TimeUnit = std::int64_t;
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 3600;
+inline constexpr Duration kDay = 86400;
+inline constexpr Duration kWeek = 7 * kDay;
+
+/// Floor division that is correct for negative timestamps too.
+constexpr TimeUnit timeUnitOf(Timestamp t, Duration delta) {
+  const TimeUnit q = t / delta;
+  return (t % delta != 0 && ((t < 0) != (delta < 0))) ? q - 1 : q;
+}
+
+/// Start timestamp of a timeunit.
+constexpr Timestamp unitStart(TimeUnit unit, Duration delta) {
+  return unit * delta;
+}
+
+/// Seconds into the current day, in [0, kDay).
+constexpr Duration secondOfDay(Timestamp t) {
+  const Duration r = t % kDay;
+  return r < 0 ? r + kDay : r;
+}
+
+/// Day index within the week, in [0, 7). Day 0 is the epoch's weekday.
+constexpr int dayOfWeek(Timestamp t) {
+  const Timestamp d = timeUnitOf(t, kDay);
+  const Timestamp r = d % 7;
+  return static_cast<int>(r < 0 ? r + 7 : r);
+}
+
+/// Human-readable "d HH:MM:SS" rendering for logs and examples.
+std::string formatTimestamp(Timestamp t);
+
+}  // namespace tiresias

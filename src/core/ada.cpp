@@ -1,0 +1,438 @@
+#include "core/ada.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+AdaDetector::AdaDetector(const Hierarchy& hierarchy, DetectorConfig config)
+    : hierarchy_(hierarchy),
+      config_(std::move(config)),
+      splitRules_(config_.splitRule, config_.splitEwmaAlpha) {
+  TIRESIAS_EXPECT(config_.windowLength >= 2, "window length must be >= 2");
+  TIRESIAS_EXPECT(config_.forecasterFactory != nullptr,
+                  "forecaster factory is required");
+}
+
+AdaDetector::~AdaDetector() = default;
+
+std::optional<InstanceResult> AdaDetector::step(const TimeUnitBatch& batch) {
+  newestUnit_ = batch.unit;
+  if (!bootstrapped_) {
+    bootstrapInstance(batch);
+    if (bootstrapUnits_.size() < config_.windowLength) return std::nullopt;
+    finishBootstrap();
+    // The bootstrap instance itself also reports a detection result.
+  } else {
+    return adaptiveInstance(batch);
+  }
+
+  // First detection result (end of bootstrap).
+  InstanceResult result;
+  result.unit = newestUnit_;
+  {
+    StageTimer::Scope scope(stages_, kStageDetect);
+    result.shhh = currentShhh();
+    for (NodeId n : result.shhh) {
+      const auto& st = states_.at(n);
+      const double actual = st.actual.latest();
+      const double forecast = st.forecastSeries.latest();
+      if (isAnomalous(actual, forecast, config_.ratioThreshold,
+                      config_.diffThreshold)) {
+        result.anomalies.push_back(
+            {n, newestUnit_, actual, forecast, anomalyRatio(actual, forecast)});
+      }
+    }
+  }
+  return result;
+}
+
+void AdaDetector::bootstrapInstance(const TimeUnitBatch& batch) {
+  StageTimer::Scope scope(stages_, kStageUpdateHierarchies);
+  CountMap counts;
+  counts.reserve(batch.records.size());
+  for (const auto& r : batch.records) counts[r.category] += 1.0;
+  bootstrapUnits_.push_back(std::move(counts));
+}
+
+void AdaDetector::finishBootstrap() {
+  StageTimer::Scope scope(stages_, kStageCreateSeries);
+  // One STA-style reconstruction (Fig 5 lines 2-5).
+  const auto shhhResult =
+      computeShhh(hierarchy_, bootstrapUnits_.back(), config_.theta);
+  const auto& shhh = shhhResult.shhh;
+
+  const auto series =
+      modifiedSeriesFixedSet(hierarchy_, bootstrapUnits_, shhh);
+  for (const auto& [node, actual] : series) {
+    SeriesState st;
+    st.actual = RingSeries(config_.windowLength);
+    st.forecastSeries = RingSeries(config_.windowLength);
+    st.model = config_.forecasterFactory->make();
+    for (double v : actual) {
+      st.forecastSeries.push(st.model->forecast());
+      st.actual.push(v);
+      st.model->update(v);
+    }
+    states_.emplace(node, std::move(st));
+  }
+  rootIsMember_ =
+      std::binary_search(shhh.begin(), shhh.end(), hierarchy_.root());
+
+  // Reference series for the root and depths 2..h+1 (§V-B5).
+  std::vector<NodeId> refNodes{hierarchy_.root()};
+  for (std::size_t h = 0; h < config_.referenceLevels; ++h) {
+    for (NodeId n : hierarchy_.nodesAtDepth(static_cast<int>(h) + 2)) {
+      refNodes.push_back(n);
+    }
+  }
+  const auto rawHist = rawSeries(hierarchy_, bootstrapUnits_, refNodes);
+  for (const auto& [node, hist] : rawHist) {
+    RefState ref;
+    ref.actual = RingSeries(config_.windowLength);
+    ref.forecastSeries = RingSeries(config_.windowLength);
+    ref.model = config_.forecasterFactory->make();
+    for (double v : hist) {
+      ref.forecastSeries.push(ref.model->forecast());
+      ref.actual.push(v);
+      ref.model->update(v);
+    }
+    refs_.emplace(node, std::move(ref));
+  }
+
+  // Seed the split-rule statistics with the bootstrap history.
+  for (const auto& unit : bootstrapUnits_) {
+    const auto touched = computeShhh(hierarchy_, unit, config_.theta).touched;
+    std::vector<std::pair<NodeId, double>> raws;
+    raws.reserve(touched.size());
+    for (const auto& t : touched) raws.emplace_back(t.node, t.raw);
+    splitRules_.observeInstance(raws);
+  }
+
+  bootstrapUnits_.clear();
+  bootstrapUnits_.shrink_to_fit();
+  bootstrapped_ = true;
+}
+
+AdaDetector::SeriesState AdaDetector::makeScaledCopy(const SeriesState& src,
+                                                     double ratio) const {
+  SeriesState out;
+  out.actual = src.actual;
+  out.actual.scale(ratio);
+  out.forecastSeries = src.forecastSeries;
+  out.forecastSeries.scale(ratio);
+  out.model = src.model->clone();
+  out.model->scale(ratio);
+  return out;
+}
+
+void AdaDetector::split(NodeId n) {
+  // C_n: children not currently holding membership (Fig 7 line 1).
+  std::vector<NodeId> group;
+  bool weightTrigger = false;
+  bool chainTrigger = false;
+  for (NodeId c : hierarchy_.children(n)) {
+    if (isMember(c)) continue;
+    group.push_back(c);
+    auto wit = weight_.find(c);
+    const double w = wit == weight_.end() ? 0.0 : wit->second;
+    if (w >= config_.theta) weightTrigger = true;
+    // Deviation 1 (DESIGN.md): a pending tosplit also triggers, so heavy
+    // hitters hidden multiple levels down still receive a series.
+    if (tosplit_.count(c)) chainTrigger = true;
+  }
+  if ((!weightTrigger && !chainTrigger) || group.empty()) return;
+  ++splitCount_;
+  if (!weightTrigger) ++deepChainSplitCount_;
+
+  const auto& st = states_.at(n);
+  const auto ratios = splitRules_.ratios(group);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    SeriesState child = makeScaledCopy(st, ratios[i]);
+    states_.insert_or_assign(group[i], std::move(child));
+    received_.insert(group[i]);
+  }
+  if (n == hierarchy_.root()) {
+    // The root always keeps a series object for future splits; its
+    // residual history is rebuilt from the root reference series in the
+    // correction phase.
+    rootIsMember_ = false;
+    received_.insert(n);
+  } else {
+    states_.erase(n);
+    received_.erase(n);
+  }
+}
+
+void AdaDetector::mergeGroupOf(NodeId n) {
+  // Gather C_n = members among {parent} ∪ siblings with W < θ (Fig 8).
+  const NodeId np = hierarchy_.parent(n);
+  TIRESIAS_EXPECT(np != kInvalidNode, "root does not merge");
+  auto weightOf = [&](NodeId id) {
+    auto it = weight_.find(id);
+    return it == weight_.end() ? 0.0 : it->second;
+  };
+  std::vector<NodeId> group;
+  for (NodeId c : hierarchy_.children(np)) {
+    if (isMember(c) && weightOf(c) < config_.theta) group.push_back(c);
+  }
+  TIRESIAS_EXPECT(!group.empty(), "merge group must contain the trigger");
+  ++mergeCount_;
+
+  // Sum the group's states; start from the parent's own state if it holds
+  // one (whether or not it is part of the below-θ group). For the root
+  // this folds into its permanent series state.
+  SeriesState acc;
+  bool accInit = false;
+  if (holds(np)) {
+    acc = std::move(states_.at(np));
+    accInit = true;
+  }
+  for (NodeId c : group) {
+    auto& cs = states_.at(c);
+    if (!accInit) {
+      acc = std::move(cs);
+      accInit = true;
+    } else {
+      acc.actual.addFrom(cs.actual);
+      acc.forecastSeries.addFrom(cs.forecastSeries);
+      acc.model->addFrom(*cs.model);
+    }
+    states_.erase(c);
+    received_.erase(c);
+  }
+  states_.insert_or_assign(np, std::move(acc));
+  received_.insert(np);
+  if (np == hierarchy_.root()) rootIsMember_ = true;
+}
+
+bool AdaDetector::correctFromRef(NodeId n) {
+  if (!holds(n)) return false;
+  auto refIt = refs_.find(n);
+  if (refIt == refs_.end()) return false;
+
+  // T[n] := T_REF[n] − Σ T[d] over member heavy-hitter descendants d.
+  RingSeries actual = refIt->second.actual;
+  RingSeries forecast = refIt->second.forecastSeries;
+  auto model = refIt->second.model->clone();
+  for (auto it = states_.upper_bound(n); it != states_.end(); ++it) {
+    const NodeId d = it->first;
+    if (!hierarchy_.isAncestorOrEqual(n, d)) continue;
+    if (!isMember(d)) continue;
+    auto neg = it->second.model->clone();
+    neg->scale(-1.0);
+    model->addFrom(*neg);
+    RingSeries negActual = it->second.actual;
+    negActual.scale(-1.0);
+    actual.addFrom(negActual);
+    RingSeries negForecast = it->second.forecastSeries;
+    negForecast.scale(-1.0);
+    forecast.addFrom(negForecast);
+  }
+  auto& st = states_.at(n);
+  st.actual = std::move(actual);
+  st.forecastSeries = std::move(forecast);
+  st.model = std::move(model);
+  return true;
+}
+
+void AdaDetector::applyReferenceCorrections() {
+  if (received_.empty()) return;
+  // Deepest first so corrected descendants feed ancestors' corrections.
+  std::vector<NodeId> targets(received_.begin(), received_.end());
+  std::sort(targets.begin(), targets.end(), std::greater<NodeId>());
+  for (NodeId n : targets) correctFromRef(n);
+}
+
+std::optional<InstanceResult> AdaDetector::adaptiveInstance(
+    const TimeUnitBatch& batch) {
+  // ---- Stage: Updating Hierarchies (Fig 5 lines 6-12) ----
+  std::vector<NodeId> touched;
+  {
+    StageTimer::Scope scope(stages_, kStageUpdateHierarchies);
+    raw_.clear();
+    weight_.clear();
+    tosplit_.clear();
+    received_.clear();
+
+    CountMap counts;
+    counts.reserve(batch.records.size());
+    for (const auto& r : batch.records) counts[r.category] += 1.0;
+    const auto result = computeShhh(hierarchy_, counts, config_.theta);
+    touched.reserve(result.touched.size());
+    for (const auto& t : result.touched) {
+      raw_[t.node] = t.raw;
+      weight_[t.node] = t.modified;
+      touched.push_back(t.node);
+    }
+    // `touched` comes back ascending; descending is bottom-up.
+  }
+
+  auto freshHeavy = [&](NodeId n) {
+    auto it = weight_.find(n);
+    return it != weight_.end() && it->second >= config_.theta;
+  };
+
+  // ---- Stage: Creating Time Series (Fig 5 lines 13-29) ----
+  {
+    StageTimer::Scope scope(stages_, kStageCreateSeries);
+
+    // Bottom-up tosplit marking (lines 13-17): a node that needs a series
+    // but has none asks its parent to split.
+    for (auto it = touched.rbegin(); it != touched.rend(); ++it) {
+      const NodeId n = *it;
+      if (n == hierarchy_.root()) continue;
+      if ((freshHeavy(n) || tosplit_.count(n)) && !isMember(n)) {
+        tosplit_.insert(hierarchy_.parent(n));
+      }
+    }
+
+    // Top-down splits (lines 18-20). tosplit_ was fully determined above,
+    // so an ascending sweep visits parents before children.
+    if (!tosplit_.empty()) {
+      std::vector<NodeId> splitters(tosplit_.begin(), tosplit_.end());
+      std::sort(splitters.begin(), splitters.end());
+      for (NodeId n : splitters) {
+        if (isMember(n) || n == hierarchy_.root()) {
+          // If this node itself received a share earlier in the sweep and
+          // a reference series is available, repair its history before
+          // distributing it further down (§V-B5 applies corrections at
+          // split time).
+          if (received_.count(n)) correctFromRef(n);
+          split(n);
+        }
+      }
+    }
+
+    // Bottom-up merges (lines 21-23): members that are no longer heavy
+    // fold into their parent; cascades handled by a descending worklist.
+    {
+      std::set<NodeId, std::greater<NodeId>> worklist;
+      for (const auto& [n, st] : states_) {
+        (void)st;
+        if (n != hierarchy_.root() && isMember(n) && !freshHeavy(n)) {
+          worklist.insert(n);
+        }
+      }
+      while (!worklist.empty()) {
+        const NodeId n = *worklist.begin();
+        worklist.erase(worklist.begin());
+        if (!isMember(n) || freshHeavy(n)) continue;
+        const NodeId np = hierarchy_.parent(n);
+        mergeGroupOf(n);
+        if (np != kInvalidNode && np != hierarchy_.root() &&
+            !freshHeavy(np)) {
+          worklist.insert(np);
+        }
+      }
+    }
+
+    // Root membership by weight (lines 24-25).
+    rootIsMember_ = freshHeavy(hierarchy_.root());
+
+    // Reference-series repair of split/merge bias (§V-B5).
+    applyReferenceCorrections();
+
+    if (config_.validateShhh) {
+      // Lemma 1 cross-check: holders (modulo the root flag) must equal the
+      // fresh Definition-2 set.
+      for (const auto& [n, st] : states_) {
+        (void)st;
+        if (n == hierarchy_.root()) continue;
+        TIRESIAS_EXPECT(freshHeavy(n), "holder is not a fresh heavy hitter");
+      }
+      for (NodeId n : touched) {
+        TIRESIAS_EXPECT(!freshHeavy(n) || isMember(n),
+                        "fresh heavy hitter lacks a series");
+      }
+    }
+
+    // Append the fresh W_n and advance forecasts (lines 26-29). The root
+    // appends even when not a member so its series stays current.
+    for (auto& [n, st] : states_) {
+      auto wit = weight_.find(n);
+      const double w = wit == weight_.end() ? 0.0 : wit->second;
+      st.forecastSeries.push(st.model->forecast());
+      st.actual.push(w);
+      st.model->update(w);
+    }
+    // Reference series track raw aggregates unconditionally.
+    for (auto& [n, ref] : refs_) {
+      auto rit = raw_.find(n);
+      const double a = rit == raw_.end() ? 0.0 : rit->second;
+      ref.forecastSeries.push(ref.model->forecast());
+      ref.actual.push(a);
+      ref.model->update(a);
+    }
+    // Split-rule statistics absorb this instance *after* adaptation.
+    std::vector<std::pair<NodeId, double>> raws;
+    raws.reserve(raw_.size());
+    for (const auto& [n, a] : raw_) raws.emplace_back(n, a);
+    splitRules_.observeInstance(raws);
+  }
+
+  // ---- Stage: Detecting Anomalies (Definition 4) ----
+  InstanceResult result;
+  result.unit = newestUnit_;
+  {
+    StageTimer::Scope scope(stages_, kStageDetect);
+    result.shhh = currentShhh();
+    for (NodeId n : result.shhh) {
+      const auto& st = states_.at(n);
+      const double actual = st.actual.latest();
+      const double forecast = st.forecastSeries.latest();
+      if (isAnomalous(actual, forecast, config_.ratioThreshold,
+                      config_.diffThreshold)) {
+        result.anomalies.push_back(
+            {n, newestUnit_, actual, forecast, anomalyRatio(actual, forecast)});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> AdaDetector::currentShhh() const {
+  std::vector<NodeId> out;
+  out.reserve(states_.size());
+  for (const auto& [n, st] : states_) {
+    (void)st;
+    if (isMember(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<double> AdaDetector::seriesOf(NodeId node) const {
+  auto it = states_.find(node);
+  return it == states_.end() ? std::vector<double>{}
+                             : it->second.actual.toVector();
+}
+
+std::vector<double> AdaDetector::forecastSeriesOf(NodeId node) const {
+  auto it = states_.find(node);
+  return it == states_.end() ? std::vector<double>{}
+                             : it->second.forecastSeries.toVector();
+}
+
+MemoryStats AdaDetector::memoryStats() const {
+  MemoryStats stats;
+  stats.seriesCount = states_.size() * 2;
+  for (const auto& [n, st] : states_) {
+    (void)n;
+    stats.seriesValues += st.actual.size() + st.forecastSeries.size();
+  }
+  stats.refSeriesCount = refs_.size() * 2;
+  for (const auto& [n, ref] : refs_) {
+    (void)n;
+    stats.refSeriesValues += ref.actual.size() + ref.forecastSeries.size();
+  }
+  // One resident tree's worth of per-node bookkeeping: the touched maps
+  // plus split-rule statistics.
+  stats.treeNodesStored = raw_.size() + splitRules_.trackedNodes();
+  stats.bytesEstimate =
+      (stats.seriesValues + stats.refSeriesValues) * sizeof(double) +
+      stats.treeNodesStored * (sizeof(NodeId) + sizeof(double));
+  return stats;
+}
+
+}  // namespace tiresias

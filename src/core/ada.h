@@ -1,0 +1,121 @@
+// ADA — the adaptive low-complexity detection scheme (§V-B, Figs 5-8).
+//
+// ADA maintains a single tree worth of state. Per instance it:
+//   1. computes fresh raw aggregates A_n and Definition-2 modified weights
+//      W_n for the nodes touched by the new timeunit (Fig 6);
+//   2. adapts the *positions* of the series-holding nodes with top-down
+//      SPLIT (Fig 7) and bottom-up MERGE (Fig 8) operations so the holders
+//      equal the fresh SHHH set (Lemma 1), moving each series' ring buffers
+//      and Holt-Winters state by the linear scale/add operations that
+//      Lemma 2 licenses;
+//   3. repairs split-induced history bias from reference time series kept
+//      for the top h levels (§V-B5);
+//   4. appends W_n to every holder's series, produces the forecast, and
+//      applies the Definition-4 anomaly test.
+//
+// The first ℓ timeunits are a bootstrap phase that buffers per-unit counts
+// and then performs one STA-style reconstruction (Fig 5 lines 2-5).
+//
+// Documented deviations from the paper's pseudocode (see DESIGN.md,
+// "Faithful-intent corrections"): SPLIT also fires on a pending child
+// tosplit flag so deep new heavy hitters are reachable, series values are
+// always the exact fresh W_n, and merge-received nodes are reference-
+// corrected like split-received ones.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "core/detector.h"
+#include "core/shhh.h"
+#include "core/split_rules.h"
+#include "timeseries/ring.h"
+
+namespace tiresias {
+
+class AdaDetector final : public Detector {
+ public:
+  AdaDetector(const Hierarchy& hierarchy, DetectorConfig config);
+  ~AdaDetector() override;
+
+  std::optional<InstanceResult> step(const TimeUnitBatch& batch) override;
+  std::vector<NodeId> currentShhh() const override;
+  std::vector<double> seriesOf(NodeId node) const override;
+  std::vector<double> forecastSeriesOf(NodeId node) const override;
+  MemoryStats memoryStats() const override;
+
+  const Hierarchy& hierarchy() const { return hierarchy_; }
+
+  /// Number of split/merge operations performed so far (diagnostics and
+  /// the Fig 12 / §VII-A discussion of how split frequency drives error).
+  std::size_t splitCount() const { return splitCount_; }
+  std::size_t mergeCount() const { return mergeCount_; }
+  /// Splits triggered *only* by a pending child tosplit flag — the deep-
+  /// chain case the paper's Fig 7 guard misses (DESIGN.md deviation 1).
+  /// Nonzero values on real workloads show the correction is load-bearing.
+  std::size_t deepChainSplitCount() const { return deepChainSplitCount_; }
+
+ private:
+  /// Series + forecaster state bound to one heavy hitter.
+  struct SeriesState {
+    RingSeries actual;
+    RingSeries forecastSeries;
+    std::unique_ptr<Forecaster> model;
+  };
+
+  /// Reference (unmodified-weight) series for a top-level node (§V-B5).
+  struct RefState {
+    RingSeries actual;
+    RingSeries forecastSeries;
+    std::unique_ptr<Forecaster> model;
+  };
+
+  void bootstrapInstance(const TimeUnitBatch& batch);
+  void finishBootstrap();
+  std::optional<InstanceResult> adaptiveInstance(const TimeUnitBatch& batch);
+
+  void split(NodeId n);
+  void mergeGroupOf(NodeId n);
+  /// Replace n's series with T_REF[n] − Σ member-descendant series, if a
+  /// reference series exists. Returns true if a correction was applied.
+  bool correctFromRef(NodeId n);
+  void applyReferenceCorrections();
+  SeriesState makeScaledCopy(const SeriesState& src, double ratio) const;
+
+  bool holds(NodeId n) const { return states_.count(n) != 0; }
+  bool isMember(NodeId n) const {
+    return holds(n) && (n != hierarchy_.root() || rootIsMember_);
+  }
+
+  const Hierarchy& hierarchy_;
+  DetectorConfig config_;
+  SplitRuleEngine splitRules_;
+
+  // --- bootstrap phase ---
+  bool bootstrapped_ = false;
+  std::vector<CountMap> bootstrapUnits_;
+
+  // --- adaptive phase ---
+  TimeUnit newestUnit_ = 0;
+  /// Series holders. Presence == SHHH membership, except the root which
+  /// always holds a series and carries an explicit membership flag
+  /// (Fig 5 lines 24-25).
+  std::map<NodeId, SeriesState> states_;
+  bool rootIsMember_ = false;
+  /// Reference series for nodes of depth 2..h+1, plus the root.
+  std::map<NodeId, RefState> refs_;
+
+  // Per-instance scratch (cleared each step).
+  std::unordered_map<NodeId, double> raw_;       // A_n of touched nodes
+  std::unordered_map<NodeId, double> weight_;    // W_n of touched nodes
+  std::unordered_set<NodeId> tosplit_;
+  std::unordered_set<NodeId> received_;  // nodes that acquired a series
+
+  std::size_t splitCount_ = 0;
+  std::size_t mergeCount_ = 0;
+  std::size_t deepChainSplitCount_ = 0;
+};
+
+}  // namespace tiresias

@@ -1,0 +1,21 @@
+#include "core/detector.h"
+
+#include <limits>
+
+namespace tiresias {
+
+bool isAnomalous(double actual, double forecast, double ratioThreshold,
+                 double diffThreshold) {
+  if (actual - forecast <= diffThreshold) return false;
+  if (forecast <= 0.0) return actual > 0.0;
+  return actual / forecast > ratioThreshold;
+}
+
+double anomalyRatio(double actual, double forecast) {
+  if (forecast <= 0.0) {
+    return actual > 0.0 ? std::numeric_limits<double>::max() : 0.0;
+  }
+  return actual / forecast;
+}
+
+}  // namespace tiresias

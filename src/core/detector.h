@@ -1,0 +1,87 @@
+// Detector interface shared by STA and ADA, plus the Definition-4 anomaly
+// judgment.
+//
+// A detector consumes one TimeUnitBatch per step. While the ℓ-unit history
+// window is still filling it returns nothing; once warm, every step yields
+// an InstanceResult for the newest (detection) timeunit. Stage timings are
+// accumulated under the paper's Table III stage names so benches can print
+// the same breakdown.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/types.h"
+#include "stream/window.h"
+#include "timeseries/forecaster.h"
+
+namespace tiresias {
+
+/// Detector configuration (paper §VII "System parameters").
+struct DetectorConfig {
+  /// Heavy-hitter threshold θ (Definition 1/2). Must be positive.
+  double theta = 5.0;
+  /// Time-series window length ℓ, in timeunits (paper default: 8064 =
+  /// 12 weeks of 15-minute units).
+  std::size_t windowLength = 0;
+  /// Sensitivity thresholds of Definition 4 (paper: RT=2.8, DT=8).
+  double ratioThreshold = 2.8;
+  double diffThreshold = 8.0;
+  /// Split heuristic and its EWMA smoothing rate (§V-B4). ADA only.
+  SplitRule splitRule = SplitRule::kLongTermHistory;
+  double splitEwmaAlpha = 0.4;
+  /// Number of reference-series levels h below the root (§V-B5). ADA only.
+  /// The root's raw series is always maintained.
+  std::size_t referenceLevels = 2;
+  /// Forecasting model for heavy-hitter series. Required.
+  std::shared_ptr<const ForecasterFactory> forecasterFactory;
+  /// When true, ADA cross-checks its adapted SHHH set against the
+  /// Definition-2 ground truth every instance (tests; costs one
+  /// computeShhh per step).
+  bool validateShhh = false;
+};
+
+/// Definition 4: anomalous iff T/F > RT and T − F > DT. A non-positive
+/// forecast with positive actual counts as an infinite ratio.
+bool isAnomalous(double actual, double forecast, double ratioThreshold,
+                 double diffThreshold);
+
+/// Ratio score reported in Anomaly::ratio (capped for F <= 0).
+double anomalyRatio(double actual, double forecast);
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Consume the next timeunit; a result is produced for every unit once
+  /// the history window is full.
+  virtual std::optional<InstanceResult> step(const TimeUnitBatch& batch) = 0;
+
+  /// Current SHHH set (ascending ids). Empty before the window fills.
+  virtual std::vector<NodeId> currentShhh() const = 0;
+
+  /// The node's current modified-weight series (oldest first), or empty if
+  /// the node holds no series in the current instance.
+  virtual std::vector<double> seriesOf(NodeId node) const = 0;
+
+  /// The node's current forecast series (oldest first), aligned with
+  /// seriesOf; empty if the node holds no series.
+  virtual std::vector<double> forecastSeriesOf(NodeId node) const = 0;
+
+  virtual MemoryStats memoryStats() const = 0;
+
+  StageTimer& stages() { return stages_; }
+  const StageTimer& stages() const { return stages_; }
+
+ protected:
+  StageTimer stages_;
+};
+
+/// Stage names used by both detectors (Table III rows).
+inline constexpr const char* kStageUpdateHierarchies = "Updating Hierarchies";
+inline constexpr const char* kStageCreateSeries = "Creating Time Series";
+inline constexpr const char* kStageDetect = "Detecting Anomalies";
+
+}  // namespace tiresias

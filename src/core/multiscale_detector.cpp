@@ -1,0 +1,41 @@
+#include "core/multiscale_detector.h"
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+SlidingScaleDetector::SlidingScaleDetector(const Hierarchy& hierarchy,
+                                           DetectorConfig fine,
+                                           SlidingScaleConfig scale)
+    : ada_(hierarchy, std::move(fine)), scale_(scale) {
+  TIRESIAS_EXPECT(scale_.lambda >= 1, "lambda must be at least 1");
+}
+
+std::optional<InstanceResult> SlidingScaleDetector::step(
+    const TimeUnitBatch& batch) {
+  auto fineResult = ada_.step(batch);
+  if (!fineResult) return std::nullopt;
+
+  InstanceResult coarse;
+  coarse.unit = fineResult->unit;
+  coarse.shhh = fineResult->shhh;
+  for (NodeId n : coarse.shhh) {
+    const auto actual = ada_.seriesOf(n);
+    const auto forecast = ada_.forecastSeriesOf(n);
+    if (actual.size() < scale_.lambda) continue;
+    double coarseActual = 0.0, coarseForecast = 0.0;
+    for (std::size_t j = 0; j < scale_.lambda; ++j) {
+      coarseActual += actual[actual.size() - 1 - j];
+      coarseForecast += forecast[forecast.size() - 1 - j];
+    }
+    if (isAnomalous(coarseActual, coarseForecast, scale_.ratioThreshold,
+                    scale_.diffThreshold)) {
+      coarse.anomalies.push_back({n, coarse.unit, coarseActual,
+                                  coarseForecast,
+                                  anomalyRatio(coarseActual, coarseForecast)});
+    }
+  }
+  return coarse;
+}
+
+}  // namespace tiresias

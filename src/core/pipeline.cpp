@@ -1,0 +1,85 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+TiresiasPipeline::TiresiasPipeline(const Hierarchy& hierarchy,
+                                   PipelineConfig config)
+    : hierarchy_(hierarchy), config_(std::move(config)) {
+  TIRESIAS_EXPECT(config_.detector.windowLength >= 2,
+                  "window length must be >= 2");
+  TIRESIAS_EXPECT(config_.delta > 0, "delta must be positive");
+  nextStart_ = config_.startTime;
+}
+
+void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
+                                     RunSummary& summary) {
+  DetectorConfig cfg = config_.detector;
+  if (!cfg.forecasterFactory) {
+    // Step 3: offline seasonality analysis on the first window's root
+    // counts, as the paper does ("we perform the data seasonality analysis
+    // ... only in the first time instance"). Windows too short or too flat
+    // for spectral analysis degrade to a trend-only model.
+    std::vector<SeasonSpec> seasons;
+    const bool flat =
+        rootSeries.empty() ||
+        std::all_of(rootSeries.begin(), rootSeries.end(),
+                    [&](double v) { return v == rootSeries.front(); });
+    if (rootSeries.size() >= 16 && !flat) {
+      SeasonalityOptions opts;
+      opts.candidatePeriods = config_.candidatePeriods;
+      opts.maxSeasons = config_.maxSeasons;
+      seasons = analyzeSeasonality(rootSeries, opts).seasons;
+    }
+    summary.seasons = seasons;
+    cfg.forecasterFactory = std::make_shared<HoltWintersFactory>(
+        config_.hwParams, std::move(seasons));
+  }
+  if (config_.useAda) {
+    detector_ = std::make_unique<AdaDetector>(hierarchy_, cfg);
+  } else {
+    detector_ = std::make_unique<StaDetector>(hierarchy_, cfg);
+  }
+}
+
+RunSummary TiresiasPipeline::run(RecordSource& source,
+                                 const ResultCallback& onResult) {
+  RunSummary summary;
+  TimeUnitBatcher batcher(source, config_.delta, nextStart_);
+  const std::size_t window = config_.detector.windowLength;
+
+  auto deliver = [&](const TimeUnitBatch& batch) {
+    if (auto result = detector_->step(batch)) {
+      ++summary.instancesDetected;
+      summary.anomaliesReported += result->anomalies.size();
+      if (onResult) onResult(*result);
+    }
+  };
+
+  while (auto batch = batcher.next()) {
+    ++summary.unitsProcessed;
+    summary.recordsProcessed += batch->records.size();
+    nextStart_ = unitStart(batch->unit + 1, config_.delta);
+    if (!detector_) {
+      // Warm-up spans run() calls: buffer until one full window of root
+      // counts is available for the Step 3 seasonality analysis.
+      warmupRootCounts_.push_back(
+          static_cast<double>(batch->records.size()));
+      warmup_.push_back(std::move(*batch));
+      if (warmup_.size() < window) continue;
+      buildDetector(warmupRootCounts_, summary);
+      for (const auto& buffered : warmup_) deliver(buffered);
+      warmup_.clear();
+      warmup_.shrink_to_fit();
+      warmupRootCounts_.clear();
+      continue;
+    }
+    deliver(*batch);
+  }
+  return summary;
+}
+
+}  // namespace tiresias

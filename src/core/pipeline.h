@@ -1,0 +1,78 @@
+// TiresiasPipeline — the back end of Fig 3 wired end-to-end:
+// Step 1 timeunit batching, Step 2 heavy-hitter detection + time series,
+// Step 3 offline seasonality analysis on the first window, Steps 4-5
+// forecasting, anomaly detection and reporting, Step 6 streaming until the
+// source is exhausted.
+//
+// The pipeline owns the detector; callers receive every InstanceResult via
+// a callback (report::AnomalyStore provides a convenient sink).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "analysis/seasonality.h"
+#include "core/ada.h"
+#include "core/sta.h"
+
+namespace tiresias {
+
+struct PipelineConfig {
+  /// Detector configuration. If forecasterFactory is null, the pipeline
+  /// builds a Holt-Winters factory from the seasonality analysis of the
+  /// first window (Step 3); otherwise the given factory is used as-is.
+  DetectorConfig detector;
+  /// Timeunit size Δ (seconds). Paper default: 15 minutes.
+  Duration delta = 15 * kMinute;
+  /// First timestamp of interest (records before it are dropped).
+  Timestamp startTime = 0;
+  /// Use ADA (true) or the STA strawman (false).
+  bool useAda = true;
+  /// Holt-Winters smoothing for the derived factory.
+  HoltWintersParams hwParams;
+  /// Candidate seasonal periods in timeunits for Step 3 (e.g. {96, 672}
+  /// for day/week at 15-minute units). Empty = automatic peak picking.
+  std::vector<std::size_t> candidatePeriods;
+  std::size_t maxSeasons = 2;
+};
+
+struct RunSummary {
+  std::size_t unitsProcessed = 0;
+  std::size_t recordsProcessed = 0;
+  std::size_t instancesDetected = 0;
+  std::size_t anomaliesReported = 0;
+  /// The seasonality chosen in Step 3 (empty when a factory was supplied).
+  std::vector<SeasonSpec> seasons;
+};
+
+class TiresiasPipeline {
+ public:
+  using ResultCallback = std::function<void(const InstanceResult&)>;
+
+  TiresiasPipeline(const Hierarchy& hierarchy, PipelineConfig config);
+
+  /// Stream the whole source through the detector. The callback fires once
+  /// per detection instance (after the warm-up window fills). run() may be
+  /// called repeatedly with successive sources (live operation, Step 6);
+  /// batching resumes after the last processed timeunit.
+  RunSummary run(RecordSource& source, const ResultCallback& onResult);
+
+  /// The live detector (valid during/after run), e.g. for memory stats.
+  Detector* detector() { return detector_.get(); }
+  const Detector* detector() const { return detector_.get(); }
+
+ private:
+  void buildDetector(const std::vector<double>& rootSeries,
+                     RunSummary& summary);
+
+  const Hierarchy& hierarchy_;
+  PipelineConfig config_;
+  std::unique_ptr<Detector> detector_;
+  /// Where the next run() resumes batching (advances past processed units).
+  Timestamp nextStart_ = 0;
+  /// Warm-up state carried across run() calls until the window fills.
+  std::vector<TimeUnitBatch> warmup_;
+  std::vector<double> warmupRootCounts_;
+};
+
+}  // namespace tiresias

@@ -1,0 +1,122 @@
+#include "core/shhh.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace tiresias {
+namespace {
+
+/// Collect the union of the counted nodes and all their ancestors, sorted
+/// descending (BFS ids make descending order a valid bottom-up order).
+std::vector<NodeId> touchedBottomUp(const Hierarchy& hierarchy,
+                                    const CountMap& counts) {
+  std::vector<NodeId> touched;
+  touched.reserve(counts.size() * 2 + 1);
+  std::unordered_map<NodeId, bool> seen;
+  for (const auto& [node, weight] : counts) {
+    (void)weight;
+    for (NodeId cur = node; cur != kInvalidNode;
+         cur = hierarchy.parent(cur)) {
+      if (seen.emplace(cur, true).second) {
+        touched.push_back(cur);
+      } else {
+        break;  // the rest of the chain is already present
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end(), std::greater<NodeId>());
+  return touched;
+}
+
+}  // namespace
+
+ShhhResult computeShhh(const Hierarchy& hierarchy, const CountMap& counts,
+                       double theta) {
+  TIRESIAS_EXPECT(theta > 0.0, "theta must be positive");
+  ShhhResult result;
+  const auto touched = touchedBottomUp(hierarchy, counts);
+  if (touched.empty()) return result;
+
+  std::unordered_map<NodeId, double> raw, modified;
+  raw.reserve(touched.size());
+  modified.reserve(touched.size());
+  for (const auto& [node, weight] : counts) {
+    raw[node] += weight;
+    modified[node] += weight;
+  }
+
+  result.touched.reserve(touched.size());
+  for (NodeId n : touched) {
+    const double a = raw[n];
+    const double w = modified[n];
+    const bool heavy = w >= theta;
+    result.touched.push_back({n, a, w, heavy});
+    const NodeId p = hierarchy.parent(n);
+    if (p != kInvalidNode) {
+      raw[p] += a;
+      if (!heavy) modified[p] += w;  // Definition 2: HH children discounted
+    }
+    if (heavy) result.shhh.push_back(n);
+  }
+  std::reverse(result.touched.begin(), result.touched.end());
+  std::reverse(result.shhh.begin(), result.shhh.end());
+  return result;
+}
+
+std::unordered_map<NodeId, std::vector<double>> modifiedSeriesFixedSet(
+    const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
+    const std::vector<NodeId>& fixedSet) {
+  std::unordered_map<NodeId, bool> inSet;
+  inSet.reserve(fixedSet.size());
+  for (NodeId n : fixedSet) inSet[n] = true;
+
+  std::unordered_map<NodeId, std::vector<double>> series;
+  auto ensure = [&](NodeId n) {
+    auto& s = series[n];
+    if (s.empty()) s.assign(unitCounts.size(), 0.0);
+  };
+  ensure(hierarchy.root());
+  for (NodeId n : fixedSet) ensure(n);
+
+  for (std::size_t u = 0; u < unitCounts.size(); ++u) {
+    const auto touched = touchedBottomUp(hierarchy, unitCounts[u]);
+    std::unordered_map<NodeId, double> value;
+    value.reserve(touched.size());
+    for (const auto& [node, weight] : unitCounts[u]) value[node] += weight;
+    for (NodeId n : touched) {
+      const double w = value[n];
+      auto it = series.find(n);
+      if (it != series.end()) it->second[u] = w;
+      const NodeId p = hierarchy.parent(n);
+      // Members of the fixed set cut their weight off from ancestors,
+      // regardless of this unit's magnitudes (fixed-membership semantics).
+      if (p != kInvalidNode && !inSet.count(n)) value[p] += w;
+    }
+  }
+  return series;
+}
+
+std::unordered_map<NodeId, std::vector<double>> rawSeries(
+    const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
+    const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, std::vector<double>> series;
+  for (NodeId n : nodes) series[n].assign(unitCounts.size(), 0.0);
+
+  for (std::size_t u = 0; u < unitCounts.size(); ++u) {
+    const auto touched = touchedBottomUp(hierarchy, unitCounts[u]);
+    std::unordered_map<NodeId, double> value;
+    value.reserve(touched.size());
+    for (const auto& [node, weight] : unitCounts[u]) value[node] += weight;
+    for (NodeId n : touched) {
+      const double a = value[n];
+      auto it = series.find(n);
+      if (it != series.end()) it->second[u] = a;
+      const NodeId p = hierarchy.parent(n);
+      if (p != kInvalidNode) value[p] += a;
+    }
+  }
+  return series;
+}
+
+}  // namespace tiresias

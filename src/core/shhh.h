@@ -1,0 +1,58 @@
+// Succinct Hierarchical Heavy Hitters (Definitions 1-3).
+//
+// computeShhh is the authoritative bottom-up evaluation of Definition 2 for
+// one timeunit; both detectors use it (STA per instance, ADA for its weight
+// pass and the tests as ground truth). modifiedSeriesFixedSet reconstructs
+// Definition-3 time series for a *fixed* heavy-hitter set across a window
+// of timeunits — STA's per-instance reconstruction and ADA's bootstrap.
+//
+// Sparse convention: only nodes on the root-path of a nonzero leaf count
+// are materialized; all others implicitly have A = W = 0 (θ > 0 keeps them
+// out of every heavy-hitter set).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "hierarchy/hierarchy.h"
+
+namespace tiresias {
+
+/// Sparse per-unit counts: node -> weight contributed directly at that node
+/// (for leaf-categorised operational data, keys are leaves).
+using CountMap = std::unordered_map<NodeId, double>;
+
+struct NodeWeights {
+  NodeId node = kInvalidNode;
+  double raw = 0.0;       // A_n: full subtree aggregate
+  double modified = 0.0;  // W_n: Definition-2 modified weight
+  bool heavy = false;     // W_n >= theta
+};
+
+struct ShhhResult {
+  /// Every touched node (ascending id) with its weights.
+  std::vector<NodeWeights> touched;
+  /// The SHHH set (ascending id). Unique per Definition 2.
+  std::vector<NodeId> shhh;
+};
+
+/// Evaluate Definition 2 for one timeunit of counts.
+ShhhResult computeShhh(const Hierarchy& hierarchy, const CountMap& counts,
+                       double theta);
+
+/// Definition-3 reconstruction: given per-unit counts (oldest first) and a
+/// fixed heavy-hitter set (ascending ids), return each set member's series
+/// of modified weights computed against that fixed membership, plus the
+/// root's series (always included, keyed by the root id).
+std::unordered_map<NodeId, std::vector<double>> modifiedSeriesFixedSet(
+    const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
+    const std::vector<NodeId>& fixedSet);
+
+/// Raw-aggregate series A_n for the requested nodes over the window
+/// (§V-B5 reference time series; also used by the reference method).
+std::unordered_map<NodeId, std::vector<double>> rawSeries(
+    const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
+    const std::vector<NodeId>& nodes);
+
+}  // namespace tiresias

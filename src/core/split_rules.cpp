@@ -1,0 +1,115 @@
+#include "core/split_rules.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+const char* splitRuleName(SplitRule rule) {
+  switch (rule) {
+    case SplitRule::kUniform:
+      return "Uniform";
+    case SplitRule::kLastTimeUnit:
+      return "Last-Time-Unit";
+    case SplitRule::kLongTermHistory:
+      return "Long-Term-History";
+    case SplitRule::kEwma:
+      return "EWMA";
+  }
+  return "?";
+}
+
+SplitRuleEngine::SplitRuleEngine(SplitRule rule, double ewmaAlpha)
+    : rule_(rule), alpha_(ewmaAlpha) {
+  TIRESIAS_EXPECT(ewmaAlpha > 0.0 && ewmaAlpha <= 1.0,
+                  "split EWMA alpha must be in (0,1]");
+}
+
+void SplitRuleEngine::observeInstance(
+    const std::vector<std::pair<NodeId, double>>& rawWeights) {
+  ++instanceCount_;
+  switch (rule_) {
+    case SplitRule::kUniform:
+      break;
+    case SplitRule::kLastTimeUnit:
+      lastUnit_.clear();
+      for (const auto& [node, w] : rawWeights) lastUnit_[node] = w;
+      break;
+    case SplitRule::kLongTermHistory:
+      for (const auto& [node, w] : rawWeights) cumulative_[node] += w;
+      break;
+    case SplitRule::kEwma:
+      for (const auto& [node, w] : rawWeights) {
+        auto& state = ewma_[node];
+        const auto gap = instanceCount_ - state.instance;
+        // Lazy decay covers the instances where the node was untouched
+        // (observed weight 0): value *= (1-alpha)^(gap-1), then blend.
+        const double decayed =
+            state.instance == 0
+                ? 0.0
+                : state.value * std::pow(1.0 - alpha_,
+                                         static_cast<double>(gap - 1));
+        state.value = alpha_ * w + (1.0 - alpha_) * decayed;
+        state.instance = instanceCount_;
+      }
+      break;
+  }
+}
+
+double SplitRuleEngine::weightOf(NodeId node) const {
+  switch (rule_) {
+    case SplitRule::kUniform:
+      return 1.0;
+    case SplitRule::kLastTimeUnit: {
+      auto it = lastUnit_.find(node);
+      return it == lastUnit_.end() ? 0.0 : it->second;
+    }
+    case SplitRule::kLongTermHistory: {
+      auto it = cumulative_.find(node);
+      return it == cumulative_.end() ? 0.0 : it->second;
+    }
+    case SplitRule::kEwma: {
+      auto it = ewma_.find(node);
+      if (it == ewma_.end()) return 0.0;
+      const auto gap = instanceCount_ - it->second.instance;
+      return it->second.value *
+             std::pow(1.0 - alpha_, static_cast<double>(gap));
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> SplitRuleEngine::ratios(
+    const std::vector<NodeId>& group) const {
+  TIRESIAS_EXPECT(!group.empty(), "split group must be non-empty");
+  std::vector<double> out(group.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    out[i] = weightOf(group[i]);
+    total += out[i];
+  }
+  if (total <= 0.0) {
+    const double u = 1.0 / static_cast<double>(group.size());
+    for (auto& r : out) r = u;
+    return out;
+  }
+  for (auto& r : out) r /= total;
+  return out;
+}
+
+std::size_t SplitRuleEngine::trackedNodes() const {
+  switch (rule_) {
+    case SplitRule::kUniform:
+      return 0;
+    case SplitRule::kLastTimeUnit:
+      return lastUnit_.size();
+    case SplitRule::kLongTermHistory:
+      return cumulative_.size();
+    case SplitRule::kEwma:
+      return ewma_.size();
+  }
+  return 0;
+}
+
+}  // namespace tiresias

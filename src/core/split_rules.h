@@ -1,0 +1,59 @@
+// Split-ratio heuristics (§V-B4).
+//
+// When ADA splits a heavy hitter's series to its non-heavy-hitter children
+// C_n, each child nc receives the fraction F(nc, C_n) = X_nc / Σ_{m∈C_n} X_m
+// where X depends on the configured rule:
+//   Uniform            X = 1
+//   Last-Time-Unit     X = node's raw weight in the previous timeunit
+//   Long-Term-History  X = node's total raw weight over all past timeunits
+//   EWMA               X = exponentially smoothed raw weight
+//
+// The engine is fed each instance's raw (A_n) weights *after* the
+// adaptation so that every rule sees only past data, as the paper defines.
+// EWMA decay for untouched nodes is applied lazily at read time.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "hierarchy/hierarchy.h"
+
+namespace tiresias {
+
+class SplitRuleEngine {
+ public:
+  SplitRuleEngine(SplitRule rule, double ewmaAlpha);
+
+  /// Record the raw weights of one finished timeunit (touched nodes only;
+  /// untouched nodes implicitly weigh 0).
+  void observeInstance(const std::vector<std::pair<NodeId, double>>& rawWeights);
+
+  /// X_n for the current instance (based on past instances only).
+  double weightOf(NodeId node) const;
+
+  /// F(nc, Cn) ratios for the given sibling group, normalized to sum to 1;
+  /// falls back to uniform when every X is zero.
+  std::vector<double> ratios(const std::vector<NodeId>& group) const;
+
+  SplitRule rule() const { return rule_; }
+
+  /// Number of nodes with tracked state (memory accounting).
+  std::size_t trackedNodes() const;
+
+ private:
+  struct EwmaState {
+    double value = 0.0;
+    std::int64_t instance = 0;
+  };
+
+  SplitRule rule_;
+  double alpha_;
+  std::int64_t instanceCount_ = 0;
+  std::unordered_map<NodeId, double> lastUnit_;
+  std::unordered_map<NodeId, double> cumulative_;
+  std::unordered_map<NodeId, EwmaState> ewma_;
+};
+
+}  // namespace tiresias

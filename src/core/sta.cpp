@@ -1,0 +1,113 @@
+#include "core/sta.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+StaDetector::StaDetector(const Hierarchy& hierarchy, DetectorConfig config)
+    : hierarchy_(hierarchy), config_(std::move(config)) {
+  TIRESIAS_EXPECT(config_.windowLength >= 2, "window length must be >= 2");
+  TIRESIAS_EXPECT(config_.forecasterFactory != nullptr,
+                  "forecaster factory is required");
+}
+
+std::optional<InstanceResult> StaDetector::step(const TimeUnitBatch& batch) {
+  {
+    StageTimer::Scope scope(stages_, kStageUpdateHierarchies);
+    CountMap counts;
+    counts.reserve(batch.records.size());
+    for (const auto& r : batch.records) counts[r.category] += 1.0;
+    window_.push_back(std::move(counts));
+    if (window_.size() > config_.windowLength) window_.pop_front();
+    newestUnit_ = batch.unit;
+  }
+  if (window_.size() < config_.windowLength) return std::nullopt;
+
+  InstanceResult result;
+  result.unit = newestUnit_;
+
+  {
+    StageTimer::Scope scope(stages_, kStageCreateSeries);
+    // SHHH of the detection unit (Fig 4 line 6), then full window
+    // reconstruction with that fixed set (lines 7-9).
+    shhh_ = computeShhh(hierarchy_, window_.back(), config_.theta).shhh;
+    const std::vector<CountMap> units(window_.begin(), window_.end());
+    series_ = modifiedSeriesFixedSet(hierarchy_, units, shhh_);
+
+    // Refit the forecasting model over each reconstructed series,
+    // recording the one-step-ahead forecast at every unit.
+    forecastSeries_.clear();
+    for (const auto& [node, actual] : series_) {
+      auto model = config_.forecasterFactory->make();
+      std::vector<double> fc(actual.size(), 0.0);
+      for (std::size_t i = 0; i < actual.size(); ++i) {
+        fc[i] = model->forecast();
+        model->update(actual[i]);
+      }
+      forecastSeries_[node] = std::move(fc);
+    }
+  }
+
+  {
+    StageTimer::Scope scope(stages_, kStageDetect);
+    result.shhh = shhh_;
+    for (NodeId n : shhh_) {
+      const double actual = series_.at(n).back();
+      const double forecast = forecastSeries_.at(n).back();
+      if (isAnomalous(actual, forecast, config_.ratioThreshold,
+                      config_.diffThreshold)) {
+        result.anomalies.push_back(
+            {n, newestUnit_, actual, forecast, anomalyRatio(actual, forecast)});
+      }
+    }
+    std::sort(result.anomalies.begin(), result.anomalies.end(),
+              [](const Anomaly& a, const Anomaly& b) { return a.node < b.node; });
+  }
+  return result;
+}
+
+std::vector<NodeId> StaDetector::currentShhh() const { return shhh_; }
+
+std::vector<double> StaDetector::seriesOf(NodeId node) const {
+  auto it = series_.find(node);
+  return it == series_.end() ? std::vector<double>{} : it->second;
+}
+
+std::vector<double> StaDetector::forecastSeriesOf(NodeId node) const {
+  auto it = forecastSeries_.find(node);
+  return it == forecastSeries_.end() ? std::vector<double>{} : it->second;
+}
+
+MemoryStats StaDetector::memoryStats() const {
+  MemoryStats stats;
+  // STA's resident state is ℓ sparse trees: every counted node plus its
+  // ancestors exists in the per-unit tree (Fig 4 line 4).
+  for (const auto& unit : window_) {
+    std::unordered_map<NodeId, bool> seen;
+    for (const auto& [node, w] : unit) {
+      (void)w;
+      for (NodeId cur = node; cur != kInvalidNode;
+           cur = hierarchy_.parent(cur)) {
+        if (!seen.emplace(cur, true).second) break;
+      }
+    }
+    stats.treeNodesStored += seen.size();
+  }
+  stats.seriesCount = series_.size() + forecastSeries_.size();
+  for (const auto& [n, s] : series_) {
+    (void)n;
+    stats.seriesValues += s.size();
+  }
+  for (const auto& [n, s] : forecastSeries_) {
+    (void)n;
+    stats.seriesValues += s.size();
+  }
+  stats.bytesEstimate =
+      stats.treeNodesStored * (sizeof(NodeId) + sizeof(double)) +
+      stats.seriesValues * sizeof(double);
+  return stats;
+}
+
+}  // namespace tiresias

@@ -1,0 +1,57 @@
+// Shared types of the detection core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/timeutil.h"
+#include "hierarchy/hierarchy.h"
+
+namespace tiresias {
+
+/// One detected anomalous event (Definition 4): at heavy hitter `node`, in
+/// timeunit `unit`, the observed modified weight `actual` exceeded the
+/// forecast `forecast` on both the relative and absolute criteria.
+struct Anomaly {
+  NodeId node = kInvalidNode;
+  TimeUnit unit = 0;
+  double actual = 0.0;
+  double forecast = 0.0;
+
+  /// Relative excess T/F (a convenience score; +inf-safe value capped by
+  /// the producer when F <= 0).
+  double ratio = 0.0;
+
+  friend bool operator==(const Anomaly&, const Anomaly&) = default;
+};
+
+/// Output of one detection instance (one window shift).
+struct InstanceResult {
+  TimeUnit unit = 0;                 // the detection timeunit
+  std::vector<NodeId> shhh;          // succinct HH set, ascending node id
+  std::vector<Anomaly> anomalies;    // ascending node id
+};
+
+/// Live memory accounting counters, the inputs to the Table IV model.
+struct MemoryStats {
+  std::size_t seriesCount = 0;      // actual+forecast ring pairs held
+  std::size_t seriesValues = 0;     // total doubles stored in rings
+  std::size_t refSeriesCount = 0;   // reference series pairs (§V-B5)
+  std::size_t refSeriesValues = 0;
+  std::size_t forecasterValues = 0; // doubles of forecaster state (L,B,S..)
+  std::size_t treeNodesStored = 0;  // resident tree nodes (STA: ℓ sparse trees)
+  std::size_t bytesEstimate = 0;    // total of the above at 8 bytes/double
+};
+
+/// Split-ratio heuristics of §V-B4.
+enum class SplitRule {
+  kUniform,
+  kLastTimeUnit,
+  kLongTermHistory,
+  kEwma,
+};
+
+const char* splitRuleName(SplitRule rule);
+
+}  // namespace tiresias

@@ -1,0 +1,119 @@
+#include "eval/comparison.h"
+
+#include <algorithm>
+
+namespace tiresias::eval {
+namespace {
+
+/// True if some reference event shares `unit` and lies on the root path of
+/// (or below) the given node per the matching direction used for that set.
+bool matchesReference(const Hierarchy& hierarchy, const LocatedEvent& event,
+                      const std::vector<LocatedEvent>& reference) {
+  for (const auto& ref : reference) {
+    if (ref.unit != event.unit) continue;
+    // T(a_ref) == T(a) and L(a_ref) ⊒ L(a): the reference is at the same
+    // or a coarser location.
+    if (hierarchy.isAncestorOrEqual(ref.node, event.node)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double ComparisonCounts::type1() const {
+  const auto n = cases();
+  return n == 0 ? 0.0
+                : static_cast<double>(trueAlarms + trueNegatives) /
+                      static_cast<double>(n);
+}
+
+double ComparisonCounts::type2() const {
+  const auto denom = trueAlarms + missedAnomalies;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(trueAlarms) /
+                          static_cast<double>(denom);
+}
+
+double ComparisonCounts::type3() const {
+  const auto denom = trueNegatives + newAnomalies;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(trueNegatives) /
+                          static_cast<double>(denom);
+}
+
+ComparisonCounts compareToReference(
+    const Hierarchy& hierarchy, const std::vector<LocatedEvent>& tiresias,
+    const std::vector<LocatedEvent>& reference,
+    const std::vector<LocatedEvent>& negatives) {
+  ComparisonCounts counts;
+
+  // TA/MA: each reference anomaly is matched if Tiresias reported the same
+  // unit at an equal-or-finer location.
+  for (const auto& ref : reference) {
+    bool matched = false;
+    for (const auto& t : tiresias) {
+      if (t.unit == ref.unit && hierarchy.isAncestorOrEqual(ref.node, t.node)) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++counts.trueAlarms;
+    } else {
+      ++counts.missedAnomalies;
+    }
+  }
+
+  // NA: Tiresias anomalies with no related reference anomaly.
+  for (const auto& t : tiresias) {
+    if (!matchesReference(hierarchy, t, reference)) ++counts.newAnomalies;
+  }
+
+  // TN: unreported heavy hitters with no related reference anomaly.
+  for (const auto& n : negatives) {
+    if (!matchesReference(hierarchy, n, reference)) ++counts.trueNegatives;
+  }
+  return counts;
+}
+
+std::vector<LocatedEvent> newAnomalySet(
+    const Hierarchy& hierarchy, const std::vector<LocatedEvent>& tiresias,
+    const std::vector<LocatedEvent>& reference) {
+  std::vector<LocatedEvent> out;
+  for (const auto& t : tiresias) {
+    if (!matchesReference(hierarchy, t, reference)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<LocatedEvent> dropAncestorDuplicates(
+    const Hierarchy& hierarchy, std::vector<LocatedEvent> events) {
+  std::vector<LocatedEvent> out;
+  for (const auto& e : events) {
+    bool redundant = false;
+    for (const auto& other : events) {
+      if (other.unit != e.unit) continue;
+      if (other.node == e.node) continue;
+      // e is redundant if it is a strict ancestor of another reported
+      // event in the same unit.
+      if (hierarchy.isAncestorOrEqual(e.node, other.node)) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::size_t> countByDepth(
+    const Hierarchy& hierarchy, const std::vector<LocatedEvent>& events) {
+  std::vector<std::size_t> counts(
+      static_cast<std::size_t>(hierarchy.height()) + 1, 0);
+  for (const auto& e : events) {
+    counts[static_cast<std::size_t>(hierarchy.depth(e.node))] += 1;
+  }
+  return counts;
+}
+
+}  // namespace tiresias::eval

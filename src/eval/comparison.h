@@ -1,0 +1,75 @@
+// Table VI comparison semantics (§VII-B).
+//
+// The paper compares Tiresias against a reference anomaly set that only
+// covers the first network level, so instead of plain TP/FP/TN/FN it
+// defines, for anomalies a with location L(a) and timeunit T(a):
+//   TA  (true alarm)    reference anomaly matched by a Tiresias anomaly at
+//                       the same unit and at L_ref ⊒ L_tiresias (equal or
+//                       descendant location — finer granularity counts)
+//   MA  (missed)        reference anomaly with no such match
+//   NA  (new)           Tiresias anomaly unrelated to any reference anomaly
+//   TN  (true negative) heavy hitter not reported by Tiresias and unrelated
+//                       to any reference anomaly
+// and scores Type1 = (TA+TN)/cases, Type2 = TA/(TA+MA), Type3 = TN/(TN+NA).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "hierarchy/hierarchy.h"
+
+namespace tiresias::eval {
+
+/// A located anomaly: (node, unit) pair.
+struct LocatedEvent {
+  NodeId node = kInvalidNode;
+  TimeUnit unit = 0;
+};
+
+struct ComparisonCounts {
+  std::size_t trueAlarms = 0;     // TA
+  std::size_t missedAnomalies = 0;  // MA
+  std::size_t newAnomalies = 0;   // NA
+  std::size_t trueNegatives = 0;  // TN
+
+  std::size_t cases() const {
+    return trueAlarms + missedAnomalies + newAnomalies + trueNegatives;
+  }
+  /// Type 1 (the paper labels it "Accuracy") = (TA + TN) / cases.
+  double type1() const;
+  /// Type 2 = TA / (TA + MA).
+  double type2() const;
+  /// Type 3 = TN / (TN + NA).
+  double type3() const;
+};
+
+/// Compare Tiresias' detections against a reference set.
+///
+/// `tiresias`      anomalies reported by Tiresias (any level)
+/// `reference`     reference anomalies (in the paper: VHO level only)
+/// `negatives`     (node, unit) pairs that were heavy hitters but NOT
+///                 reported by Tiresias (candidates for TN/NA accounting)
+ComparisonCounts compareToReference(const Hierarchy& hierarchy,
+                                    const std::vector<LocatedEvent>& tiresias,
+                                    const std::vector<LocatedEvent>& reference,
+                                    const std::vector<LocatedEvent>& negatives);
+
+/// Remove events that are ancestors of other events in the same unit
+/// (the paper's "simple data aggregation of the NAs to remove any
+/// redundant anomalies which are an ancestor of other anomalies").
+std::vector<LocatedEvent> dropAncestorDuplicates(
+    const Hierarchy& hierarchy, std::vector<LocatedEvent> events);
+
+/// The subset of `tiresias` events unrelated to any reference event
+/// (the NA set, before deduplication).
+std::vector<LocatedEvent> newAnomalySet(
+    const Hierarchy& hierarchy, const std::vector<LocatedEvent>& tiresias,
+    const std::vector<LocatedEvent>& reference);
+
+/// Count events per hierarchy depth (index = depth, 1-based) — the paper's
+/// NA level distribution (5% VHO, 56.3% IO, 29.3% CO, 9.4% DSLAM).
+std::vector<std::size_t> countByDepth(const Hierarchy& hierarchy,
+                                      const std::vector<LocatedEvent>& events);
+
+}  // namespace tiresias::eval

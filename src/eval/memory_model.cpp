@@ -1,0 +1,20 @@
+#include "eval/memory_model.h"
+
+#include "common/expect.h"
+
+namespace tiresias::eval {
+
+MemoryReport normalizeMemory(const MemoryStats& stats, double avgTreeNodes,
+                             double perNodeBytes) {
+  TIRESIAS_EXPECT(avgTreeNodes > 0.0, "need a positive tree size");
+  TIRESIAS_EXPECT(perNodeBytes > 0.0, "need a positive per-node cost");
+  MemoryReport report;
+  report.bytes = stats.bytesEstimate;
+  report.avgTreeNodes = avgTreeNodes;
+  report.perNodeBytes = perNodeBytes;
+  report.normalized =
+      static_cast<double>(stats.bytesEstimate) / avgTreeNodes / perNodeBytes;
+  return report;
+}
+
+}  // namespace tiresias::eval

@@ -1,0 +1,29 @@
+// Table IV memory accounting.
+//
+// The paper reports "normalized memory cost" = total memory cost /
+// average number of nodes in the tree / per-node memory cost. We compute
+// the same normalization from the live MemoryStats counters of a detector,
+// using the window-averaged touched-tree size as the node base.
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.h"
+
+namespace tiresias::eval {
+
+struct MemoryReport {
+  std::size_t bytes = 0;          // estimated resident bytes
+  double avgTreeNodes = 0.0;      // average touched nodes per unit tree
+  double perNodeBytes = 0.0;      // cost model of one tree node
+  double normalized = 0.0;        // bytes / avgTreeNodes / perNodeBytes
+};
+
+/// Normalize a detector's MemoryStats the way Table IV does.
+/// `avgTreeNodes` is the average number of nodes in one timeunit's sparse
+/// tree (callers measure it from the workload); `perNodeBytes` is the cost
+/// of a single tree node (id + weight by default).
+MemoryReport normalizeMemory(const MemoryStats& stats, double avgTreeNodes,
+                             double perNodeBytes = 12.0);
+
+}  // namespace tiresias::eval

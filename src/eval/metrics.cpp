@@ -1,0 +1,36 @@
+#include "eval/metrics.h"
+
+namespace tiresias::eval {
+
+double ConfusionCounts::accuracy() const {
+  const auto n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double ConfusionCounts::precision() const {
+  const auto denom = tp + fp;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::recall() const {
+  const auto denom = tp + fn;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+  return *this;
+}
+
+}  // namespace tiresias::eval

@@ -1,0 +1,28 @@
+// Detection-quality metrics.
+//
+// ConfusionCounts/ConfusionMetrics cover the Table V accuracy/precision/
+// recall comparison of ADA against STA (STA is ground truth there). The
+// Table VI metrics live in eval/comparison.h because they need the paper's
+// ancestor-aware matching.
+#pragma once
+
+#include <cstddef>
+
+namespace tiresias::eval {
+
+struct ConfusionCounts {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  ConfusionCounts& operator+=(const ConfusionCounts& other);
+};
+
+}  // namespace tiresias::eval

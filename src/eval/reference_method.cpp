@@ -1,0 +1,57 @@
+#include "eval/reference_method.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace tiresias::eval {
+
+ControlChartReference::ControlChartReference(const Hierarchy& hierarchy,
+                                             ControlChartConfig config)
+    : hierarchy_(hierarchy), config_(config) {
+  TIRESIAS_EXPECT(config_.depth >= 1 && config_.depth <= hierarchy.height(),
+                  "monitored depth out of range");
+  for (NodeId n : hierarchy_.nodesAtDepth(config_.depth)) {
+    monitored_.push_back(n);
+    history_[n] = {};
+  }
+}
+
+std::vector<LocatedEvent> ControlChartReference::step(
+    const TimeUnitBatch& batch) {
+  // Raw aggregates at the monitored depth: ancestors of each record.
+  std::unordered_map<NodeId, double> agg;
+  for (const auto& r : batch.records) {
+    NodeId cur = r.category;
+    while (cur != kInvalidNode && hierarchy_.depth(cur) > config_.depth) {
+      cur = hierarchy_.parent(cur);
+    }
+    if (cur != kInvalidNode && hierarchy_.depth(cur) == config_.depth) {
+      agg[cur] += 1.0;
+    }
+  }
+
+  std::vector<LocatedEvent> unitAlarms;
+  for (NodeId n : monitored_) {
+    const double value = agg.count(n) ? agg.at(n) : 0.0;
+    auto& hist = history_.at(n);
+    if (hist.size() >= config_.minHistory) {
+      double mean = 0.0;
+      for (double v : hist) mean += v;
+      mean /= static_cast<double>(hist.size());
+      double var = 0.0;
+      for (double v : hist) var += (v - mean) * (v - mean);
+      var /= static_cast<double>(hist.size() > 1 ? hist.size() - 1 : 1);
+      const double limit = mean + config_.sigmas * std::sqrt(var);
+      if (value > limit && value - mean > config_.minExcess) {
+        unitAlarms.push_back({n, batch.unit});
+      }
+    }
+    hist.push_back(value);
+    if (hist.size() > config_.history) hist.pop_front();
+  }
+  alarms_.insert(alarms_.end(), unitAlarms.begin(), unitAlarms.end());
+  return unitAlarms;
+}
+
+}  // namespace tiresias::eval

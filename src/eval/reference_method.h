@@ -1,0 +1,54 @@
+// The operational team's current practice (§VII-B): control charts on the
+// time series of first-network-level (VHO) aggregates.
+//
+// We implement a Shewhart-style individuals chart: for each monitored node
+// the raw aggregate A_n[t] is compared against mean + k·stddev computed
+// over a trailing history window; exceedances are flagged. The method is
+// deliberately limited to one hierarchy level — that limitation is the
+// premise of Table VI (Tiresias finds the below-VHO anomalies the
+// reference method structurally cannot).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/shhh.h"
+#include "eval/comparison.h"
+#include "stream/window.h"
+
+namespace tiresias::eval {
+
+struct ControlChartConfig {
+  /// Hierarchy depth to monitor (2 == the paper's VHO level).
+  int depth = 2;
+  /// Sigma multiplier for the upper control limit.
+  double sigmas = 3.0;
+  /// Trailing window length (units) for mean/stddev.
+  std::size_t history = 672;
+  /// Minimum history before alarms fire.
+  std::size_t minHistory = 96;
+  /// Also require an absolute excess (guards against near-zero stddev).
+  double minExcess = 4.0;
+};
+
+class ControlChartReference {
+ public:
+  ControlChartReference(const Hierarchy& hierarchy,
+                        ControlChartConfig config);
+
+  /// Feed one timeunit; returns the (node, unit) alarms for that unit.
+  std::vector<LocatedEvent> step(const TimeUnitBatch& batch);
+
+  const std::vector<LocatedEvent>& allAlarms() const { return alarms_; }
+
+ private:
+  const Hierarchy& hierarchy_;
+  ControlChartConfig config_;
+  std::vector<NodeId> monitored_;
+  /// Trailing raw-aggregate history per monitored node.
+  std::unordered_map<NodeId, std::deque<double>> history_;
+  std::vector<LocatedEvent> alarms_;
+};
+
+}  // namespace tiresias::eval

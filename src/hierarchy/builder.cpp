@@ -1,0 +1,201 @@
+#include "hierarchy/builder.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+HierarchyBuilder::HierarchyBuilder(std::string rootName) {
+  parent_.push_back(kInvalidNode);
+  name_.push_back(std::move(rootName));
+  children_.emplace_back();
+}
+
+NodeId HierarchyBuilder::addChild(NodeId parent, std::string name) {
+  TIRESIAS_EXPECT(parent < parent_.size(), "parent id out of range");
+  const NodeId id = static_cast<NodeId>(parent_.size());
+  parent_.push_back(parent);
+  name_.push_back(std::move(name));
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  return id;
+}
+
+Hierarchy HierarchyBuilder::build(std::vector<NodeId>* remapOut) {
+  const std::size_t n = parent_.size();
+
+  // BFS relabel: provisional -> final.
+  std::vector<NodeId> remap(n, kInvalidNode);
+  std::vector<NodeId> order;  // final index -> provisional id
+  order.reserve(n);
+  std::deque<NodeId> queue{0};
+  while (!queue.empty()) {
+    const NodeId prov = queue.front();
+    queue.pop_front();
+    remap[prov] = static_cast<NodeId>(order.size());
+    order.push_back(prov);
+    for (NodeId c : children_[prov]) queue.push_back(c);
+  }
+  TIRESIAS_EXPECT(order.size() == n, "hierarchy must be a connected tree");
+
+  Hierarchy h;
+  h.parent_.resize(n);
+  h.depth_.resize(n);
+  h.name_.resize(n);
+  h.childStart_.assign(n + 1, 0);
+  h.childList_.reserve(n - 1);
+  h.leavesUnder_.assign(n, 0);
+
+  for (NodeId id = 0; id < n; ++id) {
+    const NodeId prov = order[id];
+    h.parent_[id] = parent_[prov] == kInvalidNode ? kInvalidNode
+                                                  : remap[parent_[prov]];
+    h.name_[id] = std::move(name_[prov]);
+    h.depth_[id] = id == 0 ? 1 : h.depth_[h.parent_[id]] + 1;
+  }
+  // Children are BFS-consecutive, so one forward pass fills the CSR layout.
+  for (NodeId id = 0; id < n; ++id) {
+    for (NodeId c : children_[order[id]]) {
+      (void)c;
+      ++h.childStart_[id + 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) h.childStart_[i + 1] += h.childStart_[i];
+  {
+    std::vector<std::uint32_t> cursor(h.childStart_.begin(),
+                                      h.childStart_.end() - 1);
+    h.childList_.resize(n - 1);
+    for (NodeId id = 0; id < n; ++id) {
+      for (NodeId c : children_[order[id]]) {
+        h.childList_[cursor[id]++] = remap[c];
+      }
+    }
+  }
+
+  h.height_ = 0;
+  for (NodeId id = 0; id < n; ++id) h.height_ = std::max(h.height_, h.depth_[id]);
+  // levelStart_[d] = number of nodes with depth <= d == first id of depth
+  // d+1; BFS order makes levels contiguous, so counting + prefix sums
+  // suffice. nodesAtDepth(d) then reads [levelStart_[d-1], levelStart_[d]).
+  h.levelStart_.assign(static_cast<std::size_t>(h.height_) + 1, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    ++h.levelStart_[static_cast<std::size_t>(h.depth_[id])];
+  }
+  for (std::size_t d = 1; d < h.levelStart_.size(); ++d) {
+    h.levelStart_[d] += h.levelStart_[d - 1];
+  }
+
+  // Euler-tour intervals via iterative DFS, plus leaf bookkeeping.
+  h.tin_.resize(n);
+  h.tout_.resize(n);
+  {
+    std::uint32_t clock = 0;
+    std::vector<std::pair<NodeId, bool>> stack{{0, false}};
+    while (!stack.empty()) {
+      auto [node, exiting] = stack.back();
+      stack.pop_back();
+      if (exiting) {
+        h.tout_[node] = clock++;
+        continue;
+      }
+      h.tin_[node] = clock++;
+      stack.emplace_back(node, true);
+      const auto kids = h.children(node);
+      for (std::size_t i = kids.size(); i-- > 0;) {
+        stack.emplace_back(kids[i], false);
+      }
+    }
+  }
+  for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
+    if (h.isLeaf(id)) {
+      h.leaves_.push_back(id);
+      h.leavesUnder_[id] = 1;
+    }
+    if (h.parent_[id] != kInvalidNode) {
+      h.leavesUnder_[h.parent_[id]] += h.leavesUnder_[id];
+    }
+  }
+  std::reverse(h.leaves_.begin(), h.leaves_.end());
+  h.leafCount_ = h.leaves_.size();
+
+  if (remapOut) *remapOut = std::move(remap);
+  parent_.clear();
+  name_.clear();
+  children_.clear();
+  return h;
+}
+
+Hierarchy HierarchyBuilder::fromPaths(const std::vector<std::string>& paths,
+                                      const std::string& rootName, char sep) {
+  HierarchyBuilder b(rootName);
+  // Provisional name index: parent id -> (child name -> child id).
+  std::vector<std::map<std::string, NodeId>> childIndex(1);
+  for (const auto& path : paths) {
+    NodeId cur = 0;
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos <= path.size()) {
+      const std::size_t next = path.find(sep, pos);
+      const std::string comp = next == std::string::npos
+                                   ? path.substr(pos)
+                                   : path.substr(pos, next - pos);
+      if (!comp.empty() && !(first && comp == rootName)) {
+        const auto it = childIndex[cur].find(comp);
+        if (it == childIndex[cur].end()) {
+          const NodeId child = b.addChild(cur, comp);
+          // emplace_back first: it may reallocate, so index into the
+          // vector afresh afterwards.
+          childIndex.emplace_back();
+          childIndex[cur].emplace(comp, child);
+          cur = child;
+        } else {
+          cur = it->second;
+        }
+      }
+      if (!comp.empty()) first = false;
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+  }
+  return b.build();
+}
+
+Hierarchy HierarchyBuilder::fromPathsFile(const std::string& filePath,
+                                          const std::string& rootName,
+                                          char sep) {
+  std::ifstream in(filePath);
+  TIRESIAS_EXPECT(static_cast<bool>(in), "cannot open hierarchy paths file");
+  std::vector<std::string> paths;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    paths.push_back(line);
+  }
+  return fromPaths(paths, rootName, sep);
+}
+
+Hierarchy HierarchyBuilder::balanced(const std::vector<std::size_t>& degrees,
+                                     const std::string& rootName) {
+  HierarchyBuilder b(rootName);
+  std::vector<NodeId> frontier{0};
+  for (std::size_t level = 0; level < degrees.size(); ++level) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * degrees[level]);
+    for (NodeId p : frontier) {
+      for (std::size_t i = 0; i < degrees[level]; ++i) {
+        next.push_back(b.addChild(
+            p, "L" + std::to_string(level + 2) + "_" + std::to_string(i)));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return b.build();
+}
+
+}  // namespace tiresias

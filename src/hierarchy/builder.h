@@ -1,0 +1,56 @@
+// Mutable construction interface for Hierarchy.
+//
+// Build-time ids are provisional; build() relabels nodes into breadth-first
+// order and returns the finished Hierarchy together with (on request) the
+// provisional-to-final id mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/hierarchy.h"
+
+namespace tiresias {
+
+class HierarchyBuilder {
+ public:
+  /// Creates the builder with a root node of the given name (id 0).
+  explicit HierarchyBuilder(std::string rootName = "root");
+
+  /// Adds a child under `parent` (a provisional id) and returns its
+  /// provisional id.
+  NodeId addChild(NodeId parent, std::string name);
+
+  std::size_t size() const { return parent_.size(); }
+
+  /// Finalize. If `remapOut` is non-null it receives the mapping from
+  /// provisional ids to final BFS ids. The builder is left empty.
+  Hierarchy build(std::vector<NodeId>* remapOut = nullptr);
+
+  /// Convenience: balanced tree with the given out-degrees per level
+  /// (degrees[0] = root's children, ...). Node names are "L<depth>_<idx>".
+  static Hierarchy balanced(const std::vector<std::size_t>& degrees,
+                            const std::string& rootName = "root");
+
+  /// Build a hierarchy from slash-separated category paths (one per leaf,
+  /// interior nodes created on demand; duplicate paths are fine). An
+  /// optional leading component equal to `rootName` is accepted. This is
+  /// how custom (non-preset) domains enter the system, e.g. from the
+  /// first column of a CSV trace.
+  static Hierarchy fromPaths(const std::vector<std::string>& paths,
+                             const std::string& rootName = "root",
+                             char sep = '/');
+
+  /// fromPaths over a text file with one path per line (blank lines and
+  /// lines starting with '#' skipped). Aborts if the file cannot be read.
+  static Hierarchy fromPathsFile(const std::string& filePath,
+                                 const std::string& rootName = "root",
+                                 char sep = '/');
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::string> name_;
+  std::vector<std::vector<NodeId>> children_;
+};
+
+}  // namespace tiresias

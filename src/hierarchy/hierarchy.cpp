@@ -1,0 +1,58 @@
+#include "hierarchy/hierarchy.h"
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+NodeIdRange Hierarchy::nodesAtDepth(int d) const {
+  if (d < 1 || d > height_) return {};
+  return {levelStart_[static_cast<std::size_t>(d - 1)],
+          levelStart_[static_cast<std::size_t>(d)]};
+}
+
+std::string Hierarchy::path(NodeId n, char sep) const {
+  TIRESIAS_EXPECT(n < size(), "node id out of range");
+  std::vector<NodeId> chain;
+  for (NodeId cur = n; cur != kInvalidNode; cur = parent_[cur]) {
+    chain.push_back(cur);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += sep;
+    out += name_[*it];
+  }
+  return out;
+}
+
+NodeId Hierarchy::childNamed(NodeId n, std::string_view name) const {
+  for (NodeId c : children(n)) {
+    if (name_[c] == name) return c;
+  }
+  return kInvalidNode;
+}
+
+NodeId Hierarchy::find(std::string_view path, char sep) const {
+  NodeId cur = root();
+  bool first = true;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t next = path.find(sep, pos);
+    const std::string_view comp =
+        next == std::string_view::npos ? path.substr(pos)
+                                       : path.substr(pos, next - pos);
+    if (!comp.empty()) {
+      // Accept both absolute paths (leading root name, as produced by
+      // path()) and paths relative to the root.
+      if (!(first && comp == name_[root()])) {
+        cur = childNamed(cur, comp);
+        if (cur == kInvalidNode) return kInvalidNode;
+      }
+      first = false;
+    }
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  return cur;
+}
+
+}  // namespace tiresias

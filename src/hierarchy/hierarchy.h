@@ -1,0 +1,111 @@
+// Immutable hierarchical category domain (the paper's classification tree).
+//
+// Node ids are assigned in breadth-first (level) order at build time, which
+// gives the two traversal orders the algorithms need for free:
+//   - top-down level order  == ascending NodeId
+//   - bottom-up level order == descending NodeId
+// Children of a node are contiguous, and every level occupies a contiguous
+// id range. Depth follows the paper's convention: the root has depth 1.
+//
+// Ancestor tests are O(1) via Euler-tour intervals, which the Table VI
+// comparison metrics (L(a) ⊒ L(b)) rely on heavily.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tiresias {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class HierarchyBuilder;
+
+/// Half-open range of consecutive node ids; iterable in range-for.
+struct NodeIdRange {
+  NodeId first = 0;
+  NodeId last = 0;  // one past the end
+
+  struct Iterator {
+    NodeId n;
+    NodeId operator*() const { return n; }
+    Iterator& operator++() {
+      ++n;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return n != o.n; }
+  };
+  Iterator begin() const { return {first}; }
+  Iterator end() const { return {last}; }
+  std::size_t size() const { return last - first; }
+  bool empty() const { return first == last; }
+};
+
+class Hierarchy {
+ public:
+  /// Empty hierarchy; populate via HierarchyBuilder::build().
+  Hierarchy() = default;
+
+  std::size_t size() const { return parent_.size(); }
+  NodeId root() const { return 0; }
+
+  NodeId parent(NodeId n) const { return parent_[n]; }
+  std::span<const NodeId> children(NodeId n) const {
+    return {childList_.data() + childStart_[n],
+            childStart_[n + 1] - childStart_[n]};
+  }
+  bool isLeaf(NodeId n) const { return childStart_[n] == childStart_[n + 1]; }
+  std::size_t degree(NodeId n) const {
+    return childStart_[n + 1] - childStart_[n];
+  }
+
+  /// Depth with the root at 1 (paper convention).
+  int depth(NodeId n) const { return depth_[n]; }
+  /// Height of the tree == depth of the deepest node.
+  int height() const { return height_; }
+
+  /// Ids of all nodes at the given depth (contiguous range).
+  NodeIdRange nodesAtDepth(int d) const;
+
+  std::size_t leafCount() const { return leafCount_; }
+  /// All leaf ids in ascending order.
+  const std::vector<NodeId>& leaves() const { return leaves_; }
+
+  /// True iff `a` is `b` or an ancestor of `b` (the paper's L(a) ⊒ L(b)).
+  bool isAncestorOrEqual(NodeId a, NodeId b) const {
+    return tin_[a] <= tin_[b] && tout_[b] <= tout_[a];
+  }
+
+  const std::string& name(NodeId n) const { return name_[n]; }
+  /// Slash-separated path from the root, e.g. "root/TV/NoService".
+  std::string path(NodeId n, char sep = '/') const;
+
+  /// Child of `n` with the given name, or kInvalidNode.
+  NodeId childNamed(NodeId n, std::string_view name) const;
+  /// Resolve a slash-separated path starting below the root;
+  /// returns kInvalidNode if any component is missing.
+  NodeId find(std::string_view path, char sep = '/') const;
+
+  /// Number of leaves in the subtree rooted at n.
+  std::size_t leavesUnder(NodeId n) const { return leavesUnder_[n]; }
+
+ private:
+  friend class HierarchyBuilder;
+
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> childStart_;  // size() + 1 offsets
+  std::vector<NodeId> childList_;
+  std::vector<int> depth_;
+  std::vector<std::uint32_t> tin_, tout_;
+  std::vector<std::string> name_;
+  std::vector<NodeId> levelStart_;  // levelStart_[d] = first id of depth d+1
+  std::vector<NodeId> leaves_;
+  std::vector<std::uint32_t> leavesUnder_;
+  std::size_t leafCount_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace tiresias

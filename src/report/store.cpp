@@ -1,0 +1,77 @@
+#include "report/store.h"
+
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/expect.h"
+#include "common/table.h"
+
+namespace tiresias::report {
+
+AnomalyStore::AnomalyStore(const Hierarchy& hierarchy)
+    : hierarchy_(hierarchy) {}
+
+void AnomalyStore::add(const InstanceResult& result) {
+  for (const auto& a : result.anomalies) add(a);
+}
+
+void AnomalyStore::add(const Anomaly& anomaly) {
+  TIRESIAS_EXPECT(anomaly.node < hierarchy_.size(), "anomaly node id invalid");
+  entries_.push_back({anomaly, hierarchy_.path(anomaly.node),
+                      hierarchy_.depth(anomaly.node)});
+}
+
+std::vector<StoredAnomaly> AnomalyStore::query(const Query& query) const {
+  std::vector<StoredAnomaly> out;
+  for (const auto& e : entries_) {
+    if (query.fromUnit && e.anomaly.unit < *query.fromUnit) continue;
+    if (query.toUnit && e.anomaly.unit > *query.toUnit) continue;
+    if (query.subtreeRoot &&
+        !hierarchy_.isAncestorOrEqual(*query.subtreeRoot, e.anomaly.node)) {
+      continue;
+    }
+    if (query.depth && e.depth != *query.depth) continue;
+    if (query.minRatio && e.anomaly.ratio < *query.minRatio) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::size_t> AnomalyStore::countByDepth() const {
+  std::vector<std::size_t> counts(
+      static_cast<std::size_t>(hierarchy_.height()) + 1, 0);
+  for (const auto& e : entries_) {
+    counts[static_cast<std::size_t>(e.depth)] += 1;
+  }
+  return counts;
+}
+
+void AnomalyStore::exportCsv(const std::string& filePath) const {
+  std::ofstream out(filePath);
+  TIRESIAS_EXPECT(static_cast<bool>(out), "cannot open CSV export file");
+  CsvWriter writer(out);
+  writer.row({"unit", "path", "depth", "actual", "forecast", "ratio"});
+  for (const auto& e : entries_) {
+    writer.row({std::to_string(e.anomaly.unit), e.path,
+                std::to_string(e.depth), fmtG(e.anomaly.actual, 10),
+                fmtG(e.anomaly.forecast, 10), fmtG(e.anomaly.ratio, 6)});
+  }
+}
+
+void AnomalyStore::exportJsonl(const std::string& filePath) const {
+  std::ofstream out(filePath);
+  TIRESIAS_EXPECT(static_cast<bool>(out), "cannot open JSONL export file");
+  for (const auto& e : entries_) {
+    out << "{\"unit\":" << e.anomaly.unit << ",\"path\":\"";
+    for (char c : e.path) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\",\"depth\":" << e.depth << ",\"actual\":" << e.anomaly.actual
+        << ",\"forecast\":" << e.anomaly.forecast
+        << ",\"ratio\":" << (e.anomaly.ratio > 1e300 ? -1.0 : e.anomaly.ratio)
+        << "}\n";
+  }
+}
+
+}  // namespace tiresias::report

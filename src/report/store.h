@@ -1,0 +1,59 @@
+// Anomaly report store (Step 5 / Fig 3(f) back end).
+//
+// The paper reports anomalous events to a text database queried by a web
+// front end. This store provides the same semantics as a library: append
+// InstanceResults, query by time range / node subtree / hierarchy depth,
+// and export to CSV or JSONL for external tooling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "hierarchy/hierarchy.h"
+
+namespace tiresias::report {
+
+struct StoredAnomaly {
+  Anomaly anomaly;
+  std::string path;  // human-readable hierarchy path at insert time
+  int depth = 0;
+};
+
+struct Query {
+  std::optional<TimeUnit> fromUnit;    // inclusive
+  std::optional<TimeUnit> toUnit;      // inclusive
+  std::optional<NodeId> subtreeRoot;   // restrict to this node's subtree
+  std::optional<int> depth;            // restrict to one hierarchy depth
+  std::optional<double> minRatio;      // minimum T/F score
+};
+
+class AnomalyStore {
+ public:
+  explicit AnomalyStore(const Hierarchy& hierarchy);
+
+  /// Append every anomaly of a detection instance.
+  void add(const InstanceResult& result);
+  void add(const Anomaly& anomaly);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<StoredAnomaly>& all() const { return entries_; }
+
+  /// Filtered view, in insertion (time) order.
+  std::vector<StoredAnomaly> query(const Query& query) const;
+
+  /// Count of anomalies per hierarchy depth (index = depth, 1-based).
+  std::vector<std::size_t> countByDepth() const;
+
+  /// Serialize to CSV ("unit,path,depth,actual,forecast,ratio").
+  void exportCsv(const std::string& filePath) const;
+  /// Serialize to JSON Lines.
+  void exportJsonl(const std::string& filePath) const;
+
+ private:
+  const Hierarchy& hierarchy_;
+  std::vector<StoredAnomaly> entries_;
+};
+
+}  // namespace tiresias::report

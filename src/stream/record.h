@@ -1,0 +1,17 @@
+// The unit of operational data (the paper's s_i = (k_i, t_i)): a category
+// drawn from a hierarchical domain plus a second-resolution timestamp.
+#pragma once
+
+#include "common/timeutil.h"
+#include "hierarchy/hierarchy.h"
+
+namespace tiresias {
+
+struct Record {
+  NodeId category = kInvalidNode;  // leaf (or interior) node of the domain
+  Timestamp time = 0;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+}  // namespace tiresias

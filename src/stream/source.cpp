@@ -1,0 +1,72 @@
+#include "stream/source.h"
+
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/expect.h"
+
+namespace tiresias {
+
+VectorSource::VectorSource(std::vector<Record> records)
+    : records_(std::move(records)) {
+  for (std::size_t i = 1; i < records_.size(); ++i) {
+    TIRESIAS_EXPECT(records_[i - 1].time <= records_[i].time,
+                    "VectorSource requires time-ordered records");
+  }
+}
+
+std::optional<Record> VectorSource::next() {
+  if (pos_ >= records_.size()) return std::nullopt;
+  return records_[pos_++];
+}
+
+struct CsvSource::Impl {
+  std::ifstream in;
+  const Hierarchy& hierarchy;
+
+  Impl(const std::string& path, const Hierarchy& h) : in(path), hierarchy(h) {
+    TIRESIAS_EXPECT(static_cast<bool>(in), "cannot open trace file");
+  }
+};
+
+CsvSource::CsvSource(std::string path, const Hierarchy& hierarchy)
+    : impl_(std::make_unique<Impl>(path, hierarchy)) {}
+
+CsvSource::~CsvSource() = default;
+
+std::optional<Record> CsvSource::next() {
+  std::string line;
+  while (std::getline(impl_->in, line)) {
+    if (line.empty()) continue;
+    const auto fields = csvSplit(line);
+    if (fields.size() != 2) {
+      ++skipped_;
+      continue;
+    }
+    const NodeId node = impl_->hierarchy.find(fields[0]);
+    if (node == kInvalidNode) {
+      ++skipped_;
+      continue;
+    }
+    char* end = nullptr;
+    const long long t = std::strtoll(fields[1].c_str(), &end, 10);
+    if (end == fields[1].c_str() || *end != '\0') {
+      ++skipped_;
+      continue;
+    }
+    return Record{node, static_cast<Timestamp>(t)};
+  }
+  return std::nullopt;
+}
+
+void writeRecordsCsv(const std::string& path, const Hierarchy& hierarchy,
+                     const std::vector<Record>& records) {
+  std::ofstream out(path);
+  TIRESIAS_EXPECT(static_cast<bool>(out), "cannot open output trace file");
+  CsvWriter writer(out);
+  for (const auto& r : records) {
+    writer.row({hierarchy.path(r.category), std::to_string(r.time)});
+  }
+}
+
+}  // namespace tiresias

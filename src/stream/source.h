@@ -1,0 +1,59 @@
+// Record sources: the abstraction the detectors pull operational data from.
+//
+// A RecordSource yields time-ordered records. VectorSource replays an
+// in-memory trace; CsvSource streams a trace file (category-path,timestamp);
+// sources produced by workload generators live in src/workload.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/record.h"
+
+namespace tiresias {
+
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Next record in non-decreasing time order, or nullopt at end of stream.
+  virtual std::optional<Record> next() = 0;
+};
+
+/// Replays a vector of records. Verifies time ordering on construction.
+class VectorSource final : public RecordSource {
+ public:
+  explicit VectorSource(std::vector<Record> records);
+
+  std::optional<Record> next() override;
+
+ private:
+  std::vector<Record> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Streams records from a CSV file with rows "<category-path>,<timestamp>".
+/// Category paths are resolved against the given hierarchy; unknown paths
+/// are counted and skipped (operational traces contain junk rows).
+class CsvSource final : public RecordSource {
+ public:
+  CsvSource(std::string path, const Hierarchy& hierarchy);
+  ~CsvSource() override;
+
+  std::optional<Record> next() override;
+
+  std::size_t skippedRows() const { return skipped_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t skipped_ = 0;
+};
+
+/// Writes records as CSV ("<category-path>,<timestamp>") for interchange.
+void writeRecordsCsv(const std::string& path, const Hierarchy& hierarchy,
+                     const std::vector<Record>& records);
+
+}  // namespace tiresias

@@ -1,0 +1,51 @@
+#include "stream/window.h"
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+TimeUnitBatcher::TimeUnitBatcher(RecordSource& source, Duration delta,
+                                 Timestamp startTime)
+    : source_(source),
+      delta_(delta),
+      nextUnit_(timeUnitOf(startTime, delta)) {
+  TIRESIAS_EXPECT(delta > 0, "timeunit size must be positive");
+}
+
+std::optional<TimeUnitBatch> TimeUnitBatcher::next() {
+  // Skip records older than the first unit of interest.
+  while (!pending_ && !sourceDone_) {
+    pending_ = source_.next();
+    if (!pending_) {
+      sourceDone_ = true;
+      break;
+    }
+    if (timeUnitOf(pending_->time, delta_) < nextUnit_) {
+      ++dropped_;
+      pending_.reset();
+    }
+  }
+  if (sourceDone_ && !pending_) return std::nullopt;
+
+  TimeUnitBatch batch;
+  batch.unit = nextUnit_;
+  while (true) {
+    if (!pending_) {
+      if (sourceDone_) break;
+      pending_ = source_.next();
+      if (!pending_) {
+        sourceDone_ = true;
+        break;
+      }
+      TIRESIAS_EXPECT(timeUnitOf(pending_->time, delta_) >= nextUnit_,
+                      "records must arrive in non-decreasing time order");
+    }
+    if (timeUnitOf(pending_->time, delta_) != nextUnit_) break;
+    batch.records.push_back(*pending_);
+    pending_.reset();
+  }
+  ++nextUnit_;
+  return batch;
+}
+
+}  // namespace tiresias

@@ -1,0 +1,47 @@
+// Timeunit batching (Step 1 of the paper's pipeline, Fig 3(b)).
+//
+// A TimeUnitBatcher pulls time-ordered records from a RecordSource and
+// groups them into consecutive fixed-size timeunits of length Δ, emitting
+// empty batches for quiet units (a zero count is a real observation for the
+// forecasting models, not missing data). The sliding-window bookkeeping
+// (ℓ history units, increment ς) lives in the detectors; the paper's
+// ς < Δ case is handled by batching at resolution ς and aggregating with
+// timeseries::MultiScaleSeries (§V-B6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stream/source.h"
+
+namespace tiresias {
+
+struct TimeUnitBatch {
+  TimeUnit unit = 0;  // index: records fall in [unit*delta, (unit+1)*delta)
+  std::vector<Record> records;
+};
+
+class TimeUnitBatcher {
+ public:
+  /// Batches `source` into units of `delta` seconds. The first emitted unit
+  /// is the one containing `startTime` (records before it are dropped and
+  /// counted in droppedRecords()).
+  TimeUnitBatcher(RecordSource& source, Duration delta, Timestamp startTime);
+
+  /// The next timeunit in sequence (possibly with no records); nullopt once
+  /// the source is exhausted and all buffered records are delivered.
+  std::optional<TimeUnitBatch> next();
+
+  Duration delta() const { return delta_; }
+  std::size_t droppedRecords() const { return dropped_; }
+
+ private:
+  RecordSource& source_;
+  Duration delta_;
+  TimeUnit nextUnit_;
+  std::optional<Record> pending_;
+  bool sourceDone_ = false;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace tiresias

@@ -1,0 +1,38 @@
+#include "timeseries/ewma.h"
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+EwmaForecaster::EwmaForecaster(double alpha) : alpha_(alpha) {
+  TIRESIAS_EXPECT(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0,1]");
+}
+
+void EwmaForecaster::update(double actual) {
+  if (!seeded_) {
+    value_ = actual;
+    seeded_ = true;
+    return;
+  }
+  value_ = alpha_ * actual + (1.0 - alpha_) * value_;
+}
+
+void EwmaForecaster::initFromHistory(std::span<const double> history) {
+  seeded_ = false;
+  value_ = 0.0;
+  for (double v : history) update(v);
+}
+
+void EwmaForecaster::addFrom(const Forecaster& other) {
+  const auto* o = dynamic_cast<const EwmaForecaster*>(&other);
+  TIRESIAS_EXPECT(o != nullptr, "EWMA merge requires an EWMA source");
+  TIRESIAS_EXPECT(o->alpha_ == alpha_, "EWMA merge requires matching alpha");
+  value_ += o->value_;
+  seeded_ = seeded_ || o->seeded_;
+}
+
+std::unique_ptr<Forecaster> EwmaForecaster::clone() const {
+  return std::make_unique<EwmaForecaster>(*this);
+}
+
+}  // namespace tiresias

@@ -1,0 +1,48 @@
+// Forecasting model interface.
+//
+// A Forecaster predicts the next timeunit's value from the values it has
+// been fed so far. ADA moves forecaster state through the hierarchy, so the
+// interface exposes the two linear operations the adaptation relies on:
+// scale(r) (series split with ratio r) and addFrom(other) (series merge).
+// For the additive Holt-Winters model these are exact (Lemma 2); for EWMA
+// they are exact as well (the forecast is a linear functional of history).
+#pragma once
+
+#include <memory>
+#include <span>
+
+namespace tiresias {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Prediction for the next value to be observed (F[t] in Definition 4).
+  virtual double forecast() const = 0;
+
+  /// Feed the observed value for the current timeunit and advance.
+  virtual void update(double actual) = 0;
+
+  /// Initialize/refit from a full history window, oldest first. Equivalent
+  /// to feeding the history to a fresh instance, but implementations may use
+  /// their closed-form bootstrap (Holt-Winters' 2υ initialization).
+  virtual void initFromHistory(std::span<const double> history) = 0;
+
+  /// Multiply the internal state by `ratio` (split).
+  virtual void scale(double ratio) = 0;
+
+  /// Add another forecaster's state into this one (merge). The dynamic
+  /// types and shape parameters must match.
+  virtual void addFrom(const Forecaster& other) = 0;
+
+  virtual std::unique_ptr<Forecaster> clone() const = 0;
+};
+
+/// Creates fresh forecasters for newly promoted heavy hitters.
+class ForecasterFactory {
+ public:
+  virtual ~ForecasterFactory() = default;
+  virtual std::unique_ptr<Forecaster> make() const = 0;
+};
+
+}  // namespace tiresias

@@ -1,0 +1,174 @@
+#include "timeseries/holt_winters.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+HoltWintersForecaster::HoltWintersForecaster(HoltWintersParams params,
+                                             std::vector<SeasonSpec> seasons)
+    : params_(params), seasons_(std::move(seasons)) {
+  TIRESIAS_EXPECT(params_.alpha > 0.0 && params_.alpha <= 1.0,
+                  "alpha must be in (0,1]");
+  TIRESIAS_EXPECT(params_.beta >= 0.0 && params_.beta <= 1.0,
+                  "beta must be in [0,1]");
+  TIRESIAS_EXPECT(params_.gamma >= 0.0 && params_.gamma <= 1.0,
+                  "gamma must be in [0,1]");
+  for (const auto& s : seasons_) {
+    TIRESIAS_EXPECT(s.period >= 2, "seasonal period must be at least 2");
+    seasonal_.emplace_back(s.period, 0.0);
+    cursor_.push_back(0);
+  }
+}
+
+std::size_t HoltWintersForecaster::bootstrapLength() const {
+  std::size_t maxPeriod = 1;
+  for (const auto& s : seasons_) maxPeriod = std::max(maxPeriod, s.period);
+  return 2 * maxPeriod;
+}
+
+double HoltWintersForecaster::combinedSeasonAhead() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < seasons_.size(); ++i) {
+    s += seasons_[i].weight * seasonal_[i][cursor_[i]];
+  }
+  return s;
+}
+
+double HoltWintersForecaster::forecast() const {
+  if (!bootstrapped_) {
+    // Best effort during warm-up: running mean of what has been seen.
+    if (warmup_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : warmup_) sum += v;
+    return sum / static_cast<double>(warmup_.size());
+  }
+  return level_ + trend_ + combinedSeasonAhead();
+}
+
+void HoltWintersForecaster::update(double actual) {
+  if (!bootstrapped_) {
+    warmup_.push_back(actual);
+    if (warmup_.size() >= bootstrapLength()) {
+      // Promote the warm-up buffer to a proper bootstrap.
+      const std::vector<double> history = std::move(warmup_);
+      warmup_.clear();
+      initFromHistory(history);
+    }
+    return;
+  }
+
+  const double seasonOld = combinedSeasonAhead();
+  const double newLevel = params_.alpha * (actual - seasonOld) +
+                          (1.0 - params_.alpha) * (level_ + trend_);
+  trend_ =
+      params_.beta * (newLevel - level_) + (1.0 - params_.beta) * trend_;
+  for (std::size_t i = 0; i < seasons_.size(); ++i) {
+    double& slot = seasonal_[i][cursor_[i]];
+    slot = params_.gamma * (actual - newLevel) + (1.0 - params_.gamma) * slot;
+    cursor_[i] = (cursor_[i] + 1) % seasons_[i].period;
+  }
+  level_ = newLevel;
+}
+
+void HoltWintersForecaster::initFromHistory(std::span<const double> history) {
+  // Reset.
+  bootstrapped_ = false;
+  warmup_.clear();
+  level_ = trend_ = 0.0;
+  for (auto& s : seasonal_) std::fill(s.begin(), s.end(), 0.0);
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+
+  const std::size_t window = bootstrapLength();
+  if (history.size() < window) {
+    // Not enough for the closed-form bootstrap; accumulate as warm-up.
+    for (double v : history) update(v);
+    return;
+  }
+
+  // Closed-form bootstrap on the first `window` points (two cycles of the
+  // longest season), then replay the remainder through the recursions.
+  double total = 0.0;
+  for (std::size_t i = 0; i < window; ++i) total += history[i];
+  level_ = total / static_cast<double>(window);
+
+  const std::size_t half = window / 2;
+  double first = 0.0, second = 0.0;
+  for (std::size_t i = 0; i < half; ++i) first += history[i];
+  for (std::size_t i = half; i < window; ++i) second += history[i];
+  // Cycle means drift by `half` units between the two cycles.
+  trend_ = (second - first) / static_cast<double>(half) /
+           static_cast<double>(half);
+
+  for (std::size_t i = 0; i < seasons_.size(); ++i) {
+    const std::size_t p = seasons_[i].period;
+    std::vector<double> sums(p, 0.0);
+    std::vector<std::size_t> counts(p, 0);
+    for (std::size_t k = 0; k < window; ++k) {
+      sums[k % p] += history[k] - level_;
+      ++counts[k % p];
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      seasonal_[i][j] =
+          counts[j] ? sums[j] / static_cast<double>(counts[j]) : 0.0;
+    }
+    // The next forecast must read S[window - p], whose slot is
+    // window mod p.
+    cursor_[i] = window % p;
+  }
+  bootstrapped_ = true;
+
+  for (std::size_t k = window; k < history.size(); ++k) update(history[k]);
+}
+
+void HoltWintersForecaster::scale(double ratio) {
+  level_ *= ratio;
+  trend_ *= ratio;
+  for (auto& season : seasonal_) {
+    for (double& v : season) v *= ratio;
+  }
+  for (double& v : warmup_) v *= ratio;
+}
+
+void HoltWintersForecaster::addFrom(const Forecaster& other) {
+  const auto* o = dynamic_cast<const HoltWintersForecaster*>(&other);
+  TIRESIAS_EXPECT(o != nullptr, "Holt-Winters merge requires matching type");
+  TIRESIAS_EXPECT(o->seasons_.size() == seasons_.size(),
+                  "Holt-Winters merge requires matching seasons");
+  TIRESIAS_EXPECT(o->bootstrapped_ == bootstrapped_,
+                  "Holt-Winters merge requires matching bootstrap state");
+  if (!bootstrapped_) {
+    TIRESIAS_EXPECT(o->warmup_.size() == warmup_.size(),
+                    "Holt-Winters merge requires aligned warm-up");
+    for (std::size_t i = 0; i < warmup_.size(); ++i) {
+      warmup_[i] += o->warmup_[i];
+    }
+    return;
+  }
+  level_ += o->level_;
+  trend_ += o->trend_;
+  for (std::size_t i = 0; i < seasons_.size(); ++i) {
+    const std::size_t p = seasons_[i].period;
+    TIRESIAS_EXPECT(o->seasons_[i].period == p,
+                    "Holt-Winters merge requires matching periods");
+    // Align by lag: slot (cursor + j) corresponds to the same absolute
+    // timeunit in both models even if they bootstrapped at different times.
+    for (std::size_t j = 0; j < p; ++j) {
+      seasonal_[i][(cursor_[i] + j) % p] +=
+          o->seasonal_[i][(o->cursor_[i] + j) % p];
+    }
+  }
+}
+
+std::unique_ptr<Forecaster> HoltWintersForecaster::clone() const {
+  return std::make_unique<HoltWintersForecaster>(*this);
+}
+
+double HoltWintersForecaster::seasonal(std::size_t i, std::size_t lag) const {
+  TIRESIAS_EXPECT(i < seasons_.size(), "season index out of range");
+  const std::size_t p = seasons_[i].period;
+  return seasonal_[i][(cursor_[i] + lag) % p];
+}
+
+}  // namespace tiresias

@@ -1,0 +1,61 @@
+#include "timeseries/multiscale.h"
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+MultiScaleSeries::MultiScaleSeries(std::size_t scales, std::size_t lambda,
+                                   std::size_t capacity, double alpha)
+    : lambda_(lambda), alpha_(alpha) {
+  TIRESIAS_EXPECT(scales >= 1, "need at least one scale");
+  TIRESIAS_EXPECT(lambda >= 2, "lambda must be at least 2");
+  TIRESIAS_EXPECT(capacity >= 1, "capacity must be positive");
+  TIRESIAS_EXPECT(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+  for (std::size_t i = 0; i < scales; ++i) {
+    actual_.emplace_back(capacity);
+    forecast_.emplace_back(capacity);
+  }
+  ewma_.assign(scales, 0.0);
+  ewmaSeeded_.assign(scales, false);
+  pendingSum_.assign(scales, 0.0);
+  pendingCount_.assign(scales, 0);
+}
+
+void MultiScaleSeries::push(double value) {
+  ++pushCount_;
+  pushAt(0, value);
+}
+
+void MultiScaleSeries::pushAt(std::size_t scale, double value) {
+  // Forecast for this unit is the EWMA state *before* absorbing it
+  // (F[t] = α·T[t−1] + (1−α)·F[t−1]).
+  forecast_[scale].push(ewmaSeeded_[scale] ? ewma_[scale] : value);
+  actual_[scale].push(value);
+  if (!ewmaSeeded_[scale]) {
+    ewma_[scale] = value;
+    ewmaSeeded_[scale] = true;
+  } else {
+    ewma_[scale] = alpha_ * value + (1.0 - alpha_) * ewma_[scale];
+  }
+
+  if (scale + 1 >= actual_.size()) return;
+  pendingSum_[scale] += value;
+  if (++pendingCount_[scale] == lambda_) {
+    const double sum = pendingSum_[scale];
+    pendingSum_[scale] = 0.0;
+    pendingCount_[scale] = 0;
+    pushAt(scale + 1, sum);
+  }
+}
+
+const RingSeries& MultiScaleSeries::actual(std::size_t scale) const {
+  TIRESIAS_EXPECT(scale < actual_.size(), "scale out of range");
+  return actual_[scale];
+}
+
+const RingSeries& MultiScaleSeries::forecastSeries(std::size_t scale) const {
+  TIRESIAS_EXPECT(scale < forecast_.size(), "scale out of range");
+  return forecast_[scale];
+}
+
+}  // namespace tiresias

@@ -1,0 +1,53 @@
+// Multi-timescale series maintenance (§V-B6, Fig 10).
+//
+// Maintains η time scales where scale i has unit size λ^i · Δ. Every push
+// at scale 0 may cascade: once λ values accumulate at scale i, their sum is
+// pushed to scale i+1. Each scale carries its own actual ring, forecast
+// ring, and per-scale EWMA forecaster exactly as the paper's UPDATE_TS
+// pseudocode does. Amortized O(1) per base-unit push (Σ κ/λ^i ≤ 2κ).
+//
+// This is how ADA supports a detection timeunit Δ that is a multiple of the
+// window increment ς: run the core at unit size ς and read the detection
+// series at the scale whose unit is Δ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/ring.h"
+
+namespace tiresias {
+
+class MultiScaleSeries {
+ public:
+  /// `scales` = η ≥ 1, `lambda` = λ ≥ 2, `capacity` = ℓ values kept per
+  /// scale, `alpha` = EWMA smoothing for the per-scale forecast series.
+  MultiScaleSeries(std::size_t scales, std::size_t lambda,
+                   std::size_t capacity, double alpha);
+
+  /// Append a base-scale value; cascades to coarser scales when due.
+  void push(double value);
+
+  std::size_t scales() const { return actual_.size(); }
+  std::size_t lambda() const { return lambda_; }
+
+  const RingSeries& actual(std::size_t scale) const;
+  const RingSeries& forecastSeries(std::size_t scale) const;
+  /// Total base-scale values pushed so far.
+  std::size_t pushCount() const { return pushCount_; }
+
+ private:
+  void pushAt(std::size_t scale, double value);
+
+  std::size_t lambda_;
+  double alpha_;
+  std::vector<RingSeries> actual_;
+  std::vector<RingSeries> forecast_;
+  std::vector<double> ewma_;        // per-scale EWMA state
+  std::vector<bool> ewmaSeeded_;
+  std::vector<double> pendingSum_;  // partial sum awaiting cascade
+  std::vector<std::size_t> pendingCount_;
+  std::size_t pushCount_ = 0;
+};
+
+}  // namespace tiresias

@@ -1,0 +1,80 @@
+#include "timeseries/ring.h"
+
+#include "common/expect.h"
+
+namespace tiresias {
+
+RingSeries::RingSeries(std::size_t capacity) : buf_(capacity, 0.0) {
+  TIRESIAS_EXPECT(capacity > 0, "ring capacity must be positive");
+}
+
+void RingSeries::push(double v) {
+  TIRESIAS_EXPECT(!buf_.empty(), "ring not initialized");
+  if (size_ < buf_.size()) {
+    buf_[index(size_)] = v;
+    ++size_;
+  } else {
+    buf_[head_] = v;
+    head_ = (head_ + 1) % buf_.size();
+  }
+}
+
+double RingSeries::at(std::size_t i) const {
+  TIRESIAS_EXPECT(i < size_, "ring index out of range");
+  return buf_[index(i)];
+}
+
+double RingSeries::fromLatest(std::size_t j) const {
+  TIRESIAS_EXPECT(j < size_, "ring index out of range");
+  return buf_[index(size_ - 1 - j)];
+}
+
+void RingSeries::set(std::size_t i, double v) {
+  TIRESIAS_EXPECT(i < size_, "ring index out of range");
+  buf_[index(i)] = v;
+}
+
+void RingSeries::scale(double factor) {
+  for (std::size_t i = 0; i < size_; ++i) buf_[index(i)] *= factor;
+}
+
+void RingSeries::addFrom(const RingSeries& other) {
+  TIRESIAS_EXPECT(other.size_ == size_,
+                  "merge requires equal-length series");
+  for (std::size_t i = 0; i < size_; ++i) {
+    buf_[index(i)] += other.at(i);
+  }
+}
+
+double RingSeries::sum() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) total += buf_[index(i)];
+  return total;
+}
+
+double RingSeries::sumLatest(std::size_t n) const {
+  TIRESIAS_EXPECT(n <= size_, "not enough values");
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) total += fromLatest(j);
+  return total;
+}
+
+std::vector<double> RingSeries::toVector() const {
+  std::vector<double> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) out[i] = at(i);
+  return out;
+}
+
+void RingSeries::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+void RingSeries::assign(const std::vector<double>& values) {
+  clear();
+  const std::size_t skip =
+      values.size() > capacity() ? values.size() - capacity() : 0;
+  for (std::size_t i = skip; i < values.size(); ++i) push(values[i]);
+}
+
+}  // namespace tiresias

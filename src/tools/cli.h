@@ -1,0 +1,40 @@
+// tiresias_cli — command-line front end for trace generation, detection
+// and seasonality analysis over the built-in dataset presets.
+//
+// Subcommands:
+//   generate   synthesize a CSV trace (optionally with injected spikes)
+//   detect     run the pipeline over a CSV trace, export anomalies
+//   analyze    FFT/wavelet seasonality report for a trace's root counts
+//   hierarchy  print a dataset's hierarchy summary
+//
+// The implementation lives behind runCli so tests can drive it without
+// spawning processes; main() is a one-liner.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tiresias::tools {
+
+/// Parsed "--key value" / positional arguments.
+struct CliArgs {
+  std::string command;
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  /// Last value of --name, or `fallback`.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  bool has(const std::string& name) const;
+};
+
+/// Parse argv (past the program name). Options are "--name value"; a
+/// leading bare word is the subcommand.
+CliArgs parseArgs(const std::vector<std::string>& argv);
+
+/// Run a CLI invocation; output goes to `out`, errors to `err`.
+/// Returns the process exit code.
+int runCli(const std::vector<std::string>& argv, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace tiresias::tools

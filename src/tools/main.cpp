@@ -1,0 +1,9 @@
+#include <iostream>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tiresias::tools::runCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,42 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace tiresias::workload {
+
+double SeasonalRateModel::multiplier(Timestamp t) const {
+  const double hour = static_cast<double>(secondOfDay(t)) / kHour;
+  // Raised cosine with minimum at troughHour: u ∈ [0, 1].
+  const double phase =
+      2.0 * std::numbers::pi * (hour - diurnal_.troughHour) / 24.0;
+  const double u = 0.5 * (1.0 - std::cos(phase));
+  const double shaped = std::pow(u, diurnal_.sharpness);
+  // Map to [1/peakToTrough, 1] so the configured ratio holds exactly.
+  const double lo = 1.0 / diurnal_.peakToTrough;
+  const double diurnal = lo + (1.0 - lo) * shaped;
+  return diurnal * weekdayFactor_[static_cast<std::size_t>(dayOfWeek(t))];
+}
+
+SeasonalRateModel SeasonalRateModel::flat() {
+  SeasonalRateModel m;
+  m.diurnal_.peakToTrough = 1.0;
+  m.diurnal_.sharpness = 1.0;
+  return m;
+}
+
+SeasonalRateModel SeasonalRateModel::ccdLike() {
+  // Day 0 of the synthetic calendar is a Saturday (Fig 2(a) starts on
+  // Saturday May 1 2010): weekend days 0, 1 and 7k+{0,1} are quiet.
+  return SeasonalRateModel({4.0, 24.0, 1.8},
+                           {0.55, 0.6, 1.0, 1.0, 1.0, 1.0, 0.95});
+}
+
+SeasonalRateModel SeasonalRateModel::scdLike() {
+  // STB crashes follow TV-watching hours: diurnal but flatter, with no
+  // weekly structure (Fig 2(b), Fig 11(b)).
+  return SeasonalRateModel({4.5, 6.0, 1.2},
+                           {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+}
+
+}  // namespace tiresias::workload

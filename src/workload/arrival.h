@@ -1,0 +1,50 @@
+// Seasonal arrival-rate model for synthetic operational data.
+//
+// The paper's Fig 2 shows a strong diurnal cycle (daily peak ≈ 4 PM, trough
+// ≈ 4 AM), a weekly cycle in CCD (quieter weekends), and heavy volatility
+// (90th/10th percentile ratio ≈ 35 at the CCD root). We model the expected
+// arrival rate as
+//     rate(t) = base · diurnal(t) · weekday(t)
+// with a raised-cosine diurnal curve (smooth, sharpness-controlled) and a
+// per-day-of-week factor; actual counts are Poisson draws around it.
+#pragma once
+
+#include <array>
+
+#include "common/timeutil.h"
+
+namespace tiresias::workload {
+
+struct DiurnalPattern {
+  double troughHour = 4.0;   // local hour of the daily minimum
+  double peakToTrough = 20.0;  // ratio of peak rate to trough rate
+  double sharpness = 1.6;    // >1 narrows the peak
+};
+
+class SeasonalRateModel {
+ public:
+  SeasonalRateModel() { weekdayFactor_.fill(1.0); }
+  SeasonalRateModel(DiurnalPattern diurnal,
+                    std::array<double, 7> weekdayFactor)
+      : diurnal_(diurnal), weekdayFactor_(weekdayFactor) {}
+
+  /// Dimensionless multiplier; averages ≈ (1 + trough)/something — callers
+  /// treat `base · multiplier` as the expected rate.
+  double multiplier(Timestamp t) const;
+
+  const DiurnalPattern& diurnal() const { return diurnal_; }
+  const std::array<double, 7>& weekdayFactor() const { return weekdayFactor_; }
+
+  /// Uniform rate (no seasonality).
+  static SeasonalRateModel flat();
+  /// Paper-like CCD shape: strong diurnal + weekend dip.
+  static SeasonalRateModel ccdLike();
+  /// Paper-like SCD shape: diurnal only, gentler, no weekly pattern.
+  static SeasonalRateModel scdLike();
+
+ private:
+  DiurnalPattern diurnal_{};
+  std::array<double, 7> weekdayFactor_{};
+};
+
+}  // namespace tiresias::workload

@@ -1,0 +1,121 @@
+#include "workload/ccd.h"
+
+#include "common/expect.h"
+#include "hierarchy/builder.h"
+
+namespace tiresias::workload {
+
+const std::vector<TicketCategory>& ccdTicketMix() {
+  static const std::vector<TicketCategory> kMix = {
+      {"TV", 0.3959},          {"AllProducts", 0.2671},
+      {"Internet", 0.1004},    {"Wireless", 0.0926},
+      {"Phone", 0.0846},       {"Email", 0.0359},
+      {"RemoteControl", 0.0235},
+  };
+  return kMix;
+}
+
+std::vector<std::size_t> ccdTroubleDegrees(Scale scale) {
+  switch (scale) {
+    case Scale::kTest:
+      return {5, 3, 2, 2};
+    case Scale::kMedium:
+      return {9, 4, 3, 3};
+    case Scale::kPaper:
+      return {9, 6, 3, 5};
+  }
+  return {};
+}
+
+std::vector<std::size_t> ccdNetworkDegrees(Scale scale) {
+  switch (scale) {
+    case Scale::kTest:
+      return {6, 3, 2, 3};
+    case Scale::kMedium:
+      return {20, 5, 4, 6};
+    case Scale::kPaper:
+      return {61, 5, 6, 24};
+  }
+  return {};
+}
+
+WorkloadSpec ccdTroubleWorkload(Scale scale) {
+  const auto degrees = ccdTroubleDegrees(scale);
+  WorkloadSpec spec;
+  // Build the tree with named first-level categories.
+  HierarchyBuilder b("TroubleMgmt");
+  const auto& mix = ccdTicketMix();
+  std::vector<NodeId> level1;
+  for (std::size_t i = 0; i < degrees[0]; ++i) {
+    const std::string name = i < mix.size()
+                                 ? mix[i].name
+                                 : "Residual" + std::to_string(i - mix.size());
+    level1.push_back(b.addChild(0, name));
+  }
+  std::vector<NodeId> frontier = level1;
+  for (std::size_t level = 1; level < degrees.size(); ++level) {
+    std::vector<NodeId> next;
+    for (NodeId p : frontier) {
+      for (std::size_t i = 0; i < degrees[level]; ++i) {
+        next.push_back(b.addChild(
+            p, "L" + std::to_string(level + 2) + "_" + std::to_string(i)));
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<NodeId> remap;
+  spec.hierarchy = b.build(&remap);
+
+  // Child shares: Table I mix at level 1 (residual categories share 0.2%
+  // of the mass, taken pro rata), Zipf-ish below.
+  spec.childShares =
+      WorkloadSpec::zipfShares(spec.hierarchy, {1.0, 0.9, 0.7, 0.5});
+  auto& rootShares = spec.childShares[spec.hierarchy.root()];
+  TIRESIAS_EXPECT(rootShares.size() == degrees[0], "level-1 degree mismatch");
+  const std::size_t named = std::min(mix.size(), rootShares.size());
+  const std::size_t residuals = rootShares.size() - named;
+  const double residualMass = residuals > 0 ? 0.002 : 0.0;
+  double namedSum = 0.0;
+  for (std::size_t i = 0; i < named; ++i) namedSum += mix[i].share;
+  for (std::size_t i = 0; i < rootShares.size(); ++i) {
+    if (i < named) {
+      // Table I proportions, renormalized over the categories present.
+      rootShares[i] = mix[i].share / namedSum * (1.0 - residualMass);
+    } else {
+      rootShares[i] = residualMass / static_cast<double>(residuals);
+    }
+  }
+
+  spec.rate = SeasonalRateModel::ccdLike();
+  spec.baseRatePerUnit = scale == Scale::kTest ? 120.0 : 400.0;
+  spec.unit = 15 * kMinute;
+  return spec;
+}
+
+WorkloadSpec ccdNetworkWorkload(Scale scale) {
+  const auto degrees = ccdNetworkDegrees(scale);
+  WorkloadSpec spec;
+  HierarchyBuilder b("SHO");
+  std::vector<NodeId> frontier{0};
+  const char* levelName[] = {"VHO", "IO", "CO", "DSLAM"};
+  for (std::size_t level = 0; level < degrees.size(); ++level) {
+    std::vector<NodeId> next;
+    for (NodeId p : frontier) {
+      for (std::size_t i = 0; i < degrees[level]; ++i) {
+        next.push_back(
+            b.addChild(p, std::string(levelName[level]) + std::to_string(i)));
+      }
+    }
+    frontier = std::move(next);
+  }
+  spec.hierarchy = b.build();
+  // Regional skew: busy metros get more of the traffic.
+  spec.childShares =
+      WorkloadSpec::zipfShares(spec.hierarchy, {0.8, 0.6, 0.5, 0.3});
+  spec.rate = SeasonalRateModel::ccdLike();
+  spec.baseRatePerUnit = scale == Scale::kTest ? 120.0 : 400.0;
+  spec.unit = 15 * kMinute;
+  return spec;
+}
+
+}  // namespace tiresias::workload

@@ -1,0 +1,41 @@
+// CCD — Customer Care call Dataset presets (§II-A).
+//
+// Two hierarchies, matching Table II:
+//   trouble description  depth 5, typical degrees 9 / 6 / 3 / 5
+//   network path         depth 5, typical degrees 61 / 5 / 6 / 24
+//                        (SHO -> VHO -> IO -> CO -> DSLAM)
+// The trouble tree's first level carries the Table I ticket mix (TV 39.59%,
+// All Products 26.71%, ... Remote Control 2.35%, plus two residual
+// categories with negligible mass so the level-1 degree is 9).
+//
+// Scale presets keep the paper's shape at different sizes:
+//   kTest   — seconds-fast trees for unit tests and CI
+//   kMedium — the benches' default; preserves the level structure with a
+//             few thousand network leaves
+//   kPaper  — the full Table II degrees (CCD network ≈ 46k nodes)
+#pragma once
+
+#include "workload/generator.h"
+
+namespace tiresias::workload {
+
+enum class Scale { kTest, kMedium, kPaper };
+
+/// Table I first-level categories and their ticket shares (fractions).
+struct TicketCategory {
+  const char* name;
+  double share;
+};
+const std::vector<TicketCategory>& ccdTicketMix();
+
+/// CCD trouble-description workload (hierarchy of call categories).
+WorkloadSpec ccdTroubleWorkload(Scale scale);
+
+/// CCD network-path workload (SHO/VHO/IO/CO/DSLAM).
+WorkloadSpec ccdNetworkWorkload(Scale scale);
+
+/// Per-scale degree vectors (exposed for the Table II bench).
+std::vector<std::size_t> ccdTroubleDegrees(Scale scale);
+std::vector<std::size_t> ccdNetworkDegrees(Scale scale);
+
+}  // namespace tiresias::workload

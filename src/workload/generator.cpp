@@ -1,0 +1,142 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace tiresias::workload {
+
+std::vector<double> WorkloadSpec::leafProbabilities() const {
+  std::vector<double> prob(hierarchy.size(), 0.0);
+  prob[hierarchy.root()] = 1.0;
+  // Top-down (ascending ids): parents precede children.
+  for (NodeId n = 0; n < hierarchy.size(); ++n) {
+    const auto kids = hierarchy.children(n);
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      prob[kids[i]] = prob[n] * childShares[n][i];
+    }
+  }
+  std::vector<double> out;
+  out.reserve(hierarchy.leafCount());
+  for (NodeId leaf : hierarchy.leaves()) out.push_back(prob[leaf]);
+  return out;
+}
+
+double WorkloadSpec::nodeProbability(NodeId node) const {
+  double p = 1.0;
+  NodeId cur = node;
+  while (cur != hierarchy.root()) {
+    const NodeId parent = hierarchy.parent(cur);
+    const auto kids = hierarchy.children(parent);
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      if (kids[i] == cur) {
+        p *= childShares[parent][i];
+        break;
+      }
+    }
+    cur = parent;
+  }
+  return p;
+}
+
+std::vector<std::vector<double>> WorkloadSpec::zipfShares(
+    const Hierarchy& hierarchy, const std::vector<double>& exponents) {
+  TIRESIAS_EXPECT(!exponents.empty(), "need at least one exponent");
+  std::vector<std::vector<double>> shares(hierarchy.size());
+  for (NodeId n = 0; n < hierarchy.size(); ++n) {
+    const auto kids = hierarchy.children(n);
+    if (kids.empty()) continue;
+    const std::size_t depthIdx = std::min<std::size_t>(
+        static_cast<std::size_t>(hierarchy.depth(n)) - 1,
+        exponents.size() - 1);
+    const double s = exponents[depthIdx];
+    std::vector<double> w(kids.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+      total += w[i];
+    }
+    for (auto& v : w) v /= total;
+    shares[n] = std::move(w);
+  }
+  return shares;
+}
+
+GeneratorSource::GeneratorSource(
+    const WorkloadSpec& spec, TimeUnit firstUnit, TimeUnit lastUnit,
+    std::uint64_t seed, std::shared_ptr<const AnomalyInjector> injector)
+    : spec_(spec),
+      nextUnit_(firstUnit),
+      lastUnit_(lastUnit),
+      rng_(seed),
+      injector_(std::move(injector)) {
+  TIRESIAS_EXPECT(firstUnit <= lastUnit, "unit range reversed");
+  TIRESIAS_EXPECT(spec.childShares.size() == spec.hierarchy.size(),
+                  "child shares must cover every node");
+  cdf_.resize(spec.hierarchy.size());
+  for (NodeId n = 0; n < spec.hierarchy.size(); ++n) {
+    const auto& shares = spec.childShares[n];
+    if (shares.empty()) continue;
+    cdf_[n].resize(shares.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      acc += shares[i];
+      cdf_[n][i] = acc;
+    }
+    cdf_[n].back() = 1.0;  // guard against rounding drift
+  }
+}
+
+NodeId GeneratorSource::sampleLeaf() {
+  NodeId cur = spec_.hierarchy.root();
+  while (!spec_.hierarchy.isLeaf(cur)) {
+    const auto& cdf = cdf_[cur];
+    const double u = rng_.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+    cur = spec_.hierarchy.children(cur)[idx];
+  }
+  return cur;
+}
+
+void GeneratorSource::fillUnit() {
+  buffer_.clear();
+  bufferPos_ = 0;
+  const Timestamp start = unitStart(nextUnit_, spec_.unit);
+  const Timestamp mid = start + spec_.unit / 2;
+  const double mean =
+      spec_.baseRatePerUnit * spec_.rate.multiplier(mid);
+  const std::uint64_t count = rng_.poisson(mean);
+  buffer_.reserve(count + 8);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Timestamp t =
+        start + static_cast<Timestamp>(rng_.below(
+                    static_cast<std::uint64_t>(spec_.unit)));
+    buffer_.push_back({sampleLeaf(), t});
+  }
+  if (injector_) {
+    for (NodeId leaf : injector_->drawExtras(nextUnit_, rng_)) {
+      const Timestamp t =
+          start + static_cast<Timestamp>(rng_.below(
+                      static_cast<std::uint64_t>(spec_.unit)));
+      buffer_.push_back({leaf, t});
+    }
+  }
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const Record& a, const Record& b) { return a.time < b.time; });
+  ++nextUnit_;
+}
+
+std::optional<Record> GeneratorSource::next() {
+  while (bufferPos_ >= buffer_.size()) {
+    if (nextUnit_ >= lastUnit_) return std::nullopt;
+    fillUnit();
+  }
+  ++produced_;
+  return buffer_[bufferPos_++];
+}
+
+}  // namespace tiresias::workload

@@ -1,0 +1,59 @@
+#include "workload/injector.h"
+
+namespace tiresias::workload {
+
+std::vector<SpikeSpec> GroundTruthLedger::activeAt(TimeUnit unit) const {
+  std::vector<SpikeSpec> out;
+  for (const auto& s : specs_) {
+    if (s.activeAt(unit)) out.push_back(s);
+  }
+  return out;
+}
+
+bool GroundTruthLedger::matches(const Hierarchy& hierarchy, NodeId node,
+                                TimeUnit unit) const {
+  for (const auto& s : specs_) {
+    if (!s.activeAt(unit)) continue;
+    if (hierarchy.isAncestorOrEqual(node, s.node) ||
+        hierarchy.isAncestorOrEqual(s.node, node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+NodeId AnomalyInjector::randomLeafUnder(NodeId node, Rng& rng) const {
+  NodeId cur = node;
+  while (!hierarchy_->isLeaf(cur)) {
+    // Weight the walk by subtree leaf counts for a uniform leaf choice.
+    const auto kids = hierarchy_->children(cur);
+    const std::uint64_t pick =
+        rng.below(hierarchy_->leavesUnder(cur));
+    std::uint64_t acc = 0;
+    NodeId chosen = kids.back();
+    for (NodeId c : kids) {
+      acc += hierarchy_->leavesUnder(c);
+      if (pick < acc) {
+        chosen = c;
+        break;
+      }
+    }
+    cur = chosen;
+  }
+  return cur;
+}
+
+std::vector<NodeId> AnomalyInjector::drawExtras(TimeUnit unit,
+                                                Rng& rng) const {
+  std::vector<NodeId> extras;
+  for (const auto& spec : ledger_.specs()) {
+    if (!spec.activeAt(unit)) continue;
+    const std::uint64_t count = rng.poisson(spec.extraPerUnit);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      extras.push_back(randomLeafUnder(spec.node, rng));
+    }
+  }
+  return extras;
+}
+
+}  // namespace tiresias::workload

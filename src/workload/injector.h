@@ -1,0 +1,68 @@
+// Anomaly injection with a ground-truth ledger.
+//
+// A SpikeSpec adds extra records under a target node for a window of
+// timeunits — the synthetic equivalent of the paper's network incidents
+// (outages, intermittent drops) that drive bursts of customer calls or STB
+// crashes. The ledger is the evaluation ground truth for Table VI.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timeutil.h"
+#include "hierarchy/hierarchy.h"
+
+namespace tiresias::workload {
+
+struct SpikeSpec {
+  NodeId node = kInvalidNode;  // affected aggregate (records land on
+                               // leaves beneath it)
+  TimeUnit startUnit = 0;
+  std::size_t durationUnits = 1;
+  /// Expected extra records per timeunit while active (Poisson mean).
+  double extraPerUnit = 0.0;
+
+  bool activeAt(TimeUnit unit) const {
+    return unit >= startUnit &&
+           unit < startUnit + static_cast<TimeUnit>(durationUnits);
+  }
+};
+
+class GroundTruthLedger {
+ public:
+  void add(const SpikeSpec& spec) { specs_.push_back(spec); }
+  const std::vector<SpikeSpec>& specs() const { return specs_; }
+
+  /// Spikes active in the given unit.
+  std::vector<SpikeSpec> activeAt(TimeUnit unit) const;
+
+  /// True iff some spike active at `unit` injects at `node` or anywhere in
+  /// `node`'s subtree, or at an ancestor of `node` — i.e. the detection
+  /// location is on the injected event's root path (the paper's
+  /// L(a) ⊒ L(b) match in either direction).
+  bool matches(const Hierarchy& hierarchy, NodeId node, TimeUnit unit) const;
+
+ private:
+  std::vector<SpikeSpec> specs_;
+};
+
+/// Draws the injected records for one timeunit.
+class AnomalyInjector {
+ public:
+  AnomalyInjector(const Hierarchy& hierarchy, GroundTruthLedger ledger)
+      : hierarchy_(&hierarchy), ledger_(std::move(ledger)) {}
+
+  const GroundTruthLedger& ledger() const { return ledger_; }
+
+  /// Leaf nodes (with multiplicity) of extra records for `unit`.
+  std::vector<NodeId> drawExtras(TimeUnit unit, Rng& rng) const;
+
+ private:
+  /// Uniformly random leaf in the subtree of `node`.
+  NodeId randomLeafUnder(NodeId node, Rng& rng) const;
+
+  const Hierarchy* hierarchy_;
+  GroundTruthLedger ledger_;
+};
+
+}  // namespace tiresias::workload

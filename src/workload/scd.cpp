@@ -1,0 +1,46 @@
+#include "workload/scd.h"
+
+#include "hierarchy/builder.h"
+
+namespace tiresias::workload {
+
+std::vector<std::size_t> scdNetworkDegrees(Scale scale) {
+  switch (scale) {
+    case Scale::kTest:
+      return {12, 4, 3};
+    case Scale::kMedium:
+      return {120, 12, 6};
+    case Scale::kPaper:
+      return {2000, 30, 6};
+  }
+  return {};
+}
+
+WorkloadSpec scdNetworkWorkload(Scale scale) {
+  const auto degrees = scdNetworkDegrees(scale);
+  WorkloadSpec spec;
+  HierarchyBuilder b("National");
+  std::vector<NodeId> frontier{0};
+  const char* levelName[] = {"CO", "DSLAM", "STB"};
+  for (std::size_t level = 0; level < degrees.size(); ++level) {
+    std::vector<NodeId> next;
+    for (NodeId p : frontier) {
+      for (std::size_t i = 0; i < degrees[level]; ++i) {
+        next.push_back(
+            b.addChild(p, std::string(levelName[level]) + std::to_string(i)));
+      }
+    }
+    frontier = std::move(next);
+  }
+  spec.hierarchy = b.build();
+  // Flatter skew than CCD: crashes are spread broadly across boxes, giving
+  // the lower per-node variance the paper reports for SCD.
+  spec.childShares =
+      WorkloadSpec::zipfShares(spec.hierarchy, {0.4, 0.3, 0.2});
+  spec.rate = SeasonalRateModel::scdLike();
+  spec.baseRatePerUnit = scale == Scale::kTest ? 100.0 : 250.0;
+  spec.unit = 15 * kMinute;
+  return spec;
+}
+
+}  // namespace tiresias::workload

@@ -1,0 +1,19 @@
+// SCD — Set-Top Box crash dataset presets (§II-A).
+//
+// One network-path hierarchy of depth 4 (Table II: national -> CO -> DSLAM
+// -> STB with typical degrees 2000 / 30 / 6). The arrival pattern is
+// diurnal-only and has a smaller variance than CCD, which is why the paper
+// sees fewer split operations and higher ADA accuracy on SCD (§VII-A).
+#pragma once
+
+#include "workload/ccd.h"
+
+namespace tiresias::workload {
+
+/// SCD network-path workload.
+WorkloadSpec scdNetworkWorkload(Scale scale);
+
+/// Per-scale degree vectors (Table II row for SCD).
+std::vector<std::size_t> scdNetworkDegrees(Scale scale);
+
+}  // namespace tiresias::workload

@@ -1,0 +1,261 @@
+// Unit tests for the ADA adaptive detector: bootstrap, split, merge, the
+// deep-chain regression, root handling and reference corrections.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ada.h"
+#include "core/sta.h"
+#include "hierarchy/builder.h"
+#include "timeseries/ewma.h"
+
+namespace tiresias {
+namespace {
+
+DetectorConfig config(std::size_t window, double theta = 4.0,
+                      std::size_t refLevels = 0) {
+  DetectorConfig cfg;
+  cfg.theta = theta;
+  cfg.windowLength = window;
+  cfg.ratioThreshold = 2.0;
+  cfg.diffThreshold = 3.0;
+  cfg.referenceLevels = refLevels;
+  cfg.validateShhh = true;
+  cfg.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+  return cfg;
+}
+
+TimeUnitBatch batchOf(TimeUnit unit,
+                      std::vector<std::pair<NodeId, int>> counts,
+                      Duration delta = 900) {
+  TimeUnitBatch b;
+  b.unit = unit;
+  for (const auto& [node, c] : counts) {
+    for (int i = 0; i < c; ++i) {
+      b.records.push_back({node, unitStart(unit, delta)});
+    }
+  }
+  return b;
+}
+
+TEST(Ada, BootstrapMatchesSta) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  AdaDetector ada(h, config(4));
+  StaDetector sta(h, config(4));
+  const NodeId leaf = h.leaves()[0];
+  std::optional<InstanceResult> ra, rs;
+  for (TimeUnit u = 0; u < 4; ++u) {
+    auto batch = batchOf(u, {{leaf, 5 + static_cast<int>(u)}});
+    ra = ada.step(batch);
+    rs = sta.step(batch);
+  }
+  ASSERT_TRUE(ra && rs);
+  EXPECT_EQ(ra->shhh, rs->shhh);
+  EXPECT_EQ(ada.seriesOf(leaf), sta.seriesOf(leaf));
+}
+
+TEST(Ada, SplitMovesSeriesDownOneLevel) {
+  // Mass starts aggregated below theta at two leaves (parent is the HH);
+  // then one leaf spikes above theta -> the parent splits.
+  HierarchyBuilder b("root");
+  const NodeId a = b.addChild(0, "a");
+  b.addChild(a, "a0");
+  b.addChild(a, "a1");
+  const auto h = b.build();
+  const NodeId a0 = h.find("a/a0");
+  const NodeId a1 = h.find("a/a1");
+  const NodeId an = h.find("a");
+
+  AdaDetector ada(h, config(4, 4.0));
+  for (TimeUnit u = 0; u < 4; ++u) {
+    ada.step(batchOf(u, {{a0, 3}, {a1, 2}}));  // a's W = 5 >= theta
+  }
+  EXPECT_EQ(ada.currentShhh(), std::vector<NodeId>{an});
+  const auto before = ada.seriesOf(an);
+  ASSERT_EQ(before.size(), 4u);
+
+  auto result = ada.step(batchOf(4, {{a0, 6}, {a1, 2}}));
+  ASSERT_TRUE(result);
+  // a0 heavy (6), a residual = 2 -> a not heavy, root residual = 2 -> not.
+  EXPECT_EQ(result->shhh, std::vector<NodeId>{a0});
+  EXPECT_GT(ada.splitCount(), 0u);
+  // a0 received a share of a's history plus the fresh exact value.
+  const auto s = ada.seriesOf(a0);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.back(), 6.0);
+}
+
+TEST(Ada, MergeFoldsFadedHeavyHitters) {
+  HierarchyBuilder b("root");
+  const NodeId a = b.addChild(0, "a");
+  b.addChild(a, "a0");
+  b.addChild(a, "a1");
+  const auto h = b.build();
+  const NodeId a0 = h.find("a/a0");
+  const NodeId a1 = h.find("a/a1");
+  const NodeId an = h.find("a");
+
+  AdaDetector ada(h, config(4, 4.0));
+  for (TimeUnit u = 0; u < 4; ++u) {
+    ada.step(batchOf(u, {{a0, 5}, {a1, 5}}));  // both leaves heavy
+  }
+  EXPECT_EQ(ada.currentShhh(), (std::vector<NodeId>{a0, a1}));
+
+  // Both fade: their series merge into the parent (which becomes heavy).
+  auto result = ada.step(batchOf(4, {{a0, 2}, {a1, 3}}));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->shhh, std::vector<NodeId>{an});
+  EXPECT_GT(ada.mergeCount(), 0u);
+  const auto s = ada.seriesOf(an);
+  ASSERT_EQ(s.size(), 4u);
+  // Merged history = sum of the two leaf histories (5+5 per unit).
+  EXPECT_DOUBLE_EQ(s[0], 10.0);
+  EXPECT_DOUBLE_EQ(s[1], 10.0);
+  EXPECT_DOUBLE_EQ(s[2], 10.0);
+  EXPECT_DOUBLE_EQ(s.back(), 5.0);  // fresh exact W
+}
+
+TEST(Ada, DeepChainRegression) {
+  // DESIGN.md deviation 1: a new heavy hitter two levels below the series
+  // holder, with a below-theta intermediate, must still receive a series.
+  HierarchyBuilder b("root");
+  const NodeId c = b.addChild(0, "c");
+  const NodeId g0 = b.addChild(c, "g0");
+  b.addChild(c, "g1");
+  b.addChild(g0, "x0");
+  b.addChild(g0, "x1");
+  const auto h = b.build();
+  const NodeId x0 = h.find("c/g0/x0");
+  const NodeId x1 = h.find("c/g0/x1");
+  const NodeId g1 = h.find("c/g1");
+
+  AdaDetector ada(h, config(4, 4.0));
+  // History: diffuse mass -> c is the only holder (W_c = 4 >= theta), two
+  // levels above the leaf that will spike.
+  for (TimeUnit u = 0; u < 4; ++u) {
+    ada.step(batchOf(u, {{x0, 2}, {x1, 1}, {g1, 1}}));
+  }
+  EXPECT_EQ(ada.currentShhh(), std::vector<NodeId>{h.find("c")});
+
+  // Deep spike at x0: x0 heavy, g0 residual 1 < theta, c residual 2 < theta.
+  auto result = ada.step(batchOf(4, {{x0, 7}, {x1, 1}, {g1, 1}}));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->shhh, std::vector<NodeId>{x0});
+  EXPECT_EQ(ada.seriesOf(x0).size(), 4u);
+}
+
+TEST(Ada, RootSplitAndRecovery) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  const NodeId leaf = h.leaves()[0];
+  // theta = 5: with 2 records per leaf each depth-2 node aggregates only 4,
+  // so the root (W = 8) is the sole heavy hitter.
+  AdaDetector ada(h, config(4, 5.0, /*refLevels=*/1));
+  for (TimeUnit u = 0; u < 4; ++u) {
+    TimeUnitBatch batch;
+    batch.unit = u;
+    for (NodeId l : h.leaves()) {
+      batch.records.push_back({l, unitStart(u, 900)});
+      batch.records.push_back({l, unitStart(u, 900)});
+    }
+    ada.step(batch);  // root W = 8
+  }
+  EXPECT_EQ(ada.currentShhh(), std::vector<NodeId>{h.root()});
+
+  // One leaf takes all the mass: root splits down to it; later the mass
+  // diffuses again and everything merges back up to the root.
+  auto result = ada.step(batchOf(4, {{leaf, 9}}));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->shhh, std::vector<NodeId>{leaf});
+
+  TimeUnitBatch diffuse;
+  diffuse.unit = 5;
+  for (NodeId l : h.leaves()) {
+    diffuse.records.push_back({l, unitStart(5, 900)});
+    diffuse.records.push_back({l, unitStart(5, 900)});
+  }
+  result = ada.step(diffuse);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->shhh, std::vector<NodeId>{h.root()});
+  // The root's history was rebuilt (reference correction): the fresh
+  // value is exact.
+  EXPECT_DOUBLE_EQ(ada.seriesOf(h.root()).back(), 8.0);
+}
+
+TEST(Ada, FullReferenceLevelsGiveExactSeries) {
+  // With reference series on every level, every split/merge-received node
+  // is corrected, so ADA's series must equal STA's exactly.
+  const auto h = HierarchyBuilder::balanced({3, 2, 2});
+  auto cfg = config(6, 4.0, /*refLevels=*/4);
+  AdaDetector ada(h, cfg);
+  StaDetector sta(h, cfg);
+  Rng rng(61);
+  std::optional<InstanceResult> ra, rs;
+  for (TimeUnit u = 0; u < 30; ++u) {
+    TimeUnitBatch batch;
+    batch.unit = u;
+    // Shifting hotspot: forces splits and merges.
+    const NodeId hot = h.leaves()[(u / 3) % h.leafCount()];
+    for (int i = 0; i < 6; ++i) {
+      batch.records.push_back({hot, unitStart(u, 900)});
+    }
+    for (int i = 0; i < 3; ++i) {
+      batch.records.push_back(
+          {h.leaves()[rng.below(h.leafCount())], unitStart(u, 900)});
+    }
+    ra = ada.step(batch);
+    rs = sta.step(batch);
+    if (!ra) continue;
+    ASSERT_TRUE(rs);
+    ASSERT_EQ(ra->shhh, rs->shhh) << "unit " << u;
+    for (NodeId n : ra->shhh) {
+      const auto sa = ada.seriesOf(n);
+      const auto ss = sta.seriesOf(n);
+      ASSERT_EQ(sa.size(), ss.size());
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_NEAR(sa[i], ss[i], 1e-9)
+            << "node " << n << " idx " << i << " unit " << u;
+      }
+    }
+  }
+  EXPECT_GT(ada.splitCount() + ada.mergeCount(), 0u);
+}
+
+TEST(Ada, AnomalyOnFreshValueUsesExactWeight) {
+  const auto h = HierarchyBuilder::balanced({2});
+  const NodeId leaf = h.leaves()[0];
+  AdaDetector ada(h, config(4, 4.0));
+  for (TimeUnit u = 0; u < 6; ++u) ada.step(batchOf(u, {{leaf, 5}}));
+  auto result = ada.step(batchOf(6, {{leaf, 42}}));
+  ASSERT_TRUE(result);
+  ASSERT_EQ(result->anomalies.size(), 1u);
+  EXPECT_EQ(result->anomalies[0].node, leaf);
+  EXPECT_DOUBLE_EQ(result->anomalies[0].actual, 42.0);
+  EXPECT_GT(result->anomalies[0].ratio, 2.0);
+}
+
+TEST(Ada, MemoryStatsReflectHolders) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  AdaDetector ada(h, config(4, 4.0, 1));
+  const NodeId leaf = h.leaves()[0];
+  for (TimeUnit u = 0; u < 4; ++u) ada.step(batchOf(u, {{leaf, 5}}));
+  const auto stats = ada.memoryStats();
+  // Holders: leaf + root residual -> 2 nodes * 2 rings.
+  EXPECT_EQ(stats.seriesCount, 4u);
+  // Refs: root + 2 level-2 nodes.
+  EXPECT_EQ(stats.refSeriesCount, 6u);
+  EXPECT_GT(stats.bytesEstimate, 0u);
+}
+
+TEST(Ada, QuietStreamKeepsOnlyRoot) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  AdaDetector ada(h, config(3, 4.0));
+  for (TimeUnit u = 0; u < 6; ++u) {
+    auto result = ada.step(batchOf(u, {}));
+    if (result) {
+      EXPECT_TRUE(result->shhh.empty());
+    }
+  }
+  EXPECT_TRUE(ada.seriesOf(h.root()).size() > 0);
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,94 @@
+// Randomized stress tests for the timeunit batcher and the batcher +
+// detector composition: arbitrary gaps, bursts, and boundary timestamps
+// must never lose or duplicate records, and unit indices must be
+// contiguous.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ada.h"
+#include "hierarchy/builder.h"
+#include "stream/window.h"
+#include "timeseries/ewma.h"
+
+namespace tiresias {
+namespace {
+
+class BatcherFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatcherFuzz, NoLossNoDuplicationContiguousUnits) {
+  Rng rng(GetParam());
+  const Duration delta = 60 + rng.below(900);
+  std::vector<Record> records;
+  Timestamp t = static_cast<Timestamp>(rng.below(1000));
+  const std::size_t n = 200 + rng.below(800);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mixture of dense bursts, unit-boundary hits and long gaps.
+    switch (rng.below(6)) {
+      case 0:
+        t += 0;  // duplicate timestamp
+        break;
+      case 1:
+        t += delta - (t % delta);  // land exactly on a unit boundary
+        break;
+      case 2:
+        t += delta * (1 + rng.below(10));  // skip whole units
+        break;
+      default:
+        t += rng.below(static_cast<std::uint64_t>(delta));
+        break;
+    }
+    records.push_back({static_cast<NodeId>(rng.below(4)), t});
+  }
+
+  VectorSource src(records);
+  TimeUnitBatcher batcher(src, delta, records.front().time);
+  std::size_t total = 0;
+  std::optional<TimeUnit> prev;
+  while (auto batch = batcher.next()) {
+    if (prev) {
+      EXPECT_EQ(batch->unit, *prev + 1) << "units must be contiguous";
+    }
+    prev = batch->unit;
+    for (const auto& r : batch->records) {
+      EXPECT_EQ(timeUnitOf(r.time, delta), batch->unit);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, records.size());
+  EXPECT_EQ(batcher.droppedRecords(), 0u);
+}
+
+TEST_P(BatcherFuzz, DetectorSurvivesArbitraryStreams) {
+  // End-to-end robustness: ADA over fuzzed streams never violates its
+  // internal invariants (validateShhh aborts on any Lemma-1 breach).
+  Rng rng(GetParam() ^ 0xf00dULL);
+  const auto h = HierarchyBuilder::balanced({3, 3, 2});
+  DetectorConfig cfg;
+  cfg.theta = 2.0 + static_cast<double>(rng.below(5));
+  cfg.windowLength = 4 + rng.below(12);
+  cfg.referenceLevels = rng.below(3);
+  cfg.validateShhh = true;
+  cfg.forecasterFactory = std::make_shared<EwmaFactory>(0.4);
+  AdaDetector ada(h, cfg);
+
+  std::vector<Record> records;
+  Timestamp t = 0;
+  for (int i = 0; i < 600; ++i) {
+    t += rng.below(2400);
+    records.push_back(
+        {h.leaves()[rng.below(h.leafCount())], t});
+  }
+  VectorSource src(records);
+  TimeUnitBatcher batcher(src, 900, 0);
+  std::size_t results = 0;
+  while (auto batch = batcher.next()) {
+    if (ada.step(*batch)) ++results;
+  }
+  EXPECT_GT(results, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatcherFuzz,
+                         ::testing::Values(1, 12, 123, 1234, 12345, 54321));
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,202 @@
+// Tests for the tiresias_cli front end (generate / detect / analyze /
+// hierarchy), driven in-process through runCli.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tools/cli.h"
+
+namespace tiresias::tools {
+namespace {
+
+int run(const std::vector<std::string>& argv, std::string* outText = nullptr,
+        std::string* errText = nullptr) {
+  std::ostringstream out, err;
+  const int rc = runCli(argv, out, err);
+  if (outText) *outText = out.str();
+  if (errText) *errText = err.str();
+  return rc;
+}
+
+TEST(CliArgs, ParsesCommandOptionsPositionals) {
+  const auto args = parseArgs(
+      {"generate", "--dataset", "scd", "--flag", "--seed", "9", "extra"});
+  EXPECT_EQ(args.command, "generate");
+  EXPECT_EQ(args.get("dataset", ""), "scd");
+  EXPECT_EQ(args.get("seed", ""), "9");
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "extra");
+}
+
+TEST(CliArgs, RepeatedOptionKeepsAll) {
+  const auto args = parseArgs({"generate", "--spike", "a:1:2:3", "--spike",
+                               "b:4:5:6"});
+  int spikes = 0;
+  for (const auto& [k, v] : args.options) {
+    (void)v;
+    if (k == "spike") ++spikes;
+  }
+  EXPECT_EQ(spikes, 2);
+}
+
+TEST(Cli, NoCommandPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(run({}, &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  EXPECT_EQ(run({"help"}, &out), 0);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::string err;
+  EXPECT_EQ(run({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, HierarchySummary) {
+  std::string out;
+  EXPECT_EQ(run({"hierarchy", "--dataset", "scd", "--scale", "test"}, &out),
+            0);
+  EXPECT_NE(out.find("height=4"), std::string::npos);
+  EXPECT_NE(out.find("depth 1: 1 nodes"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadDatasetAndScale) {
+  std::string err;
+  EXPECT_EQ(run({"hierarchy", "--dataset", "nope"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown --dataset"), std::string::npos);
+  EXPECT_EQ(run({"hierarchy", "--dataset", "scd", "--scale", "giant"},
+                nullptr, &err),
+            2);
+}
+
+TEST(Cli, GenerateDetectRoundTrip) {
+  const std::string trace = ::testing::TempDir() + "/cli_trace.csv";
+  const std::string report = ::testing::TempDir() + "/cli_anoms.csv";
+  std::string out;
+  // 3 days of test-scale CCD network traffic with one injected IO burst
+  // on day 3 (unit 240), after the 96-unit detection window fills.
+  ASSERT_EQ(run({"generate", "--dataset", "ccd-net", "--scale", "test",
+                 "--days", "3", "--seed", "5", "--out", trace, "--spike",
+                 "VHO1/IO0:240:3:80"},
+                &out),
+            0);
+  EXPECT_NE(out.find("1 injected spikes"), std::string::npos);
+
+  ASSERT_EQ(run({"detect", "--dataset", "ccd-net", "--scale", "test",
+                 "--trace", trace, "--theta", "8", "--window", "96", "--rt",
+                 "2.0", "--dt", "6", "--out", report},
+                &out),
+            0);
+  EXPECT_NE(out.find("processed 288 timeunits"), std::string::npos);
+  EXPECT_NE(out.find("VHO1/IO0"), std::string::npos);  // burst localized
+  std::ifstream reportIn(report);
+  EXPECT_TRUE(reportIn.good());
+  std::remove(trace.c_str());
+  std::remove(report.c_str());
+}
+
+TEST(Cli, DetectRequiresTrace) {
+  std::string err;
+  EXPECT_EQ(run({"detect", "--dataset", "scd"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--trace is required"), std::string::npos);
+}
+
+TEST(Cli, GenerateRejectsBadSpike) {
+  std::string err;
+  EXPECT_EQ(run({"generate", "--dataset", "ccd-net", "--out", "/tmp/x.csv",
+                 "--spike", "garbage"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("bad --spike"), std::string::npos);
+  EXPECT_EQ(run({"generate", "--dataset", "ccd-net", "--out", "/tmp/x.csv",
+                 "--spike", "NoSuchNode:1:1:1"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown spike path"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeFindsDiurnalSeason) {
+  const std::string trace = ::testing::TempDir() + "/cli_seasonal.csv";
+  std::string out;
+  ASSERT_EQ(run({"generate", "--dataset", "ccd-trouble", "--scale", "test",
+                 "--days", "6", "--seed", "3", "--out", trace},
+                &out),
+            0);
+  ASSERT_EQ(run({"analyze", "--dataset", "ccd-trouble", "--scale", "test",
+                 "--trace", trace},
+                &out),
+            0);
+  EXPECT_NE(out.find("period=96 units (24.0 hours)"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, CustomHierarchyFromPathsFile) {
+  const std::string pathsFile = ::testing::TempDir() + "/custom_paths.txt";
+  {
+    std::ofstream f(pathsFile);
+    f << "east/pop1\neast/pop2\nwest/pop1\n";
+  }
+  std::string out;
+  EXPECT_EQ(run({"hierarchy", "--hierarchy", pathsFile}, &out), 0);
+  EXPECT_NE(out.find("leaves=3"), std::string::npos);
+  EXPECT_NE(out.find("height=3"), std::string::npos);
+  std::remove(pathsFile.c_str());
+}
+
+TEST(Cli, CustomHierarchyDetect) {
+  const std::string pathsFile = ::testing::TempDir() + "/det_paths.txt";
+  const std::string trace = ::testing::TempDir() + "/det_trace.csv";
+  {
+    std::ofstream f(pathsFile);
+    f << "east/pop1\neast/pop2\nwest/pop1\n";
+  }
+  {
+    // 20 quiet units then a burst at pop1 in unit 20.
+    std::ofstream f(trace);
+    for (int u = 0; u < 21; ++u) {
+      const int count = u == 20 ? 30 : 4;
+      for (int i = 0; i < count; ++i) {
+        f << "east/pop1," << u * 900 + i << "\n";
+      }
+    }
+  }
+  std::string out;
+  ASSERT_EQ(run({"detect", "--hierarchy", pathsFile, "--trace", trace,
+                 "--theta", "3", "--window", "12", "--rt", "2", "--dt", "5"},
+                &out),
+            0);
+  EXPECT_NE(out.find("anomaly unit=20 root/east/pop1"), std::string::npos);
+  std::remove(pathsFile.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, MissingHierarchyFileFails) {
+  std::string err;
+  EXPECT_EQ(run({"hierarchy", "--hierarchy", "/nonexistent/x.txt"}, nullptr,
+                &err),
+            2);
+  EXPECT_NE(err.find("cannot open --hierarchy"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeRejectsShortTrace) {
+  const std::string trace = ::testing::TempDir() + "/cli_short.csv";
+  {
+    std::ofstream f(trace);
+    f << "VHO0/IO0/CO0/DSLAM0,100\n";
+  }
+  std::string err;
+  EXPECT_EQ(run({"analyze", "--dataset", "ccd-net", "--scale", "test",
+                 "--trace", trace},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("too short"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+}  // namespace
+}  // namespace tiresias::tools

@@ -1,0 +1,220 @@
+// Unit tests for src/common: rng, stats, csv, table, time helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "common/timeutil.h"
+
+namespace tiresias {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 6.5);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, BelowCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningMoments m;
+  for (int i = 0; i < 50000; ++i) m.add(rng.normal());
+  EXPECT_NEAR(m.mean(), 0.0, 0.03);
+  EXPECT_NEAR(m.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMeanSmall) {
+  Rng rng(13);
+  RunningMoments m;
+  for (int i = 0; i < 20000; ++i) {
+    m.add(static_cast<double>(rng.poisson(3.5)));
+  }
+  EXPECT_NEAR(m.mean(), 3.5, 0.1);
+  EXPECT_NEAR(m.variance(), 3.5, 0.25);
+}
+
+TEST(Rng, PoissonMeanLargeUsesNormalApprox) {
+  Rng rng(17);
+  RunningMoments m;
+  for (int i = 0; i < 20000; ++i) {
+    m.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(m.mean(), 200.0, 1.5);
+  EXPECT_NEAR(m.stddev(), std::sqrt(200.0), 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(21);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c1.next() == c2.next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Zipf, PmfSumsToOneAndDecreases) {
+  ZipfSampler z(100, 1.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) total += z.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(10));
+}
+
+TEST(Zipf, SampleMatchesPmf) {
+  ZipfSampler z(20, 1.2);
+  Rng rng(23);
+  std::vector<int> counts(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, z.pmf(i), 0.01);
+  }
+}
+
+TEST(Stats, RunningMomentsMatchesBatch) {
+  RunningMoments m;
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7};
+  for (double x : xs) m.add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 4.0);
+  EXPECT_NEAR(m.variance(), 4.6666666, 1e-6);
+  EXPECT_EQ(m.min(), 1.0);
+  EXPECT_EQ(m.max(), 7.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Stats, CcdfStepValues) {
+  const auto points = ccdf({1, 1, 2, 3});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].y, 1.0);     // P(X >= 1)
+  EXPECT_DOUBLE_EQ(points[1].y, 0.5);     // P(X >= 2)
+  EXPECT_DOUBLE_EQ(points[2].y, 0.25);    // P(X >= 3)
+}
+
+TEST(Stats, CcdfLogBinnedMonotone) {
+  std::vector<double> xs;
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(0.001, 10.0));
+  const auto binned = ccdfLogBinned(xs, 20);
+  ASSERT_EQ(binned.size(), 20u);
+  for (std::size_t i = 1; i < binned.size(); ++i) {
+    EXPECT_LE(binned[i].y, binned[i - 1].y + 1e-12);
+    EXPECT_GT(binned[i].x, binned[i - 1].x);
+  }
+}
+
+TEST(Csv, EscapeRoundTrip) {
+  const std::vector<std::string> fields{"plain", "with,comma", "with\"quote",
+                                        "multi\nline", ""};
+  const auto line = csvJoin(fields);
+  EXPECT_EQ(csvSplit(line), fields);
+}
+
+TEST(Csv, SplitSimple) {
+  const auto fields = csvSplit("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  AsciiTable t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRule();
+  t.addRow({"beta", "22"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| alpha |"), std::string::npos);
+  EXPECT_NE(s.find("| beta  |"), std::string::npos);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+  EXPECT_EQ(fmtPct(0.941, 1), "94.1%");
+  EXPECT_EQ(fmtI(45479), "45,479");
+  EXPECT_EQ(fmtI(-1234567), "-1,234,567");
+  EXPECT_EQ(fmtI(12), "12");
+}
+
+TEST(TimeUtil, UnitArithmetic) {
+  EXPECT_EQ(timeUnitOf(0, 900), 0);
+  EXPECT_EQ(timeUnitOf(899, 900), 0);
+  EXPECT_EQ(timeUnitOf(900, 900), 1);
+  EXPECT_EQ(timeUnitOf(-1, 900), -1);
+  EXPECT_EQ(unitStart(3, 900), 2700);
+}
+
+TEST(TimeUtil, CalendarHelpers) {
+  EXPECT_EQ(secondOfDay(4 * kHour + 30 * kMinute), 4 * kHour + 30 * kMinute);
+  EXPECT_EQ(secondOfDay(kDay + 5), 5);
+  EXPECT_EQ(dayOfWeek(0), 0);
+  EXPECT_EQ(dayOfWeek(kDay), 1);
+  EXPECT_EQ(dayOfWeek(8 * kDay), 1);
+  EXPECT_EQ(dayOfWeek(-1), 6);
+}
+
+TEST(TimeUtil, FormatTimestamp) {
+  EXPECT_EQ(formatTimestamp(kDay + kHour + kMinute + 1), "day+1 01:01:01");
+}
+
+TEST(Timer, StageAccumulation) {
+  StageTimer timer;
+  timer.add("a", 1.0);
+  timer.add("a", 3.0);
+  timer.add("b", 2.0);
+  EXPECT_EQ(timer.stages(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(timer.totalSeconds("a"), 4.0);
+  EXPECT_DOUBLE_EQ(timer.meanSeconds("a"), 2.0);
+  EXPECT_DOUBLE_EQ(timer.totalSeconds(), 6.0);
+  EXPECT_EQ(timer.samples("a"), 2u);
+  EXPECT_DOUBLE_EQ(timer.varianceSeconds("a"), 2.0);
+}
+
+}  // namespace
+}  // namespace tiresias

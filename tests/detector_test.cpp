@@ -1,0 +1,50 @@
+// Unit tests for the Definition-4 anomaly judgment.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/detector.h"
+
+namespace tiresias {
+namespace {
+
+TEST(Definition4, RequiresBothCriteria) {
+  // RT = 2, DT = 5.
+  EXPECT_TRUE(isAnomalous(20.0, 5.0, 2.0, 5.0));    // ratio 4, diff 15
+  EXPECT_FALSE(isAnomalous(9.0, 5.0, 2.0, 5.0));    // diff 4 <= DT
+  EXPECT_FALSE(isAnomalous(100.0, 60.0, 2.0, 5.0)); // ratio 1.67 <= RT
+}
+
+TEST(Definition4, BoundaryIsStrict) {
+  // T/F > RT and T - F > DT are strict inequalities.
+  EXPECT_FALSE(isAnomalous(10.0, 5.0, 2.0, 4.0));  // ratio exactly 2
+  EXPECT_FALSE(isAnomalous(9.0, 4.0, 2.0, 5.0));   // diff exactly 5
+  EXPECT_TRUE(isAnomalous(10.01, 5.0, 2.0, 5.0));
+}
+
+TEST(Definition4, NonPositiveForecast) {
+  // Zero/negative forecast with a significant actual counts as anomalous.
+  EXPECT_TRUE(isAnomalous(10.0, 0.0, 2.8, 8.0));
+  EXPECT_TRUE(isAnomalous(10.0, -3.0, 2.8, 8.0));
+  EXPECT_FALSE(isAnomalous(5.0, 0.0, 2.8, 8.0));  // diff 5 <= DT
+  EXPECT_FALSE(isAnomalous(0.0, -20.0, 2.8, 8.0));  // nothing observed
+}
+
+TEST(Definition4, PeakAndDipGuards) {
+  // The paper motivates the dual test: at peaks the absolute diff guards
+  // against ratio noise on small forecasts; at dips the ratio guards
+  // against small absolute bumps on large forecasts.
+  EXPECT_FALSE(isAnomalous(3.0, 1.0, 2.8, 8.0));     // tiny spike at night
+  EXPECT_FALSE(isAnomalous(1010.0, 1000.0, 2.8, 8.0));  // +10 at peak
+  EXPECT_TRUE(isAnomalous(3000.0, 1000.0, 2.8, 8.0));
+}
+
+TEST(AnomalyRatio, CapsAndComputes) {
+  EXPECT_DOUBLE_EQ(anomalyRatio(10.0, 4.0), 2.5);
+  EXPECT_DOUBLE_EQ(anomalyRatio(10.0, 0.0),
+                   std::numeric_limits<double>::max());
+  EXPECT_DOUBLE_EQ(anomalyRatio(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,176 @@
+// Unit tests for evaluation: confusion metrics, Table VI comparison
+// semantics, the control-chart reference method, and memory normalization.
+#include <gtest/gtest.h>
+
+#include "eval/comparison.h"
+#include "eval/memory_model.h"
+#include "eval/metrics.h"
+#include "eval/reference_method.h"
+#include "hierarchy/builder.h"
+
+namespace tiresias::eval {
+namespace {
+
+TEST(Confusion, BasicRates) {
+  ConfusionCounts c{.tp = 8, .fp = 2, .tn = 88, .fn = 2};
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.96);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.8);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.8);
+}
+
+TEST(Confusion, EmptyIsZero) {
+  ConfusionCounts c;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(Confusion, Accumulates) {
+  ConfusionCounts a{.tp = 1, .fp = 2, .tn = 3, .fn = 4};
+  ConfusionCounts b{.tp = 10, .fp = 20, .tn = 30, .fn = 40};
+  a += b;
+  EXPECT_EQ(a.tp, 11u);
+  EXPECT_EQ(a.total(), 110u);
+}
+
+class ComparisonFixture : public ::testing::Test {
+ protected:
+  ComparisonFixture() : h_(HierarchyBuilder::balanced({2, 2, 2})) {}
+  Hierarchy h_;
+};
+
+TEST_F(ComparisonFixture, TrueAlarmRequiresFinerOrEqualLocation) {
+  const NodeId vho = h_.children(h_.root())[0];
+  const NodeId below = h_.children(vho)[1];
+  // Reference at VHO, Tiresias reports one level deeper: TA.
+  auto counts = compareToReference(h_, {{below, 5}}, {{vho, 5}}, {});
+  EXPECT_EQ(counts.trueAlarms, 1u);
+  EXPECT_EQ(counts.missedAnomalies, 0u);
+  EXPECT_EQ(counts.newAnomalies, 0u);
+
+  // Tiresias reports an unrelated sibling VHO: MA + NA.
+  const NodeId otherVho = h_.children(h_.root())[1];
+  counts = compareToReference(h_, {{otherVho, 5}}, {{vho, 5}}, {});
+  EXPECT_EQ(counts.trueAlarms, 0u);
+  EXPECT_EQ(counts.missedAnomalies, 1u);
+  EXPECT_EQ(counts.newAnomalies, 1u);
+}
+
+TEST_F(ComparisonFixture, TimeMustMatch) {
+  const NodeId vho = h_.children(h_.root())[0];
+  const auto counts = compareToReference(h_, {{vho, 6}}, {{vho, 5}}, {});
+  EXPECT_EQ(counts.trueAlarms, 0u);
+  EXPECT_EQ(counts.missedAnomalies, 1u);
+  EXPECT_EQ(counts.newAnomalies, 1u);
+}
+
+TEST_F(ComparisonFixture, TrueNegativesExcludeReferenceRelated) {
+  const NodeId vho = h_.children(h_.root())[0];
+  const NodeId other = h_.children(h_.root())[1];
+  const NodeId belowVho = h_.children(vho)[0];
+  // Negatives: one related to the reference anomaly (not TN), one not.
+  const auto counts = compareToReference(h_, {}, {{vho, 5}},
+                                         {{belowVho, 5}, {other, 5}});
+  EXPECT_EQ(counts.trueNegatives, 1u);
+  EXPECT_EQ(counts.missedAnomalies, 1u);
+}
+
+TEST_F(ComparisonFixture, TypeMetricsMatchPaperFormulas) {
+  ComparisonCounts c;
+  c.trueAlarms = 9;
+  c.missedAnomalies = 1;
+  c.newAnomalies = 2;
+  c.trueNegatives = 30;
+  EXPECT_DOUBLE_EQ(c.type1(), 39.0 / 42.0);
+  EXPECT_DOUBLE_EQ(c.type2(), 0.9);
+  EXPECT_DOUBLE_EQ(c.type3(), 30.0 / 32.0);
+}
+
+TEST_F(ComparisonFixture, DropAncestorDuplicates) {
+  const NodeId vho = h_.children(h_.root())[0];
+  const NodeId io = h_.children(vho)[0];
+  const NodeId co = h_.children(io)[0];
+  const auto kept = dropAncestorDuplicates(
+      h_, {{vho, 5}, {io, 5}, {co, 5}, {vho, 6}});
+  // Within unit 5 only the deepest (co) survives; unit 6's vho stays.
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].node, co);
+  EXPECT_EQ(kept[1].node, vho);
+  EXPECT_EQ(kept[1].unit, 6);
+}
+
+TEST_F(ComparisonFixture, CountByDepth) {
+  const NodeId vho = h_.children(h_.root())[0];
+  const NodeId io = h_.children(vho)[0];
+  const auto counts = countByDepth(h_, {{vho, 1}, {io, 1}, {io, 2}});
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 2u);
+}
+
+TEST(ControlChart, FlagsSpikeAtMonitoredLevel) {
+  const auto h = HierarchyBuilder::balanced({3, 2});
+  ControlChartConfig cfg;
+  cfg.depth = 2;
+  cfg.sigmas = 3.0;
+  cfg.history = 50;
+  cfg.minHistory = 10;
+  cfg.minExcess = 2.0;
+  ControlChartReference chart(h, cfg);
+  const NodeId vho = h.children(h.root())[0];
+  const NodeId leaf = h.children(vho)[0];
+
+  auto feed = [&](TimeUnit u, int count) {
+    TimeUnitBatch b;
+    b.unit = u;
+    for (int i = 0; i < count; ++i) b.records.push_back({leaf, u * 900});
+    return chart.step(b);
+  };
+  // Stable phase: no alarms after warm-up.
+  for (TimeUnit u = 0; u < 30; ++u) {
+    const auto alarms = feed(u, 5 + static_cast<int>(u % 2));
+    if (u >= 10) {
+      EXPECT_TRUE(alarms.empty()) << "unit " << u;
+    }
+  }
+  // Spike.
+  const auto alarms = feed(30, 40);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].node, vho);
+  EXPECT_EQ(alarms[0].unit, 30);
+  EXPECT_EQ(chart.allAlarms().size(), 1u);
+}
+
+TEST(ControlChart, CannotSeeBelowMonitoredLevel) {
+  // A dip-and-shift within one VHO that keeps the VHO total flat is
+  // invisible to the chart — the structural limitation Table VI probes.
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  ControlChartConfig cfg;
+  cfg.depth = 2;
+  cfg.minHistory = 5;
+  ControlChartReference chart(h, cfg);
+  const NodeId vho = h.children(h.root())[0];
+  const NodeId a = h.children(vho)[0];
+  const NodeId b = h.children(vho)[1];
+  for (TimeUnit u = 0; u < 30; ++u) {
+    TimeUnitBatch batch;
+    batch.unit = u;
+    // Total constant at 10; in the second half all mass moves to `b`.
+    const int countA = u < 15 ? 5 : 0;
+    for (int i = 0; i < countA; ++i) batch.records.push_back({a, u * 900});
+    for (int i = 0; i < 10 - countA; ++i) batch.records.push_back({b, u * 900});
+    EXPECT_TRUE(chart.step(batch).empty()) << "unit " << u;
+  }
+}
+
+TEST(MemoryModel, NormalizesLikeTableFour) {
+  MemoryStats stats;
+  stats.bytesEstimate = 120000;
+  const auto report = normalizeMemory(stats, 100.0, 12.0);
+  EXPECT_DOUBLE_EQ(report.normalized, 100.0);
+  EXPECT_EQ(report.bytes, 120000u);
+}
+
+}  // namespace
+}  // namespace tiresias::eval

@@ -1,0 +1,101 @@
+// Unit tests for the FFT and periodogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/fft.h"
+#include "common/rng.h"
+
+namespace tiresias {
+namespace {
+
+TEST(Fft, InverseRoundTrip) {
+  Rng rng(31);
+  std::vector<std::complex<double>> data(64);
+  for (auto& x : data) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(37);
+  std::vector<std::complex<double>> data(128);
+  double timeEnergy = 0.0;
+  for (auto& x : data) {
+    x = {rng.uniform(-1, 1), 0.0};
+    timeEnergy += std::norm(x);
+  }
+  fft(data);
+  double freqEnergy = 0.0;
+  for (const auto& x : data) freqEnergy += std::norm(x);
+  EXPECT_NEAR(freqEnergy / 128.0, timeEnergy, 1e-9);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(nextPow2(1), 1u);
+  EXPECT_EQ(nextPow2(2), 2u);
+  EXPECT_EQ(nextPow2(3), 4u);
+  EXPECT_EQ(nextPow2(1000), 1024u);
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<std::complex<double>> data(48);
+  EXPECT_DEATH(fft(data), "power of 2");
+}
+
+std::vector<double> sinusoid(std::size_t n, double period, double amp,
+                             double offset = 0.0) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = offset + amp * std::sin(2.0 * std::numbers::pi *
+                                     static_cast<double>(i) / period);
+  }
+  return out;
+}
+
+TEST(Periodogram, FindsSinglePeriod) {
+  const auto signal = sinusoid(512, 32.0, 5.0, 100.0);
+  const auto top = dominantPeriods(signal, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_NEAR(top[0].period, 32.0, 2.0);
+}
+
+TEST(Periodogram, FindsTwoPeriodsStrongestFirst) {
+  auto signal = sinusoid(1024, 24.0, 10.0, 50.0);
+  const auto weekly = sinusoid(1024, 168.0, 4.0);
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] += weekly[i];
+  const auto top = dominantPeriods(signal, 4);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_NEAR(top[0].period, 24.0, 2.0);
+  bool foundWeekly = false;
+  for (const auto& line : top) {
+    if (std::abs(line.period - 168.0) < 25.0) foundWeekly = true;
+  }
+  EXPECT_TRUE(foundWeekly);
+  EXPECT_GT(top[0].magnitude, magnitudeNearPeriod(periodogram(signal), 168.0));
+}
+
+TEST(Periodogram, NoisySignalStillPeaks) {
+  Rng rng(41);
+  auto signal = sinusoid(512, 48.0, 8.0, 20.0);
+  for (auto& v : signal) v += rng.normal(0.0, 2.0);
+  const auto top = dominantPeriods(signal, 1);
+  ASSERT_FALSE(top.empty());
+  EXPECT_NEAR(top[0].period, 48.0, 4.0);
+}
+
+TEST(Periodogram, MagnitudeNearPeriodPicksClosestLine) {
+  const auto spec = periodogram(sinusoid(256, 16.0, 1.0));
+  const double at16 = magnitudeNearPeriod(spec, 16.0);
+  const double at100 = magnitudeNearPeriod(spec, 100.0);
+  EXPECT_GT(at16, at100 * 5.0);
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,195 @@
+// Unit + property tests for the hierarchy substrate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "hierarchy/builder.h"
+
+namespace tiresias {
+namespace {
+
+Hierarchy smallTree() {
+  // root -> {a, b}; a -> {a0, a1}; b -> {b0}
+  HierarchyBuilder b("root");
+  const NodeId a = b.addChild(0, "a");
+  const NodeId bb = b.addChild(0, "b");
+  b.addChild(a, "a0");
+  b.addChild(a, "a1");
+  b.addChild(bb, "b0");
+  return b.build();
+}
+
+TEST(Hierarchy, BasicShape) {
+  const auto h = smallTree();
+  EXPECT_EQ(h.size(), 6u);
+  EXPECT_EQ(h.root(), 0u);
+  EXPECT_EQ(h.height(), 3);
+  EXPECT_EQ(h.leafCount(), 3u);
+  EXPECT_EQ(h.depth(h.root()), 1);
+}
+
+TEST(Hierarchy, BfsOrderInvariants) {
+  const auto h = smallTree();
+  // Parents have smaller ids than children; depths are non-decreasing.
+  for (NodeId n = 1; n < h.size(); ++n) {
+    EXPECT_LT(h.parent(n), n);
+    EXPECT_GE(h.depth(n), h.depth(static_cast<NodeId>(n - 1)));
+  }
+}
+
+TEST(Hierarchy, ChildrenAndParents) {
+  const auto h = smallTree();
+  const NodeId a = h.childNamed(h.root(), "a");
+  ASSERT_NE(a, kInvalidNode);
+  EXPECT_EQ(h.degree(a), 2u);
+  for (NodeId c : h.children(a)) EXPECT_EQ(h.parent(c), a);
+  EXPECT_EQ(h.childNamed(h.root(), "missing"), kInvalidNode);
+}
+
+TEST(Hierarchy, PathFindRoundTrip) {
+  const auto h = smallTree();
+  for (NodeId n = 0; n < h.size(); ++n) {
+    EXPECT_EQ(h.find(h.path(n)), n) << "path " << h.path(n);
+  }
+  // Relative paths (no root component) resolve too.
+  EXPECT_EQ(h.find("a/a1"), h.find("root/a/a1"));
+}
+
+TEST(Hierarchy, AncestorQueries) {
+  const auto h = smallTree();
+  const NodeId a = h.find("a");
+  const NodeId a0 = h.find("a/a0");
+  const NodeId b0 = h.find("b/b0");
+  EXPECT_TRUE(h.isAncestorOrEqual(h.root(), a0));
+  EXPECT_TRUE(h.isAncestorOrEqual(a, a0));
+  EXPECT_TRUE(h.isAncestorOrEqual(a0, a0));
+  EXPECT_FALSE(h.isAncestorOrEqual(a0, a));
+  EXPECT_FALSE(h.isAncestorOrEqual(a, b0));
+}
+
+TEST(Hierarchy, NodesAtDepthContiguous) {
+  const auto h = smallTree();
+  const auto level2 = h.nodesAtDepth(2);
+  EXPECT_EQ(level2.size(), 2u);
+  for (NodeId n : level2) EXPECT_EQ(h.depth(n), 2);
+  EXPECT_TRUE(h.nodesAtDepth(9).empty());
+  EXPECT_TRUE(h.nodesAtDepth(0).empty());
+}
+
+TEST(Hierarchy, LeavesUnder) {
+  const auto h = smallTree();
+  EXPECT_EQ(h.leavesUnder(h.root()), 3u);
+  EXPECT_EQ(h.leavesUnder(h.find("a")), 2u);
+  EXPECT_EQ(h.leavesUnder(h.find("b/b0")), 1u);
+}
+
+TEST(Hierarchy, BalancedBuilder) {
+  const auto h = HierarchyBuilder::balanced({3, 2});
+  EXPECT_EQ(h.size(), 1u + 3u + 6u);
+  EXPECT_EQ(h.leafCount(), 6u);
+  EXPECT_EQ(h.height(), 3);
+  for (NodeId n : h.nodesAtDepth(2)) EXPECT_EQ(h.degree(n), 2u);
+}
+
+TEST(Hierarchy, BuilderRemapTracksNodes) {
+  HierarchyBuilder b("r");
+  // Provisional construction order deliberately interleaved.
+  const NodeId x = b.addChild(0, "x");
+  const NodeId y = b.addChild(0, "y");
+  const NodeId xx = b.addChild(x, "xx");
+  const NodeId yy = b.addChild(y, "yy");
+  std::vector<NodeId> remap;
+  const auto h = b.build(&remap);
+  EXPECT_EQ(h.name(remap[x]), "x");
+  EXPECT_EQ(h.name(remap[xx]), "xx");
+  EXPECT_EQ(h.parent(remap[yy]), remap[y]);
+}
+
+TEST(Hierarchy, FromPathsBuildsSharedPrefixes) {
+  const auto h = HierarchyBuilder::fromPaths(
+      {"TV/NoPicture", "TV/NoSound", "Internet/Slow", "TV/NoPicture"},
+      "Trouble");
+  EXPECT_EQ(h.size(), 6u);  // root + TV + Internet + 3 leaves (dup merged)
+  EXPECT_EQ(h.leafCount(), 3u);
+  EXPECT_NE(h.find("TV/NoPicture"), kInvalidNode);
+  EXPECT_NE(h.find("Trouble/TV/NoSound"), kInvalidNode);  // absolute form
+  EXPECT_EQ(h.degree(h.find("TV")), 2u);
+}
+
+TEST(Hierarchy, FromPathsAcceptsRootedAndUnrootedMix) {
+  const auto h = HierarchyBuilder::fromPaths(
+      {"root/a/x", "a/y", "b"}, "root");
+  EXPECT_EQ(h.leafCount(), 3u);
+  EXPECT_EQ(h.degree(h.find("a")), 2u);
+}
+
+TEST(Hierarchy, FromPathsFileSkipsCommentsAndBlanks) {
+  const std::string path = ::testing::TempDir() + "/paths.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment\n\nVHO0/IO0\nVHO0/IO1\nVHO1/IO0\n";
+  }
+  const auto h = HierarchyBuilder::fromPathsFile(path, "SHO");
+  EXPECT_EQ(h.leafCount(), 3u);
+  EXPECT_EQ(h.nodesAtDepth(2).size(), 2u);  // VHO0, VHO1
+  std::remove(path.c_str());
+}
+
+TEST(Hierarchy, SingleNodeTree) {
+  HierarchyBuilder b("only");
+  const auto h = b.build();
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.isLeaf(h.root()));
+  EXPECT_EQ(h.leafCount(), 1u);
+  EXPECT_EQ(h.height(), 1);
+  EXPECT_TRUE(h.isAncestorOrEqual(0, 0));
+}
+
+// Property sweep: random trees keep every structural invariant.
+class HierarchyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HierarchyPropertyTest, RandomTreeInvariants) {
+  Rng rng(GetParam());
+  HierarchyBuilder b("root");
+  std::vector<NodeId> nodes{0};
+  const std::size_t extra = 50 + rng.below(150);
+  for (std::size_t i = 0; i < extra; ++i) {
+    const NodeId parent = nodes[rng.below(nodes.size())];
+    nodes.push_back(b.addChild(parent, "n" + std::to_string(i)));
+  }
+  std::vector<NodeId> remap;
+  const auto h = b.build(&remap);
+  ASSERT_EQ(h.size(), nodes.size());
+
+  std::size_t leafTotal = 0;
+  for (NodeId n = 0; n < h.size(); ++n) {
+    if (n != h.root()) {
+      EXPECT_LT(h.parent(n), n);
+      EXPECT_EQ(h.depth(n), h.depth(h.parent(n)) + 1);
+      EXPECT_TRUE(h.isAncestorOrEqual(h.parent(n), n));
+      EXPECT_FALSE(h.isAncestorOrEqual(n, h.parent(n)));
+    }
+    if (h.isLeaf(n)) {
+      ++leafTotal;
+      EXPECT_EQ(h.leavesUnder(n), 1u);
+    } else {
+      std::size_t sum = 0;
+      for (NodeId c : h.children(n)) sum += h.leavesUnder(c);
+      EXPECT_EQ(h.leavesUnder(n), sum);
+    }
+  }
+  EXPECT_EQ(h.leafCount(), leafTotal);
+
+  // Level ranges partition [0, size).
+  std::size_t covered = 0;
+  for (int d = 1; d <= h.height(); ++d) covered += h.nodesAtDepth(d).size();
+  EXPECT_EQ(covered, h.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,217 @@
+// Unit + property tests for the additive Holt-Winters forecaster: bootstrap
+// quality, forecasting of seasonal signals, the Lemma 2 linearity that ADA's
+// split/merge relies on, and dual-season combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "timeseries/holt_winters.h"
+
+namespace tiresias {
+namespace {
+
+std::vector<double> seasonalSignal(std::size_t n, std::size_t period,
+                                   double level, double amplitude,
+                                   double trendPerUnit = 0.0) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = level + trendPerUnit * static_cast<double>(i) +
+             amplitude * std::sin(2.0 * std::numbers::pi *
+                                  static_cast<double>(i % period) /
+                                  static_cast<double>(period));
+  }
+  return out;
+}
+
+TEST(HoltWinters, ForecastsPureSeasonalSignal) {
+  HoltWintersForecaster hw({0.3, 0.05, 0.3}, {{24, 1.0}});
+  const auto signal = seasonalSignal(24 * 8, 24, 100.0, 30.0);
+  hw.initFromHistory({signal.data(), signal.size() - 24});
+  // One-step forecasts over the held-out last season.
+  for (std::size_t i = signal.size() - 24; i < signal.size(); ++i) {
+    EXPECT_NEAR(hw.forecast(), signal[i], 3.0) << "at index " << i;
+    hw.update(signal[i]);
+  }
+}
+
+TEST(HoltWinters, TracksTrend) {
+  HoltWintersForecaster hw({0.4, 0.2, 0.3}, {{12, 1.0}});
+  const auto signal = seasonalSignal(12 * 10, 12, 50.0, 10.0, 0.5);
+  hw.initFromHistory({signal.data(), signal.size()});
+  // Next value continues the trend.
+  const double expected = 50.0 + 0.5 * static_cast<double>(signal.size());
+  EXPECT_NEAR(hw.forecast(), expected, 4.0);
+  EXPECT_GT(hw.trend(), 0.2);
+}
+
+TEST(HoltWinters, BootstrapNeedsTwoSeasons) {
+  HoltWintersForecaster hw({0.5, 0.1, 0.3}, {{10, 1.0}});
+  EXPECT_EQ(hw.bootstrapLength(), 20u);
+  for (int i = 0; i < 19; ++i) hw.update(5.0);
+  EXPECT_FALSE(hw.bootstrapped());
+  hw.update(5.0);
+  EXPECT_TRUE(hw.bootstrapped());
+  EXPECT_NEAR(hw.forecast(), 5.0, 1e-6);
+}
+
+TEST(HoltWinters, WarmupForecastIsRunningMean) {
+  HoltWintersForecaster hw({0.5, 0.1, 0.3}, {{100, 1.0}});
+  EXPECT_DOUBLE_EQ(hw.forecast(), 0.0);
+  hw.update(10.0);
+  hw.update(20.0);
+  EXPECT_DOUBLE_EQ(hw.forecast(), 15.0);
+}
+
+TEST(HoltWinters, NoSeasonDegeneratesToHolt) {
+  HoltWintersForecaster hw({0.5, 0.3, 0.3}, {});
+  const std::vector<double> ramp{1, 2, 3, 4, 5, 6, 7, 8};
+  hw.initFromHistory(ramp);
+  EXPECT_NEAR(hw.forecast(), 9.0, 0.5);
+}
+
+TEST(HoltWinters, DualSeasonCombination) {
+  // Signal with a short and a long season; the combined model should beat
+  // either single-season model on held-out data.
+  const std::size_t shortP = 8, longP = 56;
+  std::vector<double> signal;
+  for (std::size_t i = 0; i < longP * 6; ++i) {
+    signal.push_back(
+        100.0 +
+        20.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i % shortP) / shortP) +
+        10.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i % longP) / longP));
+  }
+  auto evaluate = [&](std::vector<SeasonSpec> seasons) {
+    HoltWintersForecaster hw({0.2, 0.02, 0.3}, std::move(seasons));
+    const std::size_t holdout = longP;
+    hw.initFromHistory({signal.data(), signal.size() - holdout});
+    double sq = 0.0;
+    for (std::size_t i = signal.size() - holdout; i < signal.size(); ++i) {
+      const double e = hw.forecast() - signal[i];
+      sq += e * e;
+      hw.update(signal[i]);
+    }
+    return sq;
+  };
+  const double dual = evaluate({{shortP, 0.67}, {longP, 0.33}});
+  const double onlyShort = evaluate({{shortP, 1.0}});
+  EXPECT_LT(dual, onlyShort);
+}
+
+TEST(HoltWinters, SeasonalCursorAccessor) {
+  HoltWintersForecaster hw({0.5, 0.1, 0.3}, {{4, 1.0}});
+  const std::vector<double> two{1, 2, 3, 4, 1, 2, 3, 4};
+  hw.initFromHistory(two);
+  // Seasonal indices repeat with period 4; deviations around the mean 2.5.
+  EXPECT_NEAR(hw.seasonal(0, 0), -1.5, 1e-9);  // next unit is phase "1"
+  EXPECT_NEAR(hw.seasonal(0, 1), -0.5, 1e-9);
+  EXPECT_NEAR(hw.seasonal(0, 2), 0.5, 1e-9);
+  EXPECT_NEAR(hw.seasonal(0, 3), 1.5, 1e-9);
+}
+
+// ---- Lemma 2: linearity ----
+
+class HwLinearityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HwLinearityTest, MergeEqualsForecastOfSum) {
+  Rng rng(GetParam());
+  const std::size_t period = 6;
+  const std::size_t n = period * 8;
+  std::vector<double> xs(n), ys(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform(0.0, 50.0);
+    ys[i] = rng.uniform(0.0, 50.0);
+    sum[i] = xs[i] + ys[i];
+  }
+  const HoltWintersParams params{0.5, 0.1, 0.3};
+  HoltWintersForecaster fx(params, {{period, 1.0}});
+  HoltWintersForecaster fy(params, {{period, 1.0}});
+  HoltWintersForecaster fsum(params, {{period, 1.0}});
+  fx.initFromHistory(xs);
+  fy.initFromHistory(ys);
+  fsum.initFromHistory(sum);
+
+  auto merged = fx.clone();
+  merged->addFrom(fy);
+  EXPECT_NEAR(merged->forecast(), fsum.forecast(), 1e-8);
+
+  // The equality persists through further joint updates.
+  for (int step = 0; step < 20; ++step) {
+    const double vx = rng.uniform(0.0, 50.0);
+    const double vy = rng.uniform(0.0, 50.0);
+    merged->update(vx + vy);
+    fsum.update(vx + vy);
+    EXPECT_NEAR(merged->forecast(), fsum.forecast(), 1e-8);
+  }
+}
+
+TEST_P(HwLinearityTest, ScaleEqualsForecastOfScaled) {
+  Rng rng(GetParam() ^ 0xabcdULL);
+  const std::size_t period = 5;
+  std::vector<double> xs(period * 7);
+  for (auto& v : xs) v = rng.uniform(0.0, 100.0);
+  const double ratio = rng.uniform(0.1, 0.9);
+  std::vector<double> scaled(xs);
+  for (auto& v : scaled) v *= ratio;
+
+  const HoltWintersParams params{0.4, 0.15, 0.25};
+  HoltWintersForecaster full(params, {{period, 1.0}});
+  HoltWintersForecaster ref(params, {{period, 1.0}});
+  full.initFromHistory(xs);
+  ref.initFromHistory(scaled);
+  auto split = full.clone();
+  split->scale(ratio);
+  EXPECT_NEAR(split->forecast(), ref.forecast(), 1e-8);
+}
+
+TEST_P(HwLinearityTest, MergeAlignsDifferentBootstrapPhases) {
+  // Two models bootstrapped at different absolute times must still merge
+  // with correct seasonal-phase alignment.
+  Rng rng(GetParam() ^ 0x9999ULL);
+  const std::size_t period = 4;
+  const HoltWintersParams params{0.5, 0.1, 0.3};
+  const std::size_t n = period * 10;
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform(0.0, 10.0);
+    ys[i] = rng.uniform(0.0, 10.0);
+  }
+
+  HoltWintersForecaster fx(params, {{period, 1.0}});
+  fx.initFromHistory(xs);
+
+  // fy bootstraps 3 units later in absolute time (drop the first 3).
+  HoltWintersForecaster fy(params, {{period, 1.0}});
+  fy.initFromHistory({ys.data() + 3, n - 3});
+
+  HoltWintersForecaster fsum(params, {{period, 1.0}});
+  // Reference: model of the sum, bootstrapped like fx then updated; not
+  // exactly equal because fy saw a shorter history, but the *seasonal
+  // phase* must line up: check by updating both with a pure seasonal
+  // signal and verifying convergence instead of divergence.
+  auto merged = fx.clone();
+  merged->addFrom(fy);
+  std::vector<double> joint(n);
+  for (std::size_t i = 0; i < n; ++i) joint[i] = xs[i] + ys[i];
+  fsum.initFromHistory(joint);
+  for (int step = 0; step < 60; ++step) {
+    const double v = 10.0 + (step % period);
+    merged->update(v);
+    fsum.update(v);
+  }
+  EXPECT_NEAR(merged->forecast(), fsum.forecast(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HwLinearityTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(HoltWinters, RejectsBadParams) {
+  EXPECT_DEATH(HoltWintersForecaster({0.0, 0.1, 0.1}, {}), "alpha");
+  EXPECT_DEATH(HoltWintersForecaster({0.5, 1.5, 0.1}, {}), "beta");
+  EXPECT_DEATH(HoltWintersForecaster({0.5, 0.1, -0.1}, {}), "gamma");
+  EXPECT_DEATH(HoltWintersForecaster({0.5, 0.1, 0.1}, {{1, 1.0}}), "period");
+}
+
+}  // namespace
+}  // namespace tiresias

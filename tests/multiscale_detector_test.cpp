@@ -1,0 +1,118 @@
+// Tests for the §V-B6 sliding-scale detector (detection unit Δ = λ·ς).
+#include <gtest/gtest.h>
+
+#include "core/multiscale_detector.h"
+#include "hierarchy/builder.h"
+#include "timeseries/ewma.h"
+
+namespace tiresias {
+namespace {
+
+DetectorConfig fineConfig(std::size_t window) {
+  DetectorConfig cfg;
+  cfg.theta = 3.0;
+  cfg.windowLength = window;
+  cfg.ratioThreshold = 2.0;
+  cfg.diffThreshold = 3.0;
+  cfg.forecasterFactory = std::make_shared<EwmaFactory>(0.3);
+  return cfg;
+}
+
+TimeUnitBatch batchOf(TimeUnit unit, NodeId node, int count) {
+  TimeUnitBatch b;
+  b.unit = unit;
+  for (int i = 0; i < count; ++i) b.records.push_back({node, unit * 900});
+  return b;
+}
+
+TEST(SlidingScale, LambdaOneMatchesInnerDetector) {
+  const auto h = HierarchyBuilder::balanced({2});
+  const NodeId leaf = h.leaves()[0];
+  SlidingScaleConfig scale;
+  scale.lambda = 1;
+  scale.ratioThreshold = 2.0;
+  scale.diffThreshold = 3.0;
+  SlidingScaleDetector sliding(h, fineConfig(8), scale);
+  AdaDetector plain(h, fineConfig(8));
+
+  for (TimeUnit u = 0; u < 20; ++u) {
+    const int count = u == 15 ? 40 : 4;
+    auto rs = sliding.step(batchOf(u, leaf, count));
+    auto rp = plain.step(batchOf(u, leaf, count));
+    ASSERT_EQ(rs.has_value(), rp.has_value());
+    if (!rs) continue;
+    ASSERT_EQ(rs->anomalies.size(), rp->anomalies.size()) << "unit " << u;
+    for (std::size_t i = 0; i < rs->anomalies.size(); ++i) {
+      EXPECT_EQ(rs->anomalies[i].node, rp->anomalies[i].node);
+      EXPECT_DOUBLE_EQ(rs->anomalies[i].actual, rp->anomalies[i].actual);
+    }
+  }
+}
+
+TEST(SlidingScale, DetectsSlowBurstInvisibleAtFineScale) {
+  // A burst that adds a modest amount per fine unit but persists for a
+  // full coarse unit: each fine unit alone stays under the thresholds;
+  // the λ-unit aggregate trips them.
+  const auto h = HierarchyBuilder::balanced({2});
+  const NodeId leaf = h.leaves()[0];
+  SlidingScaleConfig scale;
+  scale.lambda = 4;
+  // The EWMA partially absorbs the burst across its 4 units, so the
+  // coarse ratio is modest even though the aggregate excess is large.
+  scale.ratioThreshold = 1.3;
+  scale.diffThreshold = 10.0;  // > any single fine-unit excess
+  SlidingScaleDetector sliding(h, fineConfig(16), scale);
+
+  bool fineTripped = false, coarseTripped = false;
+  for (TimeUnit u = 0; u < 40; ++u) {
+    const bool burst = u >= 32 && u < 36;
+    const int count = burst ? 9 : 4;  // +5/unit, +20 per coarse unit
+    auto result = sliding.step(batchOf(u, leaf, count));
+    if (!result) continue;
+    // Fine-scale Definition 4 with the same thresholds would need a
+    // single-unit diff > 10, which never happens.
+    if (9.0 - 4.0 > scale.diffThreshold) fineTripped = true;
+    for (const auto& a : result->anomalies) {
+      if (a.node == leaf && a.unit == 35) coarseTripped = true;
+    }
+  }
+  EXPECT_FALSE(fineTripped);
+  EXPECT_TRUE(coarseTripped);
+}
+
+TEST(SlidingScale, CoarseValuesAreWindowSums) {
+  const auto h = HierarchyBuilder::balanced({2});
+  const NodeId leaf = h.leaves()[0];
+  SlidingScaleConfig scale;
+  scale.lambda = 3;
+  scale.ratioThreshold = 1.1;
+  scale.diffThreshold = 0.5;
+  SlidingScaleDetector sliding(h, fineConfig(6), scale);
+  // Values 4,4,4,4,4 then 30: the coarse actual at the spike unit must be
+  // 4+4+30 = 38.
+  std::optional<InstanceResult> last;
+  for (TimeUnit u = 0; u < 6; ++u) {
+    last = sliding.step(batchOf(u, leaf, u == 5 ? 30 : 4));
+  }
+  ASSERT_TRUE(last);
+  ASSERT_FALSE(last->anomalies.empty());
+  EXPECT_DOUBLE_EQ(last->anomalies.front().actual, 38.0);
+}
+
+TEST(SlidingScale, WindowSlidesByFineIncrement) {
+  // Consecutive fine steps each produce a coarse verdict (the Δ window
+  // slides by ς, not by Δ).
+  const auto h = HierarchyBuilder::balanced({2});
+  const NodeId leaf = h.leaves()[0];
+  SlidingScaleConfig scale;
+  scale.lambda = 4;
+  SlidingScaleDetector sliding(h, fineConfig(8), scale);
+  int results = 0;
+  for (TimeUnit u = 0; u < 12; ++u) {
+    if (sliding.step(batchOf(u, leaf, 5))) ++results;
+  }
+  EXPECT_EQ(results, 12 - 8 + 1);
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,71 @@
+// Unit tests for the multi-timescale series maintenance (Fig 10).
+#include <gtest/gtest.h>
+
+#include "timeseries/multiscale.h"
+
+namespace tiresias {
+namespace {
+
+TEST(MultiScale, CascadeSumsLambdaValues) {
+  MultiScaleSeries ms(3, 4, 16, 0.5);
+  for (int i = 1; i <= 16; ++i) ms.push(1.0);
+  EXPECT_EQ(ms.actual(0).size(), 16u);
+  ASSERT_EQ(ms.actual(1).size(), 4u);  // 16/4
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(ms.actual(1).at(i), 4.0);
+  ASSERT_EQ(ms.actual(2).size(), 1u);  // 16/16
+  EXPECT_DOUBLE_EQ(ms.actual(2).at(0), 16.0);
+}
+
+TEST(MultiScale, CoarseValuesAreExactSums) {
+  MultiScaleSeries ms(2, 3, 32, 0.5);
+  std::vector<double> vals{1, 2, 3, 4, 5, 6, 7};  // 7 = 2 full groups + 1
+  for (double v : vals) ms.push(v);
+  ASSERT_EQ(ms.actual(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(ms.actual(1).at(0), 6.0);   // 1+2+3
+  EXPECT_DOUBLE_EQ(ms.actual(1).at(1), 15.0);  // 4+5+6
+}
+
+TEST(MultiScale, ForecastIsLaggedEwma) {
+  MultiScaleSeries ms(1, 2, 8, 0.5);
+  ms.push(10.0);
+  ms.push(20.0);
+  ms.push(40.0);
+  // forecast[0] seeds at the first value; then F = 0.5*T + 0.5*F.
+  EXPECT_DOUBLE_EQ(ms.forecastSeries(0).at(0), 10.0);
+  EXPECT_DOUBLE_EQ(ms.forecastSeries(0).at(1), 10.0);
+  EXPECT_DOUBLE_EQ(ms.forecastSeries(0).at(2), 15.0);
+}
+
+TEST(MultiScale, RingEvictionAtCapacity) {
+  MultiScaleSeries ms(1, 2, 4, 0.5);
+  for (int i = 1; i <= 10; ++i) ms.push(i);
+  EXPECT_EQ(ms.actual(0).size(), 4u);
+  EXPECT_EQ(ms.actual(0).toVector(), (std::vector<double>{7, 8, 9, 10}));
+}
+
+TEST(MultiScale, PushCountAmortizedBound) {
+  // The UPDATE_TS analysis: for kappa base pushes, total pushes across
+  // scales are at most 2*kappa.
+  MultiScaleSeries ms(6, 2, 64, 0.5);
+  const std::size_t kappa = 64;
+  for (std::size_t i = 0; i < kappa; ++i) ms.push(1.0);
+  std::size_t totalStored = 0;
+  std::size_t expected = 0;
+  std::size_t perScale = kappa;
+  for (std::size_t s = 0; s < ms.scales(); ++s) {
+    totalStored += ms.actual(s).size();
+    expected += perScale;
+    perScale /= 2;
+  }
+  EXPECT_LE(totalStored, 2 * kappa);
+  EXPECT_EQ(totalStored, expected);
+}
+
+TEST(MultiScale, RejectsBadConfig) {
+  EXPECT_DEATH(MultiScaleSeries(0, 2, 4, 0.5), "scale");
+  EXPECT_DEATH(MultiScaleSeries(1, 1, 4, 0.5), "lambda");
+  EXPECT_DEATH(MultiScaleSeries(1, 2, 0, 0.5), "capacity");
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,107 @@
+// Unit tests for the anomaly report store.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "hierarchy/builder.h"
+#include "report/store.h"
+
+namespace tiresias::report {
+namespace {
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  StoreFixture() : h_(HierarchyBuilder::balanced({2, 2})), store_(h_) {}
+
+  Anomaly make(NodeId node, TimeUnit unit, double actual = 20.0,
+               double forecast = 5.0) {
+    return {node, unit, actual, forecast, actual / forecast};
+  }
+
+  Hierarchy h_;
+  AnomalyStore store_;
+};
+
+TEST_F(StoreFixture, AddAndQueryByTime) {
+  store_.add(make(h_.leaves()[0], 10));
+  store_.add(make(h_.leaves()[1], 20));
+  store_.add(make(h_.leaves()[2], 30));
+  Query q;
+  q.fromUnit = 15;
+  q.toUnit = 25;
+  const auto hits = store_.query(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].anomaly.unit, 20);
+}
+
+TEST_F(StoreFixture, QueryBySubtree) {
+  const NodeId left = h_.children(h_.root())[0];
+  store_.add(make(h_.leaves()[0], 1));  // under left
+  store_.add(make(h_.leaves()[3], 1));  // under right
+  Query q;
+  q.subtreeRoot = left;
+  const auto hits = store_.query(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(h_.isAncestorOrEqual(left, hits[0].anomaly.node));
+}
+
+TEST_F(StoreFixture, QueryByDepthAndRatio) {
+  store_.add(make(h_.root(), 1, 50.0, 10.0));      // depth 1, ratio 5
+  store_.add(make(h_.leaves()[0], 1, 12.0, 10.0)); // depth 3, ratio 1.2
+  Query q;
+  q.depth = 3;
+  EXPECT_EQ(store_.query(q).size(), 1u);
+  Query q2;
+  q2.minRatio = 2.0;
+  const auto hits = store_.query(q2);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].anomaly.node, h_.root());
+}
+
+TEST_F(StoreFixture, CountByDepth) {
+  store_.add(make(h_.root(), 1));
+  store_.add(make(h_.leaves()[0], 1));
+  store_.add(make(h_.leaves()[1], 2));
+  const auto counts = store_.countByDepth();
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[3], 2u);
+}
+
+TEST_F(StoreFixture, AddInstanceResult) {
+  InstanceResult result;
+  result.unit = 7;
+  result.anomalies = {make(h_.leaves()[0], 7), make(h_.leaves()[1], 7)};
+  store_.add(result);
+  EXPECT_EQ(store_.size(), 2u);
+  EXPECT_EQ(store_.all()[0].path, h_.path(h_.leaves()[0]));
+}
+
+TEST_F(StoreFixture, CsvExportRoundTrips) {
+  store_.add(make(h_.leaves()[0], 3));
+  const std::string path = ::testing::TempDir() + "/anoms.csv";
+  store_.exportCsv(path);
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "unit,path,depth,actual,forecast,ratio");
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_NE(row.find(h_.path(h_.leaves()[0])), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(StoreFixture, JsonlExportWellFormed) {
+  store_.add(make(h_.leaves()[0], 3));
+  const std::string path = ::testing::TempDir() + "/anoms.jsonl";
+  store_.exportJsonl(path);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"unit\":3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tiresias::report

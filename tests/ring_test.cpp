@@ -1,0 +1,85 @@
+// Unit tests for the RingSeries buffer.
+#include <gtest/gtest.h>
+
+#include "timeseries/ring.h"
+
+namespace tiresias {
+namespace {
+
+TEST(Ring, FillAndEvict) {
+  RingSeries r(3);
+  EXPECT_TRUE(r.empty());
+  r.push(1);
+  r.push(2);
+  r.push(3);
+  EXPECT_TRUE(r.full());
+  EXPECT_EQ(r.toVector(), (std::vector<double>{1, 2, 3}));
+  r.push(4);  // evicts 1
+  EXPECT_EQ(r.toVector(), (std::vector<double>{2, 3, 4}));
+  r.push(5);
+  EXPECT_EQ(r.toVector(), (std::vector<double>{3, 4, 5}));
+}
+
+TEST(Ring, IndexingFromBothEnds) {
+  RingSeries r(4);
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) r.push(v);
+  EXPECT_DOUBLE_EQ(r.at(0), 20.0);
+  EXPECT_DOUBLE_EQ(r.at(3), 50.0);
+  EXPECT_DOUBLE_EQ(r.fromLatest(0), 50.0);
+  EXPECT_DOUBLE_EQ(r.fromLatest(3), 20.0);
+  EXPECT_DOUBLE_EQ(r.latest(), 50.0);
+}
+
+TEST(Ring, SetModifiesInPlace) {
+  RingSeries r(3);
+  r.push(1);
+  r.push(2);
+  r.set(0, 9);
+  EXPECT_EQ(r.toVector(), (std::vector<double>{9, 2}));
+}
+
+TEST(Ring, ScaleAndAdd) {
+  RingSeries a(3), b(3);
+  for (double v : {1.0, 2.0, 3.0}) a.push(v);
+  for (double v : {10.0, 20.0, 30.0}) b.push(v);
+  a.scale(2.0);
+  EXPECT_EQ(a.toVector(), (std::vector<double>{2, 4, 6}));
+  a.addFrom(b);
+  EXPECT_EQ(a.toVector(), (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Ring, AddRespectsRotation) {
+  RingSeries a(3), b(3);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) a.push(v);  // a = {2,3,4}, rotated
+  for (double v : {1.0, 1.0, 1.0}) b.push(v);
+  a.addFrom(b);
+  EXPECT_EQ(a.toVector(), (std::vector<double>{3, 4, 5}));
+}
+
+TEST(Ring, Sums) {
+  RingSeries r(5);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) r.push(v);
+  EXPECT_DOUBLE_EQ(r.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(r.sumLatest(2), 7.0);
+}
+
+TEST(Ring, AssignTruncatesToCapacity) {
+  RingSeries r(3);
+  r.assign({1, 2, 3, 4, 5});
+  EXPECT_EQ(r.toVector(), (std::vector<double>{3, 4, 5}));
+  r.assign({7});
+  EXPECT_EQ(r.toVector(), (std::vector<double>{7}));
+}
+
+TEST(Ring, ClearKeepsCapacity) {
+  RingSeries r(2);
+  r.push(1);
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.capacity(), 2u);
+  r.push(5);
+  EXPECT_DOUBLE_EQ(r.latest(), 5.0);
+}
+
+}  // namespace
+}  // namespace tiresias

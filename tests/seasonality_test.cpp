@@ -1,0 +1,90 @@
+// Unit tests for the automatic seasonality analysis (Step 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/seasonality.h"
+#include "common/rng.h"
+
+namespace tiresias {
+namespace {
+
+std::vector<double> dayWeekSignal(std::size_t days, std::size_t unitsPerDay,
+                                  double dayAmp, double weekAmp,
+                                  std::uint64_t seed = 0) {
+  Rng rng(seed ? seed : 53);
+  std::vector<double> out;
+  const std::size_t weekUnits = unitsPerDay * 7;
+  for (std::size_t i = 0; i < days * unitsPerDay; ++i) {
+    const double day = std::sin(2.0 * std::numbers::pi *
+                                static_cast<double>(i % unitsPerDay) /
+                                static_cast<double>(unitsPerDay));
+    const double week = std::sin(2.0 * std::numbers::pi *
+                                 static_cast<double>(i % weekUnits) /
+                                 static_cast<double>(weekUnits));
+    out.push_back(100.0 + dayAmp * day + weekAmp * week +
+                  rng.normal(0.0, 1.0));
+  }
+  return out;
+}
+
+TEST(Seasonality, FindsDayAndWeekWithCandidates) {
+  const std::size_t unitsPerDay = 24;
+  const auto series = dayWeekSignal(28, unitsPerDay, 30.0, 12.0);
+  SeasonalityOptions opts;
+  opts.candidatePeriods = {unitsPerDay, unitsPerDay * 7};
+  const auto result = analyzeSeasonality(series, opts);
+  ASSERT_EQ(result.seasons.size(), 2u);
+  EXPECT_EQ(result.seasons[0].period, unitsPerDay);      // strongest first
+  EXPECT_EQ(result.seasons[1].period, unitsPerDay * 7);
+  EXPECT_GT(result.seasons[0].weight, result.seasons[1].weight);
+  EXPECT_NEAR(result.seasons[0].weight + result.seasons[1].weight, 1.0, 1e-9);
+}
+
+TEST(Seasonality, AutomaticPeakPicking) {
+  const std::size_t unitsPerDay = 24;
+  const auto series = dayWeekSignal(28, unitsPerDay, 30.0, 0.0);
+  const auto result = analyzeSeasonality(series);
+  ASSERT_FALSE(result.seasons.empty());
+  EXPECT_NEAR(static_cast<double>(result.seasons[0].period),
+              static_cast<double>(unitsPerDay), 3.0);
+}
+
+TEST(Seasonality, InsignificantCandidateRejected) {
+  const std::size_t unitsPerDay = 24;
+  // No weekly component at all: the weekly candidate must be dropped.
+  const auto series = dayWeekSignal(28, unitsPerDay, 30.0, 0.0);
+  SeasonalityOptions opts;
+  opts.candidatePeriods = {unitsPerDay, unitsPerDay * 7};
+  opts.significanceRatio = 0.25;
+  const auto result = analyzeSeasonality(series, opts);
+  ASSERT_EQ(result.seasons.size(), 1u);
+  EXPECT_EQ(result.seasons[0].period, unitsPerDay);
+  EXPECT_DOUBLE_EQ(result.seasons[0].weight, 1.0);
+}
+
+TEST(Seasonality, WaveletEnergiesExposed) {
+  const auto series = dayWeekSignal(14, 24, 20.0, 5.0);
+  const auto result = analyzeSeasonality(series);
+  EXPECT_FALSE(result.waveletEnergies.empty());
+}
+
+TEST(Seasonality, PaperXiRatioShape) {
+  // The paper derives xi = FFT_day / FFT_week = 0.76 for CCD, i.e. the
+  // day weight is 0.76/(1+0.76) of... — our generalization assigns weights
+  // proportional to magnitudes; verify day magnitude dominates with a
+  // CCD-like amplitude ratio.
+  const std::size_t unitsPerDay = 96;  // 15-minute units
+  const auto series = dayWeekSignal(28, unitsPerDay, 30.0, 10.0, 57);
+  SeasonalityOptions opts;
+  opts.candidatePeriods = {unitsPerDay, unitsPerDay * 7};
+  const auto result = analyzeSeasonality(series, opts);
+  ASSERT_EQ(result.seasons.size(), 2u);
+  const double xi = result.seasons[0].weight;
+  EXPECT_GT(xi, 0.6);
+  EXPECT_LT(xi, 0.95);
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,91 @@
+// Unit tests for the §V-B4 split-ratio heuristics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/split_rules.h"
+
+namespace tiresias {
+namespace {
+
+TEST(SplitRules, UniformIgnoresHistory) {
+  SplitRuleEngine engine(SplitRule::kUniform, 0.4);
+  engine.observeInstance({{1, 100.0}, {2, 1.0}});
+  const auto r = engine.ratios({1, 2, 3});
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 1.0 / 3.0);
+}
+
+TEST(SplitRules, LastTimeUnitUsesMostRecentOnly) {
+  SplitRuleEngine engine(SplitRule::kLastTimeUnit, 0.4);
+  engine.observeInstance({{1, 100.0}, {2, 100.0}});
+  engine.observeInstance({{1, 30.0}, {2, 10.0}});
+  const auto r = engine.ratios({1, 2});
+  EXPECT_DOUBLE_EQ(r[0], 0.75);
+  EXPECT_DOUBLE_EQ(r[1], 0.25);
+  // A node absent from the last unit weighs zero.
+  EXPECT_DOUBLE_EQ(engine.weightOf(9), 0.0);
+}
+
+TEST(SplitRules, LongTermHistoryAccumulates) {
+  SplitRuleEngine engine(SplitRule::kLongTermHistory, 0.4);
+  engine.observeInstance({{1, 10.0}, {2, 30.0}});
+  engine.observeInstance({{1, 30.0}});
+  const auto r = engine.ratios({1, 2});
+  EXPECT_DOUBLE_EQ(r[0], 40.0 / 70.0);
+  EXPECT_DOUBLE_EQ(r[1], 30.0 / 70.0);
+}
+
+TEST(SplitRules, EwmaSmoothsAndDecays) {
+  const double a = 0.5;
+  SplitRuleEngine engine(SplitRule::kEwma, a);
+  engine.observeInstance({{1, 8.0}});
+  EXPECT_DOUBLE_EQ(engine.weightOf(1), a * 8.0);
+  engine.observeInstance({{1, 4.0}});
+  EXPECT_DOUBLE_EQ(engine.weightOf(1), a * 4.0 + (1 - a) * a * 8.0);
+  // Two untouched instances: lazy decay applies (1-a)^2.
+  const double before = engine.weightOf(1);
+  engine.observeInstance({});
+  engine.observeInstance({});
+  EXPECT_NEAR(engine.weightOf(1), before * (1 - a) * (1 - a), 1e-12);
+}
+
+TEST(SplitRules, FallbackToUniformWhenNoHistory) {
+  SplitRuleEngine engine(SplitRule::kLongTermHistory, 0.4);
+  const auto r = engine.ratios({5, 6});
+  EXPECT_DOUBLE_EQ(r[0], 0.5);
+  EXPECT_DOUBLE_EQ(r[1], 0.5);
+}
+
+TEST(SplitRules, RatiosAlwaysSumToOne) {
+  for (SplitRule rule : {SplitRule::kUniform, SplitRule::kLastTimeUnit,
+                         SplitRule::kLongTermHistory, SplitRule::kEwma}) {
+    SplitRuleEngine engine(rule, 0.3);
+    engine.observeInstance({{1, 3.0}, {3, 9.0}});
+    engine.observeInstance({{1, 1.0}, {2, 2.0}});
+    const auto r = engine.ratios({1, 2, 3, 4});
+    double total = 0.0;
+    for (double v : r) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << splitRuleName(rule);
+  }
+}
+
+TEST(SplitRules, NamesAreStable) {
+  EXPECT_STREQ(splitRuleName(SplitRule::kUniform), "Uniform");
+  EXPECT_STREQ(splitRuleName(SplitRule::kLastTimeUnit), "Last-Time-Unit");
+  EXPECT_STREQ(splitRuleName(SplitRule::kLongTermHistory),
+               "Long-Term-History");
+  EXPECT_STREQ(splitRuleName(SplitRule::kEwma), "EWMA");
+}
+
+TEST(SplitRules, TrackedNodesCountsState) {
+  SplitRuleEngine engine(SplitRule::kLongTermHistory, 0.4);
+  EXPECT_EQ(engine.trackedNodes(), 0u);
+  engine.observeInstance({{1, 1.0}, {2, 1.0}});
+  EXPECT_EQ(engine.trackedNodes(), 2u);
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,119 @@
+// Unit tests for the STA strawman detector (Fig 4).
+#include <gtest/gtest.h>
+
+#include "core/sta.h"
+#include "hierarchy/builder.h"
+#include "timeseries/ewma.h"
+
+namespace tiresias {
+namespace {
+
+DetectorConfig smallConfig(std::size_t window = 8) {
+  DetectorConfig cfg;
+  cfg.theta = 4.0;
+  cfg.windowLength = window;
+  cfg.ratioThreshold = 2.0;
+  cfg.diffThreshold = 3.0;
+  cfg.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+  return cfg;
+}
+
+TimeUnitBatch batchOf(TimeUnit unit, std::vector<std::pair<NodeId, int>> counts,
+                      Duration delta = 900) {
+  TimeUnitBatch b;
+  b.unit = unit;
+  for (const auto& [node, c] : counts) {
+    for (int i = 0; i < c; ++i) {
+      b.records.push_back({node, unitStart(unit, delta)});
+    }
+  }
+  return b;
+}
+
+TEST(Sta, WarmsUpBeforeDetecting) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  StaDetector sta(h, smallConfig(4));
+  const NodeId leaf = h.leaves()[0];
+  for (TimeUnit u = 0; u < 3; ++u) {
+    EXPECT_FALSE(sta.step(batchOf(u, {{leaf, 5}})).has_value());
+  }
+  EXPECT_TRUE(sta.step(batchOf(3, {{leaf, 5}})).has_value());
+}
+
+TEST(Sta, DetectsObviousSpike) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  StaDetector sta(h, smallConfig(8));
+  const NodeId leaf = h.leaves()[0];
+  std::optional<InstanceResult> result;
+  for (TimeUnit u = 0; u < 10; ++u) {
+    result = sta.step(batchOf(u, {{leaf, 5}}));
+  }
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->anomalies.empty());  // steady state
+
+  result = sta.step(batchOf(10, {{leaf, 50}}));
+  ASSERT_TRUE(result);
+  ASSERT_EQ(result->anomalies.size(), 1u);
+  EXPECT_EQ(result->anomalies[0].node, leaf);
+  EXPECT_DOUBLE_EQ(result->anomalies[0].actual, 50.0);
+}
+
+TEST(Sta, ShhhTracksDetectionUnitOnly) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  StaDetector sta(h, smallConfig(4));
+  const NodeId hot = h.leaves()[0];
+  const NodeId other = h.leaves()[3];
+  for (TimeUnit u = 0; u < 4; ++u) sta.step(batchOf(u, {{hot, 6}}));
+  // Shift the mass: the HH set must follow the newest unit.
+  auto result = sta.step(batchOf(4, {{other, 6}}));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->shhh, std::vector<NodeId>{other});
+}
+
+TEST(Sta, SeriesReconstructionIsExact) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  auto cfg = smallConfig(4);
+  cfg.theta = 3.0;
+  StaDetector sta(h, cfg);
+  const NodeId leaf = h.leaves()[0];
+  sta.step(batchOf(0, {{leaf, 1}}));
+  sta.step(batchOf(1, {{leaf, 2}}));
+  sta.step(batchOf(2, {{leaf, 3}}));
+  auto result = sta.step(batchOf(3, {{leaf, 4}}));
+  ASSERT_TRUE(result);
+  ASSERT_EQ(result->shhh, std::vector<NodeId>{leaf});
+  EXPECT_EQ(sta.seriesOf(leaf), (std::vector<double>{1, 2, 3, 4}));
+  // Forecast series is the EWMA recursion over that history.
+  const auto fc = sta.forecastSeriesOf(leaf);
+  ASSERT_EQ(fc.size(), 4u);
+  EXPECT_DOUBLE_EQ(fc[1], 1.0);
+  EXPECT_DOUBLE_EQ(fc[2], 1.5);
+  EXPECT_DOUBLE_EQ(fc[3], 2.25);
+}
+
+TEST(Sta, EmptyUnitsKeepWindowMoving) {
+  const auto h = HierarchyBuilder::balanced({2});
+  StaDetector sta(h, smallConfig(3));
+  const NodeId leaf = h.leaves()[0];
+  sta.step(batchOf(0, {{leaf, 9}}));
+  sta.step(batchOf(1, {}));
+  auto result = sta.step(batchOf(2, {}));
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->shhh.empty());
+  // Root series exists and shows the fade-out.
+  EXPECT_EQ(sta.seriesOf(h.root()), (std::vector<double>{9, 0, 0}));
+}
+
+TEST(Sta, MemoryStatsCountLTrees) {
+  const auto h = HierarchyBuilder::balanced({2, 2});
+  StaDetector sta(h, smallConfig(4));
+  const NodeId leaf = h.leaves()[0];
+  for (TimeUnit u = 0; u < 4; ++u) sta.step(batchOf(u, {{leaf, 5}}));
+  const auto stats = sta.memoryStats();
+  // Each unit tree holds the leaf + 2 ancestors.
+  EXPECT_EQ(stats.treeNodesStored, 4u * 3u);
+  EXPECT_GT(stats.bytesEstimate, 0u);
+}
+
+}  // namespace
+}  // namespace tiresias

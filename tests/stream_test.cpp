@@ -1,0 +1,116 @@
+// Unit tests for record sources and timeunit batching.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "hierarchy/builder.h"
+#include "stream/window.h"
+
+namespace tiresias {
+namespace {
+
+Hierarchy tree() { return HierarchyBuilder::balanced({2, 2}); }
+
+TEST(VectorSource, ReplaysInOrder) {
+  VectorSource src({{1, 10}, {2, 20}, {1, 20}});
+  EXPECT_EQ(src.next()->time, 10);
+  EXPECT_EQ(src.next()->time, 20);
+  EXPECT_EQ(src.next()->category, 1u);
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(Batcher, GroupsByUnit) {
+  VectorSource src({{1, 0}, {1, 899}, {2, 900}, {1, 1800}});
+  TimeUnitBatcher batcher(src, 900, 0);
+  auto b0 = batcher.next();
+  ASSERT_TRUE(b0);
+  EXPECT_EQ(b0->unit, 0);
+  EXPECT_EQ(b0->records.size(), 2u);
+  auto b1 = batcher.next();
+  ASSERT_TRUE(b1);
+  EXPECT_EQ(b1->records.size(), 1u);
+  auto b2 = batcher.next();
+  ASSERT_TRUE(b2);
+  EXPECT_EQ(b2->unit, 2);
+  EXPECT_FALSE(batcher.next());
+}
+
+TEST(Batcher, EmitsEmptyUnitsBetweenRecords) {
+  VectorSource src({{1, 0}, {1, 3 * 900 + 1}});
+  TimeUnitBatcher batcher(src, 900, 0);
+  EXPECT_EQ(batcher.next()->records.size(), 1u);
+  EXPECT_EQ(batcher.next()->records.size(), 0u);  // unit 1
+  EXPECT_EQ(batcher.next()->records.size(), 0u);  // unit 2
+  auto b3 = batcher.next();
+  ASSERT_TRUE(b3);
+  EXPECT_EQ(b3->unit, 3);
+  EXPECT_EQ(b3->records.size(), 1u);
+  EXPECT_FALSE(batcher.next());
+}
+
+TEST(Batcher, DropsRecordsBeforeStart) {
+  VectorSource src({{1, 100}, {1, 200}, {1, 2000}});
+  TimeUnitBatcher batcher(src, 900, 1800);
+  auto b = batcher.next();
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->unit, 2);
+  EXPECT_EQ(b->records.size(), 1u);
+  EXPECT_EQ(batcher.droppedRecords(), 2u);
+}
+
+TEST(Batcher, EmptySource) {
+  VectorSource src({});
+  TimeUnitBatcher batcher(src, 900, 0);
+  EXPECT_FALSE(batcher.next());
+}
+
+TEST(Batcher, NegativeTimestamps) {
+  VectorSource src({{1, -1800}, {1, -1}});
+  TimeUnitBatcher batcher(src, 900, -1800);
+  auto b = batcher.next();
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->unit, -2);
+  EXPECT_EQ(b->records.size(), 1u);
+  EXPECT_EQ(batcher.next()->records.size(), 1u);  // unit -1 holds t=-1
+  EXPECT_FALSE(batcher.next());
+}
+
+TEST(CsvSource, RoundTripAndJunkRows) {
+  const auto h = tree();
+  const std::string path = ::testing::TempDir() + "/trace.csv";
+  {
+    std::ofstream out(path);
+    out << h.path(h.leaves()[0]) << ",100\n";
+    out << "bogus/path,200\n";          // unknown category -> skipped
+    out << h.path(h.leaves()[1]) << ",300\n";
+    out << h.path(h.leaves()[1]) << ",notatime\n";  // bad time -> skipped
+    out << "onlyonefield\n";            // malformed -> skipped
+  }
+  CsvSource src(path, h);
+  auto r1 = src.next();
+  ASSERT_TRUE(r1);
+  EXPECT_EQ(r1->category, h.leaves()[0]);
+  EXPECT_EQ(r1->time, 100);
+  auto r2 = src.next();
+  ASSERT_TRUE(r2);
+  EXPECT_EQ(r2->time, 300);
+  EXPECT_FALSE(src.next());
+  EXPECT_EQ(src.skippedRows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvSource, WriteReadRoundTrip) {
+  const auto h = tree();
+  const std::string path = ::testing::TempDir() + "/trace_rt.csv";
+  const std::vector<Record> records{{h.leaves()[0], 1}, {h.leaves()[2], 5}};
+  writeRecordsCsv(path, h, records);
+  CsvSource src(path, h);
+  std::vector<Record> back;
+  while (auto r = src.next()) back.push_back(*r);
+  EXPECT_EQ(back, records);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,83 @@
+// Unit tests for the a-trous wavelet transform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/wavelet.h"
+#include "common/rng.h"
+
+namespace tiresias {
+namespace {
+
+std::vector<double> sinusoid(std::size_t n, double period, double amp) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = amp * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                            period);
+  }
+  return out;
+}
+
+TEST(Wavelet, ExactReconstruction) {
+  Rng rng(43);
+  std::vector<double> series(300);
+  for (auto& v : series) v = rng.uniform(-10.0, 10.0);
+  const auto decomp = atrousTransform(series, 5);
+  EXPECT_LT(reconstructionError(series, decomp), 1e-9);
+}
+
+TEST(Wavelet, ShapesMatchInput) {
+  const auto series = sinusoid(128, 16.0, 1.0);
+  const auto decomp = atrousTransform(series, 4);
+  ASSERT_EQ(decomp.smooth.size(), 4u);
+  ASSERT_EQ(decomp.detail.size(), 4u);
+  for (const auto& s : decomp.smooth) EXPECT_EQ(s.size(), series.size());
+}
+
+TEST(Wavelet, EnergyConcentratesAtMatchingScale) {
+  // A sinusoid of period 32 should put most detail energy near level
+  // log2(32) - 1 = 4 (levels are ~2^(j+1) sample scales).
+  const auto series = sinusoid(1024, 32.0, 1.0);
+  const auto energies = detailEnergies(atrousTransform(series, 8));
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < energies.size(); ++j) {
+    if (energies[j] > energies[best]) best = j;
+  }
+  EXPECT_GE(best, 3u);
+  EXPECT_LE(best, 5u);
+}
+
+TEST(Wavelet, SmootherLevelsHaveLessVariance) {
+  Rng rng(47);
+  std::vector<double> series(512);
+  for (auto& v : series) v = rng.normal(0.0, 1.0);
+  const auto decomp = atrousTransform(series, 6);
+  auto variance = [](const std::vector<double>& xs) {
+    double m = 0.0;
+    for (double x : xs) m += x;
+    m /= static_cast<double>(xs.size());
+    double v = 0.0;
+    for (double x : xs) v += (x - m) * (x - m);
+    return v / static_cast<double>(xs.size());
+  };
+  for (std::size_t j = 1; j < decomp.smooth.size(); ++j) {
+    EXPECT_LE(variance(decomp.smooth[j]), variance(decomp.smooth[j - 1]) + 1e-12);
+  }
+}
+
+TEST(Wavelet, ConstantSignalHasZeroDetails) {
+  std::vector<double> series(64, 7.5);
+  const auto energies = detailEnergies(atrousTransform(series, 4));
+  for (double e : energies) EXPECT_NEAR(e, 0.0, 1e-18);
+}
+
+TEST(Wavelet, RejectsDegenerateInput) {
+  std::vector<double> tiny(4, 1.0);
+  EXPECT_DEATH(atrousTransform(tiny, 2), "too short");
+  std::vector<double> ok(64, 1.0);
+  EXPECT_DEATH(atrousTransform(ok, 0), "level");
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -1,0 +1,256 @@
+// Unit tests for the synthetic workload generators: determinism, the
+// Table I ticket mix, seasonal rate shape, leaf-share consistency and
+// anomaly injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "stream/window.h"
+#include "workload/ccd.h"
+#include "workload/scd.h"
+
+namespace tiresias::workload {
+namespace {
+
+TEST(RateModel, DiurnalPeakAndTroughHours) {
+  const auto model = SeasonalRateModel::ccdLike();
+  // Trough near 4 AM on a weekday (day 2 = Monday in our calendar).
+  const Timestamp monday = 2 * kDay;
+  double troughVal = 1e9, peakVal = -1e9;
+  int troughHour = -1, peakHour = -1;
+  for (int hr = 0; hr < 24; ++hr) {
+    const double m = model.multiplier(monday + hr * kHour);
+    if (m < troughVal) {
+      troughVal = m;
+      troughHour = hr;
+    }
+    if (m > peakVal) {
+      peakVal = m;
+      peakHour = hr;
+    }
+  }
+  EXPECT_EQ(troughHour, 4);
+  EXPECT_EQ(peakHour, 16);
+  EXPECT_NEAR(peakVal / troughVal, 24.0, 0.5);
+}
+
+TEST(RateModel, WeekendDipInCcd) {
+  const auto model = SeasonalRateModel::ccdLike();
+  const Timestamp saturdayNoon = 12 * kHour;            // day 0 = Saturday
+  const Timestamp mondayNoon = 2 * kDay + 12 * kHour;
+  EXPECT_LT(model.multiplier(saturdayNoon), model.multiplier(mondayNoon));
+}
+
+TEST(RateModel, ScdHasNoWeeklyPattern) {
+  const auto model = SeasonalRateModel::scdLike();
+  for (int d = 1; d < 7; ++d) {
+    EXPECT_DOUBLE_EQ(model.multiplier(12 * kHour),
+                     model.multiplier(d * kDay + 12 * kHour));
+  }
+}
+
+TEST(RateModel, FlatIsConstant) {
+  const auto model = SeasonalRateModel::flat();
+  for (int hr = 0; hr < 48; ++hr) {
+    EXPECT_NEAR(model.multiplier(hr * kHour), 1.0, 1e-12);
+  }
+}
+
+TEST(WorkloadSpec, LeafProbabilitiesSumToOne) {
+  for (const auto& spec :
+       {ccdTroubleWorkload(Scale::kTest), ccdNetworkWorkload(Scale::kTest),
+        scdNetworkWorkload(Scale::kTest)}) {
+    const auto probs = spec.leafProbabilities();
+    double total = 0.0;
+    for (double p : probs) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(WorkloadSpec, NodeProbabilityMatchesSubtreeSum) {
+  const auto spec = ccdNetworkWorkload(Scale::kTest);
+  const auto& h = spec.hierarchy;
+  const NodeId vho = h.children(h.root())[1];
+  double sum = 0.0;
+  const auto probs = spec.leafProbabilities();
+  for (std::size_t i = 0; i < h.leaves().size(); ++i) {
+    if (h.isAncestorOrEqual(vho, h.leaves()[i])) sum += probs[i];
+  }
+  EXPECT_NEAR(spec.nodeProbability(vho), sum, 1e-9);
+}
+
+TEST(Generator, Deterministic) {
+  const auto spec = ccdTroubleWorkload(Scale::kTest);
+  GeneratorSource a(spec, 0, 8, 99);
+  GeneratorSource b(spec, 0, 8, 99);
+  while (true) {
+    auto ra = a.next();
+    auto rb = b.next();
+    ASSERT_EQ(ra.has_value(), rb.has_value());
+    if (!ra) break;
+    EXPECT_EQ(*ra, *rb);
+  }
+}
+
+TEST(Generator, TimeOrderedWithinRange) {
+  const auto spec = ccdTroubleWorkload(Scale::kTest);
+  GeneratorSource src(spec, 5, 12, 7);
+  Timestamp prev = unitStart(5, spec.unit);
+  std::size_t count = 0;
+  while (auto r = src.next()) {
+    EXPECT_GE(r->time, prev);
+    EXPECT_GE(r->time, unitStart(5, spec.unit));
+    EXPECT_LT(r->time, unitStart(12, spec.unit));
+    prev = r->time;
+    ++count;
+  }
+  EXPECT_GT(count, 0u);
+}
+
+TEST(Generator, TicketMixMatchesTableOne) {
+  const auto spec = ccdTroubleWorkload(Scale::kMedium);
+  const auto& h = spec.hierarchy;
+  // Generate a quiet-free day and aggregate level-1 shares.
+  GeneratorSource src(spec, 0, 96, 1234);
+  std::vector<std::size_t> counts(h.size(), 0);
+  std::size_t total = 0;
+  while (auto r = src.next()) {
+    NodeId cur = r->category;
+    while (h.depth(cur) > 2) cur = h.parent(cur);
+    ++counts[cur];
+    ++total;
+  }
+  ASSERT_GT(total, 1000u);
+  for (const auto& cat : ccdTicketMix()) {
+    const NodeId n = h.childNamed(h.root(), cat.name);
+    ASSERT_NE(n, kInvalidNode) << cat.name;
+    const double measured =
+        static_cast<double>(counts[n]) / static_cast<double>(total);
+    EXPECT_NEAR(measured, cat.share, 0.02) << cat.name;
+  }
+}
+
+TEST(Generator, SeasonalityVisibleInCounts) {
+  const auto spec = ccdTroubleWorkload(Scale::kTest);
+  GeneratorSource src(spec, 0, 96 * 3, 5);  // 3 days
+  TimeUnitBatcher batcher(src, spec.unit, 0);
+  std::vector<double> counts;
+  while (auto b = batcher.next()) {
+    counts.push_back(static_cast<double>(b->records.size()));
+  }
+  ASSERT_GE(counts.size(), 96u * 3 - 1);
+  // 4 PM unit should far exceed the 4 AM unit on the same (week)day.
+  const std::size_t day = 2;  // Monday
+  const double peak = counts[day * 96 + 64];    // 16:00
+  const double trough = counts[day * 96 + 16];  // 04:00
+  EXPECT_GT(peak, 4.0 * std::max(trough, 1.0));
+}
+
+TEST(TableTwoDegrees, PaperPresetsMatch) {
+  EXPECT_EQ(ccdTroubleDegrees(Scale::kPaper),
+            (std::vector<std::size_t>{9, 6, 3, 5}));
+  EXPECT_EQ(ccdNetworkDegrees(Scale::kPaper),
+            (std::vector<std::size_t>{61, 5, 6, 24}));
+  EXPECT_EQ(scdNetworkDegrees(Scale::kPaper),
+            (std::vector<std::size_t>{2000, 30, 6}));
+  // Depths: CCD trees have 5 levels, SCD 4 (degrees are per-level edges).
+  EXPECT_EQ(ccdTroubleDegrees(Scale::kPaper).size() + 1, 5u);
+  EXPECT_EQ(scdNetworkDegrees(Scale::kPaper).size() + 1, 4u);
+}
+
+TEST(Injector, GroundTruthMatching) {
+  const auto spec = ccdNetworkWorkload(Scale::kTest);
+  const auto& h = spec.hierarchy;
+  const NodeId io = h.find("VHO0/IO1");
+  ASSERT_NE(io, kInvalidNode);
+  GroundTruthLedger ledger;
+  ledger.add({io, 10, 3, 50.0});
+  EXPECT_TRUE(ledger.matches(h, io, 10));
+  EXPECT_TRUE(ledger.matches(h, io, 12));
+  EXPECT_FALSE(ledger.matches(h, io, 13));
+  // Ancestors and descendants match; siblings don't.
+  EXPECT_TRUE(ledger.matches(h, h.root(), 11));
+  EXPECT_TRUE(ledger.matches(h, h.children(io)[0], 11));
+  EXPECT_FALSE(ledger.matches(h, h.find("VHO0/IO0"), 11));
+}
+
+TEST(Injector, ExtrasLandUnderTarget) {
+  const auto spec = ccdNetworkWorkload(Scale::kTest);
+  const auto& h = spec.hierarchy;
+  const NodeId io = h.find("VHO1/IO0");
+  GroundTruthLedger ledger;
+  ledger.add({io, 5, 2, 40.0});
+  AnomalyInjector injector(h, ledger);
+  Rng rng(77);
+  const auto extras = injector.drawExtras(5, rng);
+  EXPECT_GT(extras.size(), 15u);
+  for (NodeId leaf : extras) {
+    EXPECT_TRUE(h.isAncestorOrEqual(io, leaf));
+    EXPECT_TRUE(h.isLeaf(leaf));
+  }
+  EXPECT_TRUE(injector.drawExtras(99, rng).empty());
+}
+
+TEST(Injector, SpikeVisibleInGeneratedStream) {
+  const auto spec = ccdNetworkWorkload(Scale::kTest);
+  const auto& h = spec.hierarchy;
+  const NodeId io = h.find("VHO0/IO1");
+  GroundTruthLedger ledger;
+  ledger.add({io, 10, 2, 120.0});
+  auto injector = std::make_shared<AnomalyInjector>(h, ledger);
+  GeneratorSource with(spec, 8, 14, 55, injector);
+  GeneratorSource without(spec, 8, 14, 55);
+  auto countIn = [&](GeneratorSource& src, TimeUnit unit) {
+    std::size_t c = 0;
+    // count records under io in `unit` (sources are consumed independently)
+    while (auto r = src.next()) {
+      if (timeUnitOf(r->time, spec.unit) == unit &&
+          h.isAncestorOrEqual(io, r->category)) {
+        ++c;
+      }
+    }
+    return c;
+  };
+  const std::size_t spiked = countIn(with, 10);
+  const std::size_t base = countIn(without, 10);
+  EXPECT_GT(spiked, base + 60);
+}
+
+TEST(Fig1Shape, LowerLevelsAreSparser) {
+  // §II-B sparsity: the fraction of empty (node, unit) cells grows with
+  // depth.
+  const auto spec = ccdNetworkWorkload(Scale::kTest);
+  const auto& h = spec.hierarchy;
+  GeneratorSource src(spec, 0, 96, 31);
+  TimeUnitBatcher batcher(src, spec.unit, 0);
+  std::vector<std::vector<std::size_t>> perDepthCounts(
+      static_cast<std::size_t>(h.height()) + 1);
+  std::size_t units = 0;
+  std::vector<std::size_t> nonEmpty(static_cast<std::size_t>(h.height()) + 1,
+                                    0);
+  while (auto b = batcher.next()) {
+    ++units;
+    std::vector<double> agg(h.size(), 0.0);
+    for (const auto& r : b->records) agg[r.category] += 1.0;
+    for (NodeId n = static_cast<NodeId>(h.size()); n-- > 1;) {
+      agg[h.parent(n)] += agg[n];
+    }
+    for (NodeId n = 0; n < h.size(); ++n) {
+      if (agg[n] > 0.0) ++nonEmpty[static_cast<std::size_t>(h.depth(n))];
+    }
+  }
+  auto fillRate = [&](int depth) {
+    const auto nodes = h.nodesAtDepth(depth).size();
+    return static_cast<double>(nonEmpty[static_cast<std::size_t>(depth)]) /
+           static_cast<double>(nodes * units);
+  };
+  EXPECT_GT(fillRate(1), fillRate(3));
+  EXPECT_GT(fillRate(3), fillRate(5));
+}
+
+}  // namespace
+}  // namespace tiresias::workload

@@ -45,40 +45,45 @@ void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
   }
 }
 
-RunSummary TiresiasPipeline::run(RecordSource& source,
-                                 const ResultCallback& onResult) {
-  RunSummary summary;
-  TimeUnitBatcher batcher(source, config_.delta, nextStart_);
-  const std::size_t window = config_.detector.windowLength;
-
-  auto deliver = [&](const TimeUnitBatch& batch) {
-    if (auto result = detector_->step(batch)) {
+void TiresiasPipeline::processUnit(TimeUnitBatch batch,
+                                   const ResultCallback& onResult,
+                                   RunSummary& summary) {
+  auto deliver = [&](const TimeUnitBatch& b) {
+    if (auto result = detector_->step(b)) {
       ++summary.instancesDetected;
       summary.anomaliesReported += result->anomalies.size();
       if (onResult) onResult(*result);
     }
   };
 
-  while (auto batch = batcher.next()) {
-    ++summary.unitsProcessed;
-    summary.recordsProcessed += batch->records.size();
-    nextStart_ = unitStart(batch->unit + 1, config_.delta);
-    if (!detector_) {
-      // Warm-up spans run() calls: buffer until one full window of root
-      // counts is available for the Step 3 seasonality analysis.
-      warmupRootCounts_.push_back(
-          static_cast<double>(batch->records.size()));
-      warmup_.push_back(std::move(*batch));
-      if (warmup_.size() < window) continue;
-      buildDetector(warmupRootCounts_, summary);
-      for (const auto& buffered : warmup_) deliver(buffered);
-      warmup_.clear();
-      warmup_.shrink_to_fit();
-      warmupRootCounts_.clear();
-      continue;
-    }
-    deliver(*batch);
+  ++summary.unitsProcessed;
+  summary.recordsProcessed += batch.records.size();
+  nextStart_ = unitStart(batch.unit + 1, config_.delta);
+  if (!detector_) {
+    // Warm-up spans calls: buffer until one full window of root counts is
+    // available for the Step 3 seasonality analysis.
+    warmupRootCounts_.push_back(static_cast<double>(batch.records.size()));
+    warmup_.push_back(std::move(batch));
+    if (warmup_.size() < config_.detector.windowLength) return;
+    buildDetector(warmupRootCounts_, summary);
+    for (const auto& buffered : warmup_) deliver(buffered);
+    warmup_.clear();
+    warmup_.shrink_to_fit();
+    warmupRootCounts_.clear();
+    return;
   }
+  deliver(batch);
+}
+
+RunSummary TiresiasPipeline::run(RecordSource& source,
+                                 const ResultCallback& onResult) {
+  RunSummary summary;
+  const std::size_t skippedBefore = source.skippedRecords();
+  TimeUnitBatcher batcher(source, config_.delta, nextStart_);
+  while (auto batch = batcher.next()) {
+    processUnit(std::move(*batch), onResult, summary);
+  }
+  summary.junkRowsSkipped = source.skippedRecords() - skippedBefore;
   return summary;
 }
 

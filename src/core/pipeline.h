@@ -41,6 +41,9 @@ struct RunSummary {
   std::size_t recordsProcessed = 0;
   std::size_t instancesDetected = 0;
   std::size_t anomaliesReported = 0;
+  /// Rows the source consumed but skipped (junk lines, unknown categories)
+  /// during this run — RecordSource::skippedRecords() delta.
+  std::size_t junkRowsSkipped = 0;
   /// The seasonality chosen in Step 3 (empty when a factory was supplied).
   std::vector<SeasonSpec> seasons;
 };
@@ -57,9 +60,19 @@ class TiresiasPipeline {
   /// batching resumes after the last processed timeunit.
   RunSummary run(RecordSource& source, const ResultCallback& onResult);
 
+  /// Feed one already-batched timeunit (engine ingestion path). Units must
+  /// arrive in consecutive order, exactly as a TimeUnitBatcher over the
+  /// concatenated record stream would emit them; run() is expressed in
+  /// terms of this, so chunked and whole-source processing are
+  /// bit-identical. Counters accumulate into `summary`.
+  void processUnit(TimeUnitBatch batch, const ResultCallback& onResult,
+                   RunSummary& summary);
+
   /// The live detector (valid during/after run), e.g. for memory stats.
   Detector* detector() { return detector_.get(); }
   const Detector* detector() const { return detector_.get(); }
+
+  const PipelineConfig& config() const { return config_; }
 
  private:
   void buildDetector(const std::vector<double>& rootSeries,

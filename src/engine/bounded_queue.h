@@ -1,0 +1,87 @@
+// Bounded MPSC/SPSC work queue for the detection engine's ingest path.
+//
+// A fixed-capacity FIFO with blocking push (backpressure: a producer that
+// outruns its consumer parks until space frees up) and blocking pop. close()
+// wakes everyone; pushes after close are refused and pops drain whatever is
+// still queued before reporting end-of-stream. Depth high-water mark and blocked-push
+// counts feed EngineStats so operators can see which shards are saturated.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/expect.h"
+
+namespace tiresias::engine {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    TIRESIAS_EXPECT(capacity > 0, "queue capacity must be positive");
+  }
+
+  /// Enqueue, blocking while the queue is full. Returns false (dropping
+  /// the item) iff the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    if (queue_.size() >= capacity_ && !closed_) {
+      ++blockedPushes_;
+      notFull_.wait(lock,
+                    [&] { return queue_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    if (queue_.size() > maxDepth_) maxDepth_ = queue_.size();
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue, blocking while empty. nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    notEmpty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    notFull_.notify_one();
+    return item;
+  }
+
+  /// Refuse further pushes and wake all waiters. Queued items remain
+  /// poppable. Idempotent.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+  std::size_t maxDepth() const {
+    std::lock_guard lock(mutex_);
+    return maxDepth_;
+  }
+  /// Pushes that had to wait for space (backpressure events).
+  std::size_t blockedPushes() const {
+    std::lock_guard lock(mutex_);
+    return blockedPushes_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notFull_, notEmpty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+  std::size_t maxDepth_ = 0;
+  std::size_t blockedPushes_ = 0;
+};
+
+}  // namespace tiresias::engine

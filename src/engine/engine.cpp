@@ -1,0 +1,229 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace tiresias::engine {
+
+/// One registered stream: the pipeline plus everything it consumes.
+struct DetectionEngine::StreamState {
+  std::string name;
+  std::unique_ptr<RecordSource> source;
+  TiresiasPipeline pipeline;
+  /// Cumulative counters; written only by the owning shard's worker
+  /// (summary) and ingest (sourceSkipped), read after the pools stop.
+  RunSummary summary;
+  std::atomic<std::size_t> sourceSkipped{0};
+  /// Ingest-side batcher state; nullopt until ingest begins.
+  std::unique_ptr<TimeUnitBatcher> batcher;
+  bool exhausted = false;
+
+  StreamState(std::string streamName, const Hierarchy& hierarchy,
+              PipelineConfig config, std::unique_ptr<RecordSource> src)
+      : name(std::move(streamName)),
+        source(std::move(src)),
+        pipeline(hierarchy, std::move(config)) {}
+};
+
+struct DetectionEngine::ShardState {
+  explicit ShardState(std::size_t queueCapacity) : queue(queueCapacity) {}
+
+  struct WorkItem {
+    StreamState* stream = nullptr;
+    TimeUnitBatch batch;
+  };
+
+  std::vector<StreamState*> streams;
+  BoundedQueue<WorkItem> queue;
+  std::thread ingest;
+  std::thread worker;
+
+  // Live counters (stats() reads them while the pools run).
+  std::atomic<std::size_t> unitsIngested{0};
+  std::atomic<std::size_t> unitsProcessed{0};
+  std::atomic<std::size_t> recordsProcessed{0};
+  std::atomic<std::size_t> instancesDetected{0};
+  std::atomic<std::size_t> anomaliesReported{0};
+};
+
+DetectionEngine::DetectionEngine(EngineConfig config, ResultSink sink)
+    : config_(config), sink_(std::move(sink)) {
+  TIRESIAS_EXPECT(config_.shards > 0, "engine needs at least one shard");
+  TIRESIAS_EXPECT(config_.queueCapacity > 0,
+                  "ingest queue capacity must be positive");
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<ShardState>(config_.queueCapacity));
+  }
+}
+
+DetectionEngine::~DetectionEngine() { stop(); }
+
+std::size_t DetectionEngine::addStream(std::string name,
+                                       const Hierarchy& hierarchy,
+                                       PipelineConfig config,
+                                       std::unique_ptr<RecordSource> source) {
+  TIRESIAS_EXPECT(!started_, "addStream() after start()");
+  TIRESIAS_EXPECT(source != nullptr, "stream needs a source");
+  const std::size_t id = streams_.size();
+  streams_.push_back(std::make_unique<StreamState>(
+      std::move(name), hierarchy, std::move(config), std::move(source)));
+  shards_[id % shards_.size()]->streams.push_back(streams_[id].get());
+  return id;
+}
+
+const std::string& DetectionEngine::streamName(std::size_t id) const {
+  TIRESIAS_EXPECT(id < streams_.size(), "stream id out of range");
+  return streams_[id]->name;
+}
+
+void DetectionEngine::start() {
+  TIRESIAS_EXPECT(!started_, "start() called twice");
+  started_ = true;
+  startTime_ = std::chrono::steady_clock::now();
+  for (auto& shard : shards_) {
+    shard->ingest = std::thread([this, s = shard.get()] { ingestLoop(*s); });
+    shard->worker = std::thread([this, s = shard.get()] { workerLoop(*s); });
+  }
+}
+
+void DetectionEngine::ingestLoop(ShardState& shard) {
+  for (StreamState* stream : shard.streams) {
+    stream->batcher = std::make_unique<TimeUnitBatcher>(
+        *stream->source, stream->pipeline.config().delta,
+        stream->pipeline.config().startTime);
+  }
+  // Round-robin one timeunit per stream per sweep, so no shard-mate can
+  // monopolize the queue and every stream advances at a similar pace.
+  std::size_t live = shard.streams.size();
+  while (live > 0 && !stopRequested_.load(std::memory_order_relaxed)) {
+    for (StreamState* stream : shard.streams) {
+      if (stream->exhausted) continue;
+      if (stopRequested_.load(std::memory_order_relaxed)) break;
+      auto batch = stream->batcher->next();
+      stream->sourceSkipped.store(stream->source->skippedRecords(),
+                                  std::memory_order_relaxed);
+      if (!batch) {
+        stream->exhausted = true;
+        --live;
+        continue;
+      }
+      // Blocking push == backpressure: the generator stalls here when the
+      // worker is behind, keeping queued memory bounded.
+      if (!shard.queue.push({stream, std::move(*batch)})) return;
+      shard.unitsIngested.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  shard.queue.close();
+}
+
+void DetectionEngine::workerLoop(ShardState& shard) {
+  while (auto item = shard.queue.pop()) {
+    StreamState& stream = *item->stream;
+    RunSummary& sum = stream.summary;
+    const std::size_t instancesBefore = sum.instancesDetected;
+    const std::size_t anomaliesBefore = sum.anomaliesReported;
+    const std::size_t batchRecords = item->batch.records.size();
+    stream.pipeline.processUnit(
+        std::move(item->batch),
+        [&](const InstanceResult& r) {
+          if (sink_) sink_(stream.name, r);
+        },
+        sum);
+    shard.unitsProcessed.fetch_add(1, std::memory_order_relaxed);
+    shard.recordsProcessed.fetch_add(batchRecords,
+                                     std::memory_order_relaxed);
+    shard.instancesDetected.fetch_add(sum.instancesDetected - instancesBefore,
+                                      std::memory_order_relaxed);
+    shard.anomaliesReported.fetch_add(sum.anomaliesReported - anomaliesBefore,
+                                      std::memory_order_relaxed);
+  }
+}
+
+EngineStats DetectionEngine::drain() {
+  TIRESIAS_EXPECT(started_, "drain() before start()");
+  if (!joined_) {
+    // Ingest ends on its own once every source is exhausted; it closes the
+    // queue, so the worker drains the backlog and ends too.
+    for (auto& shard : shards_) {
+      if (shard->ingest.joinable()) shard->ingest.join();
+    }
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+    finalElapsed_ = std::chrono::steady_clock::now() - startTime_;
+    finished_.store(true);
+    joined_ = true;
+  }
+  return stats();
+}
+
+void DetectionEngine::stop() {
+  if (!started_ || joined_) return;
+  stopRequested_.store(true);
+  // Unblock producers stuck in push() and consumers stuck in pop().
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->ingest.joinable()) shard->ingest.join();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  finalElapsed_ = std::chrono::steady_clock::now() - startTime_;
+  finished_.store(true);
+  joined_ = true;
+}
+
+EngineStats DetectionEngine::stats() const {
+  EngineStats out;
+  out.streams = streams_.size();
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.streams = shard->streams.size();
+    s.unitsIngested = shard->unitsIngested.load(std::memory_order_relaxed);
+    s.unitsProcessed = shard->unitsProcessed.load(std::memory_order_relaxed);
+    s.recordsProcessed =
+        shard->recordsProcessed.load(std::memory_order_relaxed);
+    s.instancesDetected =
+        shard->instancesDetected.load(std::memory_order_relaxed);
+    s.anomaliesReported =
+        shard->anomaliesReported.load(std::memory_order_relaxed);
+    for (const StreamState* stream : shard->streams) {
+      s.junkRowsSkipped +=
+          stream->sourceSkipped.load(std::memory_order_relaxed);
+    }
+    s.queueDepth = shard->queue.depth();
+    s.maxQueueDepth = shard->queue.maxDepth();
+    s.backpressureWaits = shard->queue.blockedPushes();
+    out.unitsProcessed += s.unitsProcessed;
+    out.recordsProcessed += s.recordsProcessed;
+    out.instancesDetected += s.instancesDetected;
+    out.anomaliesReported += s.anomaliesReported;
+    out.junkRowsSkipped += s.junkRowsSkipped;
+    out.maxQueueDepth = std::max(out.maxQueueDepth, s.maxQueueDepth);
+    out.backpressureWaits += s.backpressureWaits;
+    out.shards.push_back(std::move(s));
+  }
+  const auto elapsed = finished_.load()
+                           ? finalElapsed_
+                           : std::chrono::steady_clock::now() - startTime_;
+  out.elapsedSeconds =
+      started_ ? std::chrono::duration<double>(elapsed).count() : 0.0;
+  if (out.elapsedSeconds > 0.0) {
+    out.recordsPerSecond =
+        static_cast<double>(out.recordsProcessed) / out.elapsedSeconds;
+  }
+  return out;
+}
+
+RunSummary DetectionEngine::streamSummary(std::size_t id) const {
+  TIRESIAS_EXPECT(id < streams_.size(), "stream id out of range");
+  const auto& stream = *streams_[id];
+  RunSummary sum = stream.summary;
+  // Fold the ingest-side junk-row count in at read time (the worker never
+  // sees the source, so the pipeline summary alone can't carry it).
+  sum.junkRowsSkipped = stream.sourceSkipped.load(std::memory_order_relaxed);
+  return sum;
+}
+
+}  // namespace tiresias::engine

@@ -1,0 +1,143 @@
+// DetectionEngine — concurrent multi-stream detection (the operational
+// deployment the paper describes: continuous detection over many
+// independent operational streams — per-dataset, per-region, per-hierarchy
+// — on shared hardware).
+//
+// Architecture: the engine owns N *shards*. Each stream (a RecordSource
+// paired with its own Hierarchy + TiresiasPipeline) is assigned
+// round-robin to a shard. Per shard there are two threads:
+//
+//   ingest  — batches each of the shard's sources into timeunits
+//             (Step 1, TimeUnitBatcher) and pushes them into the shard's
+//             bounded queue; a full queue blocks the producer
+//             (backpressure), so memory stays bounded no matter how fast
+//             sources produce.
+//   worker  — pops batches FIFO and advances the owning stream's pipeline
+//             via TiresiasPipeline::processUnit.
+//
+// Every stream's pipeline is touched by exactly one worker, and its units
+// arrive in source order, so an N-shard run is bit-identical to N=1 and to
+// k sequential TiresiasPipeline::run calls (the equivalence the engine
+// test asserts). Results are delivered to a user sink tagged with the
+// stream name; report::ConcurrentAnomalyStore is the ready-made
+// thread-safe sink.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "engine/bounded_queue.h"
+#include "stream/window.h"
+
+namespace tiresias::engine {
+
+struct EngineConfig {
+  /// Number of shards == size of each of the two thread pools. Streams
+  /// beyond `shards` multiplex onto existing shards round-robin.
+  std::size_t shards = 1;
+  /// Per-shard ingest queue capacity, in timeunit batches. Smaller values
+  /// bound memory tighter but trigger backpressure earlier.
+  std::size_t queueCapacity = 64;
+};
+
+/// Live counters of one shard (a snapshot; the engine keeps atomics).
+struct ShardStats {
+  std::size_t streams = 0;
+  std::size_t unitsIngested = 0;     // batches pushed into the queue
+  std::size_t unitsProcessed = 0;    // batches consumed by the pipeline
+  std::size_t recordsProcessed = 0;
+  std::size_t instancesDetected = 0;
+  std::size_t anomaliesReported = 0;
+  std::size_t junkRowsSkipped = 0;   // source-side skipped rows (CSV junk)
+  std::size_t queueDepth = 0;        // current
+  std::size_t maxQueueDepth = 0;     // high-water mark
+  std::size_t backpressureWaits = 0; // pushes that blocked on a full queue
+};
+
+struct EngineStats {
+  std::vector<ShardStats> shards;
+  // Aggregates over all shards:
+  std::size_t streams = 0;
+  std::size_t unitsProcessed = 0;
+  std::size_t recordsProcessed = 0;
+  std::size_t instancesDetected = 0;
+  std::size_t anomaliesReported = 0;
+  std::size_t junkRowsSkipped = 0;
+  std::size_t maxQueueDepth = 0;
+  std::size_t backpressureWaits = 0;
+  /// Wall-clock seconds from start() until now (or until drain finished).
+  double elapsedSeconds = 0.0;
+  /// recordsProcessed / elapsedSeconds.
+  double recordsPerSecond = 0.0;
+};
+
+class DetectionEngine {
+ public:
+  /// Result delivery, called from worker threads (concurrently across
+  /// shards — the sink must be thread-safe; ConcurrentAnomalyStore::sink()
+  /// qualifies). May be null to discard results.
+  using ResultSink =
+      std::function<void(const std::string& stream, const InstanceResult&)>;
+
+  DetectionEngine(EngineConfig config, ResultSink sink);
+  /// Stops and joins outstanding threads.
+  ~DetectionEngine();
+
+  DetectionEngine(const DetectionEngine&) = delete;
+  DetectionEngine& operator=(const DetectionEngine&) = delete;
+
+  /// Register a stream before start(). The hierarchy must outlive the
+  /// engine (the pipeline keeps a reference); the source is owned.
+  /// Returns the stream id (dense, in registration order).
+  std::size_t addStream(std::string name, const Hierarchy& hierarchy,
+                        PipelineConfig config,
+                        std::unique_ptr<RecordSource> source);
+
+  std::size_t streamCount() const { return streams_.size(); }
+  const std::string& streamName(std::size_t id) const;
+
+  /// Launch the ingest + worker pools. Call once, after all addStream.
+  void start();
+
+  /// Block until every source is exhausted and every queue is drained,
+  /// then stop the pools. Returns the final stats.
+  EngineStats drain();
+
+  /// Early shutdown: stop ingesting, discard queued work, join. Safe to
+  /// call repeatedly or after drain().
+  void stop();
+
+  /// Live (or final) counters. Thread-safe.
+  EngineStats stats() const;
+
+  /// A stream's cumulative pipeline summary (with the ingest-side junk-row
+  /// count folded in). Call after drain()/stop().
+  RunSummary streamSummary(std::size_t id) const;
+
+ private:
+  struct StreamState;
+  struct ShardState;
+
+  void ingestLoop(ShardState& shard);
+  void workerLoop(ShardState& shard);
+
+  EngineConfig config_;
+  ResultSink sink_;
+  std::vector<std::unique_ptr<StreamState>> streams_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  bool started_ = false;
+  bool joined_ = false;
+  std::atomic<bool> stopRequested_{false};
+  std::chrono::steady_clock::time_point startTime_;
+  std::atomic<bool> finished_{false};
+  std::chrono::steady_clock::duration finalElapsed_{};
+};
+
+}  // namespace tiresias::engine

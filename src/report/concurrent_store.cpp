@@ -1,0 +1,66 @@
+#include "report/concurrent_store.h"
+
+#include "common/expect.h"
+
+namespace tiresias::report {
+
+void ConcurrentAnomalyStore::registerStream(const std::string& name,
+                                            const Hierarchy& hierarchy) {
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] =
+      stores_.emplace(name, std::make_unique<AnomalyStore>(hierarchy));
+  (void)it;
+  TIRESIAS_EXPECT(inserted, "stream name already registered");
+}
+
+bool ConcurrentAnomalyStore::hasStream(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return stores_.count(name) != 0;
+}
+
+void ConcurrentAnomalyStore::add(const std::string& name,
+                                 const InstanceResult& result) {
+  std::lock_guard lock(mutex_);
+  const auto it = stores_.find(name);
+  TIRESIAS_EXPECT(it != stores_.end(), "add() for unregistered stream");
+  it->second->add(result);
+}
+
+std::size_t ConcurrentAnomalyStore::totalSize() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [name, store] : stores_) {
+    (void)name;
+    total += store->size();
+  }
+  return total;
+}
+
+std::vector<std::string> ConcurrentAnomalyStore::streamNames() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(stores_.size());
+  for (const auto& [name, store] : stores_) {
+    (void)store;
+    names.push_back(name);
+  }
+  return names;
+}
+
+const AnomalyStore& ConcurrentAnomalyStore::store(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = stores_.find(name);
+  TIRESIAS_EXPECT(it != stores_.end(), "store() for unregistered stream");
+  return *it->second;
+}
+
+std::vector<StoredAnomaly> ConcurrentAnomalyStore::snapshot(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = stores_.find(name);
+  TIRESIAS_EXPECT(it != stores_.end(), "snapshot() for unregistered stream");
+  return it->second->all();
+}
+
+}  // namespace tiresias::report

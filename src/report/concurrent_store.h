@@ -1,0 +1,59 @@
+// Thread-safe, stream-tagged anomaly sink for the detection engine.
+//
+// The engine runs many pipelines concurrently; their InstanceResults all
+// funnel here, tagged with the originating stream's name. Internally one
+// AnomalyStore per stream (each stream has its own hierarchy, so paths
+// resolve against the right tree) behind a single mutex — result delivery
+// is rare relative to record processing, so one lock is plenty.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "report/store.h"
+
+namespace tiresias::report {
+
+class ConcurrentAnomalyStore {
+ public:
+  /// Create the per-stream store. The hierarchy must outlive this object.
+  /// Registering the same name twice is a precondition violation.
+  void registerStream(const std::string& name, const Hierarchy& hierarchy);
+
+  bool hasStream(const std::string& name) const;
+
+  /// Append a detection instance's anomalies under `name`. Thread-safe;
+  /// the stream must be registered.
+  void add(const std::string& name, const InstanceResult& result);
+
+  /// Anomalies across all streams.
+  std::size_t totalSize() const;
+  /// Registered stream names, sorted.
+  std::vector<std::string> streamNames() const;
+
+  /// Per-stream store access. The reference is stable, but reading it
+  /// while workers still add() races — call after the engine drained, or
+  /// use snapshot() for a copy under the lock.
+  const AnomalyStore& store(const std::string& name) const;
+
+  /// Copy of one stream's anomalies, taken under the lock (safe live).
+  std::vector<StoredAnomaly> snapshot(const std::string& name) const;
+
+  /// Adapter usable as a DetectionEngine result sink.
+  std::function<void(const std::string&, const InstanceResult&)> sink() {
+    return [this](const std::string& name, const InstanceResult& r) {
+      add(name, r);
+    };
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<AnomalyStore>> stores_;
+};
+
+}  // namespace tiresias::report

@@ -20,6 +20,12 @@ class RecordSource {
 
   /// Next record in non-decreasing time order, or nullopt at end of stream.
   virtual std::optional<Record> next() = 0;
+
+  /// Rows the source consumed but could not turn into records (junk lines,
+  /// unknown categories). Operational traces contain garbage; consumers
+  /// surface this through RunSummary / EngineStats instead of dropping it
+  /// silently. In-memory sources have nothing to skip.
+  virtual std::size_t skippedRecords() const { return 0; }
 };
 
 /// Replays a vector of records. Verifies time ordering on construction.
@@ -44,7 +50,8 @@ class CsvSource final : public RecordSource {
 
   std::optional<Record> next() override;
 
-  std::size_t skippedRows() const { return skipped_; }
+  std::size_t skippedRecords() const override { return skipped_; }
+  std::size_t skippedRows() const { return skipped_; }  // legacy name
 
  private:
   struct Impl;

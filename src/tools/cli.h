@@ -6,6 +6,8 @@
 //   detect     run the pipeline over a CSV trace, export anomalies
 //   analyze    FFT/wavelet seasonality report for a trace's root counts
 //   hierarchy  print a dataset's hierarchy summary
+//   serve      multiplex generated streams through the concurrent
+//              multi-stream DetectionEngine (src/engine/)
 //
 // The implementation lives behind runCli so tests can drive it without
 // spawning processes; main() is a one-liner.

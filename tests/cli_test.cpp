@@ -175,6 +175,28 @@ TEST(Cli, CustomHierarchyDetect) {
   std::remove(trace.c_str());
 }
 
+TEST(Cli, ServeRunsStreamsThroughEngine) {
+  std::string out;
+  ASSERT_EQ(run({"serve", "--streams", "3", "--shards", "2", "--units", "40",
+                 "--window", "16", "--seed", "5"},
+                &out),
+            0);
+  EXPECT_NE(out.find("engine: 3 streams over 2 shards"), std::string::npos);
+  EXPECT_NE(out.find("stream ccd-net-0:"), std::string::npos);
+  EXPECT_NE(out.find("stream ccd-trouble-1:"), std::string::npos);
+  EXPECT_NE(out.find("stream scd-2:"), std::string::npos);
+  EXPECT_NE(out.find("shard 0:"), std::string::npos);
+  EXPECT_NE(out.find("shard 1:"), std::string::npos);
+  EXPECT_NE(out.find("aggregate: units=120"), std::string::npos);
+  EXPECT_NE(out.find("records/sec"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsZeroStreams) {
+  std::string err;
+  EXPECT_EQ(run({"serve", "--streams", "0"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("must be positive"), std::string::npos);
+}
+
 TEST(Cli, MissingHierarchyFileFails) {
   std::string err;
   EXPECT_EQ(run({"hierarchy", "--hierarchy", "/nonexistent/x.txt"}, nullptr,

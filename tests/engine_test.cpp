@@ -1,0 +1,276 @@
+// Tests for the concurrent multi-stream detection engine (src/engine/):
+// the bounded ingest queue, the sequential-equivalence guarantee, stress
+// with shards >> cores, early stop, and junk-row surfacing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "core/pipeline.h"
+#include "engine/bounded_queue.h"
+#include "engine/engine.h"
+#include "report/concurrent_store.h"
+#include "timeseries/ewma.h"
+#include "workload/ccd.h"
+#include "workload/scd.h"
+
+namespace tiresias {
+namespace {
+
+using engine::BoundedQueue;
+using engine::DetectionEngine;
+using engine::EngineConfig;
+using workload::GeneratorSource;
+using workload::Scale;
+using workload::WorkloadSpec;
+
+PipelineConfig testPipelineConfig(const WorkloadSpec& spec) {
+  PipelineConfig cfg;
+  cfg.delta = spec.unit;
+  cfg.detector.theta = 8.0;
+  cfg.detector.windowLength = 16;
+  cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+  return cfg;
+}
+
+TEST(BoundedQueue, FifoAndDepthTracking) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.maxDepth(), 4u);
+  EXPECT_EQ(q.blockedPushes(), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueue, BackpressureBlocksProducerUntilConsumed) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(3));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  // The producer must be parked on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_GE(q.blockedPushes(), 1u);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEndsStream) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.push(8));          // refused after close
+  EXPECT_EQ(q.pop(), 7);            // queued items still drain
+  EXPECT_EQ(q.pop(), std::nullopt); // then end-of-stream
+}
+
+TEST(BoundedQueue, ClosedEmptyQueueUnblocksConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  q.close();
+  consumer.join();
+}
+
+/// The headline guarantee: k streams through an N-shard engine produce
+/// exactly the per-stream anomalies and summaries of k sequential
+/// TiresiasPipeline::run calls. Shards deliberately do not divide streams
+/// evenly, and the tiny queue forces backpressure on the ingest path.
+TEST(Engine, EquivalentToSequentialPipelines) {
+  const std::vector<WorkloadSpec> specs = {
+      workload::ccdNetworkWorkload(Scale::kTest),
+      workload::ccdTroubleWorkload(Scale::kTest),
+      workload::scdNetworkWorkload(Scale::kTest),
+      workload::ccdNetworkWorkload(Scale::kTest),
+  };
+  const TimeUnit units = 48;
+
+  // Sequential baseline, one pipeline per stream.
+  std::vector<std::vector<report::StoredAnomaly>> baselineAnomalies;
+  std::vector<RunSummary> baselineSummaries;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    GeneratorSource src(specs[i], 0, units, 100 + i);
+    TiresiasPipeline pipeline(specs[i].hierarchy, testPipelineConfig(specs[i]));
+    report::AnomalyStore store(specs[i].hierarchy);
+    baselineSummaries.push_back(
+        pipeline.run(src, [&](const InstanceResult& r) { store.add(r); }));
+    baselineAnomalies.push_back(store.all());
+  }
+
+  EngineConfig cfg;
+  cfg.shards = 3;        // uneven 4-streams-over-3-shards mapping
+  cfg.queueCapacity = 2; // force backpressure
+  report::ConcurrentAnomalyStore store;
+  DetectionEngine eng(cfg, store.sink());
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string name = "stream-" + std::to_string(i);
+    names.push_back(name);
+    store.registerStream(name, specs[i].hierarchy);
+    eng.addStream(name, specs[i].hierarchy, testPipelineConfig(specs[i]),
+                  std::make_unique<GeneratorSource>(specs[i], 0, units,
+                                                    100 + i));
+  }
+  eng.start();
+  const auto stats = eng.drain();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(names[i]);
+    const auto sum = eng.streamSummary(i);
+    EXPECT_EQ(sum.unitsProcessed, baselineSummaries[i].unitsProcessed);
+    EXPECT_EQ(sum.recordsProcessed, baselineSummaries[i].recordsProcessed);
+    EXPECT_EQ(sum.instancesDetected, baselineSummaries[i].instancesDetected);
+    EXPECT_EQ(sum.anomaliesReported, baselineSummaries[i].anomaliesReported);
+
+    const auto got = store.snapshot(names[i]);
+    const auto& want = baselineAnomalies[i];
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].anomaly, want[j].anomaly);
+      EXPECT_EQ(got[j].path, want[j].path);
+      EXPECT_EQ(got[j].depth, want[j].depth);
+    }
+  }
+
+  std::size_t baselineUnits = 0, baselineRecords = 0;
+  for (const auto& s : baselineSummaries) {
+    baselineUnits += s.unitsProcessed;
+    baselineRecords += s.recordsProcessed;
+  }
+  EXPECT_EQ(stats.unitsProcessed, baselineUnits);
+  EXPECT_EQ(stats.recordsProcessed, baselineRecords);
+  EXPECT_EQ(stats.streams, specs.size());
+  // The tiny queue must actually have exercised backpressure accounting.
+  EXPECT_GT(stats.maxQueueDepth, 0u);
+}
+
+/// Determinism across engine runs: identical seeds => identical aggregate
+/// counters, run-to-run, regardless of thread scheduling.
+TEST(Engine, DeterministicAcrossRuns) {
+  auto runOnce = [](std::size_t shards) {
+    const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+    std::vector<WorkloadSpec> specs(3, spec);
+    EngineConfig cfg;
+    cfg.shards = shards;
+    cfg.queueCapacity = 4;
+    report::ConcurrentAnomalyStore store;
+    DetectionEngine eng(cfg, store.sink());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      store.registerStream("s" + std::to_string(i), specs[i].hierarchy);
+      eng.addStream("s" + std::to_string(i), specs[i].hierarchy,
+                    testPipelineConfig(specs[i]),
+                    std::make_unique<GeneratorSource>(specs[i], 0, 40,
+                                                      7 * (i + 1)));
+    }
+    eng.start();
+    const auto stats = eng.drain();
+    return std::tuple(stats.recordsProcessed, stats.instancesDetected,
+                      stats.anomaliesReported, store.totalSize());
+  };
+  const auto oneShard = runOnce(1);
+  EXPECT_EQ(runOnce(3), oneShard);
+  EXPECT_EQ(runOnce(3), oneShard);
+}
+
+/// Many small units over far more shards than cores: exercises queue
+/// wakeups and thread churn; completion without deadlock is the assertion.
+TEST(Engine, StressManyShardsManySmallUnits) {
+  const auto spec = workload::scdNetworkWorkload(Scale::kTest);
+  const std::size_t streams = 12;
+  const TimeUnit units = 128;
+  EngineConfig cfg;
+  cfg.shards = 12;  // >> cores on any CI box
+  cfg.queueCapacity = 2;
+  std::atomic<std::size_t> results{0};
+  DetectionEngine eng(cfg, [&](const std::string&, const InstanceResult&) {
+    results.fetch_add(1);
+  });
+  for (std::size_t i = 0; i < streams; ++i) {
+    eng.addStream("s" + std::to_string(i), spec.hierarchy,
+                  testPipelineConfig(spec),
+                  std::make_unique<GeneratorSource>(spec, 0, units, i + 1));
+  }
+  eng.start();
+  const auto stats = eng.drain();
+  EXPECT_EQ(stats.unitsProcessed, streams * static_cast<std::size_t>(units));
+  const std::size_t perStream = units - 16 + 1;  // window 16
+  EXPECT_EQ(results.load(), streams * perStream);
+  EXPECT_EQ(stats.instancesDetected, streams * perStream);
+  for (std::size_t i = 0; i < streams; ++i) {
+    EXPECT_EQ(eng.streamSummary(i).unitsProcessed,
+              static_cast<std::size_t>(units));
+  }
+}
+
+/// stop() mid-flight must unblock parked producers and join cleanly.
+TEST(Engine, StopInterruptsBackloggedIngest) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  EngineConfig cfg;
+  cfg.shards = 1;
+  cfg.queueCapacity = 1;  // producers park almost immediately
+  DetectionEngine eng(cfg, nullptr);
+  eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
+                std::make_unique<GeneratorSource>(spec, 0, 100000, 1));
+  eng.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  eng.stop();  // must not hang
+  const auto stats = eng.stats();
+  EXPECT_LT(stats.unitsProcessed, 100000u);
+  EXPECT_GT(stats.elapsedSeconds, 0.0);
+}
+
+/// Junk rows in a CSV-backed stream surface through RunSummary and
+/// EngineStats instead of disappearing.
+TEST(Engine, SurfacesCsvJunkRowCounts) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  // A trace with two good rows, one unknown category, one malformed row.
+  const std::string path = "engine_junk_test.csv";
+  {
+    const NodeId leaf = spec.hierarchy.leaves().front();
+    std::ofstream out(path);
+    out << spec.hierarchy.path(leaf) << ",100\n";
+    out << "no/such/category/path,200\n";
+    out << "not a csv row\n";
+    out << spec.hierarchy.path(leaf) << ",900\n";
+  }
+
+  {  // Plain pipeline run: RunSummary carries the count.
+    CsvSource src(path, spec.hierarchy);
+    PipelineConfig cfg = testPipelineConfig(spec);
+    cfg.detector.windowLength = 2;
+    cfg.delta = 600;
+    TiresiasPipeline pipeline(spec.hierarchy, cfg);
+    const auto sum = pipeline.run(src, nullptr);
+    EXPECT_EQ(sum.junkRowsSkipped, 2u);
+    EXPECT_EQ(sum.recordsProcessed, 2u);
+  }
+
+  {  // Engine run: EngineStats and streamSummary carry it too.
+    EngineConfig ecfg;
+    ecfg.shards = 1;
+    DetectionEngine eng(ecfg, nullptr);
+    PipelineConfig cfg = testPipelineConfig(spec);
+    cfg.detector.windowLength = 2;
+    cfg.delta = 600;
+    eng.addStream("csv", spec.hierarchy, cfg,
+                  std::make_unique<CsvSource>(path, spec.hierarchy));
+    eng.start();
+    const auto stats = eng.drain();
+    EXPECT_EQ(stats.junkRowsSkipped, 2u);
+    EXPECT_EQ(eng.streamSummary(0).junkRowsSkipped, 2u);
+    EXPECT_EQ(stats.recordsProcessed, 2u);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -45,7 +45,7 @@ void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
   }
 }
 
-void TiresiasPipeline::processUnit(TimeUnitBatch batch,
+void TiresiasPipeline::processUnit(const TimeUnitBatch& batch,
                                    const ResultCallback& onResult,
                                    RunSummary& summary) {
   auto deliver = [&](const TimeUnitBatch& b) {
@@ -63,16 +63,21 @@ void TiresiasPipeline::processUnit(TimeUnitBatch batch,
     // Warm-up spans calls: buffer until one full window of root counts is
     // available for the Step 3 seasonality analysis.
     warmupRootCounts_.push_back(static_cast<double>(batch.records.size()));
-    warmup_.push_back(std::move(batch));
-    if (warmup_.size() < config_.detector.windowLength) return;
+    warmup_.push_back(batch);
+    if (warmup_.size() < config_.detector.windowLength) {
+      summary.warmupUnitsBuffered = warmup_.size();
+      return;
+    }
     buildDetector(warmupRootCounts_, summary);
     for (const auto& buffered : warmup_) deliver(buffered);
     warmup_.clear();
     warmup_.shrink_to_fit();
     warmupRootCounts_.clear();
+    summary.warmupUnitsBuffered = 0;
     return;
   }
   deliver(batch);
+  summary.warmupUnitsBuffered = 0;
 }
 
 RunSummary TiresiasPipeline::run(RecordSource& source,
@@ -80,10 +85,12 @@ RunSummary TiresiasPipeline::run(RecordSource& source,
   RunSummary summary;
   const std::size_t skippedBefore = source.skippedRecords();
   TimeUnitBatcher batcher(source, config_.delta, nextStart_);
-  while (auto batch = batcher.next()) {
-    processUnit(std::move(*batch), onResult, summary);
+  TimeUnitBatch batch;  // reused across units
+  while (batcher.next(batch)) {
+    processUnit(batch, onResult, summary);
   }
   summary.junkRowsSkipped = source.skippedRecords() - skippedBefore;
+  summary.warmupUnitsBuffered = warmup_.size();
   return summary;
 }
 

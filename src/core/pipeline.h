@@ -44,6 +44,11 @@ struct RunSummary {
   /// Rows the source consumed but skipped (junk lines, unknown categories)
   /// during this run — RecordSource::skippedRecords() delta.
   std::size_t junkRowsSkipped = 0;
+  /// Timeunits still buffered in pipeline warm-up (Step 3 has not run yet)
+  /// after the last processed unit. Non-zero at end of stream means the
+  /// stream was shorter than the detector window: every unit was absorbed
+  /// silently and no detection instance was ever produced.
+  std::size_t warmupUnitsBuffered = 0;
   /// The seasonality chosen in Step 3 (empty when a factory was supplied).
   std::vector<SeasonSpec> seasons;
 };
@@ -64,8 +69,10 @@ class TiresiasPipeline {
   /// arrive in consecutive order, exactly as a TimeUnitBatcher over the
   /// concatenated record stream would emit them; run() is expressed in
   /// terms of this, so chunked and whole-source processing are
-  /// bit-identical. Counters accumulate into `summary`.
-  void processUnit(TimeUnitBatch batch, const ResultCallback& onResult,
+  /// bit-identical. The batch is only read (callers reuse their buffers);
+  /// during warm-up it is copied into the buffered window. Counters
+  /// accumulate into `summary`.
+  void processUnit(const TimeUnitBatch& batch, const ResultCallback& onResult,
                    RunSummary& summary);
 
   /// The live detector (valid during/after run), e.g. for memory stats.

@@ -2,8 +2,10 @@
 //
 // A fixed-capacity FIFO with blocking push (backpressure: a producer that
 // outruns its consumer parks until space frees up) and blocking pop. close()
-// wakes everyone; pushes after close are refused and pops drain whatever is
-// still queued before reporting end-of-stream. Depth high-water mark and blocked-push
+// wakes everyone; pushes after close are refused, and pops either drain
+// whatever is still queued before reporting end-of-stream (kDrain, the
+// graceful path) or stop immediately with the backlog dropped (kDiscard,
+// early shutdown). Depth high-water mark, blocked-push and discarded-item
 // counts feed EngineStats so operators can see which shards are saturated.
 #pragma once
 
@@ -51,11 +53,23 @@ class BoundedQueue {
     return item;
   }
 
-  /// Refuse further pushes and wake all waiters. Queued items remain
-  /// poppable. Idempotent.
-  void close() {
+  enum class CloseMode {
+    kDrain,    // queued items remain poppable (graceful end of stream)
+    kDiscard,  // queued items are dropped; pop() reports end immediately
+  };
+
+  /// Refuse further pushes and wake all waiters. In kDrain mode queued
+  /// items remain poppable; in kDiscard mode they are dropped on the floor
+  /// (counted in discardedItems()) so consumers stop without touching the
+  /// backlog — the early-shutdown path. Idempotent; a later kDiscard close
+  /// still discards whatever is queued.
+  void close(CloseMode mode = CloseMode::kDrain) {
     std::lock_guard lock(mutex_);
     closed_ = true;
+    if (mode == CloseMode::kDiscard) {
+      discarded_ += queue_.size();
+      queue_.clear();
+    }
     notFull_.notify_all();
     notEmpty_.notify_all();
   }
@@ -73,6 +87,11 @@ class BoundedQueue {
     std::lock_guard lock(mutex_);
     return blockedPushes_;
   }
+  /// Items dropped by close(kDiscard).
+  std::size_t discardedItems() const {
+    std::lock_guard lock(mutex_);
+    return discarded_;
+  }
 
  private:
   const std::size_t capacity_;
@@ -82,6 +101,7 @@ class BoundedQueue {
   bool closed_ = false;
   std::size_t maxDepth_ = 0;
   std::size_t blockedPushes_ = 0;
+  std::size_t discarded_ = 0;
 };
 
 }  // namespace tiresias::engine

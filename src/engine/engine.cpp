@@ -1,20 +1,33 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <mutex>
 
 #include "common/expect.h"
 
 namespace tiresias::engine {
+
+namespace {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 /// One registered stream: the pipeline plus everything it consumes.
 struct DetectionEngine::StreamState {
   std::string name;
   std::unique_ptr<RecordSource> source;
   TiresiasPipeline pipeline;
-  /// Cumulative counters; written only by the owning shard's worker
-  /// (summary) and ingest (sourceSkipped), read after the pools stop.
+  /// Cumulative counters; written only by the owning shard's worker,
+  /// read after the pools stop.
   RunSummary summary;
   std::atomic<std::size_t> sourceSkipped{0};
+  std::atomic<std::size_t> warmupBuffered{0};
   /// Ingest-side batcher state; nullopt until ingest begins.
   std::unique_ptr<TimeUnitBatcher> batcher;
   bool exhausted = false;
@@ -27,7 +40,8 @@ struct DetectionEngine::StreamState {
 };
 
 struct DetectionEngine::ShardState {
-  explicit ShardState(std::size_t queueCapacity) : queue(queueCapacity) {}
+  explicit ShardState(std::size_t queueCapacity)
+      : queue(queueCapacity), recycleCap(queueCapacity + 2) {}
 
   struct WorkItem {
     StreamState* stream = nullptr;
@@ -38,6 +52,27 @@ struct DetectionEngine::ShardState {
   BoundedQueue<WorkItem> queue;
   std::thread ingest;
   std::thread worker;
+
+  // Record buffers cycle ingest -> queue -> worker -> back to ingest, so
+  // steady-state batching allocates nothing. Bounded: the pool never holds
+  // more than what the queue can have in flight.
+  std::mutex recycleMutex;
+  std::vector<std::vector<Record>> recycle;
+  const std::size_t recycleCap;
+
+  std::vector<Record> takeRecycled() {
+    std::lock_guard lock(recycleMutex);
+    if (recycle.empty()) return {};
+    std::vector<Record> buf = std::move(recycle.back());
+    recycle.pop_back();
+    return buf;
+  }
+
+  void recycleBuffer(std::vector<Record>&& buf) {
+    buf.clear();
+    std::lock_guard lock(recycleMutex);
+    if (recycle.size() < recycleCap) recycle.push_back(std::move(buf));
+  }
 
   // Live counters (stats() reads them while the pools run).
   std::atomic<std::size_t> unitsIngested{0};
@@ -64,7 +99,7 @@ std::size_t DetectionEngine::addStream(std::string name,
                                        const Hierarchy& hierarchy,
                                        PipelineConfig config,
                                        std::unique_ptr<RecordSource> source) {
-  TIRESIAS_EXPECT(!started_, "addStream() after start()");
+  TIRESIAS_EXPECT(!started_.load(), "addStream() after start()");
   TIRESIAS_EXPECT(source != nullptr, "stream needs a source");
   const std::size_t id = streams_.size();
   streams_.push_back(std::make_unique<StreamState>(
@@ -79,9 +114,9 @@ const std::string& DetectionEngine::streamName(std::size_t id) const {
 }
 
 void DetectionEngine::start() {
-  TIRESIAS_EXPECT(!started_, "start() called twice");
-  started_ = true;
-  startTime_ = std::chrono::steady_clock::now();
+  TIRESIAS_EXPECT(!started_.load(), "start() called twice");
+  startNs_.store(nowNs(), std::memory_order_release);
+  started_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     shard->ingest = std::thread([this, s = shard.get()] { ingestLoop(*s); });
     shard->worker = std::thread([this, s = shard.get()] { workerLoop(*s); });
@@ -97,21 +132,25 @@ void DetectionEngine::ingestLoop(ShardState& shard) {
   // Round-robin one timeunit per stream per sweep, so no shard-mate can
   // monopolize the queue and every stream advances at a similar pace.
   std::size_t live = shard.streams.size();
+  TimeUnitBatch batch;
   while (live > 0 && !stopRequested_.load(std::memory_order_relaxed)) {
     for (StreamState* stream : shard.streams) {
       if (stream->exhausted) continue;
       if (stopRequested_.load(std::memory_order_relaxed)) break;
-      auto batch = stream->batcher->next();
+      // Batch into a buffer recycled from the worker (allocation-free once
+      // the pool is primed).
+      batch.records = shard.takeRecycled();
+      const bool more = stream->batcher->next(batch);
       stream->sourceSkipped.store(stream->source->skippedRecords(),
                                   std::memory_order_relaxed);
-      if (!batch) {
+      if (!more) {
         stream->exhausted = true;
         --live;
         continue;
       }
       // Blocking push == backpressure: the generator stalls here when the
       // worker is behind, keeping queued memory bounded.
-      if (!shard.queue.push({stream, std::move(*batch)})) return;
+      if (!shard.queue.push({stream, std::move(batch)})) return;
       shard.unitsIngested.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -126,11 +165,13 @@ void DetectionEngine::workerLoop(ShardState& shard) {
     const std::size_t anomaliesBefore = sum.anomaliesReported;
     const std::size_t batchRecords = item->batch.records.size();
     stream.pipeline.processUnit(
-        std::move(item->batch),
+        item->batch,
         [&](const InstanceResult& r) {
           if (sink_) sink_(stream.name, r);
         },
         sum);
+    stream.warmupBuffered.store(sum.warmupUnitsBuffered,
+                                std::memory_order_relaxed);
     shard.unitsProcessed.fetch_add(1, std::memory_order_relaxed);
     shard.recordsProcessed.fetch_add(batchRecords,
                                      std::memory_order_relaxed);
@@ -138,11 +179,12 @@ void DetectionEngine::workerLoop(ShardState& shard) {
                                       std::memory_order_relaxed);
     shard.anomaliesReported.fetch_add(sum.anomaliesReported - anomaliesBefore,
                                       std::memory_order_relaxed);
+    shard.recycleBuffer(std::move(item->batch.records));
   }
 }
 
 EngineStats DetectionEngine::drain() {
-  TIRESIAS_EXPECT(started_, "drain() before start()");
+  TIRESIAS_EXPECT(started_.load(), "drain() before start()");
   if (!joined_) {
     // Ingest ends on its own once every source is exhausted; it closes the
     // queue, so the worker drains the backlog and ends too.
@@ -152,24 +194,28 @@ EngineStats DetectionEngine::drain() {
     for (auto& shard : shards_) {
       if (shard->worker.joinable()) shard->worker.join();
     }
-    finalElapsed_ = std::chrono::steady_clock::now() - startTime_;
-    finished_.store(true);
+    finalElapsedNs_.store(nowNs() - startNs_.load(std::memory_order_relaxed),
+                          std::memory_order_release);
     joined_ = true;
   }
   return stats();
 }
 
 void DetectionEngine::stop() {
-  if (!started_ || joined_) return;
+  if (!started_.load() || joined_) return;
   stopRequested_.store(true);
-  // Unblock producers stuck in push() and consumers stuck in pop().
-  for (auto& shard : shards_) shard->queue.close();
+  // Unblock producers stuck in push() and consumers stuck in pop(),
+  // dropping the queued backlog: stop() means "discard queued work", in
+  // contrast to drain().
+  for (auto& shard : shards_) {
+    shard->queue.close(BoundedQueue<ShardState::WorkItem>::CloseMode::kDiscard);
+  }
   for (auto& shard : shards_) {
     if (shard->ingest.joinable()) shard->ingest.join();
     if (shard->worker.joinable()) shard->worker.join();
   }
-  finalElapsed_ = std::chrono::steady_clock::now() - startTime_;
-  finished_.store(true);
+  finalElapsedNs_.store(nowNs() - startNs_.load(std::memory_order_relaxed),
+                        std::memory_order_release);
   joined_ = true;
 }
 
@@ -182,6 +228,7 @@ EngineStats DetectionEngine::stats() const {
     s.streams = shard->streams.size();
     s.unitsIngested = shard->unitsIngested.load(std::memory_order_relaxed);
     s.unitsProcessed = shard->unitsProcessed.load(std::memory_order_relaxed);
+    s.unitsDiscarded = shard->queue.discardedItems();
     s.recordsProcessed =
         shard->recordsProcessed.load(std::memory_order_relaxed);
     s.instancesDetected =
@@ -191,24 +238,31 @@ EngineStats DetectionEngine::stats() const {
     for (const StreamState* stream : shard->streams) {
       s.junkRowsSkipped +=
           stream->sourceSkipped.load(std::memory_order_relaxed);
+      s.warmupUnitsBuffered +=
+          stream->warmupBuffered.load(std::memory_order_relaxed);
     }
     s.queueDepth = shard->queue.depth();
     s.maxQueueDepth = shard->queue.maxDepth();
     s.backpressureWaits = shard->queue.blockedPushes();
+    out.unitsIngested += s.unitsIngested;
     out.unitsProcessed += s.unitsProcessed;
+    out.unitsDiscarded += s.unitsDiscarded;
     out.recordsProcessed += s.recordsProcessed;
     out.instancesDetected += s.instancesDetected;
     out.anomaliesReported += s.anomaliesReported;
     out.junkRowsSkipped += s.junkRowsSkipped;
+    out.warmupUnitsBuffered += s.warmupUnitsBuffered;
     out.maxQueueDepth = std::max(out.maxQueueDepth, s.maxQueueDepth);
     out.backpressureWaits += s.backpressureWaits;
     out.shards.push_back(std::move(s));
   }
-  const auto elapsed = finished_.load()
-                           ? finalElapsed_
-                           : std::chrono::steady_clock::now() - startTime_;
-  out.elapsedSeconds =
-      started_ ? std::chrono::duration<double>(elapsed).count() : 0.0;
+  std::int64_t elapsedNs = 0;
+  if (started_.load(std::memory_order_acquire)) {
+    const std::int64_t fin = finalElapsedNs_.load(std::memory_order_acquire);
+    elapsedNs =
+        fin >= 0 ? fin : nowNs() - startNs_.load(std::memory_order_acquire);
+  }
+  out.elapsedSeconds = static_cast<double>(elapsedNs) / 1e9;
   if (out.elapsedSeconds > 0.0) {
     out.recordsPerSecond =
         static_cast<double>(out.recordsProcessed) / out.elapsedSeconds;

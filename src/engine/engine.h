@@ -8,12 +8,15 @@
 // round-robin to a shard. Per shard there are two threads:
 //
 //   ingest  — batches each of the shard's sources into timeunits
-//             (Step 1, TimeUnitBatcher) and pushes them into the shard's
-//             bounded queue; a full queue blocks the producer
+//             (Step 1, TimeUnitBatcher over RecordSource::nextBatch, so
+//             the per-record path is non-virtual) and pushes them into the
+//             shard's bounded queue; a full queue blocks the producer
 //             (backpressure), so memory stays bounded no matter how fast
 //             sources produce.
-//   worker  — pops batches FIFO and advances the owning stream's pipeline
-//             via TiresiasPipeline::processUnit.
+//   worker  — pops batches FIFO, advances the owning stream's pipeline
+//             via TiresiasPipeline::processUnit, and recycles the batch
+//             buffer back to ingest (steady-state batching allocates
+//             nothing).
 //
 // Every stream's pipeline is touched by exactly one worker, and its units
 // arrive in source order, so an N-shard run is bit-identical to N=1 and to
@@ -24,8 +27,8 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -52,10 +55,12 @@ struct ShardStats {
   std::size_t streams = 0;
   std::size_t unitsIngested = 0;     // batches pushed into the queue
   std::size_t unitsProcessed = 0;    // batches consumed by the pipeline
+  std::size_t unitsDiscarded = 0;    // batches dropped by stop()
   std::size_t recordsProcessed = 0;
   std::size_t instancesDetected = 0;
   std::size_t anomaliesReported = 0;
   std::size_t junkRowsSkipped = 0;   // source-side skipped rows (CSV junk)
+  std::size_t warmupUnitsBuffered = 0;  // units held in pipeline warm-up
   std::size_t queueDepth = 0;        // current
   std::size_t maxQueueDepth = 0;     // high-water mark
   std::size_t backpressureWaits = 0; // pushes that blocked on a full queue
@@ -65,17 +70,28 @@ struct EngineStats {
   std::vector<ShardStats> shards;
   // Aggregates over all shards:
   std::size_t streams = 0;
+  std::size_t unitsIngested = 0;
   std::size_t unitsProcessed = 0;
+  std::size_t unitsDiscarded = 0;
   std::size_t recordsProcessed = 0;
   std::size_t instancesDetected = 0;
   std::size_t anomaliesReported = 0;
   std::size_t junkRowsSkipped = 0;
+  /// Units absorbed by pipelines still in warm-up (streams shorter than
+  /// the detector window never leave warm-up and report zero instances).
+  std::size_t warmupUnitsBuffered = 0;
   std::size_t maxQueueDepth = 0;
   std::size_t backpressureWaits = 0;
   /// Wall-clock seconds from start() until now (or until drain finished).
   double elapsedSeconds = 0.0;
   /// recordsProcessed / elapsedSeconds.
   double recordsPerSecond = 0.0;
+
+  /// Queue lag: batches ingested but not yet processed (nor discarded).
+  std::size_t queueLagUnits() const {
+    const std::size_t done = unitsProcessed + unitsDiscarded;
+    return unitsIngested > done ? unitsIngested - done : 0;
+  }
 };
 
 class DetectionEngine {
@@ -110,11 +126,13 @@ class DetectionEngine {
   /// then stop the pools. Returns the final stats.
   EngineStats drain();
 
-  /// Early shutdown: stop ingesting, discard queued work, join. Safe to
-  /// call repeatedly or after drain().
+  /// Early shutdown: stop ingesting, discard queued work (the dropped
+  /// batches are counted in EngineStats::unitsDiscarded, not processed),
+  /// join. Safe to call repeatedly or after drain().
   void stop();
 
-  /// Live (or final) counters. Thread-safe.
+  /// Live (or final) counters. Thread-safe: may be polled from any thread
+  /// while the pools run, including concurrently with drain()/stop().
   EngineStats stats() const;
 
   /// A stream's cumulative pipeline summary (with the ingest-side junk-row
@@ -132,12 +150,14 @@ class DetectionEngine {
   ResultSink sink_;
   std::vector<std::unique_ptr<StreamState>> streams_;
   std::vector<std::unique_ptr<ShardState>> shards_;
-  bool started_ = false;
-  bool joined_ = false;
+  std::atomic<bool> started_{false};
+  bool joined_ = false;  // touched only by the control thread (drain/stop)
   std::atomic<bool> stopRequested_{false};
-  std::chrono::steady_clock::time_point startTime_;
-  std::atomic<bool> finished_{false};
-  std::chrono::steady_clock::duration finalElapsed_{};
+  // Timing is read by concurrent stats() pollers while drain()/stop()
+  // finalize it, so both values live in atomics (nanoseconds on the
+  // steady clock). finalElapsedNs_ < 0 means "still running".
+  std::atomic<std::int64_t> startNs_{0};
+  std::atomic<std::int64_t> finalElapsedNs_{-1};
 };
 
 }  // namespace tiresias::engine

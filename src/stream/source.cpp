@@ -1,11 +1,27 @@
 #include "stream/source.h"
 
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <string_view>
+#include <unordered_map>
 
 #include "common/csv.h"
 #include "common/expect.h"
 
 namespace tiresias {
+
+std::size_t RecordSource::nextBatch(std::vector<Record>& out,
+                                    std::size_t max) {
+  out.clear();
+  while (out.size() < max) {
+    auto r = next();
+    if (!r) break;
+    out.push_back(*r);
+  }
+  return out.size();
+}
 
 VectorSource::VectorSource(std::vector<Record> records)
     : records_(std::move(records)) {
@@ -20,12 +36,105 @@ std::optional<Record> VectorSource::next() {
   return records_[pos_++];
 }
 
+std::size_t VectorSource::nextBatch(std::vector<Record>& out,
+                                    std::size_t max) {
+  out.clear();
+  const std::size_t take = std::min(max, records_.size() - pos_);
+  out.insert(out.end(), records_.begin() + pos_,
+             records_.begin() + pos_ + take);
+  pos_ += take;
+  return take;
+}
+
+namespace {
+
+/// Transparent hash so the path cache can be probed with the raw field
+/// bytes (string_view) without materializing a key string on hits.
+struct PathHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Entries are cheap (path bytes + 4-byte id) but operational junk is
+/// unbounded, so stop inserting past this many distinct paths; lookups
+/// past the cap fall back to the tree walk and stay correct.
+constexpr std::size_t kPathCacheCap = 1u << 20;
+
+}  // namespace
+
 struct CsvSource::Impl {
   std::ifstream in;
   const Hierarchy& hierarchy;
+  /// Chunked file reader shared by both pull paths (so they can be mixed
+  /// on one source): lines are string_views into the read buffer, copied
+  /// into `spill` only when they straddle a chunk boundary.
+  std::vector<char> buf;
+  std::size_t bufPos = 0;
+  std::size_t bufLen = 0;
+  std::string spill;
+  std::string lineCopy;  // next()'s owned copy for csvSplit
+  std::unordered_map<std::string, NodeId, PathHash, std::equal_to<>>
+      pathCache;
 
-  Impl(const std::string& path, const Hierarchy& h) : in(path), hierarchy(h) {
+  Impl(const std::string& path, const Hierarchy& h)
+      : in(path), hierarchy(h), buf(std::size_t{64} << 10) {
     TIRESIAS_EXPECT(static_cast<bool>(in), "cannot open trace file");
+  }
+
+  bool fill() {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    bufLen = static_cast<std::size_t>(in.gcount());
+    bufPos = 0;
+    return bufLen > 0;
+  }
+
+  /// Next line without its '\n', like std::getline (a file not ending in
+  /// a newline still yields its last line). False at end of file.
+  bool readLine(std::string_view& out) {
+    bool inSpill = false;
+    for (;;) {
+      if (bufPos >= bufLen) {
+        if (!fill()) {
+          if (inSpill) {
+            out = spill;
+            return true;
+          }
+          return false;
+        }
+      }
+      const char* start = buf.data() + bufPos;
+      const void* nl = std::memchr(start, '\n', bufLen - bufPos);
+      if (nl != nullptr) {
+        const std::size_t n =
+            static_cast<std::size_t>(static_cast<const char*>(nl) - start);
+        bufPos += n + 1;
+        if (!inSpill) {
+          out = std::string_view(start, n);
+        } else {
+          spill.append(start, n);
+          out = spill;
+        }
+        return true;
+      }
+      if (!inSpill) {
+        spill.clear();
+        inSpill = true;
+      }
+      spill.append(start, bufLen - bufPos);
+      bufPos = bufLen;
+    }
+  }
+
+  NodeId resolve(std::string_view rawPath) {
+    const auto it = pathCache.find(rawPath);
+    if (it != pathCache.end()) return it->second;
+    const NodeId node = hierarchy.find(rawPath);
+    if (pathCache.size() < kPathCacheCap) {
+      pathCache.emplace(std::string(rawPath), node);
+    }
+    return node;
   }
 };
 
@@ -35,9 +144,10 @@ CsvSource::CsvSource(std::string path, const Hierarchy& hierarchy)
 CsvSource::~CsvSource() = default;
 
 std::optional<Record> CsvSource::next() {
-  std::string line;
-  while (std::getline(impl_->in, line)) {
-    if (line.empty()) continue;
+  std::string_view lineView;
+  while (impl_->readLine(lineView)) {
+    if (lineView.empty()) continue;
+    const std::string& line = impl_->lineCopy.assign(lineView);
     const auto fields = csvSplit(line);
     if (fields.size() != 2) {
       ++skipped_;
@@ -57,6 +167,79 @@ std::optional<Record> CsvSource::next() {
     return Record{node, static_cast<Timestamp>(t)};
   }
   return std::nullopt;
+}
+
+namespace {
+
+/// strtoll-equivalent full-field parse for the batched fast path:
+/// from_chars covers the common "[-]digits" case without needing a
+/// NUL-terminated copy; every other shape (leading spaces, '+',
+/// out-of-range clamping, trailing junk, embedded NULs) falls back to
+/// strtoll on a copy so accept/skip decisions match next() bit for bit.
+bool parseTimeField(std::string_view field, Timestamp& t) {
+  std::int64_t value = 0;
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec == std::errc() && ptr == last) {
+    t = value;
+    return true;
+  }
+  const std::string copy(field);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(copy.c_str(), &end, 10);
+  if (end == copy.c_str() || *end != '\0') return false;
+  t = static_cast<Timestamp>(parsed);
+  return true;
+}
+
+}  // namespace
+
+std::size_t CsvSource::nextBatch(std::vector<Record>& out, std::size_t max) {
+  out.clear();
+  Impl& im = *impl_;
+  std::string_view line;
+  std::vector<std::string> quoted;  // slow-path storage, rarely used
+  while (out.size() < max && im.readLine(line)) {
+    if (line.empty()) continue;
+    std::string_view pathField, timeField;
+    // Two memchr-backed single-char scans beat one find_first_of here
+    // (libstdc++'s two-needle search walks the line byte by byte).
+    if (line.find('"') == std::string_view::npos &&
+        line.find('\r') == std::string_view::npos) {
+      // Plain row: exactly one comma splits path from timestamp, matching
+      // what csvSplit yields for quote-free lines (csvSplit also strips
+      // '\r', so CRLF rows go through it too).
+      const std::size_t comma = line.find(',');
+      if (comma == std::string_view::npos ||
+          line.find(',', comma + 1) != std::string_view::npos) {
+        ++skipped_;
+        continue;
+      }
+      pathField = line.substr(0, comma);
+      timeField = line.substr(comma + 1);
+    } else {
+      quoted = csvSplit(std::string(line));
+      if (quoted.size() != 2) {
+        ++skipped_;
+        continue;
+      }
+      pathField = quoted[0];
+      timeField = quoted[1];
+    }
+    const NodeId node = im.resolve(pathField);
+    if (node == kInvalidNode) {
+      ++skipped_;
+      continue;
+    }
+    Timestamp t = 0;
+    if (!parseTimeField(timeField, t)) {
+      ++skipped_;
+      continue;
+    }
+    out.push_back(Record{node, t});
+  }
+  return out.size();
 }
 
 void writeRecordsCsv(const std::string& path, const Hierarchy& hierarchy,

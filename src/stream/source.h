@@ -3,6 +3,15 @@
 // A RecordSource yields time-ordered records. VectorSource replays an
 // in-memory trace; CsvSource streams a trace file (category-path,timestamp);
 // sources produced by workload generators live in src/workload.
+//
+// Sources expose two pull APIs:
+//   next()      — one record per virtual call; the simple reference path.
+//   nextBatch() — appends up to `max` records into a caller-owned buffer.
+//                 The default adapts next(); hot sources override it
+//                 natively so the ingest loop is non-virtual per record and
+//                 allocation-free (buffers are reused across calls).
+// Both paths must yield the identical record sequence and the identical
+// skippedRecords() accounting — the batched-ingest tests assert this.
 #pragma once
 
 #include <memory>
@@ -21,6 +30,12 @@ class RecordSource {
   /// Next record in non-decreasing time order, or nullopt at end of stream.
   virtual std::optional<Record> next() = 0;
 
+  /// Pull up to `max` records (max > 0) into `out`, clearing it first but
+  /// keeping its capacity. Returns out.size(); 0 means end of stream.
+  /// The default loops over next(); overrides must produce the same
+  /// sequence and skip accounting.
+  virtual std::size_t nextBatch(std::vector<Record>& out, std::size_t max);
+
   /// Rows the source consumed but could not turn into records (junk lines,
   /// unknown categories). Operational traces contain garbage; consumers
   /// surface this through RunSummary / EngineStats instead of dropping it
@@ -34,6 +49,7 @@ class VectorSource final : public RecordSource {
   explicit VectorSource(std::vector<Record> records);
 
   std::optional<Record> next() override;
+  std::size_t nextBatch(std::vector<Record>& out, std::size_t max) override;
 
  private:
   std::vector<Record> records_;
@@ -43,15 +59,22 @@ class VectorSource final : public RecordSource {
 /// Streams records from a CSV file with rows "<category-path>,<timestamp>".
 /// Category paths are resolved against the given hierarchy; unknown paths
 /// are counted and skipped (operational traces contain junk rows).
+///
+/// nextBatch() is the fast path: it reuses the line buffer, splits plain
+/// (quote-free) rows in place, and resolves paths through a per-source
+/// cache keyed on the raw field bytes — repeated categories, the
+/// overwhelmingly common case in operational traces, skip both the path
+/// split and the tree walk. Unknown paths are cached too, so junk rows are
+/// cheap as well; the skip accounting is identical to next()'s.
 class CsvSource final : public RecordSource {
  public:
   CsvSource(std::string path, const Hierarchy& hierarchy);
   ~CsvSource() override;
 
   std::optional<Record> next() override;
+  std::size_t nextBatch(std::vector<Record>& out, std::size_t max) override;
 
   std::size_t skippedRecords() const override { return skipped_; }
-  std::size_t skippedRows() const { return skipped_; }  // legacy name
 
  private:
   struct Impl;

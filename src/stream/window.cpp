@@ -5,46 +5,68 @@
 namespace tiresias {
 
 TimeUnitBatcher::TimeUnitBatcher(RecordSource& source, Duration delta,
-                                 Timestamp startTime)
+                                 Timestamp startTime, std::size_t chunkSize)
     : source_(source),
       delta_(delta),
-      nextUnit_(timeUnitOf(startTime, delta)) {
+      nextUnit_(timeUnitOf(startTime, delta)),
+      chunkSize_(chunkSize) {
   TIRESIAS_EXPECT(delta > 0, "timeunit size must be positive");
+  TIRESIAS_EXPECT(chunkSize > 0, "chunk size must be positive");
+}
+
+bool TimeUnitBatcher::refill() {
+  if (sourceDone_) return false;
+  chunkPos_ = 0;
+  if (source_.nextBatch(chunk_, chunkSize_) == 0) {
+    sourceDone_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool TimeUnitBatcher::next(TimeUnitBatch& out) {
+  out.records.clear();
+  if (!begun_) {
+    // Skip records older than the first unit of interest. Sources are
+    // time-ordered, so these can only lead the stream.
+    const Timestamp firstStart = unitStart(nextUnit_, delta_);
+    for (;;) {
+      if (chunkPos_ >= chunk_.size() && !refill()) break;
+      if (chunk_[chunkPos_].time >= firstStart) break;
+      ++dropped_;
+      ++chunkPos_;
+    }
+    begun_ = true;
+  }
+  if (chunkPos_ >= chunk_.size() && !refill()) return false;
+
+  out.unit = nextUnit_;
+  // This unit covers [lo, hi); comparing against the precomputed bounds
+  // replaces the per-record floor division of timeUnitOf.
+  const Timestamp lo = unitStart(nextUnit_, delta_);
+  const Timestamp hi = unitStart(nextUnit_ + 1, delta_);
+  for (;;) {
+    // Extend over the run of records that fall inside this unit, then copy
+    // the run in one splice.
+    std::size_t runEnd = chunkPos_;
+    while (runEnd < chunk_.size() && chunk_[runEnd].time < hi) {
+      TIRESIAS_EXPECT(chunk_[runEnd].time >= lo,
+                      "records must arrive in non-decreasing time order");
+      ++runEnd;
+    }
+    out.records.insert(out.records.end(), chunk_.begin() + chunkPos_,
+                       chunk_.begin() + runEnd);
+    chunkPos_ = runEnd;
+    if (chunkPos_ < chunk_.size()) break;  // next record is a future unit
+    if (!refill()) break;                  // source exhausted mid-unit
+  }
+  ++nextUnit_;
+  return true;
 }
 
 std::optional<TimeUnitBatch> TimeUnitBatcher::next() {
-  // Skip records older than the first unit of interest.
-  while (!pending_ && !sourceDone_) {
-    pending_ = source_.next();
-    if (!pending_) {
-      sourceDone_ = true;
-      break;
-    }
-    if (timeUnitOf(pending_->time, delta_) < nextUnit_) {
-      ++dropped_;
-      pending_.reset();
-    }
-  }
-  if (sourceDone_ && !pending_) return std::nullopt;
-
   TimeUnitBatch batch;
-  batch.unit = nextUnit_;
-  while (true) {
-    if (!pending_) {
-      if (sourceDone_) break;
-      pending_ = source_.next();
-      if (!pending_) {
-        sourceDone_ = true;
-        break;
-      }
-      TIRESIAS_EXPECT(timeUnitOf(pending_->time, delta_) >= nextUnit_,
-                      "records must arrive in non-decreasing time order");
-    }
-    if (timeUnitOf(pending_->time, delta_) != nextUnit_) break;
-    batch.records.push_back(*pending_);
-    pending_.reset();
-  }
-  ++nextUnit_;
+  if (!next(batch)) return std::nullopt;
   return batch;
 }
 

@@ -7,6 +7,13 @@
 // (ℓ history units, increment ς) lives in the detectors; the paper's
 // ς < Δ case is handled by batching at resolution ς and aggregating with
 // timeseries::MultiScaleSeries (§V-B6).
+//
+// The batcher is built on RecordSource::nextBatch: it pulls records in
+// chunks into a reused buffer and slices unit boundaries with plain
+// timestamp comparisons (one precomputed boundary per unit — no per-record
+// division, no per-record virtual call). next(TimeUnitBatch&) reuses the
+// caller's batch storage; the optional-returning next() is a convenience
+// wrapper for callers that want fresh batches.
 #pragma once
 
 #include <optional>
@@ -23,23 +30,38 @@ struct TimeUnitBatch {
 
 class TimeUnitBatcher {
  public:
-  /// Batches `source` into units of `delta` seconds. The first emitted unit
-  /// is the one containing `startTime` (records before it are dropped and
-  /// counted in droppedRecords()).
-  TimeUnitBatcher(RecordSource& source, Duration delta, Timestamp startTime);
+  /// Records pulled from the source per nextBatch call.
+  static constexpr std::size_t kDefaultChunk = 4096;
 
-  /// The next timeunit in sequence (possibly with no records); nullopt once
-  /// the source is exhausted and all buffered records are delivered.
+  /// Batches `source` into units of `delta` seconds. The first emitted unit
+  /// is the one containing `startTime` (leading records before it are
+  /// dropped and counted in droppedRecords()).
+  TimeUnitBatcher(RecordSource& source, Duration delta, Timestamp startTime,
+                  std::size_t chunkSize = kDefaultChunk);
+
+  /// Fills `out` with the next timeunit in sequence (possibly with no
+  /// records), reusing out.records' capacity. Returns false once the
+  /// source is exhausted and all buffered records are delivered.
+  bool next(TimeUnitBatch& out);
+
+  /// Convenience wrapper around next(TimeUnitBatch&) returning a fresh
+  /// batch per unit; nullopt at end of stream.
   std::optional<TimeUnitBatch> next();
 
   Duration delta() const { return delta_; }
   std::size_t droppedRecords() const { return dropped_; }
 
  private:
+  /// Pulls the next chunk; false when the source is exhausted.
+  bool refill();
+
   RecordSource& source_;
   Duration delta_;
   TimeUnit nextUnit_;
-  std::optional<Record> pending_;
+  std::vector<Record> chunk_;
+  std::size_t chunkPos_ = 0;
+  std::size_t chunkSize_;
+  bool begun_ = false;  // pre-start records are only dropped up front
   bool sourceDone_ = false;
   std::size_t dropped_ = 0;
 };

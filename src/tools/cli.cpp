@@ -174,6 +174,13 @@ int cmdDetect(const CliArgs& args, std::ostream& out, std::ostream& err) {
       << summary.junkRowsSkipped << " junk rows skipped)\n";
   out << summary.instancesDetected << " detection instances, "
       << store.size() << " anomalies\n";
+  if (summary.warmupUnitsBuffered > 0) {
+    err << "warning: trace ended during warm-up ("
+        << summary.warmupUnitsBuffered << " of "
+        << cfg.detector.windowLength
+        << " window units buffered); no detection was performed — use a "
+           "longer trace or a smaller --window\n";
+  }
   if (!summary.seasons.empty()) {
     out << "seasonality:";
     for (const auto& s : summary.seasons) {
@@ -326,15 +333,24 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
         << " instances=" << sum.instancesDetected
         << " anomalies=" << sum.anomaliesReported
         << " junk=" << sum.junkRowsSkipped << "\n";
+    if (sum.warmupUnitsBuffered > 0) {
+      err << "warning: stream " << eng.streamName(i)
+          << " ended during warm-up (" << sum.warmupUnitsBuffered
+          << " units buffered, no detection performed) — run more --units "
+             "or shrink --window\n";
+    }
   }
   for (std::size_t i = 0; i < stats.shards.size(); ++i) {
     const auto& s = stats.shards[i];
     out << "shard " << i << ": streams=" << s.streams
-        << " units=" << s.unitsProcessed << " records="
-        << s.recordsProcessed << " queue-max=" << s.maxQueueDepth
+        << " ingested=" << s.unitsIngested << " units=" << s.unitsProcessed
+        << " records=" << s.recordsProcessed
+        << " queue-max=" << s.maxQueueDepth
         << " backpressure-waits=" << s.backpressureWaits << "\n";
   }
-  out << "aggregate: units=" << stats.unitsProcessed
+  out << "aggregate: ingested=" << stats.unitsIngested
+      << " units=" << stats.unitsProcessed
+      << " lag=" << stats.queueLagUnits()
       << " records=" << stats.recordsProcessed
       << " instances=" << stats.instancesDetected
       << " anomalies=" << stats.anomaliesReported

@@ -5,8 +5,9 @@
 // heterogeneous sibling rates §II-B observes), a seasonal rate model, and a
 // base rate. GeneratorSource turns a spec (plus an optional injector) into
 // a time-ordered RecordSource: per timeunit it draws a Poisson count around
-// base · multiplier(t), samples leaves by walking the share distributions,
-// adds injected extras and uniformly spreads timestamps within the unit.
+// base · multiplier(t), samples leaves in O(1) from an alias table over
+// the leaf distribution (root-path product of shares), adds injected
+// extras and uniformly spreads timestamps within the unit.
 #pragma once
 
 #include <memory>
@@ -52,6 +53,10 @@ class GeneratorSource final : public RecordSource {
                   std::shared_ptr<const AnomalyInjector> injector = nullptr);
 
   std::optional<Record> next() override;
+  /// Native batch pull: copies whole runs out of the per-unit buffer, so
+  /// the per-record cost is a memcpy instead of a virtual call. Yields the
+  /// identical record sequence as next() (same RNG draws, same order).
+  std::size_t nextBatch(std::vector<Record>& out, std::size_t max) override;
 
   /// Total records generated so far.
   std::size_t produced() const { return produced_; }
@@ -61,8 +66,11 @@ class GeneratorSource final : public RecordSource {
   NodeId sampleLeaf();
 
   const WorkloadSpec& spec_;
-  /// Per-node cumulative child shares for O(log degree) sampling.
-  std::vector<std::vector<double>> cdf_;
+  /// Walker/Vose alias table over the leaves (probability = root-path
+  /// product of child shares): one uniform draw and O(1) work per record,
+  /// instead of a root-to-leaf walk of binary searches.
+  std::vector<double> aliasProb_;
+  std::vector<std::uint32_t> aliasIdx_;
   TimeUnit nextUnit_;
   TimeUnit lastUnit_;
   Rng rng_;

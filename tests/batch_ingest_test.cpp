@@ -1,0 +1,311 @@
+// Batched-ingestion fast path: RecordSource::nextBatch must be
+// indistinguishable from next() — identical record sequences, identical
+// skip accounting, and bit-identical anomaly sets through the pipeline and
+// the engine (the sequential-equivalence guarantee the ingest refactor
+// ships under).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "engine/engine.h"
+#include "hierarchy/builder.h"
+#include "report/concurrent_store.h"
+#include "report/store.h"
+#include "stream/window.h"
+#include "timeseries/ewma.h"
+#include "workload/ccd.h"
+
+namespace tiresias {
+namespace {
+
+using workload::GeneratorSource;
+using workload::Scale;
+using workload::WorkloadSpec;
+
+/// Hides a source's native nextBatch so consumers exercise the default
+/// per-record fallback — the "unbatched" side of every equivalence check.
+class ForceUnbatched final : public RecordSource {
+ public:
+  explicit ForceUnbatched(std::unique_ptr<RecordSource> inner)
+      : inner_(std::move(inner)) {}
+
+  std::optional<Record> next() override { return inner_->next(); }
+  std::size_t skippedRecords() const override {
+    return inner_->skippedRecords();
+  }
+
+ private:
+  std::unique_ptr<RecordSource> inner_;
+};
+
+/// A spike big enough that both sides of every equivalence test detect
+/// real anomalies — comparing empty sets would prove nothing.
+std::shared_ptr<const workload::AnomalyInjector> spikeInjector(
+    const WorkloadSpec& spec, TimeUnit startUnit) {
+  workload::SpikeSpec spike;
+  spike.node = spec.hierarchy.children(spec.hierarchy.root()).front();
+  spike.startUnit = startUnit;
+  spike.durationUnits = 3;
+  spike.extraPerUnit = 40.0 * spec.baseRatePerUnit;
+  workload::GroundTruthLedger ledger;
+  ledger.add(spike);
+  return std::make_shared<workload::AnomalyInjector>(spec.hierarchy,
+                                                     std::move(ledger));
+}
+
+PipelineConfig pipelineConfig(const WorkloadSpec& spec) {
+  PipelineConfig cfg;
+  cfg.delta = spec.unit;
+  cfg.detector.theta = 8.0;
+  cfg.detector.windowLength = 16;
+  cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+  return cfg;
+}
+
+std::vector<Record> drainPerRecord(RecordSource& src) {
+  std::vector<Record> out;
+  while (auto r = src.next()) out.push_back(*r);
+  return out;
+}
+
+std::vector<Record> drainBatched(RecordSource& src, std::size_t max) {
+  std::vector<Record> out, chunk;
+  while (src.nextBatch(chunk, max) > 0) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+TEST(NextBatch, DefaultFallbackAdaptsNext) {
+  ForceUnbatched src(std::make_unique<VectorSource>(
+      std::vector<Record>{{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}}));
+  std::vector<Record> chunk;
+  EXPECT_EQ(src.nextBatch(chunk, 2), 2u);
+  EXPECT_EQ(chunk, (std::vector<Record>{{1, 10}, {2, 20}}));
+  EXPECT_EQ(src.nextBatch(chunk, 4), 3u);  // clears, then the remainder
+  EXPECT_EQ(chunk, (std::vector<Record>{{3, 30}, {4, 40}, {5, 50}}));
+  EXPECT_EQ(src.nextBatch(chunk, 4), 0u);
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST(NextBatch, VectorSourceMatchesNextAtAnyChunkSize) {
+  std::vector<Record> records;
+  for (int i = 0; i < 257; ++i) {
+    records.push_back({static_cast<NodeId>(i % 5), i * 3});
+  }
+  VectorSource perRecord(records);
+  const auto want = drainPerRecord(perRecord);
+  for (std::size_t max : {1u, 2u, 7u, 256u, 1024u}) {
+    VectorSource batched(records);
+    EXPECT_EQ(drainBatched(batched, max), want) << "max=" << max;
+  }
+}
+
+TEST(NextBatch, GeneratorSourceMatchesNext) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  GeneratorSource perRecord(spec, 0, 24, 42);
+  GeneratorSource batched(spec, 0, 24, 42);
+  const auto want = drainPerRecord(perRecord);
+  EXPECT_EQ(drainBatched(batched, 100), want);
+  EXPECT_EQ(batched.produced(), perRecord.produced());
+}
+
+/// One trace exercising every skip reason plus cache-relevant repetition:
+/// unknown paths (cached negatively), malformed rows, bad timestamps,
+/// quoted and CRLF rows (slow path), and heavy path repetition (cache
+/// hits). next() and nextBatch must agree on records AND skip counts.
+TEST(NextBatch, CsvSourceMatchesNextOnJunkLadenTrace) {
+  const auto h = HierarchyBuilder::balanced({3, 2});
+  const std::string path = ::testing::TempDir() + "/batch_junk.csv";
+  {
+    std::ofstream out(path);
+    for (int rep = 0; rep < 50; ++rep) {  // repeated categories: cache hits
+      out << h.path(h.leaves()[rep % 3]) << "," << 100 + rep << "\n";
+    }
+    out << "no/such/path,200\n";            // unknown -> skipped
+    out << "no/such/path,201\n";            // repeated unknown (cached)
+    out << "not a csv row\n";               // one field -> skipped
+    out << "a,b,c\n";                       // three fields -> skipped
+    out << h.path(h.leaves()[0]) << ",notatime\n";  // bad time -> skipped
+    out << h.path(h.leaves()[0]) << ",\n";          // empty time -> skipped
+    out << "\n";                                    // blank line (not junk)
+    out << "\"" << h.path(h.leaves()[1]) << "\",300\n";  // quoted row
+    out << h.path(h.leaves()[2]) << ",400\r\n";          // CRLF row
+    // Embedded NUL after digits: strtoll stops at the NUL and ACCEPTS
+    // (t=450); the fast path must agree.
+    out << h.path(h.leaves()[0]) << ",450" << '\0' << "x\n";
+    out << h.path(h.leaves()[2]) << ",500\n";
+  }
+
+  CsvSource perRecord(path, h);
+  const auto want = drainPerRecord(perRecord);
+  ASSERT_EQ(want.size(), 54u);
+  EXPECT_EQ(perRecord.skippedRecords(), 6u);
+
+  for (std::size_t max : {1u, 3u, 64u, 4096u}) {
+    CsvSource batched(path, h);
+    EXPECT_EQ(drainBatched(batched, max), want) << "max=" << max;
+    EXPECT_EQ(batched.skippedRecords(), perRecord.skippedRecords())
+        << "max=" << max;
+  }
+
+  {  // Mixing the two pull APIs on one source must not lose records.
+    CsvSource mixed(path, h);
+    std::vector<Record> got, chunk;
+    const auto first = mixed.next();  // consume one via the per-record path
+    ASSERT_TRUE(first);
+    got.push_back(*first);
+    while (mixed.nextBatch(chunk, 10) > 0) {
+      got.insert(got.end(), chunk.begin(), chunk.end());
+    }
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(mixed.skippedRecords(), 6u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Batcher, ReuseApiMatchesOptionalApi) {
+  Rng rng(99);
+  for (int round = 0; round < 8; ++round) {
+    const Duration delta = 60 + static_cast<Duration>(rng.below(900));
+    std::vector<Record> records;
+    Timestamp t = static_cast<Timestamp>(rng.below(2000));
+    for (int i = 0; i < 400; ++i) {
+      t += static_cast<Timestamp>(rng.below(static_cast<std::uint64_t>(
+          delta * 3)));
+      records.push_back({static_cast<NodeId>(rng.below(6)), t});
+    }
+    const Timestamp start = records.front().time + 2 * delta;
+
+    VectorSource a(records);
+    TimeUnitBatcher optionalApi(a, delta, start);
+    VectorSource b(records);
+    TimeUnitBatcher reuseApi(b, delta, start);
+
+    TimeUnitBatch reused;
+    while (auto batch = optionalApi.next()) {
+      ASSERT_TRUE(reuseApi.next(reused));
+      EXPECT_EQ(reused.unit, batch->unit);
+      EXPECT_EQ(reused.records, batch->records);
+    }
+    EXPECT_FALSE(reuseApi.next(reused));
+    EXPECT_EQ(reuseApi.droppedRecords(), optionalApi.droppedRecords());
+  }
+}
+
+TEST(Batcher, TinyChunksPreserveUnitSlicing) {
+  // Chunk boundaries land mid-unit; slicing must not care.
+  std::vector<Record> records;
+  for (int i = 0; i < 100; ++i) records.push_back({1, i * 37});
+  for (std::size_t chunk : {1u, 2u, 3u, 5u}) {
+    VectorSource src(records);
+    TimeUnitBatcher batcher(src, 300, 0, chunk);
+    std::size_t total = 0;
+    TimeUnitBatch batch;
+    TimeUnit expect = 0;
+    while (batcher.next(batch)) {
+      EXPECT_EQ(batch.unit, expect++);
+      for (const auto& r : batch.records) {
+        EXPECT_EQ(timeUnitOf(r.time, 300), batch.unit);
+      }
+      total += batch.records.size();
+    }
+    EXPECT_EQ(total, records.size()) << "chunk=" << chunk;
+  }
+}
+
+/// The tentpole guarantee at the pipeline level: a batched source and the
+/// per-record fallback produce bit-identical anomaly sets and summaries.
+TEST(BatchedIngest, PipelineEquivalentToPerRecordPath) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  const TimeUnit units = 48;
+
+  auto runWith = [&](std::unique_ptr<RecordSource> src, RunSummary& sum) {
+    TiresiasPipeline pipeline(spec.hierarchy, pipelineConfig(spec));
+    report::AnomalyStore store(spec.hierarchy);
+    sum = pipeline.run(*src,
+                       [&](const InstanceResult& r) { store.add(r); });
+    return store.all();
+  };
+
+  const auto injector = spikeInjector(spec, 30);
+  RunSummary batchedSum, perRecordSum;
+  const auto batched = runWith(
+      std::make_unique<GeneratorSource>(spec, 0, units, 7, injector),
+      batchedSum);
+  const auto perRecord = runWith(
+      std::make_unique<ForceUnbatched>(
+          std::make_unique<GeneratorSource>(spec, 0, units, 7, injector)),
+      perRecordSum);
+
+  EXPECT_EQ(perRecordSum.unitsProcessed, batchedSum.unitsProcessed);
+  EXPECT_EQ(perRecordSum.recordsProcessed, batchedSum.recordsProcessed);
+  EXPECT_EQ(perRecordSum.instancesDetected, batchedSum.instancesDetected);
+  EXPECT_EQ(perRecordSum.anomaliesReported, batchedSum.anomaliesReported);
+  ASSERT_EQ(perRecord.size(), batched.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].anomaly, perRecord[i].anomaly);
+    EXPECT_EQ(batched[i].path, perRecord[i].path);
+  }
+  EXPECT_GT(batched.size(), 0u);  // the comparison must compare something
+}
+
+/// And at the engine level, across shards and backpressure.
+TEST(BatchedIngest, EngineEquivalentToPerRecordPath) {
+  const std::vector<WorkloadSpec> specs = {
+      workload::ccdNetworkWorkload(Scale::kTest),
+      workload::ccdTroubleWorkload(Scale::kTest),
+      workload::ccdNetworkWorkload(Scale::kTest),
+  };
+  const TimeUnit units = 40;
+
+  auto runEngine = [&](bool batched) {
+    engine::EngineConfig cfg;
+    cfg.shards = 2;
+    cfg.queueCapacity = 2;  // force backpressure on the ingest path
+    report::ConcurrentAnomalyStore store;
+    engine::DetectionEngine eng(cfg, store.sink());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const std::string name = "s" + std::to_string(i);
+      store.registerStream(name, specs[i].hierarchy);
+      auto gen = std::make_unique<GeneratorSource>(
+          specs[i], 0, units, 31 + i, spikeInjector(specs[i], 24));
+      std::unique_ptr<RecordSource> src;
+      if (batched) {
+        src = std::move(gen);
+      } else {
+        src = std::make_unique<ForceUnbatched>(std::move(gen));
+      }
+      eng.addStream(name, specs[i].hierarchy, pipelineConfig(specs[i]),
+                    std::move(src));
+    }
+    eng.start();
+    eng.drain();
+    std::vector<std::vector<report::StoredAnomaly>> all;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      all.push_back(store.snapshot("s" + std::to_string(i)));
+    }
+    return all;
+  };
+
+  const auto batched = runEngine(true);
+  const auto perRecord = runEngine(false);
+  ASSERT_EQ(batched.size(), perRecord.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    SCOPED_TRACE("stream " + std::to_string(i));
+    ASSERT_EQ(batched[i].size(), perRecord[i].size());
+    for (std::size_t j = 0; j < batched[i].size(); ++j) {
+      EXPECT_EQ(batched[i][j].anomaly, perRecord[i][j].anomaly);
+      EXPECT_EQ(batched[i][j].path, perRecord[i][j].path);
+    }
+    total += batched[i].size();
+  }
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace tiresias

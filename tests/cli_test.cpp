@@ -187,7 +187,8 @@ TEST(Cli, ServeRunsStreamsThroughEngine) {
   EXPECT_NE(out.find("stream scd-2:"), std::string::npos);
   EXPECT_NE(out.find("shard 0:"), std::string::npos);
   EXPECT_NE(out.find("shard 1:"), std::string::npos);
-  EXPECT_NE(out.find("aggregate: units=120"), std::string::npos);
+  EXPECT_NE(out.find("aggregate: ingested=120 units=120 lag=0"),
+            std::string::npos);
   EXPECT_NE(out.find("records/sec"), std::string::npos);
 }
 

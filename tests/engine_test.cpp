@@ -81,6 +81,26 @@ TEST(BoundedQueue, ClosedEmptyQueueUnblocksConsumer) {
   consumer.join();
 }
 
+TEST(BoundedQueue, CloseDiscardDropsQueuedItems) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close(BoundedQueue<int>::CloseMode::kDiscard);
+  EXPECT_EQ(q.pop(), std::nullopt);  // backlog dropped, not drained
+  EXPECT_EQ(q.discardedItems(), 2u);
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_FALSE(q.push(3));
+}
+
+TEST(BoundedQueue, DiscardAfterDrainCloseStillDropsBacklog) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  q.close();  // graceful close: item stays poppable...
+  q.close(BoundedQueue<int>::CloseMode::kDiscard);  // ...until discarded
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.discardedItems(), 1u);
+}
+
 /// The headline guarantee: k streams through an N-shard engine produce
 /// exactly the per-stream anomalies and summaries of k sequential
 /// TiresiasPipeline::run calls. Shards deliberately do not divide streams
@@ -209,6 +229,99 @@ TEST(Engine, StressManyShardsManySmallUnits) {
     EXPECT_EQ(eng.streamSummary(i).unitsProcessed,
               static_cast<std::size_t>(units));
   }
+}
+
+/// stats() is documented as pollable from any thread, including while
+/// drain() finalizes timing — the poller and the drain must not race on
+/// the elapsed-time bookkeeping (run under TSan in CI).
+TEST(Engine, StatsPollDuringDrainIsRaceFree) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  EngineConfig cfg;
+  cfg.shards = 2;
+  cfg.queueCapacity = 4;
+  DetectionEngine eng(cfg, nullptr);
+  for (std::size_t i = 0; i < 4; ++i) {
+    eng.addStream("s" + std::to_string(i), spec.hierarchy,
+                  testPipelineConfig(spec),
+                  std::make_unique<GeneratorSource>(spec, 0, 64, i + 1));
+  }
+  std::atomic<bool> done{false};
+  eng.start();
+  std::thread poller([&] {
+    while (!done.load()) {
+      const auto s = eng.stats();
+      EXPECT_GE(s.elapsedSeconds, 0.0);
+      EXPECT_LE(s.unitsProcessed, 4u * 64u);
+    }
+  });
+  const auto stats = eng.drain();
+  done.store(true);
+  poller.join();
+  EXPECT_EQ(stats.unitsProcessed, 4u * 64u);
+  EXPECT_EQ(stats.unitsIngested, stats.unitsProcessed);
+  EXPECT_EQ(stats.unitsDiscarded, 0u);
+  EXPECT_GT(stats.elapsedSeconds, 0.0);
+  // Final stats are frozen: polling later returns the same elapsed time.
+  const auto later = eng.stats();
+  EXPECT_EQ(later.elapsedSeconds, stats.elapsedSeconds);
+}
+
+/// stop() must actually discard the queued backlog (its documented
+/// contract), not let the worker drain it. The sink blocks the worker on a
+/// gate so the queue holds a known backlog when stop() fires.
+TEST(Engine, StopDiscardsQueuedWork) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  EngineConfig cfg;
+  cfg.shards = 1;
+  cfg.queueCapacity = 8;
+  std::atomic<bool> release{false};
+  PipelineConfig pcfg = testPipelineConfig(spec);
+  pcfg.detector.windowLength = 2;  // instances (and the gate) fire early
+  DetectionEngine eng(cfg, [&](const std::string&, const InstanceResult&) {
+    while (!release.load()) std::this_thread::yield();
+  });
+  eng.addStream("s0", spec.hierarchy, pcfg,
+                std::make_unique<GeneratorSource>(spec, 0, 100000, 1));
+  eng.start();
+  // Wait until the worker is wedged in the sink and ingest has piled a
+  // backlog into the queue behind it.
+  while (eng.stats().queueLagUnits() < cfg.queueCapacity) {
+    std::this_thread::yield();
+  }
+  std::thread stopper([&] { eng.stop(); });
+  // Only release the worker once stop() has demonstrably discarded the
+  // backlog — otherwise a fast worker could drain it first.
+  while (eng.stats().unitsDiscarded == 0) std::this_thread::yield();
+  release.store(true);  // un-wedge the worker; stop() can now join it
+  stopper.join();
+
+  const auto stats = eng.stats();
+  EXPECT_GT(stats.unitsDiscarded, 0u);
+  EXPECT_EQ(stats.unitsIngested,
+            stats.unitsProcessed + stats.unitsDiscarded);
+  // The discarded backlog must not have reached the pipeline.
+  EXPECT_LT(stats.unitsProcessed, stats.unitsIngested);
+}
+
+/// A stream shorter than the detector window never leaves warm-up; that
+/// must be visible in the summary/stats instead of silently reporting
+/// "processed" units with zero instances.
+TEST(Engine, SurfacesStreamsEndingInWarmup) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  EngineConfig cfg;
+  cfg.shards = 1;
+  DetectionEngine eng(cfg, nullptr);
+  PipelineConfig pcfg = testPipelineConfig(spec);  // window 16
+  eng.addStream("short", spec.hierarchy, pcfg,
+                std::make_unique<GeneratorSource>(spec, 0, 10, 3));
+  eng.start();
+  const auto stats = eng.drain();
+  EXPECT_EQ(stats.unitsProcessed, 10u);
+  EXPECT_EQ(stats.instancesDetected, 0u);
+  EXPECT_EQ(stats.warmupUnitsBuffered, 10u);
+  const auto sum = eng.streamSummary(0);
+  EXPECT_EQ(sum.warmupUnitsBuffered, 10u);
+  EXPECT_EQ(sum.instancesDetected, 0u);
 }
 
 /// stop() mid-flight must unblock parked producers and join cleanly.

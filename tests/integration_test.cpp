@@ -168,7 +168,7 @@ TEST(Integration, MalformedCsvTraceIsSkippedNotFatal) {
   std::size_t records = 0;
   while (auto b = batcher.next()) records += b->records.size();
   EXPECT_EQ(records, 2u);
-  EXPECT_EQ(src.skippedRows(), 2u);
+  EXPECT_EQ(src.skippedRecords(), 2u);
   std::remove(path.c_str());
 }
 

@@ -96,7 +96,7 @@ TEST(CsvSource, RoundTripAndJunkRows) {
   ASSERT_TRUE(r2);
   EXPECT_EQ(r2->time, 300);
   EXPECT_FALSE(src.next());
-  EXPECT_EQ(src.skippedRows(), 3u);
+  EXPECT_EQ(src.skippedRecords(), 3u);
   std::remove(path.c_str());
 }
 

@@ -1,12 +1,18 @@
-// Bounded MPSC/SPSC work queue for the detection engine's ingest path.
+// Bounded MPMC work queue for the detection engine.
 //
-// A fixed-capacity FIFO with blocking push (backpressure: a producer that
-// outruns its consumer parks until space frees up) and blocking pop. close()
-// wakes everyone; pushes after close are refused, and pops either drain
-// whatever is still queued before reporting end-of-stream (kDrain, the
-// graceful path) or stop immediately with the backlog dropped (kDiscard,
-// early shutdown). Depth high-water mark, blocked-push and discarded-item
-// counts feed EngineStats so operators can see which shards are saturated.
+// A fixed-capacity FIFO, safe for any number of producers and consumers,
+// with blocking push (backpressure: a producer that outruns its consumers
+// parks until space frees up), non-blocking tryPush, and blocking pop.
+// close() wakes everyone; pushes after close are refused, and pops either
+// drain whatever is still queued before reporting end-of-stream (kDrain,
+// the graceful path) or stop immediately with the backlog dropped
+// (kDiscard, early shutdown). Depth high-water mark, blocked-push and
+// discarded-item counts feed EngineStats so operators can see where the
+// system is saturated.
+//
+// The engine::Scheduler uses it in the full MPMC role as its ready queue:
+// producer threads and workers both push (initial schedule / requeue),
+// workers pop, and shutdown rides on the close/discard semantics.
 #pragma once
 
 #include <condition_variable>
@@ -40,6 +46,19 @@ class BoundedQueue {
     if (queue_.size() > maxDepth_) maxDepth_ = queue_.size();
     notEmpty_.notify_one();
     return true;
+  }
+
+  enum class PushResult { kOk, kFull, kClosed };
+
+  /// Non-blocking enqueue: kFull instead of parking when at capacity.
+  PushResult tryPush(T item) {
+    std::lock_guard lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (queue_.size() >= capacity_) return PushResult::kFull;
+    queue_.push_back(std::move(item));
+    if (queue_.size() > maxDepth_) maxDepth_ = queue_.size();
+    notEmpty_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Dequeue, blocking while empty. nullopt once closed and drained.

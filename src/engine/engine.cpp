@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 
 #include "common/expect.h"
 
@@ -23,12 +22,17 @@ struct DetectionEngine::StreamState {
   std::string name;
   std::unique_ptr<RecordSource> source;
   TiresiasPipeline pipeline;
-  /// Cumulative counters; written only by the owning shard's worker,
-  /// read after the pools stop.
+  /// Cumulative counters; written only by the worker currently owning the
+  /// stream (serialized by the scheduler), read after the pools stop.
   RunSummary summary;
+  // Mirrors of the summary that stats() may poll while the pools run.
   std::atomic<std::size_t> sourceSkipped{0};
   std::atomic<std::size_t> warmupBuffered{0};
-  /// Ingest-side batcher state; nullopt until ingest begins.
+  std::atomic<std::size_t> recordsProcessed{0};
+  std::atomic<std::size_t> instancesDetected{0};
+  std::atomic<std::size_t> anomaliesReported{0};
+  /// Ingest-side batcher state; null until ingest begins. Touched only by
+  /// the stream's single ingest thread.
   std::unique_ptr<TimeUnitBatcher> batcher;
   bool exhausted = false;
 
@@ -39,58 +43,27 @@ struct DetectionEngine::StreamState {
         pipeline(hierarchy, std::move(config)) {}
 };
 
-struct DetectionEngine::ShardState {
-  explicit ShardState(std::size_t queueCapacity)
-      : queue(queueCapacity), recycleCap(queueCapacity + 2) {}
-
-  struct WorkItem {
-    StreamState* stream = nullptr;
-    TimeUnitBatch batch;
-  };
-
-  std::vector<StreamState*> streams;
-  BoundedQueue<WorkItem> queue;
-  std::thread ingest;
-  std::thread worker;
-
-  // Record buffers cycle ingest -> queue -> worker -> back to ingest, so
-  // steady-state batching allocates nothing. Bounded: the pool never holds
-  // more than what the queue can have in flight.
-  std::mutex recycleMutex;
-  std::vector<std::vector<Record>> recycle;
-  const std::size_t recycleCap;
-
-  std::vector<Record> takeRecycled() {
-    std::lock_guard lock(recycleMutex);
-    if (recycle.empty()) return {};
-    std::vector<Record> buf = std::move(recycle.back());
-    recycle.pop_back();
-    return buf;
-  }
-
-  void recycleBuffer(std::vector<Record>&& buf) {
-    buf.clear();
-    std::lock_guard lock(recycleMutex);
-    if (recycle.size() < recycleCap) recycle.push_back(std::move(buf));
-  }
-
-  // Live counters (stats() reads them while the pools run).
-  std::atomic<std::size_t> unitsIngested{0};
-  std::atomic<std::size_t> unitsProcessed{0};
-  std::atomic<std::size_t> recordsProcessed{0};
-  std::atomic<std::size_t> instancesDetected{0};
-  std::atomic<std::size_t> anomaliesReported{0};
-};
-
 DetectionEngine::DetectionEngine(EngineConfig config, ResultSink sink)
     : config_(config), sink_(std::move(sink)) {
-  TIRESIAS_EXPECT(config_.shards > 0, "engine needs at least one shard");
-  TIRESIAS_EXPECT(config_.queueCapacity > 0,
-                  "ingest queue capacity must be positive");
-  shards_.reserve(config_.shards);
-  for (std::size_t i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<ShardState>(config_.queueCapacity));
+  if (config_.workers == 0) {
+    config_.workers = std::max(1u, std::thread::hardware_concurrency());
   }
+  TIRESIAS_EXPECT(config_.ingestThreads > 0,
+                  "engine needs at least one ingest thread");
+  TIRESIAS_EXPECT(config_.runBudget > 0, "run budget must be positive");
+  TIRESIAS_EXPECT(config_.streamQueueCapacity > 0,
+                  "per-stream queue capacity must be positive");
+  TIRESIAS_EXPECT(config_.totalQueueCapacity > 0,
+                  "total queue capacity must be positive");
+  SchedulerConfig scfg;
+  scfg.workers = config_.workers;
+  scfg.runBudget = config_.runBudget;
+  scfg.streamQueueCapacity = config_.streamQueueCapacity;
+  scfg.totalQueueCapacity = config_.totalQueueCapacity;
+  scheduler_ = std::make_unique<Scheduler>(
+      scfg, [this](std::size_t id, TimeUnitBatch& b) { processOne(id, b); });
+  recycleCap_ =
+      config_.totalQueueCapacity + config_.workers + config_.ingestThreads;
 }
 
 DetectionEngine::~DetectionEngine() { stop(); }
@@ -104,7 +77,8 @@ std::size_t DetectionEngine::addStream(std::string name,
   const std::size_t id = streams_.size();
   streams_.push_back(std::make_unique<StreamState>(
       std::move(name), hierarchy, std::move(config), std::move(source)));
-  shards_[id % shards_.size()]->streams.push_back(streams_[id].get());
+  const std::size_t schedId = scheduler_->addStream();
+  TIRESIAS_EXPECT(schedId == id, "scheduler/stream id mismatch");
   return id;
 }
 
@@ -117,133 +91,166 @@ void DetectionEngine::start() {
   TIRESIAS_EXPECT(!started_.load(), "start() called twice");
   startNs_.store(nowNs(), std::memory_order_release);
   started_.store(true, std::memory_order_release);
-  for (auto& shard : shards_) {
-    shard->ingest = std::thread([this, s = shard.get()] { ingestLoop(*s); });
-    shard->worker = std::thread([this, s = shard.get()] { workerLoop(*s); });
+  scheduler_->start();
+  ingestPool_.reserve(config_.ingestThreads);
+  for (std::size_t t = 0; t < config_.ingestThreads; ++t) {
+    ingestPool_.emplace_back([this, t] { ingestLoop(t); });
   }
 }
 
-void DetectionEngine::ingestLoop(ShardState& shard) {
-  for (StreamState* stream : shard.streams) {
-    stream->batcher = std::make_unique<TimeUnitBatcher>(
-        *stream->source, stream->pipeline.config().delta,
-        stream->pipeline.config().startTime);
+std::vector<Record> DetectionEngine::takeRecycled() {
+  std::lock_guard lock(recycleMutex_);
+  if (recycle_.empty()) return {};
+  std::vector<Record> buf = std::move(recycle_.back());
+  recycle_.pop_back();
+  return buf;
+}
+
+void DetectionEngine::recycleBuffer(std::vector<Record>&& buf) {
+  buf.clear();
+  std::lock_guard lock(recycleMutex_);
+  if (recycle_.size() < recycleCap_) recycle_.push_back(std::move(buf));
+}
+
+void DetectionEngine::ingestLoop(std::size_t threadIndex) {
+  // Static partition: stream id modulo pool size. One producer per stream
+  // preserves source order; the scheduler takes care of the rest.
+  std::vector<std::pair<std::size_t, StreamState*>> mine;
+  for (std::size_t id = threadIndex; id < streams_.size();
+       id += config_.ingestThreads) {
+    StreamState* s = streams_[id].get();
+    s->batcher = std::make_unique<TimeUnitBatcher>(
+        *s->source, s->pipeline.config().delta, s->pipeline.config().startTime);
+    mine.emplace_back(id, s);
   }
-  // Round-robin one timeunit per stream per sweep, so no shard-mate can
-  // monopolize the queue and every stream advances at a similar pace.
-  std::size_t live = shard.streams.size();
+  // Round-robin one timeunit per stream per sweep, so every stream
+  // advances at a similar pace. A stream whose queue is full is skipped
+  // (its backlog is the workers' problem, not its neighbors'); when no
+  // stream accepts anything in a whole sweep, park until a unit drains.
+  std::size_t live = mine.size();
   TimeUnitBatch batch;
   while (live > 0 && !stopRequested_.load(std::memory_order_relaxed)) {
-    for (StreamState* stream : shard.streams) {
+    bool progressed = false;
+    for (auto& [id, stream] : mine) {
       if (stream->exhausted) continue;
-      if (stopRequested_.load(std::memory_order_relaxed)) break;
-      // Batch into a buffer recycled from the worker (allocation-free once
-      // the pool is primed).
-      batch.records = shard.takeRecycled();
+      if (stopRequested_.load(std::memory_order_relaxed)) return;
+      if (!scheduler_->canAccept(id)) continue;  // backpressure: skip
+      // Batch into a buffer recycled from the workers (allocation-free
+      // once the pool is primed).
+      batch.records = takeRecycled();
       const bool more = stream->batcher->next(batch);
       stream->sourceSkipped.store(stream->source->skippedRecords(),
                                   std::memory_order_relaxed);
       if (!more) {
         stream->exhausted = true;
         --live;
+        scheduler_->finishStream(id);
+        recycleBuffer(std::move(batch.records));
+        progressed = true;
         continue;
       }
-      // Blocking push == backpressure: the generator stalls here when the
-      // worker is behind, keeping queued memory bounded.
-      if (!shard.queue.push({stream, std::move(batch)})) return;
-      shard.unitsIngested.fetch_add(1, std::memory_order_relaxed);
+      if (!scheduler_->submit(id, std::move(batch))) return;  // stopping
+      progressed = true;
+    }
+    if (!progressed && live > 0) {
+      if (!scheduler_->waitForSpace()) return;  // stopping
     }
   }
-  shard.queue.close();
 }
 
-void DetectionEngine::workerLoop(ShardState& shard) {
-  while (auto item = shard.queue.pop()) {
-    StreamState& stream = *item->stream;
-    RunSummary& sum = stream.summary;
-    const std::size_t instancesBefore = sum.instancesDetected;
-    const std::size_t anomaliesBefore = sum.anomaliesReported;
-    const std::size_t batchRecords = item->batch.records.size();
-    stream.pipeline.processUnit(
-        item->batch,
-        [&](const InstanceResult& r) {
-          if (sink_) sink_(stream.name, r);
-        },
-        sum);
-    stream.warmupBuffered.store(sum.warmupUnitsBuffered,
-                                std::memory_order_relaxed);
-    shard.unitsProcessed.fetch_add(1, std::memory_order_relaxed);
-    shard.recordsProcessed.fetch_add(batchRecords,
+void DetectionEngine::processOne(std::size_t id, TimeUnitBatch& batch) {
+  StreamState& stream = *streams_[id];
+  RunSummary& sum = stream.summary;
+  const std::size_t instancesBefore = sum.instancesDetected;
+  const std::size_t anomaliesBefore = sum.anomaliesReported;
+  const std::size_t batchRecords = batch.records.size();
+  stream.pipeline.processUnit(
+      batch,
+      [&](const InstanceResult& r) {
+        if (sink_) sink_(stream.name, r);
+      },
+      sum);
+  stream.warmupBuffered.store(sum.warmupUnitsBuffered,
+                              std::memory_order_relaxed);
+  stream.recordsProcessed.fetch_add(batchRecords, std::memory_order_relaxed);
+  stream.instancesDetected.fetch_add(sum.instancesDetected - instancesBefore,
                                      std::memory_order_relaxed);
-    shard.instancesDetected.fetch_add(sum.instancesDetected - instancesBefore,
-                                      std::memory_order_relaxed);
-    shard.anomaliesReported.fetch_add(sum.anomaliesReported - anomaliesBefore,
-                                      std::memory_order_relaxed);
-    shard.recycleBuffer(std::move(item->batch.records));
-  }
+  stream.anomaliesReported.fetch_add(sum.anomaliesReported - anomaliesBefore,
+                                     std::memory_order_relaxed);
+  recycleBuffer(std::move(batch.records));
 }
 
 EngineStats DetectionEngine::drain() {
   TIRESIAS_EXPECT(started_.load(), "drain() before start()");
-  if (!joined_) {
-    // Ingest ends on its own once every source is exhausted; it closes the
-    // queue, so the worker drains the backlog and ends too.
-    for (auto& shard : shards_) {
-      if (shard->ingest.joinable()) shard->ingest.join();
+  // drain() and stop() may be issued from different threads (a watchdog
+  // stopping a draining engine); serialize them so the joined_ check and
+  // the joins themselves can't interleave into a double-join.
+  std::lock_guard control(controlMutex_);
+  if (!joined_.load()) {
+    // Each ingest thread ends on its own once its sources are exhausted,
+    // finishing its streams; the scheduler closes the ready queue when the
+    // last stream drains, which ends the workers.
+    for (auto& t : ingestPool_) {
+      if (t.joinable()) t.join();
     }
-    for (auto& shard : shards_) {
-      if (shard->worker.joinable()) shard->worker.join();
-    }
+    scheduler_->drainAndJoin();
     finalElapsedNs_.store(nowNs() - startNs_.load(std::memory_order_relaxed),
                           std::memory_order_release);
-    joined_ = true;
+    joined_.store(true, std::memory_order_release);
   }
   return stats();
 }
 
 void DetectionEngine::stop() {
-  if (!started_.load() || joined_) return;
+  if (!started_.load()) return;
+  std::lock_guard control(controlMutex_);
+  if (joined_.load()) return;
   stopRequested_.store(true);
-  // Unblock producers stuck in push() and consumers stuck in pop(),
-  // dropping the queued backlog: stop() means "discard queued work", in
-  // contrast to drain().
-  for (auto& shard : shards_) {
-    shard->queue.close(BoundedQueue<ShardState::WorkItem>::CloseMode::kDiscard);
-  }
-  for (auto& shard : shards_) {
-    if (shard->ingest.joinable()) shard->ingest.join();
-    if (shard->worker.joinable()) shard->worker.join();
+  // Releases parked producers (submit/waitForSpace return false), closes
+  // the ready queue in discard mode and drops the queued backlog: stop()
+  // means "discard queued work", in contrast to drain().
+  scheduler_->stopAndJoin();
+  for (auto& t : ingestPool_) {
+    if (t.joinable()) t.join();
   }
   finalElapsedNs_.store(nowNs() - startNs_.load(std::memory_order_relaxed),
                         std::memory_order_release);
-  joined_ = true;
+  joined_.store(true, std::memory_order_release);
 }
 
 EngineStats DetectionEngine::stats() const {
   EngineStats out;
   out.streams = streams_.size();
-  out.shards.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    ShardStats s;
-    s.streams = shard->streams.size();
-    s.unitsIngested = shard->unitsIngested.load(std::memory_order_relaxed);
-    s.unitsProcessed = shard->unitsProcessed.load(std::memory_order_relaxed);
-    s.unitsDiscarded = shard->queue.discardedItems();
-    s.recordsProcessed =
-        shard->recordsProcessed.load(std::memory_order_relaxed);
-    s.instancesDetected =
-        shard->instancesDetected.load(std::memory_order_relaxed);
-    s.anomaliesReported =
-        shard->anomaliesReported.load(std::memory_order_relaxed);
-    for (const StreamState* stream : shard->streams) {
-      s.junkRowsSkipped +=
-          stream->sourceSkipped.load(std::memory_order_relaxed);
-      s.warmupUnitsBuffered +=
-          stream->warmupBuffered.load(std::memory_order_relaxed);
+  out.ingestThreads = config_.ingestThreads;
+  if (scheduler_) out.scheduler = scheduler_->stats();
+  out.scheduler.workers = config_.workers;
+  out.backpressureWaits = out.scheduler.backpressureWaits;
+  // One bulk snapshot: per-stream streamStats() calls in a loop would
+  // take the scheduler lock once per stream against the hot path.
+  std::vector<StreamQueueStats> queueStats;
+  if (scheduler_) queueStats = scheduler_->allStreamStats();
+  out.perStream.reserve(streams_.size());
+  for (std::size_t id = 0; id < streams_.size(); ++id) {
+    const StreamState& stream = *streams_[id];
+    StreamStats s;
+    s.name = stream.name;
+    if (id < queueStats.size()) {
+      const StreamQueueStats& q = queueStats[id];
+      s.unitsIngested = q.unitsEnqueued;
+      s.unitsProcessed = q.unitsProcessed;
+      s.unitsDiscarded = q.unitsDiscarded;
+      s.queueDepth = q.queueDepth;
+      s.maxQueueDepth = q.maxQueueDepth;
+      s.runs = q.runs;
+      s.requeues = q.requeues;
     }
-    s.queueDepth = shard->queue.depth();
-    s.maxQueueDepth = shard->queue.maxDepth();
-    s.backpressureWaits = shard->queue.blockedPushes();
+    s.recordsProcessed = stream.recordsProcessed.load(std::memory_order_relaxed);
+    s.instancesDetected =
+        stream.instancesDetected.load(std::memory_order_relaxed);
+    s.anomaliesReported =
+        stream.anomaliesReported.load(std::memory_order_relaxed);
+    s.junkRowsSkipped = stream.sourceSkipped.load(std::memory_order_relaxed);
+    s.warmupUnitsBuffered = stream.warmupBuffered.load(std::memory_order_relaxed);
     out.unitsIngested += s.unitsIngested;
     out.unitsProcessed += s.unitsProcessed;
     out.unitsDiscarded += s.unitsDiscarded;
@@ -253,8 +260,12 @@ EngineStats DetectionEngine::stats() const {
     out.junkRowsSkipped += s.junkRowsSkipped;
     out.warmupUnitsBuffered += s.warmupUnitsBuffered;
     out.maxQueueDepth = std::max(out.maxQueueDepth, s.maxQueueDepth);
-    out.backpressureWaits += s.backpressureWaits;
-    out.shards.push_back(std::move(s));
+    out.busiestStreamUnits = std::max(out.busiestStreamUnits, s.unitsProcessed);
+    out.perStream.push_back(std::move(s));
+  }
+  if (out.unitsProcessed > 0) {
+    out.busiestStreamShare = static_cast<double>(out.busiestStreamUnits) /
+                             static_cast<double>(out.unitsProcessed);
   }
   std::int64_t elapsedNs = 0;
   if (started_.load(std::memory_order_acquire)) {
@@ -272,6 +283,12 @@ EngineStats DetectionEngine::stats() const {
 
 RunSummary DetectionEngine::streamSummary(std::size_t id) const {
   TIRESIAS_EXPECT(id < streams_.size(), "stream id out of range");
+  // The summary is plain (non-atomic) state written by whichever worker
+  // owns the stream; it is only stable once the pools have stopped.
+  TIRESIAS_EXPECT(!started_.load(std::memory_order_acquire) ||
+                      joined_.load(std::memory_order_acquire),
+                  "streamSummary() while the pools are running — call it "
+                  "after drain() or stop()");
   const auto& stream = *streams_[id];
   RunSummary sum = stream.summary;
   // Fold the ingest-side junk-row count in at read time (the worker never

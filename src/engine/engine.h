@@ -3,25 +3,34 @@
 // independent operational streams — per-dataset, per-region, per-hierarchy
 // — on shared hardware).
 //
-// Architecture: the engine owns N *shards*. Each stream (a RecordSource
-// paired with its own Hierarchy + TiresiasPipeline) is assigned
-// round-robin to a shard. Per shard there are two threads:
+// Architecture: a task-scheduled executor (engine::Scheduler). Each stream
+// (a RecordSource paired with its own Hierarchy + TiresiasPipeline) owns a
+// FIFO queue of timeunits; two thread pools, sized independently, move
+// work through it:
 //
-//   ingest  — batches each of the shard's sources into timeunits
-//             (Step 1, TimeUnitBatcher over RecordSource::nextBatch, so
-//             the per-record path is non-virtual) and pushes them into the
-//             shard's bounded queue; a full queue blocks the producer
-//             (backpressure), so memory stays bounded no matter how fast
-//             sources produce.
-//   worker  — pops batches FIFO, advances the owning stream's pipeline
-//             via TiresiasPipeline::processUnit, and recycles the batch
-//             buffer back to ingest (steady-state batching allocates
-//             nothing).
+//   ingest pool  — `ingestThreads` threads; streams are partitioned
+//                  statically across them (one producer per stream keeps
+//                  source order). Each thread sweeps its streams
+//                  round-robin, batching one timeunit per stream per sweep
+//                  (Step 1, TimeUnitBatcher over RecordSource::nextBatch)
+//                  into the stream's queue. A stream whose queue is full —
+//                  or a global queued-unit bound — makes the thread skip
+//                  or park (backpressure), so memory stays bounded no
+//                  matter how fast sources produce or how many streams are
+//                  registered.
+//   worker pool  — `workers` threads sharing the scheduler's ready queue.
+//                  A worker claims a ready stream, advances its pipeline
+//                  by at most `runBudget` units via
+//                  TiresiasPipeline::processUnit, requeues it if backlog
+//                  remains, and recycles batch buffers back to ingest
+//                  (steady-state batching allocates nothing).
 //
-// Every stream's pipeline is touched by exactly one worker, and its units
-// arrive in source order, so an N-shard run is bit-identical to N=1 and to
-// k sequential TiresiasPipeline::run calls (the equivalence the engine
-// test asserts). Results are delivered to a user sink tagged with the
+// A stream is owned by at most one worker at a time and its units arrive
+// in source order, so an M-worker run is bit-identical to M=1 and to k
+// sequential TiresiasPipeline::run calls (the equivalence the engine test
+// asserts) — while a heavy or bursty stream can no longer stall streams
+// that previously shared its shard, and thread count is decoupled from
+// stream count. Results are delivered to a user sink tagged with the
 // stream name; report::ConcurrentAnomalyStore is the ready-made
 // thread-safe sink.
 #pragma once
@@ -31,31 +40,40 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
-#include "engine/bounded_queue.h"
+#include "engine/scheduler.h"
 #include "stream/window.h"
 
 namespace tiresias::engine {
 
 struct EngineConfig {
-  /// Number of shards == size of each of the two thread pools. Streams
-  /// beyond `shards` multiplex onto existing shards round-robin.
-  std::size_t shards = 1;
-  /// Per-shard ingest queue capacity, in timeunit batches. Smaller values
-  /// bound memory tighter but trigger backpressure earlier.
-  std::size_t queueCapacity = 64;
+  /// Worker pool size. 0 = one per hardware thread.
+  std::size_t workers = 0;
+  /// Ingest pool size; decoupled from `workers` (sources are usually far
+  /// cheaper to batch than pipelines are to advance).
+  std::size_t ingestThreads = 1;
+  /// Max units a worker advances one stream by before requeueing it.
+  std::size_t runBudget = 8;
+  /// Per-stream queue bound, in timeunits. Smaller values bound memory
+  /// tighter but trigger backpressure earlier.
+  std::size_t streamQueueCapacity = 16;
+  /// Global bound on queued units across all streams (the memory cap that
+  /// holds no matter how many streams are registered).
+  std::size_t totalQueueCapacity = 1024;
 };
 
-/// Live counters of one shard (a snapshot; the engine keeps atomics).
-struct ShardStats {
-  std::size_t streams = 0;
-  std::size_t unitsIngested = 0;     // batches pushed into the queue
-  std::size_t unitsProcessed = 0;    // batches consumed by the pipeline
-  std::size_t unitsDiscarded = 0;    // batches dropped by stop()
+/// Live counters of one stream (a snapshot; the engine keeps atomics and
+/// the scheduler's per-stream bookkeeping).
+struct StreamStats {
+  std::string name;
+  std::size_t unitsIngested = 0;     // units pushed into the stream queue
+  std::size_t unitsProcessed = 0;    // units consumed by the pipeline
+  std::size_t unitsDiscarded = 0;    // units dropped by stop()
   std::size_t recordsProcessed = 0;
   std::size_t instancesDetected = 0;
   std::size_t anomaliesReported = 0;
@@ -63,12 +81,17 @@ struct ShardStats {
   std::size_t warmupUnitsBuffered = 0;  // units held in pipeline warm-up
   std::size_t queueDepth = 0;        // current
   std::size_t maxQueueDepth = 0;     // high-water mark
-  std::size_t backpressureWaits = 0; // pushes that blocked on a full queue
+  std::size_t runs = 0;              // worker claims of this stream
+  std::size_t requeues = 0;          // claims that left backlog behind
 };
 
 struct EngineStats {
-  std::vector<ShardStats> shards;
-  // Aggregates over all shards:
+  std::vector<StreamStats> perStream;
+  /// Executor-level counters (ready-queue depth, claims, requeues,
+  /// global queued units, producer backpressure waits).
+  SchedulerStats scheduler;
+  std::size_t ingestThreads = 0;
+  // Aggregates over all streams:
   std::size_t streams = 0;
   std::size_t unitsIngested = 0;
   std::size_t unitsProcessed = 0;
@@ -80,14 +103,18 @@ struct EngineStats {
   /// Units absorbed by pipelines still in warm-up (streams shorter than
   /// the detector window never leave warm-up and report zero instances).
   std::size_t warmupUnitsBuffered = 0;
-  std::size_t maxQueueDepth = 0;
-  std::size_t backpressureWaits = 0;
+  std::size_t maxQueueDepth = 0;      // max over per-stream high-water marks
+  std::size_t backpressureWaits = 0;  // == scheduler.backpressureWaits
+  /// Units processed by the busiest stream, and its share of the total —
+  /// 1/streams for a perfectly even mix, approaching 1.0 under heavy skew.
+  std::size_t busiestStreamUnits = 0;
+  double busiestStreamShare = 0.0;
   /// Wall-clock seconds from start() until now (or until drain finished).
   double elapsedSeconds = 0.0;
   /// recordsProcessed / elapsedSeconds.
   double recordsPerSecond = 0.0;
 
-  /// Queue lag: batches ingested but not yet processed (nor discarded).
+  /// Queue lag: units ingested but not yet processed (nor discarded).
   std::size_t queueLagUnits() const {
     const std::size_t done = unitsProcessed + unitsDiscarded;
     return unitsIngested > done ? unitsIngested - done : 0;
@@ -97,7 +124,7 @@ struct EngineStats {
 class DetectionEngine {
  public:
   /// Result delivery, called from worker threads (concurrently across
-  /// shards — the sink must be thread-safe; ConcurrentAnomalyStore::sink()
+  /// streams — the sink must be thread-safe; ConcurrentAnomalyStore::sink()
   /// qualifies). May be null to discard results.
   using ResultSink =
       std::function<void(const std::string& stream, const InstanceResult&)>;
@@ -119,7 +146,7 @@ class DetectionEngine {
   std::size_t streamCount() const { return streams_.size(); }
   const std::string& streamName(std::size_t id) const;
 
-  /// Launch the ingest + worker pools. Call once, after all addStream.
+  /// Launch the worker + ingest pools. Call once, after all addStream.
   void start();
 
   /// Block until every source is exhausted and every queue is drained,
@@ -127,7 +154,7 @@ class DetectionEngine {
   EngineStats drain();
 
   /// Early shutdown: stop ingesting, discard queued work (the dropped
-  /// batches are counted in EngineStats::unitsDiscarded, not processed),
+  /// units are counted in EngineStats::unitsDiscarded, not processed),
   /// join. Safe to call repeatedly or after drain().
   void stop();
 
@@ -136,23 +163,42 @@ class DetectionEngine {
   EngineStats stats() const;
 
   /// A stream's cumulative pipeline summary (with the ingest-side junk-row
-  /// count folded in). Call after drain()/stop().
+  /// count folded in). Must be called after drain()/stop() — calling it
+  /// while the pools run would race the owning worker's pipeline, so it
+  /// fails fast instead.
   RunSummary streamSummary(std::size_t id) const;
 
  private:
   struct StreamState;
-  struct ShardState;
 
-  void ingestLoop(ShardState& shard);
-  void workerLoop(ShardState& shard);
+  void ingestLoop(std::size_t threadIndex);
+  /// Worker-side unit processor (serialized per stream by the scheduler).
+  void processOne(std::size_t id, TimeUnitBatch& batch);
+
+  std::vector<Record> takeRecycled();
+  void recycleBuffer(std::vector<Record>&& buf);
 
   EngineConfig config_;
   ResultSink sink_;
   std::vector<std::unique_ptr<StreamState>> streams_;
-  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::thread> ingestPool_;
   std::atomic<bool> started_{false};
-  bool joined_ = false;  // touched only by the control thread (drain/stop)
+  std::atomic<bool> joined_{false};  // pools stopped; summaries are stable
   std::atomic<bool> stopRequested_{false};
+  /// Serializes drain()/stop() against each other (they may be issued
+  /// from different threads; the joins must not interleave). Note a
+  /// stop() issued while drain() is blocked joining waits for the drain
+  /// to finish — it cannot interrupt it.
+  std::mutex controlMutex_;
+
+  // Record buffers cycle ingest -> stream queue -> worker -> back to
+  // ingest, so steady-state batching allocates nothing. Bounded: the pool
+  // never holds more than what can be in flight.
+  std::mutex recycleMutex_;
+  std::vector<std::vector<Record>> recycle_;
+  std::size_t recycleCap_ = 0;
+
   // Timing is read by concurrent stats() pollers while drain()/stop()
   // finalize it, so both values live in atomics (nanoseconds on the
   // steady clock). finalElapsedNs_ < 0 means "still running".

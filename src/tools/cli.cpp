@@ -1,5 +1,7 @@
 #include "tools/cli.h"
 
+#include <cstdint>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <ostream>
@@ -37,13 +39,103 @@ constexpr const char* kUsage =
     "             [--rt R] [--dt D] [--algo ada|sta] [--out anomalies.csv]\n"
     "  analyze    --dataset ... --trace trace.csv [--unit-minutes M]\n"
     "  hierarchy  --dataset ... [--scale ...]\n"
-    "  serve      --streams K --shards N --units M [--scale ...] [--seed S]\n"
-    "             [--theta T] [--window W] [--queue C]\n"
+    "  serve      --streams K --units M [--workers W] [--ingest-threads I]\n"
+    "             [--queue C] [--total-queue Q] [--budget B] [--scale ...]\n"
+    "             [--seed S] [--theta T] [--window W]\n"
     "             multiplex K generated CCD/SCD streams through the\n"
-    "             concurrent detection engine and print per-shard stats\n"
+    "             task-scheduled detection engine (W shared workers over\n"
+    "             per-stream queues; W defaults to the hardware threads)\n"
+    "             and print per-stream + scheduler stats.\n"
+    "             --shards N is deprecated: it now maps to --workers N\n"
     "\n"
     "detect/analyze/hierarchy also accept --hierarchy <paths-file> (one\n"
-    "leaf path per line) instead of --dataset, for custom domains.\n";
+    "leaf path per line) instead of --dataset, for custom domains.\n"
+    "Unknown options and duplicated single-use options are errors; only\n"
+    "--spike may be repeated.\n";
+
+/// Per-command option whitelist. runCli rejects unknown options (typo
+/// protection: `--shard 4` must fail loudly, not be silently ignored),
+/// stray positionals, and duplicates of any option not listed as
+/// repeatable.
+bool checkOptions(const CliArgs& args, std::ostream& err,
+                  std::initializer_list<const char*> allowed,
+                  std::initializer_list<const char*> repeatable = {}) {
+  const auto in = [](const auto& list, const std::string& name) {
+    for (const char* a : list) {
+      if (name == a) return true;
+    }
+    return false;
+  };
+  for (const auto& [key, value] : args.options) {
+    (void)value;
+    if (!in(allowed, key) && !in(repeatable, key)) {
+      err << args.command << ": unknown option '--" << key << "'\n" << kUsage;
+      return false;
+    }
+  }
+  for (const char* name : allowed) {
+    std::size_t count = 0;
+    for (const auto& [key, value] : args.options) {
+      (void)value;
+      if (key == name) ++count;
+    }
+    if (count > 1) {
+      err << args.command << ": option '--" << name << "' given " << count
+          << " times";
+      if (repeatable.size() > 0) {
+        err << " (only";
+        for (const char* r : repeatable) err << " --" << r;
+        err << " may be repeated)";
+      }
+      err << "\n";
+      return false;
+    }
+  }
+  if (!args.positional.empty()) {
+    err << args.command << ": unexpected argument '" << args.positional[0]
+        << "'\n"
+        << kUsage;
+    return false;
+  }
+  return true;
+}
+
+/// Numeric value of --name (or `fallback` when absent). Non-numeric,
+/// trailing-garbage, missing or out-of-range values are usage errors —
+/// value typos must fail as loudly as option-name typos, not escape as
+/// an uncaught std::sto* exception.
+template <typename T>
+bool parsedOption(const CliArgs& args, const std::string& cmd,
+                  const char* name, T fallback, std::ostream& err, T& out,
+                  T (*parse)(const std::string&, std::size_t*)) {
+  if (!args.has(name)) {
+    out = fallback;
+    return true;
+  }
+  const std::string text = args.get(name, "");
+  try {
+    std::size_t pos = 0;
+    out = parse(text, &pos);
+    if (!text.empty() && pos == text.size()) return true;
+  } catch (const std::exception&) {
+  }
+  err << cmd << ": bad numeric value '" << text << "' for --" << name << "\n";
+  return false;
+}
+
+bool numOption(const CliArgs& args, const std::string& cmd, const char* name,
+               long long fallback, std::ostream& err, long long& out) {
+  return parsedOption<long long>(
+      args, cmd, name, fallback, err, out,
+      [](const std::string& s, std::size_t* pos) { return std::stoll(s, pos); });
+}
+
+bool realOption(const CliArgs& args, const std::string& cmd, const char* name,
+                double fallback, std::ostream& err, double& out) {
+  return parsedOption<double>(
+      args, cmd, name, fallback, err, out,
+      [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); });
+}
 
 bool parseDataset(const CliArgs& args, std::ostream& err, WorkloadSpec& spec) {
   // A custom domain can be supplied as a file of leaf paths; detection and
@@ -105,13 +197,24 @@ bool parseSpike(const std::string& text, const Hierarchy& h, std::ostream& err,
     err << "unknown spike path '" << parts[0] << "'\n";
     return false;
   }
-  spike.startUnit = std::stoll(parts[1]);
-  spike.durationUnits = static_cast<std::size_t>(std::stoul(parts[2]));
-  spike.extraPerUnit = std::stod(parts[3]);
+  try {
+    spike.startUnit = std::stoll(parts[1]);
+    spike.durationUnits = static_cast<std::size_t>(std::stoul(parts[2]));
+    spike.extraPerUnit = std::stod(parts[3]);
+  } catch (const std::exception&) {
+    err << "bad --spike '" << text << "' (want path:unit:dur:magnitude)\n";
+    return false;
+  }
   return true;
 }
 
 int cmdGenerate(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (!checkOptions(args, err,
+                    {"dataset", "scale", "hierarchy", "root-name", "days",
+                     "seed", "out"},
+                    {"spike"})) {
+    return 2;
+  }
   WorkloadSpec spec;
   if (!parseDataset(args, err, spec)) return 2;
   const std::string outPath = args.get("out", "");
@@ -119,8 +222,16 @@ int cmdGenerate(const CliArgs& args, std::ostream& out, std::ostream& err) {
     err << "generate: --out is required\n";
     return 2;
   }
-  const auto days = std::stoll(args.get("days", "7"));
-  const auto seed = std::stoull(args.get("seed", "1"));
+  long long days = 0, seedIn = 0;
+  if (!numOption(args, "generate", "days", 7, err, days) ||
+      !numOption(args, "generate", "seed", 1, err, seedIn)) {
+    return 2;
+  }
+  if (days <= 0) {
+    err << "generate: --days must be positive\n";
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(seedIn);
   const auto unitsPerDay = static_cast<TimeUnit>(kDay / spec.unit);
 
   GroundTruthLedger ledger;
@@ -145,6 +256,11 @@ int cmdGenerate(const CliArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmdDetect(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (!checkOptions(args, err,
+                    {"dataset", "scale", "hierarchy", "root-name", "trace",
+                     "theta", "window", "rt", "dt", "algo", "out"})) {
+    return 2;
+  }
   WorkloadSpec spec;
   if (!parseDataset(args, err, spec)) return 2;
   const std::string trace = args.get("trace", "");
@@ -152,13 +268,24 @@ int cmdDetect(const CliArgs& args, std::ostream& out, std::ostream& err) {
     err << "detect: --trace is required\n";
     return 2;
   }
+  double theta = 0, rt = 0, dt = 0;
+  long long window = 0;
+  if (!realOption(args, "detect", "theta", 8, err, theta) ||
+      !realOption(args, "detect", "rt", 2.8, err, rt) ||
+      !realOption(args, "detect", "dt", 8, err, dt) ||
+      !numOption(args, "detect", "window", 288, err, window)) {
+    return 2;
+  }
+  if (window <= 0) {
+    err << "detect: --window must be positive\n";
+    return 2;
+  }
   PipelineConfig cfg;
   cfg.delta = spec.unit;
-  cfg.detector.theta = std::stod(args.get("theta", "8"));
-  cfg.detector.windowLength =
-      static_cast<std::size_t>(std::stoul(args.get("window", "288")));
-  cfg.detector.ratioThreshold = std::stod(args.get("rt", "2.8"));
-  cfg.detector.diffThreshold = std::stod(args.get("dt", "8"));
+  cfg.detector.theta = theta;
+  cfg.detector.windowLength = static_cast<std::size_t>(window);
+  cfg.detector.ratioThreshold = rt;
+  cfg.detector.diffThreshold = dt;
   cfg.useAda = args.get("algo", "ada") != "sta";
   cfg.candidatePeriods = {static_cast<std::size_t>(kDay / spec.unit),
                           static_cast<std::size_t>(kWeek / spec.unit)};
@@ -202,6 +329,11 @@ int cmdDetect(const CliArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmdAnalyze(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (!checkOptions(args, err,
+                    {"dataset", "scale", "hierarchy", "root-name", "trace",
+                     "unit-minutes"})) {
+    return 2;
+  }
   WorkloadSpec spec;
   if (!parseDataset(args, err, spec)) return 2;
   const std::string trace = args.get("trace", "");
@@ -209,7 +341,14 @@ int cmdAnalyze(const CliArgs& args, std::ostream& out, std::ostream& err) {
     err << "analyze: --trace is required\n";
     return 2;
   }
-  const auto unitMinutes = std::stoll(args.get("unit-minutes", "15"));
+  long long unitMinutes = 0;
+  if (!numOption(args, "analyze", "unit-minutes", 15, err, unitMinutes)) {
+    return 2;
+  }
+  if (unitMinutes <= 0) {
+    err << "analyze: --unit-minutes must be positive\n";
+    return 2;
+  }
   const Duration delta = unitMinutes * kMinute;
 
   CsvSource source(trace, spec.hierarchy);
@@ -239,6 +378,9 @@ int cmdAnalyze(const CliArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmdHierarchy(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (!checkOptions(args, err, {"dataset", "scale", "hierarchy", "root-name"})) {
+    return 2;
+  }
   WorkloadSpec spec;
   if (!parseDataset(args, err, spec)) return 2;
   const auto& h = spec.hierarchy;
@@ -256,19 +398,60 @@ int cmdHierarchy(const CliArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (!checkOptions(args, err,
+                    {"streams", "units", "workers", "ingest-threads", "queue",
+                     "total-queue", "budget", "scale", "seed", "theta",
+                     "window", "shards"})) {
+    return 2;
+  }
   // Parse signed so "--streams -1" can't wrap around to a huge count.
-  const auto streamsIn = std::stoll(args.get("streams", "4"));
-  const auto shardsIn = std::stoll(args.get("shards", "2"));
-  const auto units = std::stoll(args.get("units", "96"));
-  const auto queueIn = std::stoll(args.get("queue", "64"));
-  const auto seed = std::stoull(args.get("seed", "1"));
-  if (streamsIn <= 0 || shardsIn <= 0 || units <= 0 || queueIn <= 0) {
-    err << "serve: --streams, --shards, --units and --queue must be "
-           "positive\n";
+  long long streamsIn = 0, units = 0, workersIn = 0, ingestIn = 0;
+  long long queueIn = 0, totalQueueIn = 0, budgetIn = 0, seedIn = 0;
+  long long window = 0;
+  double theta = 0;
+  if (!numOption(args, "serve", "streams", 4, err, streamsIn) ||
+      !numOption(args, "serve", "units", 96, err, units) ||
+      !numOption(args, "serve", "workers", 0, err, workersIn) ||  // 0 = hw
+      !numOption(args, "serve", "ingest-threads", 1, err, ingestIn) ||
+      !numOption(args, "serve", "queue", 16, err, queueIn) ||
+      !numOption(args, "serve", "total-queue", 1024, err, totalQueueIn) ||
+      !numOption(args, "serve", "budget", 8, err, budgetIn) ||
+      !numOption(args, "serve", "seed", 1, err, seedIn) ||
+      !numOption(args, "serve", "window", 32, err, window) ||
+      !realOption(args, "serve", "theta", 8, err, theta)) {
+    return 2;
+  }
+  if (window <= 0) {
+    err << "serve: --window must be positive\n";
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(seedIn);
+  if (args.has("shards")) {
+    // The static-shard engine is gone; a shard's dedicated thread pair is
+    // now a worker drawn from the shared pool.
+    long long shardsIn = 0;
+    if (!numOption(args, "serve", "shards", 0, err, shardsIn)) return 2;
+    if (shardsIn <= 0) {
+      err << "serve: --shards must be positive\n";
+      return 2;
+    }
+    if (args.has("workers")) {
+      err << "serve: --shards is deprecated and cannot be combined with "
+             "--workers\n";
+      return 2;
+    }
+    err << "warning: --shards is deprecated; mapping to --workers "
+        << shardsIn << " (the scheduler decouples threads from streams)\n";
+    workersIn = shardsIn;
+  }
+  if (streamsIn <= 0 || units <= 0 || queueIn <= 0 || totalQueueIn <= 0 ||
+      budgetIn <= 0 || ingestIn <= 0 || workersIn < 0) {
+    err << "serve: --streams, --units, --queue, --total-queue, --budget and "
+           "--ingest-threads must be positive (--workers 0 = one per "
+           "hardware thread)\n";
     return 2;
   }
   const auto streams = static_cast<std::size_t>(streamsIn);
-  const auto shards = static_cast<std::size_t>(shardsIn);
   const std::string scaleName = args.get("scale", "test");
   Scale scale;
   if (scaleName == "test") {
@@ -283,8 +466,11 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
 
   engine::EngineConfig ecfg;
-  ecfg.shards = shards;
-  ecfg.queueCapacity = static_cast<std::size_t>(queueIn);
+  ecfg.workers = static_cast<std::size_t>(workersIn);
+  ecfg.ingestThreads = static_cast<std::size_t>(ingestIn);
+  ecfg.runBudget = static_cast<std::size_t>(budgetIn);
+  ecfg.streamQueueCapacity = static_cast<std::size_t>(queueIn);
+  ecfg.totalQueueCapacity = static_cast<std::size_t>(totalQueueIn);
 
   // Streams cycle through the dataset presets (the paper's two CCD
   // hierarchies plus SCD), each with its own seed so workloads differ.
@@ -309,9 +495,8 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
     WorkloadSpec& spec = *specs.back();
     PipelineConfig cfg;
     cfg.delta = spec.unit;
-    cfg.detector.theta = std::stod(args.get("theta", "8"));
-    cfg.detector.windowLength =
-        static_cast<std::size_t>(std::stoul(args.get("window", "32")));
+    cfg.detector.theta = theta;
+    cfg.detector.windowLength = static_cast<std::size_t>(window);
     cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
     const std::string name = std::string(preset.name) + "-" +
                              std::to_string(i);
@@ -324,15 +509,20 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   eng.start();
   const auto stats = eng.drain();
 
-  out << "engine: " << streams << " streams over " << shards
-      << " shards (queue capacity " << ecfg.queueCapacity << ")\n";
+  out << "engine: " << streams << " streams, " << stats.scheduler.workers
+      << " workers, " << stats.ingestThreads
+      << " ingest threads (stream queue " << ecfg.streamQueueCapacity
+      << ", total queue " << ecfg.totalQueueCapacity << ", budget "
+      << ecfg.runBudget << ")\n";
   for (std::size_t i = 0; i < eng.streamCount(); ++i) {
     const auto sum = eng.streamSummary(i);
+    const auto& ss = stats.perStream[i];
     out << "stream " << eng.streamName(i) << ": units="
         << sum.unitsProcessed << " records=" << sum.recordsProcessed
         << " instances=" << sum.instancesDetected
         << " anomalies=" << sum.anomaliesReported
-        << " junk=" << sum.junkRowsSkipped << "\n";
+        << " junk=" << sum.junkRowsSkipped << " runs=" << ss.runs
+        << " requeues=" << ss.requeues << "\n";
     if (sum.warmupUnitsBuffered > 0) {
       err << "warning: stream " << eng.streamName(i)
           << " ended during warm-up (" << sum.warmupUnitsBuffered
@@ -340,14 +530,12 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
              "or shrink --window\n";
     }
   }
-  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
-    const auto& s = stats.shards[i];
-    out << "shard " << i << ": streams=" << s.streams
-        << " ingested=" << s.unitsIngested << " units=" << s.unitsProcessed
-        << " records=" << s.recordsProcessed
-        << " queue-max=" << s.maxQueueDepth
-        << " backpressure-waits=" << s.backpressureWaits << "\n";
-  }
+  out << "scheduler: claims=" << stats.scheduler.claims
+      << " requeues=" << stats.scheduler.requeues
+      << " max-ready=" << stats.scheduler.maxReadyStreams
+      << " max-queued=" << stats.scheduler.maxQueuedUnits
+      << " backpressure-waits=" << stats.scheduler.backpressureWaits
+      << " busiest-share=" << fmtF(stats.busiestStreamShare, 2) << "\n";
   out << "aggregate: ingested=" << stats.unitsIngested
       << " units=" << stats.unitsProcessed
       << " lag=" << stats.queueLagUnits()

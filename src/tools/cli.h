@@ -25,7 +25,12 @@ struct CliArgs {
   std::vector<std::string> positional;
   std::vector<std::pair<std::string, std::string>> options;
 
-  /// Last value of --name, or `fallback`.
+  /// Value of --name, or `fallback`. If --name was given more than once
+  /// the LAST occurrence wins — callers going through runCli never see
+  /// that case, because every command rejects duplicated single-use
+  /// options (and unknown options) with a usage error up front; it only
+  /// matters for repeatable options (--spike, read via `options` directly)
+  /// and for code driving parseArgs() itself.
   std::string get(const std::string& name, const std::string& fallback) const;
   bool has(const std::string& name) const;
 };

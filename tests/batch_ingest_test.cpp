@@ -253,7 +253,7 @@ TEST(BatchedIngest, PipelineEquivalentToPerRecordPath) {
   EXPECT_GT(batched.size(), 0u);  // the comparison must compare something
 }
 
-/// And at the engine level, across shards and backpressure.
+/// And at the engine level, across workers and backpressure.
 TEST(BatchedIngest, EngineEquivalentToPerRecordPath) {
   const std::vector<WorkloadSpec> specs = {
       workload::ccdNetworkWorkload(Scale::kTest),
@@ -264,8 +264,8 @@ TEST(BatchedIngest, EngineEquivalentToPerRecordPath) {
 
   auto runEngine = [&](bool batched) {
     engine::EngineConfig cfg;
-    cfg.shards = 2;
-    cfg.queueCapacity = 2;  // force backpressure on the ingest path
+    cfg.workers = 2;
+    cfg.streamQueueCapacity = 2;  // force backpressure on the ingest path
     report::ConcurrentAnomalyStore store;
     engine::DetectionEngine eng(cfg, store.sink());
     for (std::size_t i = 0; i < specs.size(); ++i) {

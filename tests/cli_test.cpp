@@ -177,16 +177,16 @@ TEST(Cli, CustomHierarchyDetect) {
 
 TEST(Cli, ServeRunsStreamsThroughEngine) {
   std::string out;
-  ASSERT_EQ(run({"serve", "--streams", "3", "--shards", "2", "--units", "40",
+  ASSERT_EQ(run({"serve", "--streams", "3", "--workers", "2", "--units", "40",
                  "--window", "16", "--seed", "5"},
                 &out),
             0);
-  EXPECT_NE(out.find("engine: 3 streams over 2 shards"), std::string::npos);
+  EXPECT_NE(out.find("engine: 3 streams, 2 workers, 1 ingest threads"),
+            std::string::npos);
   EXPECT_NE(out.find("stream ccd-net-0:"), std::string::npos);
   EXPECT_NE(out.find("stream ccd-trouble-1:"), std::string::npos);
   EXPECT_NE(out.find("stream scd-2:"), std::string::npos);
-  EXPECT_NE(out.find("shard 0:"), std::string::npos);
-  EXPECT_NE(out.find("shard 1:"), std::string::npos);
+  EXPECT_NE(out.find("scheduler: claims="), std::string::npos);
   EXPECT_NE(out.find("aggregate: ingested=120 units=120 lag=0"),
             std::string::npos);
   EXPECT_NE(out.find("records/sec"), std::string::npos);
@@ -196,6 +196,97 @@ TEST(Cli, ServeRejectsZeroStreams) {
   std::string err;
   EXPECT_EQ(run({"serve", "--streams", "0"}, nullptr, &err), 2);
   EXPECT_NE(err.find("must be positive"), std::string::npos);
+}
+
+TEST(Cli, ServeMapsDeprecatedShardsToWorkers) {
+  std::string out, err;
+  ASSERT_EQ(run({"serve", "--streams", "2", "--shards", "3", "--units", "24",
+                 "--window", "8"},
+                &out, &err),
+            0);
+  EXPECT_NE(err.find("--shards is deprecated"), std::string::npos);
+  EXPECT_NE(out.find("engine: 2 streams, 3 workers"), std::string::npos);
+  // The mapping is a bridge, not an alias: combining both is an error.
+  EXPECT_EQ(run({"serve", "--streams", "2", "--shards", "3", "--workers",
+                 "2"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("cannot be combined"), std::string::npos);
+}
+
+/// Typos must fail loudly: unknown options were previously ignored, so
+/// `--shard 4` (for --shards, itself now deprecated) silently ran with
+/// defaults.
+TEST(Cli, RejectsUnknownOptions) {
+  std::string err;
+  EXPECT_EQ(run({"serve", "--shard", "4"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown option '--shard'"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+  EXPECT_EQ(run({"generate", "--dataset", "ccd-net", "--out", "/tmp/x.csv",
+                 "--sede", "7"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown option '--sede'"), std::string::npos);
+  EXPECT_EQ(run({"hierarchy", "--dataset", "scd", "--verbose"}, nullptr,
+                &err),
+            2);
+  EXPECT_NE(err.find("unknown option '--verbose'"), std::string::npos);
+}
+
+/// Duplicated single-use options are ambiguous (the parser keeps the last
+/// occurrence); they are rejected instead of silently last-winning. The
+/// explicitly repeatable option (--spike) stays repeatable.
+TEST(Cli, RejectsDuplicateSingleUseOptions) {
+  std::string err;
+  EXPECT_EQ(run({"serve", "--streams", "2", "--streams", "3"}, nullptr,
+                &err),
+            2);
+  EXPECT_NE(err.find("option '--streams' given 2 times"), std::string::npos);
+  EXPECT_EQ(run({"detect", "--dataset", "scd", "--dataset", "ccd-net",
+                 "--trace", "t.csv"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("option '--dataset' given 2 times"), std::string::npos);
+}
+
+/// Value typos fail as loudly as option-name typos: a non-numeric value
+/// for a numeric option is a usage error, not an uncaught std::stoll
+/// exception terminating the process.
+TEST(Cli, RejectsNonNumericOptionValues) {
+  std::string err;
+  EXPECT_EQ(run({"serve", "--workers", "two"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("bad numeric value 'two' for --workers"),
+            std::string::npos);
+  EXPECT_EQ(run({"serve", "--streams", "3x"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("bad numeric value '3x' for --streams"),
+            std::string::npos);
+  EXPECT_EQ(run({"serve", "--budget", "99999999999999999999"}, nullptr,
+                &err),
+            2);
+  EXPECT_NE(err.find("bad numeric value"), std::string::npos);
+  EXPECT_EQ(run({"detect", "--dataset", "scd", "--trace", "t.csv",
+                 "--theta", "high"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("bad numeric value 'high' for --theta"),
+            std::string::npos);
+  EXPECT_EQ(run({"generate", "--dataset", "scd", "--out", "/tmp/x.csv",
+                 "--days", ""},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("bad numeric value '' for --days"), std::string::npos);
+  EXPECT_EQ(run({"analyze", "--dataset", "scd", "--trace", "t.csv",
+                 "--unit-minutes", "-5"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--unit-minutes must be positive"), std::string::npos);
+}
+
+TEST(Cli, RejectsStrayPositionalArguments) {
+  std::string err;
+  EXPECT_EQ(run({"hierarchy", "--dataset", "scd", "extra"}, nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unexpected argument 'extra'"), std::string::npos);
 }
 
 TEST(Cli, MissingHierarchyFileFails) {

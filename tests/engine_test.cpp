@@ -1,16 +1,20 @@
-// Tests for the concurrent multi-stream detection engine (src/engine/):
-// the bounded ingest queue, the sequential-equivalence guarantee, stress
-// with shards >> cores, early stop, and junk-row surfacing.
+// Tests for the task-scheduled multi-stream detection engine
+// (src/engine/): the MPMC bounded queue, the Scheduler's per-stream
+// serialization, the sequential-equivalence guarantee across worker-pool
+// sizes (including a pathologically skewed 200+-stream mix), stress with
+// workers >> cores, early stop, and junk-row surfacing.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "core/pipeline.h"
 #include "engine/bounded_queue.h"
 #include "engine/engine.h"
+#include "engine/scheduler.h"
 #include "report/concurrent_store.h"
 #include "timeseries/ewma.h"
 #include "workload/ccd.h"
@@ -22,6 +26,8 @@ namespace {
 using engine::BoundedQueue;
 using engine::DetectionEngine;
 using engine::EngineConfig;
+using engine::Scheduler;
+using engine::SchedulerConfig;
 using workload::GeneratorSource;
 using workload::Scale;
 using workload::WorkloadSpec;
@@ -65,6 +71,21 @@ TEST(BoundedQueue, BackpressureBlocksProducerUntilConsumed) {
   EXPECT_EQ(q.pop(), 3);
 }
 
+TEST(BoundedQueue, TryPushNeverBlocks) {
+  BoundedQueue<int> q(2);
+  using Push = BoundedQueue<int>::PushResult;
+  EXPECT_EQ(q.tryPush(1), Push::kOk);
+  EXPECT_EQ(q.tryPush(2), Push::kOk);
+  EXPECT_EQ(q.tryPush(3), Push::kFull);  // at capacity: refused, not parked
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.tryPush(3), Push::kOk);
+  q.close();
+  EXPECT_EQ(q.tryPush(4), Push::kClosed);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
 TEST(BoundedQueue, CloseDrainsThenEndsStream) {
   BoundedQueue<int> q(4);
   ASSERT_TRUE(q.push(7));
@@ -101,10 +122,68 @@ TEST(BoundedQueue, DiscardAfterDrainCloseStillDropsBacklog) {
   EXPECT_EQ(q.discardedItems(), 1u);
 }
 
-/// The headline guarantee: k streams through an N-shard engine produce
+/// Scheduler in isolation: whatever the worker count, every stream's
+/// units must come out serialized and in submission order.
+TEST(Scheduler, PreservesPerStreamFifoUnderManyWorkers) {
+  const std::size_t streams = 6;
+  const std::size_t unitsPerStream = 64;
+  std::vector<std::vector<TimeUnit>> seen(streams);
+  std::vector<std::atomic<int>> inFlight(streams);
+  for (auto& f : inFlight) f.store(0);
+  std::atomic<bool> overlapped{false};
+
+  SchedulerConfig cfg;
+  cfg.workers = 8;
+  cfg.runBudget = 3;
+  cfg.streamQueueCapacity = 4;
+  cfg.totalQueueCapacity = 16;
+  Scheduler sched(cfg, [&](std::size_t id, TimeUnitBatch& b) {
+    if (inFlight[id].fetch_add(1) != 0) overlapped.store(true);
+    seen[id].push_back(b.unit);  // safe: serialized per stream
+    std::this_thread::yield();
+    inFlight[id].fetch_sub(1);
+  });
+  for (std::size_t i = 0; i < streams; ++i) ASSERT_EQ(sched.addStream(), i);
+  sched.start();
+
+  // One producer per stream, as the engine's ingest partition guarantees.
+  std::vector<std::thread> producers;
+  for (std::size_t i = 0; i < streams; ++i) {
+    producers.emplace_back([&, i] {
+      for (std::size_t u = 0; u < unitsPerStream;) {
+        if (!sched.canAccept(i)) {
+          if (!sched.waitForSpace()) return;
+          continue;
+        }
+        TimeUnitBatch b;
+        b.unit = static_cast<TimeUnit>(u);
+        ASSERT_TRUE(sched.submit(i, std::move(b)));
+        ++u;
+      }
+      sched.finishStream(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  sched.drainAndJoin();
+
+  EXPECT_FALSE(overlapped.load());
+  for (std::size_t i = 0; i < streams; ++i) {
+    ASSERT_EQ(seen[i].size(), unitsPerStream);
+    for (std::size_t u = 0; u < unitsPerStream; ++u) {
+      EXPECT_EQ(seen[i][u], static_cast<TimeUnit>(u));
+    }
+  }
+  const auto stats = sched.stats();
+  EXPECT_GT(stats.claims, 0u);
+  EXPECT_EQ(stats.queuedUnits, 0u);
+  EXPECT_GT(stats.maxQueuedUnits, 0u);
+  EXPECT_LE(stats.maxReadyStreams, streams);
+}
+
+/// The headline guarantee: k streams through an M-worker engine produce
 /// exactly the per-stream anomalies and summaries of k sequential
-/// TiresiasPipeline::run calls. Shards deliberately do not divide streams
-/// evenly, and the tiny queue forces backpressure on the ingest path.
+/// TiresiasPipeline::run calls. The tiny queues force backpressure on the
+/// ingest path.
 TEST(Engine, EquivalentToSequentialPipelines) {
   const std::vector<WorkloadSpec> specs = {
       workload::ccdNetworkWorkload(Scale::kTest),
@@ -127,8 +206,11 @@ TEST(Engine, EquivalentToSequentialPipelines) {
   }
 
   EngineConfig cfg;
-  cfg.shards = 3;        // uneven 4-streams-over-3-shards mapping
-  cfg.queueCapacity = 2; // force backpressure
+  cfg.workers = 3;             // uneven 4-streams-over-3-workers contention
+  cfg.ingestThreads = 2;
+  cfg.runBudget = 2;
+  cfg.streamQueueCapacity = 2; // force per-stream backpressure
+  cfg.totalQueueCapacity = 4;  // ...and the global bound
   report::ConcurrentAnomalyStore store;
   DetectionEngine eng(cfg, store.sink());
   std::vector<std::string> names;
@@ -169,19 +251,137 @@ TEST(Engine, EquivalentToSequentialPipelines) {
   EXPECT_EQ(stats.unitsProcessed, baselineUnits);
   EXPECT_EQ(stats.recordsProcessed, baselineRecords);
   EXPECT_EQ(stats.streams, specs.size());
-  // The tiny queue must actually have exercised backpressure accounting.
+  ASSERT_EQ(stats.perStream.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(stats.perStream[i].name, names[i]);
+    EXPECT_EQ(stats.perStream[i].unitsProcessed,
+              baselineSummaries[i].unitsProcessed);
+    EXPECT_GT(stats.perStream[i].runs, 0u);
+  }
+  // The tiny queues must actually have exercised the scheduler: streams
+  // were claimed, requeued with backlog, and producers parked.
   EXPECT_GT(stats.maxQueueDepth, 0u);
+  EXPECT_GT(stats.scheduler.claims, 0u);
+  EXPECT_GT(stats.scheduler.requeues, 0u);
+  EXPECT_GT(stats.scheduler.maxQueuedUnits, 0u);
+}
+
+/// Pathological skew (the satellite stress): one stream carries ~95% of
+/// all records among 200 tiny streams, plus a zero-record stream. Every
+/// worker-pool size must reproduce the sequential baseline bit-identically
+/// per stream — the heavy stream may occupy one worker for long stretches,
+/// but it must never corrupt or reorder its neighbors.
+TEST(Engine, SkewedMixEquivalentAcrossWorkerGrid) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  const auto& h = spec.hierarchy;
+  const std::vector<NodeId> leaves = h.leaves();
+  const Duration delta = spec.unit;
+
+  // Synthetic per-stream traces (VectorSource) so the skew is exact.
+  // Stream 0: 180 units x 100 records plus a localized 400-record spike on
+  // one leaf at unit 40 (so it produces real anomalies). Streams 1..200:
+  // one record every 6th unit over 24 units. Stream 201: zero records
+  // (exhausts immediately, must still retire).
+  const std::size_t kTiny = 200;
+  const TimeUnit heavyUnits = 180, tinyUnits = 24;
+  auto makeRecords = [&](std::size_t streamIdx) {
+    std::vector<Record> records;
+    if (streamIdx == kTiny + 1) return records;  // the zero-record stream
+    const bool heavy = streamIdx == 0;
+    const TimeUnit units = heavy ? heavyUnits : tinyUnits;
+    for (TimeUnit u = 0; u < units; ++u) {
+      std::size_t perUnit = heavy ? 100 : (u % 6 == 0 ? 1 : 0);
+      if (heavy && u == 40) perUnit += 400;  // spike, placed on one leaf
+      for (std::size_t i = 0; i < perUnit; ++i) {
+        Record r;
+        r.time = static_cast<Timestamp>(u) * delta +
+                 static_cast<Timestamp>(i % static_cast<std::size_t>(delta));
+        r.category = (heavy && i >= 100)
+                         ? leaves[0]
+                         : leaves[(streamIdx + i) % leaves.size()];
+        records.push_back(r);
+      }
+    }
+    return records;
+  };
+  PipelineConfig pcfg = testPipelineConfig(spec);
+  pcfg.detector.theta = 4.0;
+  const std::size_t streams = kTiny + 2;
+
+  // Sequential baseline.
+  std::vector<std::vector<report::StoredAnomaly>> baseAnoms(streams);
+  std::vector<RunSummary> baseSums(streams);
+  std::size_t totalBaseRecords = 0, heavyRecords = 0;
+  for (std::size_t i = 0; i < streams; ++i) {
+    VectorSource src(makeRecords(i));
+    TiresiasPipeline pipeline(h, pcfg);
+    report::AnomalyStore store(h);
+    baseSums[i] =
+        pipeline.run(src, [&](const InstanceResult& r) { store.add(r); });
+    baseAnoms[i] = store.all();
+    totalBaseRecords += baseSums[i].recordsProcessed;
+    if (i == 0) heavyRecords = baseSums[i].recordsProcessed;
+  }
+  // The mix really is pathological: >= 95% of records in one stream, and
+  // the heavy stream really detects something.
+  EXPECT_GE(static_cast<double>(heavyRecords),
+            0.95 * static_cast<double>(totalBaseRecords));
+  EXPECT_GT(baseAnoms[0].size(), 0u);
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EngineConfig cfg;
+    cfg.workers = workers;
+    cfg.ingestThreads = 2;
+    cfg.streamQueueCapacity = 4;
+    cfg.totalQueueCapacity = 64;
+    cfg.runBudget = 4;
+    report::ConcurrentAnomalyStore store;
+    DetectionEngine eng(cfg, store.sink());
+    for (std::size_t i = 0; i < streams; ++i) {
+      const std::string name = "s" + std::to_string(i);
+      store.registerStream(name, h);
+      eng.addStream(name, h, pcfg,
+                    std::make_unique<VectorSource>(makeRecords(i)));
+    }
+    eng.start();
+    const auto stats = eng.drain();
+
+    EXPECT_EQ(stats.recordsProcessed, totalBaseRecords);
+    EXPECT_EQ(stats.busiestStreamUnits,
+              static_cast<std::size_t>(heavyUnits));
+    EXPECT_GT(stats.busiestStreamShare, 0.02);  // 180 of ~4980 units
+    for (std::size_t i = 0; i < streams; ++i) {
+      SCOPED_TRACE("stream " + std::to_string(i));
+      const auto sum = eng.streamSummary(i);
+      EXPECT_EQ(sum.unitsProcessed, baseSums[i].unitsProcessed);
+      EXPECT_EQ(sum.recordsProcessed, baseSums[i].recordsProcessed);
+      EXPECT_EQ(sum.instancesDetected, baseSums[i].instancesDetected);
+      EXPECT_EQ(sum.anomaliesReported, baseSums[i].anomaliesReported);
+      const auto got = store.snapshot("s" + std::to_string(i));
+      ASSERT_EQ(got.size(), baseAnoms[i].size());
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        EXPECT_EQ(got[j].anomaly, baseAnoms[i][j].anomaly);
+        EXPECT_EQ(got[j].path, baseAnoms[i][j].path);
+        EXPECT_EQ(got[j].depth, baseAnoms[i][j].depth);
+      }
+    }
+    // The zero-record stream exhausted without ever becoming ready.
+    EXPECT_EQ(stats.perStream[kTiny + 1].unitsIngested, 0u);
+    EXPECT_EQ(stats.perStream[kTiny + 1].runs, 0u);
+  }
 }
 
 /// Determinism across engine runs: identical seeds => identical aggregate
 /// counters, run-to-run, regardless of thread scheduling.
 TEST(Engine, DeterministicAcrossRuns) {
-  auto runOnce = [](std::size_t shards) {
+  auto runOnce = [](std::size_t workers) {
     const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
     std::vector<WorkloadSpec> specs(3, spec);
     EngineConfig cfg;
-    cfg.shards = shards;
-    cfg.queueCapacity = 4;
+    cfg.workers = workers;
+    cfg.ingestThreads = workers > 1 ? 2 : 1;
+    cfg.streamQueueCapacity = 4;
     report::ConcurrentAnomalyStore store;
     DetectionEngine eng(cfg, store.sink());
     for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -196,20 +396,24 @@ TEST(Engine, DeterministicAcrossRuns) {
     return std::tuple(stats.recordsProcessed, stats.instancesDetected,
                       stats.anomaliesReported, store.totalSize());
   };
-  const auto oneShard = runOnce(1);
-  EXPECT_EQ(runOnce(3), oneShard);
-  EXPECT_EQ(runOnce(3), oneShard);
+  const auto oneWorker = runOnce(1);
+  EXPECT_EQ(runOnce(3), oneWorker);
+  EXPECT_EQ(runOnce(3), oneWorker);
 }
 
-/// Many small units over far more shards than cores: exercises queue
-/// wakeups and thread churn; completion without deadlock is the assertion.
-TEST(Engine, StressManyShardsManySmallUnits) {
+/// Many small units with far more workers than cores (and more than
+/// streams): exercises ready-queue wakeups and thread churn; completion
+/// without deadlock is the assertion.
+TEST(Engine, StressManyWorkersManySmallUnits) {
   const auto spec = workload::scdNetworkWorkload(Scale::kTest);
   const std::size_t streams = 12;
   const TimeUnit units = 128;
   EngineConfig cfg;
-  cfg.shards = 12;  // >> cores on any CI box
-  cfg.queueCapacity = 2;
+  cfg.workers = 16;  // >> cores on any CI box, > streams
+  cfg.ingestThreads = 3;
+  cfg.streamQueueCapacity = 2;
+  cfg.totalQueueCapacity = 8;
+  cfg.runBudget = 1;  // maximal scheduling churn
   std::atomic<std::size_t> results{0};
   DetectionEngine eng(cfg, [&](const std::string&, const InstanceResult&) {
     results.fetch_add(1);
@@ -237,8 +441,9 @@ TEST(Engine, StressManyShardsManySmallUnits) {
 TEST(Engine, StatsPollDuringDrainIsRaceFree) {
   const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
   EngineConfig cfg;
-  cfg.shards = 2;
-  cfg.queueCapacity = 4;
+  cfg.workers = 2;
+  cfg.ingestThreads = 2;
+  cfg.streamQueueCapacity = 4;
   DetectionEngine eng(cfg, nullptr);
   for (std::size_t i = 0; i < 4; ++i) {
     eng.addStream("s" + std::to_string(i), spec.hierarchy,
@@ -266,14 +471,33 @@ TEST(Engine, StatsPollDuringDrainIsRaceFree) {
   EXPECT_EQ(later.elapsedSeconds, stats.elapsedSeconds);
 }
 
+/// streamSummary() while the pools are still running would race the
+/// owning worker's pipeline; the engine fails fast instead of returning a
+/// torn summary.
+TEST(EngineDeathTest, StreamSummaryWhileRunningFailsFast) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  EXPECT_DEATH(
+      {
+        EngineConfig cfg;
+        cfg.workers = 1;
+        DetectionEngine eng(cfg, nullptr);
+        eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
+                      std::make_unique<GeneratorSource>(spec, 0, 100000, 1));
+        eng.start();
+        (void)eng.streamSummary(0);  // pools still running: must abort
+      },
+      "streamSummary\\(\\) while the pools are running");
+}
+
 /// stop() must actually discard the queued backlog (its documented
-/// contract), not let the worker drain it. The sink blocks the worker on a
-/// gate so the queue holds a known backlog when stop() fires.
+/// contract), not let the workers drain it. The sink blocks the worker on
+/// a gate so the stream queue holds a known backlog when stop() fires.
 TEST(Engine, StopDiscardsQueuedWork) {
   const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
   EngineConfig cfg;
-  cfg.shards = 1;
-  cfg.queueCapacity = 8;
+  cfg.workers = 1;
+  cfg.streamQueueCapacity = 8;
   std::atomic<bool> release{false};
   PipelineConfig pcfg = testPipelineConfig(spec);
   pcfg.detector.windowLength = 2;  // instances (and the gate) fire early
@@ -284,8 +508,8 @@ TEST(Engine, StopDiscardsQueuedWork) {
                 std::make_unique<GeneratorSource>(spec, 0, 100000, 1));
   eng.start();
   // Wait until the worker is wedged in the sink and ingest has piled a
-  // backlog into the queue behind it.
-  while (eng.stats().queueLagUnits() < cfg.queueCapacity) {
+  // backlog into the stream queue behind it.
+  while (eng.stats().queueLagUnits() < cfg.streamQueueCapacity) {
     std::this_thread::yield();
   }
   std::thread stopper([&] { eng.stop(); });
@@ -301,6 +525,8 @@ TEST(Engine, StopDiscardsQueuedWork) {
             stats.unitsProcessed + stats.unitsDiscarded);
   // The discarded backlog must not have reached the pipeline.
   EXPECT_LT(stats.unitsProcessed, stats.unitsIngested);
+  // ...and the summary is safe (and stable) after stop().
+  EXPECT_EQ(eng.streamSummary(0).unitsProcessed, stats.unitsProcessed);
 }
 
 /// A stream shorter than the detector window never leaves warm-up; that
@@ -309,7 +535,7 @@ TEST(Engine, StopDiscardsQueuedWork) {
 TEST(Engine, SurfacesStreamsEndingInWarmup) {
   const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
   EngineConfig cfg;
-  cfg.shards = 1;
+  cfg.workers = 1;
   DetectionEngine eng(cfg, nullptr);
   PipelineConfig pcfg = testPipelineConfig(spec);  // window 16
   eng.addStream("short", spec.hierarchy, pcfg,
@@ -328,8 +554,9 @@ TEST(Engine, SurfacesStreamsEndingInWarmup) {
 TEST(Engine, StopInterruptsBackloggedIngest) {
   const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
   EngineConfig cfg;
-  cfg.shards = 1;
-  cfg.queueCapacity = 1;  // producers park almost immediately
+  cfg.workers = 1;
+  cfg.streamQueueCapacity = 1;  // producers park almost immediately
+  cfg.totalQueueCapacity = 1;
   DetectionEngine eng(cfg, nullptr);
   eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
                 std::make_unique<GeneratorSource>(spec, 0, 100000, 1));
@@ -369,7 +596,7 @@ TEST(Engine, SurfacesCsvJunkRowCounts) {
 
   {  // Engine run: EngineStats and streamSummary carry it too.
     EngineConfig ecfg;
-    ecfg.shards = 1;
+    ecfg.workers = 1;
     DetectionEngine eng(ecfg, nullptr);
     PipelineConfig cfg = testPipelineConfig(spec);
     cfg.detector.windowLength = 2;

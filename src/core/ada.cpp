@@ -1,8 +1,10 @@
 #include "core/ada.h"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "common/expect.h"
+#include "core/state_io.h"
 
 namespace tiresias {
 
@@ -412,6 +414,104 @@ std::vector<double> AdaDetector::forecastSeriesOf(NodeId node) const {
   auto it = states_.find(node);
   return it == states_.end() ? std::vector<double>{}
                              : it->second.forecastSeries.toVector();
+}
+
+void AdaDetector::saveState(persist::Serializer& out) const {
+  out.u8(kAdaDetectorStateTag);
+  out.u64(config_.windowLength);
+  out.boolean(bootstrapped_);
+  out.u64(bootstrapUnits_.size());
+  for (const auto& unit : bootstrapUnits_) state_io::writeCountMap(out, unit);
+  out.i64(newestUnit_);
+  out.boolean(rootIsMember_);
+  out.u64(splitCount_);
+  out.u64(mergeCount_);
+  out.u64(deepChainSplitCount_);
+  // states_ and refs_ are std::map, so iteration is already the canonical
+  // ascending-node order.
+  out.u64(states_.size());
+  for (const auto& [node, st] : states_) {
+    out.u32(node);
+    st.actual.saveState(out);
+    st.forecastSeries.saveState(out);
+    st.model->saveState(out);
+  }
+  out.u64(refs_.size());
+  for (const auto& [node, ref] : refs_) {
+    out.u32(node);
+    ref.actual.saveState(out);
+    ref.forecastSeries.saveState(out);
+    ref.model->saveState(out);
+  }
+  splitRules_.saveState(out);
+}
+
+void AdaDetector::loadState(persist::Deserializer& in) {
+  using persist::Deserializer;
+  Deserializer::require(in.u8() == kAdaDetectorStateTag,
+                        "snapshot holds a different detector type");
+  Deserializer::require(in.u64() == config_.windowLength,
+                        "ADA snapshot: window length mismatch");
+  const bool bootstrapped = in.boolean();
+  const std::size_t nBootstrap = in.count(sizeof(std::uint64_t));
+  Deserializer::require(nBootstrap <= config_.windowLength,
+                        "ADA snapshot: more bootstrap units than the window");
+  Deserializer::require(bootstrapped || nBootstrap < config_.windowLength,
+                        "ADA snapshot: bootstrap buffer full but not promoted");
+  std::vector<CountMap> bootstrapUnits;
+  bootstrapUnits.reserve(nBootstrap);
+  for (std::size_t i = 0; i < nBootstrap; ++i) {
+    bootstrapUnits.push_back(state_io::readCountMap(in, hierarchy_));
+  }
+  const TimeUnit newestUnit = in.i64();
+  const bool rootIsMember = in.boolean();
+  const std::size_t splitCount = in.u64();
+  const std::size_t mergeCount = in.u64();
+  const std::size_t deepChainSplitCount = in.u64();
+
+  const auto readStates = [&](auto& map) {
+    const std::size_t n = in.count(sizeof(std::uint32_t));
+    NodeId prev = kInvalidNode;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId node = in.u32();
+      Deserializer::require(node < hierarchy_.size(),
+                            "snapshot: node id outside hierarchy");
+      Deserializer::require(prev == kInvalidNode || node > prev,
+                            "ADA snapshot: node keys not strictly ascending");
+      prev = node;
+      typename std::decay_t<decltype(map)>::mapped_type st;
+      st.actual.loadState(in);
+      st.forecastSeries.loadState(in);
+      Deserializer::require(
+          st.actual.capacity() == config_.windowLength &&
+              st.forecastSeries.capacity() == config_.windowLength,
+          "ADA snapshot: series ring capacity != window length");
+      st.model = config_.forecasterFactory->make();
+      st.model->loadState(in);
+      map.emplace(node, std::move(st));
+    }
+  };
+  std::map<NodeId, SeriesState> states;
+  std::map<NodeId, RefState> refs;
+  readStates(states);
+  readStates(refs);
+  splitRules_.loadState(in);
+
+  bootstrapped_ = bootstrapped;
+  bootstrapUnits_ = std::move(bootstrapUnits);
+  newestUnit_ = newestUnit;
+  rootIsMember_ = rootIsMember;
+  splitCount_ = splitCount;
+  mergeCount_ = mergeCount;
+  deepChainSplitCount_ = deepChainSplitCount;
+  states_ = std::move(states);
+  refs_ = std::move(refs);
+  // Per-instance scratch never survives a step, so a restored detector
+  // starts with it empty, exactly like one that just finished step().
+  raw_.clear();
+  weight_.clear();
+  tosplit_.clear();
+  received_.clear();
 }
 
 MemoryStats AdaDetector::memoryStats() const {

@@ -45,6 +45,8 @@ class AdaDetector final : public Detector {
   std::vector<double> seriesOf(NodeId node) const override;
   std::vector<double> forecastSeriesOf(NodeId node) const override;
   MemoryStats memoryStats() const override;
+  void saveState(persist::Serializer& out) const override;
+  void loadState(persist::Deserializer& in) override;
 
   const Hierarchy& hierarchy() const { return hierarchy_; }
 

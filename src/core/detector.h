@@ -14,10 +14,16 @@
 
 #include "common/timer.h"
 #include "core/types.h"
+#include "persist/snapshot.h"
 #include "stream/window.h"
 #include "timeseries/forecaster.h"
 
 namespace tiresias {
+
+/// Leading type tags of serialized detector state (see persist/snapshot.h
+/// versioning rules).
+inline constexpr std::uint8_t kStaDetectorStateTag = 1;
+inline constexpr std::uint8_t kAdaDetectorStateTag = 2;
 
 /// Detector configuration (paper §VII "System parameters").
 struct DetectorConfig {
@@ -71,6 +77,15 @@ class Detector {
   virtual std::vector<double> forecastSeriesOf(NodeId node) const = 0;
 
   virtual MemoryStats memoryStats() const = 0;
+
+  /// Snapshot the detector's full mutable state (window contents, series,
+  /// forecaster models, adaptation statistics), prefixed with the type tag
+  /// above. Stage timings are diagnostics and are not persisted.
+  virtual void saveState(persist::Serializer& out) const = 0;
+  /// Restore state saved by the same detector type over the same
+  /// hierarchy and configuration. Throws persist::SnapshotError on a type
+  /// mismatch or malformed input.
+  virtual void loadState(persist::Deserializer& in) = 0;
 
   StageTimer& stages() { return stages_; }
   const StageTimer& stages() const { return stages_; }

@@ -43,6 +43,11 @@ class SlidingScaleDetector {
   const AdaDetector& inner() const { return ada_; }
   std::size_t lambda() const { return scale_.lambda; }
 
+  /// The sliding-scale layer is stateless beyond the inner ADA detector,
+  /// so its snapshot is the inner detector's.
+  void saveState(persist::Serializer& out) const { ada_.saveState(out); }
+  void loadState(persist::Deserializer& in) { ada_.loadState(in); }
+
  private:
   AdaDetector ada_;
   SlidingScaleConfig scale_;

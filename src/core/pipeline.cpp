@@ -18,6 +18,7 @@ TiresiasPipeline::TiresiasPipeline(const Hierarchy& hierarchy,
 void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
                                      RunSummary& summary) {
   DetectorConfig cfg = config_.detector;
+  factoryDerived_ = !cfg.forecasterFactory;
   if (!cfg.forecasterFactory) {
     // Step 3: offline seasonality analysis on the first window's root
     // counts, as the paper does ("we perform the data seasonality analysis
@@ -35,9 +36,11 @@ void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
       seasons = analyzeSeasonality(rootSeries, opts).seasons;
     }
     summary.seasons = seasons;
+    derivedSeasons_ = seasons;
     cfg.forecasterFactory = std::make_shared<HoltWintersFactory>(
         config_.hwParams, std::move(seasons));
   }
+  activeFactory_ = cfg.forecasterFactory;
   if (config_.useAda) {
     detector_ = std::make_unique<AdaDetector>(hierarchy_, cfg);
   } else {
@@ -78,6 +81,138 @@ void TiresiasPipeline::processUnit(const TimeUnitBatch& batch,
   }
   deliver(batch);
   summary.warmupUnitsBuffered = 0;
+}
+
+void TiresiasPipeline::saveState(persist::Serializer& out) const {
+  // Configuration fingerprint: a snapshot restored into a pipeline set up
+  // differently must fail loudly, not resume with mixed semantics.
+  out.i64(config_.delta);
+  out.u64(config_.detector.windowLength);
+  out.boolean(config_.useAda);
+  out.f64(config_.detector.theta);
+
+  out.i64(nextStart_);
+  out.u64(warmupRootCounts_.size());
+  for (double v : warmupRootCounts_) out.f64(v);
+  out.u64(warmup_.size());
+  for (const auto& batch : warmup_) {
+    out.i64(batch.unit);
+    out.u64(batch.records.size());
+    for (const auto& r : batch.records) {
+      out.u32(r.category);
+      out.i64(r.time);
+    }
+  }
+  out.boolean(detector_ != nullptr);
+  if (detector_) {
+    out.boolean(factoryDerived_);
+    out.u64(derivedSeasons_.size());
+    for (const auto& s : derivedSeasons_) {
+      out.u64(s.period);
+      out.f64(s.weight);
+    }
+    // Factory fingerprint: the serialized state of one fresh forecaster.
+    // Factories are opaque, but a fresh instance's state captures their
+    // parameters (EWMA alpha, Holt-Winters params + seasons), so a
+    // restore under a differently-parameterized factory fails loudly
+    // instead of mixing semantics between restored and newly promoted
+    // heavy hitters.
+    persist::Serializer probe;
+    activeFactory_->make()->saveState(probe);
+    out.str(std::string_view(
+        reinterpret_cast<const char*>(probe.data().data()), probe.size()));
+    detector_->saveState(out);
+  }
+}
+
+void TiresiasPipeline::loadState(persist::Deserializer& in) {
+  using persist::Deserializer;
+  Deserializer::require(in.i64() == config_.delta,
+                        "pipeline snapshot: timeunit size mismatch");
+  Deserializer::require(in.u64() == config_.detector.windowLength,
+                        "pipeline snapshot: window length mismatch");
+  Deserializer::require(in.boolean() == config_.useAda,
+                        "pipeline snapshot: detector algorithm mismatch");
+  Deserializer::require(in.f64() == config_.detector.theta,
+                        "pipeline snapshot: theta mismatch");
+
+  const Timestamp nextStart = in.i64();
+  std::size_t n = in.count(sizeof(double));
+  Deserializer::require(n <= config_.detector.windowLength,
+                        "pipeline snapshot: warm-up longer than the window");
+  std::vector<double> warmupRootCounts(n);
+  for (double& v : warmupRootCounts) v = in.f64();
+  n = in.count(sizeof(std::int64_t) + sizeof(std::uint64_t));
+  Deserializer::require(n == warmupRootCounts.size(),
+                        "pipeline snapshot: warm-up buffers disagree");
+  std::vector<TimeUnitBatch> warmup(n);
+  for (auto& batch : warmup) {
+    batch.unit = in.i64();
+    const std::size_t records =
+        in.count(sizeof(std::uint32_t) + sizeof(std::int64_t));
+    batch.records.resize(records);
+    for (auto& r : batch.records) {
+      r.category = in.u32();
+      Deserializer::require(r.category < hierarchy_.size(),
+                            "snapshot: node id outside hierarchy");
+      r.time = in.i64();
+    }
+  }
+  const bool hasDetector = in.boolean();
+  bool factoryDerived = false;
+  std::vector<SeasonSpec> derivedSeasons;
+  std::unique_ptr<Detector> detector;
+  std::shared_ptr<const ForecasterFactory> factory;
+  if (hasDetector) {
+    factoryDerived = in.boolean();
+    const std::size_t seasons =
+        in.count(sizeof(std::uint64_t) + sizeof(double));
+    derivedSeasons.resize(seasons);
+    for (auto& s : derivedSeasons) {
+      s.period = in.boundedCount(persist::kMaxUnbackedCount);
+      Deserializer::require(s.period >= 2,
+                            "pipeline snapshot: seasonal period < 2");
+      s.weight = in.f64();
+    }
+    const std::string savedProbe = in.str();
+    DetectorConfig cfg = config_.detector;
+    if (factoryDerived) {
+      cfg.forecasterFactory = std::make_shared<HoltWintersFactory>(
+          config_.hwParams, derivedSeasons);
+    } else {
+      Deserializer::require(
+          cfg.forecasterFactory != nullptr,
+          "pipeline snapshot: checkpoint used the caller's forecaster "
+          "factory but this pipeline was configured without one");
+    }
+    // Compare factory fingerprints (a fresh instance's serialized state):
+    // a differently-parameterized factory would hand newly promoted heavy
+    // hitters models that disagree with the restored ones.
+    persist::Serializer probe;
+    cfg.forecasterFactory->make()->saveState(probe);
+    Deserializer::require(
+        savedProbe.size() == probe.size() &&
+            std::equal(probe.data().begin(), probe.data().end(),
+                       reinterpret_cast<const std::uint8_t*>(
+                           savedProbe.data())),
+        "pipeline snapshot: forecaster factory configuration differs from "
+        "the checkpoint");
+    if (config_.useAda) {
+      detector = std::make_unique<AdaDetector>(hierarchy_, cfg);
+    } else {
+      detector = std::make_unique<StaDetector>(hierarchy_, cfg);
+    }
+    detector->loadState(in);
+    factory = cfg.forecasterFactory;
+  }
+
+  nextStart_ = nextStart;
+  warmupRootCounts_ = std::move(warmupRootCounts);
+  warmup_ = std::move(warmup);
+  factoryDerived_ = factoryDerived;
+  derivedSeasons_ = std::move(derivedSeasons);
+  detector_ = std::move(detector);
+  activeFactory_ = std::move(factory);
 }
 
 RunSummary TiresiasPipeline::run(RecordSource& source,

@@ -81,6 +81,22 @@ class TiresiasPipeline {
 
   const PipelineConfig& config() const { return config_; }
 
+  /// Where processing resumes: the start timestamp of the next unit this
+  /// pipeline expects (== config().startTime until the first unit). A
+  /// restored pipeline re-fed its source from the beginning skips
+  /// everything before this point.
+  Timestamp resumeTime() const { return nextStart_; }
+
+  /// Snapshot the pipeline: batching position, warm-up buffer, the Step-3
+  /// seasonality decision, and (when built) the detector state.
+  void saveState(persist::Serializer& out) const;
+  /// Restore onto a pipeline constructed with the same configuration
+  /// (delta, window length, algorithm, theta are fingerprinted). When the
+  /// snapshot's forecaster factory was derived from Step-3 seasonality
+  /// analysis, an identical factory is rebuilt from the persisted seasons.
+  /// Throws persist::SnapshotError on mismatch or malformed input.
+  void loadState(persist::Deserializer& in);
+
  private:
   void buildDetector(const std::vector<double>& rootSeries,
                      RunSummary& summary);
@@ -93,6 +109,13 @@ class TiresiasPipeline {
   /// Warm-up state carried across run() calls until the window fills.
   std::vector<TimeUnitBatch> warmup_;
   std::vector<double> warmupRootCounts_;
+  /// The Step-3 decision, remembered so a checkpoint can rebuild the
+  /// derived forecaster factory instead of re-running the analysis.
+  bool factoryDerived_ = false;
+  std::vector<SeasonSpec> derivedSeasons_;
+  /// The factory the live detector was built with (caller-supplied or
+  /// derived); snapshots fingerprint it via a fresh instance's state.
+  std::shared_ptr<const ForecasterFactory> activeFactory_;
 };
 
 }  // namespace tiresias

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/expect.h"
+#include "core/state_io.h"
 
 namespace tiresias {
 
@@ -96,6 +97,63 @@ std::vector<double> SplitRuleEngine::ratios(
   }
   for (auto& r : out) r /= total;
   return out;
+}
+
+void SplitRuleEngine::saveState(persist::Serializer& out) const {
+  out.u8(static_cast<std::uint8_t>(rule_));
+  out.f64(alpha_);
+  out.i64(instanceCount_);
+  state_io::writeSortedNodeMap(out, lastUnit_,
+                               [&out](double v) { out.f64(v); });
+  state_io::writeSortedNodeMap(out, cumulative_,
+                               [&out](double v) { out.f64(v); });
+  state_io::writeSortedNodeMap(out, ewma_, [&out](const EwmaState& s) {
+    out.f64(s.value);
+    out.i64(s.instance);
+  });
+}
+
+void SplitRuleEngine::loadState(persist::Deserializer& in) {
+  using persist::Deserializer;
+  const std::uint8_t rule = in.u8();
+  Deserializer::require(rule <= static_cast<std::uint8_t>(SplitRule::kEwma),
+                        "split-rule snapshot: unknown rule");
+  const double alpha = in.f64();
+  Deserializer::require(alpha > 0.0 && alpha <= 1.0,
+                        "split-rule snapshot: alpha out of range");
+  const std::int64_t instances = in.i64();
+  Deserializer::require(instances >= 0,
+                        "split-rule snapshot: negative instance count");
+
+  std::unordered_map<NodeId, double> lastUnit, cumulative;
+  std::unordered_map<NodeId, EwmaState> ewma;
+  std::size_t n = in.count(sizeof(std::uint32_t) + sizeof(double));
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = in.u32();
+    lastUnit[node] = in.f64();
+  }
+  n = in.count(sizeof(std::uint32_t) + sizeof(double));
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = in.u32();
+    cumulative[node] = in.f64();
+  }
+  n = in.count(sizeof(std::uint32_t) + 2 * sizeof(double));
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = in.u32();
+    EwmaState state;
+    state.value = in.f64();
+    state.instance = in.i64();
+    Deserializer::require(state.instance >= 0 && state.instance <= instances,
+                          "split-rule snapshot: EWMA instance out of range");
+    ewma[node] = state;
+  }
+
+  rule_ = static_cast<SplitRule>(rule);
+  alpha_ = alpha;
+  instanceCount_ = instances;
+  lastUnit_ = std::move(lastUnit);
+  cumulative_ = std::move(cumulative);
+  ewma_ = std::move(ewma);
 }
 
 std::size_t SplitRuleEngine::trackedNodes() const {

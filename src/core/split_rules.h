@@ -19,6 +19,7 @@
 
 #include "core/types.h"
 #include "hierarchy/hierarchy.h"
+#include "persist/snapshot.h"
 
 namespace tiresias {
 
@@ -41,6 +42,12 @@ class SplitRuleEngine {
 
   /// Number of nodes with tracked state (memory accounting).
   std::size_t trackedNodes() const;
+
+  /// Snapshot the rule, smoothing rate and per-node statistics.
+  void saveState(persist::Serializer& out) const;
+  /// Restore (overwriting rule and statistics). Throws
+  /// persist::SnapshotError on malformed input.
+  void loadState(persist::Deserializer& in);
 
  private:
   struct EwmaState {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/expect.h"
+#include "core/state_io.h"
 
 namespace tiresias {
 
@@ -78,6 +79,60 @@ std::vector<double> StaDetector::seriesOf(NodeId node) const {
 std::vector<double> StaDetector::forecastSeriesOf(NodeId node) const {
   auto it = forecastSeries_.find(node);
   return it == forecastSeries_.end() ? std::vector<double>{} : it->second;
+}
+
+void StaDetector::saveState(persist::Serializer& out) const {
+  out.u8(kStaDetectorStateTag);
+  out.u64(config_.windowLength);
+  out.i64(newestUnit_);
+  out.u64(window_.size());
+  for (const auto& unit : window_) state_io::writeCountMap(out, unit);
+  state_io::writeNodeVec(out, shhh_);
+  const auto writeSeriesMap =
+      [&out](const std::unordered_map<NodeId, std::vector<double>>& map) {
+        state_io::writeSortedNodeMap(out, map, [&out](const auto& series) {
+          state_io::writeDoubleVec(out, series);
+        });
+      };
+  writeSeriesMap(series_);
+  writeSeriesMap(forecastSeries_);
+}
+
+void StaDetector::loadState(persist::Deserializer& in) {
+  using persist::Deserializer;
+  Deserializer::require(in.u8() == kStaDetectorStateTag,
+                        "snapshot holds a different detector type");
+  Deserializer::require(in.u64() == config_.windowLength,
+                        "STA snapshot: window length mismatch");
+  const TimeUnit newestUnit = in.i64();
+  const std::size_t units = in.count(sizeof(std::uint64_t));
+  Deserializer::require(units <= config_.windowLength,
+                        "STA snapshot: more units than the window holds");
+  std::deque<CountMap> window;
+  for (std::size_t i = 0; i < units; ++i) {
+    window.push_back(state_io::readCountMap(in, hierarchy_));
+  }
+  std::vector<NodeId> shhh = state_io::readNodeVec(in, hierarchy_);
+  const auto readSeriesMap = [&] {
+    std::unordered_map<NodeId, std::vector<double>> map;
+    const std::size_t n =
+        in.count(sizeof(std::uint32_t) + sizeof(std::uint64_t));
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId node = in.u32();
+      Deserializer::require(node < hierarchy_.size(),
+                            "snapshot: node id outside hierarchy");
+      map[node] = state_io::readDoubleVec(in);
+    }
+    return map;
+  };
+  auto series = readSeriesMap();
+  auto forecastSeries = readSeriesMap();
+
+  newestUnit_ = newestUnit;
+  window_ = std::move(window);
+  shhh_ = std::move(shhh);
+  series_ = std::move(series);
+  forecastSeries_ = std::move(forecastSeries);
 }
 
 MemoryStats StaDetector::memoryStats() const {

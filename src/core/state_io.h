@@ -1,0 +1,84 @@
+// Snapshot helpers shared by the detectors: node-keyed maps and per-unit
+// sparse counts. Maps are written sorted by NodeId so equal state always
+// encodes to identical bytes, and every node id read back is validated
+// against the hierarchy it will index into.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/shhh.h"
+#include "persist/snapshot.h"
+
+namespace tiresias::state_io {
+
+/// Write any node-keyed map as `count u64` + ascending `(node u32, value)`
+/// pairs; `writeValue` encodes one mapped value. The single writer keeps
+/// every node-map payload byte-format-consistent and deterministic.
+template <typename Map, typename WriteValue>
+inline void writeSortedNodeMap(persist::Serializer& out, const Map& map,
+                               const WriteValue& writeValue) {
+  std::vector<NodeId> keys;
+  keys.reserve(map.size());
+  for (const auto& [node, value] : map) {
+    (void)value;
+    keys.push_back(node);
+  }
+  std::sort(keys.begin(), keys.end());
+  out.u64(keys.size());
+  for (NodeId n : keys) {
+    out.u32(n);
+    writeValue(map.at(n));
+  }
+}
+
+inline void writeCountMap(persist::Serializer& out, const CountMap& counts) {
+  writeSortedNodeMap(out, counts, [&out](double w) { out.f64(w); });
+}
+
+inline CountMap readCountMap(persist::Deserializer& in,
+                             const Hierarchy& hierarchy) {
+  const std::size_t n = in.count(sizeof(std::uint32_t) + sizeof(double));
+  CountMap counts;
+  counts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = in.u32();
+    persist::Deserializer::require(node < hierarchy.size(),
+                                   "snapshot: node id outside hierarchy");
+    counts[node] = in.f64();
+  }
+  return counts;
+}
+
+inline void writeNodeVec(persist::Serializer& out,
+                         const std::vector<NodeId>& nodes) {
+  out.u64(nodes.size());
+  for (NodeId n : nodes) out.u32(n);
+}
+
+inline std::vector<NodeId> readNodeVec(persist::Deserializer& in,
+                                       const Hierarchy& hierarchy) {
+  const std::size_t n = in.count(sizeof(std::uint32_t));
+  std::vector<NodeId> out(n);
+  for (auto& node : out) {
+    node = in.u32();
+    persist::Deserializer::require(node < hierarchy.size(),
+                                   "snapshot: node id outside hierarchy");
+  }
+  return out;
+}
+
+inline void writeDoubleVec(persist::Serializer& out,
+                           const std::vector<double>& values) {
+  out.u64(values.size());
+  for (double v : values) out.f64(v);
+}
+
+inline std::vector<double> readDoubleVec(persist::Deserializer& in) {
+  const std::size_t n = in.count(sizeof(double));
+  std::vector<double> out(n);
+  for (double& v : out) v = in.f64();
+  return out;
+}
+
+}  // namespace tiresias::state_io

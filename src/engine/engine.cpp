@@ -15,6 +15,43 @@ std::int64_t nowNs() {
       .count();
 }
 
+// Engine snapshot section tags (see persist/snapshot.h for the framing).
+constexpr std::uint32_t kMetaSectionTag = 1;    // stream count
+constexpr std::uint32_t kStreamSectionTag = 2;  // one per stream
+constexpr std::uint32_t kUserSectionTag = 3;    // ExtraWriter payload
+
+void writeRunSummary(persist::Serializer& out, const RunSummary& s) {
+  out.u64(s.unitsProcessed);
+  out.u64(s.recordsProcessed);
+  out.u64(s.instancesDetected);
+  out.u64(s.anomaliesReported);
+  out.u64(s.junkRowsSkipped);
+  out.u64(s.warmupUnitsBuffered);
+  out.u64(s.seasons.size());
+  for (const auto& season : s.seasons) {
+    out.u64(season.period);
+    out.f64(season.weight);
+  }
+}
+
+RunSummary readRunSummary(persist::Deserializer& in) {
+  RunSummary s;
+  s.unitsProcessed = in.u64();
+  s.recordsProcessed = in.u64();
+  s.instancesDetected = in.u64();
+  s.anomaliesReported = in.u64();
+  s.junkRowsSkipped = in.u64();
+  s.warmupUnitsBuffered = in.u64();
+  const std::size_t seasons =
+      in.count(sizeof(std::uint64_t) + sizeof(double));
+  s.seasons.resize(seasons);
+  for (auto& season : s.seasons) {
+    season.period = in.boundedCount(persist::kMaxUnbackedCount);
+    season.weight = in.f64();
+  }
+  return s;
+}
+
 }  // namespace
 
 /// One registered stream: the pipeline plus everything it consumes.
@@ -35,6 +72,10 @@ struct DetectionEngine::StreamState {
   /// the stream's single ingest thread.
   std::unique_ptr<TimeUnitBatcher> batcher;
   bool exhausted = false;
+  /// Junk rows carried over from a restored checkpoint; the live skip
+  /// count is junkBase + the (fresh) source's own accounting. Written
+  /// before start(), read by the ingest thread.
+  std::size_t junkBase = 0;
 
   StreamState(std::string streamName, const Hierarchy& hierarchy,
               PipelineConfig config, std::unique_ptr<RecordSource> src)
@@ -90,6 +131,10 @@ const std::string& DetectionEngine::streamName(std::size_t id) const {
 void DetectionEngine::start() {
   TIRESIAS_EXPECT(!started_.load(), "start() called twice");
   startNs_.store(nowNs(), std::memory_order_release);
+  {
+    std::lock_guard lk(pauseMutex_);
+    activeIngest_ = config_.ingestThreads;
+  }
   started_.store(true, std::memory_order_release);
   scheduler_->start();
   ingestPool_.reserve(config_.ingestThreads);
@@ -112,6 +157,17 @@ void DetectionEngine::recycleBuffer(std::vector<Record>&& buf) {
   if (recycle_.size() < recycleCap_) recycle_.push_back(std::move(buf));
 }
 
+void DetectionEngine::maybePauseIngest() {
+  if (!ingestPauseFlag_.load(std::memory_order_acquire)) return;
+  std::unique_lock lk(pauseMutex_);
+  while (ingestPaused_ && !stopRequested_.load(std::memory_order_relaxed)) {
+    ++pausedIngest_;
+    pauseAckCv_.notify_all();
+    pauseCv_.wait(lk);
+    --pausedIngest_;
+  }
+}
+
 void DetectionEngine::ingestLoop(std::size_t threadIndex) {
   // Static partition: stream id modulo pool size. One producer per stream
   // preserves source order; the scheduler takes care of the rest.
@@ -119,8 +175,11 @@ void DetectionEngine::ingestLoop(std::size_t threadIndex) {
   for (std::size_t id = threadIndex; id < streams_.size();
        id += config_.ingestThreads) {
     StreamState* s = streams_[id].get();
+    // Batching starts at the pipeline's resume position: the configured
+    // startTime normally, or the first unprocessed unit after a restore
+    // (the already-processed prefix of a replayed source is dropped).
     s->batcher = std::make_unique<TimeUnitBatcher>(
-        *s->source, s->pipeline.config().delta, s->pipeline.config().startTime);
+        *s->source, s->pipeline.config().delta, s->pipeline.resumeTime());
     mine.emplace_back(id, s);
   }
   // Round-robin one timeunit per stream per sweep, so every stream
@@ -133,14 +192,18 @@ void DetectionEngine::ingestLoop(std::size_t threadIndex) {
     bool progressed = false;
     for (auto& [id, stream] : mine) {
       if (stream->exhausted) continue;
-      if (stopRequested_.load(std::memory_order_relaxed)) return;
+      if (stopRequested_.load(std::memory_order_relaxed)) break;
+      // A checkpoint parks producers here, mid-sweep, so quiesce latency
+      // is one unit per stream, not a whole sweep.
+      maybePauseIngest();
       if (!scheduler_->canAccept(id)) continue;  // backpressure: skip
       // Batch into a buffer recycled from the workers (allocation-free
       // once the pool is primed).
       batch.records = takeRecycled();
       const bool more = stream->batcher->next(batch);
-      stream->sourceSkipped.store(stream->source->skippedRecords(),
-                                  std::memory_order_relaxed);
+      stream->sourceSkipped.store(
+          stream->junkBase + stream->source->skippedRecords(),
+          std::memory_order_relaxed);
       if (!more) {
         stream->exhausted = true;
         --live;
@@ -149,13 +212,19 @@ void DetectionEngine::ingestLoop(std::size_t threadIndex) {
         progressed = true;
         continue;
       }
-      if (!scheduler_->submit(id, std::move(batch))) return;  // stopping
+      if (!scheduler_->submit(id, std::move(batch))) break;  // stopping
       progressed = true;
     }
+    if (stopRequested_.load(std::memory_order_relaxed)) break;
     if (!progressed && live > 0) {
-      if (!scheduler_->waitForSpace()) return;  // stopping
+      if (!scheduler_->waitForSpace()) break;  // stopping
     }
   }
+  // Exit is visible to a checkpointer waiting for pause acks: a finished
+  // thread counts as paused.
+  std::lock_guard lk(pauseMutex_);
+  --activeIngest_;
+  pauseAckCv_.notify_all();
 }
 
 void DetectionEngine::processOne(std::size_t id, TimeUnitBatch& batch) {
@@ -206,6 +275,14 @@ void DetectionEngine::stop() {
   std::lock_guard control(controlMutex_);
   if (joined_.load()) return;
   stopRequested_.store(true);
+  // Release ingest threads parked in a checkpoint pause, and a
+  // checkpointer waiting for pause acks (its predicate observes
+  // stopRequested_).
+  {
+    std::lock_guard lk(pauseMutex_);
+  }
+  pauseCv_.notify_all();
+  pauseAckCv_.notify_all();
   // Releases parked producers (submit/waitForSpace return false), closes
   // the ready queue in discard mode and drops the queued backlog: stop()
   // means "discard queued work", in contrast to drain().
@@ -216,6 +293,153 @@ void DetectionEngine::stop() {
   finalElapsedNs_.store(nowNs() - startNs_.load(std::memory_order_relaxed),
                         std::memory_order_release);
   joined_.store(true, std::memory_order_release);
+}
+
+void DetectionEngine::checkpoint(const std::string& path,
+                                 const ExtraWriter& extra) {
+  std::lock_guard ckptLock(checkpointMutex_);
+  const std::int64_t t0 = nowNs();
+  // While the pools run, snapshot at a quiescent unit boundary: park the
+  // producers, then let the workers drain every queued unit. Once the
+  // engine has drained/stopped (or was never started) the state is
+  // already stable.
+  const bool quiesced = started_.load(std::memory_order_acquire) &&
+                        !joined_.load(std::memory_order_acquire);
+  if (quiesced) {
+    ingestPauseFlag_.store(true, std::memory_order_release);
+    {
+      std::unique_lock lk(pauseMutex_);
+      ingestPaused_ = true;
+      pauseAckCv_.wait(lk, [&] {
+        return pausedIngest_ == activeIngest_ ||
+               stopRequested_.load(std::memory_order_relaxed);
+      });
+    }
+    scheduler_->quiesce();
+  }
+  const auto resume = [&] {
+    if (!quiesced) return;
+    {
+      std::lock_guard lk(pauseMutex_);
+      ingestPaused_ = false;
+    }
+    ingestPauseFlag_.store(false, std::memory_order_release);
+    pauseCv_.notify_all();
+  };
+
+  std::size_t bytes = 0;
+  std::size_t totalUnits = 0;
+  try {
+    persist::SnapshotWriter writer;
+    {
+      persist::Serializer meta;
+      meta.u64(streams_.size());
+      writer.addSection(kMetaSectionTag, meta);
+    }
+    for (const auto& streamPtr : streams_) {
+      const StreamState& stream = *streamPtr;
+      persist::Serializer payload;
+      payload.str(stream.name);
+      // The worker-side summary never sees the source, so the ingest-side
+      // junk count lives only in the sourceSkipped mirror — fold it in at
+      // snapshot time exactly like streamSummary() does at read time.
+      RunSummary summary = stream.summary;
+      summary.junkRowsSkipped =
+          stream.sourceSkipped.load(std::memory_order_relaxed);
+      writeRunSummary(payload, summary);
+      stream.pipeline.saveState(payload);
+      writer.addSection(kStreamSectionTag, payload);
+      totalUnits += summary.unitsProcessed;
+    }
+    if (extra) {
+      persist::Serializer user;
+      extra(user);
+      writer.addSection(kUserSectionTag, user);
+    }
+    bytes = writer.writeFile(path);
+  } catch (...) {
+    resume();
+    throw;
+  }
+  resume();
+
+  // Publish the counters through the seqlock so a concurrent stats()
+  // poller never mixes fields of two checkpoints.
+  const std::int64_t durationNs = nowNs() - t0;
+  ckptSeq_.fetch_add(1, std::memory_order_relaxed);  // odd: write open
+  std::atomic_thread_fence(std::memory_order_release);
+  ckptCount_.fetch_add(1, std::memory_order_relaxed);
+  ckptLastBytes_.store(bytes, std::memory_order_relaxed);
+  ckptLastUnits_.store(totalUnits, std::memory_order_relaxed);
+  ckptLastNs_.store(durationNs, std::memory_order_relaxed);
+  ckptTotalNs_.fetch_add(durationNs, std::memory_order_relaxed);
+  ckptSeq_.fetch_add(1, std::memory_order_release);  // even: write closed
+}
+
+std::size_t DetectionEngine::restoreFrom(const std::string& path,
+                                         const ExtraReader& extra) {
+  TIRESIAS_EXPECT(!started_.load(), "restoreFrom() after start()");
+  std::lock_guard ckptLock(checkpointMutex_);
+  const persist::SnapshotReader reader = persist::SnapshotReader::readFile(path);
+  bool sawMeta = false;
+  std::size_t restored = 0;
+  std::vector<bool> restoredIds(streams_.size(), false);
+  for (const auto& section : reader.sections()) {
+    persist::Deserializer in(section.payload);
+    switch (section.tag) {
+      case kMetaSectionTag:
+        in.u64();  // stream count at save time; informational
+        sawMeta = true;
+        break;
+      case kStreamSectionTag: {
+        const std::string name = in.str();
+        StreamState* stream = nullptr;
+        std::size_t id = 0;
+        for (; id < streams_.size(); ++id) {
+          if (streams_[id]->name == name) {
+            stream = streams_[id].get();
+            break;
+          }
+        }
+        persist::Deserializer::require(
+            stream != nullptr,
+            "checkpoint names a stream that is not registered");
+        persist::Deserializer::require(
+            !restoredIds[id], "checkpoint holds a stream twice");
+        restoredIds[id] = true;
+        RunSummary summary = readRunSummary(in);
+        stream->pipeline.loadState(in);
+        persist::Deserializer::require(
+            in.atEnd(), "snapshot corrupt: trailing bytes in stream section");
+        stream->summary = summary;
+        stream->junkBase = summary.junkRowsSkipped;
+        stream->sourceSkipped.store(summary.junkRowsSkipped,
+                                    std::memory_order_relaxed);
+        stream->warmupBuffered.store(summary.warmupUnitsBuffered,
+                                     std::memory_order_relaxed);
+        stream->recordsProcessed.store(summary.recordsProcessed,
+                                       std::memory_order_relaxed);
+        stream->instancesDetected.store(summary.instancesDetected,
+                                        std::memory_order_relaxed);
+        stream->anomaliesReported.store(summary.anomaliesReported,
+                                        std::memory_order_relaxed);
+        ++restored;
+        break;
+      }
+      case kUserSectionTag:
+        if (extra) extra(in);
+        break;
+      default:
+        throw persist::SnapshotError("unknown snapshot section tag");
+    }
+  }
+  persist::Deserializer::require(sawMeta,
+                                 "snapshot is missing its meta section");
+  ckptSeq_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  ckptRestores_.fetch_add(1, std::memory_order_relaxed);
+  ckptSeq_.fetch_add(1, std::memory_order_release);
+  return restored;
 }
 
 EngineStats DetectionEngine::stats() const {
@@ -266,6 +490,29 @@ EngineStats DetectionEngine::stats() const {
   if (out.unitsProcessed > 0) {
     out.busiestStreamShare = static_cast<double>(out.busiestStreamUnits) /
                              static_cast<double>(out.unitsProcessed);
+  }
+  // Seqlock read of the checkpoint counters: retry until a stable even
+  // sequence brackets the field loads (all accesses atomic — tear-free
+  // and TSan-clean while checkpoint()/restoreFrom() publish).
+  for (;;) {
+    const std::uint64_t s1 = ckptSeq_.load(std::memory_order_acquire);
+    if ((s1 & 1) == 0) {
+      out.checkpoint.checkpoints = ckptCount_.load(std::memory_order_relaxed);
+      out.checkpoint.restores = ckptRestores_.load(std::memory_order_relaxed);
+      out.checkpoint.lastBytes =
+          ckptLastBytes_.load(std::memory_order_relaxed);
+      out.checkpoint.lastUnits =
+          ckptLastUnits_.load(std::memory_order_relaxed);
+      out.checkpoint.lastSeconds =
+          static_cast<double>(ckptLastNs_.load(std::memory_order_relaxed)) /
+          1e9;
+      out.checkpoint.totalSeconds =
+          static_cast<double>(ckptTotalNs_.load(std::memory_order_relaxed)) /
+          1e9;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (ckptSeq_.load(std::memory_order_relaxed) == s1) break;
+    }
+    std::this_thread::yield();
   }
   std::int64_t elapsedNs = 0;
   if (started_.load(std::memory_order_acquire)) {

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -47,6 +48,7 @@
 
 #include "core/pipeline.h"
 #include "engine/scheduler.h"
+#include "persist/snapshot.h"
 #include "stream/window.h"
 
 namespace tiresias::engine {
@@ -85,6 +87,19 @@ struct StreamStats {
   std::size_t requeues = 0;          // claims that left backlog behind
 };
 
+/// Checkpoint/restore counters. Written by checkpoint()/restoreFrom(),
+/// read tear-free by stats() pollers (the engine guards them with a
+/// seqlock over relaxed atomics, so a concurrent snapshot never mixes
+/// fields of two different checkpoints).
+struct CheckpointStats {
+  std::size_t checkpoints = 0;    // completed checkpoint() calls
+  std::size_t restores = 0;       // completed restoreFrom() calls
+  std::size_t lastBytes = 0;      // encoded size of the last snapshot
+  std::size_t lastUnits = 0;      // aggregate unitsProcessed it captured
+  double lastSeconds = 0.0;       // duration of the last checkpoint
+  double totalSeconds = 0.0;      // cumulative checkpoint time
+};
+
 struct EngineStats {
   std::vector<StreamStats> perStream;
   /// Executor-level counters (ready-queue depth, claims, requeues,
@@ -109,6 +124,8 @@ struct EngineStats {
   /// 1/streams for a perfectly even mix, approaching 1.0 under heavy skew.
   std::size_t busiestStreamUnits = 0;
   double busiestStreamShare = 0.0;
+  /// Checkpoint/restore counters and durations.
+  CheckpointStats checkpoint;
   /// Wall-clock seconds from start() until now (or until drain finished).
   double elapsedSeconds = 0.0;
   /// recordsProcessed / elapsedSeconds.
@@ -168,10 +185,42 @@ class DetectionEngine {
   /// fails fast instead.
   RunSummary streamSummary(std::size_t id) const;
 
+  /// Appends caller state (e.g. the anomaly store) into the snapshot's
+  /// user section, inside the quiesced window, so it is atomically
+  /// consistent with the pipeline state in the same file.
+  using ExtraWriter = std::function<void(persist::Serializer&)>;
+  using ExtraReader = std::function<void(persist::Deserializer&)>;
+
+  /// Write a consistent snapshot of every stream's pipeline state and
+  /// cumulative summary to `path` (write-to-temp + rename, so the
+  /// published file is always complete). While the pools run this
+  /// quiesces first: ingestion pauses and the workers drain every queued
+  /// unit, so the snapshot sits on a unit boundary for every stream;
+  /// processing resumes before the call returns. May be called from any
+  /// thread, concurrently with drain()/stop() (a checkpoint racing stop()
+  /// captures the post-discard state). Throws persist::SnapshotError on
+  /// I/O failure.
+  void checkpoint(const std::string& path, const ExtraWriter& extra = {});
+
+  /// Load a checkpoint into this engine before start(). Every stream
+  /// named in the snapshot must already be registered (addStream) with an
+  /// identical configuration; its source should cover at least the
+  /// not-yet-processed suffix — ingestion resumes at each pipeline's
+  /// resumeTime(), so re-registering the same source from the beginning
+  /// simply skips the already-processed prefix. Streams registered but
+  /// absent from the snapshot start fresh. Junk-row counts restart at the
+  /// checkpointed value plus whatever the new source skips. Returns the
+  /// number of streams restored; throws persist::SnapshotError on
+  /// mismatch or corruption.
+  std::size_t restoreFrom(const std::string& path,
+                          const ExtraReader& extra = {});
+
  private:
   struct StreamState;
 
   void ingestLoop(std::size_t threadIndex);
+  /// Parks the calling ingest thread while a checkpoint is quiescing.
+  void maybePauseIngest();
   /// Worker-side unit processor (serialized per stream by the scheduler).
   void processOne(std::size_t id, TimeUnitBatch& batch);
 
@@ -204,6 +253,36 @@ class DetectionEngine {
   // steady clock). finalElapsedNs_ < 0 means "still running".
   std::atomic<std::int64_t> startNs_{0};
   std::atomic<std::int64_t> finalElapsedNs_{-1};
+
+  /// Serializes checkpoint()/restoreFrom() against each other. Distinct
+  /// from controlMutex_ on purpose: drain() holds controlMutex_ for its
+  /// entire blocking join, and a periodic checkpointer must still be able
+  /// to snapshot while the engine drains.
+  std::mutex checkpointMutex_;
+
+  // Ingest-pause handshake for the quiesce window: checkpoint() raises
+  // the flag, each ingest thread parks on pauseCv_ and acks, and the
+  // checkpointer waits until every live ingest thread is parked before
+  // asking the scheduler to drain to a unit boundary.
+  std::atomic<bool> ingestPauseFlag_{false};
+  std::mutex pauseMutex_;
+  std::condition_variable pauseCv_;      // paused ingest threads park here
+  std::condition_variable pauseAckCv_;   // checkpointer waits for acks here
+  bool ingestPaused_ = false;
+  std::size_t activeIngest_ = 0;  // ingest threads that have not exited
+  std::size_t pausedIngest_ = 0;  // ingest threads currently parked
+
+  // Checkpoint counters: a seqlock over relaxed atomics. Writers bump
+  // ckptSeq_ to odd, store the fields, bump back to even; readers retry
+  // until they see a stable even sequence, so a stats() snapshot can
+  // never tear across fields (every access is atomic — TSan-clean).
+  std::atomic<std::uint64_t> ckptSeq_{0};
+  std::atomic<std::size_t> ckptCount_{0};
+  std::atomic<std::size_t> ckptRestores_{0};
+  std::atomic<std::size_t> ckptLastBytes_{0};
+  std::atomic<std::size_t> ckptLastUnits_{0};
+  std::atomic<std::int64_t> ckptLastNs_{0};
+  std::atomic<std::int64_t> ckptTotalNs_{0};
 };
 
 }  // namespace tiresias::engine

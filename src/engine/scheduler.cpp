@@ -174,6 +174,25 @@ void Scheduler::runStream(std::size_t id) {
                     "ready queue can never fill");
   }
   if (closeReady) ready_->close();
+  // The running -> idle transition is what quiesce() waits on; the
+  // per-unit notifies above only fire when a unit was consumed.
+  spaceCv_.notify_all();
+}
+
+void Scheduler::quiesce() {
+  std::unique_lock lock(mu_);
+  if (!started_) return;
+  spaceCv_.wait(lock, [&] {
+    // Streams mid-run must always finish their in-flight unit (even under
+    // early shutdown, so a concurrent snapshot never races a worker); the
+    // queued-empty requirement is waived when stopping because stopAndJoin
+    // discards the backlog rather than processing it.
+    if (queuedUnits_ != 0 && !stopRequested_) return false;
+    for (const auto& s : streams_) {
+      if (s->running) return false;
+    }
+    return true;
+  });
 }
 
 void Scheduler::drainAndJoin() {

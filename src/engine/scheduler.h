@@ -124,6 +124,14 @@ class Scheduler {
   /// Declare end of input for stream `id` (no submit() after this).
   void finishStream(std::size_t id);
 
+  /// Block until every queued unit has been processed and no worker is
+  /// mid-stream (a unit boundary across all streams) — the quiescent point
+  /// a checkpoint snapshots at. Callers must stop producers first or the
+  /// wait may never end; returns immediately when the scheduler is not
+  /// started or is stopping. Workers stay parked on the ready queue, so
+  /// processing resumes by itself when producers submit again.
+  void quiesce();
+
   /// Wait until every finished stream has drained, then join the workers.
   /// Requires finishStream() to have been called for every stream
   /// (otherwise the pool would wait forever).

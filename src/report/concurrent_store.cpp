@@ -55,6 +55,28 @@ const AnomalyStore& ConcurrentAnomalyStore::store(
   return *it->second;
 }
 
+void ConcurrentAnomalyStore::saveState(persist::Serializer& out) const {
+  std::lock_guard lock(mutex_);
+  out.u64(stores_.size());
+  for (const auto& [name, store] : stores_) {
+    out.str(name);
+    store->saveState(out);
+  }
+}
+
+void ConcurrentAnomalyStore::loadState(persist::Deserializer& in) {
+  std::lock_guard lock(mutex_);
+  const std::size_t n = in.count(sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string name = in.str();
+    const auto it = stores_.find(name);
+    persist::Deserializer::require(
+        it != stores_.end(),
+        "anomaly-store snapshot names an unregistered stream");
+    it->second->loadState(in);
+  }
+}
+
 std::vector<StoredAnomaly> ConcurrentAnomalyStore::snapshot(
     const std::string& name) const {
   std::lock_guard lock(mutex_);

@@ -51,6 +51,15 @@ class ConcurrentAnomalyStore {
     };
   }
 
+  /// Snapshot every registered stream's anomalies (under the lock, so a
+  /// consistent cut even while workers add). Suitable as the extra-section
+  /// payload of DetectionEngine::checkpoint.
+  void saveState(persist::Serializer& out) const;
+  /// Restore: every snapshotted stream must already be registered (same
+  /// set of registerStream calls as at save time); contents are replaced.
+  /// Throws persist::SnapshotError on unknown streams or malformed input.
+  void loadState(persist::Deserializer& in);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<AnomalyStore>> stores_;

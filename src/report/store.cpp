@@ -46,6 +46,36 @@ std::vector<std::size_t> AnomalyStore::countByDepth() const {
   return counts;
 }
 
+void AnomalyStore::saveState(persist::Serializer& out) const {
+  out.u64(entries_.size());
+  for (const auto& e : entries_) {
+    out.u32(e.anomaly.node);
+    out.i64(e.anomaly.unit);
+    out.f64(e.anomaly.actual);
+    out.f64(e.anomaly.forecast);
+    out.f64(e.anomaly.ratio);
+  }
+}
+
+void AnomalyStore::loadState(persist::Deserializer& in) {
+  const std::size_t n =
+      in.count(sizeof(std::uint32_t) + 4 * sizeof(double));
+  std::vector<StoredAnomaly> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Anomaly a;
+    a.node = in.u32();
+    persist::Deserializer::require(a.node < hierarchy_.size(),
+                                   "snapshot: node id outside hierarchy");
+    a.unit = in.i64();
+    a.actual = in.f64();
+    a.forecast = in.f64();
+    a.ratio = in.f64();
+    entries.push_back({a, hierarchy_.path(a.node), hierarchy_.depth(a.node)});
+  }
+  entries_ = std::move(entries);
+}
+
 void AnomalyStore::exportCsv(const std::string& filePath) const {
   std::ofstream out(filePath);
   TIRESIAS_EXPECT(static_cast<bool>(out), "cannot open CSV export file");

@@ -12,6 +12,7 @@
 
 #include "core/types.h"
 #include "hierarchy/hierarchy.h"
+#include "persist/snapshot.h"
 
 namespace tiresias::report {
 
@@ -50,6 +51,13 @@ class AnomalyStore {
   void exportCsv(const std::string& filePath) const;
   /// Serialize to JSON Lines.
   void exportJsonl(const std::string& filePath) const;
+
+  /// Snapshot the stored anomalies (paths/depths are re-derived from the
+  /// hierarchy on load, so only the Anomaly records are persisted).
+  void saveState(persist::Serializer& out) const;
+  /// Replace the contents from a snapshot. Throws persist::SnapshotError
+  /// on malformed input.
+  void loadState(persist::Deserializer& in);
 
  private:
   const Hierarchy& hierarchy_;

@@ -17,10 +17,12 @@ TimeUnitBatcher::TimeUnitBatcher(RecordSource& source, Duration delta,
 bool TimeUnitBatcher::refill() {
   if (sourceDone_) return false;
   chunkPos_ = 0;
-  if (source_.nextBatch(chunk_, chunkSize_) == 0) {
+  const std::size_t pulled = source_.nextBatch(chunk_, chunkSize_);
+  if (pulled == 0) {
     sourceDone_ = true;
     return false;
   }
+  consumed_ += pulled;
   return true;
 }
 
@@ -62,6 +64,47 @@ bool TimeUnitBatcher::next(TimeUnitBatch& out) {
   }
   ++nextUnit_;
   return true;
+}
+
+void TimeUnitBatcher::saveState(persist::Serializer& out) const {
+  out.i64(delta_);
+  out.i64(nextUnit_);
+  out.boolean(begun_);
+  out.boolean(sourceDone_);
+  out.u64(dropped_);
+  out.u64(consumed_);
+  // Read-ahead records already pulled from the source but not yet emitted.
+  out.u64(chunk_.size() - chunkPos_);
+  for (std::size_t i = chunkPos_; i < chunk_.size(); ++i) {
+    out.u32(chunk_[i].category);
+    out.i64(chunk_[i].time);
+  }
+}
+
+void TimeUnitBatcher::loadState(persist::Deserializer& in) {
+  using persist::Deserializer;
+  Deserializer::require(in.i64() == delta_,
+                        "batcher snapshot: timeunit size mismatch");
+  const TimeUnit nextUnit = in.i64();
+  const bool begun = in.boolean();
+  const bool sourceDone = in.boolean();
+  const std::size_t dropped = in.u64();
+  const std::size_t consumed = in.u64();
+  const std::size_t pending =
+      in.count(sizeof(std::uint32_t) + sizeof(std::int64_t));
+  std::vector<Record> chunk(pending);
+  for (auto& r : chunk) {
+    r.category = in.u32();
+    r.time = in.i64();
+  }
+
+  nextUnit_ = nextUnit;
+  begun_ = begun;
+  sourceDone_ = sourceDone;
+  dropped_ = dropped;
+  consumed_ = consumed;
+  chunk_ = std::move(chunk);
+  chunkPos_ = 0;
 }
 
 std::optional<TimeUnitBatch> TimeUnitBatcher::next() {

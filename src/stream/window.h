@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "persist/snapshot.h"
 #include "stream/source.h"
 
 namespace tiresias {
@@ -50,6 +51,20 @@ class TimeUnitBatcher {
 
   Duration delta() const { return delta_; }
   std::size_t droppedRecords() const { return dropped_; }
+  /// Records pulled from the source so far (delivered + dropped + still
+  /// buffered in the read-ahead chunk). A resumable source can be
+  /// repositioned past exactly this many records before loadState().
+  std::size_t consumedRecords() const { return consumed_; }
+
+  /// Snapshot the batching position: the next unit index, drop/consume
+  /// accounting, and the read-ahead records pulled from the source but not
+  /// yet emitted.
+  void saveState(persist::Serializer& out) const;
+  /// Restore onto a batcher whose source continues exactly where the
+  /// saved batcher's source stopped (i.e. positioned `consumedRecords()`
+  /// records in). Throws persist::SnapshotError on malformed input or a
+  /// delta mismatch.
+  void loadState(persist::Deserializer& in);
 
  private:
   /// Pulls the next chunk; false when the source is exhausted.
@@ -64,6 +79,7 @@ class TimeUnitBatcher {
   bool begun_ = false;  // pre-start records are only dropped up front
   bool sourceDone_ = false;
   std::size_t dropped_ = 0;
+  std::size_t consumed_ = 0;  // total records pulled from the source
 };
 
 }  // namespace tiresias

@@ -35,4 +35,22 @@ std::unique_ptr<Forecaster> EwmaForecaster::clone() const {
   return std::make_unique<EwmaForecaster>(*this);
 }
 
+void EwmaForecaster::saveState(persist::Serializer& out) const {
+  out.u8(kEwmaStateTag);
+  out.f64(alpha_);
+  out.f64(value_);
+  out.boolean(seeded_);
+}
+
+void EwmaForecaster::loadState(persist::Deserializer& in) {
+  persist::Deserializer::require(in.u8() == kEwmaStateTag,
+                                 "snapshot holds a different forecaster type");
+  const double alpha = in.f64();
+  persist::Deserializer::require(alpha > 0.0 && alpha <= 1.0,
+                                 "EWMA snapshot: alpha out of range");
+  alpha_ = alpha;
+  value_ = in.f64();
+  seeded_ = in.boolean();
+}
+
 }  // namespace tiresias

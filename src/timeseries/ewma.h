@@ -19,6 +19,8 @@ class EwmaForecaster final : public Forecaster {
   void scale(double ratio) override { value_ *= ratio; }
   void addFrom(const Forecaster& other) override;
   std::unique_ptr<Forecaster> clone() const override;
+  void saveState(persist::Serializer& out) const override;
+  void loadState(persist::Deserializer& in) override;
 
   double alpha() const { return alpha_; }
 

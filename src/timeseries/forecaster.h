@@ -11,7 +11,15 @@
 #include <memory>
 #include <span>
 
+#include "persist/snapshot.h"
+
 namespace tiresias {
+
+/// Leading type tags of serialized forecaster state: loadState() on a
+/// mismatched dynamic type must fail with a clean SnapshotError, not
+/// misinterpret bytes.
+inline constexpr std::uint8_t kEwmaStateTag = 1;
+inline constexpr std::uint8_t kHoltWintersStateTag = 2;
 
 class Forecaster {
  public:
@@ -36,6 +44,13 @@ class Forecaster {
   virtual void addFrom(const Forecaster& other) = 0;
 
   virtual std::unique_ptr<Forecaster> clone() const = 0;
+
+  /// Snapshot the full model state, prefixed with the type tag above.
+  virtual void saveState(persist::Serializer& out) const = 0;
+  /// Restore state saved by the same dynamic type (shape parameters are
+  /// overwritten from the snapshot). Throws persist::SnapshotError on a
+  /// type-tag mismatch or malformed input.
+  virtual void loadState(persist::Deserializer& in) = 0;
 };
 
 /// Creates fresh forecasters for newly promoted heavy hitters.

@@ -165,6 +165,77 @@ std::unique_ptr<Forecaster> HoltWintersForecaster::clone() const {
   return std::make_unique<HoltWintersForecaster>(*this);
 }
 
+void HoltWintersForecaster::saveState(persist::Serializer& out) const {
+  out.u8(kHoltWintersStateTag);
+  out.f64(params_.alpha);
+  out.f64(params_.beta);
+  out.f64(params_.gamma);
+  out.u64(seasons_.size());
+  for (std::size_t i = 0; i < seasons_.size(); ++i) {
+    out.u64(seasons_[i].period);
+    out.f64(seasons_[i].weight);
+    out.u64(cursor_[i]);
+    for (double v : seasonal_[i]) out.f64(v);
+  }
+  out.f64(level_);
+  out.f64(trend_);
+  out.boolean(bootstrapped_);
+  out.u64(warmup_.size());
+  for (double v : warmup_) out.f64(v);
+}
+
+void HoltWintersForecaster::loadState(persist::Deserializer& in) {
+  using persist::Deserializer;
+  Deserializer::require(in.u8() == kHoltWintersStateTag,
+                        "snapshot holds a different forecaster type");
+  HoltWintersParams params;
+  params.alpha = in.f64();
+  params.beta = in.f64();
+  params.gamma = in.f64();
+  Deserializer::require(params.alpha > 0.0 && params.alpha <= 1.0,
+                        "Holt-Winters snapshot: alpha out of range");
+  Deserializer::require(params.beta >= 0.0 && params.beta <= 1.0,
+                        "Holt-Winters snapshot: beta out of range");
+  Deserializer::require(params.gamma >= 0.0 && params.gamma <= 1.0,
+                        "Holt-Winters snapshot: gamma out of range");
+  const std::size_t nSeasons = in.count(3 * sizeof(std::uint64_t));
+  std::vector<SeasonSpec> seasons;
+  std::vector<std::vector<double>> seasonal;
+  std::vector<std::size_t> cursor;
+  for (std::size_t i = 0; i < nSeasons; ++i) {
+    SeasonSpec spec;
+    spec.period = in.boundedCount(persist::kMaxUnbackedCount);
+    Deserializer::require(spec.period >= 2,
+                          "Holt-Winters snapshot: seasonal period < 2");
+    spec.weight = in.f64();
+    const std::size_t cur = in.u64();
+    Deserializer::require(cur < spec.period,
+                          "Holt-Winters snapshot: cursor out of range");
+    Deserializer::require(spec.period <= in.remaining() / sizeof(double),
+                          "Holt-Winters snapshot: seasonal array truncated");
+    std::vector<double> indices(spec.period);
+    for (double& v : indices) v = in.f64();
+    seasons.push_back(spec);
+    seasonal.push_back(std::move(indices));
+    cursor.push_back(cur);
+  }
+  const double level = in.f64();
+  const double trend = in.f64();
+  const bool bootstrapped = in.boolean();
+  const std::size_t nWarmup = in.count(sizeof(double));
+  std::vector<double> warmup(nWarmup);
+  for (double& v : warmup) v = in.f64();
+
+  params_ = params;
+  seasons_ = std::move(seasons);
+  seasonal_ = std::move(seasonal);
+  cursor_ = std::move(cursor);
+  level_ = level;
+  trend_ = trend;
+  bootstrapped_ = bootstrapped;
+  warmup_ = std::move(warmup);
+}
+
 double HoltWintersForecaster::seasonal(std::size_t i, std::size_t lag) const {
   TIRESIAS_EXPECT(i < seasons_.size(), "season index out of range");
   const std::size_t p = seasons_[i].period;

@@ -49,6 +49,8 @@ class HoltWintersForecaster final : public Forecaster {
   void scale(double ratio) override;
   void addFrom(const Forecaster& other) override;
   std::unique_ptr<Forecaster> clone() const override;
+  void saveState(persist::Serializer& out) const override;
+  void loadState(persist::Deserializer& in) override;
 
   bool bootstrapped() const { return bootstrapped_; }
   double level() const { return level_; }

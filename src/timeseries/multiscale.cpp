@@ -48,6 +48,62 @@ void MultiScaleSeries::pushAt(std::size_t scale, double value) {
   }
 }
 
+void MultiScaleSeries::saveState(persist::Serializer& out) const {
+  out.u64(lambda_);
+  out.f64(alpha_);
+  out.u64(pushCount_);
+  out.u64(actual_.size());
+  for (std::size_t i = 0; i < actual_.size(); ++i) {
+    actual_[i].saveState(out);
+    forecast_[i].saveState(out);
+    out.f64(ewma_[i]);
+    out.boolean(ewmaSeeded_[i]);
+    out.f64(pendingSum_[i]);
+    out.u64(pendingCount_[i]);
+  }
+}
+
+void MultiScaleSeries::loadState(persist::Deserializer& in) {
+  using persist::Deserializer;
+  const std::size_t lambda = in.boundedCount(persist::kMaxUnbackedCount);
+  Deserializer::require(lambda >= 2, "multiscale snapshot: lambda < 2");
+  const double alpha = in.f64();
+  Deserializer::require(alpha > 0.0 && alpha <= 1.0,
+                        "multiscale snapshot: alpha out of range");
+  const std::size_t pushCount = in.u64();
+  const std::size_t scales = in.count(1);
+  Deserializer::require(scales >= 1, "multiscale snapshot: no scales");
+
+  std::vector<RingSeries> actual(scales), forecast(scales);
+  std::vector<double> ewma(scales), pendingSum(scales);
+  std::vector<bool> seeded(scales);
+  std::vector<std::size_t> pendingCount(scales);
+  for (std::size_t i = 0; i < scales; ++i) {
+    actual[i].loadState(in);
+    forecast[i].loadState(in);
+    Deserializer::require(actual[i].capacity() >= 1 &&
+                              actual[i].capacity() == forecast[i].capacity() &&
+                              actual[i].capacity() == actual[0].capacity(),
+                          "multiscale snapshot: inconsistent ring capacity");
+    ewma[i] = in.f64();
+    seeded[i] = in.boolean();
+    pendingSum[i] = in.f64();
+    pendingCount[i] = in.u64();
+    Deserializer::require(pendingCount[i] < lambda,
+                          "multiscale snapshot: pending count >= lambda");
+  }
+
+  lambda_ = lambda;
+  alpha_ = alpha;
+  pushCount_ = pushCount;
+  actual_ = std::move(actual);
+  forecast_ = std::move(forecast);
+  ewma_ = std::move(ewma);
+  ewmaSeeded_ = std::move(seeded);
+  pendingSum_ = std::move(pendingSum);
+  pendingCount_ = std::move(pendingCount);
+}
+
 const RingSeries& MultiScaleSeries::actual(std::size_t scale) const {
   TIRESIAS_EXPECT(scale < actual_.size(), "scale out of range");
   return actual_[scale];

@@ -36,6 +36,12 @@ class MultiScaleSeries {
   /// Total base-scale values pushed so far.
   std::size_t pushCount() const { return pushCount_; }
 
+  /// Snapshot every scale's rings, EWMA state and pending cascade sums.
+  void saveState(persist::Serializer& out) const;
+  /// Restore, replacing shape (η, λ, α) and contents. Throws
+  /// persist::SnapshotError on malformed input.
+  void loadState(persist::Deserializer& in);
+
  private:
   void pushAt(std::size_t scale, double value);
 

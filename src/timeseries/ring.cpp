@@ -65,6 +65,23 @@ std::vector<double> RingSeries::toVector() const {
   return out;
 }
 
+void RingSeries::saveState(persist::Serializer& out) const {
+  out.u64(buf_.size());
+  out.u64(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.f64(at(i));
+}
+
+void RingSeries::loadState(persist::Deserializer& in) {
+  const std::size_t capacity = in.boundedCount(persist::kMaxUnbackedCount);
+  const std::size_t size = in.count(sizeof(double));
+  persist::Deserializer::require(size <= capacity,
+                                 "ring snapshot: size exceeds capacity");
+  buf_.assign(capacity, 0.0);
+  head_ = 0;
+  size_ = 0;
+  for (std::size_t i = 0; i < size; ++i) push(in.f64());
+}
+
 void RingSeries::clear() {
   head_ = 0;
   size_ = 0;

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "persist/snapshot.h"
+
 namespace tiresias {
 
 class RingSeries {
@@ -46,6 +48,13 @@ class RingSeries {
 
   /// Copy out as a flat vector, oldest first.
   std::vector<double> toVector() const;
+
+  /// Snapshot the ring (capacity + values oldest-first; the rotation is
+  /// normalized away, so equal observable state encodes identically).
+  void saveState(persist::Serializer& out) const;
+  /// Restore from a snapshot, replacing capacity and contents. Throws
+  /// persist::SnapshotError on malformed input.
+  void loadState(persist::Deserializer& in);
 
   /// Reset to empty, keeping capacity.
   void clear();

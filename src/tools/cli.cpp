@@ -1,11 +1,15 @@
 #include "tools/cli.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "hierarchy/builder.h"
 
@@ -13,6 +17,7 @@
 #include "common/table.h"
 #include "core/pipeline.h"
 #include "engine/engine.h"
+#include "persist/snapshot.h"
 #include "report/concurrent_store.h"
 #include "report/store.h"
 #include "timeseries/ewma.h"
@@ -42,10 +47,15 @@ constexpr const char* kUsage =
     "  serve      --streams K --units M [--workers W] [--ingest-threads I]\n"
     "             [--queue C] [--total-queue Q] [--budget B] [--scale ...]\n"
     "             [--seed S] [--theta T] [--window W]\n"
+    "             [--checkpoint-dir DIR [--checkpoint-every N] [--restore]]\n"
     "             multiplex K generated CCD/SCD streams through the\n"
     "             task-scheduled detection engine (W shared workers over\n"
     "             per-stream queues; W defaults to the hardware threads)\n"
     "             and print per-stream + scheduler stats.\n"
+    "             --checkpoint-dir DIR snapshots engine + anomaly-store\n"
+    "             state to DIR/checkpoint.tsnap (atomically, every N\n"
+    "             processed units plus once at the end); --restore resumes\n"
+    "             from that file, skipping the already-processed prefix.\n"
     "             --shards N is deprecated: it now maps to --workers N\n"
     "\n"
     "detect/analyze/hierarchy also accept --hierarchy <paths-file> (one\n"
@@ -401,13 +411,14 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if (!checkOptions(args, err,
                     {"streams", "units", "workers", "ingest-threads", "queue",
                      "total-queue", "budget", "scale", "seed", "theta",
-                     "window", "shards"})) {
+                     "window", "shards", "checkpoint-dir", "checkpoint-every",
+                     "restore"})) {
     return 2;
   }
   // Parse signed so "--streams -1" can't wrap around to a huge count.
   long long streamsIn = 0, units = 0, workersIn = 0, ingestIn = 0;
   long long queueIn = 0, totalQueueIn = 0, budgetIn = 0, seedIn = 0;
-  long long window = 0;
+  long long window = 0, checkpointEvery = 0;
   double theta = 0;
   if (!numOption(args, "serve", "streams", 4, err, streamsIn) ||
       !numOption(args, "serve", "units", 96, err, units) ||
@@ -418,7 +429,22 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       !numOption(args, "serve", "budget", 8, err, budgetIn) ||
       !numOption(args, "serve", "seed", 1, err, seedIn) ||
       !numOption(args, "serve", "window", 32, err, window) ||
+      !numOption(args, "serve", "checkpoint-every", 0, err, checkpointEvery) ||
       !realOption(args, "serve", "theta", 8, err, theta)) {
+    return 2;
+  }
+  const std::string checkpointDir = args.get("checkpoint-dir", "");
+  const bool restore = args.has("restore");
+  if (restore && !args.get("restore", "").empty()) {
+    err << "serve: --restore takes no value\n";
+    return 2;
+  }
+  if ((checkpointEvery != 0 || restore) && checkpointDir.empty()) {
+    err << "serve: --checkpoint-every/--restore require --checkpoint-dir\n";
+    return 2;
+  }
+  if (checkpointEvery < 0) {
+    err << "serve: --checkpoint-every must be positive\n";
     return 2;
   }
   if (window <= 0) {
@@ -506,8 +532,75 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
                       spec, 0, units, seed + i));
   }
 
+  const std::string checkpointPath =
+      checkpointDir.empty() ? "" : checkpointDir + "/checkpoint.tsnap";
+  // The anomaly store rides in the snapshot's user section so restored
+  // reports continue the checkpointed ones with nothing lost or doubled.
+  const auto storeWriter = [&store](persist::Serializer& s) {
+    store.saveState(s);
+  };
+  if (!checkpointDir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpointDir, ec);
+    if (ec) {
+      err << "serve: cannot create --checkpoint-dir '" << checkpointDir
+          << "': " << ec.message() << "\n";
+      return 1;
+    }
+  }
+  if (restore) {
+    try {
+      const std::size_t restored = eng.restoreFrom(
+          checkpointPath,
+          [&store](persist::Deserializer& d) { store.loadState(d); });
+      out << "restored " << restored << " streams from " << checkpointPath
+          << "\n";
+    } catch (const persist::SnapshotError& e) {
+      err << "serve: restore failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   eng.start();
+
+  // Periodic checkpointer: snapshot whenever another --checkpoint-every
+  // units have been processed. Runs beside drain(); the engine quiesces
+  // to a unit boundary around each snapshot and resumes by itself.
+  std::atomic<bool> serveDone{false};
+  std::thread checkpointer;
+  if (checkpointEvery > 0) {
+    checkpointer = std::thread([&] {
+      std::size_t lastUnits = eng.stats().checkpoint.lastUnits;
+      while (!serveDone.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const auto st = eng.stats();
+        if (st.unitsProcessed - lastUnits <
+            static_cast<std::size_t>(checkpointEvery)) {
+          continue;
+        }
+        try {
+          eng.checkpoint(checkpointPath, storeWriter);
+          lastUnits = st.unitsProcessed;
+        } catch (const persist::SnapshotError& e) {
+          err << "warning: checkpoint failed: " << e.what() << "\n";
+          return;
+        }
+      }
+    });
+  }
+
   const auto stats = eng.drain();
+  serveDone.store(true, std::memory_order_relaxed);
+  if (checkpointer.joinable()) checkpointer.join();
+  if (!checkpointDir.empty()) {
+    // Final checkpoint of the drained state, so a later --restore resumes
+    // (or re-reports) from the end of this run.
+    try {
+      eng.checkpoint(checkpointPath, storeWriter);
+    } catch (const persist::SnapshotError& e) {
+      err << "warning: final checkpoint failed: " << e.what() << "\n";
+    }
+  }
 
   out << "engine: " << streams << " streams, " << stats.scheduler.workers
       << " workers, " << stats.ingestThreads
@@ -543,6 +636,15 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       << " instances=" << stats.instancesDetected
       << " anomalies=" << stats.anomaliesReported
       << " junk=" << stats.junkRowsSkipped << "\n";
+  if (!checkpointDir.empty()) {
+    const auto finalStats = eng.stats();
+    out << "checkpoints: " << finalStats.checkpoint.checkpoints
+        << " taken (last " << finalStats.checkpoint.lastBytes << " bytes, "
+        << fmtF(finalStats.checkpoint.lastSeconds * 1e3, 1) << " ms; total "
+        << fmtF(finalStats.checkpoint.totalSeconds * 1e3, 1) << " ms), "
+        << finalStats.checkpoint.restores << " restores -> "
+        << checkpointPath << "\n";
+  }
   out << "elapsed " << fmtF(stats.elapsedSeconds, 3) << "s, "
       << fmtF(stats.recordsPerSecond, 0) << " records/sec\n";
   return 0;

@@ -1,0 +1,327 @@
+// Crash-recovery equivalence for DetectionEngine::checkpoint/restoreFrom:
+// run K units, checkpoint mid-flight, destroy the engine (simulating a
+// crash: everything in memory is lost, queued work discarded), build a
+// fresh engine over re-created sources, restore, drain — the final
+// streamSummary() of every stream and every per-stream anomaly report must
+// be bit-identical to an uninterrupted run, at 1 worker and at 4.
+//
+// Also the EngineStats-tear regression: stats() polled concurrently with
+// an active checkpoint must return a consistent CheckpointStats snapshot
+// (the seqlock/atomic guard) — run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "engine/engine.h"
+#include "persist/snapshot.h"
+#include "report/concurrent_store.h"
+#include "timeseries/ewma.h"
+#include "workload/ccd.h"
+#include "workload/scd.h"
+
+namespace tiresias {
+namespace {
+
+using engine::DetectionEngine;
+using engine::EngineConfig;
+using workload::GeneratorSource;
+using workload::Scale;
+using workload::WorkloadSpec;
+
+std::string tempSnapshotPath(const char* name) {
+  return std::string(::testing::TempDir()) + "ckpt_" + name + "_" +
+         std::to_string(::getpid()) + ".tsnap";
+}
+
+struct Fleet {
+  std::vector<std::unique_ptr<WorkloadSpec>> specs;
+  std::vector<std::string> names;
+};
+
+PipelineConfig fleetPipelineConfig(const WorkloadSpec& spec) {
+  PipelineConfig cfg;
+  cfg.delta = spec.unit;
+  cfg.detector.theta = 8.0;
+  cfg.detector.windowLength = 16;
+  cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+  return cfg;
+}
+
+/// Registers `streams` generated streams (cycling the dataset presets,
+/// deterministic per-stream seeds) on the engine and store.
+Fleet registerFleet(DetectionEngine& eng, report::ConcurrentAnomalyStore& store,
+                    std::size_t streams, TimeUnit units) {
+  Fleet fleet;
+  using Maker = WorkloadSpec (*)(Scale);
+  static constexpr Maker kMakers[] = {workload::ccdNetworkWorkload,
+                                      workload::ccdTroubleWorkload,
+                                      workload::scdNetworkWorkload};
+  for (std::size_t i = 0; i < streams; ++i) {
+    fleet.specs.push_back(std::make_unique<WorkloadSpec>(
+        kMakers[i % std::size(kMakers)](Scale::kTest)));
+    WorkloadSpec& spec = *fleet.specs.back();
+    const std::string name = "stream-" + std::to_string(i);
+    fleet.names.push_back(name);
+    if (!store.hasStream(name)) store.registerStream(name, spec.hierarchy);
+    eng.addStream(name, spec.hierarchy, fleetPipelineConfig(spec),
+                  std::make_unique<GeneratorSource>(spec, 0, units, 100 + i));
+  }
+  return fleet;
+}
+
+EngineConfig engineConfig(std::size_t workers) {
+  EngineConfig cfg;
+  cfg.workers = workers;
+  cfg.ingestThreads = 2;
+  cfg.runBudget = 4;
+  cfg.streamQueueCapacity = 8;
+  cfg.totalQueueCapacity = 64;
+  return cfg;
+}
+
+void expectSameSummary(const RunSummary& a, const RunSummary& b,
+                       const std::string& name) {
+  EXPECT_EQ(a.unitsProcessed, b.unitsProcessed) << name;
+  EXPECT_EQ(a.recordsProcessed, b.recordsProcessed) << name;
+  EXPECT_EQ(a.instancesDetected, b.instancesDetected) << name;
+  EXPECT_EQ(a.anomaliesReported, b.anomaliesReported) << name;
+  EXPECT_EQ(a.junkRowsSkipped, b.junkRowsSkipped) << name;
+  EXPECT_EQ(a.warmupUnitsBuffered, b.warmupUnitsBuffered) << name;
+}
+
+void runRecoveryEquivalence(std::size_t workers) {
+  const std::size_t kStreams = 5;
+  const TimeUnit kUnits = 160;
+  const std::string path = tempSnapshotPath("recovery");
+
+  // Uninterrupted reference run.
+  report::ConcurrentAnomalyStore refStore;
+  std::vector<RunSummary> refSummaries;
+  {
+    DetectionEngine eng(engineConfig(workers), refStore.sink());
+    const Fleet fleet = registerFleet(eng, refStore, kStreams, kUnits);
+    (void)fleet;
+    eng.start();
+    eng.drain();
+    for (std::size_t i = 0; i < eng.streamCount(); ++i) {
+      refSummaries.push_back(eng.streamSummary(i));
+    }
+  }
+
+  // Interrupted run: checkpoint once some real progress exists, then
+  // "crash" (stop() discards the queued backlog, the engine dies).
+  report::ConcurrentAnomalyStore lostStore;  // dies with the crash
+  {
+    DetectionEngine eng(engineConfig(workers), lostStore.sink());
+    const Fleet fleet = registerFleet(eng, lostStore, kStreams, kUnits);
+    (void)fleet;
+    eng.start();
+    while (eng.stats().unitsProcessed < kStreams * 40) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    eng.checkpoint(path, [&](persist::Serializer& s) {
+      // The store snapshot rides inside the quiesced window, so it is
+      // exactly consistent with the pipeline state in the same file.
+      lostStore.saveState(s);
+    });
+    const auto st = eng.stats();
+    EXPECT_EQ(st.checkpoint.checkpoints, 1u);
+    EXPECT_GT(st.checkpoint.lastBytes, 0u);
+    eng.stop();
+  }
+
+  // Recovery: fresh engine, fresh sources over the same full range (the
+  // restored batching position skips the processed prefix), restore,
+  // drain to completion.
+  report::ConcurrentAnomalyStore store;
+  DetectionEngine eng(engineConfig(workers), store.sink());
+  const Fleet fleet = registerFleet(eng, store, kStreams, kUnits);
+  const std::size_t restored = eng.restoreFrom(
+      path, [&](persist::Deserializer& d) { store.loadState(d); });
+  EXPECT_EQ(restored, kStreams);
+  eng.start();
+  const auto stats = eng.drain();
+  EXPECT_EQ(stats.checkpoint.restores, 1u);
+
+  for (std::size_t i = 0; i < eng.streamCount(); ++i) {
+    expectSameSummary(eng.streamSummary(i), refSummaries[i], fleet.names[i]);
+    // Per-stream anomaly reports, bit-identical and in order.
+    const auto got = store.snapshot(fleet.names[i]);
+    const auto want = refStore.snapshot(fleet.names[i]);
+    ASSERT_EQ(got.size(), want.size()) << fleet.names[i];
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k].anomaly, want[k].anomaly) << fleet.names[i];
+      EXPECT_EQ(got[k].path, want[k].path) << fleet.names[i];
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRecovery, EquivalentToUninterruptedRunOneWorker) {
+  runRecoveryEquivalence(1);
+}
+
+TEST(CheckpointRecovery, EquivalentToUninterruptedRunFourWorkers) {
+  runRecoveryEquivalence(4);
+}
+
+TEST(CheckpointRecovery, CheckpointBeforeStartAndAfterDrain) {
+  const std::string path = tempSnapshotPath("cold");
+  report::ConcurrentAnomalyStore store;
+  {
+    // Cold checkpoint: nothing started, every pipeline fresh.
+    DetectionEngine eng(engineConfig(1), store.sink());
+    const Fleet fleet = registerFleet(eng, store, 2, 32);
+    (void)fleet;
+    eng.checkpoint(path);
+  }
+  {
+    report::ConcurrentAnomalyStore store2;
+    DetectionEngine eng(engineConfig(1), store2.sink());
+    const Fleet fleet = registerFleet(eng, store2, 2, 32);
+    (void)fleet;
+    EXPECT_EQ(eng.restoreFrom(path), 2u);
+    eng.start();
+    eng.drain();
+    // Post-drain checkpoint captures the final state without quiescing.
+    eng.checkpoint(path);
+    const auto st = eng.stats();
+    // Counters are per engine instance: one restore, one checkpoint here.
+    EXPECT_EQ(st.checkpoint.checkpoints, 1u);
+    EXPECT_EQ(st.checkpoint.restores, 1u);
+    EXPECT_EQ(st.checkpoint.lastUnits, st.unitsProcessed);
+  }
+  // Restoring the end-of-run checkpoint resumes past the whole source:
+  // zero new units, summaries intact.
+  report::ConcurrentAnomalyStore store3;
+  DetectionEngine eng(engineConfig(1), store3.sink());
+  const Fleet fleet = registerFleet(eng, store3, 2, 32);
+  (void)fleet;
+  EXPECT_EQ(eng.restoreFrom(path), 2u);
+  const auto before = eng.streamSummary(0);
+  eng.start();
+  eng.drain();
+  expectSameSummary(eng.streamSummary(0), before, "resume-at-end");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRecovery, JunkRowCountSurvivesRestore) {
+  // The junk count lives ingest-side (sourceSkipped mirror), not in the
+  // worker-written summary — the checkpoint must fold it in, and a
+  // restore over a source that covers only the unprocessed suffix must
+  // resume the count rather than reset it.
+  const std::string path = tempSnapshotPath("junk");
+  const std::string csv =
+      std::string(::testing::TempDir()) + "junk_trace_" +
+      std::to_string(::getpid()) + ".csv";
+  WorkloadSpec spec = workload::ccdNetworkWorkload(Scale::kTest);
+  {
+    GeneratorSource src(spec, 0, 24, 9);
+    std::vector<Record> records;
+    while (auto r = src.next()) records.push_back(*r);
+    writeRecordsCsv(csv, spec.hierarchy, records);
+    std::ofstream app(csv, std::ios::app);
+    app << "not/a/real/path,99999999\n"
+        << "garbage line without a comma\n"
+        << "also/not/real,99999999\n";
+  }
+
+  std::size_t junkAtCheckpoint = 0;
+  {
+    report::ConcurrentAnomalyStore store;
+    store.registerStream("csv", spec.hierarchy);
+    DetectionEngine eng(engineConfig(1), store.sink());
+    eng.addStream("csv", spec.hierarchy, fleetPipelineConfig(spec),
+                  std::make_unique<CsvSource>(csv, spec.hierarchy));
+    eng.start();
+    eng.drain();
+    junkAtCheckpoint = eng.streamSummary(0).junkRowsSkipped;
+    EXPECT_EQ(junkAtCheckpoint, 3u);
+    eng.checkpoint(path);
+  }
+
+  // The suffix after a drained run is empty — an empty source stands in
+  // for "everything before the resume point is gone".
+  report::ConcurrentAnomalyStore store;
+  store.registerStream("csv", spec.hierarchy);
+  DetectionEngine eng(engineConfig(1), store.sink());
+  eng.addStream("csv", spec.hierarchy, fleetPipelineConfig(spec),
+                std::make_unique<VectorSource>(std::vector<Record>{}));
+  EXPECT_EQ(eng.restoreFrom(path), 1u);
+  EXPECT_EQ(eng.streamSummary(0).junkRowsSkipped, junkAtCheckpoint);
+  eng.start();
+  eng.drain();
+  EXPECT_EQ(eng.streamSummary(0).junkRowsSkipped, junkAtCheckpoint);
+  std::remove(path.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CheckpointRecovery, RestoreRejectsUnknownStream) {
+  const std::string path = tempSnapshotPath("unknown");
+  {
+    report::ConcurrentAnomalyStore store;
+    DetectionEngine eng(engineConfig(1), store.sink());
+    const Fleet fleet = registerFleet(eng, store, 3, 16);
+    (void)fleet;
+    eng.checkpoint(path);
+  }
+  report::ConcurrentAnomalyStore store;
+  DetectionEngine eng(engineConfig(1), store.sink());
+  const Fleet fleet = registerFleet(eng, store, 2, 16);  // stream-2 missing
+  (void)fleet;
+  EXPECT_THROW(eng.restoreFrom(path), persist::SnapshotError);
+  std::remove(path.c_str());
+}
+
+// The seqlock regression: checkpoints publish their counters while a
+// poller hammers stats(). Under TSan this is the data-race check; the
+// invariant assertions catch torn snapshots everywhere (a reader mixing
+// two checkpoints would see totalSeconds < lastSeconds or a count/bytes
+// mismatch).
+TEST(CheckpointRecovery, StatsDuringCheckpointDoNotTear) {
+  const std::string path = tempSnapshotPath("tear");
+  report::ConcurrentAnomalyStore store;
+  DetectionEngine eng(engineConfig(2), store.sink());
+  const Fleet fleet = registerFleet(eng, store, 4, 220);
+  (void)fleet;
+  eng.start();
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto st = eng.stats();
+      const auto& c = st.checkpoint;
+      // Fields must always come from one coherent checkpoint record.
+      EXPECT_GE(c.totalSeconds, c.lastSeconds);
+      if (c.checkpoints == 0) {
+        EXPECT_EQ(c.lastBytes, 0u);
+        EXPECT_EQ(c.lastSeconds, 0.0);
+      } else {
+        EXPECT_GT(c.lastBytes, 0u);
+      }
+    }
+  });
+  std::thread checkpointer([&] {
+    for (int i = 0; i < 6; ++i) {
+      eng.checkpoint(path);
+    }
+  });
+  checkpointer.join();
+  eng.drain();
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+  EXPECT_EQ(eng.stats().checkpoint.checkpoints, 6u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tiresias

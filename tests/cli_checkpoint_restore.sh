@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Checkpoint -> kill -9 -> restore, end to end through `tiresias_cli serve`.
+#
+# Usage: cli_checkpoint_restore.sh <tiresias_cli> <scratch-dir>
+#
+# Starts a serve run that checkpoints every few units, kills the process
+# the moment a checkpoint has been published (or lets it finish, which
+# also publishes a final checkpoint), then proves `serve --restore`
+# resumes from the file and completes. Everything is polled with hard
+# deadlines so a hung quiesce fails this test fast instead of stalling CI.
+set -u
+
+CLI="$1"
+DIR="$2"
+CKPT="$DIR/checkpoint.tsnap"
+SERVE_ARGS=(serve --streams 3 --units 2000 --workers 2 --window 16
+            --checkpoint-dir "$DIR")
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -n "${PID:-}" ] && kill -9 "$PID" 2>/dev/null
+  exit 1
+}
+
+rm -rf "$DIR"
+mkdir -p "$DIR" || fail "cannot create scratch dir $DIR"
+
+# Phase 1: serve with periodic checkpoints; kill once one is published.
+"$CLI" "${SERVE_ARGS[@]}" --checkpoint-every 10 \
+    >"$DIR/serve1.log" 2>&1 &
+PID=$!
+deadline=$((SECONDS + 60))
+while [ ! -s "$CKPT" ]; do
+  if ! kill -0 "$PID" 2>/dev/null; then
+    # The run finished before we sampled a periodic checkpoint; the final
+    # checkpoint must exist.
+    wait "$PID" || fail "first serve run exited non-zero (see $DIR/serve1.log)"
+    break
+  fi
+  [ "$SECONDS" -ge "$deadline" ] && fail "no checkpoint appeared within 60s"
+  sleep 0.05
+done
+if kill -0 "$PID" 2>/dev/null; then
+  kill -9 "$PID" 2>/dev/null   # the "crash"
+  wait "$PID" 2>/dev/null
+fi
+PID=
+[ -s "$CKPT" ] || fail "checkpoint file missing after phase 1"
+# A SIGKILL may legitimately strand a mid-write .tmp of the *next*
+# checkpoint; atomicity only protects the published name. Clear it so
+# phase 3 can assert clean shutdown leaves no temp file behind.
+rm -f "$CKPT.tmp"
+
+# Phase 2: restore and run to completion.
+timeout 120 "$CLI" "${SERVE_ARGS[@]}" --restore >"$DIR/serve2.log" 2>&1 \
+    || fail "restore run failed (see $DIR/serve2.log)"
+grep -q "restored 3 streams" "$DIR/serve2.log" \
+    || fail "restore line missing from serve output"
+grep -q "^elapsed " "$DIR/serve2.log" || fail "restore run did not finish"
+# Clean exit must publish atomically: no temp file under any name.
+[ -e "$CKPT.tmp" ] && fail "clean shutdown left a temp snapshot behind"
+
+# Phase 3: restoring the phase-2 final checkpoint is a no-op resume that
+# must still report the cumulative per-stream totals.
+timeout 120 "$CLI" "${SERVE_ARGS[@]}" --restore >"$DIR/serve3.log" 2>&1 \
+    || fail "second restore failed (see $DIR/serve3.log)"
+grep -q "restored 3 streams" "$DIR/serve3.log" || fail "second restore line missing"
+units2=$(sed -n 's/.*stream ccd-net-0: units=\([0-9]*\).*/\1/p' "$DIR/serve2.log")
+units3=$(sed -n 's/.*stream ccd-net-0: units=\([0-9]*\).*/\1/p' "$DIR/serve3.log")
+[ -n "$units2" ] || fail "per-stream units missing from phase-2 output"
+[ "$units2" = "$units3" ] || \
+    fail "resume-at-end changed totals: $units2 vs $units3"
+
+echo "PASS"
+exit 0

@@ -1,0 +1,294 @@
+// Detect-phase micro-benchmark (BENCH_detect.json).
+//
+// Times the per-unit detection hot path in isolation on the CCD-network
+// workload — no engine, no ingest: the record stream is materialized into
+// timeunit batches up front and every measurement below is pure detection
+// compute.
+//
+//  1. computeShhh: the dense epoch-stamped workspace kernel ("after")
+//     against the retained map-based reference implementation ("before",
+//     src/core/shhh_reference.h). Identical outputs are asserted
+//     bit-for-bit before timing.
+//
+//  2. STA observe: StaDetector's incremental raw-aggregate window
+//     ("after") against reference::StaReplica, the historical step that
+//     copies the window and rebuilds every series from scratch per
+//     instance ("before"). Per-step detection results are asserted equal.
+//
+//  3. ADA observe: steady-state AdaDetector step throughput plus the
+//     paper's Table III stage breakdown (no "before" twin — the adaptive
+//     detector was rewritten in place; its outputs are pinned by the
+//     equivalence property tests instead).
+//
+// Written to BENCH_detect.json (schema tiresias_bench_detect/v1) — the
+// committed before/after baseline for the flat detection hot path. All
+// measurements are single-threaded; no parallel-speedup claims are made,
+// so nothing here needs a hardware_concurrency gate.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/shhh_reference.h"
+#include "timeseries/ewma.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace tiresias;
+using workload::GeneratorSource;
+using workload::Scale;
+using workload::WorkloadSpec;
+
+struct Timing {
+  std::size_t units = 0;
+  std::size_t records = 0;
+  double seconds = 0.0;
+  double unitsPerSec() const { return seconds > 0 ? units / seconds : 0.0; }
+  double recordsPerSec() const {
+    return seconds > 0 ? records / seconds : 0.0;
+  }
+};
+
+void printTiming(const char* label, const Timing& t) {
+  std::printf("%-28s %9zu units %10.4fs %12.0f units/s %12.0f records/s\n",
+              label, t.units, t.seconds, t.unitsPerSec(), t.recordsPerSec());
+}
+
+void jsonTiming(std::FILE* f, const char* key, const Timing& t,
+                bool trailingComma) {
+  std::fprintf(f,
+               "    \"%s\": {\"units\": %zu, \"records\": %zu, \"seconds\": "
+               "%.6f, \"units_per_sec\": %.0f, \"records_per_sec\": %.0f}%s\n",
+               key, t.units, t.records, t.seconds, t.unitsPerSec(),
+               t.recordsPerSec(), trailingComma ? "," : "");
+}
+
+DetectorConfig detectorConfig(std::size_t window, double theta) {
+  DetectorConfig cfg;
+  cfg.theta = theta;
+  cfg.windowLength = window;
+  cfg.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+  return cfg;
+}
+
+bool sameResult(const std::optional<InstanceResult>& a,
+                const std::optional<InstanceResult>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a) return true;
+  return a->unit == b->unit && a->shhh == b->shhh &&
+         a->anomalies == b->anomalies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const TimeUnit units = argc > 1 ? std::atoll(argv[1]) : 256;
+  const std::string jsonPath = argc > 2 ? argv[2] : "BENCH_detect.json";
+  const std::size_t window = 64;
+  const double theta = 8.0;
+  // Repeat passes until each measurement has at least this much signal.
+  const double minSeconds = 0.3;
+
+  bench::banner(
+      "detect-phase hot path (src/core: shhh, sta, ada)",
+      "dense epoch-stamped workspace kernels vs the retained map-based "
+      "reference; incremental STA windows vs per-step reconstruction");
+  bench::note("hardware threads: " +
+              std::to_string(std::thread::hardware_concurrency()));
+
+  const WorkloadSpec spec = workload::ccdNetworkWorkload(Scale::kMedium);
+  std::vector<TimeUnitBatch> batches;
+  std::size_t totalRecords = 0;
+  {
+    GeneratorSource src(spec, 0, units, 1);
+    TimeUnitBatcher batcher(src, spec.unit, 0);
+    TimeUnitBatch batch;
+    while (batcher.next(batch)) {
+      totalRecords += batch.records.size();
+      batches.push_back(batch);
+    }
+  }
+  bench::note("workload: ccd-net/medium, " + std::to_string(batches.size()) +
+              " units, " + std::to_string(totalRecords) +
+              " records, window " + std::to_string(window));
+  if (batches.size() <= window) {
+    std::fprintf(stderr, "need more than %zu units\n", window);
+    return 1;
+  }
+
+  std::vector<CountMap> unitCounts(batches.size());
+  for (std::size_t u = 0; u < batches.size(); ++u) {
+    for (const auto& r : batches[u].records) {
+      unitCounts[u][r.category] += 1.0;
+    }
+  }
+
+  bool ok = true;
+
+  // ---- 1. computeShhh: map-based reference vs flat workspace ----
+  DetectWorkspace ws;
+  ShhhResult flat;
+  bool identical = true;
+  for (const auto& counts : unitCounts) {
+    const ShhhResult ref =
+        reference::computeShhh(spec.hierarchy, counts, theta);
+    computeShhh(spec.hierarchy, counts, theta, ws, flat);
+    identical &= ref.shhh == flat.shhh &&
+                 ref.touched.size() == flat.touched.size();
+    for (std::size_t i = 0; identical && i < ref.touched.size(); ++i) {
+      const auto& a = ref.touched[i];
+      const auto& b = flat.touched[i];
+      identical &= a.node == b.node && a.raw == b.raw &&
+                   a.modified == b.modified && a.heavy == b.heavy;
+    }
+  }
+  ok &= bench::check(identical,
+                     "flat computeShhh output is bit-identical to the "
+                     "map-based reference on every unit");
+
+  Timing before, after;
+  while (before.seconds < minSeconds) {
+    Stopwatch watch;
+    for (const auto& counts : unitCounts) {
+      const auto r = reference::computeShhh(spec.hierarchy, counts, theta);
+      before.units += 1;
+      (void)r;
+    }
+    before.seconds += watch.elapsedSeconds();
+    before.records += totalRecords;
+  }
+  while (after.seconds < minSeconds) {
+    Stopwatch watch;
+    for (const auto& counts : unitCounts) {
+      computeShhh(spec.hierarchy, counts, theta, ws, flat);
+      after.units += 1;
+    }
+    after.seconds += watch.elapsedSeconds();
+    after.records += totalRecords;
+  }
+  const double speedup = after.unitsPerSec() / before.unitsPerSec();
+  std::printf("\ncomputeShhh (Definition 2, one evaluation per unit):\n");
+  printTiming("  map-based reference", before);
+  printTiming("  flat workspace", after);
+  std::printf("  speedup: %.2fx\n", speedup);
+  ok &= bench::check(speedup >= 1.5,
+                     "flat computeShhh >= 1.5x the map-based reference");
+
+  // ---- 2. STA observe ----
+  const std::size_t warm = window;
+  bool staEqual = true;
+  {
+    reference::StaReplica replica(spec.hierarchy, detectorConfig(window, theta));
+    StaDetector sta(spec.hierarchy, detectorConfig(window, theta));
+    for (const auto& batch : batches) {
+      staEqual &= sameResult(replica.step(batch), sta.step(batch));
+    }
+    for (NodeId n : sta.currentShhh()) {
+      staEqual &= replica.seriesOf(n) == sta.seriesOf(n) &&
+                  replica.forecastSeriesOf(n) == sta.forecastSeriesOf(n);
+    }
+  }
+  ok &= bench::check(staEqual,
+                     "incremental STA results match the window-copy "
+                     "reference step for step (series bit-identical)");
+
+  Timing staBefore, staAfter;
+  while (staBefore.seconds < minSeconds) {
+    reference::StaReplica replica(spec.hierarchy, detectorConfig(window, theta));
+    for (std::size_t u = 0; u < warm; ++u) replica.step(batches[u]);
+    Stopwatch watch;
+    for (std::size_t u = warm; u < batches.size(); ++u) {
+      replica.step(batches[u]);
+      staBefore.units += 1;
+      staBefore.records += batches[u].records.size();
+    }
+    staBefore.seconds += watch.elapsedSeconds();
+  }
+  while (staAfter.seconds < minSeconds) {
+    StaDetector sta(spec.hierarchy, detectorConfig(window, theta));
+    for (std::size_t u = 0; u < warm; ++u) sta.step(batches[u]);
+    Stopwatch watch;
+    for (std::size_t u = warm; u < batches.size(); ++u) {
+      sta.step(batches[u]);
+      staAfter.units += 1;
+      staAfter.records += batches[u].records.size();
+    }
+    staAfter.seconds += watch.elapsedSeconds();
+  }
+  const double staSpeedup = staAfter.unitsPerSec() / staBefore.unitsPerSec();
+  std::printf("\nSTA observe (window %zu, warm steady state):\n", window);
+  printTiming("  window-copy reference", staBefore);
+  printTiming("  incremental window", staAfter);
+  std::printf("  speedup: %.2fx\n", staSpeedup);
+  ok &= bench::check(staSpeedup >= 2.0,
+                     "incremental STA >= 2x the window-copy reference");
+
+  // ---- 3. ADA observe ----
+  Timing ada;
+  double stageUpdate = 0.0, stageSeries = 0.0, stageDetect = 0.0;
+  while (ada.seconds < minSeconds) {
+    AdaDetector det(spec.hierarchy, detectorConfig(window, theta));
+    for (std::size_t u = 0; u < warm; ++u) det.step(batches[u]);
+    Stopwatch watch;
+    for (std::size_t u = warm; u < batches.size(); ++u) {
+      det.step(batches[u]);
+      ada.units += 1;
+      ada.records += batches[u].records.size();
+    }
+    ada.seconds += watch.elapsedSeconds();
+    stageUpdate = det.stages().totalSeconds(kStageUpdateHierarchies);
+    stageSeries = det.stages().totalSeconds(kStageCreateSeries);
+    stageDetect = det.stages().totalSeconds(kStageDetect);
+  }
+  std::printf("\nADA observe (window %zu, warm steady state):\n", window);
+  printTiming("  adaptive detector", ada);
+  std::printf("  last-pass stages: updating %.4fs, series %.4fs, "
+              "detect %.4fs\n",
+              stageUpdate, stageSeries, stageDetect);
+  // With the incremental window, STA is no longer orders of magnitude
+  // behind (that gap lives in the window-copy reference above); ADA and
+  // STA now trade blows within a small factor, so this is a sanity floor
+  // rather than a ranking claim.
+  ok &= bench::check(ada.unitsPerSec() >= 0.5 * staAfter.unitsPerSec(),
+                     "ADA observe stays within 2x of the incremental STA");
+
+  // ---- Machine-readable baseline ----
+  std::FILE* f = std::fopen(jsonPath.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"tiresias_bench_detect/v1\",\n");
+  std::fprintf(f, "  \"workload\": \"ccd-net/medium\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"units\": %zu,\n", batches.size());
+  std::fprintf(f, "  \"trace_records\": %zu,\n", totalRecords);
+  std::fprintf(f, "  \"window\": %zu,\n", window);
+  std::fprintf(f, "  \"theta\": %.1f,\n", theta);
+  std::fprintf(f, "  \"compute_shhh\": {\n");
+  jsonTiming(f, "before", before, true);
+  jsonTiming(f, "after", after, true);
+  std::fprintf(f, "    \"speedup\": %.2f\n  },\n", speedup);
+  std::fprintf(f, "  \"sta_observe\": {\n");
+  jsonTiming(f, "before", staBefore, true);
+  jsonTiming(f, "after", staAfter, true);
+  std::fprintf(f, "    \"speedup\": %.2f\n  },\n", staSpeedup);
+  std::fprintf(f, "  \"ada_observe\": {\n");
+  jsonTiming(f, "after", ada, true);
+  std::fprintf(f,
+               "    \"stage_seconds\": {\"updating_hierarchies\": %.6f, "
+               "\"creating_time_series\": %.6f, \"detecting_anomalies\": "
+               "%.6f}\n  }\n",
+               stageUpdate, stageSeries, stageDetect);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", jsonPath.c_str());
+
+  return ok ? 0 : 1;
+}

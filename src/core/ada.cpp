@@ -1,7 +1,7 @@
 #include "core/ada.h"
 
 #include <algorithm>
-#include <type_traits>
+#include <set>
 
 #include "common/expect.h"
 #include "core/state_io.h"
@@ -15,9 +15,49 @@ AdaDetector::AdaDetector(const Hierarchy& hierarchy, DetectorConfig config)
   TIRESIAS_EXPECT(config_.windowLength >= 2, "window length must be >= 2");
   TIRESIAS_EXPECT(config_.forecasterFactory != nullptr,
                   "forecaster factory is required");
+  if (!config_.workspace) {
+    config_.workspace = std::make_shared<DetectWorkspace>();
+  }
+  config_.workspace->bind(hierarchy_.size());
+  stateSlot_.assign(hierarchy_.size(), -1);
+  refSlot_.assign(hierarchy_.size(), -1);
 }
 
 AdaDetector::~AdaDetector() = default;
+
+void AdaDetector::setState(NodeId n, SeriesState&& st) {
+  const std::int32_t existing = stateSlot_[n];
+  if (existing >= 0) {
+    stateSlots_[static_cast<std::size_t>(existing)] = std::move(st);
+    return;
+  }
+  std::uint32_t slot;
+  if (!freeStateSlots_.empty()) {
+    slot = freeStateSlots_.back();
+    freeStateSlots_.pop_back();
+    stateSlots_[slot] = std::move(st);
+  } else {
+    slot = static_cast<std::uint32_t>(stateSlots_.size());
+    stateSlots_.push_back(std::move(st));
+  }
+  stateSlot_[n] = static_cast<std::int32_t>(slot);
+  holders_.insert(std::upper_bound(holders_.begin(), holders_.end(), n), n);
+}
+
+void AdaDetector::eraseState(NodeId n) {
+  const std::int32_t slot = stateSlot_[n];
+  if (slot < 0) return;
+  stateSlots_[static_cast<std::size_t>(slot)] = SeriesState{};
+  freeStateSlots_.push_back(static_cast<std::uint32_t>(slot));
+  stateSlot_[n] = -1;
+  holders_.erase(std::lower_bound(holders_.begin(), holders_.end(), n));
+}
+
+void AdaDetector::markReceived(NodeId n) {
+  if (ws().mark(DetectWorkspace::kReceivedPlane, n)) {
+    receivedNodes_.push_back(n);
+  }
+}
 
 std::optional<InstanceResult> AdaDetector::step(const TimeUnitBatch& batch) {
   newestUnit_ = batch.unit;
@@ -37,7 +77,7 @@ std::optional<InstanceResult> AdaDetector::step(const TimeUnitBatch& batch) {
     StageTimer::Scope scope(stages_, kStageDetect);
     result.shhh = currentShhh();
     for (NodeId n : result.shhh) {
-      const auto& st = states_.at(n);
+      const auto& st = stateOf(n);
       const double actual = st.actual.latest();
       const double forecast = st.forecastSeries.latest();
       if (isAnomalous(actual, forecast, config_.ratioThreshold,
@@ -77,7 +117,7 @@ void AdaDetector::finishBootstrap() {
       st.actual.push(v);
       st.model->update(v);
     }
-    states_.emplace(node, std::move(st));
+    setState(node, std::move(st));
   }
   rootIsMember_ =
       std::binary_search(shhh.begin(), shhh.end(), hierarchy_.root());
@@ -90,26 +130,34 @@ void AdaDetector::finishBootstrap() {
     }
   }
   const auto rawHist = rawSeries(hierarchy_, bootstrapUnits_, refNodes);
+  refNodes_.clear();
+  refNodes_.reserve(rawHist.size());
   for (const auto& [node, hist] : rawHist) {
+    (void)hist;
+    refNodes_.push_back(node);
+  }
+  std::sort(refNodes_.begin(), refNodes_.end());
+  refStates_.clear();
+  refStates_.reserve(refNodes_.size());
+  for (std::size_t i = 0; i < refNodes_.size(); ++i) {
+    const NodeId node = refNodes_[i];
     RefState ref;
     ref.actual = RingSeries(config_.windowLength);
     ref.forecastSeries = RingSeries(config_.windowLength);
     ref.model = config_.forecasterFactory->make();
-    for (double v : hist) {
+    for (double v : rawHist.at(node)) {
       ref.forecastSeries.push(ref.model->forecast());
       ref.actual.push(v);
       ref.model->update(v);
     }
-    refs_.emplace(node, std::move(ref));
+    refSlot_[node] = static_cast<std::int32_t>(i);
+    refStates_.push_back(std::move(ref));
   }
 
   // Seed the split-rule statistics with the bootstrap history.
   for (const auto& unit : bootstrapUnits_) {
-    const auto touched = computeShhh(hierarchy_, unit, config_.theta).touched;
-    std::vector<std::pair<NodeId, double>> raws;
-    raws.reserve(touched.size());
-    for (const auto& t : touched) raws.emplace_back(t.node, t.raw);
-    splitRules_.observeInstance(raws);
+    const auto result = computeShhh(hierarchy_, unit, config_.theta);
+    splitRules_.observeTouched(result.touched);
   }
 
   bootstrapUnits_.clear();
@@ -137,33 +185,39 @@ void AdaDetector::split(NodeId n) {
   for (NodeId c : hierarchy_.children(n)) {
     if (isMember(c)) continue;
     group.push_back(c);
-    auto wit = weight_.find(c);
-    const double w = wit == weight_.end() ? 0.0 : wit->second;
-    if (w >= config_.theta) weightTrigger = true;
+    if (freshWeight(c) >= config_.theta) weightTrigger = true;
     // Deviation 1 (DESIGN.md): a pending tosplit also triggers, so heavy
     // hitters hidden multiple levels down still receive a series.
-    if (tosplit_.count(c)) chainTrigger = true;
+    if (ws().isMarked(DetectWorkspace::kSplitPlane, c)) chainTrigger = true;
   }
   if ((!weightTrigger && !chainTrigger) || group.empty()) return;
   ++splitCount_;
   if (!weightTrigger) ++deepChainSplitCount_;
 
-  const auto& st = states_.at(n);
   const auto ratios = splitRules_.ratios(group);
+  // Stage the children's shares before touching the slot table (setState
+  // may reuse or grow slot storage, which would invalidate a reference to
+  // n's own state).
+  std::vector<SeriesState> shares;
+  shares.reserve(group.size());
+  {
+    const SeriesState& st = stateOf(n);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      shares.push_back(makeScaledCopy(st, ratios[i]));
+    }
+  }
   for (std::size_t i = 0; i < group.size(); ++i) {
-    SeriesState child = makeScaledCopy(st, ratios[i]);
-    states_.insert_or_assign(group[i], std::move(child));
-    received_.insert(group[i]);
+    setState(group[i], std::move(shares[i]));
+    markReceived(group[i]);
   }
   if (n == hierarchy_.root()) {
     // The root always keeps a series object for future splits; its
     // residual history is rebuilt from the root reference series in the
     // correction phase.
     rootIsMember_ = false;
-    received_.insert(n);
+    markReceived(n);
   } else {
-    states_.erase(n);
-    received_.erase(n);
+    eraseState(n);
   }
 }
 
@@ -171,13 +225,9 @@ void AdaDetector::mergeGroupOf(NodeId n) {
   // Gather C_n = members among {parent} ∪ siblings with W < θ (Fig 8).
   const NodeId np = hierarchy_.parent(n);
   TIRESIAS_EXPECT(np != kInvalidNode, "root does not merge");
-  auto weightOf = [&](NodeId id) {
-    auto it = weight_.find(id);
-    return it == weight_.end() ? 0.0 : it->second;
-  };
   std::vector<NodeId> group;
   for (NodeId c : hierarchy_.children(np)) {
-    if (isMember(c) && weightOf(c) < config_.theta) group.push_back(c);
+    if (isMember(c) && freshWeight(c) < config_.theta) group.push_back(c);
   }
   TIRESIAS_EXPECT(!group.empty(), "merge group must contain the trigger");
   ++mergeCount_;
@@ -188,11 +238,11 @@ void AdaDetector::mergeGroupOf(NodeId n) {
   SeriesState acc;
   bool accInit = false;
   if (holds(np)) {
-    acc = std::move(states_.at(np));
+    acc = std::move(stateOf(np));
     accInit = true;
   }
   for (NodeId c : group) {
-    auto& cs = states_.at(c);
+    auto& cs = stateOf(c);
     if (!accInit) {
       acc = std::move(cs);
       accInit = true;
@@ -201,38 +251,40 @@ void AdaDetector::mergeGroupOf(NodeId n) {
       acc.forecastSeries.addFrom(cs.forecastSeries);
       acc.model->addFrom(*cs.model);
     }
-    states_.erase(c);
-    received_.erase(c);
+    eraseState(c);
   }
-  states_.insert_or_assign(np, std::move(acc));
-  received_.insert(np);
+  setState(np, std::move(acc));
+  markReceived(np);
   if (np == hierarchy_.root()) rootIsMember_ = true;
 }
 
 bool AdaDetector::correctFromRef(NodeId n) {
   if (!holds(n)) return false;
-  auto refIt = refs_.find(n);
-  if (refIt == refs_.end()) return false;
+  const std::int32_t refIdx = refSlot_[n];
+  if (refIdx < 0) return false;
+  const RefState& ref = refStates_[static_cast<std::size_t>(refIdx)];
 
   // T[n] := T_REF[n] − Σ T[d] over member heavy-hitter descendants d.
-  RingSeries actual = refIt->second.actual;
-  RingSeries forecast = refIt->second.forecastSeries;
-  auto model = refIt->second.model->clone();
-  for (auto it = states_.upper_bound(n); it != states_.end(); ++it) {
-    const NodeId d = it->first;
+  RingSeries actual = ref.actual;
+  RingSeries forecast = ref.forecastSeries;
+  auto model = ref.model->clone();
+  for (auto it = std::upper_bound(holders_.begin(), holders_.end(), n);
+       it != holders_.end(); ++it) {
+    const NodeId d = *it;
     if (!hierarchy_.isAncestorOrEqual(n, d)) continue;
     if (!isMember(d)) continue;
-    auto neg = it->second.model->clone();
+    const SeriesState& ds = stateOf(d);
+    auto neg = ds.model->clone();
     neg->scale(-1.0);
     model->addFrom(*neg);
-    RingSeries negActual = it->second.actual;
+    RingSeries negActual = ds.actual;
     negActual.scale(-1.0);
     actual.addFrom(negActual);
-    RingSeries negForecast = it->second.forecastSeries;
+    RingSeries negForecast = ds.forecastSeries;
     negForecast.scale(-1.0);
     forecast.addFrom(negForecast);
   }
-  auto& st = states_.at(n);
+  auto& st = stateOf(n);
   st.actual = std::move(actual);
   st.forecastSeries = std::move(forecast);
   st.model = std::move(model);
@@ -240,68 +292,67 @@ bool AdaDetector::correctFromRef(NodeId n) {
 }
 
 void AdaDetector::applyReferenceCorrections() {
-  if (received_.empty()) return;
+  if (receivedNodes_.empty()) return;
   // Deepest first so corrected descendants feed ancestors' corrections.
-  std::vector<NodeId> targets(received_.begin(), received_.end());
-  std::sort(targets.begin(), targets.end(), std::greater<NodeId>());
-  for (NodeId n : targets) correctFromRef(n);
+  // Nodes that received a series and lost it again fail correctFromRef's
+  // holds() check, so the marks need no erase support.
+  std::sort(receivedNodes_.begin(), receivedNodes_.end(),
+            std::greater<NodeId>());
+  for (NodeId n : receivedNodes_) correctFromRef(n);
 }
 
 std::optional<InstanceResult> AdaDetector::adaptiveInstance(
     const TimeUnitBatch& batch) {
+  DetectWorkspace& w = ws();
   // ---- Stage: Updating Hierarchies (Fig 5 lines 6-12) ----
-  std::vector<NodeId> touched;
   {
     StageTimer::Scope scope(stages_, kStageUpdateHierarchies);
-    raw_.clear();
-    weight_.clear();
-    tosplit_.clear();
-    received_.clear();
-
-    CountMap counts;
-    counts.reserve(batch.records.size());
-    for (const auto& r : batch.records) counts[r.category] += 1.0;
-    const auto result = computeShhh(hierarchy_, counts, config_.theta);
-    touched.reserve(result.touched.size());
-    for (const auto& t : result.touched) {
-      raw_[t.node] = t.raw;
-      weight_[t.node] = t.modified;
-      touched.push_back(t.node);
-    }
-    // `touched` comes back ascending; descending is bottom-up.
+    w.beginUnit();
+    w.touched.clear();
+    for (const auto& r : batch.records) stageCount(w, r.category, 1.0);
+    computeShhhStaged(hierarchy_, config_.theta, w, shhhScratch_);
+    // The value plane now holds A_n / W_n for every touched node and stays
+    // valid for the rest of the instance (no kernel runs until the next
+    // unit bumps the generation).
+    lastTouched_ = shhhScratch_.touched.size();
   }
-
-  auto freshHeavy = [&](NodeId n) {
-    auto it = weight_.find(n);
-    return it != weight_.end() && it->second >= config_.theta;
-  };
 
   // ---- Stage: Creating Time Series (Fig 5 lines 13-29) ----
   {
     StageTimer::Scope scope(stages_, kStageCreateSeries);
+    w.beginMarks(DetectWorkspace::kSplitPlane);
+    w.beginMarks(DetectWorkspace::kReceivedPlane);
+    tosplitNodes_.clear();
+    receivedNodes_.clear();
 
     // Bottom-up tosplit marking (lines 13-17): a node that needs a series
     // but has none asks its parent to split.
+    const auto& touched = shhhScratch_.touched;
     for (auto it = touched.rbegin(); it != touched.rend(); ++it) {
-      const NodeId n = *it;
+      const NodeId n = it->node;
       if (n == hierarchy_.root()) continue;
-      if ((freshHeavy(n) || tosplit_.count(n)) && !isMember(n)) {
-        tosplit_.insert(hierarchy_.parent(n));
+      if ((it->heavy || w.isMarked(DetectWorkspace::kSplitPlane, n)) &&
+          !isMember(n)) {
+        const NodeId p = hierarchy_.parent(n);
+        if (w.mark(DetectWorkspace::kSplitPlane, p)) {
+          tosplitNodes_.push_back(p);
+        }
       }
     }
 
-    // Top-down splits (lines 18-20). tosplit_ was fully determined above,
-    // so an ascending sweep visits parents before children.
-    if (!tosplit_.empty()) {
-      std::vector<NodeId> splitters(tosplit_.begin(), tosplit_.end());
-      std::sort(splitters.begin(), splitters.end());
-      for (NodeId n : splitters) {
+    // Top-down splits (lines 18-20). The tosplit set was fully determined
+    // above, so an ascending sweep visits parents before children.
+    if (!tosplitNodes_.empty()) {
+      std::sort(tosplitNodes_.begin(), tosplitNodes_.end());
+      for (NodeId n : tosplitNodes_) {
         if (isMember(n) || n == hierarchy_.root()) {
           // If this node itself received a share earlier in the sweep and
           // a reference series is available, repair its history before
           // distributing it further down (§V-B5 applies corrections at
           // split time).
-          if (received_.count(n)) correctFromRef(n);
+          if (w.isMarked(DetectWorkspace::kReceivedPlane, n)) {
+            correctFromRef(n);
+          }
           split(n);
         }
       }
@@ -311,8 +362,7 @@ std::optional<InstanceResult> AdaDetector::adaptiveInstance(
     // fold into their parent; cascades handled by a descending worklist.
     {
       std::set<NodeId, std::greater<NodeId>> worklist;
-      for (const auto& [n, st] : states_) {
-        (void)st;
+      for (NodeId n : holders_) {
         if (n != hierarchy_.root() && isMember(n) && !freshHeavy(n)) {
           worklist.insert(n);
         }
@@ -339,39 +389,35 @@ std::optional<InstanceResult> AdaDetector::adaptiveInstance(
     if (config_.validateShhh) {
       // Lemma 1 cross-check: holders (modulo the root flag) must equal the
       // fresh Definition-2 set.
-      for (const auto& [n, st] : states_) {
-        (void)st;
+      for (NodeId n : holders_) {
         if (n == hierarchy_.root()) continue;
         TIRESIAS_EXPECT(freshHeavy(n), "holder is not a fresh heavy hitter");
       }
-      for (NodeId n : touched) {
-        TIRESIAS_EXPECT(!freshHeavy(n) || isMember(n),
+      for (const auto& t : touched) {
+        TIRESIAS_EXPECT(!t.heavy || isMember(t.node),
                         "fresh heavy hitter lacks a series");
       }
     }
 
     // Append the fresh W_n and advance forecasts (lines 26-29). The root
     // appends even when not a member so its series stays current.
-    for (auto& [n, st] : states_) {
-      auto wit = weight_.find(n);
-      const double w = wit == weight_.end() ? 0.0 : wit->second;
+    for (NodeId n : holders_) {
+      auto& st = stateOf(n);
+      const double weight = freshWeight(n);
       st.forecastSeries.push(st.model->forecast());
-      st.actual.push(w);
-      st.model->update(w);
+      st.actual.push(weight);
+      st.model->update(weight);
     }
     // Reference series track raw aggregates unconditionally.
-    for (auto& [n, ref] : refs_) {
-      auto rit = raw_.find(n);
-      const double a = rit == raw_.end() ? 0.0 : rit->second;
+    for (std::size_t i = 0; i < refNodes_.size(); ++i) {
+      auto& ref = refStates_[i];
+      const double a = w.rawOrZero(refNodes_[i]);
       ref.forecastSeries.push(ref.model->forecast());
       ref.actual.push(a);
       ref.model->update(a);
     }
     // Split-rule statistics absorb this instance *after* adaptation.
-    std::vector<std::pair<NodeId, double>> raws;
-    raws.reserve(raw_.size());
-    for (const auto& [n, a] : raw_) raws.emplace_back(n, a);
-    splitRules_.observeInstance(raws);
+    splitRules_.observeTouched(touched);
   }
 
   // ---- Stage: Detecting Anomalies (Definition 4) ----
@@ -381,7 +427,7 @@ std::optional<InstanceResult> AdaDetector::adaptiveInstance(
     StageTimer::Scope scope(stages_, kStageDetect);
     result.shhh = currentShhh();
     for (NodeId n : result.shhh) {
-      const auto& st = states_.at(n);
+      const auto& st = stateOf(n);
       const double actual = st.actual.latest();
       const double forecast = st.forecastSeries.latest();
       if (isAnomalous(actual, forecast, config_.ratioThreshold,
@@ -396,24 +442,24 @@ std::optional<InstanceResult> AdaDetector::adaptiveInstance(
 
 std::vector<NodeId> AdaDetector::currentShhh() const {
   std::vector<NodeId> out;
-  out.reserve(states_.size());
-  for (const auto& [n, st] : states_) {
-    (void)st;
+  out.reserve(holders_.size());
+  for (NodeId n : holders_) {
     if (isMember(n)) out.push_back(n);
   }
   return out;
 }
 
-std::vector<double> AdaDetector::seriesOf(NodeId node) const {
-  auto it = states_.find(node);
-  return it == states_.end() ? std::vector<double>{}
-                             : it->second.actual.toVector();
+void AdaDetector::seriesInto(NodeId node, std::vector<double>& out) const {
+  out.clear();
+  if (node >= stateSlot_.size() || stateSlot_[node] < 0) return;
+  stateOf(node).actual.appendTo(out);
 }
 
-std::vector<double> AdaDetector::forecastSeriesOf(NodeId node) const {
-  auto it = states_.find(node);
-  return it == states_.end() ? std::vector<double>{}
-                             : it->second.forecastSeries.toVector();
+void AdaDetector::forecastSeriesInto(NodeId node,
+                                     std::vector<double>& out) const {
+  out.clear();
+  if (node >= stateSlot_.size() || stateSlot_[node] < 0) return;
+  stateOf(node).forecastSeries.appendTo(out);
 }
 
 void AdaDetector::saveState(persist::Serializer& out) const {
@@ -427,18 +473,20 @@ void AdaDetector::saveState(persist::Serializer& out) const {
   out.u64(splitCount_);
   out.u64(mergeCount_);
   out.u64(deepChainSplitCount_);
-  // states_ and refs_ are std::map, so iteration is already the canonical
-  // ascending-node order.
-  out.u64(states_.size());
-  for (const auto& [node, st] : states_) {
-    out.u32(node);
+  // holders_/refNodes_ are kept ascending, so iteration order matches the
+  // historical std::map encoding byte for byte.
+  out.u64(holders_.size());
+  for (NodeId n : holders_) {
+    const auto& st = stateOf(n);
+    out.u32(n);
     st.actual.saveState(out);
     st.forecastSeries.saveState(out);
     st.model->saveState(out);
   }
-  out.u64(refs_.size());
-  for (const auto& [node, ref] : refs_) {
-    out.u32(node);
+  out.u64(refNodes_.size());
+  for (std::size_t i = 0; i < refNodes_.size(); ++i) {
+    const auto& ref = refStates_[i];
+    out.u32(refNodes_[i]);
     ref.actual.saveState(out);
     ref.forecastSeries.saveState(out);
     ref.model->saveState(out);
@@ -469,8 +517,13 @@ void AdaDetector::loadState(persist::Deserializer& in) {
   const std::size_t mergeCount = in.u64();
   const std::size_t deepChainSplitCount = in.u64();
 
-  const auto readStates = [&](auto& map) {
+  const auto readStates = [&](std::vector<NodeId>& nodes,
+                              std::vector<SeriesState>& states) {
     const std::size_t n = in.count(sizeof(std::uint32_t));
+    nodes.clear();
+    states.clear();
+    nodes.reserve(n);
+    states.reserve(n);
     NodeId prev = kInvalidNode;
     for (std::size_t i = 0; i < n; ++i) {
       const NodeId node = in.u32();
@@ -479,7 +532,7 @@ void AdaDetector::loadState(persist::Deserializer& in) {
       Deserializer::require(prev == kInvalidNode || node > prev,
                             "ADA snapshot: node keys not strictly ascending");
       prev = node;
-      typename std::decay_t<decltype(map)>::mapped_type st;
+      SeriesState st;
       st.actual.loadState(in);
       st.forecastSeries.loadState(in);
       Deserializer::require(
@@ -488,14 +541,15 @@ void AdaDetector::loadState(persist::Deserializer& in) {
           "ADA snapshot: series ring capacity != window length");
       st.model = config_.forecasterFactory->make();
       st.model->loadState(in);
-      map.emplace(node, std::move(st));
+      nodes.push_back(node);
+      states.push_back(std::move(st));
     }
   };
-  std::map<NodeId, SeriesState> states;
-  std::map<NodeId, RefState> refs;
-  readStates(states);
-  readStates(refs);
-  splitRules_.loadState(in);
+  std::vector<NodeId> holders, refNodes;
+  std::vector<SeriesState> states, refs;
+  readStates(holders, states);
+  readStates(refNodes, refs);
+  splitRules_.loadState(in, hierarchy_.size());
 
   bootstrapped_ = bootstrapped;
   bootstrapUnits_ = std::move(bootstrapUnits);
@@ -504,31 +558,41 @@ void AdaDetector::loadState(persist::Deserializer& in) {
   splitCount_ = splitCount;
   mergeCount_ = mergeCount;
   deepChainSplitCount_ = deepChainSplitCount;
-  states_ = std::move(states);
-  refs_ = std::move(refs);
+  std::fill(stateSlot_.begin(), stateSlot_.end(), -1);
+  freeStateSlots_.clear();
+  holders_ = std::move(holders);
+  stateSlots_ = std::move(states);
+  for (std::size_t i = 0; i < holders_.size(); ++i) {
+    stateSlot_[holders_[i]] = static_cast<std::int32_t>(i);
+  }
+  std::fill(refSlot_.begin(), refSlot_.end(), -1);
+  refNodes_ = std::move(refNodes);
+  refStates_ = std::move(refs);
+  for (std::size_t i = 0; i < refNodes_.size(); ++i) {
+    refSlot_[refNodes_[i]] = static_cast<std::int32_t>(i);
+  }
   // Per-instance scratch never survives a step, so a restored detector
   // starts with it empty, exactly like one that just finished step().
-  raw_.clear();
-  weight_.clear();
-  tosplit_.clear();
-  received_.clear();
+  tosplitNodes_.clear();
+  receivedNodes_.clear();
+  lastTouched_ = 0;
 }
 
 MemoryStats AdaDetector::memoryStats() const {
   MemoryStats stats;
-  stats.seriesCount = states_.size() * 2;
-  for (const auto& [n, st] : states_) {
-    (void)n;
+  stats.seriesCount = holders_.size() * 2;
+  for (NodeId n : holders_) {
+    const auto& st = stateOf(n);
     stats.seriesValues += st.actual.size() + st.forecastSeries.size();
   }
-  stats.refSeriesCount = refs_.size() * 2;
-  for (const auto& [n, ref] : refs_) {
-    (void)n;
+  stats.refSeriesCount = refNodes_.size() * 2;
+  for (const auto& ref : refStates_) {
     stats.refSeriesValues += ref.actual.size() + ref.forecastSeries.size();
   }
-  // One resident tree's worth of per-node bookkeeping: the touched maps
-  // plus split-rule statistics.
-  stats.treeNodesStored = raw_.size() + splitRules_.trackedNodes();
+  // One resident tree's worth of per-node bookkeeping: the last touched
+  // set plus split-rule statistics.
+  stats.treeNodesStored = lastTouched_ + splitRules_.trackedNodes();
+  stats.workspaceBytes = config_.workspace->bytes();
   stats.bytesEstimate =
       (stats.seriesValues + stats.refSeriesValues) * sizeof(double) +
       stats.treeNodesStored * (sizeof(NodeId) + sizeof(double));

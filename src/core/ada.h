@@ -16,6 +16,14 @@
 // The first ℓ timeunits are a bootstrap phase that buffers per-unit counts
 // and then performs one STA-style reconstruction (Fig 5 lines 2-5).
 //
+// Hot-path layout: per-instance scratch (A_n, W_n, tosplit, received)
+// lives in the pipeline's DetectWorkspace — dense epoch-stamped arrays,
+// invalidated per unit by a generation bump. Series holders sit in a dense
+// NodeId→slot table with a free list (holder lookups are array indexing);
+// `holders_` keeps the ascending id order the adaptation sweeps and the
+// snapshot encoding rely on. Reference series are fixed after bootstrap
+// and live in parallel ascending arrays with their own dense index.
+//
 // Documented deviations from the paper's pseudocode (see DESIGN.md,
 // "Faithful-intent corrections"): SPLIT also fires on a pending child
 // tosplit flag so deep new heavy hitters are reachable, series values are
@@ -23,10 +31,7 @@
 // corrected like split-received ones.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <set>
-#include <unordered_set>
 
 #include "core/detector.h"
 #include "core/shhh.h"
@@ -42,8 +47,9 @@ class AdaDetector final : public Detector {
 
   std::optional<InstanceResult> step(const TimeUnitBatch& batch) override;
   std::vector<NodeId> currentShhh() const override;
-  std::vector<double> seriesOf(NodeId node) const override;
-  std::vector<double> forecastSeriesOf(NodeId node) const override;
+  void seriesInto(NodeId node, std::vector<double>& out) const override;
+  void forecastSeriesInto(NodeId node,
+                          std::vector<double>& out) const override;
   MemoryStats memoryStats() const override;
   void saveState(persist::Serializer& out) const override;
   void loadState(persist::Deserializer& in) override;
@@ -68,11 +74,10 @@ class AdaDetector final : public Detector {
   };
 
   /// Reference (unmodified-weight) series for a top-level node (§V-B5).
-  struct RefState {
-    RingSeries actual;
-    RingSeries forecastSeries;
-    std::unique_ptr<Forecaster> model;
-  };
+  using RefState = SeriesState;
+
+  DetectWorkspace& ws() { return *config_.workspace; }
+  const DetectWorkspace& ws() const { return *config_.workspace; }
 
   void bootstrapInstance(const TimeUnitBatch& batch);
   void finishBootstrap();
@@ -86,10 +91,31 @@ class AdaDetector final : public Detector {
   void applyReferenceCorrections();
   SeriesState makeScaledCopy(const SeriesState& src, double ratio) const;
 
-  bool holds(NodeId n) const { return states_.count(n) != 0; }
+  // --- dense holder slot table -----------------------------------------
+  bool holds(NodeId n) const { return stateSlot_[n] >= 0; }
+  SeriesState& stateOf(NodeId n) {
+    return stateSlots_[static_cast<std::size_t>(stateSlot_[n])];
+  }
+  const SeriesState& stateOf(NodeId n) const {
+    return stateSlots_[static_cast<std::size_t>(stateSlot_[n])];
+  }
+  /// Bind `st` to `n` (insert-or-assign); keeps holders_ sorted.
+  void setState(NodeId n, SeriesState&& st);
+  /// Release n's slot to the free list; keeps holders_ sorted.
+  void eraseState(NodeId n);
+
   bool isMember(NodeId n) const {
     return holds(n) && (n != hierarchy_.root() || rootIsMember_);
   }
+
+  /// W_n of the current instance (0 for untouched nodes).
+  double freshWeight(NodeId n) const { return ws().modifiedOrZero(n); }
+  bool freshHeavy(NodeId n) const {
+    return freshWeight(n) >= config_.theta;
+  }
+
+  /// Flag n as having acquired a series this instance.
+  void markReceived(NodeId n);
 
   const Hierarchy& hierarchy_;
   DetectorConfig config_;
@@ -101,19 +127,27 @@ class AdaDetector final : public Detector {
 
   // --- adaptive phase ---
   TimeUnit newestUnit_ = 0;
-  /// Series holders. Presence == SHHH membership, except the root which
-  /// always holds a series and carries an explicit membership flag
-  /// (Fig 5 lines 24-25).
-  std::map<NodeId, SeriesState> states_;
+  /// Series holders: dense slot table + ascending id list. Presence ==
+  /// SHHH membership, except the root which always holds a series and
+  /// carries an explicit membership flag (Fig 5 lines 24-25).
+  std::vector<std::int32_t> stateSlot_;   // NodeId → slot, -1 = none
+  std::vector<SeriesState> stateSlots_;
+  std::vector<std::uint32_t> freeStateSlots_;
+  std::vector<NodeId> holders_;           // ascending ids holding a slot
   bool rootIsMember_ = false;
-  /// Reference series for nodes of depth 2..h+1, plus the root.
-  std::map<NodeId, RefState> refs_;
+  /// Reference series for nodes of depth 2..h+1, plus the root — fixed
+  /// after bootstrap (ascending ids, dense index).
+  std::vector<NodeId> refNodes_;
+  std::vector<RefState> refStates_;
+  std::vector<std::int32_t> refSlot_;     // NodeId → refStates_ index
 
-  // Per-instance scratch (cleared each step).
-  std::unordered_map<NodeId, double> raw_;       // A_n of touched nodes
-  std::unordered_map<NodeId, double> weight_;    // W_n of touched nodes
-  std::unordered_set<NodeId> tosplit_;
-  std::unordered_set<NodeId> received_;  // nodes that acquired a series
+  // Per-instance scratch: A_n/W_n live in the workspace value plane,
+  // tosplit/received in its mark planes; these vectors enumerate the
+  // marked nodes (reused capacity).
+  std::vector<NodeId> tosplitNodes_;
+  std::vector<NodeId> receivedNodes_;
+  ShhhResult shhhScratch_;                // reused across units
+  std::size_t lastTouched_ = 0;           // |touched| of the last instance
 
   std::size_t splitCount_ = 0;
   std::size_t mergeCount_ = 0;

@@ -14,6 +14,7 @@
 
 #include "common/timer.h"
 #include "core/types.h"
+#include "core/workspace.h"
 #include "persist/snapshot.h"
 #include "stream/window.h"
 #include "timeseries/forecaster.h"
@@ -43,6 +44,11 @@ struct DetectorConfig {
   std::size_t referenceLevels = 2;
   /// Forecasting model for heavy-hitter series. Required.
   std::shared_ptr<const ForecasterFactory> forecasterFactory;
+  /// Dense per-unit scratch. Normally supplied by the owning
+  /// TiresiasPipeline (one workspace per stream, reused across units); a
+  /// detector constructed with a null workspace creates a private one.
+  /// Never shared across concurrently stepping detectors.
+  std::shared_ptr<DetectWorkspace> workspace;
   /// When true, ADA cross-checks its adapted SHHH set against the
   /// Definition-2 ground truth every instance (tests; costs one
   /// computeShhh per step).
@@ -68,13 +74,29 @@ class Detector {
   /// Current SHHH set (ascending ids). Empty before the window fills.
   virtual std::vector<NodeId> currentShhh() const = 0;
 
-  /// The node's current modified-weight series (oldest first), or empty if
-  /// the node holds no series in the current instance.
-  virtual std::vector<double> seriesOf(NodeId node) const = 0;
+  /// Copy the node's current modified-weight series (oldest first) into
+  /// `out` (cleared first, capacity reused); `out` ends empty if the node
+  /// holds no series in the current instance. This is the allocation-free
+  /// accessor for per-step callers — hold a buffer and refill it.
+  virtual void seriesInto(NodeId node, std::vector<double>& out) const = 0;
 
   /// The node's current forecast series (oldest first), aligned with
-  /// seriesOf; empty if the node holds no series.
-  virtual std::vector<double> forecastSeriesOf(NodeId node) const = 0;
+  /// seriesInto; `out` ends empty if the node holds no series.
+  virtual void forecastSeriesInto(NodeId node,
+                                  std::vector<double>& out) const = 0;
+
+  /// Convenience wrappers returning a fresh vector per call (tests and
+  /// offline evaluation; hot callers use the *Into accessors).
+  std::vector<double> seriesOf(NodeId node) const {
+    std::vector<double> out;
+    seriesInto(node, out);
+    return out;
+  }
+  std::vector<double> forecastSeriesOf(NodeId node) const {
+    std::vector<double> out;
+    forecastSeriesInto(node, out);
+    return out;
+  }
 
   virtual MemoryStats memoryStats() const = 0;
 

@@ -20,8 +20,10 @@ std::optional<InstanceResult> SlidingScaleDetector::step(
   coarse.unit = fineResult->unit;
   coarse.shhh = fineResult->shhh;
   for (NodeId n : coarse.shhh) {
-    const auto actual = ada_.seriesOf(n);
-    const auto forecast = ada_.forecastSeriesOf(n);
+    ada_.seriesInto(n, actualBuf_);
+    ada_.forecastSeriesInto(n, forecastBuf_);
+    const auto& actual = actualBuf_;
+    const auto& forecast = forecastBuf_;
     if (actual.size() < scale_.lambda) continue;
     double coarseActual = 0.0, coarseForecast = 0.0;
     for (std::size_t j = 0; j < scale_.lambda; ++j) {

@@ -51,6 +51,10 @@ class SlidingScaleDetector {
  private:
   AdaDetector ada_;
   SlidingScaleConfig scale_;
+  // Reused per-step copies of one holder's series (copy-once accessors;
+  // steady state allocates nothing).
+  std::vector<double> actualBuf_;
+  std::vector<double> forecastBuf_;
 };
 
 }  // namespace tiresias

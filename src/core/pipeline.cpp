@@ -13,6 +13,8 @@ TiresiasPipeline::TiresiasPipeline(const Hierarchy& hierarchy,
                   "window length must be >= 2");
   TIRESIAS_EXPECT(config_.delta > 0, "delta must be positive");
   nextStart_ = config_.startTime;
+  workspace_ = std::make_shared<DetectWorkspace>();
+  workspace_->bind(hierarchy_.size());
 }
 
 void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
@@ -41,6 +43,7 @@ void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
         config_.hwParams, std::move(seasons));
   }
   activeFactory_ = cfg.forecasterFactory;
+  cfg.workspace = workspace_;
   if (config_.useAda) {
     detector_ = std::make_unique<AdaDetector>(hierarchy_, cfg);
   } else {
@@ -176,6 +179,7 @@ void TiresiasPipeline::loadState(persist::Deserializer& in) {
     }
     const std::string savedProbe = in.str();
     DetectorConfig cfg = config_.detector;
+    cfg.workspace = workspace_;
     if (factoryDerived) {
       cfg.forecasterFactory = std::make_shared<HoltWintersFactory>(
           config_.hwParams, derivedSeasons);

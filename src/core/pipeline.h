@@ -87,6 +87,10 @@ class TiresiasPipeline {
   /// everything before this point.
   Timestamp resumeTime() const { return nextStart_; }
 
+  /// Resident bytes of the stream's shared detection workspace (the dense
+  /// epoch-stamped scratch every detector built by this pipeline uses).
+  std::size_t workspaceBytes() const { return workspace_->bytes(); }
+
   /// Snapshot the pipeline: batching position, warm-up buffer, the Step-3
   /// seasonality decision, and (when built) the detector state.
   void saveState(persist::Serializer& out) const;
@@ -103,6 +107,10 @@ class TiresiasPipeline {
 
   const Hierarchy& hierarchy_;
   PipelineConfig config_;
+  /// One dense detection workspace per stream, created with the pipeline
+  /// and handed to every detector it builds (reused across units; nothing
+  /// in it survives a unit, so rebuilding a detector can share it too).
+  std::shared_ptr<DetectWorkspace> workspace_;
   std::unique_ptr<Detector> detector_;
   /// Where the next run() resumes batching (advances past processed units).
   Timestamp nextStart_ = 0;

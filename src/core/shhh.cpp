@@ -7,116 +7,134 @@
 namespace tiresias {
 namespace {
 
-/// Collect the union of the counted nodes and all their ancestors, sorted
-/// descending (BFS ids make descending order a valid bottom-up order).
-std::vector<NodeId> touchedBottomUp(const Hierarchy& hierarchy,
-                                    const CountMap& counts) {
-  std::vector<NodeId> touched;
-  touched.reserve(counts.size() * 2 + 1);
-  std::unordered_map<NodeId, bool> seen;
-  for (const auto& [node, weight] : counts) {
-    (void)weight;
-    for (NodeId cur = node; cur != kInvalidNode;
+/// Workspace for the CountMap convenience overloads (tests, benches,
+/// bootstrap); the detectors pass their pipeline's workspace instead.
+DetectWorkspace& localWorkspace(const Hierarchy& hierarchy) {
+  static thread_local DetectWorkspace ws;
+  ws.bind(hierarchy.size());
+  return ws;
+}
+
+/// Extend ws.touched (currently the counted nodes) with every ancestor,
+/// deduplicated by the value-plane epoch stamps, and sort it descending —
+/// BFS ids make that a valid bottom-up order.
+void climbAndSort(const Hierarchy& hierarchy, DetectWorkspace& ws) {
+  auto& touched = ws.touched;
+  const std::size_t counted = touched.size();
+  for (std::size_t i = 0; i < counted; ++i) {
+    for (NodeId cur = hierarchy.parent(touched[i]); cur != kInvalidNode;
          cur = hierarchy.parent(cur)) {
-      if (seen.emplace(cur, true).second) {
-        touched.push_back(cur);
-      } else {
-        break;  // the rest of the chain is already present
-      }
+      if (!ws.touch(cur)) break;  // the rest of the chain is already present
+      touched.push_back(cur);
     }
   }
   std::sort(touched.begin(), touched.end(), std::greater<NodeId>());
-  return touched;
 }
 
 }  // namespace
 
-ShhhResult computeShhh(const Hierarchy& hierarchy, const CountMap& counts,
-                       double theta) {
+void collectTouchedStaged(const Hierarchy& hierarchy, DetectWorkspace& ws) {
+  climbAndSort(hierarchy, ws);
+}
+
+void computeShhhStaged(const Hierarchy& hierarchy, double theta,
+                       DetectWorkspace& ws, ShhhResult& out) {
   TIRESIAS_EXPECT(theta > 0.0, "theta must be positive");
-  ShhhResult result;
-  const auto touched = touchedBottomUp(hierarchy, counts);
-  if (touched.empty()) return result;
-
-  std::unordered_map<NodeId, double> raw, modified;
-  raw.reserve(touched.size());
-  modified.reserve(touched.size());
-  for (const auto& [node, weight] : counts) {
-    raw[node] += weight;
-    modified[node] += weight;
-  }
-
-  result.touched.reserve(touched.size());
-  for (NodeId n : touched) {
-    const double a = raw[n];
-    const double w = modified[n];
+  out.clear();
+  climbAndSort(hierarchy, ws);
+  out.touched.reserve(ws.touched.size());
+  for (NodeId n : ws.touched) {
+    const double a = ws.raw(n);
+    const double w = ws.modified(n);
     const bool heavy = w >= theta;
-    result.touched.push_back({n, a, w, heavy});
+    out.touched.push_back({n, a, w, heavy});
     const NodeId p = hierarchy.parent(n);
     if (p != kInvalidNode) {
-      raw[p] += a;
-      if (!heavy) modified[p] += w;  // Definition 2: HH children discounted
+      ws.raw(p) += a;
+      if (!heavy) ws.modified(p) += w;  // Definition 2: HH children discounted
     }
-    if (heavy) result.shhh.push_back(n);
+    if (heavy) out.shhh.push_back(n);
   }
-  std::reverse(result.touched.begin(), result.touched.end());
-  std::reverse(result.shhh.begin(), result.shhh.end());
+  std::reverse(out.touched.begin(), out.touched.end());
+  std::reverse(out.shhh.begin(), out.shhh.end());
+}
+
+void computeShhh(const Hierarchy& hierarchy, const CountMap& counts,
+                 double theta, DetectWorkspace& ws, ShhhResult& out) {
+  ws.bind(hierarchy.size());
+  ws.beginUnit();
+  ws.touched.clear();
+  for (const auto& [node, weight] : counts) stageCount(ws, node, weight);
+  computeShhhStaged(hierarchy, theta, ws, out);
+}
+
+ShhhResult computeShhh(const Hierarchy& hierarchy, const CountMap& counts,
+                       double theta) {
+  ShhhResult result;
+  computeShhh(hierarchy, counts, theta, localWorkspace(hierarchy), result);
   return result;
 }
+
+namespace {
+
+/// Shared body of modifiedSeriesFixedSet / rawSeries: one bottom-up sweep
+/// per unit over the staged counts, writing touched output-map entries and
+/// propagating weight to the parent unless `cut` says the node keeps it.
+template <typename Cut>
+std::unordered_map<NodeId, std::vector<double>> seriesSweep(
+    const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
+    const std::vector<NodeId>& outputNodes, DetectWorkspace& ws,
+    const Cut& cut) {
+  std::unordered_map<NodeId, std::vector<double>> series;
+  for (NodeId n : outputNodes) {
+    auto& s = series[n];
+    if (s.empty()) s.assign(unitCounts.size(), 0.0);
+  }
+
+  for (std::size_t u = 0; u < unitCounts.size(); ++u) {
+    ws.beginUnit();
+    ws.touched.clear();
+    for (const auto& [node, weight] : unitCounts[u]) {
+      stageCount(ws, node, weight);
+    }
+    climbAndSort(hierarchy, ws);
+    for (NodeId n : ws.touched) {
+      const double w = ws.raw(n);
+      auto it = series.find(n);
+      if (it != series.end()) it->second[u] = w;
+      const NodeId p = hierarchy.parent(n);
+      if (p != kInvalidNode && !cut(n)) ws.raw(p) += w;
+    }
+  }
+  return series;
+}
+
+}  // namespace
 
 std::unordered_map<NodeId, std::vector<double>> modifiedSeriesFixedSet(
     const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
     const std::vector<NodeId>& fixedSet) {
-  std::unordered_map<NodeId, bool> inSet;
-  inSet.reserve(fixedSet.size());
-  for (NodeId n : fixedSet) inSet[n] = true;
+  DetectWorkspace& ws = localWorkspace(hierarchy);
+  ws.beginMarks(DetectWorkspace::kMemberPlane);
+  for (NodeId n : fixedSet) ws.mark(DetectWorkspace::kMemberPlane, n);
 
-  std::unordered_map<NodeId, std::vector<double>> series;
-  auto ensure = [&](NodeId n) {
-    auto& s = series[n];
-    if (s.empty()) s.assign(unitCounts.size(), 0.0);
-  };
-  ensure(hierarchy.root());
-  for (NodeId n : fixedSet) ensure(n);
+  std::vector<NodeId> outputNodes;
+  outputNodes.reserve(fixedSet.size() + 1);
+  outputNodes.push_back(hierarchy.root());
+  outputNodes.insert(outputNodes.end(), fixedSet.begin(), fixedSet.end());
 
-  for (std::size_t u = 0; u < unitCounts.size(); ++u) {
-    const auto touched = touchedBottomUp(hierarchy, unitCounts[u]);
-    std::unordered_map<NodeId, double> value;
-    value.reserve(touched.size());
-    for (const auto& [node, weight] : unitCounts[u]) value[node] += weight;
-    for (NodeId n : touched) {
-      const double w = value[n];
-      auto it = series.find(n);
-      if (it != series.end()) it->second[u] = w;
-      const NodeId p = hierarchy.parent(n);
-      // Members of the fixed set cut their weight off from ancestors,
-      // regardless of this unit's magnitudes (fixed-membership semantics).
-      if (p != kInvalidNode && !inSet.count(n)) value[p] += w;
-    }
-  }
-  return series;
+  // Members of the fixed set cut their weight off from ancestors,
+  // regardless of this unit's magnitudes (fixed-membership semantics).
+  return seriesSweep(hierarchy, unitCounts, outputNodes, ws, [&](NodeId n) {
+    return ws.isMarked(DetectWorkspace::kMemberPlane, n);
+  });
 }
 
 std::unordered_map<NodeId, std::vector<double>> rawSeries(
     const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
     const std::vector<NodeId>& nodes) {
-  std::unordered_map<NodeId, std::vector<double>> series;
-  for (NodeId n : nodes) series[n].assign(unitCounts.size(), 0.0);
-
-  for (std::size_t u = 0; u < unitCounts.size(); ++u) {
-    const auto touched = touchedBottomUp(hierarchy, unitCounts[u]);
-    std::unordered_map<NodeId, double> value;
-    value.reserve(touched.size());
-    for (const auto& [node, weight] : unitCounts[u]) value[node] += weight;
-    for (NodeId n : touched) {
-      const double a = value[n];
-      auto it = series.find(n);
-      if (it != series.end()) it->second[u] = a;
-      const NodeId p = hierarchy.parent(n);
-      if (p != kInvalidNode) value[p] += a;
-    }
-  }
-  return series;
+  return seriesSweep(hierarchy, unitCounts, nodes, localWorkspace(hierarchy),
+                     [](NodeId) { return false; });
 }
 
 }  // namespace tiresias

@@ -9,18 +9,30 @@
 // Sparse convention: only nodes on the root-path of a nonzero leaf count
 // are materialized; all others implicitly have A = W = 0 (θ > 0 keeps them
 // out of every heavy-hitter set).
+//
+// Hot path: every kernel runs on a DetectWorkspace — dense NodeId-indexed,
+// epoch-stamped arrays instead of per-call unordered_maps. The detectors
+// stage record counts straight into the workspace and call
+// computeShhhStaged; the CountMap-taking overloads below stage a sparse
+// map into a thread-local workspace and wrap the same kernel, so every
+// entry point computes the identical floating-point sequence (the
+// equivalence tests assert bit-identity against the retained map-based
+// implementation in shhh_reference.h).
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
 #include "core/types.h"
+#include "core/workspace.h"
 #include "hierarchy/hierarchy.h"
 
 namespace tiresias {
 
 /// Sparse per-unit counts: node -> weight contributed directly at that node
-/// (for leaf-categorised operational data, keys are leaves).
+/// (for leaf-categorised operational data, keys are leaves). This stays the
+/// public ingest-facing type; the detectors only use it off the hot path
+/// (bootstrap buffers, snapshots, tests).
 using CountMap = std::unordered_map<NodeId, double>;
 
 struct NodeWeights {
@@ -35,9 +47,40 @@ struct ShhhResult {
   std::vector<NodeWeights> touched;
   /// The SHHH set (ascending id). Unique per Definition 2.
   std::vector<NodeId> shhh;
+
+  void clear() {
+    touched.clear();
+    shhh.clear();
+  }
 };
 
-/// Evaluate Definition 2 for one timeunit of counts.
+/// Stage one direct count into a workspace whose value plane was opened
+/// with ws.beginUnit(): first touch registers the node in ws.touched.
+inline void stageCount(DetectWorkspace& ws, NodeId node, double weight) {
+  if (ws.touch(node)) ws.touched.push_back(node);
+  ws.raw(node) += weight;
+  ws.modified(node) += weight;
+}
+
+/// Evaluate Definition 2 over the counts staged in `ws` (beginUnit +
+/// stageCount since the last generation). Extends ws.touched with every
+/// ancestor of a counted node and leaves it sorted bottom-up (descending
+/// id); on return ws.raw/ws.modified hold A_n / W_n for each touched node.
+/// `out` is cleared and refilled (capacity reused across units).
+void computeShhhStaged(const Hierarchy& hierarchy, double theta,
+                       DetectWorkspace& ws, ShhhResult& out);
+
+/// Collect ws.touched ∪ ancestors for the staged counts without the
+/// Definition-2 sweep (sorted bottom-up). Used to walk a unit's resident
+/// tree, e.g. when expiring it from an incremental window.
+void collectTouchedStaged(const Hierarchy& hierarchy, DetectWorkspace& ws);
+
+/// Evaluate Definition 2 for one timeunit of counts (workspace-reusing
+/// overload; `out` is cleared and refilled).
+void computeShhh(const Hierarchy& hierarchy, const CountMap& counts,
+                 double theta, DetectWorkspace& ws, ShhhResult& out);
+
+/// Convenience overload over a thread-local workspace.
 ShhhResult computeShhh(const Hierarchy& hierarchy, const CountMap& counts,
                        double theta);
 

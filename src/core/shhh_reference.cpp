@@ -1,0 +1,197 @@
+#include "core/shhh_reference.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace tiresias::reference {
+namespace {
+
+/// Collect the union of the counted nodes and all their ancestors, sorted
+/// descending (BFS ids make descending order a valid bottom-up order).
+std::vector<NodeId> touchedBottomUp(const Hierarchy& hierarchy,
+                                    const CountMap& counts) {
+  std::vector<NodeId> touched;
+  touched.reserve(counts.size() * 2 + 1);
+  std::unordered_map<NodeId, bool> seen;
+  for (const auto& [node, weight] : counts) {
+    (void)weight;
+    for (NodeId cur = node; cur != kInvalidNode;
+         cur = hierarchy.parent(cur)) {
+      if (seen.emplace(cur, true).second) {
+        touched.push_back(cur);
+      } else {
+        break;  // the rest of the chain is already present
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end(), std::greater<NodeId>());
+  return touched;
+}
+
+}  // namespace
+
+ShhhResult computeShhh(const Hierarchy& hierarchy, const CountMap& counts,
+                       double theta) {
+  TIRESIAS_EXPECT(theta > 0.0, "theta must be positive");
+  ShhhResult result;
+  const auto touched = touchedBottomUp(hierarchy, counts);
+  if (touched.empty()) return result;
+
+  std::unordered_map<NodeId, double> raw, modified;
+  raw.reserve(touched.size());
+  modified.reserve(touched.size());
+  for (const auto& [node, weight] : counts) {
+    raw[node] += weight;
+    modified[node] += weight;
+  }
+
+  result.touched.reserve(touched.size());
+  for (NodeId n : touched) {
+    const double a = raw[n];
+    const double w = modified[n];
+    const bool heavy = w >= theta;
+    result.touched.push_back({n, a, w, heavy});
+    const NodeId p = hierarchy.parent(n);
+    if (p != kInvalidNode) {
+      raw[p] += a;
+      if (!heavy) modified[p] += w;  // Definition 2: HH children discounted
+    }
+    if (heavy) result.shhh.push_back(n);
+  }
+  std::reverse(result.touched.begin(), result.touched.end());
+  std::reverse(result.shhh.begin(), result.shhh.end());
+  return result;
+}
+
+std::unordered_map<NodeId, std::vector<double>> modifiedSeriesFixedSet(
+    const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
+    const std::vector<NodeId>& fixedSet) {
+  std::unordered_map<NodeId, bool> inSet;
+  inSet.reserve(fixedSet.size());
+  for (NodeId n : fixedSet) inSet[n] = true;
+
+  std::unordered_map<NodeId, std::vector<double>> series;
+  auto ensure = [&](NodeId n) {
+    auto& s = series[n];
+    if (s.empty()) s.assign(unitCounts.size(), 0.0);
+  };
+  ensure(hierarchy.root());
+  for (NodeId n : fixedSet) ensure(n);
+
+  for (std::size_t u = 0; u < unitCounts.size(); ++u) {
+    const auto touched = touchedBottomUp(hierarchy, unitCounts[u]);
+    std::unordered_map<NodeId, double> value;
+    value.reserve(touched.size());
+    for (const auto& [node, weight] : unitCounts[u]) value[node] += weight;
+    for (NodeId n : touched) {
+      const double w = value[n];
+      auto it = series.find(n);
+      if (it != series.end()) it->second[u] = w;
+      const NodeId p = hierarchy.parent(n);
+      // Members of the fixed set cut their weight off from ancestors,
+      // regardless of this unit's magnitudes (fixed-membership semantics).
+      if (p != kInvalidNode && !inSet.count(n)) value[p] += w;
+    }
+  }
+  return series;
+}
+
+std::unordered_map<NodeId, std::vector<double>> rawSeries(
+    const Hierarchy& hierarchy, const std::vector<CountMap>& unitCounts,
+    const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, std::vector<double>> series;
+  for (NodeId n : nodes) series[n].assign(unitCounts.size(), 0.0);
+
+  for (std::size_t u = 0; u < unitCounts.size(); ++u) {
+    const auto touched = touchedBottomUp(hierarchy, unitCounts[u]);
+    std::unordered_map<NodeId, double> value;
+    value.reserve(touched.size());
+    for (const auto& [node, weight] : unitCounts[u]) value[node] += weight;
+    for (NodeId n : touched) {
+      const double a = value[n];
+      auto it = series.find(n);
+      if (it != series.end()) it->second[u] = a;
+      const NodeId p = hierarchy.parent(n);
+      if (p != kInvalidNode) value[p] += a;
+    }
+  }
+  return series;
+}
+
+StaReplica::StaReplica(const Hierarchy& hierarchy, DetectorConfig config)
+    : hierarchy_(hierarchy), config_(std::move(config)) {
+  TIRESIAS_EXPECT(config_.windowLength >= 2, "window length must be >= 2");
+  TIRESIAS_EXPECT(config_.forecasterFactory != nullptr,
+                  "forecaster factory is required");
+}
+
+std::optional<InstanceResult> StaReplica::step(const TimeUnitBatch& batch) {
+  {
+    StageTimer::Scope scope(stages_, kStageUpdateHierarchies);
+    CountMap counts;
+    counts.reserve(batch.records.size());
+    for (const auto& r : batch.records) counts[r.category] += 1.0;
+    window_.push_back(std::move(counts));
+    if (window_.size() > config_.windowLength) window_.pop_front();
+    newestUnit_ = batch.unit;
+  }
+  if (window_.size() < config_.windowLength) return std::nullopt;
+
+  InstanceResult result;
+  result.unit = newestUnit_;
+
+  {
+    StageTimer::Scope scope(stages_, kStageCreateSeries);
+    // SHHH of the detection unit, then full window reconstruction with
+    // that fixed set (Fig 4 lines 6-9) — including the historical window
+    // copy.
+    shhh_ = reference::computeShhh(hierarchy_, window_.back(),
+                                   config_.theta).shhh;
+    const std::vector<CountMap> units(window_.begin(), window_.end());
+    series_ = reference::modifiedSeriesFixedSet(hierarchy_, units, shhh_);
+
+    forecastSeries_.clear();
+    for (const auto& [node, actual] : series_) {
+      auto model = config_.forecasterFactory->make();
+      std::vector<double> fc(actual.size(), 0.0);
+      for (std::size_t i = 0; i < actual.size(); ++i) {
+        fc[i] = model->forecast();
+        model->update(actual[i]);
+      }
+      forecastSeries_[node] = std::move(fc);
+    }
+  }
+
+  {
+    StageTimer::Scope scope(stages_, kStageDetect);
+    result.shhh = shhh_;
+    for (NodeId n : shhh_) {
+      const double actual = series_.at(n).back();
+      const double forecast = forecastSeries_.at(n).back();
+      if (isAnomalous(actual, forecast, config_.ratioThreshold,
+                      config_.diffThreshold)) {
+        result.anomalies.push_back(
+            {n, newestUnit_, actual, forecast,
+             anomalyRatio(actual, forecast)});
+      }
+    }
+    std::sort(result.anomalies.begin(), result.anomalies.end(),
+              [](const Anomaly& a, const Anomaly& b) {
+                return a.node < b.node;
+              });
+  }
+  return result;
+}
+
+std::vector<double> StaReplica::seriesOf(NodeId node) const {
+  auto it = series_.find(node);
+  return it == series_.end() ? std::vector<double>{} : it->second;
+}
+
+std::vector<double> StaReplica::forecastSeriesOf(NodeId node) const {
+  auto it = forecastSeries_.find(node);
+  return it == forecastSeries_.end() ? std::vector<double>{} : it->second;
+}
+
+}  // namespace tiresias::reference

@@ -11,12 +11,20 @@
 // The engine is fed each instance's raw (A_n) weights *after* the
 // adaptation so that every rule sees only past data, as the paper defines.
 // EWMA decay for untouched nodes is applied lazily at read time.
+//
+// Storage is dense: per-node statistics live in NodeId-indexed arrays that
+// grow to the highest node observed (hierarchy ids are dense and small),
+// so the per-unit observeInstance is pure array indexing — no hashing on
+// the hot path. Presence is tracked per rule (stamps for Last-Time-Unit, a
+// presence flag for Long-Term-History, the EWMA instance stamp) so the
+// snapshot encoding stays byte-identical to the historical sorted-map one.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "core/shhh.h"
 #include "core/types.h"
 #include "hierarchy/hierarchy.h"
 #include "persist/snapshot.h"
@@ -29,7 +37,12 @@ class SplitRuleEngine {
 
   /// Record the raw weights of one finished timeunit (touched nodes only;
   /// untouched nodes implicitly weigh 0).
-  void observeInstance(const std::vector<std::pair<NodeId, double>>& rawWeights);
+  void observeInstance(
+      const std::vector<std::pair<NodeId, double>>& rawWeights);
+  /// Hot-path variant over a Definition-2 touched list (no intermediate
+  /// pair vector). Distinct name: the braced-initializer call sites of the
+  /// pair overload must stay unambiguous.
+  void observeTouched(std::span<const NodeWeights> touched);
 
   /// X_n for the current instance (based on past instances only).
   double weightOf(NodeId node) const;
@@ -45,22 +58,54 @@ class SplitRuleEngine {
 
   /// Snapshot the rule, smoothing rate and per-node statistics.
   void saveState(persist::Serializer& out) const;
-  /// Restore (overwriting rule and statistics). Throws
-  /// persist::SnapshotError on malformed input.
-  void loadState(persist::Deserializer& in);
+  /// Restore (overwriting rule and statistics). Node ids at or above
+  /// `nodeBound` are rejected (callers that know the hierarchy pass its
+  /// size; the default bound only guards the dense storage against
+  /// garbage ids in corrupted snapshots). Throws persist::SnapshotError
+  /// on malformed input.
+  void loadState(persist::Deserializer& in,
+                 std::size_t nodeBound = kDefaultNodeBound);
+
+  /// Ceiling for node ids accepted from unbounded snapshots (way above
+  /// any real hierarchy; keeps a corrupt id from growing the arrays to
+  /// gigabytes).
+  static constexpr std::size_t kDefaultNodeBound = std::size_t{1} << 20;
 
  private:
   struct EwmaState {
     double value = 0.0;
-    std::int64_t instance = 0;
+    std::int64_t instance = 0;  // 0 = never observed
   };
+
+  /// Grow the per-node planes to cover `node`.
+  void ensureNode(NodeId node);
+
+  /// Stamps are -1 when never written, so presence is a plain stamp
+  /// comparison even before the first instance.
+  bool lastUnitHas(NodeId n) const {
+    return n < lastStamp_.size() && lastStamp_[n] == instanceCount_;
+  }
+
+  template <typename Range, typename Proj>
+  void observeRange(const Range& range, const Proj& proj);
 
   SplitRule rule_;
   double alpha_;
   std::int64_t instanceCount_ = 0;
-  std::unordered_map<NodeId, double> lastUnit_;
-  std::unordered_map<NodeId, double> cumulative_;
-  std::unordered_map<NodeId, EwmaState> ewma_;
+
+  // Last-Time-Unit: value valid iff its stamp equals instanceCount_.
+  std::vector<double> lastValue_;
+  std::vector<std::int64_t> lastStamp_;
+  std::size_t lastCount_ = 0;  // nodes stamped in the newest instance
+
+  // Long-Term-History: presence flag marks ever-observed nodes.
+  std::vector<double> cumulative_;
+  std::vector<std::uint8_t> cumPresent_;
+  std::size_t cumCount_ = 0;
+
+  // EWMA: present iff instance >= 1.
+  std::vector<EwmaState> ewma_;
+  std::size_t ewmaCount_ = 0;
 };
 
 }  // namespace tiresias

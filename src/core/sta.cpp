@@ -1,6 +1,7 @@
 #include "core/sta.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/expect.h"
 #include "core/state_io.h"
@@ -12,51 +13,180 @@ StaDetector::StaDetector(const Hierarchy& hierarchy, DetectorConfig config)
   TIRESIAS_EXPECT(config_.windowLength >= 2, "window length must be >= 2");
   TIRESIAS_EXPECT(config_.forecasterFactory != nullptr,
                   "forecaster factory is required");
+  if (!config_.workspace) {
+    config_.workspace = std::make_shared<DetectWorkspace>();
+  }
+  config_.workspace->bind(hierarchy_.size());
+  slotIndex_.assign(hierarchy_.size(), -1);
+  resultIndex_.assign(hierarchy_.size(), -1);
+  windowUnits_.resize(config_.windowLength);
+}
+
+void StaDetector::expireUnit(std::size_t pos) {
+  // Re-derive the expiring unit's touched set from its direct counts (one
+  // mark-climb, no per-unit seen map) and zero its ring entries.
+  DetectWorkspace& w = ws();
+  w.beginUnit();
+  w.touched.clear();
+  for (const auto& [node, c] : windowUnits_[pos].counts) {
+    stageCount(w, node, c);
+  }
+  collectTouchedStaged(hierarchy_, w);
+  for (NodeId n : w.touched) {
+    const std::int32_t si = slotIndex_[n];
+    if (si < 0) continue;
+    RawSlot& slot = slots_[static_cast<std::size_t>(si)];
+    slot.ring[pos] = 0.0;
+    if (--slot.present == 0) {
+      // The ring is all zeros again, so the slot can be handed out as-is.
+      slotIndex_[n] = -1;
+      freeSlots_.push_back(static_cast<std::uint32_t>(si));
+    }
+  }
+}
+
+void StaDetector::recordUnitAggregates(std::size_t pos) {
+  // The unit's counts are staged in the workspace: one Definition-2 sweep
+  // yields the touched set with raw aggregates, which lands in the slot
+  // table at ring position `pos`. Shared by the live step and the
+  // snapshot-restore rebuild so the slot-table invariant has one writer.
+  computeShhhStaged(hierarchy_, config_.theta, ws(), shhhScratch_);
+  WindowUnit& unit = windowUnits_[pos];
+  unit.touchedNodes = static_cast<std::uint32_t>(shhhScratch_.touched.size());
+  for (const auto& t : shhhScratch_.touched) {
+    std::int32_t si = slotIndex_[t.node];
+    if (si < 0) {
+      if (!freeSlots_.empty()) {
+        si = static_cast<std::int32_t>(freeSlots_.back());
+        freeSlots_.pop_back();
+      } else {
+        si = static_cast<std::int32_t>(slots_.size());
+        slots_.emplace_back();
+        slots_.back().ring.assign(config_.windowLength, 0.0);
+      }
+      slotIndex_[t.node] = si;
+    }
+    RawSlot& slot = slots_[static_cast<std::size_t>(si)];
+    slot.ring[pos] = t.raw;
+    ++slot.present;
+  }
+}
+
+void StaDetector::ingestUnit(const TimeUnitBatch& batch, std::size_t pos) {
+  DetectWorkspace& w = ws();
+  w.beginUnit();
+  w.touched.clear();
+  for (const auto& r : batch.records) stageCount(w, r.category, 1.0);
+
+  // Snapshot the direct counts before the Definition-2 sweep accumulates
+  // child aggregates upward. Staging order — one entry per distinct
+  // counted node; the snapshot writer sorts at checkpoint time so the
+  // per-unit hot path pays no O(k log k).
+  WindowUnit& unit = windowUnits_[pos];
+  unit.counts.clear();
+  unit.counts.reserve(w.touched.size());
+  for (NodeId n : w.touched) unit.counts.emplace_back(n, w.raw(n));
+
+  recordUnitAggregates(pos);
+}
+
+void StaDetector::rebuildSeries() {
+  const std::size_t len = config_.windowLength;
+
+  for (NodeId n : resultNodes_) resultIndex_[n] = -1;
+  resultNodes_.clear();
+  if (shhh_.empty() || shhh_.front() != hierarchy_.root()) {
+    resultNodes_.push_back(hierarchy_.root());
+  }
+  resultNodes_.insert(resultNodes_.end(), shhh_.begin(), shhh_.end());
+  if (resultSeries_.size() < resultNodes_.size()) {
+    resultSeries_.resize(resultNodes_.size());
+    resultForecast_.resize(resultNodes_.size());
+  }
+
+  // Every output node starts from its raw-aggregate ring (zeros if no unit
+  // in the window touched it).
+  for (std::size_t i = 0; i < resultNodes_.size(); ++i) {
+    const NodeId n = resultNodes_[i];
+    resultIndex_[n] = static_cast<std::int32_t>(i);
+    auto& series = resultSeries_[i];
+    series.resize(len);
+    const RawSlot* slot = slotOf(n);
+    if (slot == nullptr) {
+      std::fill(series.begin(), series.end(), 0.0);
+    } else {
+      for (std::size_t age = 0; age < len; ++age) {
+        series[age] = slot->ring[ringIndex(age)];
+      }
+    }
+  }
+
+  // Fixed-membership cut: every member's raw series is subtracted from its
+  // nearest member ancestor (or the root), leaving each output node with
+  // exactly the weight that accrues to it under the fixed set. All values
+  // are integer counts, so the regrouped sums are exact.
+  DetectWorkspace& w = ws();
+  w.beginMarks(DetectWorkspace::kMemberPlane);
+  for (NodeId n : shhh_) w.mark(DetectWorkspace::kMemberPlane, n);
+  for (NodeId d : shhh_) {
+    if (d == hierarchy_.root()) continue;
+    const RawSlot* slot = slotOf(d);
+    if (slot == nullptr) continue;  // untouched member: all-zero series
+    NodeId a = hierarchy_.parent(d);
+    while (a != hierarchy_.root() &&
+           !w.isMarked(DetectWorkspace::kMemberPlane, a)) {
+      a = hierarchy_.parent(a);
+    }
+    auto& target = resultSeries_[static_cast<std::size_t>(resultIndex_[a])];
+    for (std::size_t age = 0; age < len; ++age) {
+      target[age] -= slot->ring[ringIndex(age)];
+    }
+  }
+
+  // Refit the forecasting model over each reconstructed series, recording
+  // the one-step-ahead forecast at every unit (Fig 4 lines 10-11).
+  for (std::size_t i = 0; i < resultNodes_.size(); ++i) {
+    const auto& actual = resultSeries_[i];
+    auto& fc = resultForecast_[i];
+    fc.resize(len);
+    auto model = config_.forecasterFactory->make();
+    for (std::size_t u = 0; u < len; ++u) {
+      fc[u] = model->forecast();
+      model->update(actual[u]);
+    }
+  }
 }
 
 std::optional<InstanceResult> StaDetector::step(const TimeUnitBatch& batch) {
   {
     StageTimer::Scope scope(stages_, kStageUpdateHierarchies);
-    CountMap counts;
-    counts.reserve(batch.records.size());
-    for (const auto& r : batch.records) counts[r.category] += 1.0;
-    window_.push_back(std::move(counts));
-    if (window_.size() > config_.windowLength) window_.pop_front();
+    const std::size_t pos = nextPos_;
+    if (windowSize_ == config_.windowLength) expireUnit(pos);
+    ingestUnit(batch, pos);
+    nextPos_ = (pos + 1) % config_.windowLength;
+    if (windowSize_ < config_.windowLength) ++windowSize_;
     newestUnit_ = batch.unit;
   }
-  if (window_.size() < config_.windowLength) return std::nullopt;
+  if (windowSize_ < config_.windowLength) return std::nullopt;
 
   InstanceResult result;
   result.unit = newestUnit_;
 
   {
     StageTimer::Scope scope(stages_, kStageCreateSeries);
-    // SHHH of the detection unit (Fig 4 line 6), then full window
-    // reconstruction with that fixed set (lines 7-9).
-    shhh_ = computeShhh(hierarchy_, window_.back(), config_.theta).shhh;
-    const std::vector<CountMap> units(window_.begin(), window_.end());
-    series_ = modifiedSeriesFixedSet(hierarchy_, units, shhh_);
-
-    // Refit the forecasting model over each reconstructed series,
-    // recording the one-step-ahead forecast at every unit.
-    forecastSeries_.clear();
-    for (const auto& [node, actual] : series_) {
-      auto model = config_.forecasterFactory->make();
-      std::vector<double> fc(actual.size(), 0.0);
-      for (std::size_t i = 0; i < actual.size(); ++i) {
-        fc[i] = model->forecast();
-        model->update(actual[i]);
-      }
-      forecastSeries_[node] = std::move(fc);
-    }
+    // SHHH of the detection unit (Fig 4 line 6), then the incremental
+    // window reconstruction with that fixed set (lines 7-9).
+    shhh_.assign(shhhScratch_.shhh.begin(), shhhScratch_.shhh.end());
+    rebuildSeries();
   }
 
   {
     StageTimer::Scope scope(stages_, kStageDetect);
     result.shhh = shhh_;
     for (NodeId n : shhh_) {
-      const double actual = series_.at(n).back();
-      const double forecast = forecastSeries_.at(n).back();
+      const std::size_t i = static_cast<std::size_t>(resultIndex_[n]);
+      const double actual = resultSeries_[i].back();
+      const double forecast = resultForecast_[i].back();
       if (isAnomalous(actual, forecast, config_.ratioThreshold,
                       config_.diffThreshold)) {
         result.anomalies.push_back(
@@ -71,31 +201,73 @@ std::optional<InstanceResult> StaDetector::step(const TimeUnitBatch& batch) {
 
 std::vector<NodeId> StaDetector::currentShhh() const { return shhh_; }
 
-std::vector<double> StaDetector::seriesOf(NodeId node) const {
-  auto it = series_.find(node);
-  return it == series_.end() ? std::vector<double>{} : it->second;
+void StaDetector::seriesInto(NodeId node, std::vector<double>& out) const {
+  out.clear();
+  if (node >= resultIndex_.size()) return;
+  const std::int32_t i = resultIndex_[node];
+  if (i < 0) return;
+  const auto& s = resultSeries_[static_cast<std::size_t>(i)];
+  out.assign(s.begin(), s.end());
 }
 
-std::vector<double> StaDetector::forecastSeriesOf(NodeId node) const {
-  auto it = forecastSeries_.find(node);
-  return it == forecastSeries_.end() ? std::vector<double>{} : it->second;
+void StaDetector::forecastSeriesInto(NodeId node,
+                                     std::vector<double>& out) const {
+  out.clear();
+  if (node >= resultIndex_.size()) return;
+  const std::int32_t i = resultIndex_[node];
+  if (i < 0) return;
+  const auto& s = resultForecast_[static_cast<std::size_t>(i)];
+  out.assign(s.begin(), s.end());
 }
 
 void StaDetector::saveState(persist::Serializer& out) const {
   out.u8(kStaDetectorStateTag);
   out.u64(config_.windowLength);
   out.i64(newestUnit_);
-  out.u64(window_.size());
-  for (const auto& unit : window_) state_io::writeCountMap(out, unit);
+  // Resident units oldest first, each encoded exactly like the historical
+  // CountMap encoding (sorted node/value pairs). Units hold their counts
+  // in staging order, so sort a copy here — checkpoint-time work, not
+  // per-unit work.
+  out.u64(windowSize_);
+  std::vector<std::pair<NodeId, double>> sorted;
+  for (std::size_t age = 0; age < windowSize_; ++age) {
+    const WindowUnit& unit = windowUnits_[ringIndex(age)];
+    sorted.assign(unit.counts.begin(), unit.counts.end());
+    std::sort(sorted.begin(), sorted.end());
+    out.u64(sorted.size());
+    for (const auto& [node, c] : sorted) {
+      out.u32(node);
+      out.f64(c);
+    }
+  }
   state_io::writeNodeVec(out, shhh_);
-  const auto writeSeriesMap =
-      [&out](const std::unordered_map<NodeId, std::vector<double>>& map) {
-        state_io::writeSortedNodeMap(out, map, [&out](const auto& series) {
-          state_io::writeDoubleVec(out, series);
-        });
+  // The materialized series, keyed ascending — byte-identical to the
+  // historical writeSortedNodeMap encoding of the per-node map.
+  const auto writeSeriesVec =
+      [&](const std::vector<std::vector<double>>& series) {
+        out.u64(resultNodes_.size());
+        for (std::size_t i = 0; i < resultNodes_.size(); ++i) {
+          out.u32(resultNodes_[i]);
+          state_io::writeDoubleVec(out, series[i]);
+        }
       };
-  writeSeriesMap(series_);
-  writeSeriesMap(forecastSeries_);
+  writeSeriesVec(resultSeries_);
+  writeSeriesVec(resultForecast_);
+}
+
+void StaDetector::rebuildSlots() {
+  std::fill(slotIndex_.begin(), slotIndex_.end(), -1);
+  slots_.clear();
+  freeSlots_.clear();
+  DetectWorkspace& w = ws();
+  for (std::size_t pos = 0; pos < windowSize_; ++pos) {
+    w.beginUnit();
+    w.touched.clear();
+    for (const auto& [node, c] : windowUnits_[pos].counts) {
+      stageCount(w, node, c);
+    }
+    recordUnitAggregates(pos);
+  }
 }
 
 void StaDetector::loadState(persist::Deserializer& in) {
@@ -108,13 +280,17 @@ void StaDetector::loadState(persist::Deserializer& in) {
   const std::size_t units = in.count(sizeof(std::uint64_t));
   Deserializer::require(units <= config_.windowLength,
                         "STA snapshot: more units than the window holds");
-  std::deque<CountMap> window;
-  for (std::size_t i = 0; i < units; ++i) {
-    window.push_back(state_io::readCountMap(in, hierarchy_));
+  std::vector<std::vector<std::pair<NodeId, double>>> window(units);
+  for (auto& unit : window) {
+    // Historical acceptance semantics: arbitrary order, duplicate keys
+    // overwrite (readCountMap), then normalized to sorted pairs.
+    const CountMap counts = state_io::readCountMap(in, hierarchy_);
+    unit.assign(counts.begin(), counts.end());
+    std::sort(unit.begin(), unit.end());
   }
   std::vector<NodeId> shhh = state_io::readNodeVec(in, hierarchy_);
   const auto readSeriesMap = [&] {
-    std::unordered_map<NodeId, std::vector<double>> map;
+    std::map<NodeId, std::vector<double>> map;
     const std::size_t n =
         in.count(sizeof(std::uint32_t) + sizeof(std::uint64_t));
     for (std::size_t i = 0; i < n; ++i) {
@@ -127,38 +303,50 @@ void StaDetector::loadState(persist::Deserializer& in) {
   };
   auto series = readSeriesMap();
   auto forecastSeries = readSeriesMap();
+  Deserializer::require(series.size() == forecastSeries.size(),
+                        "STA snapshot: series maps disagree");
+  for (const auto& [node, s] : series) {
+    (void)s;
+    Deserializer::require(forecastSeries.count(node) != 0,
+                          "STA snapshot: series maps disagree");
+  }
 
   newestUnit_ = newestUnit;
-  window_ = std::move(window);
+  windowSize_ = units;
+  nextPos_ = units % config_.windowLength;
+  for (std::size_t pos = 0; pos < config_.windowLength; ++pos) {
+    windowUnits_[pos].counts.clear();
+    windowUnits_[pos].touchedNodes = 0;
+  }
+  for (std::size_t pos = 0; pos < units; ++pos) {
+    windowUnits_[pos].counts = std::move(window[pos]);
+  }
   shhh_ = std::move(shhh);
-  series_ = std::move(series);
-  forecastSeries_ = std::move(forecastSeries);
+  std::fill(resultIndex_.begin(), resultIndex_.end(), -1);
+  resultNodes_.clear();
+  resultSeries_.clear();
+  resultForecast_.clear();
+  for (auto& [node, s] : series) {
+    resultIndex_[node] = static_cast<std::int32_t>(resultNodes_.size());
+    resultNodes_.push_back(node);
+    resultSeries_.push_back(std::move(s));
+    resultForecast_.push_back(std::move(forecastSeries.at(node)));
+  }
+  rebuildSlots();
 }
 
 MemoryStats StaDetector::memoryStats() const {
   MemoryStats stats;
   // STA's resident state is ℓ sparse trees: every counted node plus its
   // ancestors exists in the per-unit tree (Fig 4 line 4).
-  for (const auto& unit : window_) {
-    std::unordered_map<NodeId, bool> seen;
-    for (const auto& [node, w] : unit) {
-      (void)w;
-      for (NodeId cur = node; cur != kInvalidNode;
-           cur = hierarchy_.parent(cur)) {
-        if (!seen.emplace(cur, true).second) break;
-      }
-    }
-    stats.treeNodesStored += seen.size();
+  for (std::size_t age = 0; age < windowSize_; ++age) {
+    stats.treeNodesStored += windowUnits_[ringIndex(age)].touchedNodes;
   }
-  stats.seriesCount = series_.size() + forecastSeries_.size();
-  for (const auto& [n, s] : series_) {
-    (void)n;
-    stats.seriesValues += s.size();
+  stats.seriesCount = resultNodes_.size() * 2;
+  for (std::size_t i = 0; i < resultNodes_.size(); ++i) {
+    stats.seriesValues += resultSeries_[i].size() + resultForecast_[i].size();
   }
-  for (const auto& [n, s] : forecastSeries_) {
-    (void)n;
-    stats.seriesValues += s.size();
-  }
+  stats.workspaceBytes = config_.workspace->bytes();
   stats.bytesEstimate =
       stats.treeNodesStored * (sizeof(NodeId) + sizeof(double)) +
       stats.seriesValues * sizeof(double);

@@ -3,17 +3,29 @@
 // STA stores the last ℓ timeunits of (sparse) per-unit counts. Every
 // instance it (1) derives the SHHH set of the detection unit with a
 // bottom-up pass, (2) reconstructs the Definition-3 time series for every
-// heavy hitter by traversing all ℓ stored units with that fixed set, and
-// (3) refits the forecasting model on the reconstructed history to judge
-// the detection unit. Reconstruction dominates the running time — the
-// paper's Table III shows "Creating Time Series" at 83-94% of STA's total —
-// which is exactly the inefficiency ADA removes.
+// heavy hitter against that fixed set, and (3) refits the forecasting
+// model on the reconstructed history to judge the detection unit.
+//
+// Hot-path layout: instead of re-walking all ℓ stored units per instance
+// (the historical implementation, retained as reference::StaReplica), the
+// detector keeps an incremental sliding window of *raw aggregates*: a
+// dense NodeId→slot table where every node touched by a resident unit
+// holds an ℓ-length ring of its A_n values, updated by adding the entering
+// unit and zeroing the expiring one. Definition-3 series then follow
+// without touching history:
+//
+//     T[n] = rawRing[n] − Σ rawRing[d]   over members d whose nearest
+//                                        member ancestor is n
+//
+// which is exactly the fixed-membership semantics (each count accrues to
+// its nearest fixed-set ancestor). All counts are unit record weights, so
+// every aggregate is integer-valued and the regrouped sums are exact —
+// bit-identical to the reference reconstruction (asserted by the
+// equivalence property tests).
 //
 // STA is exact: its series are the ground truth ADA is evaluated against
 // (Fig 12, Table V).
 #pragma once
-
-#include <deque>
 
 #include "core/detector.h"
 #include "core/shhh.h"
@@ -26,8 +38,9 @@ class StaDetector final : public Detector {
 
   std::optional<InstanceResult> step(const TimeUnitBatch& batch) override;
   std::vector<NodeId> currentShhh() const override;
-  std::vector<double> seriesOf(NodeId node) const override;
-  std::vector<double> forecastSeriesOf(NodeId node) const override;
+  void seriesInto(NodeId node, std::vector<double>& out) const override;
+  void forecastSeriesInto(NodeId node,
+                          std::vector<double>& out) const override;
   MemoryStats memoryStats() const override;
   void saveState(persist::Serializer& out) const override;
   void loadState(persist::Deserializer& in) override;
@@ -35,15 +48,78 @@ class StaDetector final : public Detector {
   const Hierarchy& hierarchy() const { return hierarchy_; }
 
  private:
+  /// One resident timeunit of the sliding window.
+  struct WindowUnit {
+    /// Direct counts, one entry per distinct counted node, in staging
+    /// order (saveState sorts a copy to keep the snapshot byte-identical
+    /// to the historical CountMap encoding).
+    std::vector<std::pair<NodeId, double>> counts;
+    /// |counted ∪ ancestors| — the unit's sparse-tree size (Table IV).
+    std::uint32_t touchedNodes = 0;
+  };
+
+  /// Raw-aggregate ring of one touched node, aligned with window slots.
+  struct RawSlot {
+    std::vector<double> ring;       // windowLength zeros outside residency
+    std::uint32_t present = 0;      // resident units touching this node
+  };
+
+  DetectWorkspace& ws() { return *config_.workspace; }
+
+  /// Zero the expiring unit's ring entries and release empty slots.
+  void expireUnit(std::size_t pos);
+  /// Stage `batch` into the workspace, record its direct counts and raw
+  /// aggregates at ring position `pos`, and evaluate Definition 2 into
+  /// shhhScratch_.
+  void ingestUnit(const TimeUnitBatch& batch, std::size_t pos);
+  /// Definition-2 sweep over the staged counts + slot-table fill at `pos`
+  /// (the single writer of the ring/present invariant; used by ingestUnit
+  /// and the snapshot-restore rebuild).
+  void recordUnitAggregates(std::size_t pos);
+  /// Rebuild the materialized member series + forecasts for the current
+  /// SHHH set (the per-instance Definition-3 reconstruction).
+  void rebuildSeries();
+  /// Recompute slots/rings from windowUnits_ (after loadState).
+  void rebuildSlots();
+
+  std::size_t ringIndex(std::size_t age) const {
+    // age 0 = oldest resident unit. While filling, units sit at 0..size-1
+    // with nextPos_ == size; once full, nextPos_ is the oldest slot.
+    return (nextPos_ + config_.windowLength - windowSize_ + age) %
+           config_.windowLength;
+  }
+  RawSlot* slotOf(NodeId n) {
+    const std::int32_t s = slotIndex_[n];
+    return s < 0 ? nullptr : &slots_[static_cast<std::size_t>(s)];
+  }
+  const RawSlot* slotOf(NodeId n) const {
+    const std::int32_t s = slotIndex_[n];
+    return s < 0 ? nullptr : &slots_[static_cast<std::size_t>(s)];
+  }
+
   const Hierarchy& hierarchy_;
   DetectorConfig config_;
-  std::deque<CountMap> window_;  // ℓ most recent units, oldest first
+
+  // --- sliding window ---
+  std::vector<WindowUnit> windowUnits_;  // ring of ℓ units, recycled buffers
+  std::size_t windowSize_ = 0;           // resident units (≤ ℓ)
+  std::size_t nextPos_ = 0;              // ring slot the next unit writes
   TimeUnit newestUnit_ = 0;
 
-  // State of the most recent instance, for inspection.
+  // --- dense raw-aggregate slot table ---
+  std::vector<std::int32_t> slotIndex_;  // NodeId → slot, -1 = none
+  std::vector<RawSlot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+
+  // --- state of the most recent instance, for inspection/persist ---
   std::vector<NodeId> shhh_;
-  std::unordered_map<NodeId, std::vector<double>> series_;
-  std::unordered_map<NodeId, std::vector<double>> forecastSeries_;
+  /// {root} ∪ shhh_, ascending — the nodes holding materialized series.
+  std::vector<NodeId> resultNodes_;
+  std::vector<std::vector<double>> resultSeries_;    // parallel, reused
+  std::vector<std::vector<double>> resultForecast_;  // parallel, reused
+  std::vector<std::int32_t> resultIndex_;  // NodeId → resultNodes_ index
+
+  ShhhResult shhhScratch_;  // reused across units
 };
 
 }  // namespace tiresias

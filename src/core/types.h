@@ -41,7 +41,11 @@ struct MemoryStats {
   std::size_t refSeriesValues = 0;
   std::size_t forecasterValues = 0; // doubles of forecaster state (L,B,S..)
   std::size_t treeNodesStored = 0;  // resident tree nodes (STA: ℓ sparse trees)
-  std::size_t bytesEstimate = 0;    // total of the above at 8 bytes/double
+  std::size_t workspaceBytes = 0;   // dense detect-workspace scratch (actual)
+  /// Series + tree state at 8 bytes/double — the paper's Table IV model.
+  /// Excludes workspaceBytes: the workspace is shared per-stream scratch,
+  /// not per-detector algorithm state the model accounts for.
+  std::size_t bytesEstimate = 0;
 };
 
 /// Split-ratio heuristics of §V-B4.

@@ -1,0 +1,43 @@
+#include "core/workspace.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tiresias {
+
+void DetectWorkspace::bind(std::size_t nodes) {
+  if (raw_.size() == nodes) return;
+  raw_.assign(nodes, 0.0);
+  modified_.assign(nodes, 0.0);
+  valueEpoch_.assign(nodes, 0);
+  valueGen_ = 0;
+  for (unsigned p = 0; p < kPlaneCount; ++p) {
+    markEpoch_[p].assign(nodes, 0);
+    markGen_[p] = 0;
+  }
+}
+
+std::size_t DetectWorkspace::bytes() const {
+  std::size_t b = raw_.capacity() * sizeof(double) +
+                  modified_.capacity() * sizeof(double) +
+                  valueEpoch_.capacity() * sizeof(std::uint32_t) +
+                  touched.capacity() * sizeof(NodeId);
+  for (unsigned p = 0; p < kPlaneCount; ++p) {
+    b += markEpoch_[p].capacity() * sizeof(std::uint32_t);
+  }
+  return b;
+}
+
+void DetectWorkspace::bump(std::uint32_t& gen,
+                           std::vector<std::uint32_t>& epoch) {
+  if (gen == std::numeric_limits<std::uint32_t>::max()) {
+    // Generation wrap: stale stamps could alias the recycled value, so pay
+    // one full clear every 2^32 - 1 units and restart.
+    std::fill(epoch.begin(), epoch.end(), 0);
+    gen = 1;
+    return;
+  }
+  ++gen;
+}
+
+}  // namespace tiresias

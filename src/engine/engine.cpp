@@ -68,6 +68,9 @@ struct DetectionEngine::StreamState {
   std::atomic<std::size_t> recordsProcessed{0};
   std::atomic<std::size_t> instancesDetected{0};
   std::atomic<std::size_t> anomaliesReported{0};
+  /// Resident bytes of the stream's dense detection workspace, refreshed
+  /// by the owning worker after each claim (stats() polls it live).
+  std::atomic<std::size_t> workspaceBytes{0};
   /// Ingest-side batcher state; null until ingest begins. Touched only by
   /// the stream's single ingest thread.
   std::unique_ptr<TimeUnitBatcher> batcher;
@@ -246,6 +249,8 @@ void DetectionEngine::processOne(std::size_t id, TimeUnitBatch& batch) {
                                      std::memory_order_relaxed);
   stream.anomaliesReported.fetch_add(sum.anomaliesReported - anomaliesBefore,
                                      std::memory_order_relaxed);
+  stream.workspaceBytes.store(stream.pipeline.workspaceBytes(),
+                              std::memory_order_relaxed);
   recycleBuffer(std::move(batch.records));
 }
 
@@ -475,6 +480,7 @@ EngineStats DetectionEngine::stats() const {
         stream.anomaliesReported.load(std::memory_order_relaxed);
     s.junkRowsSkipped = stream.sourceSkipped.load(std::memory_order_relaxed);
     s.warmupUnitsBuffered = stream.warmupBuffered.load(std::memory_order_relaxed);
+    s.workspaceBytes = stream.workspaceBytes.load(std::memory_order_relaxed);
     out.unitsIngested += s.unitsIngested;
     out.unitsProcessed += s.unitsProcessed;
     out.unitsDiscarded += s.unitsDiscarded;
@@ -483,6 +489,7 @@ EngineStats DetectionEngine::stats() const {
     out.anomaliesReported += s.anomaliesReported;
     out.junkRowsSkipped += s.junkRowsSkipped;
     out.warmupUnitsBuffered += s.warmupUnitsBuffered;
+    out.workspaceBytes += s.workspaceBytes;
     out.maxQueueDepth = std::max(out.maxQueueDepth, s.maxQueueDepth);
     out.busiestStreamUnits = std::max(out.busiestStreamUnits, s.unitsProcessed);
     out.perStream.push_back(std::move(s));

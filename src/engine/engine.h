@@ -81,6 +81,7 @@ struct StreamStats {
   std::size_t anomaliesReported = 0;
   std::size_t junkRowsSkipped = 0;   // source-side skipped rows (CSV junk)
   std::size_t warmupUnitsBuffered = 0;  // units held in pipeline warm-up
+  std::size_t workspaceBytes = 0;    // dense detect-workspace scratch
   std::size_t queueDepth = 0;        // current
   std::size_t maxQueueDepth = 0;     // high-water mark
   std::size_t runs = 0;              // worker claims of this stream
@@ -118,6 +119,8 @@ struct EngineStats {
   /// Units absorbed by pipelines still in warm-up (streams shorter than
   /// the detector window never leave warm-up and report zero instances).
   std::size_t warmupUnitsBuffered = 0;
+  /// Total resident bytes of the per-stream detection workspaces.
+  std::size_t workspaceBytes = 0;
   std::size_t maxQueueDepth = 0;      // max over per-stream high-water marks
   std::size_t backpressureWaits = 0;  // == scheduler.backpressureWaits
   /// Units processed by the busiest stream, and its share of the total —

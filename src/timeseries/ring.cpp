@@ -15,7 +15,7 @@ void RingSeries::push(double v) {
     ++size_;
   } else {
     buf_[head_] = v;
-    head_ = (head_ + 1) % buf_.size();
+    if (++head_ == buf_.size()) head_ = 0;
   }
 }
 
@@ -63,6 +63,11 @@ std::vector<double> RingSeries::toVector() const {
   std::vector<double> out(size_);
   for (std::size_t i = 0; i < size_; ++i) out[i] = at(i);
   return out;
+}
+
+void RingSeries::appendTo(std::vector<double>& out) const {
+  out.reserve(out.size() + size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
 }
 
 void RingSeries::saveState(persist::Serializer& out) const {

@@ -48,6 +48,8 @@ class RingSeries {
 
   /// Copy out as a flat vector, oldest first.
   std::vector<double> toVector() const;
+  /// Append all values (oldest first) to `out`, reusing its capacity.
+  void appendTo(std::vector<double>& out) const;
 
   /// Snapshot the ring (capacity + values oldest-first; the rotation is
   /// normalized away, so equal observable state encodes identically).
@@ -64,7 +66,10 @@ class RingSeries {
 
  private:
   std::size_t index(std::size_t i) const {
-    return (head_ + i) % buf_.size();
+    // head_ and i are both below capacity, so one conditional subtraction
+    // wraps — no hardware division on the per-unit push/read path.
+    const std::size_t idx = head_ + i;
+    return idx >= buf_.size() ? idx - buf_.size() : idx;
   }
 
   std::vector<double> buf_;

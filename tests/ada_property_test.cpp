@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "core/ada.h"
 #include "core/shhh.h"
+#include "core/shhh_reference.h"
 #include "core/sta.h"
 #include "hierarchy/builder.h"
 #include "timeseries/ewma.h"
@@ -72,7 +73,7 @@ TEST_P(AdaSweep, HhSetAlwaysMatchesGroundTruth) {
     const auto batch = randomBatch(h, u, rng);
     CountMap counts;
     for (const auto& r : batch.records) counts[r.category] += 1.0;
-    const auto truth = computeShhh(h, counts, cfg.theta).shhh;
+    const auto truth = reference::computeShhh(h, counts, cfg.theta).shhh;
     const auto result = ada.step(batch);
     if (!result) continue;
     EXPECT_EQ(result->shhh, truth) << "seed " << seed << " unit " << u;
@@ -142,7 +143,7 @@ TEST_P(AdaHwSweep, HhSetMatchesWithHoltWinters) {
     const auto batch = randomBatch(h, u, rng);
     CountMap counts;
     for (const auto& r : batch.records) counts[r.category] += 1.0;
-    const auto truth = computeShhh(h, counts, cfg.theta).shhh;
+    const auto truth = reference::computeShhh(h, counts, cfg.theta).shhh;
     const auto result = ada.step(batch);
     if (result) {
       EXPECT_EQ(result->shhh, truth) << "unit " << u;

@@ -1,13 +1,16 @@
 // Property tests for the Definition-3 fixed-set reconstruction — the
 // primitive both STA and ADA's bootstrap stand on. Cross-validated against
 // an independent dense brute force on random trees, random member sets and
-// random multi-unit count streams.
+// random multi-unit count streams, and asserted bit-identical to the
+// retained map-based reference implementation (shhh_reference.h) so the
+// flat-workspace rewrite can never drift from the historical evaluator.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
 #include "common/rng.h"
 #include "core/shhh.h"
+#include "core/shhh_reference.h"
 #include "hierarchy/builder.h"
 
 namespace tiresias {
@@ -63,6 +66,18 @@ TEST_P(FixedSetProperty, MatchesBruteForceAndConservesMass) {
 
   const auto series = modifiedSeriesFixedSet(h, stream, fixedSet);
 
+  // 0. Bit-identical to the retained map-based reference implementation
+  //    (not merely close: the flat path must compute the same FP sums).
+  {
+    const auto ref = reference::modifiedSeriesFixedSet(h, stream, fixedSet);
+    ASSERT_EQ(series.size(), ref.size());
+    for (const auto& [n, s] : series) {
+      const auto it = ref.find(n);
+      ASSERT_TRUE(it != ref.end()) << "node " << n;
+      EXPECT_EQ(s, it->second) << "node " << n << " seed " << GetParam();
+    }
+  }
+
   // 1. Every requested node (plus the root) is present with full length.
   ASSERT_TRUE(series.count(h.root()));
   for (NodeId n : fixedSet) {
@@ -108,6 +123,46 @@ TEST_P(FixedSetProperty, RawSeriesMatchesSubtreeSums) {
         if (h.isAncestorOrEqual(n, leaf)) expected += c;
       }
       EXPECT_NEAR(raw.at(n)[u], expected, 1e-9) << "node " << n;
+    }
+  }
+  const auto ref = reference::rawSeries(h, stream, all);
+  for (NodeId n = 0; n < h.size(); ++n) {
+    EXPECT_EQ(raw.at(n), ref.at(n)) << "node " << n;
+  }
+}
+
+// The flat workspace kernel must reproduce the historical map-based
+// computeShhh bit for bit: same touched set, same A_n/W_n doubles, same
+// SHHH membership — on random trees and random (non-leaf-only) counts.
+TEST_P(FixedSetProperty, ComputeShhhMatchesReferenceBitForBit) {
+  Rng rng(GetParam() ^ 0x5eedULL);
+  HierarchyBuilder b("root");
+  std::vector<NodeId> nodes{0};
+  for (int i = 0; i < 50 + static_cast<int>(rng.below(80)); ++i) {
+    nodes.push_back(
+        b.addChild(nodes[rng.below(nodes.size())], "n" + std::to_string(i)));
+  }
+  const auto h = b.build();
+  const double theta = 1.0 + static_cast<double>(rng.below(6));
+
+  DetectWorkspace ws;  // reused across units, like the detectors do
+  ShhhResult flat;
+  for (int round = 0; round < 24; ++round) {
+    CountMap counts;
+    const std::size_t events = rng.below(40);
+    for (std::size_t e = 0; e < events; ++e) {
+      counts[static_cast<NodeId>(rng.below(h.size()))] +=
+          1.0 + static_cast<double>(rng.below(4));
+    }
+    const ShhhResult ref = reference::computeShhh(h, counts, theta);
+    computeShhh(h, counts, theta, ws, flat);
+    EXPECT_EQ(flat.shhh, ref.shhh) << "round " << round;
+    ASSERT_EQ(flat.touched.size(), ref.touched.size()) << "round " << round;
+    for (std::size_t i = 0; i < ref.touched.size(); ++i) {
+      EXPECT_EQ(flat.touched[i].node, ref.touched[i].node);
+      EXPECT_EQ(flat.touched[i].raw, ref.touched[i].raw);
+      EXPECT_EQ(flat.touched[i].modified, ref.touched[i].modified);
+      EXPECT_EQ(flat.touched[i].heavy, ref.touched[i].heavy);
     }
   }
 }

@@ -321,6 +321,61 @@ TEST(DetectorPersist, AdaRoundTripAdaptive) {
   runDetectorRoundTrip<AdaDetector>(30);
 }
 
+// The detectors' slot-table storage hands out slots in acquisition order
+// (splits/merges/free-list reuse scramble it), but the snapshot encoding
+// must stay the canonical ascending-node byte stream of the historical
+// map-based storage: save -> load into a fresh detector -> save must
+// reproduce the exact bytes, and a second generation of churn after the
+// restore must keep the copies in lockstep.
+template <typename DetectorT>
+void runSnapshotByteStability() {
+  const auto h = HierarchyBuilder::balanced({3, 2, 2});
+  std::mt19937_64 rng(57);
+  DetectorT original(h, detectorConfig(8));
+  // Churn: shifting hot spots force ADA splits/merges (slot reuse) and
+  // rotate STA's raw-aggregate slot table through its free list.
+  for (TimeUnit u = 0; u < 40; ++u) {
+    auto batch = randomBatch(u, h, rng, 3);
+    const NodeId hot = h.leaves()[static_cast<std::size_t>(u / 6) %
+                                  h.leafCount()];
+    for (int i = 0; i < 30; ++i) {
+      batch.records.push_back({hot, unitStart(u, 900)});
+    }
+    original.step(batch);
+  }
+
+  const Serializer bytes = saved(original);
+  DetectorT restored(h, detectorConfig(8));
+  Deserializer in(bytes.data());
+  restored.loadState(in);
+  EXPECT_TRUE(in.atEnd());
+
+  const Serializer again = saved(restored);
+  ASSERT_EQ(again.size(), bytes.size());
+  EXPECT_TRUE(std::equal(bytes.data().begin(), bytes.data().end(),
+                         again.data().begin()))
+      << "snapshot bytes changed across a load/save round trip";
+
+  // Post-restore churn stays bit-identical too (and so do its snapshots).
+  for (TimeUnit u = 40; u < 60; ++u) {
+    const auto batch = randomBatch(u, h, rng, 4);
+    expectSameResult(restored.step(batch), original.step(batch), u);
+  }
+  const Serializer finalOriginal = saved(original);
+  const Serializer finalRestored = saved(restored);
+  ASSERT_EQ(finalOriginal.size(), finalRestored.size());
+  EXPECT_TRUE(std::equal(finalOriginal.data().begin(),
+                         finalOriginal.data().end(),
+                         finalRestored.data().begin()));
+}
+
+TEST(DetectorPersist, StaSnapshotBytesStableAcrossRoundTrip) {
+  runSnapshotByteStability<StaDetector>();
+}
+TEST(DetectorPersist, AdaSnapshotBytesStableAcrossRoundTrip) {
+  runSnapshotByteStability<AdaDetector>();
+}
+
 TEST(DetectorPersist, AdaDetectorTagMismatchIsCleanError) {
   const auto h = HierarchyBuilder::balanced({2, 2});
   StaDetector sta(h, detectorConfig(4));

@@ -1,6 +1,10 @@
-// Unit tests for the STA strawman detector (Fig 4).
+// Unit tests for the STA strawman detector (Fig 4), plus the randomized
+// equivalence property pinning the incremental sliding-window rewrite to
+// the retained window-copy reference implementation.
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "core/shhh_reference.h"
 #include "core/sta.h"
 #include "hierarchy/builder.h"
 #include "timeseries/ewma.h"
@@ -103,6 +107,69 @@ TEST(Sta, EmptyUnitsKeepWindowMoving) {
   // Root series exists and shows the fade-out.
   EXPECT_EQ(sta.seriesOf(h.root()), (std::vector<double>{9, 0, 0}));
 }
+
+// Randomized hierarchies, unit counts and regime shifts: every step of the
+// incremental detector must be *bit-identical* to the historical
+// window-copy reconstruction — same SHHH sets, anomalies, series and
+// forecast series. Counts are unit record weights, so all aggregates are
+// integers and the incremental subtraction is exact.
+class StaEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StaEquivalence, MatchesWindowCopyReferenceBitForBit) {
+  Rng rng(GetParam());
+  HierarchyBuilder b("root");
+  std::vector<NodeId> nodes{0};
+  for (int i = 0; i < 30 + static_cast<int>(rng.below(70)); ++i) {
+    nodes.push_back(
+        b.addChild(nodes[rng.below(nodes.size())], "n" + std::to_string(i)));
+  }
+  const auto h = b.build();
+
+  DetectorConfig cfg;
+  cfg.theta = 2.0 + static_cast<double>(rng.below(4));
+  cfg.windowLength = 4 + rng.below(8);
+  cfg.ratioThreshold = 2.0;
+  cfg.diffThreshold = 3.0;
+  cfg.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+
+  StaDetector sta(h, cfg);
+  reference::StaReplica replica(h, cfg);
+
+  for (TimeUnit u = 0; u < 60; ++u) {
+    TimeUnitBatch batch;
+    batch.unit = u;
+    if (rng.below(9) != 0) {  // occasional silent unit
+      const NodeId hot = h.leaves()[(u / 5) % h.leafCount()];
+      const int hotCount = static_cast<int>(rng.below(12));
+      for (int i = 0; i < hotCount; ++i) {
+        batch.records.push_back({hot, unitStart(u, 900)});
+      }
+      const int noise = static_cast<int>(rng.below(15));
+      for (int i = 0; i < noise; ++i) {
+        batch.records.push_back(
+            {h.leaves()[rng.below(h.leafCount())], unitStart(u, 900)});
+      }
+    }
+    const auto got = sta.step(batch);
+    const auto want = replica.step(batch);
+    ASSERT_EQ(got.has_value(), want.has_value()) << "unit " << u;
+    if (!got) continue;
+    EXPECT_EQ(got->unit, want->unit);
+    EXPECT_EQ(got->shhh, want->shhh) << "unit " << u;
+    EXPECT_EQ(got->anomalies, want->anomalies) << "unit " << u;
+    // Exact (not approximate) series agreement for every node that holds
+    // a series — including the root residual.
+    for (NodeId n = 0; n < h.size(); ++n) {
+      EXPECT_EQ(sta.seriesOf(n), replica.seriesOf(n))
+          << "node " << n << " unit " << u;
+      EXPECT_EQ(sta.forecastSeriesOf(n), replica.forecastSeriesOf(n))
+          << "node " << n << " unit " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaEquivalence,
+                         ::testing::Values(5, 17, 23, 42, 77, 101));
 
 TEST(Sta, MemoryStatsCountLTrees) {
   const auto h = HierarchyBuilder::balanced({2, 2});

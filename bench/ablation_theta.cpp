@@ -9,6 +9,7 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <tuple>
 
 namespace {
 
@@ -45,24 +46,19 @@ SweepPoint runTheta(const WorkloadSpec& spec, double theta) {
       samples.push_back({records, r->shhh.size(), depthSum});
     }
   }
-  std::sort(samples.begin(), samples.end(),
-            [](const Sample& a, const Sample& b) {
-              return a.records < b.records;
-            });
   SweepPoint point;
   point.theta = theta;
-  const std::size_t quartile = std::max<std::size_t>(samples.size() / 4, 1);
+  std::vector<std::pair<double, double>> hhByLoad;
+  hhByLoad.reserve(samples.size());
   double hhTotal = 0.0, depthTotal = 0.0;
-  for (std::size_t i = 0; i < quartile; ++i) {
-    point.quietHh += static_cast<double>(samples[i].hh);
-    point.busyHh += static_cast<double>(samples[samples.size() - 1 - i].hh);
-  }
   for (const auto& s : samples) {
+    hhByLoad.emplace_back(static_cast<double>(s.records),
+                          static_cast<double>(s.hh));
     hhTotal += static_cast<double>(s.hh);
     depthTotal += s.depthSum;
   }
-  point.quietHh /= static_cast<double>(quartile);
-  point.busyHh /= static_cast<double>(quartile);
+  std::tie(point.quietHh, point.busyHh) =
+      bench::quartileMeansBy(std::move(hhByLoad));
   point.meanDepth = hhTotal > 0 ? depthTotal / hhTotal : 0.0;
   point.splits = ada.splitCount();
   return point;

@@ -6,11 +6,15 @@
 // stating whether the qualitative claim holds in this run.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/stats.h"
 #include "common/table.h"
 #include "core/ada.h"
 #include "core/sta.h"
@@ -36,6 +40,55 @@ inline void note(const std::string& text) {
 inline bool check(bool ok, const std::string& claim) {
   std::printf("CHECK %-4s %s\n", ok ? "[ok]" : "[!!]", claim.c_str());
   return ok;
+}
+
+/// p50/p90/p99/max of a sample set via the shared linear-interpolation
+/// quantile (common/stats.h) — the one summary shape benches report for
+/// latency and count distributions.
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+inline PercentileSummary summarize(std::vector<double> xs) {
+  PercentileSummary out;
+  if (xs.empty()) return out;
+  out.max = *std::max_element(xs.begin(), xs.end());
+  out.p50 = quantile(xs, 0.50);
+  out.p90 = quantile(xs, 0.90);
+  out.p99 = quantile(xs, 0.99);
+  return out;
+}
+
+/// p90/p10 dispersion ratio (the volatility headline of Fig 2). The p10
+/// floor keeps quiet traces from blowing the ratio up via a near-zero
+/// denominator.
+inline double dispersionRatio(const std::vector<double>& xs,
+                              double p10Floor = 1.0) {
+  if (xs.empty()) return 0.0;
+  const double p90 = quantile(xs, 0.9);
+  const double p10 = std::max(quantile(xs, 0.1), p10Floor);
+  return p90 / p10;
+}
+
+/// Means of `.second` over the quietest and busiest quarters of the
+/// samples ordered by `.first` (e.g. |SHHH| over the quietest/busiest
+/// units of the theta ablation). Returns {quietMean, busyMean}.
+inline std::pair<double, double> quartileMeansBy(
+    std::vector<std::pair<double, double>> samples) {
+  if (samples.empty()) return {0.0, 0.0};
+  std::sort(samples.begin(), samples.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::size_t quartile = std::max<std::size_t>(samples.size() / 4, 1);
+  double quiet = 0.0, busy = 0.0;
+  for (std::size_t i = 0; i < quartile; ++i) {
+    quiet += samples[i].second;
+    busy += samples[samples.size() - 1 - i].second;
+  }
+  return {quiet / static_cast<double>(quartile),
+          busy / static_cast<double>(quartile)};
 }
 
 /// Default Holt-Winters factory used across benches (single diurnal season

@@ -22,6 +22,12 @@
 //     behind one thread pair, so the scheduler must win on aggregate
 //     records/sec. Written (with the grid) to BENCH_engine.json — the
 //     committed scheduler-vs-shards baseline.
+//
+//  4. Metrics overhead + stage percentiles: the uniform workers=1 scenario
+//     with the obs::MetricsRegistry on vs off (best-of-3 alternating runs;
+//     the committed overhead delta must stay < 2%), plus the per-stage
+//     latency percentiles of the metrics-on run. Both land in the
+//     BENCH_engine.json "metrics" section (schema v3).
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -275,12 +281,13 @@ struct BenchResult {
 
 BenchResult runEngine(const WorkloadSpec& spec, std::size_t workers,
                       const std::vector<SourceFactory>& sources,
-                      std::size_t ingestThreads = 2) {
+                      std::size_t ingestThreads = 2, bool metrics = true) {
   EngineConfig cfg;
   cfg.workers = workers;
   cfg.ingestThreads = ingestThreads;
   cfg.streamQueueCapacity = 32;
   cfg.totalQueueCapacity = 256;
+  cfg.metrics = metrics;
   // Null sink, like the StaticShardEngine baseline: both sides measure
   // pure scheduling + detection, not result-store insertion.
   DetectionEngine eng(cfg, nullptr);
@@ -402,6 +409,52 @@ int main(int argc, char** argv) {
   } else {
     bench::note("< 4 hardware threads: scaling CHECK skipped");
   }
+
+  // ---- Metrics overhead: registry on vs off, uniform workers=1 ----
+  // Alternating runs absorb thermal/cache drift; best-of-3 per side is the
+  // committed figure. workers=1 is the least forgiving scenario: every
+  // per-unit recording cost lands on the one thread doing all the work.
+  double metricsOffBest = 0.0, metricsOnBest = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    metricsOffBest = std::max(
+        metricsOffBest,
+        runEngine(spec, 1, uniformSources, 2, false).stats.recordsPerSecond);
+    metricsOnBest = std::max(
+        metricsOnBest,
+        runEngine(spec, 1, uniformSources, 2, true).stats.recordsPerSecond);
+  }
+  const double overheadPct =
+      metricsOffBest > 0.0
+          ? (metricsOffBest - metricsOnBest) / metricsOffBest * 100.0
+          : 0.0;
+  std::printf("\nmetrics overhead (uniform, workers=1, best of 3 per side):\n");
+  std::printf("  metrics off: %14.0f records/sec\n", metricsOffBest);
+  std::printf("  metrics on:  %14.0f records/sec\n", metricsOnBest);
+  std::printf("  overhead: %.2f%%\n", overheadPct);
+  if (cores >= 4) {
+    ok &= bench::check(overheadPct < 2.0,
+                       "metrics overhead < 2% on the uniform workers=1 "
+                       "scenario");
+  } else {
+    bench::note("< 4 hardware threads: metrics-overhead CHECK skipped "
+                "(single-core timing too noisy for a 2% bound; the "
+                "committed baseline still carries the measured delta)");
+  }
+
+  // ---- Stage percentiles from the metrics-on workers=1 grid run ----
+  const obs::MetricsSnapshot& stageSnap = grid[0].stats.metrics;
+  std::printf("\nstage latency percentiles (uniform, workers=1):\n");
+  std::printf("%-28s %10s %10s %10s %10s %10s\n", "stage", "count", "p50 us",
+              "p90 us", "p99 us", "max us");
+  for (const auto& s : stageSnap.stages) {
+    std::printf("%-28s %10llu %10.1f %10.1f %10.1f %10.1f\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.count), s.p50 * 1e6,
+                s.p90 * 1e6, s.p99 * 1e6, s.max * 1e6);
+  }
+  ok &= bench::check(stageSnap.stage(obs::Stage::kRunSlice) != nullptr &&
+                         stageSnap.stage(obs::Stage::kUnitLatency) != nullptr,
+                     "metrics-on run exposes run-slice and unit-latency "
+                     "stage histograms");
 
   // ---- Skewed streams: scheduler vs the static-shard layout ----
   // 8 streams, two of them ~8x heavier — at ids 0 and 4 so the old
@@ -555,7 +608,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"tiresias_bench_engine/v1\",\n");
+    std::fprintf(f, "  \"schema\": \"tiresias_bench_engine/v3\",\n");
     std::fprintf(f, "  \"workload\": \"ccd-net/medium\",\n");
     std::fprintf(f, "  \"hardware_threads\": %u,\n", cores);
     std::fprintf(f, "  \"uniform\": {\n");
@@ -620,6 +673,16 @@ int main(int argc, char** argv) {
                  schedRemote.stats.elapsedSeconds,
                  schedRemote.stats.recordsPerSecond);
     std::fprintf(f, "    \"speedup\": %.2f\n", remoteSpeedup);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"metrics\": {\n");
+    std::fprintf(f,
+                 "    \"overhead\": {\"scenario\": \"uniform workers=1\", "
+                 "\"runs_per_side\": 3, \"metrics_off_records_per_sec\": "
+                 "%.0f, \"metrics_on_records_per_sec\": %.0f, "
+                 "\"overhead_pct\": %.2f},\n",
+                 metricsOffBest, metricsOnBest, overheadPct);
+    std::fprintf(f, "    \"stages\": %s\n",
+                 obs::stagesJson(stageSnap).c_str());
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);

@@ -90,11 +90,8 @@ void printDataset(const char* name, const WorkloadSpec& spec, TimeUnit first,
                        std::string(name) + ": weekend (days 1-2) quieter");
   }
   // Volatility headline (§II-B): p90/p10 of unit counts.
-  std::vector<double> sorted = counts;
-  const double p90 = quantile(sorted, 0.9);
-  const double p10 = std::max(quantile(sorted, 0.1), 1.0);
   std::printf("p90/p10 unit-count ratio: %.1f (paper reports ~35x for the "
-              "CCD root)\n", p90 / p10);
+              "CCD root)\n", bench::dispersionRatio(counts));
 }
 
 }  // namespace

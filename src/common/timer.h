@@ -2,10 +2,16 @@
 // Traces / Updating Hierarchies / Creating Time Series / Detecting
 // Anomalies). A StageTimer accumulates per-stage totals and per-instance
 // samples so benches can report mean and variance like the paper does.
+//
+// All timing in the tree is monotonic: every duration is a steady_clock
+// delta (Stopwatch, monotonicNanos). system_clock is never used for
+// intervals — an NTP step mid-measurement must not produce a negative
+// latency sample or a skewed throughput figure.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -13,6 +19,15 @@
 #include "common/stats.h"
 
 namespace tiresias {
+
+/// Nanoseconds on the steady (monotonic) clock. The one time source for
+/// interval measurement across the engine, the metrics layer and the CLI;
+/// only deltas of this value are meaningful.
+inline std::int64_t monotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Monotonic stopwatch.
 class Stopwatch {

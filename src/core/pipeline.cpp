@@ -55,7 +55,31 @@ void TiresiasPipeline::processUnit(const TimeUnitBatch& batch,
                                    const ResultCallback& onResult,
                                    RunSummary& summary) {
   auto deliver = [&](const TimeUnitBatch& b) {
-    if (auto result = detector_->step(b)) {
+    std::optional<InstanceResult> result;
+    {
+      obs::StageSpan observe(metrics_, config_.useAda
+                                           ? obs::Stage::kAdaObserve
+                                           : obs::Stage::kStaObserve);
+      result = detector_->step(b);
+    }
+    if (metrics_) {
+      // Bridge the detector's Table-III stage timers into the per-stage
+      // histograms: record this unit's delta of each cumulative total.
+      static constexpr const char* kNames[3] = {
+          kStageUpdateHierarchies, kStageCreateSeries, kStageDetect};
+      static constexpr obs::Stage kStages[3] = {
+          obs::Stage::kUpdateHierarchies, obs::Stage::kCreateSeries,
+          obs::Stage::kDetectAnomalies};
+      const StageTimer& timer = detector_->stages();
+      for (int i = 0; i < 3; ++i) {
+        const double total = timer.totalSeconds(kNames[i]);
+        const double delta = std::max(0.0, total - lastStageSeconds_[i]);
+        metrics_->recordLatencyNs(kStages[i],
+                                  static_cast<std::uint64_t>(delta * 1e9));
+        lastStageSeconds_[i] = total;
+      }
+    }
+    if (result) {
       ++summary.instancesDetected;
       summary.anomaliesReported += result->anomalies.size();
       if (onResult) onResult(*result);
@@ -217,6 +241,9 @@ void TiresiasPipeline::loadState(persist::Deserializer& in) {
   derivedSeasons_ = std::move(derivedSeasons);
   detector_ = std::move(detector);
   activeFactory_ = std::move(factory);
+  // The restored detector starts with a fresh StageTimer; the metrics
+  // bridge must delta against zero again.
+  lastStageSeconds_[0] = lastStageSeconds_[1] = lastStageSeconds_[2] = 0.0;
 }
 
 RunSummary TiresiasPipeline::run(RecordSource& source,

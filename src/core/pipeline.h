@@ -14,6 +14,7 @@
 #include "analysis/seasonality.h"
 #include "core/ada.h"
 #include "core/sta.h"
+#include "obs/metrics.h"
 
 namespace tiresias {
 
@@ -91,6 +92,12 @@ class TiresiasPipeline {
   /// epoch-stamped scratch every detector built by this pipeline uses).
   std::size_t workspaceBytes() const { return workspace_->bytes(); }
 
+  /// Attach a metrics registry (not owned; null detaches). processUnit
+  /// then records a per-unit observe span (STA or ADA) and bridges the
+  /// detector's Table-III stage timers into per-stage latency histograms.
+  /// Call only between units (the engine binds it before start()).
+  void bindMetrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
   /// Snapshot the pipeline: batching position, warm-up buffer, the Step-3
   /// seasonality decision, and (when built) the detector state.
   void saveState(persist::Serializer& out) const;
@@ -124,6 +131,11 @@ class TiresiasPipeline {
   /// The factory the live detector was built with (caller-supplied or
   /// derived); snapshots fingerprint it via a fresh instance's state.
   std::shared_ptr<const ForecasterFactory> activeFactory_;
+  /// Metrics sink (not owned; null = metrics off) plus the last-seen
+  /// cumulative totals of the detector's Table-III stage timers, so each
+  /// processed unit records only its own delta into the histograms.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  double lastStageSeconds_[3] = {0.0, 0.0, 0.0};
 };
 
 }  // namespace tiresias

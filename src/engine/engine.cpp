@@ -4,16 +4,14 @@
 #include <chrono>
 
 #include "common/expect.h"
+#include "common/timer.h"
+#include "obs/instrumented_source.h"
 
 namespace tiresias::engine {
 
 namespace {
 
-std::int64_t nowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using tiresias::monotonicNanos;
 
 // Engine snapshot section tags (see persist/snapshot.h for the framing).
 constexpr std::uint32_t kMetaSectionTag = 1;    // stream count
@@ -99,11 +97,19 @@ DetectionEngine::DetectionEngine(EngineConfig config, ResultSink sink)
                   "per-stream queue capacity must be positive");
   TIRESIAS_EXPECT(config_.totalQueueCapacity > 0,
                   "total queue capacity must be positive");
+  if (config_.metrics) {
+    // Shard plan: [0] unbound callers, [1..W] workers, [W+1..W+I] ingest
+    // threads, [W+I+1] the gauge sampler.
+    registry_ = std::make_unique<obs::MetricsRegistry>(
+        config_.workers + config_.ingestThreads + 2);
+  }
   SchedulerConfig scfg;
   scfg.workers = config_.workers;
   scfg.runBudget = config_.runBudget;
   scfg.streamQueueCapacity = config_.streamQueueCapacity;
   scfg.totalQueueCapacity = config_.totalQueueCapacity;
+  scfg.metrics = registry_.get();
+  scfg.metricsShardBase = 1;
   scheduler_ = std::make_unique<Scheduler>(
       scfg, [this](std::size_t id, TimeUnitBatch& b) { processOne(id, b); });
   recycleCap_ =
@@ -118,9 +124,16 @@ std::size_t DetectionEngine::addStream(std::string name,
                                        std::unique_ptr<RecordSource> source) {
   TIRESIAS_EXPECT(!started_.load(), "addStream() after start()");
   TIRESIAS_EXPECT(source != nullptr, "stream needs a source");
+  if (registry_) {
+    // Separate the raw source pull (kSourceFetch) from the batcher's
+    // unit-slicing on top of it (kBatchFlush).
+    source = std::make_unique<obs::InstrumentedSource>(std::move(source),
+                                                       registry_.get());
+  }
   const std::size_t id = streams_.size();
   streams_.push_back(std::make_unique<StreamState>(
       std::move(name), hierarchy, std::move(config), std::move(source)));
+  streams_.back()->pipeline.bindMetrics(registry_.get());
   const std::size_t schedId = scheduler_->addStream();
   TIRESIAS_EXPECT(schedId == id, "scheduler/stream id mismatch");
   return id;
@@ -133,7 +146,7 @@ const std::string& DetectionEngine::streamName(std::size_t id) const {
 
 void DetectionEngine::start() {
   TIRESIAS_EXPECT(!started_.load(), "start() called twice");
-  startNs_.store(nowNs(), std::memory_order_release);
+  startNs_.store(monotonicNanos(), std::memory_order_release);
   {
     std::lock_guard lk(pauseMutex_);
     activeIngest_ = config_.ingestThreads;
@@ -143,6 +156,62 @@ void DetectionEngine::start() {
   ingestPool_.reserve(config_.ingestThreads);
   for (std::size_t t = 0; t < config_.ingestThreads; ++t) {
     ingestPool_.emplace_back([this, t] { ingestLoop(t); });
+  }
+  if (registry_ && config_.metricsSampleMillis > 0) {
+    sampler_ = std::thread([this] { samplerLoop(); });
+  }
+}
+
+void DetectionEngine::samplerLoop() {
+  obs::bindThreadShard(config_.workers + config_.ingestThreads + 1);
+  std::unique_lock lk(samplerMutex_);
+  for (;;) {
+    if (samplerCv_.wait_for(
+            lk, std::chrono::milliseconds(config_.metricsSampleMillis),
+            [&] { return samplerStop_; })) {
+      return;
+    }
+    lk.unlock();
+    sampleGauges();
+    lk.lock();
+  }
+}
+
+void DetectionEngine::sampleGauges() {
+  const SchedulerStats sched = scheduler_->stats();
+  registry_->recordValue(obs::Gauge::kReadyStreams, sched.readyStreams);
+  registry_->recordValue(obs::Gauge::kQueuedUnits, sched.queuedUnits);
+  std::size_t deepest = 0;
+  std::size_t busiest = 0;
+  std::size_t total = 0;
+  for (const auto& q : scheduler_->allStreamStats()) {
+    deepest = std::max(deepest, q.queueDepth);
+    busiest = std::max(busiest, q.unitsProcessed);
+    total += q.unitsProcessed;
+  }
+  registry_->recordValue(obs::Gauge::kMaxStreamQueueDepth, deepest);
+  std::size_t workspace = 0;
+  for (const auto& stream : streams_) {
+    workspace += stream->workspaceBytes.load(std::memory_order_relaxed);
+  }
+  registry_->recordValue(obs::Gauge::kWorkspaceBytes, workspace);
+  if (total > 0) {
+    registry_->recordValue(obs::Gauge::kBusiestStreamPpm,
+                           busiest * 1'000'000 / total);
+  }
+}
+
+void DetectionEngine::stopSampler() {
+  {
+    std::lock_guard lk(samplerMutex_);
+    samplerStop_ = true;
+  }
+  samplerCv_.notify_all();
+  if (sampler_.joinable()) {
+    sampler_.join();
+    // One parting sample, so short runs (drained before the first period
+    // elapsed) still expose every gauge.
+    sampleGauges();
   }
 }
 
@@ -172,6 +241,7 @@ void DetectionEngine::maybePauseIngest() {
 }
 
 void DetectionEngine::ingestLoop(std::size_t threadIndex) {
+  obs::bindThreadShard(config_.workers + 1 + threadIndex);
   // Static partition: stream id modulo pool size. One producer per stream
   // preserves source order; the scheduler takes care of the rest.
   std::vector<std::pair<std::size_t, StreamState*>> mine;
@@ -203,7 +273,13 @@ void DetectionEngine::ingestLoop(std::size_t threadIndex) {
       // Batch into a buffer recycled from the workers (allocation-free
       // once the pool is primed).
       batch.records = takeRecycled();
-      const bool more = stream->batcher->next(batch);
+      bool more;
+      {
+        // kBatchFlush covers the whole unit assembly; the source pulls
+        // inside it record as kSourceFetch (nested span).
+        obs::StageSpan flush(registry_.get(), obs::Stage::kBatchFlush);
+        more = stream->batcher->next(batch);
+      }
       stream->sourceSkipped.store(
           stream->junkBase + stream->source->skippedRecords(),
           std::memory_order_relaxed);
@@ -215,6 +291,9 @@ void DetectionEngine::ingestLoop(std::size_t threadIndex) {
         progressed = true;
         continue;
       }
+      // Stamp for the end-to-end unit-latency histogram (enqueue ->
+      // processed; sampled on the worker side).
+      batch.enqueueNs = registry_ ? monotonicNanos() : 0;
       if (!scheduler_->submit(id, std::move(batch))) break;  // stopping
       progressed = true;
     }
@@ -239,9 +318,19 @@ void DetectionEngine::processOne(std::size_t id, TimeUnitBatch& batch) {
   stream.pipeline.processUnit(
       batch,
       [&](const InstanceResult& r) {
-        if (sink_) sink_(stream.name, r);
+        if (sink_) {
+          obs::StageSpan span(registry_.get(), obs::Stage::kReportSink);
+          sink_(stream.name, r);
+        }
       },
       sum);
+  if (registry_ && batch.enqueueNs > 0) {
+    const std::int64_t waited = monotonicNanos() - batch.enqueueNs;
+    if (waited > 0) {
+      registry_->recordLatencyNs(obs::Stage::kUnitLatency,
+                                 static_cast<std::uint64_t>(waited));
+    }
+  }
   stream.warmupBuffered.store(sum.warmupUnitsBuffered,
                               std::memory_order_relaxed);
   stream.recordsProcessed.fetch_add(batchRecords, std::memory_order_relaxed);
@@ -268,7 +357,8 @@ EngineStats DetectionEngine::drain() {
       if (t.joinable()) t.join();
     }
     scheduler_->drainAndJoin();
-    finalElapsedNs_.store(nowNs() - startNs_.load(std::memory_order_relaxed),
+    stopSampler();
+    finalElapsedNs_.store(monotonicNanos() - startNs_.load(std::memory_order_relaxed),
                           std::memory_order_release);
     joined_.store(true, std::memory_order_release);
   }
@@ -295,7 +385,8 @@ void DetectionEngine::stop() {
   for (auto& t : ingestPool_) {
     if (t.joinable()) t.join();
   }
-  finalElapsedNs_.store(nowNs() - startNs_.load(std::memory_order_relaxed),
+  stopSampler();
+  finalElapsedNs_.store(monotonicNanos() - startNs_.load(std::memory_order_relaxed),
                         std::memory_order_release);
   joined_.store(true, std::memory_order_release);
 }
@@ -303,7 +394,7 @@ void DetectionEngine::stop() {
 void DetectionEngine::checkpoint(const std::string& path,
                                  const ExtraWriter& extra) {
   std::lock_guard ckptLock(checkpointMutex_);
-  const std::int64_t t0 = nowNs();
+  const std::int64_t t0 = monotonicNanos();
   // While the pools run, snapshot at a quiescent unit boundary: park the
   // producers, then let the workers drain every queued unit. Once the
   // engine has drained/stopped (or was never started) the state is
@@ -370,7 +461,11 @@ void DetectionEngine::checkpoint(const std::string& path,
 
   // Publish the counters through the seqlock so a concurrent stats()
   // poller never mixes fields of two checkpoints.
-  const std::int64_t durationNs = nowNs() - t0;
+  const std::int64_t durationNs = monotonicNanos() - t0;
+  if (registry_) {
+    registry_->recordLatencyNs(obs::Stage::kCheckpointSave,
+                               static_cast<std::uint64_t>(durationNs));
+  }
   ckptSeq_.fetch_add(1, std::memory_order_relaxed);  // odd: write open
   std::atomic_thread_fence(std::memory_order_release);
   ckptCount_.fetch_add(1, std::memory_order_relaxed);
@@ -385,6 +480,7 @@ std::size_t DetectionEngine::restoreFrom(const std::string& path,
                                          const ExtraReader& extra) {
   TIRESIAS_EXPECT(!started_.load(), "restoreFrom() after start()");
   std::lock_guard ckptLock(checkpointMutex_);
+  obs::StageSpan restoreSpan(registry_.get(), obs::Stage::kCheckpointRestore);
   const persist::SnapshotReader reader = persist::SnapshotReader::readFile(path);
   bool sawMeta = false;
   std::size_t restored = 0;
@@ -525,13 +621,14 @@ EngineStats DetectionEngine::stats() const {
   if (started_.load(std::memory_order_acquire)) {
     const std::int64_t fin = finalElapsedNs_.load(std::memory_order_acquire);
     elapsedNs =
-        fin >= 0 ? fin : nowNs() - startNs_.load(std::memory_order_acquire);
+        fin >= 0 ? fin : monotonicNanos() - startNs_.load(std::memory_order_acquire);
   }
   out.elapsedSeconds = static_cast<double>(elapsedNs) / 1e9;
   if (out.elapsedSeconds > 0.0) {
     out.recordsPerSecond =
         static_cast<double>(out.recordsProcessed) / out.elapsedSeconds;
   }
+  if (registry_) out.metrics = registry_->snapshot();
   return out;
 }
 

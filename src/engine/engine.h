@@ -48,6 +48,7 @@
 
 #include "core/pipeline.h"
 #include "engine/scheduler.h"
+#include "obs/metrics.h"
 #include "persist/snapshot.h"
 #include "stream/window.h"
 
@@ -67,6 +68,14 @@ struct EngineConfig {
   /// Global bound on queued units across all streams (the memory cap that
   /// holds no matter how many streams are registered).
   std::size_t totalQueueCapacity = 1024;
+  /// Per-stage latency histograms + gauge sampling (obs::MetricsRegistry).
+  /// On by default: the record path is lock-free and the measured overhead
+  /// is committed in BENCH_engine.json (<2% target). Off = zero-cost
+  /// (spans compile to one null-pointer branch).
+  bool metrics = true;
+  /// Gauge sampling period for the background sampler thread; 0 disables
+  /// the sampler (stage histograms still record).
+  std::size_t metricsSampleMillis = 50;
 };
 
 /// Live counters of one stream (a snapshot; the engine keeps atomics and
@@ -129,6 +138,9 @@ struct EngineStats {
   double busiestStreamShare = 0.0;
   /// Checkpoint/restore counters and durations.
   CheckpointStats checkpoint;
+  /// Per-stage latency percentiles and sampled gauges (empty with
+  /// `enabled == false` when the engine runs with metrics off).
+  obs::MetricsSnapshot metrics;
   /// Wall-clock seconds from start() until now (or until drain finished).
   double elapsedSeconds = 0.0;
   /// recordsProcessed / elapsedSeconds.
@@ -226,15 +238,30 @@ class DetectionEngine {
   void maybePauseIngest();
   /// Worker-side unit processor (serialized per stream by the scheduler).
   void processOne(std::size_t id, TimeUnitBatch& batch);
+  /// Background gauge sampler (queue depths, workspace bytes, skew);
+  /// one pass every metricsSampleMillis until stopped.
+  void samplerLoop();
+  void sampleGauges();
+  void stopSampler();
 
   std::vector<Record> takeRecycled();
   void recycleBuffer(std::vector<Record>&& buf);
 
   EngineConfig config_;
   ResultSink sink_;
+  /// Metrics registry (null when config.metrics is false). Created before
+  /// the scheduler and destroyed after it — every span holds a plain
+  /// pointer. Shards: [0] unbound, [1..W] workers, [W+1..W+I] ingest,
+  /// [W+I+1] the sampler.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
   std::vector<std::unique_ptr<StreamState>> streams_;
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::thread> ingestPool_;
+  /// Gauge sampler thread (running iff registry_ and sample period > 0).
+  std::thread sampler_;
+  std::mutex samplerMutex_;
+  std::condition_variable samplerCv_;
+  bool samplerStop_ = false;
   std::atomic<bool> started_{false};
   std::atomic<bool> joined_{false};  // pools stopped; summaries are stable
   std::atomic<bool> stopRequested_{false};

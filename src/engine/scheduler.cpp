@@ -38,7 +38,7 @@ void Scheduler::start() {
   if (streams_.empty()) ready_->close();
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
@@ -120,11 +120,23 @@ bool Scheduler::retireIfDrained(StreamEntry& stream) {
   return --liveStreams_ == 0;
 }
 
-void Scheduler::workerLoop() {
-  while (auto id = ready_->pop()) runStream(*id);
+void Scheduler::workerLoop(std::size_t workerIndex) {
+  obs::bindThreadShard(config_.metricsShardBase + workerIndex);
+  for (;;) {
+    std::optional<std::size_t> id;
+    {
+      // Dispatch wait is worker idle time: blocked on the ready queue
+      // because no stream is runnable (all drained, or producers stalled).
+      obs::StageSpan wait(config_.metrics, obs::Stage::kDispatchWait);
+      id = ready_->pop();
+    }
+    if (!id) break;
+    runStream(*id);
+  }
 }
 
 void Scheduler::runStream(std::size_t id) {
+  obs::StageSpan slice(config_.metrics, obs::Stage::kRunSlice);
   StreamEntry& s = *streams_[id];
   {
     std::lock_guard lock(mu_);

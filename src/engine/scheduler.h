@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "engine/bounded_queue.h"
+#include "obs/metrics.h"
 #include "stream/window.h"
 
 namespace tiresias::engine {
@@ -57,6 +58,11 @@ struct SchedulerConfig {
   std::size_t streamQueueCapacity = 16;
   /// Global bound on queued units across all streams.
   std::size_t totalQueueCapacity = 1024;
+  /// Optional metrics registry (not owned; must outlive the scheduler).
+  /// When set, workers record dispatch-wait and run-slice latency spans
+  /// and worker i binds metrics shard metricsShardBase + i.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::size_t metricsShardBase = 1;
 };
 
 /// Snapshot of one stream's scheduling state.
@@ -165,7 +171,7 @@ class Scheduler {
     StreamQueueStats stats;
   };
 
-  void workerLoop();
+  void workerLoop(std::size_t workerIndex);
   /// Advance one claimed stream by up to runBudget units.
   void runStream(std::size_t id);
   /// Mark `stream` retired if fully drained; close the ready queue when

@@ -1,0 +1,251 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+
+#include "common/expect.h"
+#include "common/timer.h"
+
+namespace tiresias::obs {
+
+namespace {
+
+constexpr const char* kStageNames[] = {
+    "ingest.source_fetch",        // kSourceFetch
+    "ingest.batch_flush",         // kBatchFlush
+    "scheduler.dispatch_wait",    // kDispatchWait
+    "scheduler.run_slice",        // kRunSlice
+    "detect.sta_observe",         // kStaObserve
+    "detect.ada_observe",         // kAdaObserve
+    "detect.update_hierarchies",  // kUpdateHierarchies
+    "detect.create_series",       // kCreateSeries
+    "detect.judge_anomalies",     // kDetectAnomalies
+    "report.sink",                // kReportSink
+    "checkpoint.save",            // kCheckpointSave
+    "checkpoint.restore",         // kCheckpointRestore
+    "engine.unit_latency",        // kUnitLatency
+};
+
+constexpr const char* kGaugeNames[] = {
+    "gauge.ready_streams",           // kReadyStreams
+    "gauge.queued_units",            // kQueuedUnits
+    "gauge.max_stream_queue_depth",  // kMaxStreamQueueDepth
+    "gauge.workspace_bytes",         // kWorkspaceBytes
+    "gauge.busiest_stream_ppm",      // kBusiestStreamPpm
+};
+
+// A new Stage/Gauge value without a matching name row fails here, not at
+// runtime.
+static_assert(std::size(kStageNames) == kStageCount);
+static_assert(std::size(kGaugeNames) == kGaugeCount);
+
+thread_local std::size_t tThreadShard = 0;
+
+/// Lower/upper value bounds of histogram bucket b (see HistogramSnapshot).
+constexpr double bucketLower(std::size_t b) {
+  return b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (b - 1));
+}
+constexpr double bucketUpper(std::size_t b) {
+  return b == 0 ? 1.0 : static_cast<double>(std::uint64_t{1} << b);
+}
+
+}  // namespace
+
+const char* stageName(Stage stage) {
+  const auto i = static_cast<std::size_t>(stage);
+  TIRESIAS_EXPECT(i < kStageCount, "stage out of range");
+  return kStageNames[i];
+}
+
+const char* gaugeName(Gauge gauge) {
+  const auto i = static_cast<std::size_t>(gauge);
+  TIRESIAS_EXPECT(i < kGaugeCount, "gauge out of range");
+  return kGaugeNames[i];
+}
+
+void bindThreadShard(std::size_t shard) { tThreadShard = shard; }
+
+std::size_t threadShard() { return tThreadShard; }
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample (1-based, nearest-rank with
+  // interpolation inside the containing bucket).
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const auto next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      const double into =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[b]);
+      const double value =
+          bucketLower(b) + into * (bucketUpper(b) - bucketLower(b));
+      // The exact max bounds the estimate: the top bucket's upper edge can
+      // overshoot the largest value actually recorded.
+      return std::min(value, static_cast<double>(max));
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t shards)
+    : shards_(std::max<std::size_t>(shards, 1)) {}
+
+void MetricsRegistry::record(Cell& cell, std::uint64_t value) {
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = cell.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !cell.max.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+  }
+  cell.buckets[bucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::recordLatencyNs(Stage stage, std::uint64_t ns) {
+  std::size_t shard = tThreadShard;
+  if (shard >= shards_.size()) shard = 0;
+  record(shards_[shard].stages[static_cast<std::size_t>(stage)], ns);
+}
+
+void MetricsRegistry::recordValue(Gauge gauge, std::uint64_t value) {
+  std::size_t shard = tThreadShard;
+  if (shard >= shards_.size()) shard = 0;
+  const auto g = static_cast<std::size_t>(gauge);
+  record(shards_[shard].gauges[g], value);
+  lastGauge_[g].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::mergeInto(HistogramSnapshot& out, std::size_t cellIndex,
+                                bool gauge) const {
+  for (const Shard& shard : shards_) {
+    const Cell& cell =
+        gauge ? shard.gauges[cellIndex] : shard.stages[cellIndex];
+    out.sum += cell.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, cell.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  // The count is derived from the merged buckets, never read separately:
+  // whatever interleaving recording is mid-flight, the snapshot's
+  // percentiles always describe exactly `count` samples.
+  out.count = 0;
+  for (const auto b : out.buckets) out.count += b;
+}
+
+HistogramSnapshot MetricsRegistry::stageHistogram(Stage stage) const {
+  HistogramSnapshot out;
+  mergeInto(out, static_cast<std::size_t>(stage), false);
+  return out;
+}
+
+HistogramSnapshot MetricsRegistry::gaugeHistogram(Gauge gauge) const {
+  HistogramSnapshot out;
+  mergeInto(out, static_cast<std::size_t>(gauge), true);
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  out.enabled = true;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto hist = stageHistogram(static_cast<Stage>(i));
+    if (hist.count == 0) continue;
+    StageStats s;
+    s.name = kStageNames[i];
+    s.count = hist.count;
+    s.p50 = hist.percentile(0.50) / 1e9;
+    s.p90 = hist.percentile(0.90) / 1e9;
+    s.p99 = hist.percentile(0.99) / 1e9;
+    s.max = static_cast<double>(hist.max) / 1e9;
+    s.totalSeconds = static_cast<double>(hist.sum) / 1e9;
+    out.stages.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    const auto hist = gaugeHistogram(static_cast<Gauge>(i));
+    if (hist.count == 0) continue;
+    GaugeStats g;
+    g.name = kGaugeNames[i];
+    g.samples = hist.count;
+    g.last = lastGauge_[i].load(std::memory_order_relaxed);
+    g.p50 = hist.percentile(0.50);
+    g.p90 = hist.percentile(0.90);
+    g.p99 = hist.percentile(0.99);
+    g.max = hist.max;
+    out.gauges.push_back(std::move(g));
+  }
+  return out;
+}
+
+const StageStats* MetricsSnapshot::stage(const std::string& name) const {
+  for (const auto& s : stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const GaugeStats* MetricsSnapshot::gauge(Gauge g) const {
+  const char* name = gaugeName(g);
+  for (const auto& entry : gauges) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+StageSpan::StageSpan(MetricsRegistry* registry, Stage stage)
+    : registry_(registry),
+      stage_(stage),
+      startNs_(registry ? monotonicNanos() : 0) {}
+
+void StageSpan::finish() {
+  if (!registry_) return;
+  const std::int64_t delta = monotonicNanos() - startNs_;
+  registry_->recordLatencyNs(stage_,
+                             delta > 0 ? static_cast<std::uint64_t>(delta)
+                                       : 0);
+  registry_ = nullptr;
+}
+
+std::string stagesJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  char buf[256];
+  for (std::size_t i = 0; i < snapshot.stages.size(); ++i) {
+    const auto& s = snapshot.stages[i];
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\":{\"count\":%llu,\"p50_us\":%.3f,\"p90_us\":%.3f,"
+                  "\"p99_us\":%.3f,\"max_us\":%.3f,\"total_s\":%.6f}",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.count), s.p50 * 1e6,
+                  s.p90 * 1e6, s.p99 * 1e6, s.max * 1e6, s.totalSeconds);
+    if (i > 0) out += ",";
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+std::string gaugesJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  char buf[256];
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\":{\"samples\":%llu,\"last\":%llu,\"p50\":%.1f,"
+                  "\"p90\":%.1f,\"p99\":%.1f,\"max\":%llu}",
+                  g.name.c_str(),
+                  static_cast<unsigned long long>(g.samples),
+                  static_cast<unsigned long long>(g.last), g.p50, g.p90,
+                  g.p99, static_cast<unsigned long long>(g.max));
+    if (i > 0) out += ",";
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tiresias::obs

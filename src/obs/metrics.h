@@ -1,0 +1,225 @@
+// Engine-wide metrics: sharded lock-free counters and log2 latency
+// histograms, merged on read.
+//
+// The paper judges the detection system on per-unit runtime and detection
+// latency, so the serving engine must be able to answer "where is time
+// going" — per stage, as a distribution, while running — without slowing
+// the hot path it measures. Design:
+//
+//   - A MetricsRegistry holds one shard per recording thread (workers,
+//     ingest threads, the sampler). A shard is a cache-line-aligned block
+//     of relaxed atomics: per-stage fixed-bucket log2 histograms plus
+//     sum/max. The record path is branch + bit_width + three relaxed
+//     fetch_adds and one bounded CAS loop for the max — no mutex, no
+//     allocation, TSan-clean by construction (every slot is atomic).
+//   - Readers (stats() pollers, the CLI metrics emitter) merge all shards
+//     into a MetricsSnapshot. Sample counts are derived from the bucket
+//     sums, so a snapshot is always self-consistent with its own
+//     percentiles; concurrent recording can only make a snapshot slightly
+//     stale, never torn.
+//   - Stages are a closed enum, so recording indexes dense arrays — no
+//     string hashing on the hot path. Latency stages hold nanosecond
+//     durations; gauges hold sampled values (queue depths, bytes).
+//
+// Threads bind a shard id once (bindThreadShard); unbound threads fall
+// back to shard 0, which is safe (atomics) just potentially contended.
+// Overhead is measured, not assumed: BENCH_engine.json commits a
+// metrics-on vs metrics-off delta (<2% target, uniform workers=1).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tiresias::obs {
+
+/// Instrumented latency stages, one histogram each. Names (stageName) are
+/// the stable identifiers used in JSON output and the CLI table.
+enum class Stage : std::uint8_t {
+  kSourceFetch = 0,    // RecordSource::nextBatch (the raw source pull)
+  kBatchFlush,         // TimeUnitBatcher::next (one timeunit assembled)
+  kDispatchWait,       // worker blocked on the ready queue (idle time)
+  kRunSlice,           // one worker claim: up to runBudget units
+  kStaObserve,         // StaDetector::step, one timeunit
+  kAdaObserve,         // AdaDetector::step, one timeunit
+  kUpdateHierarchies,  // detector stage: SHHH update (Table III row 2)
+  kCreateSeries,       // detector stage: time-series upkeep (row 3)
+  kDetectAnomalies,    // detector stage: forecast + judge (row 4)
+  kReportSink,         // result sink call (anomaly store insert)
+  kCheckpointSave,     // DetectionEngine::checkpoint (incl. quiesce)
+  kCheckpointRestore,  // DetectionEngine::restoreFrom
+  kUnitLatency,        // end-to-end: unit enqueued -> unit processed
+  kStageCount
+};
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kStageCount);
+const char* stageName(Stage stage);
+
+/// Sampled gauges (value histograms + last-seen), fed by the engine's
+/// periodic sampler: queue pressure and residency, as distributions.
+enum class Gauge : std::uint8_t {
+  kReadyStreams = 0,     // ready-queue depth (runnable streams)
+  kQueuedUnits,          // units queued across all streams
+  kMaxStreamQueueDepth,  // deepest per-stream FIFO
+  kWorkspaceBytes,       // total resident detect-workspace bytes
+  kBusiestStreamPpm,     // busiest stream's share of processed units, ppm
+  kGaugeCount
+};
+inline constexpr std::size_t kGaugeCount =
+    static_cast<std::size_t>(Gauge::kGaugeCount);
+const char* gaugeName(Gauge gauge);
+
+/// Merged view of one histogram. Bucket b holds values whose bit_width is
+/// b: bucket 0 is exactly {0}, bucket b >= 1 covers [2^(b-1), 2^b). The
+/// last bucket absorbs everything wider (2^38 ns ~= 4.6 min — any real
+/// latency sample fits below it).
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 40;
+
+  std::uint64_t count = 0;  // == sum of buckets (self-consistent)
+  std::uint64_t sum = 0;    // of raw values (advisory under concurrency)
+  std::uint64_t max = 0;    // exact largest recorded value
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket, clamped to the exact max. 0 when empty.
+  double percentile(double q) const;
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// One stage row of a MetricsSnapshot, in seconds.
+struct StageStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double totalSeconds = 0.0;
+};
+
+/// One gauge row, in the gauge's native unit (units, bytes, ppm).
+struct GaugeStats {
+  std::string name;
+  std::uint64_t samples = 0;
+  std::uint64_t last = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t max = 0;
+};
+
+/// Point-in-time merge of a registry; what EngineStats carries.
+struct MetricsSnapshot {
+  bool enabled = false;
+  /// Stages with at least one sample, in enum order.
+  std::vector<StageStats> stages;
+  /// Gauges with at least one sample, in enum order.
+  std::vector<GaugeStats> gauges;
+
+  const StageStats* stage(Stage s) const { return stage(stageName(s)); }
+  const StageStats* stage(const std::string& name) const;
+  const GaugeStats* gauge(Gauge g) const;
+};
+
+/// Binds the calling thread to `shard` for every subsequent record into
+/// any registry (ids are clamped per registry, so a thread serving one
+/// registry can safely touch another). Pool threads bind their dense
+/// worker/ingest index once at startup; unbound threads record into
+/// shard 0.
+void bindThreadShard(std::size_t shard);
+std::size_t threadShard();
+
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  /// `shards` should cover every concurrently recording thread (workers +
+  /// ingest + sampler + 1 for unbound callers); fewer only costs
+  /// contention, never correctness.
+  explicit MetricsRegistry(std::size_t shards);
+
+  std::size_t shardCount() const { return shards_.size(); }
+
+  /// Lock-free hot-path record: one duration sample into the calling
+  /// thread's shard of `stage`.
+  void recordLatencyNs(Stage stage, std::uint64_t ns);
+  /// One sampled value into `gauge` (also refreshes the last-seen slot).
+  void recordValue(Gauge gauge, std::uint64_t value);
+
+  /// Merge every shard into a consistent snapshot (counts derived from
+  /// bucket sums). Safe concurrently with recording.
+  MetricsSnapshot snapshot() const;
+
+  /// Merged raw histograms, for tests and custom exposition.
+  HistogramSnapshot stageHistogram(Stage stage) const;
+  HistogramSnapshot gaugeHistogram(Gauge gauge) const;
+
+  /// Bucket index of a value (bit_width, clamped) — exposed so tests can
+  /// assert the boundary mapping.
+  static constexpr std::size_t bucketOf(std::uint64_t v) {
+    const auto w = static_cast<std::size_t>(std::bit_width(v));
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+
+ private:
+  /// All-atomic histogram cell. Single logical writer per shard in the
+  /// engine wiring, but multiple writers are correct too (unbound threads
+  /// share shard 0) — hence the CAS loop for max.
+  struct Cell {
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  /// One recording thread's block, cache-line aligned so neighboring
+  /// shards never false-share.
+  struct alignas(64) Shard {
+    std::array<Cell, kStageCount> stages;
+    std::array<Cell, kGaugeCount> gauges;
+  };
+
+  static void record(Cell& cell, std::uint64_t value);
+  void mergeInto(HistogramSnapshot& out, std::size_t cellIndex,
+                 bool gauge) const;
+
+  std::vector<Shard> shards_;
+  std::array<std::atomic<std::uint64_t>, kGaugeCount> lastGauge_{};
+};
+
+/// RAII latency span: records the scope's duration into `stage` on
+/// destruction. A null registry makes it a no-op (metrics-off builds the
+/// same code; the disabled path is one branch).
+class StageSpan {
+ public:
+  StageSpan(MetricsRegistry* registry, Stage stage);
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+  ~StageSpan() { finish(); }
+
+  /// Ends the span early (idempotent).
+  void finish();
+
+ private:
+  MetricsRegistry* registry_;
+  Stage stage_;
+  std::int64_t startNs_;
+};
+
+/// `"name":{"count":..,"p50_us":..,"p90_us":..,"p99_us":..,"max_us":..,
+/// "total_s":..}` pairs joined into one JSON object — the exposition
+/// format shared by `tiresias_cli serve --metrics-out` and the bench
+/// baselines.
+std::string stagesJson(const MetricsSnapshot& snapshot);
+/// Same for gauges: `"name":{"samples":..,"last":..,"p50":..,"p90":..,
+/// "p99":..,"max":..}`.
+std::string gaugesJson(const MetricsSnapshot& snapshot);
+
+}  // namespace tiresias::obs

@@ -16,6 +16,7 @@
 // wrapper for callers that want fresh batches.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,11 @@ namespace tiresias {
 struct TimeUnitBatch {
   TimeUnit unit = 0;  // index: records fall in [unit*delta, (unit+1)*delta)
   std::vector<Record> records;
+  /// Monotonic stamp (ns) set by the engine when the unit is enqueued for
+  /// processing; 0 when untracked. Only deltas against monotonicNanos()
+  /// are meaningful — the metrics layer turns enqueue -> processed into
+  /// the end-to-end unit-latency histogram. Not persisted.
+  std::int64_t enqueueNs = 0;
 };
 
 class TimeUnitBatcher {

@@ -48,6 +48,7 @@ constexpr const char* kUsage =
     "             [--queue C] [--total-queue Q] [--budget B] [--scale ...]\n"
     "             [--seed S] [--theta T] [--window W]\n"
     "             [--checkpoint-dir DIR [--checkpoint-every N] [--restore]]\n"
+    "             [--metrics-out FILE [--metrics-every MS]]\n"
     "             multiplex K generated CCD/SCD streams through the\n"
     "             task-scheduled detection engine (W shared workers over\n"
     "             per-stream queues; W defaults to the hardware threads)\n"
@@ -56,6 +57,10 @@ constexpr const char* kUsage =
     "             state to DIR/checkpoint.tsnap (atomically, every N\n"
     "             processed units plus once at the end); --restore resumes\n"
     "             from that file, skipping the already-processed prefix.\n"
+    "             --metrics-out FILE appends one JSON-lines metrics\n"
+    "             snapshot (schema tiresias_metrics/v1: per-stage latency\n"
+    "             percentiles + sampled gauges) every --metrics-every MS\n"
+    "             (default 1000) plus a final one after drain.\n"
     "             --shards N is deprecated: it now maps to --workers N\n"
     "\n"
     "detect/analyze/hierarchy also accept --hierarchy <paths-file> (one\n"
@@ -407,18 +412,32 @@ int cmdHierarchy(const CliArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// One JSON-lines metrics snapshot (schema tiresias_metrics/v1) — the
+/// scrapeable stats surface behind `serve --metrics-out`.
+void writeMetricsLine(std::ostream& os, const engine::EngineStats& st) {
+  os << "{\"schema\":\"tiresias_metrics/v1\""
+     << ",\"elapsed_seconds\":" << fmtF(st.elapsedSeconds, 3)
+     << ",\"units_processed\":" << st.unitsProcessed
+     << ",\"records_processed\":" << st.recordsProcessed
+     << ",\"units_discarded\":" << st.unitsDiscarded
+     << ",\"queue_lag_units\":" << st.queueLagUnits()
+     << ",\"records_per_sec\":" << fmtF(st.recordsPerSecond, 1)
+     << ",\"stages\":" << obs::stagesJson(st.metrics)
+     << ",\"gauges\":" << obs::gaugesJson(st.metrics) << "}\n";
+}
+
 int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if (!checkOptions(args, err,
                     {"streams", "units", "workers", "ingest-threads", "queue",
                      "total-queue", "budget", "scale", "seed", "theta",
                      "window", "shards", "checkpoint-dir", "checkpoint-every",
-                     "restore"})) {
+                     "restore", "metrics-out", "metrics-every"})) {
     return 2;
   }
   // Parse signed so "--streams -1" can't wrap around to a huge count.
   long long streamsIn = 0, units = 0, workersIn = 0, ingestIn = 0;
   long long queueIn = 0, totalQueueIn = 0, budgetIn = 0, seedIn = 0;
-  long long window = 0, checkpointEvery = 0;
+  long long window = 0, checkpointEvery = 0, metricsEvery = 0;
   double theta = 0;
   if (!numOption(args, "serve", "streams", 4, err, streamsIn) ||
       !numOption(args, "serve", "units", 96, err, units) ||
@@ -430,7 +449,17 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       !numOption(args, "serve", "seed", 1, err, seedIn) ||
       !numOption(args, "serve", "window", 32, err, window) ||
       !numOption(args, "serve", "checkpoint-every", 0, err, checkpointEvery) ||
+      !numOption(args, "serve", "metrics-every", 1000, err, metricsEvery) ||
       !realOption(args, "serve", "theta", 8, err, theta)) {
+    return 2;
+  }
+  const std::string metricsOut = args.get("metrics-out", "");
+  if (args.has("metrics-every") && metricsOut.empty()) {
+    err << "serve: --metrics-every requires --metrics-out\n";
+    return 2;
+  }
+  if (metricsEvery <= 0) {
+    err << "serve: --metrics-every must be positive\n";
     return 2;
   }
   const std::string checkpointDir = args.get("checkpoint-dir", "");
@@ -567,6 +596,30 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   // units have been processed. Runs beside drain(); the engine quiesces
   // to a unit boundary around each snapshot and resumes by itself.
   std::atomic<bool> serveDone{false};
+  // Periodic metrics emitter: one JSON line per --metrics-every window,
+  // plus a final line after drain (written by the main thread, so the
+  // last line always reflects the fully drained state).
+  std::ofstream metricsFile;
+  std::thread metricsEmitter;
+  if (!metricsOut.empty()) {
+    metricsFile.open(metricsOut, std::ios::trunc);
+    if (!metricsFile) {
+      err << "serve: cannot open --metrics-out '" << metricsOut << "'\n";
+      eng.stop();
+      return 1;
+    }
+    metricsEmitter = std::thread([&] {
+      auto last = std::chrono::steady_clock::now();
+      while (!serveDone.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last < std::chrono::milliseconds(metricsEvery)) continue;
+        last = now;
+        writeMetricsLine(metricsFile, eng.stats());
+        metricsFile.flush();
+      }
+    });
+  }
   std::thread checkpointer;
   if (checkpointEvery > 0) {
     checkpointer = std::thread([&] {
@@ -592,6 +645,11 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   const auto stats = eng.drain();
   serveDone.store(true, std::memory_order_relaxed);
   if (checkpointer.joinable()) checkpointer.join();
+  if (metricsEmitter.joinable()) metricsEmitter.join();
+  if (metricsFile.is_open()) {
+    writeMetricsLine(metricsFile, stats);
+    metricsFile.close();
+  }
   if (!checkpointDir.empty()) {
     // Final checkpoint of the drained state, so a later --restore resumes
     // (or re-reports) from the end of this run.
@@ -631,11 +689,24 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       << " busiest-share=" << fmtF(stats.busiestStreamShare, 2) << "\n";
   out << "aggregate: ingested=" << stats.unitsIngested
       << " units=" << stats.unitsProcessed
+      << " discarded=" << stats.unitsDiscarded
       << " lag=" << stats.queueLagUnits()
       << " records=" << stats.recordsProcessed
       << " instances=" << stats.instancesDetected
       << " anomalies=" << stats.anomaliesReported
-      << " junk=" << stats.junkRowsSkipped << "\n";
+      << " junk=" << stats.junkRowsSkipped
+      << " warmup=" << stats.warmupUnitsBuffered << "\n";
+  if (stats.metrics.enabled && !stats.metrics.stages.empty()) {
+    out << "stages (latency percentiles):\n";
+    AsciiTable table({"stage", "count", "p50 us", "p90 us", "p99 us",
+                      "max us", "total s"});
+    for (const auto& s : stats.metrics.stages) {
+      table.addRow({s.name, std::to_string(s.count), fmtF(s.p50 * 1e6, 1),
+                    fmtF(s.p90 * 1e6, 1), fmtF(s.p99 * 1e6, 1),
+                    fmtF(s.max * 1e6, 1), fmtF(s.totalSeconds, 3)});
+    }
+    table.print(out);
+  }
   if (!checkpointDir.empty()) {
     const auto finalStats = eng.stats();
     out << "checkpoints: " << finalStats.checkpoint.checkpoints

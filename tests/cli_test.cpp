@@ -187,9 +187,61 @@ TEST(Cli, ServeRunsStreamsThroughEngine) {
   EXPECT_NE(out.find("stream ccd-trouble-1:"), std::string::npos);
   EXPECT_NE(out.find("stream scd-2:"), std::string::npos);
   EXPECT_NE(out.find("scheduler: claims="), std::string::npos);
-  EXPECT_NE(out.find("aggregate: ingested=120 units=120 lag=0"),
+  EXPECT_NE(out.find("aggregate: ingested=120 units=120 discarded=0 lag=0"),
             std::string::npos);
+  EXPECT_NE(out.find("warmup="), std::string::npos);
   EXPECT_NE(out.find("records/sec"), std::string::npos);
+  // Metrics ride along by default: the final summary includes the
+  // per-stage latency table.
+  EXPECT_NE(out.find("stages (latency percentiles):"), std::string::npos);
+  EXPECT_NE(out.find("scheduler.run_slice"), std::string::npos);
+  EXPECT_NE(out.find("engine.unit_latency"), std::string::npos);
+}
+
+TEST(Cli, ServeWritesMetricsJsonLines) {
+  const std::string path = "cli_test_metrics.jsonl";
+  std::string out;
+  ASSERT_EQ(run({"serve", "--streams", "2", "--workers", "1", "--units",
+                 "32", "--window", "16", "--seed", "11", "--metrics-out",
+                 path, "--metrics-every", "50"},
+                &out),
+            0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line, last;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    last = line;
+    // Every line is one self-describing JSON object.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"schema\":\"tiresias_metrics/v1\""),
+              std::string::npos);
+  }
+  // At minimum the final post-drain line is present.
+  ASSERT_GE(lines, 1u);
+  EXPECT_NE(last.find("\"units_processed\":64"), std::string::npos);
+  EXPECT_NE(last.find("\"stages\":{"), std::string::npos);
+  EXPECT_NE(last.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(last.find("\"engine.unit_latency\""), std::string::npos);
+  EXPECT_NE(last.find("\"p99_us\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ServeMetricsEveryRequiresMetricsOut) {
+  std::string err;
+  EXPECT_EQ(run({"serve", "--streams", "1", "--metrics-every", "100"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--metrics-every requires --metrics-out"),
+            std::string::npos);
+  EXPECT_EQ(run({"serve", "--streams", "1", "--metrics-out", "x.jsonl",
+                 "--metrics-every", "0"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("must be positive"), std::string::npos);
 }
 
 TEST(Cli, ServeRejectsZeroStreams) {

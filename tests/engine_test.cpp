@@ -612,5 +612,78 @@ TEST(Engine, SurfacesCsvJunkRowCounts) {
   std::remove(path.c_str());
 }
 
+/// The metrics layer rides along every engine run: stage spans must nest
+/// (inner stage totals bounded by their enclosing stage, everything
+/// bounded by wall time) and per-unit accounting must line up exactly
+/// with the engine's own counters.
+TEST(Engine, MetricsStageSpansNestAndAccountForUnits) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  EngineConfig cfg;
+  cfg.workers = 1;  // single worker: run-slice totals are one thread's time
+  cfg.ingestThreads = 1;
+  cfg.metricsSampleMillis = 5;  // fast sampler so short runs collect gauges
+  DetectionEngine eng(cfg, nullptr);
+  eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
+                std::make_unique<GeneratorSource>(spec, 0, 48, 7));
+  eng.start();
+  const auto stats = eng.drain();
+  ASSERT_TRUE(stats.metrics.enabled);
+  ASSERT_FALSE(stats.metrics.stages.empty());
+
+  using obs::Stage;
+  const auto* unitLatency = stats.metrics.stage(Stage::kUnitLatency);
+  ASSERT_NE(unitLatency, nullptr);
+  EXPECT_EQ(unitLatency->count, stats.unitsProcessed);
+
+  const auto* fetch = stats.metrics.stage(Stage::kSourceFetch);
+  const auto* flush = stats.metrics.stage(Stage::kBatchFlush);
+  ASSERT_NE(fetch, nullptr);
+  ASSERT_NE(flush, nullptr);
+  // The source pull happens inside the batcher flush span, so its total
+  // can never exceed the flush total (span nesting).
+  EXPECT_LE(fetch->totalSeconds, flush->totalSeconds);
+
+  const auto* observe = stats.metrics.stage(Stage::kAdaObserve);
+  const auto* slice = stats.metrics.stage(Stage::kRunSlice);
+  ASSERT_NE(observe, nullptr);
+  ASSERT_NE(slice, nullptr);
+  EXPECT_EQ(observe->count, stats.unitsProcessed);
+  // Detector observe happens inside run slices; run slices happen on one
+  // worker thread, so neither can exceed the engine's wall time.
+  EXPECT_LE(observe->totalSeconds, slice->totalSeconds);
+  EXPECT_LE(slice->totalSeconds, stats.elapsedSeconds);
+  EXPECT_LE(flush->totalSeconds, stats.elapsedSeconds);
+
+  // Every row must be internally consistent: ordered percentiles bounded
+  // by the tracked max.
+  for (const auto& st : stats.metrics.stages) {
+    SCOPED_TRACE(st.name);
+    EXPECT_GT(st.count, 0u);
+    EXPECT_LE(st.p50, st.p90);
+    EXPECT_LE(st.p90, st.p99);
+    EXPECT_LE(st.p99, st.max);
+  }
+  // The sampler ran at least once (drain takes a parting sample).
+  EXPECT_FALSE(stats.metrics.gauges.empty());
+}
+
+/// metrics=false must disable the whole layer: no registry, no snapshot
+/// content, identical engine results otherwise.
+TEST(Engine, MetricsDisabledLeavesSnapshotEmpty) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.metrics = false;
+  DetectionEngine eng(cfg, nullptr);
+  eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
+                std::make_unique<GeneratorSource>(spec, 0, 24, 7));
+  eng.start();
+  const auto stats = eng.drain();
+  EXPECT_GT(stats.unitsProcessed, 0u);
+  EXPECT_FALSE(stats.metrics.enabled);
+  EXPECT_TRUE(stats.metrics.stages.empty());
+  EXPECT_TRUE(stats.metrics.gauges.empty());
+}
+
 }  // namespace
 }  // namespace tiresias

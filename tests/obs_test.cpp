@@ -1,0 +1,206 @@
+// Tests for the observability layer (src/obs/): log2 histogram bucket
+// boundaries, percentile estimation bounds, gauge last-seen tracking,
+// shard-id clamping, and a concurrent writer/reader stress run that must
+// be TSan-clean (the registry promises lock-free recording with
+// tear-free snapshots).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tiresias::obs {
+namespace {
+
+TEST(Histogram, BucketOfMatchesBitWidth) {
+  // Bucket 0 is exactly {0}; bucket b >= 1 covers [2^(b-1), 2^b).
+  EXPECT_EQ(MetricsRegistry::bucketOf(0), 0u);
+  EXPECT_EQ(MetricsRegistry::bucketOf(1), 1u);
+  EXPECT_EQ(MetricsRegistry::bucketOf(2), 2u);
+  EXPECT_EQ(MetricsRegistry::bucketOf(3), 2u);
+  EXPECT_EQ(MetricsRegistry::bucketOf(4), 3u);
+  for (std::size_t b = 1; b < 39; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << b) - 1;
+    EXPECT_EQ(MetricsRegistry::bucketOf(lo), b) << "lower edge of bucket "
+                                                << b;
+    EXPECT_EQ(MetricsRegistry::bucketOf(hi), b) << "upper edge of bucket "
+                                                << b;
+  }
+  // Everything at or beyond 2^38 clamps into the last bucket.
+  EXPECT_EQ(MetricsRegistry::bucketOf(std::uint64_t{1} << 38), 39u);
+  EXPECT_EQ(MetricsRegistry::bucketOf(~std::uint64_t{0}), 39u);
+}
+
+TEST(Histogram, ExactCountSumMax) {
+  MetricsRegistry reg(1);
+  bindThreadShard(0);
+  const std::vector<std::uint64_t> values{0, 1, 7, 100, 4096, 123456789};
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : values) {
+    reg.recordLatencyNs(Stage::kRunSlice, v);
+    sum += v;
+  }
+  const auto h = reg.stageHistogram(Stage::kRunSlice);
+  EXPECT_EQ(h.count, values.size());
+  EXPECT_EQ(h.sum, sum);
+  EXPECT_EQ(h.max, 123456789u);
+  for (std::uint64_t v : values) {
+    EXPECT_GE(h.buckets[MetricsRegistry::bucketOf(v)], 1u);
+  }
+}
+
+TEST(Histogram, PercentileStaysInsideContainingBucket) {
+  MetricsRegistry reg(1);
+  bindThreadShard(0);
+  // 100 samples all in bucket 10 ([512, 1024)).
+  for (int i = 0; i < 100; ++i) {
+    reg.recordLatencyNs(Stage::kStaObserve, 700);
+  }
+  const auto h = reg.stageHistogram(Stage::kStaObserve);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, 512.0) << "q=" << q;
+    EXPECT_LE(p, 700.0) << "q=" << q;  // clamped to the exact max
+  }
+  // The tail percentile approaches the bucket top before clamping, so it
+  // must be the max exactly.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 700.0);
+}
+
+TEST(Histogram, PercentileOrderingAcrossBuckets) {
+  MetricsRegistry reg(1);
+  bindThreadShard(0);
+  for (int i = 0; i < 90; ++i) reg.recordLatencyNs(Stage::kRunSlice, 100);
+  for (int i = 0; i < 10; ++i) reg.recordLatencyNs(Stage::kRunSlice, 100000);
+  const auto h = reg.stageHistogram(Stage::kRunSlice);
+  // p50 lives in the low bucket, p99 in the high one.
+  EXPECT_LT(h.percentile(0.5), 128.0);
+  EXPECT_GT(h.percentile(0.99), 65536.0);
+  EXPECT_LE(h.percentile(0.99), 100000.0);
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+  EXPECT_LE(h.percentile(0.9), h.percentile(0.99));
+}
+
+TEST(Histogram, EmptyIsZero) {
+  MetricsRegistry reg(1);
+  const auto h = reg.stageHistogram(Stage::kCheckpointSave);
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Gauges, LastSeenAndDistribution) {
+  MetricsRegistry reg(2);
+  bindThreadShard(0);
+  reg.recordValue(Gauge::kQueuedUnits, 5);
+  reg.recordValue(Gauge::kQueuedUnits, 9);
+  reg.recordValue(Gauge::kQueuedUnits, 2);
+  const auto snap = reg.snapshot();
+  const auto* g = snap.gauge(Gauge::kQueuedUnits);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->samples, 3u);
+  EXPECT_EQ(g->last, 2u);  // most recent sample, not the max
+  EXPECT_EQ(g->max, 9u);
+  // Gauges with no samples are omitted from the snapshot.
+  EXPECT_EQ(snap.gauge(Gauge::kWorkspaceBytes), nullptr);
+}
+
+TEST(Snapshot, NamesAndLookup) {
+  MetricsRegistry reg(1);
+  bindThreadShard(0);
+  reg.recordLatencyNs(Stage::kUnitLatency, 1000);
+  const auto snap = reg.snapshot();
+  EXPECT_TRUE(snap.enabled);
+  ASSERT_EQ(snap.stages.size(), 1u);
+  EXPECT_EQ(snap.stages[0].name, "engine.unit_latency");
+  EXPECT_EQ(snap.stage(Stage::kUnitLatency), &snap.stages[0]);
+  EXPECT_EQ(snap.stage("engine.unit_latency"), &snap.stages[0]);
+  EXPECT_EQ(snap.stage("no.such.stage"), nullptr);
+  EXPECT_EQ(snap.stage(Stage::kRunSlice), nullptr);
+  EXPECT_EQ(snap.stages[0].count, 1u);
+  EXPECT_NEAR(snap.stages[0].totalSeconds, 1e-6, 1e-12);
+}
+
+TEST(Shards, OutOfRangeShardClampsToZero) {
+  MetricsRegistry reg(2);
+  bindThreadShard(999);  // beyond shardCount -> clamped, still recorded
+  reg.recordLatencyNs(Stage::kRunSlice, 42);
+  bindThreadShard(0);
+  const auto h = reg.stageHistogram(Stage::kRunSlice);
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.max, 42u);
+}
+
+TEST(StageSpanTest, RecordsOnceEvenWithExplicitFinish) {
+  MetricsRegistry reg(1);
+  bindThreadShard(0);
+  {
+    StageSpan span(&reg, Stage::kReportSink);
+    span.finish();
+    span.finish();  // idempotent
+  }  // destructor must not double-record
+  EXPECT_EQ(reg.stageHistogram(Stage::kReportSink).count, 1u);
+  {
+    StageSpan nullSpan(nullptr, Stage::kReportSink);  // no-op, no crash
+  }
+  EXPECT_EQ(reg.stageHistogram(Stage::kReportSink).count, 1u);
+}
+
+// Concurrent stress: writers on distinct shards plus one unbound writer on
+// shard 0, with a reader snapshotting throughout. The reader asserts every
+// snapshot is self-consistent (count == sum of buckets by construction)
+// and monotone non-decreasing; after joining, totals are exact.
+TEST(Concurrency, ShardedWritersWithLiveReader) {
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  MetricsRegistry reg(kWriters + 1);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&reg, w] {
+      bindThreadShard(w + 1);
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        reg.recordLatencyNs(Stage::kRunSlice, (w + 1) * 1000 + i % 7);
+        reg.recordValue(Gauge::kQueuedUnits, i % 32);
+      }
+    });
+  }
+  std::thread unbound([&reg] {
+    // Never bound in this thread: falls back to shard 0.
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      reg.recordLatencyNs(Stage::kRunSlice, 1 + i % 3);
+    }
+  });
+
+  std::uint64_t lastCount = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto h = reg.stageHistogram(Stage::kRunSlice);
+      std::uint64_t bucketSum = 0;
+      for (std::uint64_t b : h.buckets) bucketSum += b;
+      ASSERT_EQ(h.count, bucketSum);   // tear-free by construction
+      ASSERT_GE(h.count, lastCount);   // monotone under concurrent writes
+      lastCount = h.count;
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  unbound.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const auto h = reg.stageHistogram(Stage::kRunSlice);
+  EXPECT_EQ(h.count, (kWriters + 1) * kPerWriter);
+  EXPECT_EQ(h.max, kWriters * 1000 + 6);  // i % 7 peaks at 6
+  const auto g = reg.gaugeHistogram(Gauge::kQueuedUnits);
+  EXPECT_EQ(g.count, kWriters * kPerWriter);
+  EXPECT_EQ(g.max, 31u);
+}
+
+}  // namespace
+}  // namespace tiresias::obs

@@ -27,7 +27,15 @@
 //     with the obs::MetricsRegistry on vs off (best-of-3 alternating runs;
 //     the committed overhead delta must stay < 2%), plus the per-stage
 //     latency percentiles of the metrics-on run. Both land in the
-//     BENCH_engine.json "metrics" section (schema v3).
+//     BENCH_engine.json "metrics" section.
+//
+//  5. Residency: a fleet (default 100k streams, argv[4]) sharing ONE
+//     hierarchy, advanced under an aggressive resident cap with pooled
+//     workspaces and idle-stream hibernation. The committed figure is the
+//     resident workspace-bytes reduction vs the pre-refactor
+//     one-bound-workspace-per-stream layout (must be >= 50x). Written to
+//     the BENCH_engine.json "residency" section (schema v4).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -39,6 +47,7 @@
 #include "bench/bench_util.h"
 #include "common/expect.h"
 #include "common/timer.h"
+#include "core/workspace.h"
 #include "engine/bounded_queue.h"
 #include "engine/engine.h"
 #include "timeseries/ewma.h"
@@ -118,7 +127,8 @@ class StaticShardEngine {
     RunSummary summary;
     Stream(const Hierarchy& h, PipelineConfig cfg,
            std::unique_ptr<RecordSource> src)
-        : source(std::move(src)), pipeline(h, std::move(cfg)) {}
+        : source(std::move(src)),
+          pipeline(borrowHierarchy(h), std::move(cfg)) {}
   };
 
   explicit StaticShardEngine(std::size_t shards) : shards_(shards) {}
@@ -292,11 +302,72 @@ BenchResult runEngine(const WorkloadSpec& spec, std::size_t workers,
   // pure scheduling + detection, not result-store insertion.
   DetectionEngine eng(cfg, nullptr);
   for (std::size_t i = 0; i < sources.size(); ++i) {
-    eng.addStream("s" + std::to_string(i), spec.hierarchy,
+    eng.addStream("s" + std::to_string(i), borrowHierarchy(spec.hierarchy),
                   pipelineConfig(spec), sources[i]());
   }
   eng.start();
   return {workers, eng.drain()};
+}
+
+/// Result row of the residency scenario (pooled workspaces + hibernation
+/// at fleet scale).
+struct ResidencyResult {
+  std::size_t streams = 0;
+  std::size_t workers = 0;
+  std::size_t maxResident = 0;
+  std::size_t perStreamWorkspaceBytes = 0;  // one bound workspace
+  EngineStats stats;
+  /// streams * perStreamWorkspaceBytes / pooled bytes: the resident-memory
+  /// factor saved by lending M pooled workspaces instead of giving every
+  /// stream its own (the pre-refactor layout).
+  double reductionX = 0.0;
+};
+
+/// A fleet of `streams` streams sharing ONE spec/hierarchy, advanced under
+/// a hard resident cap: pooled workspaces bound per-claim, cold streams
+/// hibernated to in-memory blobs and woken on their next unit. Skewed: one
+/// in a thousand streams is ~8x heavier than the rest.
+ResidencyResult runResidency(std::size_t streams, std::size_t workers,
+                             std::size_t maxResident) {
+  WorkloadSpec base = workload::ccdNetworkWorkload(Scale::kTest);
+  base.baseRatePerUnit = 4;  // thin per-stream traffic: fleet-shaped load
+  const auto spec = std::make_shared<const WorkloadSpec>(std::move(base));
+
+  ResidencyResult out;
+  out.streams = streams;
+  out.workers = workers;
+  out.maxResident = maxResident;
+  {
+    DetectWorkspace probe;
+    probe.bind(spec->hierarchy.size());
+    out.perStreamWorkspaceBytes = probe.bytes();
+  }
+
+  EngineConfig cfg;
+  cfg.workers = workers;
+  cfg.ingestThreads = 2;
+  cfg.streamQueueCapacity = 8;
+  cfg.totalQueueCapacity = 4096;
+  cfg.maxResidentStreams = maxResident;
+  cfg.metricsSampleMillis = 500;  // 100k-stream stat sweeps are not free
+  DetectionEngine eng(cfg, nullptr);
+  const TimeUnit lightUnits = 3;
+  const TimeUnit heavyUnits = 24;
+  for (std::size_t i = 0; i < streams; ++i) {
+    const TimeUnit n = (i % 1000 == 0) ? heavyUnits : lightUnits;
+    eng.addStream("r" + std::to_string(i), workload::sharedHierarchy(spec),
+                  pipelineConfig(*spec),
+                  std::make_unique<GeneratorSource>(*spec, 0, n, 1 + i));
+  }
+  eng.start();
+  out.stats = eng.drain();
+  const std::size_t pooled = out.stats.workspaceBytes;
+  if (pooled > 0) {
+    out.reductionX =
+        static_cast<double>(out.perStreamWorkspaceBytes) *
+        static_cast<double>(streams) / static_cast<double>(pooled);
+  }
+  return out;
 }
 
 void jsonPathStats(std::FILE* f, const char* key, const PathStats& s,
@@ -314,6 +385,8 @@ int main(int argc, char** argv) {
   const TimeUnit units = argc > 1 ? std::atoll(argv[1]) : 512;
   const std::string ingestJsonPath = argc > 2 ? argv[2] : "BENCH_ingest.json";
   const std::string engineJsonPath = argc > 3 ? argv[3] : "BENCH_engine.json";
+  const std::size_t residencyStreams =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 100000;
   const std::size_t streams = 8;
   const std::size_t workerGrid[] = {1, 2, 4, 8};
   const char* kinds[] = {"csv", "vector", "generated"};
@@ -574,6 +647,45 @@ int main(int argc, char** argv) {
                      "scheduler beats the static-shard layout on the skewed "
                      "remote mix by >= 1.15x");
 
+  // ---- Residency: fleet-scale memory under pooled workspaces +
+  // hibernation ----
+  // A skewed fleet sharing one hierarchy, advanced under a resident cap a
+  // tiny fraction of the fleet size. Pre-refactor, every stream owned a
+  // bound workspace; now only the M pooled ones (M = workers) hold planes,
+  // so resident workspace bytes shrink by ~streams/workers regardless of
+  // hierarchy size. Hibernation keeps cold per-stream state paged out.
+  const std::size_t residencyWorkers = 4;
+  const std::size_t residencyCap =
+      std::max<std::size_t>(residencyStreams / 100, 64);
+  std::printf("\nresidency fleet (%zu streams, %zu workers, cap %zu):\n",
+              residencyStreams, residencyWorkers, residencyCap);
+  const ResidencyResult res =
+      runResidency(residencyStreams, residencyWorkers, residencyCap);
+  std::printf("%-22s %12zu records %10.3fs %14.0f records/sec\n",
+              "pooled + hibernate", res.stats.recordsProcessed,
+              res.stats.elapsedSeconds, res.stats.recordsPerSecond);
+  std::printf("workspace bytes: per-stream layout %zu (%zu streams x %zu), "
+              "pooled %zu -> %.0fx smaller\n",
+              res.perStreamWorkspaceBytes * res.streams, res.streams,
+              res.perStreamWorkspaceBytes, res.stats.workspaceBytes,
+              res.reductionX);
+  std::printf("residency: hierarchies=%zu resident=%zu hibernated=%zu "
+              "evictions=%zu wakes=%zu\n",
+              res.stats.distinctHierarchies, res.stats.residentStreams,
+              res.stats.hibernatedStreams, res.stats.hibernateEvictions,
+              res.stats.hibernateWakes);
+  ok &= bench::check(res.stats.distinctHierarchies == 1,
+                     "fleet shares a single engine-owned hierarchy");
+  ok &= bench::check(res.reductionX >= 50.0,
+                     "pooled workspaces cut resident workspace bytes by >= "
+                     "50x vs one-workspace-per-stream");
+  ok &= bench::check(
+      res.stats.hibernateEvictions > 0 && res.stats.hibernateWakes > 0,
+      "resident cap exercised hibernation (evictions and wakes > 0)");
+  ok &= bench::check(res.stats.residentStreams <=
+                         residencyCap + residencyWorkers,
+                     "resident streams stay within the best-effort cap");
+
   // ---- Machine-readable baselines ----
   {
     std::FILE* f = std::fopen(ingestJsonPath.c_str(), "w");
@@ -608,7 +720,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"tiresias_bench_engine/v3\",\n");
+    std::fprintf(f, "  \"schema\": \"tiresias_bench_engine/v4\",\n");
     std::fprintf(f, "  \"workload\": \"ccd-net/medium\",\n");
     std::fprintf(f, "  \"hardware_threads\": %u,\n", cores);
     std::fprintf(f, "  \"uniform\": {\n");
@@ -673,6 +785,32 @@ int main(int argc, char** argv) {
                  schedRemote.stats.elapsedSeconds,
                  schedRemote.stats.recordsPerSecond);
     std::fprintf(f, "    \"speedup\": %.2f\n", remoteSpeedup);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"residency\": {\n");
+    std::fprintf(f, "    \"streams\": %zu,\n", res.streams);
+    std::fprintf(f, "    \"workers\": %zu,\n", res.workers);
+    std::fprintf(f, "    \"max_resident\": %zu,\n", res.maxResident);
+    std::fprintf(f, "    \"records\": %zu,\n", res.stats.recordsProcessed);
+    std::fprintf(f, "    \"seconds\": %.3f,\n", res.stats.elapsedSeconds);
+    std::fprintf(f, "    \"records_per_sec\": %.0f,\n",
+                 res.stats.recordsPerSecond);
+    std::fprintf(f, "    \"workspace_bytes_per_stream\": %zu,\n",
+                 res.perStreamWorkspaceBytes);
+    std::fprintf(f, "    \"per_stream_workspace_bytes\": %zu,\n",
+                 res.perStreamWorkspaceBytes * res.streams);
+    std::fprintf(f, "    \"pooled_workspace_bytes\": %zu,\n",
+                 res.stats.workspaceBytes);
+    std::fprintf(f, "    \"reduction_x\": %.1f,\n", res.reductionX);
+    std::fprintf(f, "    \"distinct_hierarchies\": %zu,\n",
+                 res.stats.distinctHierarchies);
+    std::fprintf(f, "    \"resident_streams\": %zu,\n",
+                 res.stats.residentStreams);
+    std::fprintf(f, "    \"hibernated_streams\": %zu,\n",
+                 res.stats.hibernatedStreams);
+    std::fprintf(f, "    \"hibernate_evictions\": %zu,\n",
+                 res.stats.hibernateEvictions);
+    std::fprintf(f, "    \"hibernate_wakes\": %zu\n",
+                 res.stats.hibernateWakes);
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"metrics\": {\n");
     std::fprintf(f,

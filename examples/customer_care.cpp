@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   cfg.detector.windowLength = 7 * 96;  // one week of history
   cfg.detector.referenceLevels = 2;
   cfg.candidatePeriods = {96, 672};  // let Step 3 pick day/week seasons
-  TiresiasPipeline pipeline(h, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(h), cfg);
   report::AnomalyStore store(h);
 
   const auto summary =

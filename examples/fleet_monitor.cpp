@@ -25,8 +25,13 @@ int main(int argc, char** argv) {
   const std::size_t workers =
       workersArg > 0 ? static_cast<std::size_t>(workersArg) : 2;
 
-  const auto national = ccdNetworkWorkload(Scale::kMedium);
-  const auto regional = ccdTroubleWorkload(Scale::kTest);
+  // Shared specs: every regional stream aliases one spec's hierarchy, so
+  // the engine holds two hierarchies for the whole fleet (and keeps them
+  // alive on its own — no lifetime burden on this scope).
+  const auto national =
+      std::make_shared<const WorkloadSpec>(ccdNetworkWorkload(Scale::kMedium));
+  const auto regional =
+      std::make_shared<const WorkloadSpec>(ccdTroubleWorkload(Scale::kTest));
 
   auto pipelineConfig = [](const WorkloadSpec& spec) {
     PipelineConfig cfg;
@@ -47,27 +52,31 @@ int main(int argc, char** argv) {
   engine::DetectionEngine eng(ecfg, store.sink());
 
   // The heavy national feed: 4 days of 15-minute units.
-  store.registerStream("national", national.hierarchy);
-  eng.addStream("national", national.hierarchy, pipelineConfig(national),
-                std::make_unique<GeneratorSource>(national, 0, 4 * 96, 1));
+  store.registerStream("national", national->hierarchy);
+  eng.addStream("national", sharedHierarchy(national),
+                pipelineConfig(*national),
+                std::make_unique<GeneratorSource>(*national, 0, 4 * 96, 1));
   // Twelve light regional feeds: half a day each.
   for (int r = 0; r < 12; ++r) {
     const std::string name = "region-" + std::to_string(r);
-    store.registerStream(name, regional.hierarchy);
-    eng.addStream(name, regional.hierarchy, pipelineConfig(regional),
+    store.registerStream(name, regional->hierarchy);
+    eng.addStream(name, sharedHierarchy(regional), pipelineConfig(*regional),
                   std::make_unique<GeneratorSource>(
-                      regional, 0, 48, static_cast<std::uint64_t>(r) + 2));
+                      *regional, 0, 48, static_cast<std::uint64_t>(r) + 2));
   }
   // A freshly provisioned region: registered, no data yet.
-  store.registerStream("region-new", regional.hierarchy);
-  eng.addStream("region-new", regional.hierarchy, pipelineConfig(regional),
+  store.registerStream("region-new", regional->hierarchy);
+  eng.addStream("region-new", sharedHierarchy(regional),
+                pipelineConfig(*regional),
                 std::make_unique<VectorSource>(std::vector<Record>{}));
 
   eng.start();
   const auto stats = eng.drain();
 
-  std::printf("fleet: %zu streams on %zu workers / %zu ingest threads\n",
-              stats.streams, stats.scheduler.workers, stats.ingestThreads);
+  std::printf("fleet: %zu streams over %zu shared hierarchies on %zu "
+              "workers / %zu ingest threads\n",
+              stats.streams, stats.distinctHierarchies,
+              stats.scheduler.workers, stats.ingestThreads);
   for (const auto& s : stats.perStream) {
     std::printf("  %-11s units=%-4zu records=%-6zu anomalies=%-3zu "
                 "runs=%-3zu requeues=%zu\n",

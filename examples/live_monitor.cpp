@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   cfg.delta = spec.unit;
   cfg.detector = dcfg;
   cfg.candidatePeriods = {96};
-  TiresiasPipeline pipeline(h, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(h), cfg);
   report::AnomalyStore store(h);
 
   // Demonstrate trace interchange: generate day 1, write it to CSV, and

@@ -53,6 +53,9 @@ class AdaDetector final : public Detector {
   MemoryStats memoryStats() const override;
   void saveState(persist::Serializer& out) const override;
   void loadState(persist::Deserializer& in) override;
+  void bindWorkspace(std::shared_ptr<DetectWorkspace> workspace) override {
+    config_.workspace = std::move(workspace);
+  }
 
   const Hierarchy& hierarchy() const { return hierarchy_; }
 

@@ -100,6 +100,13 @@ class Detector {
 
   virtual MemoryStats memoryStats() const = 0;
 
+  /// Swap the detection workspace (engine pooling: the owning pipeline
+  /// attaches the advancing worker's loaner before each advance). The
+  /// workspace must already be bound to this detector's hierarchy; call
+  /// only between steps — the workspace is per-step scratch, so nothing
+  /// the detector needs survives the swap.
+  virtual void bindWorkspace(std::shared_ptr<DetectWorkspace> workspace) = 0;
+
   /// Snapshot the detector's full mutable state (window contents, series,
   /// forecaster models, adaptation statistics), prefixed with the type tag
   /// above. Stage timings are diagnostics and are not persisted.

@@ -6,15 +6,56 @@
 
 namespace tiresias {
 
-TiresiasPipeline::TiresiasPipeline(const Hierarchy& hierarchy,
+TiresiasPipeline::TiresiasPipeline(std::shared_ptr<const Hierarchy> hierarchy,
                                    PipelineConfig config)
-    : hierarchy_(hierarchy), config_(std::move(config)) {
+    : hierarchy_(std::move(hierarchy)), config_(std::move(config)) {
+  TIRESIAS_EXPECT(hierarchy_ != nullptr, "pipeline needs a hierarchy");
   TIRESIAS_EXPECT(config_.detector.windowLength >= 2,
                   "window length must be >= 2");
   TIRESIAS_EXPECT(config_.delta > 0, "delta must be positive");
   nextStart_ = config_.startTime;
+  // No workspace yet: a freshly registered stream costs its configuration,
+  // nothing more. The engine attaches a pooled workspace per advance;
+  // standalone pipelines create a private one when the detector is built.
+}
+
+void TiresiasPipeline::ensureWorkspace() {
+  if (workspace_) return;
   workspace_ = std::make_shared<DetectWorkspace>();
-  workspace_->bind(hierarchy_.size());
+  workspace_->bind(hierarchy_->size());
+}
+
+void TiresiasPipeline::attachWorkspace(
+    std::shared_ptr<DetectWorkspace> workspace) {
+  TIRESIAS_EXPECT(workspace != nullptr, "attachWorkspace(null)");
+  // Rebind invalidates whatever the previous tenant staged (same-size
+  // rebinds bump generations; size changes reallocate).
+  workspace->bind(hierarchy_->size());
+  if (workspace_ != workspace) {
+    workspace_ = std::move(workspace);
+    if (detector_) detector_->bindWorkspace(workspace_);
+  }
+}
+
+void TiresiasPipeline::hibernate(persist::Serializer& out) {
+  saveState(out);
+  // Reset to a shell: everything saveState captured is released; the
+  // configuration and hierarchy handle stay, and nextStart_ is deliberately
+  // preserved — the engine's ingest side reads resumeTime() from the shell
+  // to place the batcher, and a wake() restores the identical value.
+  detector_.reset();
+  warmup_.clear();
+  warmup_.shrink_to_fit();
+  warmupRootCounts_.clear();
+  warmupRootCounts_.shrink_to_fit();
+  derivedSeasons_.clear();
+  derivedSeasons_.shrink_to_fit();
+  factoryDerived_ = false;
+  activeFactory_.reset();
+  // Drop the loaner workspace reference (pooling) or the private one
+  // (standalone): a hibernated stream holds no scratch.
+  workspace_.reset();
+  lastStageSeconds_[0] = lastStageSeconds_[1] = lastStageSeconds_[2] = 0.0;
 }
 
 void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
@@ -43,11 +84,12 @@ void TiresiasPipeline::buildDetector(const std::vector<double>& rootSeries,
         config_.hwParams, std::move(seasons));
   }
   activeFactory_ = cfg.forecasterFactory;
+  ensureWorkspace();
   cfg.workspace = workspace_;
   if (config_.useAda) {
-    detector_ = std::make_unique<AdaDetector>(hierarchy_, cfg);
+    detector_ = std::make_unique<AdaDetector>(*hierarchy_, cfg);
   } else {
-    detector_ = std::make_unique<StaDetector>(hierarchy_, cfg);
+    detector_ = std::make_unique<StaDetector>(*hierarchy_, cfg);
   }
 }
 
@@ -180,7 +222,7 @@ void TiresiasPipeline::loadState(persist::Deserializer& in) {
     batch.records.resize(records);
     for (auto& r : batch.records) {
       r.category = in.u32();
-      Deserializer::require(r.category < hierarchy_.size(),
+      Deserializer::require(r.category < hierarchy_->size(),
                             "snapshot: node id outside hierarchy");
       r.time = in.i64();
     }
@@ -203,6 +245,7 @@ void TiresiasPipeline::loadState(persist::Deserializer& in) {
     }
     const std::string savedProbe = in.str();
     DetectorConfig cfg = config_.detector;
+    ensureWorkspace();
     cfg.workspace = workspace_;
     if (factoryDerived) {
       cfg.forecasterFactory = std::make_shared<HoltWintersFactory>(
@@ -226,9 +269,9 @@ void TiresiasPipeline::loadState(persist::Deserializer& in) {
         "pipeline snapshot: forecaster factory configuration differs from "
         "the checkpoint");
     if (config_.useAda) {
-      detector = std::make_unique<AdaDetector>(hierarchy_, cfg);
+      detector = std::make_unique<AdaDetector>(*hierarchy_, cfg);
     } else {
-      detector = std::make_unique<StaDetector>(hierarchy_, cfg);
+      detector = std::make_unique<StaDetector>(*hierarchy_, cfg);
     }
     detector->loadState(in);
     factory = cfg.forecasterFactory;

@@ -58,7 +58,23 @@ class TiresiasPipeline {
  public:
   using ResultCallback = std::function<void(const InstanceResult&)>;
 
-  TiresiasPipeline(const Hierarchy& hierarchy, PipelineConfig config);
+  /// The pipeline shares ownership of its (immutable) hierarchy, so a
+  /// fleet of streams over one topology keeps a single BFS-ordered
+  /// hierarchy alive between them and no caller has to outlive anyone.
+  TiresiasPipeline(std::shared_ptr<const Hierarchy> hierarchy,
+                   PipelineConfig config);
+
+  /// Deprecated: reference-taking shim. The pipeline keeps a non-owning
+  /// handle, so the caller must keep `hierarchy` alive for the pipeline's
+  /// whole lifetime — the lifetime footgun the shared_ptr overload fixes.
+  [[deprecated(
+      "pass a std::shared_ptr<const Hierarchy>; the reference overload "
+      "leaves the caller responsible for the hierarchy's lifetime")]]
+  TiresiasPipeline(const Hierarchy& hierarchy, PipelineConfig config)
+      : TiresiasPipeline(
+            std::shared_ptr<const Hierarchy>(
+                std::shared_ptr<const Hierarchy>(), &hierarchy),
+            std::move(config)) {}
 
   /// Stream the whole source through the detector. The callback fires once
   /// per detection instance (after the warm-up window fills). run() may be
@@ -82,15 +98,52 @@ class TiresiasPipeline {
 
   const PipelineConfig& config() const { return config_; }
 
+  /// The shared hierarchy handle (never null).
+  const std::shared_ptr<const Hierarchy>& hierarchyHandle() const {
+    return hierarchy_;
+  }
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+
   /// Where processing resumes: the start timestamp of the next unit this
   /// pipeline expects (== config().startTime until the first unit). A
   /// restored pipeline re-fed its source from the beginning skips
-  /// everything before this point.
+  /// everything before this point. Survives hibernate()/wake() (the
+  /// engine's ingest side reads it from a possibly-hibernated shell).
   Timestamp resumeTime() const { return nextStart_; }
 
-  /// Resident bytes of the stream's shared detection workspace (the dense
-  /// epoch-stamped scratch every detector built by this pipeline uses).
-  std::size_t workspaceBytes() const { return workspace_->bytes(); }
+  /// Resident bytes of the detection workspace currently attached to this
+  /// pipeline (0 until a detector is built or a workspace is attached).
+  /// Under engine pooling the attached workspace is shared loaner scratch,
+  /// not stream-owned memory.
+  std::size_t workspaceBytes() const {
+    return workspace_ ? workspace_->bytes() : 0;
+  }
+
+  /// Lend this pipeline a detection workspace (engine pooling: one
+  /// workspace per worker, attached to the stream being advanced). The
+  /// workspace is (re)bound to this pipeline's hierarchy — an idempotent
+  /// sizing plus a generation bump, so whatever the previous tenant left
+  /// behind reads as invalidated — and handed to the live detector. Call
+  /// only between units. Idempotent; attaching the already-attached
+  /// workspace still invalidates it (another stream may have used it in
+  /// between).
+  void attachWorkspace(std::shared_ptr<DetectWorkspace> workspace);
+
+  /// Snapshot the pipeline's full state into `out` (the exact saveState
+  /// bytes) and reset the pipeline to an empty shell: detector, warm-up
+  /// buffers and factory state are released; only the configuration, the
+  /// hierarchy handle and resumeTime() remain resident. wake() (loadState
+  /// over the emitted bytes) restores it bit-identically.
+  void hibernate(persist::Serializer& out);
+
+  /// Restore a hibernated pipeline (alias of loadState, named for the
+  /// paging path). Attach a workspace first when pooling, or the rebuilt
+  /// detector allocates a private one.
+  void wake(persist::Deserializer& in) { loadState(in); }
+
+  /// True when the pipeline holds live per-stream state worth paging out
+  /// (a built detector or buffered warm-up units).
+  bool holdsState() const { return detector_ != nullptr || !warmup_.empty(); }
 
   /// Attach a metrics registry (not owned; null detaches). processUnit
   /// then records a per-unit observe span (STA or ADA) and bridges the
@@ -111,12 +164,17 @@ class TiresiasPipeline {
  private:
   void buildDetector(const std::vector<double>& rootSeries,
                      RunSummary& summary);
+  /// Lazily create a private workspace when none was attached (standalone
+  /// pipelines; the engine always attaches pooled ones first).
+  void ensureWorkspace();
 
-  const Hierarchy& hierarchy_;
+  std::shared_ptr<const Hierarchy> hierarchy_;
   PipelineConfig config_;
-  /// One dense detection workspace per stream, created with the pipeline
-  /// and handed to every detector it builds (reused across units; nothing
-  /// in it survives a unit, so rebuilding a detector can share it too).
+  /// The detection workspace handed to every detector this pipeline
+  /// builds. Null until needed: under engine pooling this is a loaner
+  /// owned by the worker pool (attachWorkspace); standalone pipelines
+  /// lazily create a private one when the detector is built. Nothing in
+  /// it survives a unit, so rebinding between streams is safe.
   std::shared_ptr<DetectWorkspace> workspace_;
   std::unique_ptr<Detector> detector_;
   /// Where the next run() resumes batching (advances past processed units).

@@ -10,10 +10,13 @@
 // plane is one counter bump. A slot is valid only while its stamp equals
 // the plane's current generation; stale slots read as zero / unmarked.
 //
-// One workspace lives on each TiresiasPipeline (one per stream) and is
-// shared by whatever detector the pipeline builds, so the steady state
-// allocates nothing per unit. The workspace is scratch only: nothing in it
-// survives a step, and it is never serialized.
+// Workspaces are *pooled*, not per-stream: the engine keeps one workspace
+// per worker and lends it to whichever stream that worker is advancing
+// (the scheduler serializes a stream to one worker at a time, and nothing
+// in the workspace survives a step, so lending is bit-identity-safe).
+// Standalone pipelines lazily create a private workspace instead. The
+// workspace is scratch only: nothing in it survives a step, and it is
+// never serialized.
 #pragma once
 
 #include <cstddef>
@@ -34,8 +37,13 @@ class DetectWorkspace {
     kPlaneCount = 3,
   };
 
-  /// Size every plane for a hierarchy of `nodes` ids. Idempotent and cheap
-  /// when the size is unchanged; growing resets all generations.
+  /// Size every plane for a hierarchy of `nodes` ids and invalidate every
+  /// slot. Rebinding is how a pooled workspace moves between streams, so
+  /// bind() must leave no readable residue of the previous tenant: growing
+  /// and shrinking reallocate the planes, and a same-size rebind (the
+  /// common pooled case — also a *different* hierarchy of equal size)
+  /// bumps every generation so stale stamps can never read as current.
+  /// Idempotent in sizing; always freshly invalidated on return.
   void bind(std::size_t nodes);
 
   std::size_t nodeCount() const { return raw_.size(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 #include "common/expect.h"
 #include "common/timer.h"
@@ -17,6 +18,23 @@ using tiresias::monotonicNanos;
 constexpr std::uint32_t kMetaSectionTag = 1;    // stream count
 constexpr std::uint32_t kStreamSectionTag = 2;  // one per stream
 constexpr std::uint32_t kUserSectionTag = 3;    // ExtraWriter payload
+
+// Hibernation files are single-section snapshots (same framing, own tag).
+constexpr std::uint32_t kHibernateSectionTag = 1;
+
+/// The serialized pipeline state inside a hibernation file. Framing or
+/// tag mismatch means the file is not ours (or corrupt) — SnapshotError.
+std::vector<std::uint8_t> readHibernationFile(const std::string& path) {
+  const persist::SnapshotReader reader = persist::SnapshotReader::readFile(path);
+  persist::Deserializer::require(
+      reader.sections().size() == 1 &&
+          reader.sections()[0].tag == kHibernateSectionTag,
+      "hibernation snapshot has unexpected sections");
+  return reader.sections()[0].payload;
+}
+
+/// Marker for "no stream to protect" in enforceResidentCap.
+constexpr std::size_t kNoProtect = static_cast<std::size_t>(-1);
 
 void writeRunSummary(persist::Serializer& out, const RunSummary& s) {
   out.u64(s.unitsProcessed);
@@ -78,11 +96,30 @@ struct DetectionEngine::StreamState {
   /// before start(), read by the ingest thread.
   std::size_t junkBase = 0;
 
-  StreamState(std::string streamName, const Hierarchy& hierarchy,
+  // --- Residency/paging (hibernation) state ---
+  /// Serializes paging transitions against use: the owning worker holds it
+  /// across wake + advance; an evictor try_locks it (and skips the stream
+  /// when a worker owns it). Never acquired while holding residencyMu_
+  /// except via try_lock, so lock order cannot deadlock.
+  std::mutex pageMu;
+  /// True when the pipeline is a shell and the state lives in
+  /// hibernationBlob or the stream's hibernation file. Guarded by pageMu.
+  bool hibernated = false;
+  bool hibernatedToDisk = false;
+  std::vector<std::uint8_t> hibernationBlob;
+  /// LRU membership; guarded by the engine's residencyMu_.
+  bool inLru = false;
+  std::list<std::size_t>::iterator lruIt{};
+  /// Cheap resident-count path when no cap is set. Owned by whichever
+  /// worker currently has the stream (serialized by the scheduler).
+  bool everAdvanced = false;
+
+  StreamState(std::string streamName,
+              std::shared_ptr<const Hierarchy> hierarchy,
               PipelineConfig config, std::unique_ptr<RecordSource> src)
       : name(std::move(streamName)),
         source(std::move(src)),
-        pipeline(hierarchy, std::move(config)) {}
+        pipeline(std::move(hierarchy), std::move(config)) {}
 };
 
 DetectionEngine::DetectionEngine(EngineConfig config, ResultSink sink)
@@ -111,18 +148,35 @@ DetectionEngine::DetectionEngine(EngineConfig config, ResultSink sink)
   scfg.metrics = registry_.get();
   scfg.metricsShardBase = 1;
   scheduler_ = std::make_unique<Scheduler>(
-      scfg, [this](std::size_t id, TimeUnitBatch& b) { processOne(id, b); });
+      scfg, [this](std::size_t w, std::size_t id, TimeUnitBatch& b) {
+        processOne(w, id, b);
+      });
   recycleCap_ =
       config_.totalQueueCapacity + config_.workers + config_.ingestThreads;
+  // Workspace pool: one scratch workspace per worker, lent to whichever
+  // stream that worker advances. Allocated empty here; each bind() sizes
+  // it to the stream's hierarchy.
+  workspacePool_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workspacePool_.push_back(std::make_shared<DetectWorkspace>());
+  }
+  poolBytes_ = std::vector<std::atomic<std::size_t>>(config_.workers);
+  if (!config_.hibernateDir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.hibernateDir, ec);
+    // A failure here is not fatal: hibernateStream falls back to the
+    // in-memory blob when the file write fails.
+  }
 }
 
 DetectionEngine::~DetectionEngine() { stop(); }
 
 std::size_t DetectionEngine::addStream(std::string name,
-                                       const Hierarchy& hierarchy,
+                                       std::shared_ptr<const Hierarchy> hierarchy,
                                        PipelineConfig config,
                                        std::unique_ptr<RecordSource> source) {
   TIRESIAS_EXPECT(!started_.load(), "addStream() after start()");
+  TIRESIAS_EXPECT(hierarchy != nullptr, "stream needs a hierarchy");
   TIRESIAS_EXPECT(source != nullptr, "stream needs a source");
   if (registry_) {
     // Separate the raw source pull (kSourceFetch) from the batcher's
@@ -130,9 +184,16 @@ std::size_t DetectionEngine::addStream(std::string name,
     source = std::make_unique<obs::InstrumentedSource>(std::move(source),
                                                        registry_.get());
   }
+  // Registry of distinct hierarchies: holding the handle here guarantees
+  // the hierarchy outlives the engine; dedupe by object identity so the
+  // stats can report how much structure is actually shared.
+  if (hierarchyKeys_.insert(hierarchy.get()).second) {
+    hierarchies_.push_back(hierarchy);
+  }
   const std::size_t id = streams_.size();
   streams_.push_back(std::make_unique<StreamState>(
-      std::move(name), hierarchy, std::move(config), std::move(source)));
+      std::move(name), std::move(hierarchy), std::move(config),
+      std::move(source)));
   streams_.back()->pipeline.bindMetrics(registry_.get());
   const std::size_t schedId = scheduler_->addStream();
   TIRESIAS_EXPECT(schedId == id, "scheduler/stream id mismatch");
@@ -190,11 +251,21 @@ void DetectionEngine::sampleGauges() {
     total += q.unitsProcessed;
   }
   registry_->recordValue(obs::Gauge::kMaxStreamQueueDepth, deepest);
+  // Workspace residency: the per-worker pool (mirrored into poolBytes_ by
+  // the owning workers — never read off a live workspace, which a worker
+  // could be rebinding) plus any stream-owned workspaces.
   std::size_t workspace = 0;
+  for (const auto& bytes : poolBytes_) {
+    workspace += bytes.load(std::memory_order_relaxed);
+  }
   for (const auto& stream : streams_) {
     workspace += stream->workspaceBytes.load(std::memory_order_relaxed);
   }
   registry_->recordValue(obs::Gauge::kWorkspaceBytes, workspace);
+  registry_->recordValue(obs::Gauge::kResidentStreams,
+                         residentCount_.load(std::memory_order_relaxed));
+  registry_->recordValue(obs::Gauge::kHibernatedStreams,
+                         hibernatedCount_.load(std::memory_order_relaxed));
   if (total > 0) {
     registry_->recordValue(obs::Gauge::kBusiestStreamPpm,
                            busiest * 1'000'000 / total);
@@ -309,21 +380,37 @@ void DetectionEngine::ingestLoop(std::size_t threadIndex) {
   pauseAckCv_.notify_all();
 }
 
-void DetectionEngine::processOne(std::size_t id, TimeUnitBatch& batch) {
+void DetectionEngine::processOne(std::size_t workerIndex, std::size_t id,
+                                 TimeUnitBatch& batch) {
   StreamState& stream = *streams_[id];
   RunSummary& sum = stream.summary;
   const std::size_t instancesBefore = sum.instancesDetected;
   const std::size_t anomaliesBefore = sum.anomaliesReported;
   const std::size_t batchRecords = batch.records.size();
-  stream.pipeline.processUnit(
-      batch,
-      [&](const InstanceResult& r) {
-        if (sink_) {
-          obs::StageSpan span(registry_.get(), obs::Stage::kReportSink);
-          sink_(stream.name, r);
-        }
-      },
-      sum);
+  {
+    // pageMu pins the stream resident for the whole advance: an evictor
+    // that try_locks it while we hold it simply skips this stream.
+    std::lock_guard page(stream.pageMu);
+    // Lend this worker's pooled workspace to the stream. Attach before
+    // waking so a wake's detector rebuild binds the pooled workspace
+    // instead of allocating a private one.
+    stream.pipeline.attachWorkspace(workspacePool_[workerIndex]);
+    if (stream.hibernated) wakeStream(id, stream);
+    stream.pipeline.processUnit(
+        batch,
+        [&](const InstanceResult& r) {
+          if (sink_) {
+            obs::StageSpan span(registry_.get(), obs::Stage::kReportSink);
+            sink_(stream.name, r);
+          }
+        },
+        sum);
+    // Refresh the pool-bytes mirror while we still own the workspace (the
+    // sampler reads the mirror, never the live workspace).
+    poolBytes_[workerIndex].store(workspacePool_[workerIndex]->bytes(),
+                                  std::memory_order_relaxed);
+    noteAdvanced(id, stream);
+  }
   if (registry_ && batch.enqueueNs > 0) {
     const std::int64_t waited = monotonicNanos() - batch.enqueueNs;
     if (waited > 0) {
@@ -338,9 +425,119 @@ void DetectionEngine::processOne(std::size_t id, TimeUnitBatch& batch) {
                                      std::memory_order_relaxed);
   stream.anomaliesReported.fetch_add(sum.anomaliesReported - anomaliesBefore,
                                      std::memory_order_relaxed);
-  stream.workspaceBytes.store(stream.pipeline.workspaceBytes(),
-                              std::memory_order_relaxed);
   recycleBuffer(std::move(batch.records));
+  enforceResidentCap(id);
+}
+
+std::string DetectionEngine::hibernatePath(std::size_t id) const {
+  return config_.hibernateDir + "/stream-" + std::to_string(id) + ".tsnap";
+}
+
+void DetectionEngine::wakeStream(std::size_t id, StreamState& stream) {
+  obs::StageSpan span(registry_.get(), obs::Stage::kHibernateRestore);
+  if (stream.hibernatedToDisk) {
+    const std::vector<std::uint8_t> payload =
+        readHibernationFile(hibernatePath(id));
+    persist::Deserializer in(payload);
+    stream.pipeline.wake(in);
+    persist::Deserializer::require(
+        in.atEnd(), "hibernation snapshot corrupt: trailing bytes");
+    std::error_code ec;
+    std::filesystem::remove(hibernatePath(id), ec);  // best-effort cleanup
+  } else {
+    persist::Deserializer in(stream.hibernationBlob);
+    stream.pipeline.wake(in);
+    persist::Deserializer::require(
+        in.atEnd(), "hibernation blob corrupt: trailing bytes");
+    stream.hibernationBlob.clear();
+    stream.hibernationBlob.shrink_to_fit();
+  }
+  stream.hibernated = false;
+  stream.hibernatedToDisk = false;
+  hibernatedCount_.fetch_sub(1, std::memory_order_relaxed);
+  wakes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DetectionEngine::hibernateStream(std::size_t id, StreamState& stream) {
+  persist::Serializer state;
+  stream.pipeline.hibernate(state);
+  if (!config_.hibernateDir.empty()) {
+    try {
+      persist::SnapshotWriter writer;
+      writer.addSection(kHibernateSectionTag, state);
+      writer.writeFile(hibernatePath(id));
+      stream.hibernatedToDisk = true;
+      stream.hibernationBlob.clear();
+      stream.hibernationBlob.shrink_to_fit();
+    } catch (const persist::SnapshotError&) {
+      // Disk refused the snapshot; keep the state in memory instead of
+      // losing it (the eviction still sheds the live detector's footprint).
+      stream.hibernatedToDisk = false;
+      stream.hibernationBlob = state.data();
+    }
+  } else {
+    stream.hibernatedToDisk = false;
+    stream.hibernationBlob = state.data();
+  }
+  stream.hibernated = true;
+  hibernatedCount_.fetch_add(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DetectionEngine::noteAdvanced(std::size_t id, StreamState& stream) {
+  if (config_.maxResidentStreams == 0) {
+    // No cap: no LRU to keep, just count first-time residency. The flag is
+    // owned by the worker currently holding the stream (scheduler
+    // serialization), so a plain bool is race-free.
+    if (!stream.everAdvanced) {
+      stream.everAdvanced = true;
+      residentCount_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  std::lock_guard lk(residencyMu_);
+  if (!stream.inLru) {
+    lru_.push_back(id);
+    stream.lruIt = std::prev(lru_.end());
+    stream.inLru = true;
+    residentCount_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    lru_.splice(lru_.end(), lru_, stream.lruIt);
+  }
+}
+
+void DetectionEngine::enforceResidentCap(std::size_t protectId) {
+  if (config_.maxResidentStreams == 0) return;
+  for (;;) {
+    StreamState* victim = nullptr;
+    std::size_t victimId = kNoProtect;
+    {
+      std::lock_guard lk(residencyMu_);
+      if (residentCount_.load(std::memory_order_relaxed) <=
+          config_.maxResidentStreams) {
+        return;
+      }
+      // Least-recently-advanced first. try_lock only: a stream owned by a
+      // worker (or being evicted by a peer) is simply skipped — the cap is
+      // best-effort by up to `workers` streams.
+      for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (*it == protectId) continue;
+        StreamState& candidate = *streams_[*it];
+        if (!candidate.pageMu.try_lock()) continue;
+        victimId = *it;
+        victim = &candidate;
+        lru_.erase(it);
+        candidate.inLru = false;
+        residentCount_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+      if (victim == nullptr) return;  // everything evictable is busy
+    }
+    // Serialize outside residencyMu_ so eviction I/O never stalls other
+    // workers' LRU bookkeeping.
+    hibernateStream(victimId, *victim);
+    victim->pageMu.unlock();
+  }
 }
 
 EngineStats DetectionEngine::drain() {
@@ -432,8 +629,8 @@ void DetectionEngine::checkpoint(const std::string& path,
       meta.u64(streams_.size());
       writer.addSection(kMetaSectionTag, meta);
     }
-    for (const auto& streamPtr : streams_) {
-      const StreamState& stream = *streamPtr;
+    for (std::size_t id = 0; id < streams_.size(); ++id) {
+      StreamState& stream = *streams_[id];
       persist::Serializer payload;
       payload.str(stream.name);
       // The worker-side summary never sees the source, so the ingest-side
@@ -443,7 +640,22 @@ void DetectionEngine::checkpoint(const std::string& path,
       summary.junkRowsSkipped =
           stream.sourceSkipped.load(std::memory_order_relaxed);
       writeRunSummary(payload, summary);
-      stream.pipeline.saveState(payload);
+      // Workers are quiesced (or stopped), so pageMu is uncontended; hold
+      // it anyway so the hibernated flag and blob can never be observed
+      // mid-transition.
+      std::lock_guard page(stream.pageMu);
+      if (stream.hibernated) {
+        // A hibernated stream's state is already serialized — splice the
+        // blob in verbatim. hibernate() writes exactly the saveState
+        // encoding, so the checkpoint is byte-identical either way.
+        if (stream.hibernatedToDisk) {
+          payload.raw(readHibernationFile(hibernatePath(id)));
+        } else {
+          payload.raw(stream.hibernationBlob);
+        }
+      } else {
+        stream.pipeline.saveState(payload);
+      }
       writer.addSection(kStreamSectionTag, payload);
       totalUnits += summary.unitsProcessed;
     }
@@ -512,6 +724,9 @@ std::size_t DetectionEngine::restoreFrom(const std::string& path,
         stream->pipeline.loadState(in);
         persist::Deserializer::require(
             in.atEnd(), "snapshot corrupt: trailing bytes in stream section");
+        // The stream now holds live state: register it as resident (and
+        // most recently used) so the cap enforcement below sees it.
+        if (stream->pipeline.holdsState()) noteAdvanced(id, *stream);
         stream->summary = summary;
         stream->junkBase = summary.junkRowsSkipped;
         stream->sourceSkipped.store(summary.junkRowsSkipped,
@@ -536,6 +751,9 @@ std::size_t DetectionEngine::restoreFrom(const std::string& path,
   }
   persist::Deserializer::require(sawMeta,
                                  "snapshot is missing its meta section");
+  // A restore materializes every snapshotted stream; page the coldest back
+  // out until the resident cap holds, before the pools ever start.
+  enforceResidentCap(kNoProtect);
   ckptSeq_.fetch_add(1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
   ckptRestores_.fetch_add(1, std::memory_order_relaxed);
@@ -594,6 +812,16 @@ EngineStats DetectionEngine::stats() const {
     out.busiestStreamShare = static_cast<double>(out.busiestStreamUnits) /
                              static_cast<double>(out.unitsProcessed);
   }
+  // The pooled workspaces on top of any stream-owned ones (mirrors written
+  // by the owning workers; see poolBytes_).
+  for (const auto& bytes : poolBytes_) {
+    out.workspaceBytes += bytes.load(std::memory_order_relaxed);
+  }
+  out.distinctHierarchies = hierarchies_.size();
+  out.residentStreams = residentCount_.load(std::memory_order_relaxed);
+  out.hibernatedStreams = hibernatedCount_.load(std::memory_order_relaxed);
+  out.hibernateEvictions = evictions_.load(std::memory_order_relaxed);
+  out.hibernateWakes = wakes_.load(std::memory_order_relaxed);
   // Seqlock read of the checkpoint counters: retry until a stable even
   // sequence brackets the field loads (all accesses atomic — tear-free
   // and TSan-clean while checkpoint()/restoreFrom() publish).

@@ -40,10 +40,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -76,6 +78,19 @@ struct EngineConfig {
   /// Gauge sampling period for the background sampler thread; 0 disables
   /// the sampler (stage histograms still record).
   std::size_t metricsSampleMillis = 50;
+  /// Resident-stream cap for the hibernation paging layer. 0 = unlimited
+  /// (no hibernation). When positive, at most this many streams keep live
+  /// pipeline state in memory; colder streams (LRU by last-advanced unit)
+  /// are evicted to hibernation snapshots and restored, bit-identically,
+  /// on their next unit. Best-effort under concurrency: streams currently
+  /// owned by a worker cannot be evicted, so the resident count can
+  /// briefly exceed the cap by up to `workers`.
+  std::size_t maxResidentStreams = 0;
+  /// Where hibernation snapshots go. Empty = evicted state is kept as an
+  /// in-memory serialized blob (still far smaller than the live detector);
+  /// set = one snapshot file per stream under this directory (created on
+  /// demand; a failed write falls back to the in-memory blob).
+  std::string hibernateDir;
 };
 
 /// Live counters of one stream (a snapshot; the engine keeps atomics and
@@ -90,7 +105,10 @@ struct StreamStats {
   std::size_t anomaliesReported = 0;
   std::size_t junkRowsSkipped = 0;   // source-side skipped rows (CSV junk)
   std::size_t warmupUnitsBuffered = 0;  // units held in pipeline warm-up
-  std::size_t workspaceBytes = 0;    // dense detect-workspace scratch
+  /// Stream-owned workspace bytes. 0 whenever the stream borrows from the
+  /// engine's per-worker pool (the normal case); the pool itself shows up
+  /// in EngineStats::workspaceBytes.
+  std::size_t workspaceBytes = 0;
   std::size_t queueDepth = 0;        // current
   std::size_t maxQueueDepth = 0;     // high-water mark
   std::size_t runs = 0;              // worker claims of this stream
@@ -128,8 +146,19 @@ struct EngineStats {
   /// Units absorbed by pipelines still in warm-up (streams shorter than
   /// the detector window never leave warm-up and report zero instances).
   std::size_t warmupUnitsBuffered = 0;
-  /// Total resident bytes of the per-stream detection workspaces.
+  /// Total resident detect-workspace bytes: the engine's per-worker pool
+  /// plus any stream-owned workspaces. Scales with `workers`, not with
+  /// the stream count.
   std::size_t workspaceBytes = 0;
+  /// Distinct Hierarchy objects behind the registered streams (streams
+  /// sharing a handle share one hierarchy's memory).
+  std::size_t distinctHierarchies = 0;
+  /// Residency: streams holding live pipeline state in memory vs. streams
+  /// paged out to hibernation snapshots, and the paging traffic so far.
+  std::size_t residentStreams = 0;
+  std::size_t hibernatedStreams = 0;
+  std::size_t hibernateEvictions = 0;
+  std::size_t hibernateWakes = 0;
   std::size_t maxQueueDepth = 0;      // max over per-stream high-water marks
   std::size_t backpressureWaits = 0;  // == scheduler.backpressureWaits
   /// Units processed by the busiest stream, and its share of the total —
@@ -168,12 +197,31 @@ class DetectionEngine {
   DetectionEngine(const DetectionEngine&) = delete;
   DetectionEngine& operator=(const DetectionEngine&) = delete;
 
-  /// Register a stream before start(). The hierarchy must outlive the
-  /// engine (the pipeline keeps a reference); the source is owned.
+  /// Register a stream before start(). The engine keeps the shared
+  /// hierarchy handle alive for its own lifetime (streams registered with
+  /// the same handle share one hierarchy's memory); the source is owned.
   /// Returns the stream id (dense, in registration order).
-  std::size_t addStream(std::string name, const Hierarchy& hierarchy,
+  std::size_t addStream(std::string name,
+                        std::shared_ptr<const Hierarchy> hierarchy,
                         PipelineConfig config,
                         std::unique_ptr<RecordSource> source);
+
+  /// Old reference-taking registration. Deprecated: the engine cannot
+  /// keep a borrowed hierarchy alive, so the caller must guarantee it
+  /// outlives the engine — a lifetime footgun the shared-handle overload
+  /// removes. Wraps the reference in a non-owning aliasing handle.
+  [[deprecated(
+      "pass a std::shared_ptr<const Hierarchy> so the engine can share "
+      "and keep the hierarchy alive; the reference overload leaves the "
+      "lifetime burden on the caller")]]
+  std::size_t addStream(std::string name, const Hierarchy& hierarchy,
+                        PipelineConfig config,
+                        std::unique_ptr<RecordSource> source) {
+    return addStream(std::move(name),
+                     std::shared_ptr<const Hierarchy>(
+                         std::shared_ptr<const Hierarchy>(), &hierarchy),
+                     std::move(config), std::move(source));
+  }
 
   std::size_t streamCount() const { return streams_.size(); }
   const std::string& streamName(std::size_t id) const;
@@ -237,7 +285,24 @@ class DetectionEngine {
   /// Parks the calling ingest thread while a checkpoint is quiescing.
   void maybePauseIngest();
   /// Worker-side unit processor (serialized per stream by the scheduler).
-  void processOne(std::size_t id, TimeUnitBatch& batch);
+  /// Lends workspacePool_[workerIndex] to the stream for the duration of
+  /// the call and wakes the stream first if it is hibernated.
+  void processOne(std::size_t workerIndex, std::size_t id,
+                  TimeUnitBatch& batch);
+  /// Restore a hibernated stream's pipeline from its blob/file. Call with
+  /// the stream's pageMu held and a workspace already attached.
+  void wakeStream(std::size_t id, StreamState& stream);
+  /// Serialize a stream's pipeline state and reset it to a shell. Call
+  /// with the stream's pageMu held.
+  void hibernateStream(std::size_t id, StreamState& stream);
+  /// LRU bookkeeping after a stream advanced one unit (or was restored):
+  /// marks it resident and most-recently-used.
+  void noteAdvanced(std::size_t id, StreamState& stream);
+  /// Evict least-recently-advanced streams (never `protectId`, never a
+  /// stream a worker currently owns) until the resident count is within
+  /// config_.maxResidentStreams. No-op when the cap is 0.
+  void enforceResidentCap(std::size_t protectId);
+  std::string hibernatePath(std::size_t id) const;
   /// Background gauge sampler (queue depths, workspace bytes, skew);
   /// one pass every metricsSampleMillis until stopped.
   void samplerLoop();
@@ -255,7 +320,34 @@ class DetectionEngine {
   /// [W+I+1] the sampler.
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::vector<std::unique_ptr<StreamState>> streams_;
+  /// Distinct hierarchies behind the streams, in first-registration order.
+  /// Holding the handles here is what makes addStream's lifetime promise:
+  /// a hierarchy outlives the engine even if the caller drops its copy.
+  std::vector<std::shared_ptr<const Hierarchy>> hierarchies_;
+  /// Identity index over hierarchies_ so registering 100k streams that
+  /// share a handle stays O(1) per stream.
+  std::unordered_set<const void*> hierarchyKeys_;
   std::unique_ptr<Scheduler> scheduler_;
+
+  // Workspace pool: one DetectWorkspace per worker, lent to whichever
+  // stream that worker is advancing (attach + generation bump per unit).
+  // Resident scratch therefore scales with `workers`, not stream count.
+  // poolBytes_[w] mirrors pool[w]->bytes(), written only by worker w after
+  // it finishes a unit, so stats/sampler threads never touch a workspace
+  // a worker might be rebinding.
+  std::vector<std::shared_ptr<DetectWorkspace>> workspacePool_;
+  std::vector<std::atomic<std::size_t>> poolBytes_;
+
+  // Residency/paging state. residencyMu_ guards only the LRU list and the
+  // per-stream inLru flags — never held across serialization. Eviction
+  // claims a victim's pageMu with try_lock under residencyMu_ (a stream
+  // mid-advance is simply skipped), then serializes outside residencyMu_.
+  std::mutex residencyMu_;
+  std::list<std::size_t> lru_;  // front = least recently advanced
+  std::atomic<std::size_t> residentCount_{0};
+  std::atomic<std::size_t> hibernatedCount_{0};
+  std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> wakes_{0};
   std::vector<std::thread> ingestPool_;
   /// Gauge sampler thread (running iff registry_ and sample period > 0).
   std::thread sampler_;

@@ -131,11 +131,11 @@ void Scheduler::workerLoop(std::size_t workerIndex) {
       id = ready_->pop();
     }
     if (!id) break;
-    runStream(*id);
+    runStream(workerIndex, *id);
   }
 }
 
-void Scheduler::runStream(std::size_t id) {
+void Scheduler::runStream(std::size_t workerIndex, std::size_t id) {
   obs::StageSpan slice(config_.metrics, obs::Stage::kRunSlice);
   StreamEntry& s = *streams_[id];
   {
@@ -153,7 +153,7 @@ void Scheduler::runStream(std::size_t id) {
       batch = std::move(s.queue.front());
       s.queue.pop_front();
     }
-    process_(id, batch);
+    process_(workerIndex, id, batch);
     {
       std::lock_guard lock(mu_);
       ++s.stats.unitsProcessed;

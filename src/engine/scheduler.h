@@ -93,9 +93,13 @@ class Scheduler {
  public:
   /// Worker-side unit processor. Called with per-stream serialization
   /// (at most one call per stream in flight, units in submission order);
-  /// calls for *different* streams run concurrently. The batch is mutable
-  /// so the callee can salvage its record buffer.
-  using ProcessFn = std::function<void(std::size_t streamId,
+  /// calls for *different* streams run concurrently. `workerIndex` is the
+  /// dense index of the calling worker (stable for the whole call), so the
+  /// callee can address per-worker pooled resources — the engine lends its
+  /// per-worker detection workspace to the stream being advanced. The
+  /// batch is mutable so the callee can salvage its record buffer.
+  using ProcessFn = std::function<void(std::size_t workerIndex,
+                                       std::size_t streamId,
                                        TimeUnitBatch& batch)>;
 
   Scheduler(SchedulerConfig config, ProcessFn process);
@@ -173,7 +177,7 @@ class Scheduler {
 
   void workerLoop(std::size_t workerIndex);
   /// Advance one claimed stream by up to runBudget units.
-  void runStream(std::size_t id);
+  void runStream(std::size_t workerIndex, std::size_t id);
   /// Mark `stream` retired if fully drained; close the ready queue when
   /// the last stream retires. Call with mu_ held; returns true when this
   /// call retired the last stream.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -107,5 +108,15 @@ class Hierarchy {
   std::size_t leafCount_ = 0;
   int height_ = 0;
 };
+
+/// Non-owning shared handle to a hierarchy the caller keeps alive (stack
+/// or member storage outliving every pipeline/engine it is passed to).
+/// Spells the borrowed-lifetime contract out at the call site; prefer an
+/// owning handle (make_shared, or an aliasing handle into a shared owner)
+/// whenever nothing else pins the hierarchy.
+inline std::shared_ptr<const Hierarchy> borrowHierarchy(const Hierarchy& h) {
+  return std::shared_ptr<const Hierarchy>(std::shared_ptr<const Hierarchy>(),
+                                          &h);
+}
 
 }  // namespace tiresias

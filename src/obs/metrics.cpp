@@ -24,6 +24,7 @@ constexpr const char* kStageNames[] = {
     "report.sink",                // kReportSink
     "checkpoint.save",            // kCheckpointSave
     "checkpoint.restore",         // kCheckpointRestore
+    "persist.hibernate_restore",  // kHibernateRestore
     "engine.unit_latency",        // kUnitLatency
 };
 
@@ -33,6 +34,8 @@ constexpr const char* kGaugeNames[] = {
     "gauge.max_stream_queue_depth",  // kMaxStreamQueueDepth
     "gauge.workspace_bytes",         // kWorkspaceBytes
     "gauge.busiest_stream_ppm",      // kBusiestStreamPpm
+    "gauge.resident_streams",        // kResidentStreams
+    "gauge.hibernated_streams",      // kHibernatedStreams
 };
 
 // A new Stage/Gauge value without a matching name row fails here, not at

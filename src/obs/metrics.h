@@ -53,6 +53,7 @@ enum class Stage : std::uint8_t {
   kReportSink,         // result sink call (anomaly store insert)
   kCheckpointSave,     // DetectionEngine::checkpoint (incl. quiesce)
   kCheckpointRestore,  // DetectionEngine::restoreFrom
+  kHibernateRestore,   // wake of a hibernated stream on its next record
   kUnitLatency,        // end-to-end: unit enqueued -> unit processed
   kStageCount
 };
@@ -68,6 +69,8 @@ enum class Gauge : std::uint8_t {
   kMaxStreamQueueDepth,  // deepest per-stream FIFO
   kWorkspaceBytes,       // total resident detect-workspace bytes
   kBusiestStreamPpm,     // busiest stream's share of processed units, ppm
+  kResidentStreams,      // streams with live in-memory pipeline state
+  kHibernatedStreams,    // streams paged out to hibernation snapshots
   kGaugeCount
 };
 inline constexpr std::size_t kGaugeCount =

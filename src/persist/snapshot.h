@@ -61,6 +61,13 @@ class Serializer {
   void boolean(bool v) { u8(v ? 1 : 0); }
   void str(std::string_view s);
   void bytes(std::span<const std::uint8_t> b);
+  /// Append `b` verbatim, no length prefix — for splicing an
+  /// already-encoded payload (e.g. a hibernated pipeline's state bytes)
+  /// into a larger stream at exactly the position the inline encoder
+  /// would have produced it.
+  void raw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
 
   const std::vector<std::uint8_t>& data() const { return buf_; }
   std::size_t size() const { return buf_.size(); }

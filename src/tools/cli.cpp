@@ -49,10 +49,15 @@ constexpr const char* kUsage =
     "             [--seed S] [--theta T] [--window W]\n"
     "             [--checkpoint-dir DIR [--checkpoint-every N] [--restore]]\n"
     "             [--metrics-out FILE [--metrics-every MS]]\n"
+    "             [--max-resident R [--hibernate-dir DIR]]\n"
     "             multiplex K generated CCD/SCD streams through the\n"
     "             task-scheduled detection engine (W shared workers over\n"
     "             per-stream queues; W defaults to the hardware threads)\n"
     "             and print per-stream + scheduler stats.\n"
+    "             --max-resident R caps the streams holding live state in\n"
+    "             memory: colder streams hibernate to snapshots (in-memory\n"
+    "             blobs, or files under --hibernate-dir) and wake\n"
+    "             bit-identically on their next unit.\n"
     "             --checkpoint-dir DIR snapshots engine + anomaly-store\n"
     "             state to DIR/checkpoint.tsnap (atomically, every N\n"
     "             processed units plus once at the end); --restore resumes\n"
@@ -306,7 +311,7 @@ int cmdDetect(const CliArgs& args, std::ostream& out, std::ostream& err) {
                           static_cast<std::size_t>(kWeek / spec.unit)};
 
   CsvSource source(trace, spec.hierarchy);
-  TiresiasPipeline pipeline(spec.hierarchy, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), cfg);
   report::AnomalyStore store(spec.hierarchy);
   const auto summary =
       pipeline.run(source, [&](const InstanceResult& r) { store.add(r); });
@@ -422,6 +427,11 @@ void writeMetricsLine(std::ostream& os, const engine::EngineStats& st) {
      << ",\"units_discarded\":" << st.unitsDiscarded
      << ",\"queue_lag_units\":" << st.queueLagUnits()
      << ",\"records_per_sec\":" << fmtF(st.recordsPerSecond, 1)
+     << ",\"workspace_bytes\":" << st.workspaceBytes
+     << ",\"resident_streams\":" << st.residentStreams
+     << ",\"hibernated_streams\":" << st.hibernatedStreams
+     << ",\"hibernate_evictions\":" << st.hibernateEvictions
+     << ",\"hibernate_wakes\":" << st.hibernateWakes
      << ",\"stages\":" << obs::stagesJson(st.metrics)
      << ",\"gauges\":" << obs::gaugesJson(st.metrics) << "}\n";
 }
@@ -431,13 +441,15 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
                     {"streams", "units", "workers", "ingest-threads", "queue",
                      "total-queue", "budget", "scale", "seed", "theta",
                      "window", "shards", "checkpoint-dir", "checkpoint-every",
-                     "restore", "metrics-out", "metrics-every"})) {
+                     "restore", "metrics-out", "metrics-every",
+                     "max-resident", "hibernate-dir"})) {
     return 2;
   }
   // Parse signed so "--streams -1" can't wrap around to a huge count.
   long long streamsIn = 0, units = 0, workersIn = 0, ingestIn = 0;
   long long queueIn = 0, totalQueueIn = 0, budgetIn = 0, seedIn = 0;
   long long window = 0, checkpointEvery = 0, metricsEvery = 0;
+  long long maxResident = 0;
   double theta = 0;
   if (!numOption(args, "serve", "streams", 4, err, streamsIn) ||
       !numOption(args, "serve", "units", 96, err, units) ||
@@ -450,7 +462,17 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       !numOption(args, "serve", "window", 32, err, window) ||
       !numOption(args, "serve", "checkpoint-every", 0, err, checkpointEvery) ||
       !numOption(args, "serve", "metrics-every", 1000, err, metricsEvery) ||
+      !numOption(args, "serve", "max-resident", 0, err, maxResident) ||
       !realOption(args, "serve", "theta", 8, err, theta)) {
+    return 2;
+  }
+  if (maxResident < 0) {
+    err << "serve: --max-resident must be positive (0 = unlimited)\n";
+    return 2;
+  }
+  const std::string hibernateDir = args.get("hibernate-dir", "");
+  if (!hibernateDir.empty() && maxResident == 0) {
+    err << "serve: --hibernate-dir requires --max-resident\n";
     return 2;
   }
   const std::string metricsOut = args.get("metrics-out", "");
@@ -526,9 +548,14 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   ecfg.runBudget = static_cast<std::size_t>(budgetIn);
   ecfg.streamQueueCapacity = static_cast<std::size_t>(queueIn);
   ecfg.totalQueueCapacity = static_cast<std::size_t>(totalQueueIn);
+  ecfg.maxResidentStreams = static_cast<std::size_t>(maxResident);
+  ecfg.hibernateDir = hibernateDir;
 
   // Streams cycle through the dataset presets (the paper's two CCD
   // hierarchies plus SCD), each with its own seed so workloads differ.
+  // One spec per *preset*, not per stream: every stream of a preset
+  // registers an aliasing handle into the same shared spec, so a
+  // 100k-stream fleet holds three hierarchies, not 100k.
   struct Preset {
     const char* name;
     WorkloadSpec (*make)(Scale);
@@ -538,27 +565,31 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       {"ccd-trouble", workload::ccdTroubleWorkload},
       {"scd", workload::scdNetworkWorkload},
   };
-  // Specs must outlive the engine: GeneratorSource keeps a reference and
-  // the pipelines reference the hierarchies.
-  std::vector<std::unique_ptr<WorkloadSpec>> specs;
+  // Declared before the engine (so it outlives it) for GeneratorSource,
+  // which borrows its spec; the hierarchies themselves are additionally
+  // pinned by the engine through the aliasing handles.
+  std::vector<std::shared_ptr<const WorkloadSpec>> specs;
+  specs.reserve(std::size(kPresets));
+  for (const Preset& preset : kPresets) {
+    specs.push_back(std::make_shared<const WorkloadSpec>(preset.make(scale)));
+  }
   report::ConcurrentAnomalyStore store;
   engine::DetectionEngine eng(ecfg, store.sink());
   for (std::size_t i = 0; i < streams; ++i) {
     const Preset& preset = kPresets[i % std::size(kPresets)];
-    specs.push_back(
-        std::make_unique<WorkloadSpec>(preset.make(scale)));
-    WorkloadSpec& spec = *specs.back();
+    const std::shared_ptr<const WorkloadSpec>& spec =
+        specs[i % std::size(kPresets)];
     PipelineConfig cfg;
-    cfg.delta = spec.unit;
+    cfg.delta = spec->unit;
     cfg.detector.theta = theta;
     cfg.detector.windowLength = static_cast<std::size_t>(window);
     cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
     const std::string name = std::string(preset.name) + "-" +
                              std::to_string(i);
-    store.registerStream(name, spec.hierarchy);
-    eng.addStream(name, spec.hierarchy, cfg,
+    store.registerStream(name, spec->hierarchy);
+    eng.addStream(name, workload::sharedHierarchy(spec), cfg,
                   std::make_unique<workload::GeneratorSource>(
-                      spec, 0, units, seed + i));
+                      *spec, 0, units, seed + i));
   }
 
   const std::string checkpointPath =
@@ -687,6 +718,12 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       << " max-queued=" << stats.scheduler.maxQueuedUnits
       << " backpressure-waits=" << stats.scheduler.backpressureWaits
       << " busiest-share=" << fmtF(stats.busiestStreamShare, 2) << "\n";
+  out << "residency: hierarchies=" << stats.distinctHierarchies
+      << " workspace-bytes=" << stats.workspaceBytes
+      << " resident=" << stats.residentStreams
+      << " hibernated=" << stats.hibernatedStreams
+      << " evictions=" << stats.hibernateEvictions
+      << " wakes=" << stats.hibernateWakes << "\n";
   out << "aggregate: ingested=" << stats.unitsIngested
       << " units=" << stats.unitsProcessed
       << " discarded=" << stats.unitsDiscarded

@@ -44,6 +44,15 @@ struct WorkloadSpec {
       const Hierarchy& hierarchy, const std::vector<double>& exponents);
 };
 
+/// Aliasing handle to the hierarchy inside a shared WorkloadSpec: the
+/// handle keeps the whole spec alive, so any number of streams can be
+/// registered against one spec's hierarchy (the memory-sharing idiom the
+/// engine's addStream expects for preset-driven fleets).
+inline std::shared_ptr<const Hierarchy> sharedHierarchy(
+    const std::shared_ptr<const WorkloadSpec>& spec) {
+  return std::shared_ptr<const Hierarchy>(spec, &spec->hierarchy);
+}
+
 class GeneratorSource final : public RecordSource {
  public:
   /// Generates records for timeunits [firstUnit, lastUnit). The injector

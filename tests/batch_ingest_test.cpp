@@ -224,7 +224,7 @@ TEST(BatchedIngest, PipelineEquivalentToPerRecordPath) {
   const TimeUnit units = 48;
 
   auto runWith = [&](std::unique_ptr<RecordSource> src, RunSummary& sum) {
-    TiresiasPipeline pipeline(spec.hierarchy, pipelineConfig(spec));
+    TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), pipelineConfig(spec));
     report::AnomalyStore store(spec.hierarchy);
     sum = pipeline.run(*src,
                        [&](const InstanceResult& r) { store.add(r); });
@@ -279,7 +279,7 @@ TEST(BatchedIngest, EngineEquivalentToPerRecordPath) {
       } else {
         src = std::make_unique<ForceUnbatched>(std::move(gen));
       }
-      eng.addStream(name, specs[i].hierarchy, pipelineConfig(specs[i]),
+      eng.addStream(name, borrowHierarchy(specs[i].hierarchy), pipelineConfig(specs[i]),
                     std::move(src));
     }
     eng.start();

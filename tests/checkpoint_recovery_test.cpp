@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -72,7 +73,7 @@ Fleet registerFleet(DetectionEngine& eng, report::ConcurrentAnomalyStore& store,
     const std::string name = "stream-" + std::to_string(i);
     fleet.names.push_back(name);
     if (!store.hasStream(name)) store.registerStream(name, spec.hierarchy);
-    eng.addStream(name, spec.hierarchy, fleetPipelineConfig(spec),
+    eng.addStream(name, borrowHierarchy(spec.hierarchy), fleetPipelineConfig(spec),
                   std::make_unique<GeneratorSource>(spec, 0, units, 100 + i));
   }
   return fleet;
@@ -174,6 +175,106 @@ TEST(CheckpointRecovery, EquivalentToUninterruptedRunFourWorkers) {
   runRecoveryEquivalence(4);
 }
 
+/// Crash-recovery equivalence with the residency cap in play: the
+/// checkpoint is taken while most of the fleet sits hibernated (cap 2
+/// over 6 streams), so the snapshot splices each hibernated stream's
+/// paged-out blob instead of calling saveState on a live pipeline. The
+/// blob IS the saveState encoding, so recovery must still be
+/// bit-identical to an uninterrupted unlimited-residency run — at 1 and
+/// 4 workers, and with blobs in RAM or paged to --hibernate-dir files.
+void runHibernatedCheckpointEquivalence(std::size_t workers, bool onDisk) {
+  const std::size_t kStreams = 6;
+  const TimeUnit kUnits = 96;
+  const std::string path = tempSnapshotPath("hibernated");
+  const std::string hibDir =
+      std::string(::testing::TempDir()) + "hib_" + std::to_string(::getpid()) +
+      "_" + std::to_string(workers) + (onDisk ? "_disk" : "_ram");
+  auto cappedConfig = [&] {
+    EngineConfig cfg = engineConfig(workers);
+    cfg.maxResidentStreams = 2;
+    if (onDisk) cfg.hibernateDir = hibDir;
+    return cfg;
+  };
+
+  // Uninterrupted unlimited-residency reference.
+  report::ConcurrentAnomalyStore refStore;
+  std::vector<RunSummary> refSummaries;
+  {
+    DetectionEngine eng(engineConfig(workers), refStore.sink());
+    const Fleet fleet = registerFleet(eng, refStore, kStreams, kUnits);
+    (void)fleet;
+    eng.start();
+    eng.drain();
+    for (std::size_t i = 0; i < eng.streamCount(); ++i) {
+      refSummaries.push_back(eng.streamSummary(i));
+    }
+  }
+
+  // Interrupted capped run: checkpoint mid-flight, then crash.
+  report::ConcurrentAnomalyStore lostStore;
+  {
+    DetectionEngine eng(cappedConfig(), lostStore.sink());
+    const Fleet fleet = registerFleet(eng, lostStore, kStreams, kUnits);
+    (void)fleet;
+    eng.start();
+    while (eng.stats().unitsProcessed < kStreams * 24) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    eng.checkpoint(path,
+                   [&](persist::Serializer& s) { lostStore.saveState(s); });
+    const auto st = eng.stats();
+    EXPECT_EQ(st.checkpoint.checkpoints, 1u);
+    EXPECT_GT(st.hibernateEvictions, 0u)
+        << "cap 2 over 6 streams must have hibernated by checkpoint time";
+    EXPECT_GT(st.hibernatedStreams, 0u);
+    if (onDisk) {
+      // Cold streams page to files, not RAM blobs.
+      EXPECT_FALSE(std::filesystem::is_empty(hibDir));
+    }
+    eng.stop();
+  }
+
+  // Recovery into another capped engine: restoreFrom rehydrates every
+  // stream's state, re-registers residency, and re-applies the cap.
+  report::ConcurrentAnomalyStore store;
+  DetectionEngine eng(cappedConfig(), store.sink());
+  const Fleet fleet = registerFleet(eng, store, kStreams, kUnits);
+  const std::size_t restored = eng.restoreFrom(
+      path, [&](persist::Deserializer& d) { store.loadState(d); });
+  EXPECT_EQ(restored, kStreams);
+  eng.start();
+  const auto stats = eng.drain();
+  EXPECT_EQ(stats.checkpoint.restores, 1u);
+  EXPECT_GT(stats.hibernateEvictions, 0u);
+  EXPECT_LE(stats.residentStreams, 2 + workers);
+
+  for (std::size_t i = 0; i < eng.streamCount(); ++i) {
+    expectSameSummary(eng.streamSummary(i), refSummaries[i], fleet.names[i]);
+    const auto got = store.snapshot(fleet.names[i]);
+    const auto want = refStore.snapshot(fleet.names[i]);
+    ASSERT_EQ(got.size(), want.size()) << fleet.names[i];
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k].anomaly, want[k].anomaly) << fleet.names[i];
+      EXPECT_EQ(got[k].path, want[k].path) << fleet.names[i];
+    }
+  }
+  std::remove(path.c_str());
+  std::error_code ec;
+  std::filesystem::remove_all(hibDir, ec);
+}
+
+TEST(CheckpointRecovery, HibernatedCheckpointEquivalentOneWorker) {
+  runHibernatedCheckpointEquivalence(1, /*onDisk=*/false);
+}
+
+TEST(CheckpointRecovery, HibernatedCheckpointEquivalentFourWorkers) {
+  runHibernatedCheckpointEquivalence(4, /*onDisk=*/false);
+}
+
+TEST(CheckpointRecovery, HibernatedCheckpointEquivalentOnDisk) {
+  runHibernatedCheckpointEquivalence(4, /*onDisk=*/true);
+}
+
 TEST(CheckpointRecovery, CheckpointBeforeStartAndAfterDrain) {
   const std::string path = tempSnapshotPath("cold");
   report::ConcurrentAnomalyStore store;
@@ -240,7 +341,7 @@ TEST(CheckpointRecovery, JunkRowCountSurvivesRestore) {
     report::ConcurrentAnomalyStore store;
     store.registerStream("csv", spec.hierarchy);
     DetectionEngine eng(engineConfig(1), store.sink());
-    eng.addStream("csv", spec.hierarchy, fleetPipelineConfig(spec),
+    eng.addStream("csv", borrowHierarchy(spec.hierarchy), fleetPipelineConfig(spec),
                   std::make_unique<CsvSource>(csv, spec.hierarchy));
     eng.start();
     eng.drain();
@@ -254,7 +355,7 @@ TEST(CheckpointRecovery, JunkRowCountSurvivesRestore) {
   report::ConcurrentAnomalyStore store;
   store.registerStream("csv", spec.hierarchy);
   DetectionEngine eng(engineConfig(1), store.sink());
-  eng.addStream("csv", spec.hierarchy, fleetPipelineConfig(spec),
+  eng.addStream("csv", borrowHierarchy(spec.hierarchy), fleetPipelineConfig(spec),
                 std::make_unique<VectorSource>(std::vector<Record>{}));
   EXPECT_EQ(eng.restoreFrom(path), 1u);
   EXPECT_EQ(eng.streamSummary(0).junkRowsSkipped, junkAtCheckpoint);

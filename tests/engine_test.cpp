@@ -137,7 +137,7 @@ TEST(Scheduler, PreservesPerStreamFifoUnderManyWorkers) {
   cfg.runBudget = 3;
   cfg.streamQueueCapacity = 4;
   cfg.totalQueueCapacity = 16;
-  Scheduler sched(cfg, [&](std::size_t id, TimeUnitBatch& b) {
+  Scheduler sched(cfg, [&](std::size_t, std::size_t id, TimeUnitBatch& b) {
     if (inFlight[id].fetch_add(1) != 0) overlapped.store(true);
     seen[id].push_back(b.unit);  // safe: serialized per stream
     std::this_thread::yield();
@@ -198,7 +198,7 @@ TEST(Engine, EquivalentToSequentialPipelines) {
   std::vector<RunSummary> baselineSummaries;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     GeneratorSource src(specs[i], 0, units, 100 + i);
-    TiresiasPipeline pipeline(specs[i].hierarchy, testPipelineConfig(specs[i]));
+    TiresiasPipeline pipeline(borrowHierarchy(specs[i].hierarchy), testPipelineConfig(specs[i]));
     report::AnomalyStore store(specs[i].hierarchy);
     baselineSummaries.push_back(
         pipeline.run(src, [&](const InstanceResult& r) { store.add(r); }));
@@ -218,7 +218,7 @@ TEST(Engine, EquivalentToSequentialPipelines) {
     const std::string name = "stream-" + std::to_string(i);
     names.push_back(name);
     store.registerStream(name, specs[i].hierarchy);
-    eng.addStream(name, specs[i].hierarchy, testPipelineConfig(specs[i]),
+    eng.addStream(name, borrowHierarchy(specs[i].hierarchy), testPipelineConfig(specs[i]),
                   std::make_unique<GeneratorSource>(specs[i], 0, units,
                                                     100 + i));
   }
@@ -314,7 +314,7 @@ TEST(Engine, SkewedMixEquivalentAcrossWorkerGrid) {
   std::size_t totalBaseRecords = 0, heavyRecords = 0;
   for (std::size_t i = 0; i < streams; ++i) {
     VectorSource src(makeRecords(i));
-    TiresiasPipeline pipeline(h, pcfg);
+    TiresiasPipeline pipeline(borrowHierarchy(h), pcfg);
     report::AnomalyStore store(h);
     baseSums[i] =
         pipeline.run(src, [&](const InstanceResult& r) { store.add(r); });
@@ -341,7 +341,7 @@ TEST(Engine, SkewedMixEquivalentAcrossWorkerGrid) {
     for (std::size_t i = 0; i < streams; ++i) {
       const std::string name = "s" + std::to_string(i);
       store.registerStream(name, h);
-      eng.addStream(name, h, pcfg,
+      eng.addStream(name, borrowHierarchy(h), pcfg,
                     std::make_unique<VectorSource>(makeRecords(i)));
     }
     eng.start();
@@ -386,7 +386,7 @@ TEST(Engine, DeterministicAcrossRuns) {
     DetectionEngine eng(cfg, store.sink());
     for (std::size_t i = 0; i < specs.size(); ++i) {
       store.registerStream("s" + std::to_string(i), specs[i].hierarchy);
-      eng.addStream("s" + std::to_string(i), specs[i].hierarchy,
+      eng.addStream("s" + std::to_string(i), borrowHierarchy(specs[i].hierarchy),
                     testPipelineConfig(specs[i]),
                     std::make_unique<GeneratorSource>(specs[i], 0, 40,
                                                       7 * (i + 1)));
@@ -419,7 +419,7 @@ TEST(Engine, StressManyWorkersManySmallUnits) {
     results.fetch_add(1);
   });
   for (std::size_t i = 0; i < streams; ++i) {
-    eng.addStream("s" + std::to_string(i), spec.hierarchy,
+    eng.addStream("s" + std::to_string(i), borrowHierarchy(spec.hierarchy),
                   testPipelineConfig(spec),
                   std::make_unique<GeneratorSource>(spec, 0, units, i + 1));
   }
@@ -446,7 +446,7 @@ TEST(Engine, StatsPollDuringDrainIsRaceFree) {
   cfg.streamQueueCapacity = 4;
   DetectionEngine eng(cfg, nullptr);
   for (std::size_t i = 0; i < 4; ++i) {
-    eng.addStream("s" + std::to_string(i), spec.hierarchy,
+    eng.addStream("s" + std::to_string(i), borrowHierarchy(spec.hierarchy),
                   testPipelineConfig(spec),
                   std::make_unique<GeneratorSource>(spec, 0, 64, i + 1));
   }
@@ -482,7 +482,7 @@ TEST(EngineDeathTest, StreamSummaryWhileRunningFailsFast) {
         EngineConfig cfg;
         cfg.workers = 1;
         DetectionEngine eng(cfg, nullptr);
-        eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
+        eng.addStream("s0", borrowHierarchy(spec.hierarchy), testPipelineConfig(spec),
                       std::make_unique<GeneratorSource>(spec, 0, 100000, 1));
         eng.start();
         (void)eng.streamSummary(0);  // pools still running: must abort
@@ -504,7 +504,7 @@ TEST(Engine, StopDiscardsQueuedWork) {
   DetectionEngine eng(cfg, [&](const std::string&, const InstanceResult&) {
     while (!release.load()) std::this_thread::yield();
   });
-  eng.addStream("s0", spec.hierarchy, pcfg,
+  eng.addStream("s0", borrowHierarchy(spec.hierarchy), pcfg,
                 std::make_unique<GeneratorSource>(spec, 0, 100000, 1));
   eng.start();
   // Wait until the worker is wedged in the sink and ingest has piled a
@@ -538,7 +538,7 @@ TEST(Engine, SurfacesStreamsEndingInWarmup) {
   cfg.workers = 1;
   DetectionEngine eng(cfg, nullptr);
   PipelineConfig pcfg = testPipelineConfig(spec);  // window 16
-  eng.addStream("short", spec.hierarchy, pcfg,
+  eng.addStream("short", borrowHierarchy(spec.hierarchy), pcfg,
                 std::make_unique<GeneratorSource>(spec, 0, 10, 3));
   eng.start();
   const auto stats = eng.drain();
@@ -558,7 +558,7 @@ TEST(Engine, StopInterruptsBackloggedIngest) {
   cfg.streamQueueCapacity = 1;  // producers park almost immediately
   cfg.totalQueueCapacity = 1;
   DetectionEngine eng(cfg, nullptr);
-  eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
+  eng.addStream("s0", borrowHierarchy(spec.hierarchy), testPipelineConfig(spec),
                 std::make_unique<GeneratorSource>(spec, 0, 100000, 1));
   eng.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
@@ -588,7 +588,7 @@ TEST(Engine, SurfacesCsvJunkRowCounts) {
     PipelineConfig cfg = testPipelineConfig(spec);
     cfg.detector.windowLength = 2;
     cfg.delta = 600;
-    TiresiasPipeline pipeline(spec.hierarchy, cfg);
+    TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), cfg);
     const auto sum = pipeline.run(src, nullptr);
     EXPECT_EQ(sum.junkRowsSkipped, 2u);
     EXPECT_EQ(sum.recordsProcessed, 2u);
@@ -601,7 +601,7 @@ TEST(Engine, SurfacesCsvJunkRowCounts) {
     PipelineConfig cfg = testPipelineConfig(spec);
     cfg.detector.windowLength = 2;
     cfg.delta = 600;
-    eng.addStream("csv", spec.hierarchy, cfg,
+    eng.addStream("csv", borrowHierarchy(spec.hierarchy), cfg,
                   std::make_unique<CsvSource>(path, spec.hierarchy));
     eng.start();
     const auto stats = eng.drain();
@@ -623,7 +623,7 @@ TEST(Engine, MetricsStageSpansNestAndAccountForUnits) {
   cfg.ingestThreads = 1;
   cfg.metricsSampleMillis = 5;  // fast sampler so short runs collect gauges
   DetectionEngine eng(cfg, nullptr);
-  eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
+  eng.addStream("s0", borrowHierarchy(spec.hierarchy), testPipelineConfig(spec),
                 std::make_unique<GeneratorSource>(spec, 0, 48, 7));
   eng.start();
   const auto stats = eng.drain();
@@ -675,7 +675,7 @@ TEST(Engine, MetricsDisabledLeavesSnapshotEmpty) {
   cfg.workers = 2;
   cfg.metrics = false;
   DetectionEngine eng(cfg, nullptr);
-  eng.addStream("s0", spec.hierarchy, testPipelineConfig(spec),
+  eng.addStream("s0", borrowHierarchy(spec.hierarchy), testPipelineConfig(spec),
                 std::make_unique<GeneratorSource>(spec, 0, 24, 7));
   eng.start();
   const auto stats = eng.drain();
@@ -683,6 +683,147 @@ TEST(Engine, MetricsDisabledLeavesSnapshotEmpty) {
   EXPECT_FALSE(stats.metrics.enabled);
   EXPECT_TRUE(stats.metrics.stages.empty());
   EXPECT_TRUE(stats.metrics.gauges.empty());
+}
+
+/// A fleet registered against ONE shared spec must hold one engine-owned
+/// hierarchy, and the engine must keep it alive even after the caller
+/// drops every other reference — the lifetime footgun the shared-handle
+/// addStream exists to close.
+TEST(Engine, SharedHierarchyFleetKeepsOneCopyAlive) {
+  auto spec = std::make_shared<const WorkloadSpec>(
+      workload::ccdNetworkWorkload(Scale::kTest));
+  EngineConfig cfg;
+  cfg.workers = 2;
+  DetectionEngine eng(cfg, nullptr);
+  for (std::size_t i = 0; i < 16; ++i) {
+    eng.addStream("s" + std::to_string(i), workload::sharedHierarchy(spec),
+                  testPipelineConfig(*spec),
+                  std::make_unique<GeneratorSource>(*spec, 0, 12, 50 + i));
+  }
+  // Sources borrow the spec by reference, so the spec object must stay
+  // alive for ingest — but the *caller's handle* can go: the engine's
+  // aliasing handles keep the control block (and thus the spec) pinned.
+  std::weak_ptr<const WorkloadSpec> watch = spec;
+  const WorkloadSpec* raw = spec.get();
+  spec.reset();
+  ASSERT_FALSE(watch.expired()) << "engine must pin the shared spec";
+  EXPECT_EQ(watch.lock().get(), raw);
+
+  eng.start();
+  const auto stats = eng.drain();
+  EXPECT_EQ(stats.streams, 16u);
+  EXPECT_EQ(stats.distinctHierarchies, 1u)
+      << "16 streams over one spec must register exactly one hierarchy";
+  EXPECT_GT(stats.recordsProcessed, 0u);
+}
+
+/// Distinct hierarchies registered through distinct handles stay distinct:
+/// the registry dedupes by object identity, not by handle.
+TEST(Engine, DistinctHierarchiesCountedPerObject) {
+  const auto net = workload::ccdNetworkWorkload(Scale::kTest);
+  const auto scd = workload::scdNetworkWorkload(Scale::kTest);
+  EngineConfig cfg;
+  cfg.workers = 2;
+  DetectionEngine eng(cfg, nullptr);
+  // Two borrowed handles to the SAME object still count once.
+  eng.addStream("a", borrowHierarchy(net.hierarchy), testPipelineConfig(net),
+                std::make_unique<GeneratorSource>(net, 0, 8, 1));
+  eng.addStream("b", borrowHierarchy(net.hierarchy), testPipelineConfig(net),
+                std::make_unique<GeneratorSource>(net, 0, 8, 2));
+  eng.addStream("c", borrowHierarchy(scd.hierarchy), testPipelineConfig(scd),
+                std::make_unique<GeneratorSource>(scd, 0, 8, 3));
+  eng.start();
+  const auto stats = eng.drain();
+  EXPECT_EQ(stats.distinctHierarchies, 2u);
+}
+
+/// The deprecated reference overload must still work (it is a shim over
+/// the shared-handle path, with the borrowed-lifetime contract unchanged
+/// for callers that pin the hierarchy themselves).
+TEST(Engine, DeprecatedReferenceAddStreamStillWorks) {
+  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
+  EngineConfig cfg;
+  cfg.workers = 2;
+  DetectionEngine eng(cfg, nullptr);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  eng.addStream("legacy", spec.hierarchy, testPipelineConfig(spec),
+                std::make_unique<GeneratorSource>(spec, 0, 12, 9));
+#pragma GCC diagnostic pop
+  eng.start();
+  const auto stats = eng.drain();
+  EXPECT_EQ(stats.streams, 1u);
+  EXPECT_EQ(stats.distinctHierarchies, 1u);
+  EXPECT_GT(stats.recordsProcessed, 0u);
+}
+
+/// Pooled workspaces + an aggressive resident cap must not change a single
+/// result: every stream's summary and anomaly list stays bit-identical to
+/// an uninterrupted unlimited-residency run, at sequential and contended
+/// worker counts, while hibernation provably cycled streams in and out.
+TEST(Engine, HibernationEquivalentToUnlimitedResidency) {
+  const std::vector<WorkloadSpec> specs = {
+      workload::ccdNetworkWorkload(Scale::kTest),
+      workload::ccdTroubleWorkload(Scale::kTest),
+      workload::scdNetworkWorkload(Scale::kTest),
+  };
+  const std::size_t streams = 12;
+  const TimeUnit units = 32;
+
+  auto run = [&](std::size_t workers, std::size_t maxResident) {
+    EngineConfig cfg;
+    cfg.workers = workers;
+    cfg.ingestThreads = 2;
+    cfg.runBudget = 2;
+    cfg.streamQueueCapacity = 2;  // interleave units across the fleet
+    cfg.maxResidentStreams = maxResident;
+    report::ConcurrentAnomalyStore store;
+    DetectionEngine eng(cfg, store.sink());
+    for (std::size_t i = 0; i < streams; ++i) {
+      const auto& spec = specs[i % specs.size()];
+      const std::string name = "s" + std::to_string(i);
+      store.registerStream(name, spec.hierarchy);
+      eng.addStream(name, borrowHierarchy(spec.hierarchy),
+                    testPipelineConfig(spec),
+                    std::make_unique<GeneratorSource>(spec, 0, units, 70 + i));
+    }
+    eng.start();
+    auto stats = eng.drain();
+    std::vector<std::vector<report::StoredAnomaly>> anomalies;
+    for (std::size_t i = 0; i < streams; ++i) {
+      anomalies.push_back(store.snapshot("s" + std::to_string(i)));
+    }
+    return std::make_pair(std::move(stats), std::move(anomalies));
+  };
+
+  const auto [baseStats, baseAnomalies] = run(1, 0);  // unlimited residency
+  EXPECT_EQ(baseStats.hibernateEvictions, 0u);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const auto [stats, anomalies] = run(workers, 2);  // aggressive cap
+    EXPECT_GT(stats.hibernateEvictions, 0u)
+        << "cap 2 over 12 streams must actually hibernate";
+    EXPECT_GT(stats.hibernateWakes, 0u);
+    EXPECT_LE(stats.residentStreams, 2 + workers);
+    EXPECT_EQ(stats.unitsProcessed, baseStats.unitsProcessed);
+    EXPECT_EQ(stats.recordsProcessed, baseStats.recordsProcessed);
+    ASSERT_EQ(stats.perStream.size(), baseStats.perStream.size());
+    for (std::size_t i = 0; i < streams; ++i) {
+      SCOPED_TRACE(baseStats.perStream[i].name);
+      EXPECT_EQ(stats.perStream[i].unitsProcessed,
+                baseStats.perStream[i].unitsProcessed);
+      EXPECT_EQ(stats.perStream[i].anomaliesReported,
+                baseStats.perStream[i].anomaliesReported);
+      const auto& got = anomalies[i];
+      const auto& want = baseAnomalies[i];
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        EXPECT_EQ(got[j].anomaly, want[j].anomaly);
+        EXPECT_EQ(got[j].path, want[j].path);
+        EXPECT_EQ(got[j].depth, want[j].depth);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -215,7 +215,7 @@ TEST(Integration, ReportStoreDrillDown) {
   PipelineConfig cfg;
   cfg.delta = spec.unit;
   cfg.detector = ewmaConfig(32, 8.0);
-  TiresiasPipeline pipeline(h, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(h), cfg);
   report::AnomalyStore store(h);
   pipeline.run(src, [&](const InstanceResult& r) { store.add(r); });
 

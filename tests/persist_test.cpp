@@ -497,7 +497,7 @@ void runPipelineRoundTrip(bool deriveFactory, std::size_t splitUnits) {
 
   // Uninterrupted reference.
   report::AnomalyStore refStore(h);
-  TiresiasPipeline reference(h, cfg);
+  TiresiasPipeline reference(borrowHierarchy(h), cfg);
   VectorSource refSource(trace);
   const RunSummary refSummary = reference.run(
       refSource, [&](const InstanceResult& r) { refStore.add(r); });
@@ -509,7 +509,7 @@ void runPipelineRoundTrip(bool deriveFactory, std::size_t splitUnits) {
   RunSummary summary;
   Serializer bytes;
   {
-    TiresiasPipeline first(h, cfg);
+    TiresiasPipeline first(borrowHierarchy(h), cfg);
     VectorSource source(trace);
     TimeUnitBatcher batcher(source, delta, 0);
     TimeUnitBatch b;
@@ -519,7 +519,7 @@ void runPipelineRoundTrip(bool deriveFactory, std::size_t splitUnits) {
     }
     first.saveState(bytes);
   }
-  TiresiasPipeline restored(h, cfg);
+  TiresiasPipeline restored(borrowHierarchy(h), cfg);
   {
     Deserializer in(bytes.data());
     restored.loadState(in);
@@ -569,7 +569,7 @@ TEST(PipelinePersist, FactoryParameterMismatchIsCleanError) {
   cfg.detector.theta = 4.0;
   cfg.detector.windowLength = 4;
   cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
-  TiresiasPipeline pipeline(h, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(h), cfg);
   RunSummary summary;
   std::mt19937_64 rng(47);
   for (TimeUnit u = 0; u < 6; ++u) {
@@ -586,12 +586,12 @@ TEST(PipelinePersist, FactoryParameterMismatchIsCleanError) {
 
   PipelineConfig other = cfg;
   other.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.9);
-  TiresiasPipeline mismatched(h, other);
+  TiresiasPipeline mismatched(borrowHierarchy(h), other);
   Deserializer in(bytes.data());
   EXPECT_THROW(mismatched.loadState(in), persist::SnapshotError);
 
   // Same parameters restore fine.
-  TiresiasPipeline matched(h, cfg);
+  TiresiasPipeline matched(borrowHierarchy(h), cfg);
   Deserializer again(bytes.data());
   matched.loadState(again);
   EXPECT_TRUE(again.atEnd());
@@ -603,13 +603,13 @@ TEST(PipelinePersist, ConfigMismatchIsCleanError) {
   cfg.delta = 900;
   cfg.detector.windowLength = 8;
   cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
-  TiresiasPipeline pipeline(h, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(h), cfg);
   Serializer bytes;
   pipeline.saveState(bytes);
 
   PipelineConfig other = cfg;
   other.detector.windowLength = 16;
-  TiresiasPipeline mismatched(h, other);
+  TiresiasPipeline mismatched(borrowHierarchy(h), other);
   Deserializer in(bytes.data());
   EXPECT_THROW(mismatched.loadState(in), persist::SnapshotError);
 }

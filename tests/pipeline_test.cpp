@@ -23,7 +23,7 @@ TEST(Pipeline, RunsWithExplicitForecaster) {
   cfg.detector.theta = 8.0;
   cfg.detector.windowLength = 16;
   cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
-  TiresiasPipeline pipeline(spec.hierarchy, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), cfg);
   std::size_t results = 0;
   const auto summary = pipeline.run(src, [&](const InstanceResult&) {
     ++results;
@@ -43,7 +43,7 @@ TEST(Pipeline, DerivesSeasonalityFromFirstWindow) {
   cfg.detector.theta = 10.0;
   cfg.detector.windowLength = 96 * 4;  // window spans 4 diurnal cycles
   cfg.candidatePeriods = {96};
-  TiresiasPipeline pipeline(spec.hierarchy, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), cfg);
   const auto summary = pipeline.run(src, nullptr);
   ASSERT_EQ(summary.seasons.size(), 1u);
   EXPECT_EQ(summary.seasons[0].period, 96u);
@@ -65,7 +65,7 @@ TEST(Pipeline, DetectsInjectedSpikeAndReportsToStore) {
   cfg.detector.theta = 8.0;
   cfg.detector.windowLength = 48;
   cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.3);
-  TiresiasPipeline pipeline(h, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(h), cfg);
   report::AnomalyStore store(h);
   pipeline.run(src, [&](const InstanceResult& r) { store.add(r); });
 
@@ -102,7 +102,7 @@ TEST(Pipeline, StaBackendAgreesOnSpike) {
     cfg.detector.theta = 8.0;
     cfg.detector.windowLength = 32;
     cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.3);
-    TiresiasPipeline pipeline(h, cfg);
+    TiresiasPipeline pipeline(borrowHierarchy(h), cfg);
     std::size_t inWindow = 0;
     pipeline.run(src, [&](const InstanceResult& r) {
       for (const auto& a : r.anomalies) {
@@ -129,7 +129,7 @@ TEST(Pipeline, WarmupSpansMultipleRuns) {
   cfg.detector.theta = 8.0;
   cfg.detector.windowLength = 16;
   cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
-  TiresiasPipeline pipeline(spec.hierarchy, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), cfg);
 
   GeneratorSource first(spec, 0, 5, 3);
   auto summary = pipeline.run(first, nullptr);
@@ -151,7 +151,7 @@ TEST(Pipeline, EmptySource) {
   PipelineConfig cfg;
   cfg.delta = spec.unit;
   cfg.detector.windowLength = 8;
-  TiresiasPipeline pipeline(spec.hierarchy, cfg);
+  TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), cfg);
   const auto summary = pipeline.run(src, nullptr);
   EXPECT_EQ(summary.unitsProcessed, 0u);
   EXPECT_EQ(summary.instancesDetected, 0u);

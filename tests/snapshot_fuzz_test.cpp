@@ -53,7 +53,7 @@ class SnapshotFuzzTest : public ::testing::Test {
     store_.registerStream("s0", spec_->hierarchy);
     engine_ = std::make_unique<DetectionEngine>(EngineConfig{1, 1, 4, 8, 64},
                                                 store_.sink());
-    engine_->addStream("s0", spec_->hierarchy, cfg,
+    engine_->addStream("s0", borrowHierarchy(spec_->hierarchy), cfg,
                        std::make_unique<GeneratorSource>(*spec_, 0, 24, 1));
     engine_->start();
     engine_->drain();
@@ -79,7 +79,7 @@ class SnapshotFuzzTest : public ::testing::Test {
     report::ConcurrentAnomalyStore store;
     store.registerStream("s0", spec_->hierarchy);
     DetectionEngine eng(EngineConfig{1, 1, 4, 8, 64}, store.sink());
-    eng.addStream("s0", spec_->hierarchy, cfg,
+    eng.addStream("s0", borrowHierarchy(spec_->hierarchy), cfg,
                   std::make_unique<GeneratorSource>(*spec_, 0, 24, 1));
     try {
       eng.restoreFrom(path_,

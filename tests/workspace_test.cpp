@@ -1,0 +1,119 @@
+// DetectWorkspace rebind hardening: a pooled workspace cycles across
+// hierarchies of different sizes (and different hierarchies of the *same*
+// size), and every rebind must read as freshly invalidated — no value,
+// epoch stamp, or mark of the previous tenant may survive bind().
+#include <gtest/gtest.h>
+
+#include "core/workspace.h"
+
+namespace tiresias {
+namespace {
+
+/// Stage a recognizable footprint into every plane of `ws`.
+void populate(DetectWorkspace& ws) {
+  ws.beginUnit();
+  ws.beginMarks(DetectWorkspace::kMemberPlane);
+  ws.beginMarks(DetectWorkspace::kSplitPlane);
+  ws.beginMarks(DetectWorkspace::kReceivedPlane);
+  for (NodeId n = 0; n < ws.nodeCount(); ++n) {
+    ws.touch(n);
+    ws.raw(n) = 100.0 + n;
+    ws.modified(n) = 200.0 + n;
+    ws.mark(DetectWorkspace::kMemberPlane, n);
+    ws.mark(DetectWorkspace::kSplitPlane, n);
+    ws.mark(DetectWorkspace::kReceivedPlane, n);
+    ws.touched.push_back(n);
+  }
+}
+
+/// Every plane of `ws` must read as empty/unmarked for ids [0, nodes).
+void expectInvalidated(const DetectWorkspace& ws, std::size_t nodes) {
+  ASSERT_EQ(ws.nodeCount(), nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    EXPECT_FALSE(ws.isTouched(n)) << "node " << n;
+    EXPECT_EQ(ws.rawOrZero(n), 0.0) << "node " << n;
+    EXPECT_EQ(ws.modifiedOrZero(n), 0.0) << "node " << n;
+    EXPECT_FALSE(ws.isMarked(DetectWorkspace::kMemberPlane, n)) << n;
+    EXPECT_FALSE(ws.isMarked(DetectWorkspace::kSplitPlane, n)) << n;
+    EXPECT_FALSE(ws.isMarked(DetectWorkspace::kReceivedPlane, n)) << n;
+  }
+}
+
+TEST(WorkspaceRebind, FreshBindIsInvalidated) {
+  DetectWorkspace ws;
+  ws.bind(8);
+  expectInvalidated(ws, 8);
+}
+
+TEST(WorkspaceRebind, SameSizeRebindInvalidates) {
+  // Same node count stands in for a *different* hierarchy of equal size:
+  // without the rebind bump, the first tenant's stamps would still match
+  // the current generation and its values would leak into the new stream.
+  DetectWorkspace ws;
+  ws.bind(8);
+  populate(ws);
+  ASSERT_TRUE(ws.isTouched(3));
+  ASSERT_EQ(ws.rawOrZero(3), 103.0);
+
+  ws.bind(8);
+  expectInvalidated(ws, 8);
+}
+
+TEST(WorkspaceRebind, GrowInvalidates) {
+  DetectWorkspace ws;
+  ws.bind(4);
+  populate(ws);
+
+  ws.bind(16);
+  expectInvalidated(ws, 16);
+}
+
+TEST(WorkspaceRebind, ShrinkInvalidates) {
+  DetectWorkspace ws;
+  ws.bind(16);
+  populate(ws);
+
+  ws.bind(4);
+  expectInvalidated(ws, 4);
+  // The shrunk workspace must be fully usable within the new bound.
+  ws.beginUnit();
+  EXPECT_TRUE(ws.touch(3));
+  ws.raw(3) = 7.0;
+  EXPECT_EQ(ws.rawOrZero(3), 7.0);
+  EXPECT_FALSE(ws.touch(3));  // second touch in the same unit
+}
+
+TEST(WorkspaceRebind, CyclingGrowShrinkGrowStaysClean) {
+  // The pooled pattern: one workspace lent to streams with hierarchies of
+  // different sizes in arbitrary order. Every hop must start clean.
+  DetectWorkspace ws;
+  const std::size_t sizes[] = {8, 32, 8, 4, 32, 4, 8};
+  for (const std::size_t nodes : sizes) {
+    ws.bind(nodes);
+    expectInvalidated(ws, nodes);
+    populate(ws);
+  }
+}
+
+TEST(WorkspaceRebind, RebindDoesNotDisturbNormalUnitCycle) {
+  // beginUnit()/beginMarks() semantics are unchanged by the hardening:
+  // within one binding, per-unit invalidation works exactly as before.
+  DetectWorkspace ws;
+  ws.bind(6);
+  ws.beginUnit();
+  ws.beginMarks(DetectWorkspace::kMemberPlane);
+  EXPECT_TRUE(ws.touch(2));
+  ws.raw(2) = 5.0;
+  EXPECT_TRUE(ws.mark(DetectWorkspace::kMemberPlane, 2));
+  EXPECT_FALSE(ws.mark(DetectWorkspace::kMemberPlane, 2));
+
+  ws.beginUnit();
+  EXPECT_FALSE(ws.isTouched(2));
+  // Marks live on their own plane generations, untouched by beginUnit().
+  EXPECT_TRUE(ws.isMarked(DetectWorkspace::kMemberPlane, 2));
+  ws.beginMarks(DetectWorkspace::kMemberPlane);
+  EXPECT_FALSE(ws.isMarked(DetectWorkspace::kMemberPlane, 2));
+}
+
+}  // namespace
+}  // namespace tiresias

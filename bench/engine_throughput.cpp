@@ -7,9 +7,12 @@
 //     record, per-record floor divisions, a fresh batch vector per unit,
 //     and for CSV a full split + hierarchy walk per row — against the
 //     batched fast path (RecordSource::nextBatch, boundary comparisons,
-//     reused buffers, CSV path cache). Measured for csv, vector and
-//     generated sources; the committed baseline must show >= 2x for the
-//     batched path. Written to BENCH_ingest.json.
+//     reused buffers, CSV path cache). Measured for csv, vector,
+//     generated and binary (converted trace, parse-free memcpy decode)
+//     sources; the committed baseline must show >= 2x for the batched
+//     path, and batched binary ingest must beat batched CSV ingest by
+//     >= 2x (the binary-format headline). Written to BENCH_ingest.json
+//     (schema v3).
 //
 //  2. Worker grid: aggregate detection throughput of the task-scheduled
 //     engine for 8 uniform generated streams at 1/2/4/8 workers.
@@ -50,6 +53,7 @@
 #include "core/workspace.h"
 #include "engine/bounded_queue.h"
 #include "engine/engine.h"
+#include "stream/binary_source.h"
 #include "timeseries/ewma.h"
 #include "workload/generator.h"
 
@@ -389,7 +393,8 @@ int main(int argc, char** argv) {
       argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 100000;
   const std::size_t streams = 8;
   const std::size_t workerGrid[] = {1, 2, 4, 8};
-  const char* kinds[] = {"csv", "vector", "generated"};
+  const char* kinds[] = {"csv", "vector", "generated", "binary"};
+  constexpr int kKinds = 4;
 
   bench::banner("ingest fast path + task-scheduled engine (src/stream, "
                 "src/engine)",
@@ -418,6 +423,18 @@ int main(int argc, char** argv) {
               std::to_string(units) + " units of " +
               std::to_string(spec.unit / 60) + " min)");
 
+  // The binary trace is the same records, converted once (the one-time
+  // convert cost is reported but not part of the ingest measurement).
+  const std::string binaryTracePath = "bench_ingest_trace.tsrb";
+  {
+    Stopwatch watch;
+    const auto cs = convertCsvTraceToBinary(tracePath, binaryTracePath);
+    bench::note("convert: " + std::to_string(cs.records) + " records, " +
+                std::to_string(cs.paths) + " paths, " +
+                std::to_string(cs.bytesWritten) + " bytes in " +
+                std::to_string(watch.elapsedSeconds()) + "s (one-time)");
+  }
+
   const SourceFactory makeCsv = [&] {
     return std::make_unique<CsvSource>(tracePath, spec.hierarchy);
   };
@@ -427,17 +444,21 @@ int main(int argc, char** argv) {
   const SourceFactory makeGenerated = [&] {
     return std::make_unique<GeneratorSource>(spec, 0, units, 1);
   };
-  const SourceFactory factories[] = {makeCsv, makeVector, makeGenerated};
+  const SourceFactory makeBinary = [&] {
+    return std::make_unique<BinarySource>(binaryTracePath, spec.hierarchy);
+  };
+  const SourceFactory factories[] = {makeCsv, makeVector, makeGenerated,
+                                     makeBinary};
 
   // ---- Ingest layer: per-record vs batched ----
   const std::size_t targetRecords = 2'000'000;
-  PathStats perRecord[3], batched[3];
-  double speedup[3];
+  PathStats perRecord[kKinds], batched[kKinds];
+  double speedup[kKinds];
   std::printf("\ningest layer (no detection), %zu+ records per path:\n",
               targetRecords);
   std::printf("%-10s %14s %14s %9s\n", "source", "per-record/s", "batched/s",
               "speedup");
-  for (int k = 0; k < 3; ++k) {
+  for (int k = 0; k < kKinds; ++k) {
     perRecord[k] =
         measureIngest(factories[k], spec.unit, false, targetRecords);
     batched[k] = measureIngest(factories[k], spec.unit, true, targetRecords);
@@ -448,6 +469,18 @@ int main(int argc, char** argv) {
                 perRecord[k].recordsPerSec, batched[k].recordsPerSec,
                 speedup[k]);
   }
+
+  bool ok = true;
+  // The binary format's headline: batched binary ingest vs batched CSV
+  // ingest over the identical record stream. No parallelism involved, so
+  // this CHECK holds on any core count.
+  const double binaryVsCsv =
+      batched[0].recordsPerSec > 0
+          ? batched[3].recordsPerSec / batched[0].recordsPerSec
+          : 0.0;
+  std::printf("binary vs csv (batched): %.2fx\n", binaryVsCsv);
+  ok &= bench::check(binaryVsCsv >= 2.0,
+                     "batched binary ingest >= 2x batched CSV ingest");
 
   // ---- Engine: uniform streams over the worker grid ----
   std::vector<SourceFactory> uniformSources(streams, makeGenerated);
@@ -464,7 +497,6 @@ int main(int argc, char** argv) {
                 r.stats.backpressureWaits, r.stats.recordsPerSecond);
   }
 
-  bool ok = true;
   // Same input => every worker count must do identical work.
   for (const auto& r : grid) {
     ok &= bench::check(
@@ -694,21 +726,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"tiresias_bench_ingest/v2\",\n");
+    std::fprintf(f, "  \"schema\": \"tiresias_bench_ingest/v3\",\n");
     std::fprintf(f, "  \"workload\": \"ccd-net/medium\",\n");
     std::fprintf(f, "  \"units_per_stream\": %lld,\n",
                  static_cast<long long>(units));
     std::fprintf(f, "  \"trace_records\": %zu,\n", records.size());
     std::fprintf(f, "  \"hardware_threads\": %u,\n", cores);
     std::fprintf(f, "  \"ingest\": {\n");
-    for (int k = 0; k < 3; ++k) {
+    for (int k = 0; k < kKinds; ++k) {
       std::fprintf(f, "    \"%s\": {\n", kinds[k]);
       jsonPathStats(f, "per_record", perRecord[k], true);
       jsonPathStats(f, "batched", batched[k], true);
       std::fprintf(f, "      \"speedup\": %.2f\n", speedup[k]);
-      std::fprintf(f, "    }%s\n", k < 2 ? "," : "");
+      std::fprintf(f, "    }%s\n", k < kKinds - 1 ? "," : "");
     }
-    std::fprintf(f, "  }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"binary_vs_csv_batched\": %.2f\n", binaryVsCsv);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", ingestJsonPath.c_str());
@@ -827,6 +860,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", engineJsonPath.c_str());
   }
   std::remove(tracePath.c_str());
+  std::remove(binaryTracePath.c_str());
 
   return ok ? 0 : 1;
 }

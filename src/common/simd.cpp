@@ -1,0 +1,377 @@
+#include "common/simd.h"
+
+#if !defined(TIRESIAS_NO_SIMD) && defined(__x86_64__)
+#define TIRESIAS_SIMD_X86 1
+#include <immintrin.h>
+#elif !defined(TIRESIAS_NO_SIMD) && defined(__ARM_NEON) && \
+    defined(__aarch64__)
+#define TIRESIAS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace tiresias::simd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar bodies — the semantic reference every vector body must match
+// bit for bit. Also the only bodies under TIRESIAS_NO_SIMD.
+// ---------------------------------------------------------------------
+
+void addScalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void subScalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] -= src[i];
+}
+
+void scaleScalar(double* v, double factor, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) v[i] *= factor;
+}
+
+void divideScalar(double* v, double divisor, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) v[i] /= divisor;
+}
+
+void accumulateStampedScalar(double* dst, const double* src,
+                             const std::uint32_t* stamp, std::uint32_t gen,
+                             std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stamp[i] == gen) dst[i] += src[i];
+  }
+}
+
+void gatherStampedOrZeroScalar(double* out, const double* values,
+                               const std::uint32_t* stamp, std::uint32_t gen,
+                               const std::uint32_t* idx, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t j = idx[i];
+    out[i] = stamp[j] == gen ? values[j] : 0.0;
+  }
+}
+
+struct Ops {
+  void (*add)(double*, const double*, std::size_t);
+  void (*sub)(double*, const double*, std::size_t);
+  void (*scale)(double*, double, std::size_t);
+  void (*divide)(double*, double, std::size_t);
+  void (*accumulateStamped)(double*, const double*, const std::uint32_t*,
+                            std::uint32_t, std::size_t);
+  void (*gatherStampedOrZero)(double*, const double*, const std::uint32_t*,
+                              std::uint32_t, const std::uint32_t*,
+                              std::size_t);
+  const char* name;
+};
+
+constexpr Ops kScalarOps = {addScalar,
+                            subScalar,
+                            scaleScalar,
+                            divideScalar,
+                            accumulateStampedScalar,
+                            gatherStampedOrZeroScalar,
+                            "scalar"};
+
+#if defined(TIRESIAS_SIMD_X86)
+
+// ---------------------------------------------------------------------
+// SSE2 — the x86-64 baseline: 2 doubles per op. No blendv before SSE4.1,
+// so masked lanes merge through and/andnot, which preserves the exact old
+// dst bits on masked-out lanes just like the scalar `if`.
+// ---------------------------------------------------------------------
+
+void addSse2(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i,
+                  _mm_add_pd(_mm_loadu_pd(dst + i), _mm_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void subSse2(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i,
+                  _mm_sub_pd(_mm_loadu_pd(dst + i), _mm_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] -= src[i];
+}
+
+void scaleSse2(double* v, double factor, std::size_t n) {
+  const __m128d f = _mm_set1_pd(factor);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(v + i, _mm_mul_pd(_mm_loadu_pd(v + i), f));
+  }
+  for (; i < n; ++i) v[i] *= factor;
+}
+
+void divideSse2(double* v, double divisor, std::size_t n) {
+  const __m128d d = _mm_set1_pd(divisor);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(v + i, _mm_div_pd(_mm_loadu_pd(v + i), d));
+  }
+  for (; i < n; ++i) v[i] /= divisor;
+}
+
+void accumulateStampedSse2(double* dst, const double* src,
+                           const std::uint32_t* stamp, std::uint32_t gen,
+                           std::size_t n) {
+  const __m128i vgen = _mm_set1_epi32(static_cast<int>(gen));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Two u32 stamps in the low half; compare, then widen each 32-bit
+    // all-ones/zeros lane to 64 bits by pairing it with itself.
+    __m128i m32 = _mm_cmpeq_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(stamp + i)), vgen);
+    const __m128d mask = _mm_castsi128_pd(_mm_unpacklo_epi32(m32, m32));
+    const __m128d d = _mm_loadu_pd(dst + i);
+    const __m128d sum = _mm_add_pd(d, _mm_loadu_pd(src + i));
+    _mm_storeu_pd(dst + i, _mm_or_pd(_mm_and_pd(mask, sum),
+                                     _mm_andnot_pd(mask, d)));
+  }
+  for (; i < n; ++i) {
+    if (stamp[i] == gen) dst[i] += src[i];
+  }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 — 4 doubles per op. Compiled with a per-function target attribute
+// so the default (SSE2-baseline) build can still carry these bodies and
+// select them at runtime on AVX2 hardware.
+// ---------------------------------------------------------------------
+
+#if defined(__AVX2__)
+#define TIRESIAS_TARGET_AVX2
+#else
+#define TIRESIAS_TARGET_AVX2 __attribute__((target("avx2")))
+#endif
+
+TIRESIAS_TARGET_AVX2
+void addAvx2(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+TIRESIAS_TARGET_AVX2
+void subAvx2(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_sub_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] -= src[i];
+}
+
+TIRESIAS_TARGET_AVX2
+void scaleAvx2(double* v, double factor, std::size_t n) {
+  const __m256d f = _mm256_set1_pd(factor);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_mul_pd(_mm256_loadu_pd(v + i), f));
+  }
+  for (; i < n; ++i) v[i] *= factor;
+}
+
+TIRESIAS_TARGET_AVX2
+void divideAvx2(double* v, double divisor, std::size_t n) {
+  const __m256d d = _mm256_set1_pd(divisor);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_div_pd(_mm256_loadu_pd(v + i), d));
+  }
+  for (; i < n; ++i) v[i] /= divisor;
+}
+
+TIRESIAS_TARGET_AVX2
+void accumulateStampedAvx2(double* dst, const double* src,
+                           const std::uint32_t* stamp, std::uint32_t gen,
+                           std::size_t n) {
+  const __m128i vgen = _mm_set1_epi32(static_cast<int>(gen));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i m32 = _mm_cmpeq_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(stamp + i)), vgen);
+    // Sign-extend the 32-bit all-ones/zeros lanes to 64-bit lane masks.
+    const __m256d mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(m32));
+    const __m256d d = _mm256_loadu_pd(dst + i);
+    const __m256d sum = _mm256_add_pd(d, _mm256_loadu_pd(src + i));
+    _mm256_storeu_pd(dst + i, _mm256_blendv_pd(d, sum, mask));
+  }
+  for (; i < n; ++i) {
+    if (stamp[i] == gen) dst[i] += src[i];
+  }
+}
+
+TIRESIAS_TARGET_AVX2
+void gatherStampedOrZeroAvx2(double* out, const double* values,
+                             const std::uint32_t* stamp, std::uint32_t gen,
+                             const std::uint32_t* idx, std::size_t n) {
+  const __m128i vgen = _mm_set1_epi32(static_cast<int>(gen));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    const __m128i stamps = _mm_i32gather_epi32(
+        reinterpret_cast<const int*>(stamp), vidx, 4);
+    const __m256d mask =
+        _mm256_castsi256_pd(_mm256_cvtepi32_epi64(_mm_cmpeq_epi32(stamps,
+                                                                  vgen)));
+    // Unconditional gather is safe (every idx is a valid plane index, the
+    // planes are always initialized); the mask then zeroes stale lanes.
+    // and_pd with an all-zero lane yields exactly +0.0, matching the
+    // scalar ternary's literal 0.0.
+    const __m256d vals = _mm256_i32gather_pd(values, vidx, 8);
+    _mm256_storeu_pd(out + i, _mm256_and_pd(vals, mask));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t j = idx[i];
+    out[i] = stamp[j] == gen ? values[j] : 0.0;
+  }
+}
+
+constexpr Ops kSse2Ops = {addSse2,
+                          subSse2,
+                          scaleSse2,
+                          divideSse2,
+                          accumulateStampedSse2,
+                          gatherStampedOrZeroScalar,  // no gather before AVX2
+                          "sse2"};
+
+constexpr Ops kAvx2Ops = {addAvx2,
+                          subAvx2,
+                          scaleAvx2,
+                          divideAvx2,
+                          accumulateStampedAvx2,
+                          gatherStampedOrZeroAvx2,
+                          "avx2"};
+
+#elif defined(TIRESIAS_SIMD_NEON)
+
+// ---------------------------------------------------------------------
+// NEON (aarch64) — 2 doubles per op; bsl gives the lane select. There is
+// no NEON gather, so the stamped gather stays scalar.
+// ---------------------------------------------------------------------
+
+void addNeon(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(dst + i, vaddq_f64(vld1q_f64(dst + i), vld1q_f64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void subNeon(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(dst + i, vsubq_f64(vld1q_f64(dst + i), vld1q_f64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] -= src[i];
+}
+
+void scaleNeon(double* v, double factor, std::size_t n) {
+  const float64x2_t f = vdupq_n_f64(factor);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(v + i, vmulq_f64(vld1q_f64(v + i), f));
+  }
+  for (; i < n; ++i) v[i] *= factor;
+}
+
+void divideNeon(double* v, double divisor, std::size_t n) {
+  const float64x2_t d = vdupq_n_f64(divisor);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(v + i, vdivq_f64(vld1q_f64(v + i), d));
+  }
+  for (; i < n; ++i) v[i] /= divisor;
+}
+
+void accumulateStampedNeon(double* dst, const double* src,
+                           const std::uint32_t* stamp, std::uint32_t gen,
+                           std::size_t n) {
+  const uint32x2_t vgen = vdup_n_u32(gen);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t mask = vmovl_u32(vceq_u32(vld1_u32(stamp + i), vgen));
+    const float64x2_t d = vld1q_f64(dst + i);
+    const float64x2_t sum = vaddq_f64(d, vld1q_f64(src + i));
+    vst1q_f64(dst + i, vbslq_f64(mask, sum, d));
+  }
+  for (; i < n; ++i) {
+    if (stamp[i] == gen) dst[i] += src[i];
+  }
+}
+
+constexpr Ops kNeonOps = {addNeon,
+                          subNeon,
+                          scaleNeon,
+                          divideNeon,
+                          accumulateStampedNeon,
+                          gatherStampedOrZeroScalar,
+                          "neon"};
+
+#endif  // ISA blocks
+
+const Ops& bestOps() {
+#if defined(TIRESIAS_SIMD_X86)
+#if defined(__AVX2__)
+  return kAvx2Ops;
+#else
+  return __builtin_cpu_supports("avx2") ? kAvx2Ops : kSse2Ops;
+#endif
+#elif defined(TIRESIAS_SIMD_NEON)
+  return kNeonOps;
+#else
+  return kScalarOps;
+#endif
+}
+
+/// Active dispatch table. Written only by forceScalar (single-threaded
+/// test setup per the header contract); every primitive reads it.
+const Ops* g_ops = &bestOps();
+
+}  // namespace
+
+const char* activeIsa() { return g_ops->name; }
+
+bool forceScalar(bool on) {
+  const bool was = g_ops == &kScalarOps;
+  g_ops = on ? &kScalarOps : &bestOps();
+  return was;
+}
+
+void add(double* dst, const double* src, std::size_t n) {
+  g_ops->add(dst, src, n);
+}
+
+void sub(double* dst, const double* src, std::size_t n) {
+  g_ops->sub(dst, src, n);
+}
+
+void scale(double* v, double factor, std::size_t n) {
+  g_ops->scale(v, factor, n);
+}
+
+void divide(double* v, double divisor, std::size_t n) {
+  g_ops->divide(v, divisor, n);
+}
+
+void accumulateStamped(double* dst, const double* src,
+                       const std::uint32_t* stamp, std::uint32_t gen,
+                       std::size_t n) {
+  g_ops->accumulateStamped(dst, src, stamp, gen, n);
+}
+
+void gatherStampedOrZero(double* out, const double* values,
+                         const std::uint32_t* stamp, std::uint32_t gen,
+                         const std::uint32_t* idx, std::size_t n) {
+  g_ops->gatherStampedOrZero(out, values, stamp, gen, idx, n);
+}
+
+}  // namespace tiresias::simd

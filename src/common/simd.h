@@ -1,0 +1,73 @@
+// SIMD primitives for the flat detection kernels.
+//
+// Every routine here is an *element-wise* double-lane operation whose
+// vector form performs exactly the same IEEE-754 operation per element as
+// the scalar loop it replaces — no fused multiply-add, no horizontal
+// reduction, no reassociation — so the SIMD and scalar paths are
+// bit-identical by construction (asserted by tests/simd_kernel_test.cpp
+// and, end to end, by the flat-vs-reference property tests that run the
+// detectors under both paths). Anything order-dependent (running sums,
+// the loop-carried parent accumulation in computeShhhStaged) stays scalar
+// in the callers.
+//
+// Instruction-set selection:
+//   - Compile time: AVX2 when the TU is built with -mavx2, else SSE2 on
+//     x86-64 (always available), else NEON on aarch64, else plain scalar.
+//   - Runtime: on x86-64 builds whose baseline is SSE2, the AVX2 bodies
+//     are compiled with a per-function target attribute and dispatched
+//     through a table resolved once at static-init (one
+//     __builtin_cpu_supports probe) — cheap, branch-predictable, and
+//     bit-identity makes the choice unobservable.
+//   - TIRESIAS_NO_SIMD forces the scalar bodies everywhere (the CI
+//     forced-scalar leg builds the whole tree this way).
+//
+// forceScalar() flips the dispatch table to the scalar bodies at runtime
+// so one test binary can compare both paths; it is test-only and must be
+// called while single-threaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tiresias::simd {
+
+/// Name of the instruction set the dispatch table currently points at:
+/// "avx2", "sse2", "neon", or "scalar".
+const char* activeIsa();
+
+/// Test hook: route every primitive through the scalar bodies (true) or
+/// restore the best available ISA (false). Returns the previous setting.
+/// Not thread-safe — call before spawning workers.
+bool forceScalar(bool on);
+
+/// dst[i] += src[i]
+void add(double* dst, const double* src, std::size_t n);
+
+/// dst[i] -= src[i]
+void sub(double* dst, const double* src, std::size_t n);
+
+/// v[i] *= factor
+void scale(double* v, double factor, std::size_t n);
+
+/// v[i] /= divisor (kept as a true division — not a reciprocal multiply —
+/// so normalization matches the scalar `r /= total` bit for bit).
+void divide(double* v, double divisor, std::size_t n);
+
+/// Epoch-masked accumulate over a stamped plane:
+///   dst[i] = stamp[i] == gen ? dst[i] + src[i] : dst[i]
+/// The blend keeps the *old* dst bits on masked-out lanes (never adds a
+/// signed zero), replicating `if (stamp[i] == gen) dst[i] += src[i];`.
+void accumulateStamped(double* dst, const double* src,
+                       const std::uint32_t* stamp, std::uint32_t gen,
+                       std::size_t n);
+
+/// Epoch-masked gather from a stamped plane (the bulk form of
+/// DetectWorkspace::rawOrZero/modifiedOrZero):
+///   out[i] = stamp[idx[i]] == gen ? values[idx[i]] : 0.0
+/// A pure copy-or-+0.0 — no arithmetic — so it is trivially bit-identical
+/// to the scalar stamped read. Every idx[i] must be a valid plane index.
+void gatherStampedOrZero(double* out, const double* values,
+                         const std::uint32_t* stamp, std::uint32_t gen,
+                         const std::uint32_t* idx, std::size_t n);
+
+}  // namespace tiresias::simd

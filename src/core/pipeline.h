@@ -64,18 +64,6 @@ class TiresiasPipeline {
   TiresiasPipeline(std::shared_ptr<const Hierarchy> hierarchy,
                    PipelineConfig config);
 
-  /// Deprecated: reference-taking shim. The pipeline keeps a non-owning
-  /// handle, so the caller must keep `hierarchy` alive for the pipeline's
-  /// whole lifetime — the lifetime footgun the shared_ptr overload fixes.
-  [[deprecated(
-      "pass a std::shared_ptr<const Hierarchy>; the reference overload "
-      "leaves the caller responsible for the hierarchy's lifetime")]]
-  TiresiasPipeline(const Hierarchy& hierarchy, PipelineConfig config)
-      : TiresiasPipeline(
-            std::shared_ptr<const Hierarchy>(
-                std::shared_ptr<const Hierarchy>(), &hierarchy),
-            std::move(config)) {}
-
   /// Stream the whole source through the detector. The callback fires once
   /// per detection instance (after the warm-up window fills). run() may be
   /// called repeatedly with successive sources (live operation, Step 6);

@@ -42,20 +42,32 @@ void computeShhhStaged(const Hierarchy& hierarchy, double theta,
   TIRESIAS_EXPECT(theta > 0.0, "theta must be positive");
   out.clear();
   climbAndSort(hierarchy, ws);
-  out.touched.reserve(ws.touched.size());
-  for (NodeId n : ws.touched) {
+  // The sweep itself is loop-carried (children accumulate into parents
+  // before the parent is visited), so it stays scalar — but branch-free:
+  // the Definition-2 discount is a lane select on the heavy mask (a
+  // no-op keeps the parent's exact bits, so this is bit-identical to the
+  // historical `if (!heavy)`), the SHHH set is a branchless compaction,
+  // and output slots are written in place instead of push_back + reverse.
+  const std::size_t total = ws.touched.size();
+  out.touched.resize(total);
+  out.shhh.resize(total);
+  std::size_t shhhLen = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const NodeId n = ws.touched[i];
     const double a = ws.raw(n);
     const double w = ws.modified(n);
     const bool heavy = w >= theta;
-    out.touched.push_back({n, a, w, heavy});
+    out.touched[total - 1 - i] = {n, a, w, heavy};  // ascending-id output
     const NodeId p = hierarchy.parent(n);
     if (p != kInvalidNode) {
       ws.raw(p) += a;
-      if (!heavy) ws.modified(p) += w;  // Definition 2: HH children discounted
+      double& mp = ws.modified(p);
+      mp = heavy ? mp : mp + w;  // Definition 2: HH children discounted
     }
-    if (heavy) out.shhh.push_back(n);
+    out.shhh[shhhLen] = n;
+    shhhLen += heavy;
   }
-  std::reverse(out.touched.begin(), out.touched.end());
+  out.shhh.resize(shhhLen);
   std::reverse(out.shhh.begin(), out.shhh.end());
 }
 
@@ -103,7 +115,12 @@ std::unordered_map<NodeId, std::vector<double>> seriesSweep(
       auto it = series.find(n);
       if (it != series.end()) it->second[u] = w;
       const NodeId p = hierarchy.parent(n);
-      if (p != kInvalidNode && !cut(n)) ws.raw(p) += w;
+      if (p != kInvalidNode) {
+        // Mark-plane select, not a branch: a cut node leaves the parent's
+        // exact bits untouched, same as skipping the add.
+        double& rp = ws.raw(p);
+        rp = cut(n) ? rp : rp + w;
+      }
     }
   }
   return series;

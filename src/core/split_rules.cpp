@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expect.h"
+#include "common/simd.h"
 
 namespace tiresias {
 
@@ -134,7 +135,9 @@ std::vector<double> SplitRuleEngine::ratios(
     for (auto& r : out) r = u;
     return out;
   }
-  for (auto& r : out) r /= total;
+  // Element-wise true division (not a reciprocal multiply), so the
+  // normalized ratios match the scalar `r /= total` bit for bit.
+  simd::divide(out.data(), total, out.size());
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/expect.h"
+#include "common/simd.h"
 #include "core/state_io.h"
 
 namespace tiresias {
@@ -32,12 +33,12 @@ void StaDetector::expireUnit(std::size_t pos) {
     stageCount(w, node, c);
   }
   collectTouchedStaged(hierarchy_, w);
+  const std::size_t len = config_.windowLength;
   for (NodeId n : w.touched) {
     const std::int32_t si = slotIndex_[n];
     if (si < 0) continue;
-    RawSlot& slot = slots_[static_cast<std::size_t>(si)];
-    slot.ring[pos] = 0.0;
-    if (--slot.present == 0) {
+    slotRings_[static_cast<std::size_t>(si) * len + pos] = 0.0;
+    if (--slotPresent_[static_cast<std::size_t>(si)] == 0) {
       // The ring is all zeros again, so the slot can be handed out as-is.
       slotIndex_[n] = -1;
       freeSlots_.push_back(static_cast<std::uint32_t>(si));
@@ -51,6 +52,7 @@ void StaDetector::recordUnitAggregates(std::size_t pos) {
   // table at ring position `pos`. Shared by the live step and the
   // snapshot-restore rebuild so the slot-table invariant has one writer.
   computeShhhStaged(hierarchy_, config_.theta, ws(), shhhScratch_);
+  const std::size_t len = config_.windowLength;
   WindowUnit& unit = windowUnits_[pos];
   unit.touchedNodes = static_cast<std::uint32_t>(shhhScratch_.touched.size());
   for (const auto& t : shhhScratch_.touched) {
@@ -60,15 +62,14 @@ void StaDetector::recordUnitAggregates(std::size_t pos) {
         si = static_cast<std::int32_t>(freeSlots_.back());
         freeSlots_.pop_back();
       } else {
-        si = static_cast<std::int32_t>(slots_.size());
-        slots_.emplace_back();
-        slots_.back().ring.assign(config_.windowLength, 0.0);
+        si = static_cast<std::int32_t>(slotPresent_.size());
+        slotPresent_.push_back(0);
+        slotRings_.resize(slotRings_.size() + len, 0.0);
       }
       slotIndex_[t.node] = si;
     }
-    RawSlot& slot = slots_[static_cast<std::size_t>(si)];
-    slot.ring[pos] = t.raw;
-    ++slot.present;
+    slotRings_[static_cast<std::size_t>(si) * len + pos] = t.raw;
+    ++slotPresent_[static_cast<std::size_t>(si)];
   }
 }
 
@@ -92,6 +93,11 @@ void StaDetector::ingestUnit(const TimeUnitBatch& batch, std::size_t pos) {
 
 void StaDetector::rebuildSeries() {
   const std::size_t len = config_.windowLength;
+  // The window is full here (step() only reconstructs once warmed up), so
+  // every slot ring is one rotation of the age axis: age a lives at
+  // (base + a) % len — two contiguous runs, [base, len) then [0, base).
+  const std::size_t base = ringIndex(0);
+  const std::size_t firstRun = len - base;
 
   for (NodeId n : resultNodes_) resultIndex_[n] = -1;
   resultNodes_.clear();
@@ -105,42 +111,43 @@ void StaDetector::rebuildSeries() {
   }
 
   // Every output node starts from its raw-aggregate ring (zeros if no unit
-  // in the window touched it).
+  // in the window touched it). The SoA slot table keeps each ring flat, so
+  // de-rotation is two straight copies.
   for (std::size_t i = 0; i < resultNodes_.size(); ++i) {
     const NodeId n = resultNodes_[i];
     resultIndex_[n] = static_cast<std::int32_t>(i);
     auto& series = resultSeries_[i];
     series.resize(len);
-    const RawSlot* slot = slotOf(n);
-    if (slot == nullptr) {
+    const double* ring = ringOf(n);
+    if (ring == nullptr) {
       std::fill(series.begin(), series.end(), 0.0);
     } else {
-      for (std::size_t age = 0; age < len; ++age) {
-        series[age] = slot->ring[ringIndex(age)];
-      }
+      std::copy(ring + base, ring + len, series.begin());
+      std::copy(ring, ring + base, series.begin() + firstRun);
     }
   }
 
   // Fixed-membership cut: every member's raw series is subtracted from its
   // nearest member ancestor (or the root), leaving each output node with
   // exactly the weight that accrues to it under the fixed set. All values
-  // are integer counts, so the regrouped sums are exact.
+  // are integer counts, so the regrouped sums are exact. Element-wise
+  // subtraction over the two contiguous ring runs: the SIMD sweep performs
+  // the identical per-age subtract the rotated scalar loop did.
   DetectWorkspace& w = ws();
   w.beginMarks(DetectWorkspace::kMemberPlane);
   for (NodeId n : shhh_) w.mark(DetectWorkspace::kMemberPlane, n);
   for (NodeId d : shhh_) {
     if (d == hierarchy_.root()) continue;
-    const RawSlot* slot = slotOf(d);
-    if (slot == nullptr) continue;  // untouched member: all-zero series
+    const double* ring = ringOf(d);
+    if (ring == nullptr) continue;  // untouched member: all-zero series
     NodeId a = hierarchy_.parent(d);
     while (a != hierarchy_.root() &&
            !w.isMarked(DetectWorkspace::kMemberPlane, a)) {
       a = hierarchy_.parent(a);
     }
     auto& target = resultSeries_[static_cast<std::size_t>(resultIndex_[a])];
-    for (std::size_t age = 0; age < len; ++age) {
-      target[age] -= slot->ring[ringIndex(age)];
-    }
+    simd::sub(target.data(), ring + base, firstRun);
+    simd::sub(target.data() + firstRun, ring, base);
   }
 
   // Refit the forecasting model over each reconstructed series, recording
@@ -257,7 +264,8 @@ void StaDetector::saveState(persist::Serializer& out) const {
 
 void StaDetector::rebuildSlots() {
   std::fill(slotIndex_.begin(), slotIndex_.end(), -1);
-  slots_.clear();
+  slotRings_.clear();
+  slotPresent_.clear();
   freeSlots_.clear();
   DetectWorkspace& w = ws();
   for (std::size_t pos = 0; pos < windowSize_; ++pos) {

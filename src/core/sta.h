@@ -61,12 +61,6 @@ class StaDetector final : public Detector {
     std::uint32_t touchedNodes = 0;
   };
 
-  /// Raw-aggregate ring of one touched node, aligned with window slots.
-  struct RawSlot {
-    std::vector<double> ring;       // windowLength zeros outside residency
-    std::uint32_t present = 0;      // resident units touching this node
-  };
-
   DetectWorkspace& ws() { return *config_.workspace; }
 
   /// Zero the expiring unit's ring entries and release empty slots.
@@ -91,13 +85,19 @@ class StaDetector final : public Detector {
     return (nextPos_ + config_.windowLength - windowSize_ + age) %
            config_.windowLength;
   }
-  RawSlot* slotOf(NodeId n) {
+  /// Start of node n's ℓ-length raw-aggregate ring inside the slot-major
+  /// storage, or nullptr when the node holds no slot.
+  double* ringOf(NodeId n) {
     const std::int32_t s = slotIndex_[n];
-    return s < 0 ? nullptr : &slots_[static_cast<std::size_t>(s)];
+    return s < 0 ? nullptr
+                 : slotRings_.data() +
+                       static_cast<std::size_t>(s) * config_.windowLength;
   }
-  const RawSlot* slotOf(NodeId n) const {
+  const double* ringOf(NodeId n) const {
     const std::int32_t s = slotIndex_[n];
-    return s < 0 ? nullptr : &slots_[static_cast<std::size_t>(s)];
+    return s < 0 ? nullptr
+                 : slotRings_.data() +
+                       static_cast<std::size_t>(s) * config_.windowLength;
   }
 
   const Hierarchy& hierarchy_;
@@ -109,9 +109,14 @@ class StaDetector final : public Detector {
   std::size_t nextPos_ = 0;              // ring slot the next unit writes
   TimeUnit newestUnit_ = 0;
 
-  // --- dense raw-aggregate slot table ---
+  // --- dense raw-aggregate slot table (SoA) ---
+  // One flat slot-major array instead of per-slot ring vectors: a slot's
+  // ℓ values are contiguous, so the per-instance series fill and the
+  // member-cut subtraction in rebuildSeries are (at most two) straight
+  // segment sweeps over lane-loadable memory.
   std::vector<std::int32_t> slotIndex_;  // NodeId → slot, -1 = none
-  std::vector<RawSlot> slots_;
+  std::vector<double> slotRings_;        // slots × windowLength values
+  std::vector<std::uint32_t> slotPresent_;  // resident units per slot
   std::vector<std::uint32_t> freeSlots_;
 
   // --- state of the most recent instance, for inspection/persist ---

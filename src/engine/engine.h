@@ -206,23 +206,6 @@ class DetectionEngine {
                         PipelineConfig config,
                         std::unique_ptr<RecordSource> source);
 
-  /// Old reference-taking registration. Deprecated: the engine cannot
-  /// keep a borrowed hierarchy alive, so the caller must guarantee it
-  /// outlives the engine — a lifetime footgun the shared-handle overload
-  /// removes. Wraps the reference in a non-owning aliasing handle.
-  [[deprecated(
-      "pass a std::shared_ptr<const Hierarchy> so the engine can share "
-      "and keep the hierarchy alive; the reference overload leaves the "
-      "lifetime burden on the caller")]]
-  std::size_t addStream(std::string name, const Hierarchy& hierarchy,
-                        PipelineConfig config,
-                        std::unique_ptr<RecordSource> source) {
-    return addStream(std::move(name),
-                     std::shared_ptr<const Hierarchy>(
-                         std::shared_ptr<const Hierarchy>(), &hierarchy),
-                     std::move(config), std::move(source));
-  }
-
   std::size_t streamCount() const { return streams_.size(); }
   const std::string& streamName(std::size_t id) const;
 

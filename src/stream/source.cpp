@@ -195,6 +195,37 @@ bool parseTimeField(std::string_view field, Timestamp& t) {
 
 }  // namespace
 
+bool parseCsvTraceRow(std::string_view line,
+                      std::vector<std::string>& quotedScratch,
+                      std::string_view& path, Timestamp& time) {
+  std::string_view pathField, timeField;
+  // Two memchr-backed single-char scans beat one find_first_of here
+  // (libstdc++'s two-needle search walks the line byte by byte).
+  if (line.find('"') == std::string_view::npos &&
+      line.find('\r') == std::string_view::npos) {
+    // Plain row: exactly one comma splits path from timestamp, matching
+    // what csvSplit yields for quote-free lines (csvSplit also strips
+    // '\r', so CRLF rows go through it too).
+    const std::size_t comma = line.find(',');
+    if (comma == std::string_view::npos ||
+        line.find(',', comma + 1) != std::string_view::npos) {
+      return false;
+    }
+    pathField = line.substr(0, comma);
+    timeField = line.substr(comma + 1);
+  } else {
+    quotedScratch = csvSplit(std::string(line));
+    if (quotedScratch.size() != 2) return false;
+    pathField = quotedScratch[0];
+    timeField = quotedScratch[1];
+  }
+  Timestamp t = 0;
+  if (!parseTimeField(timeField, t)) return false;
+  path = pathField;
+  time = t;
+  return true;
+}
+
 std::size_t CsvSource::nextBatch(std::vector<Record>& out, std::size_t max) {
   out.clear();
   Impl& im = *impl_;
@@ -202,38 +233,14 @@ std::size_t CsvSource::nextBatch(std::vector<Record>& out, std::size_t max) {
   std::vector<std::string> quoted;  // slow-path storage, rarely used
   while (out.size() < max && im.readLine(line)) {
     if (line.empty()) continue;
-    std::string_view pathField, timeField;
-    // Two memchr-backed single-char scans beat one find_first_of here
-    // (libstdc++'s two-needle search walks the line byte by byte).
-    if (line.find('"') == std::string_view::npos &&
-        line.find('\r') == std::string_view::npos) {
-      // Plain row: exactly one comma splits path from timestamp, matching
-      // what csvSplit yields for quote-free lines (csvSplit also strips
-      // '\r', so CRLF rows go through it too).
-      const std::size_t comma = line.find(',');
-      if (comma == std::string_view::npos ||
-          line.find(',', comma + 1) != std::string_view::npos) {
-        ++skipped_;
-        continue;
-      }
-      pathField = line.substr(0, comma);
-      timeField = line.substr(comma + 1);
-    } else {
-      quoted = csvSplit(std::string(line));
-      if (quoted.size() != 2) {
-        ++skipped_;
-        continue;
-      }
-      pathField = quoted[0];
-      timeField = quoted[1];
-    }
-    const NodeId node = im.resolve(pathField);
-    if (node == kInvalidNode) {
+    std::string_view pathField;
+    Timestamp t = 0;
+    if (!parseCsvTraceRow(line, quoted, pathField, t)) {
       ++skipped_;
       continue;
     }
-    Timestamp t = 0;
-    if (!parseTimeField(timeField, t)) {
+    const NodeId node = im.resolve(pathField);
+    if (node == kInvalidNode) {
       ++skipped_;
       continue;
     }

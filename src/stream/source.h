@@ -86,4 +86,13 @@ class CsvSource final : public RecordSource {
 void writeRecordsCsv(const std::string& path, const Hierarchy& hierarchy,
                      const std::vector<Record>& records);
 
+/// Parse one CSV trace row ("<category-path>,<timestamp>") with exactly
+/// CsvSource's accept/skip semantics (shared by its batched path and the
+/// binary-trace converter, so both make identical junk decisions).
+/// Returns false for junk rows. On success `path` views into `line` or
+/// into `quotedScratch` (valid until either changes).
+bool parseCsvTraceRow(std::string_view line,
+                      std::vector<std::string>& quotedScratch,
+                      std::string_view& path, Timestamp& time);
+
 }  // namespace tiresias

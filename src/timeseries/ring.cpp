@@ -1,6 +1,9 @@
 #include "timeseries/ring.h"
 
+#include <algorithm>
+
 #include "common/expect.h"
+#include "common/simd.h"
 
 namespace tiresias {
 
@@ -35,14 +38,28 @@ void RingSeries::set(std::size_t i, double v) {
 }
 
 void RingSeries::scale(double factor) {
-  for (std::size_t i = 0; i < size_; ++i) buf_[index(i)] *= factor;
+  // The live values occupy at most two contiguous runs of the backing
+  // array; scaling is element-wise, so the vector kernel over each run is
+  // bit-identical to the rotated scalar loop.
+  const std::size_t first = std::min(size_, buf_.size() - head_);
+  simd::scale(buf_.data() + head_, factor, first);
+  simd::scale(buf_.data(), factor, size_ - first);
 }
 
 void RingSeries::addFrom(const RingSeries& other) {
   TIRESIAS_EXPECT(other.size_ == size_,
                   "merge requires equal-length series");
-  for (std::size_t i = 0; i < size_; ++i) {
-    buf_[index(i)] += other.at(i);
+  // Both rings are rotated (independently), so logical position i is
+  // contiguous on each side until one of them wraps: at most three runs
+  // where both sides are flat, each handled by the vector kernel.
+  std::size_t i = 0;
+  while (i < size_) {
+    const std::size_t dstAt = index(i);
+    const std::size_t srcAt = other.index(i);
+    const std::size_t len = std::min(
+        {size_ - i, buf_.size() - dstAt, other.buf_.size() - srcAt});
+    simd::add(buf_.data() + dstAt, other.buf_.data() + srcAt, len);
+    i += len;
   }
 }
 

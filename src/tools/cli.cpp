@@ -20,6 +20,7 @@
 #include "persist/snapshot.h"
 #include "report/concurrent_store.h"
 #include "report/store.h"
+#include "stream/binary_source.h"
 #include "timeseries/ewma.h"
 #include "workload/ccd.h"
 #include "workload/scd.h"
@@ -40,6 +41,12 @@ constexpr const char* kUsage =
     "  generate   --dataset ccd-net|ccd-trouble|scd [--scale test|medium|paper]\n"
     "             [--days N] [--seed S] [--spike path:unit:dur:magnitude]...\n"
     "             --out trace.csv\n"
+    "  convert    --in trace.csv --out trace.tsrb\n"
+    "             re-encode a CSV trace in the binary record format: the\n"
+    "             category paths are deduplicated into a path table and\n"
+    "             each record becomes a fixed-width (file-id, timestamp)\n"
+    "             pair, so ingest is parse-free. Junk rows are dropped\n"
+    "             (and counted) with exactly CsvSource's semantics.\n"
     "  detect     --dataset ... --trace trace.csv [--theta T] [--window W]\n"
     "             [--rt R] [--dt D] [--algo ada|sta] [--out anomalies.csv]\n"
     "  analyze    --dataset ... --trace trace.csv [--unit-minutes M]\n"
@@ -70,6 +77,8 @@ constexpr const char* kUsage =
     "\n"
     "detect/analyze/hierarchy also accept --hierarchy <paths-file> (one\n"
     "leaf path per line) instead of --dataset, for custom domains.\n"
+    "detect/analyze sniff the --trace format by magic, so CSV traces and\n"
+    "converted binary traces are interchangeable.\n"
     "Unknown options and duplicated single-use options are errors; only\n"
     "--spike may be repeated.\n";
 
@@ -275,6 +284,27 @@ int cmdGenerate(const CliArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmdConvert(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (!checkOptions(args, err, {"in", "out"})) return 2;
+  const std::string inPath = args.get("in", "");
+  const std::string outPath = args.get("out", "");
+  if (inPath.empty() || outPath.empty()) {
+    err << "convert: --in and --out are required\n";
+    return 2;
+  }
+  try {
+    const auto stats = convertCsvTraceToBinary(inPath, outPath);
+    out << "wrote " << stats.records << " records (" << stats.paths
+        << " distinct paths, " << stats.skippedRows
+        << " junk rows dropped), " << stats.bytesWritten << " bytes to "
+        << outPath << "\n";
+    return 0;
+  } catch (const persist::SnapshotError& e) {
+    err << "convert: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int cmdDetect(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if (!checkOptions(args, err,
                     {"dataset", "scale", "hierarchy", "root-name", "trace",
@@ -310,11 +340,19 @@ int cmdDetect(const CliArgs& args, std::ostream& out, std::ostream& err) {
   cfg.candidatePeriods = {static_cast<std::size_t>(kDay / spec.unit),
                           static_cast<std::size_t>(kWeek / spec.unit)};
 
-  CsvSource source(trace, spec.hierarchy);
   TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), cfg);
   report::AnomalyStore store(spec.hierarchy);
-  const auto summary =
-      pipeline.run(source, [&](const InstanceResult& r) { store.add(r); });
+  RunSummary summary;
+  try {
+    // Constructing the source validates a binary trace's framing, so it
+    // sits inside the catch along with the record decode.
+    const auto source = openTraceSource(trace, spec.hierarchy);
+    summary =
+        pipeline.run(*source, [&](const InstanceResult& r) { store.add(r); });
+  } catch (const persist::SnapshotError& e) {
+    err << "detect: bad binary trace: " << e.what() << "\n";
+    return 1;
+  }
 
   out << "processed " << summary.unitsProcessed << " timeunits, "
       << summary.recordsProcessed << " records ("
@@ -371,11 +409,18 @@ int cmdAnalyze(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
   const Duration delta = unitMinutes * kMinute;
 
-  CsvSource source(trace, spec.hierarchy);
-  TimeUnitBatcher batcher(source, delta, 0);
   std::vector<double> counts;
-  while (auto b = batcher.next()) {
-    counts.push_back(static_cast<double>(b->records.size()));
+  try {
+    // Constructing the source validates a binary trace's framing, so it
+    // sits inside the catch along with the record decode.
+    const auto source = openTraceSource(trace, spec.hierarchy);
+    TimeUnitBatcher batcher(*source, delta, 0);
+    while (auto b = batcher.next()) {
+      counts.push_back(static_cast<double>(b->records.size()));
+    }
+  } catch (const persist::SnapshotError& e) {
+    err << "analyze: bad binary trace: " << e.what() << "\n";
+    return 1;
   }
   if (counts.size() < 64) {
     err << "analyze: trace too short (" << counts.size() << " units)\n";
@@ -806,6 +851,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out,
     return args.command.empty() ? 2 : 0;
   }
   if (args.command == "generate") return cmdGenerate(args, out, err);
+  if (args.command == "convert") return cmdConvert(args, out, err);
   if (args.command == "detect") return cmdDetect(args, out, err);
   if (args.command == "analyze") return cmdAnalyze(args, out, err);
   if (args.command == "hierarchy") return cmdHierarchy(args, out, err);

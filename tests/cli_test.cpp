@@ -106,6 +106,67 @@ TEST(Cli, DetectRequiresTrace) {
   EXPECT_NE(err.find("--trace is required"), std::string::npos);
 }
 
+TEST(Cli, ConvertDetectRoundTrip) {
+  const std::string trace = ::testing::TempDir() + "/cli_convert.csv";
+  const std::string binary = ::testing::TempDir() + "/cli_convert.tsrb";
+  std::string out;
+  ASSERT_EQ(run({"generate", "--dataset", "ccd-net", "--scale", "test",
+                 "--days", "3", "--seed", "5", "--out", trace, "--spike",
+                 "VHO1/IO0:240:3:80"},
+                &out),
+            0);
+  ASSERT_EQ(run({"convert", "--in", trace, "--out", binary}, &out), 0);
+  EXPECT_NE(out.find("0 junk rows dropped"), std::string::npos);
+
+  // detect sniffs the binary format by magic and must report the exact
+  // run the CSV trace produces (binary ingest is record-identical).
+  std::string fromCsv, fromBinary;
+  ASSERT_EQ(run({"detect", "--dataset", "ccd-net", "--scale", "test",
+                 "--trace", trace, "--theta", "8", "--window", "96"},
+                &fromCsv),
+            0);
+  ASSERT_EQ(run({"detect", "--dataset", "ccd-net", "--scale", "test",
+                 "--trace", binary, "--theta", "8", "--window", "96"},
+                &fromBinary),
+            0);
+  EXPECT_EQ(fromCsv, fromBinary);
+  EXPECT_NE(fromBinary.find("processed 288 timeunits"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(binary.c_str());
+}
+
+TEST(Cli, ConvertRequiresInAndOut) {
+  std::string err;
+  EXPECT_EQ(run({"convert", "--out", "x.tsrb"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--in and --out are required"), std::string::npos);
+  EXPECT_EQ(run({"convert", "--in", "x.csv"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--in and --out are required"), std::string::npos);
+}
+
+TEST(Cli, CorruptBinaryTraceFailsCleanly) {
+  // A truncated .tsrb must come back as exit 1 with a clean message from
+  // detect AND analyze — the SnapshotError is thrown while *opening* the
+  // source (framing validation), not just while decoding records, and
+  // both commands must catch it there.
+  const std::string trace = ::testing::TempDir() + "/cli_corrupt.tsrb";
+  {
+    std::ofstream f(trace, std::ios::binary);
+    f << "TSRB truncated prologue";
+  }
+  std::string err;
+  EXPECT_EQ(run({"detect", "--dataset", "ccd-net", "--scale", "test",
+                 "--trace", trace},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("bad binary trace"), std::string::npos);
+  EXPECT_EQ(run({"analyze", "--dataset", "ccd-net", "--scale", "test",
+                 "--trace", trace},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("bad binary trace"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
 TEST(Cli, GenerateRejectsBadSpike) {
   std::string err;
   EXPECT_EQ(run({"generate", "--dataset", "ccd-net", "--out", "/tmp/x.csv",

@@ -737,26 +737,6 @@ TEST(Engine, DistinctHierarchiesCountedPerObject) {
   EXPECT_EQ(stats.distinctHierarchies, 2u);
 }
 
-/// The deprecated reference overload must still work (it is a shim over
-/// the shared-handle path, with the borrowed-lifetime contract unchanged
-/// for callers that pin the hierarchy themselves).
-TEST(Engine, DeprecatedReferenceAddStreamStillWorks) {
-  const auto spec = workload::ccdNetworkWorkload(Scale::kTest);
-  EngineConfig cfg;
-  cfg.workers = 2;
-  DetectionEngine eng(cfg, nullptr);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  eng.addStream("legacy", spec.hierarchy, testPipelineConfig(spec),
-                std::make_unique<GeneratorSource>(spec, 0, 12, 9));
-#pragma GCC diagnostic pop
-  eng.start();
-  const auto stats = eng.drain();
-  EXPECT_EQ(stats.streams, 1u);
-  EXPECT_EQ(stats.distinctHierarchies, 1u);
-  EXPECT_GT(stats.recordsProcessed, 0u);
-}
-
 /// Pooled workspaces + an aggressive resident cap must not change a single
 /// result: every stream's summary and anomaly list stays bit-identical to
 /// an uninterrupted unlimited-residency run, at sequential and contended

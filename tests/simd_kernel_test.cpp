@@ -1,0 +1,263 @@
+// SIMD primitive bit-identity: every simd:: routine must produce exactly
+// the bytes the scalar reference loop produces — across ISA paths, odd
+// lengths (head/tail handling), and adversarial values (signed zeros,
+// infinities, NaNs, denormals). The detectors' end-to-end SIMD-vs-scalar
+// equivalence rides on these primitives plus the flat-vs-reference
+// property tests; this file pins the primitives themselves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "core/pipeline.h"
+#include "report/store.h"
+#include "timeseries/ewma.h"
+#include "workload/ccd.h"
+
+namespace tiresias {
+namespace {
+
+/// Restore the dispatch table even when a test fails mid-body.
+struct ScopedForceScalar {
+  explicit ScopedForceScalar(bool on) : prev_(simd::forceScalar(on)) {}
+  ~ScopedForceScalar() { simd::forceScalar(prev_); }
+  bool prev_;
+};
+
+/// Deterministic mix of ordinary magnitudes and IEEE-754 edge cases.
+std::vector<double> trickyDoubles(std::size_t n, std::uint64_t seed) {
+  static const double kEdges[] = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      1e-300,
+      -3.5e17,
+      0.1,
+  };
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) {
+    if (rng.below(3) == 0) {
+      v = kEdges[rng.below(std::size(kEdges))];
+    } else {
+      // Random bits biased to finite magnitudes via a random exponent.
+      v = (static_cast<double>(rng.below(1u << 20)) - (1u << 19)) *
+          std::pow(2.0, static_cast<double>(rng.below(64)) - 32.0);
+    }
+  }
+  return out;
+}
+
+void expectBitIdentical(const std::vector<double>& got,
+                        const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    std::uint64_t g = 0, w = 0;
+    std::memcpy(&g, &got[i], 8);
+    std::memcpy(&w, &want[i], 8);
+    EXPECT_EQ(g, w) << what << " diverges at [" << i << "]: got " << got[i]
+                    << " want " << want[i];
+  }
+}
+
+const std::size_t kSizes[] = {0,  1,  2,  3,  4,  5,   7,  8,
+                              9,  15, 16, 17, 31, 33,  64, 100};
+
+TEST(SimdDispatch, ForceScalarFlipsTheTable) {
+  const std::string best = simd::activeIsa();
+  EXPECT_FALSE(best.empty());
+  {
+    ScopedForceScalar forced(true);
+    EXPECT_STREQ(simd::activeIsa(), "scalar");
+  }
+  EXPECT_EQ(simd::activeIsa(), best);  // restored
+}
+
+TEST(SimdKernels, AddSubScaleDivideMatchScalarReference) {
+  for (const std::size_t n : kSizes) {
+    const auto src = trickyDoubles(n, 11 + n);
+    const auto base = trickyDoubles(n, 23 + n);
+    const double factor = -1.75e3;
+    const double divisor = 3.0;  // 1/3 is inexact: exposes reciprocal tricks
+
+    // Scalar reference loops, semantics pinned inline.
+    std::vector<double> refAdd = base, refSub = base, refScale = base,
+                        refDiv = base;
+    for (std::size_t i = 0; i < n; ++i) {
+      refAdd[i] += src[i];
+      refSub[i] -= src[i];
+      refScale[i] *= factor;
+      refDiv[i] /= divisor;
+    }
+
+    for (const bool scalar : {true, false}) {
+      ScopedForceScalar forced(scalar);
+      std::vector<double> a = base, s = base, m = base, d = base;
+      simd::add(a.data(), src.data(), n);
+      simd::sub(s.data(), src.data(), n);
+      simd::scale(m.data(), factor, n);
+      simd::divide(d.data(), divisor, n);
+      expectBitIdentical(a, refAdd, scalar ? "add/scalar" : "add/simd");
+      expectBitIdentical(s, refSub, scalar ? "sub/scalar" : "sub/simd");
+      expectBitIdentical(m, refScale, scalar ? "scale/scalar" : "scale/simd");
+      expectBitIdentical(d, refDiv, scalar ? "div/scalar" : "div/simd");
+    }
+  }
+}
+
+TEST(SimdKernels, AccumulateStampedMatchesScalarReference) {
+  for (const std::size_t n : kSizes) {
+    const auto src = trickyDoubles(n, 31 + n);
+    const auto base = trickyDoubles(n, 47 + n);
+    const std::uint32_t gen = 7;
+    Rng rng(59 + n);
+    std::vector<std::uint32_t> stamp(n);
+    for (auto& st : stamp) {
+      st = rng.below(2) ? gen : static_cast<std::uint32_t>(rng.below(7));
+    }
+
+    std::vector<double> ref = base;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stamp[i] == gen) ref[i] += src[i];
+    }
+
+    for (const bool scalar : {true, false}) {
+      ScopedForceScalar forced(scalar);
+      std::vector<double> got = base;
+      simd::accumulateStamped(got.data(), src.data(), stamp.data(), gen, n);
+      expectBitIdentical(got, ref, scalar ? "accum/scalar" : "accum/simd");
+    }
+  }
+}
+
+TEST(SimdKernels, AccumulateStampedKeepsMaskedBitsExactly) {
+  // The masked-out lane must keep its *old* bit pattern: a blend that
+  // added a literal 0.0 would turn -0.0 into +0.0 and quiet NaN payloads.
+  std::vector<double> dst = {-0.0, std::numeric_limits<double>::quiet_NaN(),
+                             -0.0, 5.0};
+  const std::vector<double> src = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<std::uint32_t> stamp = {1, 1, 1, 9};  // last lane live
+  const std::vector<double> before = dst;
+  simd::accumulateStamped(dst.data(), src.data(), stamp.data(), 9, 4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::uint64_t g = 0, w = 0;
+    std::memcpy(&g, &dst[i], 8);
+    std::memcpy(&w, &before[i], 8);
+    EXPECT_EQ(g, w) << "masked lane " << i << " was disturbed";
+  }
+  EXPECT_EQ(dst[3], 6.0);
+}
+
+TEST(SimdKernels, GatherStampedOrZeroMatchesScalarReference) {
+  const std::size_t planeSize = 67;
+  const auto values = trickyDoubles(planeSize, 71);
+  const std::uint32_t gen = 3;
+  Rng rng(83);
+  std::vector<std::uint32_t> stamp(planeSize);
+  for (auto& st : stamp) {
+    st = rng.below(2) ? gen : static_cast<std::uint32_t>(rng.below(3));
+  }
+
+  for (const std::size_t n : kSizes) {
+    std::vector<std::uint32_t> idx(n);
+    for (auto& i : idx) {
+      i = static_cast<std::uint32_t>(rng.below(planeSize));
+    }
+    std::vector<double> ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ref[i] = stamp[idx[i]] == gen ? values[idx[i]] : 0.0;
+    }
+    for (const bool scalar : {true, false}) {
+      ScopedForceScalar forced(scalar);
+      std::vector<double> got(n, -7.0);  // stale garbage must be overwritten
+      simd::gatherStampedOrZero(got.data(), values.data(), stamp.data(), gen,
+                                idx.data(), n);
+      expectBitIdentical(got, ref, scalar ? "gather/scalar" : "gather/simd");
+    }
+  }
+}
+
+TEST(SimdKernels, GatherMaskedLanesArePositiveZero) {
+  // A masked gather lane must read exactly +0.0 — matching the scalar
+  // ternary's literal 0.0 — even when the plane holds -0.0 or NaN there.
+  std::vector<double> values = {-0.0, std::numeric_limits<double>::quiet_NaN(),
+                                2.5};
+  const std::vector<std::uint32_t> stamp = {1, 1, 4};
+  const std::vector<std::uint32_t> idx = {0, 1, 2, 0};
+  for (const bool scalar : {true, false}) {
+    ScopedForceScalar forced(scalar);
+    std::vector<double> out(4, 9.0);
+    simd::gatherStampedOrZero(out.data(), values.data(), stamp.data(), 4,
+                              idx.data(), 4);
+    for (const std::size_t masked : {0u, 1u, 3u}) {
+      EXPECT_EQ(out[masked], 0.0);
+      EXPECT_FALSE(std::signbit(out[masked]))
+          << "masked lane " << masked << " leaked -0.0";
+    }
+    EXPECT_EQ(out[2], 2.5);
+  }
+}
+
+/// End to end: a full detection run (warm-up, seasonality-free EWMA
+/// forecasting, SHHH + split + anomaly reporting) is bit-identical under
+/// the SIMD and forced-scalar dispatch tables, for both algorithms.
+TEST(SimdEndToEnd, DetectorsBitIdenticalUnderForcedScalar) {
+  const auto spec = workload::ccdNetworkWorkload(workload::Scale::kTest);
+  workload::SpikeSpec spike;
+  spike.node = spec.hierarchy.children(spec.hierarchy.root()).front();
+  spike.startUnit = 30;
+  spike.durationUnits = 3;
+  spike.extraPerUnit = 40.0 * spec.baseRatePerUnit;
+  workload::GroundTruthLedger ledger;
+  ledger.add(spike);
+  const auto injector = std::make_shared<workload::AnomalyInjector>(
+      spec.hierarchy, std::move(ledger));
+
+  for (const bool useAda : {true, false}) {
+    PipelineConfig cfg;
+    cfg.delta = spec.unit;
+    cfg.useAda = useAda;
+    cfg.detector.theta = 8.0;
+    cfg.detector.windowLength = 16;
+    cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+
+    auto run = [&](bool scalar, RunSummary& sum) {
+      const bool prev = simd::forceScalar(scalar);
+      workload::GeneratorSource src(spec, 0, 48, 7, injector);
+      TiresiasPipeline pipeline(borrowHierarchy(spec.hierarchy), cfg);
+      report::AnomalyStore store(spec.hierarchy);
+      sum = pipeline.run(src, [&](const InstanceResult& r) { store.add(r); });
+      simd::forceScalar(prev);
+      return store.all();
+    };
+
+    RunSummary simdSum, scalarSum;
+    const auto simdAnoms = run(false, simdSum);
+    const auto scalarAnoms = run(true, scalarSum);
+    SCOPED_TRACE(useAda ? "ada" : "sta");
+    EXPECT_EQ(simdSum.unitsProcessed, scalarSum.unitsProcessed);
+    EXPECT_EQ(simdSum.instancesDetected, scalarSum.instancesDetected);
+    EXPECT_EQ(simdSum.anomaliesReported, scalarSum.anomaliesReported);
+    ASSERT_EQ(simdAnoms.size(), scalarAnoms.size());
+    for (std::size_t i = 0; i < simdAnoms.size(); ++i) {
+      EXPECT_EQ(simdAnoms[i].anomaly, scalarAnoms[i].anomaly);
+      EXPECT_EQ(simdAnoms[i].path, scalarAnoms[i].path);
+    }
+    EXPECT_GT(simdAnoms.size(), 0u);  // the comparison must see anomalies
+  }
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -37,7 +37,14 @@
 //     workspaces and idle-stream hibernation. The committed figure is the
 //     resident workspace-bytes reduction vs the pre-refactor
 //     one-bound-workspace-per-stream layout (must be >= 50x). Written to
-//     the BENCH_engine.json "residency" section (schema v4).
+//     the BENCH_engine.json "residency" section.
+//
+//  6. Socket ingest: the same materialized trace streamed over loopback
+//     TCP in the framed binary protocol into a SocketSource-fed engine
+//     stream. Reports end-to-end records/sec plus the ingest-latency
+//     percentiles (p50/p90/p99 of engine.unit_latency — queue entry to
+//     detection done). Written to the BENCH_engine.json "socket_ingest"
+//     section (schema v5).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +60,9 @@
 #include "core/workspace.h"
 #include "engine/bounded_queue.h"
 #include "engine/engine.h"
+#include "net/tcp.h"
 #include "stream/binary_source.h"
+#include "stream/socket_source.h"
 #include "timeseries/ewma.h"
 #include "workload/generator.h"
 
@@ -718,6 +727,79 @@ int main(int argc, char** argv) {
                          residencyCap + residencyWorkers,
                      "resident streams stay within the best-effort cap");
 
+  // ---- Socket ingest: loopback TCP -> SocketSource -> engine ----
+  // The materialized trace, framed with the binary stream protocol and
+  // pushed over a real loopback socket by a writer thread. One stream,
+  // one worker: the figure is the serving surface's single-connection
+  // ingest path, and the unit-latency histogram (queue entry to detection
+  // done) is the committed ingest-latency percentile baseline.
+  std::printf("\nsocket ingest (loopback, framed binary, 1 stream):\n");
+  std::vector<std::uint8_t> socketWire;
+  {
+    std::vector<std::string> paths;
+    paths.reserve(spec.hierarchy.size());
+    for (std::size_t n = 0; n < spec.hierarchy.size(); ++n) {
+      paths.push_back(spec.hierarchy.path(static_cast<NodeId>(n)));
+    }
+    socketWire = encodeSocketHandshake(paths);
+    constexpr std::size_t kFrame = 8192;
+    for (std::size_t at = 0; at < records.size(); at += kFrame) {
+      appendSocketFrame(socketWire, records.data() + at,
+                        std::min(kFrame, records.size() - at));
+    }
+    appendSocketEndOfStream(socketWire);
+  }
+  auto socketListener = std::make_shared<net::TcpListener>();
+  ok &= bench::check(socketListener->listen(0, /*loopbackOnly=*/true),
+                     "loopback listener binds an ephemeral port");
+  std::thread socketWriter(
+      [port = socketListener->port(), &socketWire] {
+        net::TcpConn conn = net::connectLoopback(port, 30'000);
+        if (conn.valid()) {
+          conn.writeAll(socketWire.data(), socketWire.size());
+        }
+      });
+  EngineStats socketStats;
+  std::size_t socketProtocolErrors = 0;
+  {
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.ingestThreads = 1;
+    cfg.streamQueueCapacity = 32;
+    cfg.totalQueueCapacity = 256;
+    cfg.metrics = true;
+    DetectionEngine eng(cfg, nullptr);
+    SocketSourceOptions sopt;
+    sopt.format = SocketSourceOptions::Format::kBinary;
+    auto src = std::make_unique<SocketSource>(socketListener, spec.hierarchy,
+                                              sopt);
+    const SocketSource* view = src.get();
+    eng.addStream("net-0", borrowHierarchy(spec.hierarchy),
+                  pipelineConfig(spec), std::move(src));
+    eng.start();
+    socketStats = eng.drain();
+    socketProtocolErrors = view->protocolErrors();
+  }
+  socketWriter.join();
+  const obs::StageStats* socketLatency =
+      socketStats.metrics.stage(obs::Stage::kUnitLatency);
+  std::printf("%-22s %12zu records %10.3fs %14.0f records/sec\n",
+              "loopback binary", socketStats.recordsProcessed,
+              socketStats.elapsedSeconds, socketStats.recordsPerSecond);
+  if (socketLatency != nullptr) {
+    std::printf("unit latency: p50 %.1fus p90 %.1fus p99 %.1fus (max "
+                "%.1fus over %llu units)\n",
+                socketLatency->p50 * 1e6, socketLatency->p90 * 1e6,
+                socketLatency->p99 * 1e6, socketLatency->max * 1e6,
+                static_cast<unsigned long long>(socketLatency->count));
+  }
+  ok &= bench::check(socketStats.recordsProcessed == records.size() &&
+                         socketProtocolErrors == 0,
+                     "socket ingest delivered the whole trace with zero "
+                     "protocol errors");
+  ok &= bench::check(socketLatency != nullptr && socketLatency->count > 0,
+                     "socket run exposes the unit-latency histogram");
+
   // ---- Machine-readable baselines ----
   {
     std::FILE* f = std::fopen(ingestJsonPath.c_str(), "w");
@@ -753,7 +835,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"tiresias_bench_engine/v4\",\n");
+    std::fprintf(f, "  \"schema\": \"tiresias_bench_engine/v5\",\n");
     std::fprintf(f, "  \"workload\": \"ccd-net/medium\",\n");
     std::fprintf(f, "  \"hardware_threads\": %u,\n", cores);
     std::fprintf(f, "  \"uniform\": {\n");
@@ -844,6 +926,25 @@ int main(int argc, char** argv) {
                  res.stats.hibernateEvictions);
     std::fprintf(f, "    \"hibernate_wakes\": %zu\n",
                  res.stats.hibernateWakes);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"socket_ingest\": {\n");
+    std::fprintf(f, "    \"transport\": \"loopback tcp, framed binary\",\n");
+    std::fprintf(f, "    \"streams\": 1,\n");
+    std::fprintf(f, "    \"frame_records\": 8192,\n");
+    std::fprintf(f, "    \"records\": %zu,\n", socketStats.recordsProcessed);
+    std::fprintf(f, "    \"seconds\": %.6f,\n", socketStats.elapsedSeconds);
+    std::fprintf(f, "    \"records_per_sec\": %.0f,\n",
+                 socketStats.recordsPerSecond);
+    std::fprintf(f, "    \"protocol_errors\": %zu,\n", socketProtocolErrors);
+    std::fprintf(f,
+                 "    \"unit_latency_us\": {\"count\": %llu, \"p50\": %.1f, "
+                 "\"p90\": %.1f, \"p99\": %.1f, \"max\": %.1f}\n",
+                 static_cast<unsigned long long>(
+                     socketLatency != nullptr ? socketLatency->count : 0),
+                 socketLatency != nullptr ? socketLatency->p50 * 1e6 : 0.0,
+                 socketLatency != nullptr ? socketLatency->p90 * 1e6 : 0.0,
+                 socketLatency != nullptr ? socketLatency->p99 * 1e6 : 0.0,
+                 socketLatency != nullptr ? socketLatency->max * 1e6 : 0.0);
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"metrics\": {\n");
     std::fprintf(f,

@@ -1,0 +1,252 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+namespace tiresias::net {
+
+namespace {
+
+/// Remaining milliseconds of a deadline started `elapsed` ago; negative
+/// total means "forever" (poll takes -1).
+int remainingMs(int totalMs, std::chrono::steady_clock::time_point start) {
+  if (totalMs < 0) return -1;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const long long left = static_cast<long long>(totalMs) - elapsed;
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// poll() one fd for `events`, EINTR-retrying against the caller's
+/// deadline. Returns >0 ready, 0 timeout, <0 error.
+int pollOne(int fd, short events, int timeoutMs) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, remainingMs(timeoutMs, start));
+    if (rc >= 0) return rc;
+    if (errno != EINTR) return -1;
+  }
+}
+
+void setCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+void ignoreSigpipe() {
+  // Once per process is enough; a static initializer keeps it race-free
+  // without the callers having to coordinate.
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpConn::shutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+IoStatus TcpConn::readSome(void* dst, std::size_t n, std::size_t& got,
+                           int timeoutMs) {
+  got = 0;
+  if (fd_ < 0) return IoStatus::kError;
+  const int ready = pollOne(fd_, POLLIN, timeoutMs);
+  if (ready == 0) return IoStatus::kTimeout;
+  if (ready < 0) return IoStatus::kError;
+  for (;;) {
+    const ssize_t rc = ::recv(fd_, dst, n, 0);
+    if (rc > 0) {
+      got = static_cast<std::size_t>(rc);
+      return IoStatus::kOk;
+    }
+    if (rc == 0) return IoStatus::kEof;
+    if (errno != EINTR) return IoStatus::kError;
+  }
+}
+
+IoStatus TcpConn::readExact(void* dst, std::size_t n, std::size_t& got,
+                            int timeoutMs) {
+  got = 0;
+  auto* p = static_cast<std::uint8_t*>(dst);
+  const auto start = std::chrono::steady_clock::now();
+  while (got < n) {
+    std::size_t chunk = 0;
+    const IoStatus st =
+        readSome(p + got, n - got, chunk, remainingMs(timeoutMs, start));
+    if (st == IoStatus::kOk) {
+      got += chunk;
+      continue;
+    }
+    if (st == IoStatus::kEof && got == 0) return IoStatus::kEof;
+    // EOF mid-buffer is a truncation, not an orderly end.
+    return st == IoStatus::kEof ? IoStatus::kError : st;
+  }
+  return IoStatus::kOk;
+}
+
+bool TcpConn::writeAll(const void* src, std::size_t n) {
+  if (fd_ < 0) return false;
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+bool TcpListener::listen(std::uint16_t port, bool loopbackOnly) {
+  ignoreSigpipe();
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  setCloexec(fd_);
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      loopbackOnly ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  if (::listen(fd_, 64) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  // Non-blocking so concurrent accepts can race benignly: both pollers
+  // may wake for one connection, the loser's accept() returns EAGAIN and
+  // it re-polls instead of blocking past its deadline.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  return true;
+}
+
+TcpConn TcpListener::accept(int timeoutMs) {
+  const auto start = std::chrono::steady_clock::now();
+  while (fd_ >= 0) {
+    const int left = remainingMs(timeoutMs, start);
+    const int ready = pollOne(fd_, POLLIN, left);
+    if (ready <= 0) return TcpConn();  // timeout or listener error
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      setCloexec(conn);
+      return TcpConn(conn);
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      continue;  // lost the race / transient: re-poll within the deadline
+    }
+    return TcpConn();
+  }
+  return TcpConn();
+}
+
+TcpConn connectTo(const std::string& host, std::uint16_t port,
+                  int timeoutMs) {
+  ignoreSigpipe();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string portStr = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), portStr.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return TcpConn();
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return TcpConn();
+  }
+  setCloexec(fd);
+  // Non-blocking connect + poll(POLLOUT) bounds the handshake.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    ::close(fd);
+    return TcpConn();
+  }
+  if (rc != 0) {
+    if (pollOne(fd, POLLOUT, timeoutMs) <= 0) {
+      ::close(fd);
+      return TcpConn();
+    }
+    int soErr = 0;
+    socklen_t len = sizeof(soErr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len) != 0 ||
+        soErr != 0) {
+      ::close(fd);
+      return TcpConn();
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking for the data phase
+  return TcpConn(fd);
+}
+
+TcpConn connectLoopback(std::uint16_t port, int timeoutMs) {
+  return connectTo("127.0.0.1", port, timeoutMs);
+}
+
+}  // namespace tiresias::net

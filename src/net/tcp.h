@@ -1,0 +1,125 @@
+// Minimal POSIX TCP layer for the serving surface.
+//
+// The engine's network-facing pieces (SocketSource ingest, the anomaly
+// JSON-lines broadcaster, the stats poll endpoint) all sit on these two
+// RAII types. Design constraints, in order:
+//
+//   - Never crash on peer behavior. SIGPIPE is ignored process-wide
+//     (ignoreSigpipe, also belt-and-braces MSG_NOSIGNAL on every send);
+//     every read distinguishes EOF / timeout / error so callers can
+//     degrade instead of aborting.
+//   - Every blocking call is bounded by a poll()-based timeout and
+//     retries EINTR, so a stalled or vanished peer can never wedge an
+//     ingest thread forever.
+//   - Listeners are non-blocking + poll so several threads may accept
+//     from one shared listener without an accept() race parking a thread
+//     past its deadline.
+//
+// IPv4 only (the serving surface is an internal ingest port, not a
+// general web server); port 0 binds an ephemeral port and port() reports
+// the actual one, which tests and the CLI print for scripting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tiresias::net {
+
+/// Ignore SIGPIPE process-wide (idempotent). A peer closing its read end
+/// must surface as a write error, never a signal; every server entry
+/// point calls this before touching a socket.
+void ignoreSigpipe();
+
+/// Outcome of a bounded read.
+enum class IoStatus : std::uint8_t {
+  kOk = 0,   // >= 1 byte transferred
+  kEof,      // orderly peer shutdown
+  kTimeout,  // deadline elapsed with no data
+  kError,    // socket error (connection reset, bad fd, ...)
+};
+
+/// One connected TCP socket (RAII over the fd). Movable, not copyable.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn() { close(); }
+
+  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Read up to `n` bytes with a deadline. `got` is the byte count on
+  /// kOk (>= 1). timeoutMs < 0 waits forever; 0 polls. EINTR retries.
+  IoStatus readSome(void* dst, std::size_t n, std::size_t& got,
+                    int timeoutMs);
+
+  /// Read exactly `n` bytes (looping readSome). On kOk all bytes landed;
+  /// kEof means the peer closed cleanly *before the first byte* —
+  /// mid-buffer EOF degrades to kError (a truncated frame is structural,
+  /// not an orderly end). `got` reports bytes read in every case.
+  IoStatus readExact(void* dst, std::size_t n, std::size_t& got,
+                     int timeoutMs);
+
+  /// Write all of `n` bytes (MSG_NOSIGNAL, EINTR retry, short-write
+  /// loop). False on any error; the connection should be dropped.
+  bool writeAll(const void* src, std::size_t n);
+
+  /// Half-close the write side (signals end-of-stream to the peer while
+  /// reads stay open).
+  void shutdownWrite();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket (non-blocking, SO_REUSEADDR). Thread-safe accept:
+/// any number of threads may block in accept() on one listener.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bind + listen on `port` (0 = ephemeral; see port()). `loopbackOnly`
+  /// binds 127.0.0.1 instead of INADDR_ANY. False on failure (errno
+  /// formatted into lastError()).
+  bool listen(std::uint16_t port, bool loopbackOnly = false);
+
+  bool valid() const { return fd_ >= 0; }
+  /// Actual bound port (resolves ephemeral binds), 0 when not listening.
+  std::uint16_t port() const { return port_; }
+  const std::string& lastError() const { return error_; }
+
+  /// Accept one connection within `timeoutMs` (< 0 waits forever). An
+  /// invalid TcpConn means timeout or a transient accept failure — the
+  /// listener stays usable either way.
+  TcpConn accept(int timeoutMs);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+};
+
+/// Blocking connect to `host:port` with a deadline. `host` is an IPv4
+/// literal or a name resolvable by getaddrinfo. Invalid TcpConn on
+/// failure.
+TcpConn connectTo(const std::string& host, std::uint16_t port,
+                  int timeoutMs);
+
+/// connectTo("127.0.0.1", ...) — the shape tests and the bench use.
+TcpConn connectLoopback(std::uint16_t port, int timeoutMs);
+
+}  // namespace tiresias::net

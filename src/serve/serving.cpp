@@ -1,0 +1,153 @@
+#include "serve/serving.h"
+
+#include <sstream>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+
+namespace tiresias::serve {
+
+namespace {
+
+/// Accept-poll slice: how quickly stop() takes effect. Subscriber churn
+/// latency, not data latency — data is pushed, never polled.
+constexpr int kAcceptSliceMs = 100;
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string engineStatsJson(const engine::EngineStats& st) {
+  std::ostringstream os;
+  os << "{\"schema\":\"tiresias_metrics/v1\""
+     << ",\"elapsed_seconds\":" << fmtF(st.elapsedSeconds, 3)
+     << ",\"units_processed\":" << st.unitsProcessed
+     << ",\"records_processed\":" << st.recordsProcessed
+     << ",\"units_discarded\":" << st.unitsDiscarded
+     << ",\"queue_lag_units\":" << st.queueLagUnits()
+     << ",\"records_per_sec\":" << fmtF(st.recordsPerSecond, 1)
+     << ",\"workspace_bytes\":" << st.workspaceBytes
+     << ",\"resident_streams\":" << st.residentStreams
+     << ",\"hibernated_streams\":" << st.hibernatedStreams
+     << ",\"hibernate_evictions\":" << st.hibernateEvictions
+     << ",\"hibernate_wakes\":" << st.hibernateWakes
+     << ",\"checkpoint\":{\"checkpoints\":" << st.checkpoint.checkpoints
+     << ",\"restores\":" << st.checkpoint.restores
+     << ",\"last_bytes\":" << st.checkpoint.lastBytes
+     << ",\"last_units\":" << st.checkpoint.lastUnits
+     << ",\"last_seconds\":" << fmtF(st.checkpoint.lastSeconds, 3)
+     << ",\"total_seconds\":" << fmtF(st.checkpoint.totalSeconds, 3) << "}"
+     << ",\"stages\":" << obs::stagesJson(st.metrics)
+     << ",\"gauges\":" << obs::gaugesJson(st.metrics) << "}";
+  return os.str();
+}
+
+std::string anomalyJsonLine(const std::string& stream,
+                            const std::string& path, int depth,
+                            const Anomaly& anomaly) {
+  std::ostringstream os;
+  std::string escaped;
+  escaped.reserve(stream.size());
+  appendEscaped(escaped, stream);
+  os << "{\"stream\":\"" << escaped << "\",\"unit\":" << anomaly.unit
+     << ",\"path\":\"";
+  escaped.clear();
+  appendEscaped(escaped, path);
+  os << escaped << "\",\"depth\":" << depth << ",\"actual\":" << anomaly.actual
+     << ",\"forecast\":" << anomaly.forecast << ",\"ratio\":"
+     << (anomaly.ratio > 1e300 ? -1.0 : anomaly.ratio) << "}";
+  return os.str();
+}
+
+bool JsonLineBroadcaster::start(std::uint16_t port) {
+  net::ignoreSigpipe();
+  if (!listener_.listen(port)) return false;
+  stop_.store(false);
+  acceptor_ = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void JsonLineBroadcaster::acceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    net::TcpConn conn = listener_.accept(kAcceptSliceMs);
+    if (!conn.valid()) continue;
+    std::lock_guard lk(mu_);
+    subs_.push_back(std::move(conn));
+    ++accepted_;
+  }
+}
+
+void JsonLineBroadcaster::publish(const std::string& line) {
+  std::lock_guard lk(mu_);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    const bool ok = subs_[i].writeAll(line.data(), line.size()) &&
+                    subs_[i].writeAll("\n", 1);
+    if (ok) {
+      if (keep != i) subs_[keep] = std::move(subs_[i]);
+      ++keep;
+    }
+    // A failed write means the subscriber is gone; dropping it here is
+    // the whole slow-consumer policy (the kernel socket buffer is the
+    // only lag a subscriber gets).
+  }
+  subs_.resize(keep);
+}
+
+std::size_t JsonLineBroadcaster::accepted() const {
+  std::lock_guard lk(mu_);
+  return accepted_;
+}
+
+std::size_t JsonLineBroadcaster::subscribers() const {
+  std::lock_guard lk(mu_);
+  return subs_.size();
+}
+
+void JsonLineBroadcaster::stop() {
+  if (stop_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  std::lock_guard lk(mu_);
+  subs_.clear();  // closes every subscriber: their EOF
+}
+
+bool StatsPollServer::start(std::uint16_t port, Renderer render) {
+  net::ignoreSigpipe();
+  if (!listener_.listen(port)) return false;
+  render_ = std::move(render);
+  stop_.store(false);
+  server_ = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void StatsPollServer::serveLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    net::TcpConn conn = listener_.accept(kAcceptSliceMs);
+    if (!conn.valid()) continue;
+    const std::string body = render_();
+    conn.writeAll(body.data(), body.size());
+    conn.writeAll("\n", 1);
+    conn.shutdownWrite();
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void StatsPollServer::stop() {
+  if (stop_.exchange(true)) {
+    if (server_.joinable()) server_.join();
+    return;
+  }
+  if (server_.joinable()) server_.join();
+  listener_.close();
+}
+
+}  // namespace tiresias::serve

@@ -1,0 +1,124 @@
+// Serving-surface output side: live anomaly streaming + stats polling.
+//
+// Two tiny single-purpose TCP servers complement the SocketSource ingest
+// path so the engine can sit in front of real traffic and be observed:
+//
+//   JsonLineBroadcaster — subscribers connect and receive one JSON object
+//     per line (schema below) for every anomaly the engine reports, as it
+//     is reported. Write-only from the subscriber's perspective; a dead
+//     or lagging-to-death subscriber is dropped (a slow consumer must
+//     never backpressure detection). publish() is thread-safe — the
+//     engine's result sink runs on worker threads.
+//   StatsPollServer — connect, receive one JSON document (the full
+//     EngineStats/CheckpointStats/MetricsSnapshot rendering), connection
+//     closes. `nc host port < /dev/null` is a scrape.
+//
+// Anomaly line schema (one object per anomaly, AnomalyStore::exportJsonl
+// field layout plus the stream tag):
+//   {"stream":"...","unit":N,"path":"...","depth":D,
+//    "actual":A,"forecast":F,"ratio":R}
+//
+// Stats document schema: tiresias_metrics/v1, the same object `serve
+// --metrics-out` appends per line (engineStatsJson is the single shared
+// renderer), extended with the checkpoint counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "net/tcp.h"
+
+namespace tiresias::serve {
+
+/// The tiresias_metrics/v1 JSON object for one stats snapshot (no
+/// trailing newline). Shared by `serve --metrics-out`, the stats poll
+/// endpoint, and the bench.
+std::string engineStatsJson(const engine::EngineStats& stats);
+
+/// One anomaly as a JSON line (no trailing newline), matching
+/// AnomalyStore::exportJsonl's escaping and field layout with the stream
+/// name prepended.
+std::string anomalyJsonLine(const std::string& stream,
+                            const std::string& path, int depth,
+                            const Anomaly& anomaly);
+
+/// Accepts subscribers on its own thread and fans published lines out to
+/// all of them. start() binds; stop() (or destruction) closes every
+/// subscriber — an EOF is the subscriber's end-of-run signal.
+class JsonLineBroadcaster {
+ public:
+  JsonLineBroadcaster() = default;
+  ~JsonLineBroadcaster() { stop(); }
+
+  JsonLineBroadcaster(const JsonLineBroadcaster&) = delete;
+  JsonLineBroadcaster& operator=(const JsonLineBroadcaster&) = delete;
+
+  /// Bind `port` (0 = ephemeral) and start accepting. False on bind
+  /// failure (error()).
+  bool start(std::uint16_t port);
+  /// Actual bound port (valid after start()).
+  std::uint16_t port() const { return listener_.port(); }
+  const std::string& error() const { return listener_.lastError(); }
+
+  /// Send `line` + '\n' to every subscriber, dropping the dead ones.
+  /// Thread-safe; called from engine worker threads.
+  void publish(const std::string& line);
+
+  /// Subscribers ever accepted / currently connected.
+  std::size_t accepted() const;
+  std::size_t subscribers() const;
+
+  /// Close the listener and every subscriber connection; joins the
+  /// accept thread. Idempotent.
+  void stop();
+
+ private:
+  void acceptLoop();
+
+  net::TcpListener listener_;
+  std::thread acceptor_;
+  std::atomic<bool> stop_{false};
+  mutable std::mutex mu_;
+  std::vector<net::TcpConn> subs_;
+  std::size_t accepted_ = 0;
+};
+
+/// One-shot request server: every accepted connection receives render()'s
+/// bytes and is closed. The renderer runs on the serving thread and must
+/// be safe to call concurrently with the engine (EngineStats::stats() is).
+class StatsPollServer {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  StatsPollServer() = default;
+  ~StatsPollServer() { stop(); }
+
+  StatsPollServer(const StatsPollServer&) = delete;
+  StatsPollServer& operator=(const StatsPollServer&) = delete;
+
+  bool start(std::uint16_t port, Renderer render);
+  std::uint16_t port() const { return listener_.port(); }
+  const std::string& error() const { return listener_.lastError(); }
+
+  /// Requests served so far.
+  std::size_t served() const { return served_.load(); }
+
+  void stop();
+
+ private:
+  void serveLoop();
+
+  net::TcpListener listener_;
+  Renderer render_;
+  std::thread server_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> served_{0};
+};
+
+}  // namespace tiresias::serve

@@ -1,0 +1,398 @@
+#include "stream/socket_source.h"
+
+#include <cstring>
+#include <limits>
+
+#include "persist/snapshot.h"
+
+namespace tiresias {
+
+namespace {
+
+using net::IoStatus;
+using persist::Deserializer;
+using persist::Serializer;
+using persist::SnapshotError;
+
+constexpr std::size_t kRecordBytes = 12;  // u32 fileId + i64 timestamp
+constexpr std::size_t kCsvReadChunk = std::size_t{64} << 10;
+
+// Byte-assembly little-endian codecs (same idiom as binary_source.cpp:
+// single moves on LE targets, correct everywhere).
+std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(le32(p)) |
+         (static_cast<std::uint64_t>(le32(p + 4)) << 32);
+}
+
+void putLe32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void putLe64(std::uint8_t* p, std::uint64_t v) {
+  putLe32(p, static_cast<std::uint32_t>(v));
+  putLe32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+}  // namespace
+
+struct SocketSource::Impl {
+  enum class State : std::uint8_t { kStart, kBinary, kCsv, kDone };
+
+  std::shared_ptr<net::TcpListener> listener;  // null when conn was adopted
+  net::TcpConn conn;
+  const Hierarchy& hierarchy;
+  SocketSourceOptions opt;
+
+  State state = State::kStart;
+  std::size_t protocolErrors = 0;
+  std::size_t unresolved = 0;
+  /// Monotonicity guard: the batcher requires non-decreasing time, and a
+  /// misbehaving client must not be able to abort the server, so records
+  /// that run backwards are skipped here.
+  Timestamp lastTime = std::numeric_limits<Timestamp>::min();
+
+  // Binary mode: fileId → NodeId from the handshake table; frame staging.
+  std::vector<NodeId> fileIdToNode;
+  std::vector<std::uint8_t> frame;
+
+  // CSV mode: undelivered bytes + scan cursor, EOF latch, shared-cache
+  // resolution (CsvSource parity).
+  std::string csvBuf;
+  std::size_t csvPos = 0;
+  bool csvEof = false;
+  PathCache pathCache;
+  std::vector<std::string> quotedScratch;
+  std::vector<char> readBuf = std::vector<char>(kCsvReadChunk);
+
+  /// Decoded records awaiting delivery through next()/nextBatch().
+  std::vector<Record> pending;
+  std::size_t pendingPos = 0;
+
+  Impl(std::shared_ptr<net::TcpListener> l, net::TcpConn c,
+       const Hierarchy& h, SocketSourceOptions o)
+      : listener(std::move(l)), conn(std::move(c)), hierarchy(h), opt(o),
+        pathCache(h) {
+    net::ignoreSigpipe();
+  }
+
+  /// Structural failure: count it, drop the connection, end the stream.
+  void fail() {
+    ++protocolErrors;
+    conn.close();
+    state = State::kDone;
+  }
+
+  void endClean() {
+    conn.close();
+    state = State::kDone;
+  }
+
+  /// Ensure pending has undelivered records. False only at end of stream.
+  bool fillPending(std::size_t& skipped) {
+    for (;;) {
+      if (pendingPos < pending.size()) return true;
+      if (state == State::kDone) return false;
+      if (state == State::kStart) {
+        negotiate();
+        continue;
+      }
+      pending.clear();
+      pendingPos = 0;
+      if (state == State::kBinary) {
+        pullBinaryFrame(skipped);
+      } else {
+        pullCsv(skipped);
+      }
+    }
+  }
+
+  /// Accept (when listening) and detect the wire format. Leaves state at
+  /// kBinary/kCsv/kDone.
+  void negotiate() {
+    if (!conn.valid()) {
+      if (listener == nullptr || !listener->valid()) {
+        fail();
+        return;
+      }
+      conn = listener->accept(opt.readTimeoutMs);
+      if (!conn.valid()) {
+        fail();  // nobody connected within the window
+        return;
+      }
+    }
+    if (opt.format == SocketSourceOptions::Format::kCsv) {
+      state = State::kCsv;
+      return;
+    }
+    // Sniff exactly four bytes (kAuto and kBinary both need the magic;
+    // they differ only in what a mismatch means).
+    std::uint8_t head[4];
+    std::size_t have = 0;
+    while (have < 4) {
+      std::size_t got = 0;
+      const IoStatus st =
+          conn.readSome(head + have, 4 - have, got, opt.readTimeoutMs);
+      if (st == IoStatus::kOk) {
+        have += got;
+        continue;
+      }
+      if (st == IoStatus::kEof) break;
+      fail();  // timeout or socket error before the stream even started
+      return;
+    }
+    if (have == 0) {
+      endClean();  // connected and closed without a byte: empty stream
+      return;
+    }
+    if (have == 4 && le32(head) == kSocketStreamMagic) {
+      binaryHandshake();
+      return;
+    }
+    if (opt.format == SocketSourceOptions::Format::kBinary) {
+      fail();  // binary required but the magic is wrong/truncated
+      return;
+    }
+    // Auto + no magic: those bytes are the first CSV payload.
+    csvBuf.assign(reinterpret_cast<const char*>(head), have);
+    csvEof = have < 4;  // EOF already seen mid-sniff
+    state = State::kCsv;
+  }
+
+  /// Post-magic binary handshake: version, table length, path table.
+  void binaryHandshake() {
+    std::uint8_t fixed[12];  // u32 version + u64 tableBytes
+    std::size_t got = 0;
+    if (conn.readExact(fixed, sizeof(fixed), got, opt.readTimeoutMs) !=
+        IoStatus::kOk) {
+      fail();
+      return;
+    }
+    if (le32(fixed) != kSocketStreamVersion) {
+      fail();
+      return;
+    }
+    const std::uint64_t tableBytes = le64(fixed + 4);
+    if (tableBytes > kSocketMaxTableBytes) {
+      fail();
+      return;
+    }
+    std::vector<std::uint8_t> table(static_cast<std::size_t>(tableBytes));
+    if (conn.readExact(table.data(), table.size(), got, opt.readTimeoutMs) !=
+        IoStatus::kOk) {
+      fail();
+      return;
+    }
+    try {
+      Deserializer des(table);
+      const std::size_t paths = des.count(sizeof(std::uint64_t));
+      fileIdToNode.clear();
+      fileIdToNode.reserve(paths);
+      for (std::size_t i = 0; i < paths; ++i) {
+        const NodeId node = hierarchy.find(des.str());
+        if (node == kInvalidNode) ++unresolved;
+        fileIdToNode.push_back(node);
+      }
+      Deserializer::require(des.atEnd(),
+                            "socket handshake: trailing table bytes");
+    } catch (const SnapshotError&) {
+      fail();  // table framing corrupt — connection-level, never a throw
+      return;
+    }
+    state = State::kBinary;
+  }
+
+  /// Read and decode one record frame into pending. Sets kDone at the
+  /// end-of-stream marker, a clean EOF at a frame boundary, or any
+  /// structural failure.
+  void pullBinaryFrame(std::size_t& skipped) {
+    std::uint8_t prefix[4];
+    std::size_t got = 0;
+    const IoStatus st =
+        conn.readExact(prefix, sizeof(prefix), got, opt.readTimeoutMs);
+    if (st == IoStatus::kEof) {
+      endClean();  // frame boundary is a legal end of stream
+      return;
+    }
+    if (st != IoStatus::kOk) {
+      fail();  // timeout, reset, or EOF inside the prefix
+      return;
+    }
+    const std::uint32_t count = le32(prefix);
+    if (count == 0) {
+      endClean();  // explicit end-of-stream marker
+      return;
+    }
+    if (count > kSocketMaxFrameRecords) {
+      fail();
+      return;
+    }
+    frame.resize(static_cast<std::size_t>(count) * kRecordBytes);
+    if (conn.readExact(frame.data(), frame.size(), got, opt.readTimeoutMs) !=
+        IoStatus::kOk) {
+      fail();  // truncated frame (peer died or stalled mid-frame)
+      return;
+    }
+    const std::uint8_t* rec = frame.data();
+    const std::size_t tableSize = fileIdToNode.size();
+    for (std::uint32_t i = 0; i < count; ++i, rec += kRecordBytes) {
+      const std::uint32_t fileId = le32(rec);
+      const auto time = static_cast<Timestamp>(le64(rec + 4));
+      if (fileId >= tableSize) {
+        // A file-id the handshake never announced means the framing is
+        // desynchronized; records decoded before it are still delivered.
+        fail();
+        return;
+      }
+      const NodeId node = fileIdToNode[fileId];
+      if (node == kInvalidNode || time < lastTime) {
+        ++skipped;
+        continue;
+      }
+      lastTime = time;
+      pending.push_back(Record{node, time});
+    }
+  }
+
+  void handleCsvLine(std::string_view line, std::size_t& skipped) {
+    if (line.empty()) return;
+    std::string_view pathField;
+    Timestamp t = 0;
+    if (!parseCsvTraceRow(line, quotedScratch, pathField, t)) {
+      ++skipped;
+      return;
+    }
+    const NodeId node = pathCache.resolve(pathField);
+    if (node == kInvalidNode || t < lastTime) {
+      ++skipped;
+      return;
+    }
+    lastTime = t;
+    pending.push_back(Record{node, t});
+  }
+
+  /// Consume buffered CSV lines, reading more from the socket as needed,
+  /// until at least one record is pending or the stream ends.
+  void pullCsv(std::size_t& skipped) {
+    for (;;) {
+      for (;;) {
+        const std::size_t nl = csvBuf.find('\n', csvPos);
+        if (nl == std::string::npos) break;
+        handleCsvLine(
+            std::string_view(csvBuf).substr(csvPos, nl - csvPos), skipped);
+        csvPos = nl + 1;
+      }
+      csvBuf.erase(0, csvPos);
+      csvPos = 0;
+      if (!pending.empty()) return;
+      if (csvEof) {
+        // A final line without a trailing newline still counts, like
+        // CsvSource's file reader.
+        if (!csvBuf.empty()) {
+          handleCsvLine(csvBuf, skipped);
+          csvBuf.clear();
+        }
+        endClean();
+        return;
+      }
+      if (csvBuf.size() > kSocketMaxCsvLineBytes) {
+        fail();  // a megabyte with no newline is not a CSV row
+        return;
+      }
+      std::size_t got = 0;
+      const IoStatus st = conn.readSome(readBuf.data(), readBuf.size(), got,
+                                        opt.readTimeoutMs);
+      if (st == IoStatus::kOk) {
+        csvBuf.append(readBuf.data(), got);
+      } else if (st == IoStatus::kEof) {
+        csvEof = true;
+      } else {
+        fail();  // idle past the timeout, or the socket errored
+        return;
+      }
+    }
+  }
+};
+
+SocketSource::SocketSource(std::shared_ptr<net::TcpListener> listener,
+                           const Hierarchy& hierarchy,
+                           SocketSourceOptions options)
+    : impl_(std::make_unique<Impl>(std::move(listener), net::TcpConn(),
+                                   hierarchy, options)) {}
+
+SocketSource::SocketSource(net::TcpConn conn, const Hierarchy& hierarchy,
+                           SocketSourceOptions options)
+    : impl_(std::make_unique<Impl>(nullptr, std::move(conn), hierarchy,
+                                   options)) {}
+
+SocketSource::~SocketSource() = default;
+
+std::size_t SocketSource::protocolErrors() const {
+  return impl_->protocolErrors;
+}
+
+std::size_t SocketSource::unresolvedPaths() const {
+  return impl_->unresolved;
+}
+
+std::optional<Record> SocketSource::next() {
+  Impl& im = *impl_;
+  if (!im.fillPending(skipped_)) return std::nullopt;
+  return im.pending[im.pendingPos++];
+}
+
+std::size_t SocketSource::nextBatch(std::vector<Record>& out,
+                                    std::size_t max) {
+  out.clear();
+  Impl& im = *impl_;
+  while (out.size() < max) {
+    if (!im.fillPending(skipped_)) break;
+    const std::size_t take =
+        std::min(max - out.size(), im.pending.size() - im.pendingPos);
+    out.insert(out.end(), im.pending.begin() + im.pendingPos,
+               im.pending.begin() + im.pendingPos + take);
+    im.pendingPos += take;
+  }
+  return out.size();
+}
+
+std::vector<std::uint8_t> encodeSocketHandshake(
+    const std::vector<std::string>& paths) {
+  Serializer table;
+  table.u64(paths.size());
+  for (const std::string& p : paths) table.str(p);
+  std::vector<std::uint8_t> out(16 + table.size());
+  putLe32(out.data(), kSocketStreamMagic);
+  putLe32(out.data() + 4, kSocketStreamVersion);
+  putLe64(out.data() + 8, table.size());
+  std::memcpy(out.data() + 16, table.data().data(), table.size());
+  return out;
+}
+
+void appendSocketFrame(std::vector<std::uint8_t>& out, const Record* records,
+                       std::size_t count) {
+  std::uint8_t scratch[kRecordBytes];
+  putLe32(scratch, static_cast<std::uint32_t>(count));
+  out.insert(out.end(), scratch, scratch + 4);
+  for (std::size_t i = 0; i < count; ++i) {
+    putLe32(scratch, records[i].category);
+    putLe64(scratch + 4, static_cast<std::uint64_t>(records[i].time));
+    out.insert(out.end(), scratch, scratch + kRecordBytes);
+  }
+}
+
+void appendSocketEndOfStream(std::vector<std::uint8_t>& out) {
+  const std::uint8_t zero[4] = {0, 0, 0, 0};
+  out.insert(out.end(), zero, zero + 4);
+}
+
+}  // namespace tiresias

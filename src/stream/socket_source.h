@@ -1,0 +1,118 @@
+// Socket-fed record ingest: the serving surface's input side.
+//
+// A SocketSource is a RecordSource whose records arrive over one TCP
+// connection instead of a file, so a registered engine stream can sit in
+// front of live traffic while everything downstream (TimeUnitBatcher,
+// scheduler backpressure, checkpointing, metrics) stays unchanged. Two
+// wire formats, auto-detected per connection by the first four bytes:
+//
+//   binary ("TSRS" stream framing — the `.tsrb` record encoding, framed
+//   for a stream that has no length up front):
+//     handshake:  magic "TSRS" u32 | version u32 (=1) | tableBytes u64,
+//                 then the path table in TSNP Serializer framing
+//                 (u64 pathCount, then pathCount × str) — identical to a
+//                 `.tsrb` file's table; a path's file-id is its index.
+//     frames:     u32 count | count × { u32 fileId, i64 timestamp }
+//                 (12 bytes per record, little-endian, same as `.tsrb`
+//                 blocks). count == 0 is the explicit end-of-stream
+//                 marker; a clean EOF at a frame boundary also ends the
+//                 stream.
+//   csv: newline-separated "<category-path>,<timestamp>" rows, exactly
+//     CsvSource's accept/skip semantics (shared parseCsvTraceRow +
+//     PathCache), so `nc server port < trace.csv` just works.
+//
+// Hardening (the engine's ingest loop has no exception handling and
+// TIRESIAS_EXPECT aborts, so network input must never reach either):
+//   - the pull paths never throw: every structural problem — bad magic or
+//     version, an implausible table/frame size, a truncated frame, a
+//     file-id outside the table, a read timeout, a CSV line past the
+//     length cap — drops the connection cleanly and counts it in
+//     protocolErrors(); the source then reports end of stream.
+//   - record-level junk — unresolvable paths, rows CsvSource would skip,
+//     and records whose timestamp runs backwards (the batcher requires
+//     non-decreasing time; a misbehaving client must not abort the
+//     server) — is skipped and counted in skippedRecords(), never fatal.
+//   - all reads retry EINTR, handle partial delivery, and are bounded by
+//     a per-connection timeout; SIGPIPE is ignored process-wide.
+//
+// One SocketSource serves one connection. Several sources may share one
+// TcpListener (each accepts its own connection — `serve --net-streams K`);
+// the accept itself is lazy, on the first pull, and bounded by the same
+// timeout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/tcp.h"
+#include "stream/source.h"
+
+namespace tiresias {
+
+/// "TSRS": the stream variant of the "TSRB" trace magic.
+inline constexpr std::uint32_t kSocketStreamMagic = 0x53525354;
+inline constexpr std::uint32_t kSocketStreamVersion = 1;
+/// Per-frame record ceiling (16 MiB payload), same bound as a `.tsrb`
+/// block: a corrupted count must never drive the frame buffer allocation.
+inline constexpr std::uint32_t kSocketMaxFrameRecords = 1u << 20;
+/// Handshake path-table ceiling. Unlike a file there is no size to check
+/// against, so the bound is explicit (64 MiB of paths is far beyond any
+/// real hierarchy).
+inline constexpr std::uint64_t kSocketMaxTableBytes = std::uint64_t{64}
+                                                      << 20;
+/// CSV mode: a line longer than this (no newline in 1 MiB) is structural
+/// corruption, not a record.
+inline constexpr std::size_t kSocketMaxCsvLineBytes = std::size_t{1} << 20;
+
+struct SocketSourceOptions {
+  enum class Format : std::uint8_t { kAuto = 0, kCsv, kBinary };
+  /// Wire format. kAuto sniffs the first four bytes per connection.
+  Format format = Format::kAuto;
+  /// Bound on every blocking step: the accept, each read. A connection
+  /// idle past this is considered dead and dropped (protocol error).
+  int readTimeoutMs = 30'000;
+};
+
+class SocketSource final : public RecordSource {
+ public:
+  /// Serve the next connection accepted from `listener` (lazily, on the
+  /// first pull). The listener is shared so several sources can split
+  /// one ingest port.
+  SocketSource(std::shared_ptr<net::TcpListener> listener,
+               const Hierarchy& hierarchy, SocketSourceOptions options = {});
+  /// Serve an already-connected socket (tests, ad-hoc wiring).
+  SocketSource(net::TcpConn conn, const Hierarchy& hierarchy,
+               SocketSourceOptions options = {});
+  ~SocketSource() override;
+
+  std::optional<Record> next() override;
+  std::size_t nextBatch(std::vector<Record>& out, std::size_t max) override;
+
+  /// Record-level junk: unknown categories, junk CSV rows, out-of-order
+  /// timestamps. Same meaning as CsvSource/BinarySource accounting.
+  std::size_t skippedRecords() const override { return skipped_; }
+
+  /// Structural failures that ended the connection early: framing
+  /// corruption, timeouts, truncation, a failed accept. 0 after a clean
+  /// end of stream.
+  std::size_t protocolErrors() const;
+  /// Handshake table paths that did not resolve against the reader's
+  /// hierarchy (records referencing them land in skippedRecords()).
+  std::size_t unresolvedPaths() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t skipped_ = 0;
+};
+
+/// Client-side framing helpers (tests, the bench writer, `tiresias_cli
+/// send`). Records' `category` field is the file-id — the index into the
+/// handshake path list.
+std::vector<std::uint8_t> encodeSocketHandshake(
+    const std::vector<std::string>& paths);
+void appendSocketFrame(std::vector<std::uint8_t>& out, const Record* records,
+                       std::size_t count);
+void appendSocketEndOfStream(std::vector<std::uint8_t>& out);
+
+}  // namespace tiresias

@@ -46,27 +46,21 @@ std::size_t VectorSource::nextBatch(std::vector<Record>& out,
   return take;
 }
 
-namespace {
-
-/// Transparent hash so the path cache can be probed with the raw field
-/// bytes (string_view) without materializing a key string on hits.
-struct PathHash {
-  using is_transparent = void;
-  std::size_t operator()(std::string_view s) const {
-    return std::hash<std::string_view>{}(s);
+NodeId PathCache::resolve(std::string_view rawPath) {
+  const auto it = map_.find(rawPath);
+  if (it != map_.end()) {
+    ++hits_;
+    return it->second;
   }
-};
-
-/// Entries are cheap (path bytes + 4-byte id) but operational junk is
-/// unbounded, so stop inserting past this many distinct paths; lookups
-/// past the cap fall back to the tree walk and stay correct.
-constexpr std::size_t kPathCacheCap = 1u << 20;
-
-}  // namespace
+  const NodeId node = hierarchy_.find(rawPath);
+  if (map_.size() < kCap) {
+    map_.emplace(std::string(rawPath), node);
+  }
+  return node;
+}
 
 struct CsvSource::Impl {
   std::ifstream in;
-  const Hierarchy& hierarchy;
   /// Chunked file reader shared by both pull paths (so they can be mixed
   /// on one source): lines are string_views into the read buffer, copied
   /// into `spill` only when they straddle a chunk boundary.
@@ -75,11 +69,10 @@ struct CsvSource::Impl {
   std::size_t bufLen = 0;
   std::string spill;
   std::string lineCopy;  // next()'s owned copy for csvSplit
-  std::unordered_map<std::string, NodeId, PathHash, std::equal_to<>>
-      pathCache;
+  PathCache pathCache;
 
   Impl(const std::string& path, const Hierarchy& h)
-      : in(path), hierarchy(h), buf(std::size_t{64} << 10) {
+      : in(path), buf(std::size_t{64} << 10), pathCache(h) {
     TIRESIAS_EXPECT(static_cast<bool>(in), "cannot open trace file");
   }
 
@@ -126,22 +119,20 @@ struct CsvSource::Impl {
       bufPos = bufLen;
     }
   }
-
-  NodeId resolve(std::string_view rawPath) {
-    const auto it = pathCache.find(rawPath);
-    if (it != pathCache.end()) return it->second;
-    const NodeId node = hierarchy.find(rawPath);
-    if (pathCache.size() < kPathCacheCap) {
-      pathCache.emplace(std::string(rawPath), node);
-    }
-    return node;
-  }
 };
 
 CsvSource::CsvSource(std::string path, const Hierarchy& hierarchy)
     : impl_(std::make_unique<Impl>(path, hierarchy)) {}
 
 CsvSource::~CsvSource() = default;
+
+std::size_t CsvSource::pathCacheSize() const {
+  return impl_->pathCache.size();
+}
+
+std::size_t CsvSource::pathCacheHits() const {
+  return impl_->pathCache.hits();
+}
 
 std::optional<Record> CsvSource::next() {
   std::string_view lineView;
@@ -153,7 +144,11 @@ std::optional<Record> CsvSource::next() {
       ++skipped_;
       continue;
     }
-    const NodeId node = impl_->hierarchy.find(fields[0]);
+    // Resolve through the shared path cache (not a direct hierarchy
+    // walk): next() and nextBatch() must pay the same per-record cost on
+    // repeated categories, and mixing the pull paths on one source must
+    // keep warming one cache.
+    const NodeId node = impl_->pathCache.resolve(fields[0]);
     if (node == kInvalidNode) {
       ++skipped_;
       continue;
@@ -239,7 +234,7 @@ std::size_t CsvSource::nextBatch(std::vector<Record>& out, std::size_t max) {
       ++skipped_;
       continue;
     }
-    const NodeId node = im.resolve(pathField);
+    const NodeId node = im.pathCache.resolve(pathField);
     if (node == kInvalidNode) {
       ++skipped_;
       continue;

@@ -14,9 +14,12 @@
 // skippedRecords() accounting — the batched-ingest tests assert this.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "stream/record.h"
@@ -43,6 +46,40 @@ class RecordSource {
   virtual std::size_t skippedRecords() const { return 0; }
 };
 
+/// Path→NodeId resolution cache shared by every source that reads textual
+/// category paths (file CSV, CSV-over-TCP): probes with the raw field
+/// bytes (transparent hash, no key materialization on hits) and caches
+/// misses too, so junk categories are as cheap as real ones. Capped —
+/// operational junk is unbounded — with lookups past the cap falling back
+/// to the tree walk, which stays correct. Hit accounting is exposed so
+/// tests can assert both pull paths actually go through the cache.
+class PathCache {
+ public:
+  /// Entries are cheap (path bytes + 4-byte id) but stop inserting past
+  /// this many distinct paths.
+  static constexpr std::size_t kCap = std::size_t{1} << 20;
+
+  explicit PathCache(const Hierarchy& hierarchy) : hierarchy_(hierarchy) {}
+
+  NodeId resolve(std::string_view rawPath);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t hits() const { return hits_; }
+
+ private:
+  /// Transparent hash so the cache can be probed with string_view.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  const Hierarchy& hierarchy_;
+  std::unordered_map<std::string, NodeId, Hash, std::equal_to<>> map_;
+  std::size_t hits_ = 0;
+};
+
 /// Replays a vector of records. Verifies time ordering on construction.
 class VectorSource final : public RecordSource {
  public:
@@ -62,10 +99,11 @@ class VectorSource final : public RecordSource {
 ///
 /// nextBatch() is the fast path: it reuses the line buffer, splits plain
 /// (quote-free) rows in place, and resolves paths through a per-source
-/// cache keyed on the raw field bytes — repeated categories, the
+/// PathCache keyed on the raw field bytes — repeated categories, the
 /// overwhelmingly common case in operational traces, skip both the path
 /// split and the tree walk. Unknown paths are cached too, so junk rows are
-/// cheap as well; the skip accounting is identical to next()'s.
+/// cheap as well; the skip accounting is identical to next()'s. Both pull
+/// paths share the one cache (pathCacheHits() accrues through either).
 class CsvSource final : public RecordSource {
  public:
   CsvSource(std::string path, const Hierarchy& hierarchy);
@@ -75,6 +113,11 @@ class CsvSource final : public RecordSource {
   std::size_t nextBatch(std::vector<Record>& out, std::size_t max) override;
 
   std::size_t skippedRecords() const override { return skipped_; }
+
+  /// Path-cache observability, for tests asserting the per-record and
+  /// batched paths share the same resolution cache.
+  std::size_t pathCacheSize() const;
+  std::size_t pathCacheHits() const;
 
  private:
   struct Impl;

@@ -10,6 +10,8 @@
 #include <ostream>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "hierarchy/builder.h"
 
@@ -17,10 +19,13 @@
 #include "common/table.h"
 #include "core/pipeline.h"
 #include "engine/engine.h"
+#include "net/tcp.h"
 #include "persist/snapshot.h"
 #include "report/concurrent_store.h"
 #include "report/store.h"
+#include "serve/serving.h"
 #include "stream/binary_source.h"
+#include "stream/socket_source.h"
 #include "timeseries/ewma.h"
 #include "workload/ccd.h"
 #include "workload/scd.h"
@@ -57,6 +62,7 @@ constexpr const char* kUsage =
     "             [--checkpoint-dir DIR [--checkpoint-every N] [--restore]]\n"
     "             [--metrics-out FILE [--metrics-every MS]]\n"
     "             [--max-resident R [--hibernate-dir DIR]]\n"
+    "             [--anomaly-port P] [--stats-port P]\n"
     "             multiplex K generated CCD/SCD streams through the\n"
     "             task-scheduled detection engine (W shared workers over\n"
     "             per-stream queues; W defaults to the hardware threads)\n"
@@ -74,6 +80,36 @@ constexpr const char* kUsage =
     "             percentiles + sampled gauges) every --metrics-every MS\n"
     "             (default 1000) plus a final one after drain.\n"
     "             --shards N is deprecated: it now maps to --workers N\n"
+    "  serve      --listen PORT [--ingest-format auto|csv|binary]\n"
+    "             [--net-streams K] [--read-timeout-ms MS]\n"
+    "             [--dataset ...|--hierarchy FILE] [--scale ...]\n"
+    "             [--anomaly-port P] [--stats-port P] [engine options]\n"
+    "             network mode: ingest live records over TCP instead of\n"
+    "             generating them. K connections are accepted on PORT\n"
+    "             (one engine stream each); every connection speaks either\n"
+    "             newline-separated CSV rows (\"path,timestamp\" — `nc` a\n"
+    "             trace file at it) or the framed binary stream protocol\n"
+    "             (`tiresias_cli send`), auto-detected per connection\n"
+    "             unless --ingest-format pins it. Records resolve against\n"
+    "             the --dataset/--hierarchy tree (default ccd-net --scale\n"
+    "             test). PORT 0 binds an ephemeral port; the actual ports\n"
+    "             are printed on one 'serving:' line for scripting. The\n"
+    "             run ends when every connection ends (end-of-stream\n"
+    "             marker, EOF, or --read-timeout-ms of silence).\n"
+    "             --anomaly-port streams every detected anomaly to all\n"
+    "             connected subscribers as JSON lines; --stats-port\n"
+    "             answers each connection with one tiresias_metrics/v1\n"
+    "             JSON document (poll with `nc`). Both also work in\n"
+    "             generated mode.\n"
+    "  send       --to HOST:PORT --trace FILE [--format binary|csv]\n"
+    "             [--dataset ...|--hierarchy FILE] [--scale ...]\n"
+    "             [--frame N] [--timeout-ms MS]\n"
+    "             stream a trace file into a listening serve instance.\n"
+    "             binary (default): records are resolved against the\n"
+    "             --dataset/--hierarchy tree (must match the server's) and\n"
+    "             sent as the framed stream protocol with an end-of-stream\n"
+    "             marker, --frame records per frame. csv: the file's bytes\n"
+    "             are streamed verbatim.\n"
     "\n"
     "detect/analyze/hierarchy also accept --hierarchy <paths-file> (one\n"
     "leaf path per line) instead of --dataset, for custom domains.\n"
@@ -226,14 +262,32 @@ bool parseSpike(const std::string& text, const Hierarchy& h, std::ostream& err,
     err << "unknown spike path '" << parts[0] << "'\n";
     return false;
   }
+  // Full-field, sign-aware parses. The old stoul here silently wrapped a
+  // negative duration ("0:-1:5" became a ~2^64-unit spike), and bare
+  // sto* calls accept trailing garbage — every such typo must land in
+  // the same usage error instead.
+  bool ok = true;
+  long long durationIn = 0;
   try {
-    spike.startUnit = std::stoll(parts[1]);
-    spike.durationUnits = static_cast<std::size_t>(std::stoul(parts[2]));
-    spike.extraPerUnit = std::stod(parts[3]);
+    std::size_t pos = 0;
+    spike.startUnit = std::stoll(parts[1], &pos);
+    ok = !parts[1].empty() && pos == parts[1].size();
+    if (ok) {
+      durationIn = std::stoll(parts[2], &pos);
+      ok = !parts[2].empty() && pos == parts[2].size() && durationIn >= 0;
+    }
+    if (ok) {
+      spike.extraPerUnit = std::stod(parts[3], &pos);
+      ok = !parts[3].empty() && pos == parts[3].size();
+    }
   } catch (const std::exception&) {
+    ok = false;
+  }
+  if (!ok) {
     err << "bad --spike '" << text << "' (want path:unit:dur:magnitude)\n";
     return false;
   }
+  spike.durationUnits = static_cast<std::size_t>(durationIn);
   return true;
 }
 
@@ -463,22 +517,10 @@ int cmdHierarchy(const CliArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 /// One JSON-lines metrics snapshot (schema tiresias_metrics/v1) — the
-/// scrapeable stats surface behind `serve --metrics-out`.
+/// scrapeable stats surface behind `serve --metrics-out`, rendered by the
+/// same serve::engineStatsJson the stats poll endpoint serves.
 void writeMetricsLine(std::ostream& os, const engine::EngineStats& st) {
-  os << "{\"schema\":\"tiresias_metrics/v1\""
-     << ",\"elapsed_seconds\":" << fmtF(st.elapsedSeconds, 3)
-     << ",\"units_processed\":" << st.unitsProcessed
-     << ",\"records_processed\":" << st.recordsProcessed
-     << ",\"units_discarded\":" << st.unitsDiscarded
-     << ",\"queue_lag_units\":" << st.queueLagUnits()
-     << ",\"records_per_sec\":" << fmtF(st.recordsPerSecond, 1)
-     << ",\"workspace_bytes\":" << st.workspaceBytes
-     << ",\"resident_streams\":" << st.residentStreams
-     << ",\"hibernated_streams\":" << st.hibernatedStreams
-     << ",\"hibernate_evictions\":" << st.hibernateEvictions
-     << ",\"hibernate_wakes\":" << st.hibernateWakes
-     << ",\"stages\":" << obs::stagesJson(st.metrics)
-     << ",\"gauges\":" << obs::gaugesJson(st.metrics) << "}\n";
+  os << serve::engineStatsJson(st) << "\n";
 }
 
 int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
@@ -487,7 +529,10 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
                      "total-queue", "budget", "scale", "seed", "theta",
                      "window", "shards", "checkpoint-dir", "checkpoint-every",
                      "restore", "metrics-out", "metrics-every",
-                     "max-resident", "hibernate-dir"})) {
+                     "max-resident", "hibernate-dir", "listen",
+                     "ingest-format", "net-streams", "read-timeout-ms",
+                     "dataset", "hierarchy", "root-name", "anomaly-port",
+                     "stats-port"})) {
     return 2;
   }
   // Parse signed so "--streams -1" can't wrap around to a huge count.
@@ -495,6 +540,8 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   long long queueIn = 0, totalQueueIn = 0, budgetIn = 0, seedIn = 0;
   long long window = 0, checkpointEvery = 0, metricsEvery = 0;
   long long maxResident = 0;
+  long long listenPort = 0, netStreamsIn = 0, readTimeoutMs = 0;
+  long long anomalyPort = 0, statsPort = 0;
   double theta = 0;
   if (!numOption(args, "serve", "streams", 4, err, streamsIn) ||
       !numOption(args, "serve", "units", 96, err, units) ||
@@ -508,7 +555,68 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       !numOption(args, "serve", "checkpoint-every", 0, err, checkpointEvery) ||
       !numOption(args, "serve", "metrics-every", 1000, err, metricsEvery) ||
       !numOption(args, "serve", "max-resident", 0, err, maxResident) ||
+      !numOption(args, "serve", "listen", -1, err, listenPort) ||
+      !numOption(args, "serve", "net-streams", 1, err, netStreamsIn) ||
+      !numOption(args, "serve", "read-timeout-ms", 30'000, err,
+                 readTimeoutMs) ||
+      !numOption(args, "serve", "anomaly-port", -1, err, anomalyPort) ||
+      !numOption(args, "serve", "stats-port", -1, err, statsPort) ||
       !realOption(args, "serve", "theta", 8, err, theta)) {
+    return 2;
+  }
+  // Network mode (--listen) replaces the generated preset streams with
+  // socket-fed ones; the two modes' stream options are mutually
+  // exclusive, everything engine-level applies to both.
+  const bool listenMode = args.has("listen");
+  if (listenMode) {
+    for (const char* conflicting :
+         {"streams", "units", "seed", "checkpoint-dir", "checkpoint-every",
+          "restore"}) {
+      if (args.has(conflicting)) {
+        err << "serve: --" << conflicting
+            << " cannot be combined with --listen\n";
+        return 2;
+      }
+    }
+    if (listenPort < 0 || listenPort > 65535) {
+      err << "serve: --listen wants a port in [0, 65535] (0 = ephemeral)\n";
+      return 2;
+    }
+    if (netStreamsIn <= 0) {
+      err << "serve: --net-streams must be positive\n";
+      return 2;
+    }
+    if (readTimeoutMs <= 0) {
+      err << "serve: --read-timeout-ms must be positive\n";
+      return 2;
+    }
+  } else {
+    for (const char* listenOnly :
+         {"ingest-format", "net-streams", "read-timeout-ms", "dataset",
+          "hierarchy", "root-name"}) {
+      if (args.has(listenOnly)) {
+        err << "serve: --" << listenOnly << " requires --listen\n";
+        return 2;
+      }
+    }
+  }
+  SocketSourceOptions socketOpts;
+  socketOpts.readTimeoutMs = static_cast<int>(readTimeoutMs);
+  const std::string formatName = args.get("ingest-format", "auto");
+  if (formatName == "auto") {
+    socketOpts.format = SocketSourceOptions::Format::kAuto;
+  } else if (formatName == "csv") {
+    socketOpts.format = SocketSourceOptions::Format::kCsv;
+  } else if (formatName == "binary") {
+    socketOpts.format = SocketSourceOptions::Format::kBinary;
+  } else {
+    err << "serve: unknown --ingest-format '" << formatName
+        << "' (want auto|csv|binary)\n";
+    return 2;
+  }
+  if ((args.has("anomaly-port") && (anomalyPort < 0 || anomalyPort > 65535)) ||
+      (args.has("stats-port") && (statsPort < 0 || statsPort > 65535))) {
+    err << "serve: --anomaly-port/--stats-port want a port in [0, 65535]\n";
     return 2;
   }
   if (maxResident < 0) {
@@ -573,7 +681,9 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
            "hardware thread)\n";
     return 2;
   }
-  const auto streams = static_cast<std::size_t>(streamsIn);
+  const std::size_t streams = listenMode
+                                  ? static_cast<std::size_t>(netStreamsIn)
+                                  : static_cast<std::size_t>(streamsIn);
   const std::string scaleName = args.get("scale", "test");
   Scale scale;
   if (scaleName == "test") {
@@ -614,27 +724,82 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   // which borrows its spec; the hierarchies themselves are additionally
   // pinned by the engine through the aliasing handles.
   std::vector<std::shared_ptr<const WorkloadSpec>> specs;
-  specs.reserve(std::size(kPresets));
-  for (const Preset& preset : kPresets) {
-    specs.push_back(std::make_shared<const WorkloadSpec>(preset.make(scale)));
-  }
   report::ConcurrentAnomalyStore store;
-  engine::DetectionEngine eng(ecfg, store.sink());
-  for (std::size_t i = 0; i < streams; ++i) {
-    const Preset& preset = kPresets[i % std::size(kPresets)];
-    const std::shared_ptr<const WorkloadSpec>& spec =
-        specs[i % std::size(kPresets)];
-    PipelineConfig cfg;
-    cfg.delta = spec->unit;
-    cfg.detector.theta = theta;
-    cfg.detector.windowLength = static_cast<std::size_t>(window);
-    cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
-    const std::string name = std::string(preset.name) + "-" +
-                             std::to_string(i);
-    store.registerStream(name, spec->hierarchy);
-    eng.addStream(name, workload::sharedHierarchy(spec), cfg,
-                  std::make_unique<workload::GeneratorSource>(
-                      *spec, 0, units, seed + i));
+  // Sink plumbing shared by both modes: the store always collects; with
+  // --anomaly-port each anomaly is additionally rendered as a JSON line
+  // and fanned out to subscribers. streamHier is filled during stream
+  // registration (before start) and read-only once workers run.
+  serve::JsonLineBroadcaster broadcaster;
+  std::unordered_map<std::string, const Hierarchy*> streamHier;
+  engine::DetectionEngine::ResultSink sink = store.sink();
+  if (args.has("anomaly-port")) {
+    sink = [&store, &broadcaster, &streamHier](const std::string& name,
+                                               const InstanceResult& res) {
+      store.add(name, res);
+      const Hierarchy& h = *streamHier.at(name);
+      for (const Anomaly& a : res.anomalies) {
+        broadcaster.publish(
+            serve::anomalyJsonLine(name, h.path(a.node), h.depth(a.node), a));
+      }
+    };
+  }
+  engine::DetectionEngine eng(ecfg, std::move(sink));
+  std::shared_ptr<net::TcpListener> ingestListener;
+  // Borrowed views of the engine-owned sources, for post-drain protocol
+  // accounting; valid for the engine's lifetime.
+  std::vector<const SocketSource*> netSources;
+  if (listenMode) {
+    WorkloadSpec specIn;
+    if (!parseDataset(args, err, specIn)) return 2;
+    auto spec = std::make_shared<const WorkloadSpec>(std::move(specIn));
+    specs.push_back(spec);
+    net::ignoreSigpipe();
+    ingestListener = std::make_shared<net::TcpListener>();
+    if (!ingestListener->listen(static_cast<std::uint16_t>(listenPort))) {
+      err << "serve: cannot listen on port " << listenPort << ": "
+          << ingestListener->lastError() << "\n";
+      return 1;
+    }
+    // K sources sharing one listener: each accepts (and serves) one
+    // connection, so the run ends after K connections end.
+    for (std::size_t i = 0; i < streams; ++i) {
+      PipelineConfig cfg;
+      cfg.delta = spec->unit;
+      cfg.detector.theta = theta;
+      cfg.detector.windowLength = static_cast<std::size_t>(window);
+      cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+      const std::string name = "net-" + std::to_string(i);
+      store.registerStream(name, spec->hierarchy);
+      streamHier.emplace(name, &spec->hierarchy);
+      auto src = std::make_unique<SocketSource>(ingestListener,
+                                                spec->hierarchy, socketOpts);
+      netSources.push_back(src.get());
+      eng.addStream(name, workload::sharedHierarchy(spec), cfg,
+                    std::move(src));
+    }
+  } else {
+    specs.reserve(std::size(kPresets));
+    for (const Preset& preset : kPresets) {
+      specs.push_back(
+          std::make_shared<const WorkloadSpec>(preset.make(scale)));
+    }
+    for (std::size_t i = 0; i < streams; ++i) {
+      const Preset& preset = kPresets[i % std::size(kPresets)];
+      const std::shared_ptr<const WorkloadSpec>& spec =
+          specs[i % std::size(kPresets)];
+      PipelineConfig cfg;
+      cfg.delta = spec->unit;
+      cfg.detector.theta = theta;
+      cfg.detector.windowLength = static_cast<std::size_t>(window);
+      cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+      const std::string name = std::string(preset.name) + "-" +
+                               std::to_string(i);
+      store.registerStream(name, spec->hierarchy);
+      streamHier.emplace(name, &spec->hierarchy);
+      eng.addStream(name, workload::sharedHierarchy(spec), cfg,
+                    std::make_unique<workload::GeneratorSource>(
+                        *spec, 0, units, seed + i));
+    }
   }
 
   const std::string checkpointPath =
@@ -664,6 +829,34 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       err << "serve: restore failed: " << e.what() << "\n";
       return 1;
     }
+  }
+
+  // Output-side servers come up before the engine so a script can parse
+  // the flushed "serving:" line, subscribe, and only then feed records.
+  serve::StatsPollServer statsServer;
+  if (args.has("anomaly-port") &&
+      !broadcaster.start(static_cast<std::uint16_t>(anomalyPort))) {
+    err << "serve: cannot listen on --anomaly-port " << anomalyPort << ": "
+        << broadcaster.error() << "\n";
+    return 1;
+  }
+  if (args.has("stats-port") &&
+      !statsServer.start(static_cast<std::uint16_t>(statsPort), [&eng] {
+        return serve::engineStatsJson(eng.stats());
+      })) {
+    err << "serve: cannot listen on --stats-port " << statsPort << ": "
+        << statsServer.error() << "\n";
+    return 1;
+  }
+  if (listenMode || args.has("anomaly-port") || args.has("stats-port")) {
+    out << "serving:";
+    if (listenMode) {
+      out << " ingest=" << ingestListener->port() << " format=" << formatName
+          << " net-streams=" << streams;
+    }
+    if (args.has("anomaly-port")) out << " anomaly=" << broadcaster.port();
+    if (args.has("stats-port")) out << " stats=" << statsServer.port();
+    out << std::endl;  // flushed: scripts block on this line
   }
 
   eng.start();
@@ -719,6 +912,10 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
 
   const auto stats = eng.drain();
+  // Stop order matters: closing the broadcaster's subscribers is their
+  // end-of-run EOF, and the stats renderer must not outlive the engine.
+  broadcaster.stop();
+  statsServer.stop();
   serveDone.store(true, std::memory_order_relaxed);
   if (checkpointer.joinable()) checkpointer.join();
   if (metricsEmitter.joinable()) metricsEmitter.join();
@@ -798,8 +995,153 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
         << finalStats.checkpoint.restores << " restores -> "
         << checkpointPath << "\n";
   }
+  if (listenMode) {
+    std::size_t protoErrors = 0, unresolved = 0;
+    for (const SocketSource* src : netSources) {
+      protoErrors += src->protocolErrors();
+      unresolved += src->unresolvedPaths();
+    }
+    out << "net: protocol-errors=" << protoErrors
+        << " unresolved-paths=" << unresolved;
+    if (args.has("anomaly-port")) {
+      out << " anomaly-subscribers=" << broadcaster.accepted();
+    }
+    if (args.has("stats-port")) {
+      out << " stats-polls=" << statsServer.served();
+    }
+    out << "\n";
+  }
   out << "elapsed " << fmtF(stats.elapsedSeconds, 3) << "s, "
       << fmtF(stats.recordsPerSecond, 0) << " records/sec\n";
+  return 0;
+}
+
+int cmdSend(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (!checkOptions(args, err,
+                    {"to", "trace", "format", "dataset", "scale", "hierarchy",
+                     "root-name", "frame", "timeout-ms"})) {
+    return 2;
+  }
+  const std::string to = args.get("to", "");
+  const std::string trace = args.get("trace", "");
+  if (to.empty() || trace.empty()) {
+    err << "send: --to HOST:PORT and --trace FILE are required\n";
+    return 2;
+  }
+  const std::size_t colon = to.rfind(':');
+  long long portIn = -1;
+  if (colon != std::string::npos && colon + 1 < to.size()) {
+    try {
+      std::size_t pos = 0;
+      portIn = std::stoll(to.substr(colon + 1), &pos);
+      if (pos != to.size() - colon - 1) portIn = -1;
+    } catch (const std::exception&) {
+      portIn = -1;
+    }
+  }
+  if (colon == std::string::npos || colon == 0 || portIn < 1 ||
+      portIn > 65535) {
+    err << "send: bad --to '" << to << "' (want HOST:PORT)\n";
+    return 2;
+  }
+  const std::string host = to.substr(0, colon);
+  const std::string format = args.get("format", "binary");
+  if (format != "binary" && format != "csv") {
+    err << "send: unknown --format '" << format << "' (want binary|csv)\n";
+    return 2;
+  }
+  long long frameIn = 0, timeoutMs = 0;
+  if (!numOption(args, "send", "frame", 8192, err, frameIn) ||
+      !numOption(args, "send", "timeout-ms", 30'000, err, timeoutMs)) {
+    return 2;
+  }
+  if (frameIn <= 0 ||
+      frameIn > static_cast<long long>(kSocketMaxFrameRecords)) {
+    err << "send: --frame must be in [1, " << kSocketMaxFrameRecords
+        << "]\n";
+    return 2;
+  }
+  if (timeoutMs <= 0) {
+    err << "send: --timeout-ms must be positive\n";
+    return 2;
+  }
+
+  net::ignoreSigpipe();
+  net::TcpConn conn = net::connectTo(host, static_cast<std::uint16_t>(portIn),
+                                     static_cast<int>(timeoutMs));
+  if (!conn.valid()) {
+    err << "send: cannot connect to " << to << "\n";
+    return 1;
+  }
+
+  if (format == "csv") {
+    // CSV is forwarded verbatim; the server applies CsvSource semantics.
+    std::ifstream in(trace, std::ios::binary);
+    if (!in) {
+      err << "send: cannot open --trace '" << trace << "'\n";
+      return 1;
+    }
+    std::vector<char> chunk(256 * 1024);
+    std::uint64_t bytes = 0;
+    while (in) {
+      in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      const auto got = static_cast<std::size_t>(in.gcount());
+      if (got == 0) break;
+      if (!conn.writeAll(chunk.data(), got)) {
+        err << "send: connection lost after " << bytes << " bytes\n";
+        return 1;
+      }
+      bytes += got;
+    }
+    conn.shutdownWrite();
+    out << "sent " << bytes << " csv bytes to " << to << "\n";
+    return 0;
+  }
+
+  // Binary: resolve the trace against the dataset hierarchy, then frame
+  // its records with the hierarchy's own paths as the handshake table
+  // (file-id == NodeId, so records pass through unmapped).
+  WorkloadSpec spec;
+  if (!parseDataset(args, err, spec)) return 2;
+  std::uint64_t sent = 0, skipped = 0;
+  try {
+    const Hierarchy& h = spec.hierarchy;
+    std::vector<std::string> paths;
+    paths.reserve(h.size());
+    for (std::size_t n = 0; n < h.size(); ++n) {
+      paths.push_back(h.path(static_cast<NodeId>(n)));
+    }
+    std::vector<std::uint8_t> wire = encodeSocketHandshake(paths);
+    if (!conn.writeAll(wire.data(), wire.size())) {
+      err << "send: connection lost during handshake\n";
+      return 1;
+    }
+    const auto source = openTraceSource(trace, h);
+    std::vector<Record> batch;
+    while (source->nextBatch(batch, static_cast<std::size_t>(frameIn)) > 0) {
+      wire.clear();
+      appendSocketFrame(wire, batch.data(), batch.size());
+      if (!conn.writeAll(wire.data(), wire.size())) {
+        err << "send: connection lost after " << sent << " records\n";
+        return 1;
+      }
+      sent += batch.size();
+    }
+    skipped = source->skippedRecords();
+    wire.clear();
+    appendSocketEndOfStream(wire);
+    if (!conn.writeAll(wire.data(), wire.size())) {
+      err << "send: connection lost at end of stream\n";
+      return 1;
+    }
+  } catch (const persist::SnapshotError& e) {
+    err << "send: cannot read --trace '" << trace << "': " << e.what()
+        << "\n";
+    return 1;
+  }
+  conn.shutdownWrite();
+  out << "sent " << sent << " records to " << to << " (" << skipped
+      << " skipped)\n";
   return 0;
 }
 
@@ -856,6 +1198,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out,
   if (args.command == "analyze") return cmdAnalyze(args, out, err);
   if (args.command == "hierarchy") return cmdHierarchy(args, out, err);
   if (args.command == "serve") return cmdServe(args, out, err);
+  if (args.command == "send") return cmdSend(args, out, err);
   err << "unknown command '" << args.command << "'\n" << kUsage;
   return 2;
 }

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Loopback smoke for the network serving surface, end to end through
+# `tiresias_cli serve --listen` and `tiresias_cli send`.
+#
+# Usage: cli_serve_socket.sh <tiresias_cli> <scratch-dir>
+#
+# Generates a spiked trace, serves on ephemeral ports, subscribes to the
+# anomaly JSON-lines stream, polls the stats endpoint, feeds the trace
+# once in the framed binary protocol (`send`) and once as raw CSV bytes,
+# and asserts: anomaly lines arrive with the spiked path, the stats poll
+# answers a tiresias_metrics/v1 document, both runs ingest every record
+# with zero protocol errors, and both serve processes exit 0 on their
+# own. Hard deadlines everywhere so a wedged accept fails fast.
+set -u
+
+CLI="$1"
+DIR="$2"
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -n "${PID:-}" ] && kill -9 "$PID" 2>/dev/null
+  [ -n "${SUBPID:-}" ] && kill -9 "$SUBPID" 2>/dev/null
+  exit 1
+}
+
+# Poll for a sed-extractable value in a file within ~10s.
+await() {  # await <file> <sed-expr> -> echoes the value
+  local file="$1" expr="$2" v="" i
+  for i in $(seq 200); do
+    v=$(sed -n "$expr" "$file" 2>/dev/null | head -1)
+    [ -n "$v" ] && break
+    sleep 0.05
+  done
+  echo "$v"
+}
+
+rm -rf "$DIR"
+mkdir -p "$DIR" || fail "cannot create scratch dir $DIR"
+
+# A 2-day test-scale trace with one leaf spiked hard after the 16-unit
+# warmup window: deterministic, detected by theta 4 (verified: ratio
+# ~190 at unit 40).
+LEAF="SHO/VHO0/IO1/CO1/DSLAM1"
+"$CLI" generate --dataset ccd-net --scale test --days 2 --seed 3 \
+    --spike "$LEAF:40:3:60" --out "$DIR/trace.csv" \
+    >"$DIR/generate.log" 2>&1 || fail "generate failed"
+records=$(sed -n 's/^wrote \([0-9]*\) records.*/\1/p' "$DIR/generate.log")
+[ -n "$records" ] || fail "generate did not report a record count"
+
+# ---- Leg 1: framed binary protocol via `send`, with anomaly + stats ----
+"$CLI" serve --listen 0 --anomaly-port 0 --stats-port 0 \
+    --window 16 --theta 4 >"$DIR/serve_bin.log" 2>&1 &
+PID=$!
+ingest=$(await "$DIR/serve_bin.log" 's/.*ingest=\([0-9]*\).*/\1/p')
+anomaly=$(await "$DIR/serve_bin.log" 's/.*anomaly=\([0-9]*\).*/\1/p')
+stats=$(await "$DIR/serve_bin.log" 's/.*stats=\([0-9]*\).*/\1/p')
+[ -n "$ingest" ] && [ -n "$anomaly" ] && [ -n "$stats" ] \
+    || fail "serving: line missing ports (see $DIR/serve_bin.log)"
+
+# Subscribe to the anomaly stream before any record flows.
+timeout 60 bash -c \
+    "exec cat </dev/tcp/127.0.0.1/$anomaly" >"$DIR/anomalies.jsonl" &
+SUBPID=$!
+sleep 0.2
+
+# Stats must answer while the engine is idle (a scrape, not a summary).
+timeout 10 bash -c \
+    "exec 3<>/dev/tcp/127.0.0.1/$stats && cat <&3" >"$DIR/stats_pre.json" \
+    || fail "stats poll before ingest failed"
+grep -q 'tiresias_metrics/v1' "$DIR/stats_pre.json" \
+    || fail "stats poll is not a tiresias_metrics/v1 document"
+grep -q '"checkpoint":{' "$DIR/stats_pre.json" \
+    || fail "stats document lacks the checkpoint object"
+
+timeout 60 "$CLI" send --to "127.0.0.1:$ingest" --trace "$DIR/trace.csv" \
+    --dataset ccd-net --scale test >"$DIR/send.log" 2>&1 \
+    || fail "send failed (see $DIR/send.log)"
+grep -q "sent $records records" "$DIR/send.log" \
+    || fail "send did not deliver every record"
+
+# The run ends by itself once the connection ends.
+deadline=$((SECONDS + 60))
+while kill -0 "$PID" 2>/dev/null; do
+  [ "$SECONDS" -ge "$deadline" ] && fail "binary serve did not exit"
+  sleep 0.1
+done
+wait "$PID" || fail "binary serve exited non-zero (see $DIR/serve_bin.log)"
+PID=
+wait "$SUBPID" 2>/dev/null
+SUBPID=
+
+grep -q "records=$records" "$DIR/serve_bin.log" \
+    || fail "binary serve did not ingest every record"
+grep -q "protocol-errors=0" "$DIR/serve_bin.log" \
+    || fail "binary serve counted protocol errors"
+grep -q "\"path\":\"$LEAF\"" "$DIR/anomalies.jsonl" \
+    || fail "anomaly stream never carried the spiked path"
+grep -q '"unit":40' "$DIR/anomalies.jsonl" \
+    || fail "anomaly stream missed the spike unit"
+
+# ---- Leg 2: raw CSV bytes (the `nc trace.csv` path) ----
+"$CLI" serve --listen 0 --window 16 --theta 4 \
+    >"$DIR/serve_csv.log" 2>&1 &
+PID=$!
+ingest=$(await "$DIR/serve_csv.log" 's/.*ingest=\([0-9]*\).*/\1/p')
+[ -n "$ingest" ] || fail "csv serving: line missing (see $DIR/serve_csv.log)"
+timeout 60 bash -c \
+    "exec cat \"$DIR/trace.csv\" >/dev/tcp/127.0.0.1/$ingest" \
+    || fail "csv stream failed"
+deadline=$((SECONDS + 60))
+while kill -0 "$PID" 2>/dev/null; do
+  [ "$SECONDS" -ge "$deadline" ] && fail "csv serve did not exit"
+  sleep 0.1
+done
+wait "$PID" || fail "csv serve exited non-zero (see $DIR/serve_csv.log)"
+PID=
+grep -q "records=$records" "$DIR/serve_csv.log" \
+    || fail "csv serve did not ingest every record"
+grep -q "protocol-errors=0" "$DIR/serve_csv.log" \
+    || fail "csv serve counted protocol errors"
+# Both formats drove the same engine: identical anomaly totals.
+bin_anoms=$(sed -n 's/.*aggregate.*anomalies=\([0-9]*\).*/\1/p' "$DIR/serve_bin.log")
+csv_anoms=$(sed -n 's/.*aggregate.*anomalies=\([0-9]*\).*/\1/p' "$DIR/serve_csv.log")
+[ -n "$bin_anoms" ] && [ "$bin_anoms" = "$csv_anoms" ] \
+    || fail "binary/csv ingest disagree on anomalies: '$bin_anoms' vs '$csv_anoms'"
+[ "$bin_anoms" -ge 1 ] || fail "no anomalies detected at all"
+
+echo "PASS"
+exit 0

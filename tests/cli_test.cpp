@@ -179,6 +179,62 @@ TEST(Cli, GenerateRejectsBadSpike) {
                 nullptr, &err),
             2);
   EXPECT_NE(err.find("unknown spike path"), std::string::npos);
+  // A negative duration used to wrap through stoul into a ~2^64-unit
+  // spike; it must be a usage error, as must trailing garbage in any
+  // numeric field.
+  for (const char* bad : {"VHO1/IO0:240:-1:80", "VHO1/IO0:240:3junk:80",
+                          "VHO1/IO0:2.5:3:80", "VHO1/IO0:240:3:80junk",
+                          "VHO1/IO0:240::80"}) {
+    EXPECT_EQ(run({"generate", "--dataset", "ccd-net", "--out", "/tmp/x.csv",
+                   "--spike", bad},
+                  nullptr, &err),
+              2)
+        << bad;
+    EXPECT_NE(err.find("bad --spike"), std::string::npos) << bad;
+  }
+}
+
+TEST(Cli, ServeValidatesNetworkFlags) {
+  std::string err;
+  // Generated-mode stream options conflict with --listen.
+  EXPECT_EQ(run({"serve", "--listen", "0", "--streams", "4"}, nullptr, &err),
+            2);
+  EXPECT_NE(err.find("cannot be combined with --listen"), std::string::npos);
+  // Network options require --listen.
+  EXPECT_EQ(run({"serve", "--streams", "1", "--units", "1",
+                 "--ingest-format", "csv"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("requires --listen"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--listen", "70000"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("port in [0, 65535]"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--listen", "0", "--ingest-format", "xml"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown --ingest-format"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--listen", "0", "--net-streams", "0"}, nullptr,
+                &err),
+            2);
+  EXPECT_NE(err.find("--net-streams must be positive"), std::string::npos);
+}
+
+TEST(Cli, SendValidatesArguments) {
+  std::string err;
+  EXPECT_EQ(run({"send", "--trace", "/tmp/x.csv"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--to HOST:PORT"), std::string::npos);
+  for (const char* bad : {"nohost", "host:", ":123", "host:0", "host:junk",
+                          "host:70000"}) {
+    EXPECT_EQ(run({"send", "--to", bad, "--trace", "/tmp/x.csv"}, nullptr,
+                  &err),
+              2)
+        << bad;
+    EXPECT_NE(err.find("bad --to"), std::string::npos) << bad;
+  }
+  EXPECT_EQ(run({"send", "--to", "localhost:1", "--trace", "/tmp/x.csv",
+                 "--format", "xml"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown --format"), std::string::npos);
 }
 
 TEST(Cli, AnalyzeFindsDiurnalSeason) {

@@ -100,6 +100,40 @@ TEST(CsvSource, RoundTripAndJunkRows) {
   std::remove(path.c_str());
 }
 
+TEST(CsvSource, PathCacheSharedByBothPullPaths) {
+  // Regression: next() used to resolve paths with a bare hierarchy find,
+  // bypassing the path->NodeId cache nextBatch() populates, so per-record
+  // ingest paid a full tree walk per row. Both pull paths must accrue
+  // hits in the one shared cache.
+  const auto h = tree();
+  const std::string path = ::testing::TempDir() + "/trace_cache.csv";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 10; ++i) {
+      out << h.path(h.leaves()[0]) << "," << 100 + i << "\n";
+    }
+  }
+  {
+    CsvSource src(path, h);
+    while (src.next()) {
+    }
+    EXPECT_EQ(src.pathCacheSize(), 1u);
+    EXPECT_EQ(src.pathCacheHits(), 9u);  // first row misses, rest hit
+  }
+  {  // next() after nextBatch() reuses the batch-populated entries.
+    CsvSource src(path, h);
+    std::vector<Record> chunk;
+    ASSERT_EQ(src.nextBatch(chunk, 4), 4u);
+    const std::size_t hitsAfterBatch = src.pathCacheHits();
+    EXPECT_EQ(hitsAfterBatch, 3u);
+    while (src.next()) {
+    }
+    EXPECT_EQ(src.pathCacheSize(), 1u);
+    EXPECT_EQ(src.pathCacheHits(), 9u);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(CsvSource, WriteReadRoundTrip) {
   const auto h = tree();
   const std::string path = ::testing::TempDir() + "/trace_rt.csv";

@@ -113,17 +113,27 @@ IoStatus TcpConn::readExact(void* dst, std::size_t n, std::size_t& got,
   return IoStatus::kOk;
 }
 
-bool TcpConn::writeAll(const void* src, std::size_t n) {
+bool TcpConn::writeAll(const void* src, std::size_t n, int timeoutMs) {
   if (fd_ < 0) return false;
   const auto* p = static_cast<const std::uint8_t*>(src);
   std::size_t sent = 0;
+  const auto start = std::chrono::steady_clock::now();
   while (sent < n) {
-    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    const ssize_t rc =
+        ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (rc > 0) {
       sent += static_cast<std::size_t>(rc);
       continue;
     }
     if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full: wait for drain, bounded by the deadline. A
+      // peer that never drains surfaces as `false` here, not as a
+      // blocked thread.
+      const int left = remainingMs(timeoutMs, start);
+      if (left == 0 || pollOne(fd_, POLLOUT, left) <= 0) return false;
+      continue;
+    }
     return false;
   }
   return true;

@@ -67,8 +67,13 @@ class TcpConn {
                      int timeoutMs);
 
   /// Write all of `n` bytes (MSG_NOSIGNAL, EINTR retry, short-write
-  /// loop). False on any error; the connection should be dropped.
-  bool writeAll(const void* src, std::size_t n);
+  /// loop) within `timeoutMs` (< 0 waits forever). Sends never block the
+  /// calling thread directly: each chunk goes out MSG_DONTWAIT and a
+  /// full socket buffer is waited out with poll(POLLOUT) against the
+  /// deadline, so the fd's own blocking mode is irrelevant. False on any
+  /// error or on deadline expiry; either way the connection should be
+  /// dropped (a timed-out peer may have received a torn tail).
+  bool writeAll(const void* src, std::size_t n, int timeoutMs = -1);
 
   /// Half-close the write side (signals end-of-stream to the peer while
   /// reads stay open).

@@ -13,6 +13,11 @@ namespace {
 /// latency, not data latency — data is pushed, never polled.
 constexpr int kAcceptSliceMs = 100;
 
+/// Write deadline for the stats poll response. One scrape document is a
+/// few KB, so any reading peer finishes instantly; a peer that connects
+/// and never reads must not park the serving thread past this.
+constexpr int kStatsWriteTimeoutMs = 1000;
+
 void appendEscaped(std::string& out, const std::string& s) {
   for (char c : s) {
     if (c == '"' || c == '\\') out += '\\';
@@ -64,9 +69,11 @@ std::string anomalyJsonLine(const std::string& stream,
   return os.str();
 }
 
-bool JsonLineBroadcaster::start(std::uint16_t port) {
+bool JsonLineBroadcaster::start(std::uint16_t port, bool loopbackOnly,
+                                int writeTimeoutMs) {
   net::ignoreSigpipe();
-  if (!listener_.listen(port)) return false;
+  if (!listener_.listen(port, loopbackOnly)) return false;
+  writeTimeoutMs_ = writeTimeoutMs;
   stop_.store(false);
   acceptor_ = std::thread([this] { acceptLoop(); });
   return true;
@@ -83,18 +90,23 @@ void JsonLineBroadcaster::acceptLoop() {
 }
 
 void JsonLineBroadcaster::publish(const std::string& line) {
+  std::string msg;
+  msg.reserve(line.size() + 1);
+  msg = line;
+  msg += '\n';
   std::lock_guard lk(mu_);
   std::size_t keep = 0;
   for (std::size_t i = 0; i < subs_.size(); ++i) {
-    const bool ok = subs_[i].writeAll(line.data(), line.size()) &&
-                    subs_[i].writeAll("\n", 1);
+    const bool ok = subs_[i].writeAll(msg.data(), msg.size(), writeTimeoutMs_);
     if (ok) {
       if (keep != i) subs_[keep] = std::move(subs_[i]);
       ++keep;
     }
-    // A failed write means the subscriber is gone; dropping it here is
-    // the whole slow-consumer policy (the kernel socket buffer is the
-    // only lag a subscriber gets).
+    // A failed write means the subscriber is dead, or alive but not
+    // draining within the deadline; dropping it here is the whole
+    // slow-consumer policy (the kernel socket buffer plus one write
+    // deadline is all the lag a subscriber gets, and detection is never
+    // backpressured by it).
   }
   subs_.resize(keep);
 }
@@ -120,9 +132,10 @@ void JsonLineBroadcaster::stop() {
   subs_.clear();  // closes every subscriber: their EOF
 }
 
-bool StatsPollServer::start(std::uint16_t port, Renderer render) {
+bool StatsPollServer::start(std::uint16_t port, Renderer render,
+                            bool loopbackOnly) {
   net::ignoreSigpipe();
-  if (!listener_.listen(port)) return false;
+  if (!listener_.listen(port, loopbackOnly)) return false;
   render_ = std::move(render);
   stop_.store(false);
   server_ = std::thread([this] { serveLoop(); });
@@ -134,8 +147,9 @@ void StatsPollServer::serveLoop() {
     net::TcpConn conn = listener_.accept(kAcceptSliceMs);
     if (!conn.valid()) continue;
     const std::string body = render_();
-    conn.writeAll(body.data(), body.size());
-    conn.writeAll("\n", 1);
+    if (conn.writeAll(body.data(), body.size(), kStatsWriteTimeoutMs)) {
+      conn.writeAll("\n", 1, kStatsWriteTimeoutMs);
+    }
     conn.shutdownWrite();
     served_.fetch_add(1, std::memory_order_relaxed);
   }

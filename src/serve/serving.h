@@ -6,9 +6,12 @@
 //   JsonLineBroadcaster — subscribers connect and receive one JSON object
 //     per line (schema below) for every anomaly the engine reports, as it
 //     is reported. Write-only from the subscriber's perspective; a dead
-//     or lagging-to-death subscriber is dropped (a slow consumer must
-//     never backpressure detection). publish() is thread-safe — the
-//     engine's result sink runs on worker threads.
+//     subscriber is dropped on its first failed write, and a live one
+//     that stops reading is dropped once a line cannot be flushed within
+//     a bounded per-write deadline (a slow consumer must never
+//     backpressure detection — the kernel socket buffer plus that
+//     deadline is all the lag a subscriber gets). publish() is
+//     thread-safe — the engine's result sink runs on worker threads.
 //   StatsPollServer — connect, receive one JSON document (the full
 //     EngineStats/CheckpointStats/MetricsSnapshot rendering), connection
 //     closes. `nc host port < /dev/null` is a scrape.
@@ -59,14 +62,25 @@ class JsonLineBroadcaster {
   JsonLineBroadcaster(const JsonLineBroadcaster&) = delete;
   JsonLineBroadcaster& operator=(const JsonLineBroadcaster&) = delete;
 
-  /// Bind `port` (0 = ephemeral) and start accepting. False on bind
-  /// failure (error()).
-  bool start(std::uint16_t port);
+  /// Default per-subscriber write deadline: generous for any reading
+  /// peer (one line flushes in microseconds on a healthy connection),
+  /// short enough that a wedged one cannot stall the publishing worker
+  /// noticeably.
+  static constexpr int kDefaultWriteTimeoutMs = 250;
+
+  /// Bind `port` (0 = ephemeral) and start accepting. `loopbackOnly`
+  /// binds 127.0.0.1 instead of INADDR_ANY. `writeTimeoutMs` bounds each
+  /// subscriber write in publish(); a subscriber that cannot take a line
+  /// within it is dropped. False on bind failure (error()).
+  bool start(std::uint16_t port, bool loopbackOnly = false,
+             int writeTimeoutMs = kDefaultWriteTimeoutMs);
   /// Actual bound port (valid after start()).
   std::uint16_t port() const { return listener_.port(); }
   const std::string& error() const { return listener_.lastError(); }
 
-  /// Send `line` + '\n' to every subscriber, dropping the dead ones.
+  /// Send `line` + '\n' to every subscriber, dropping dead and
+  /// non-draining ones (each write is bounded by the start() deadline,
+  /// so a stalled peer can delay this call but never wedge it).
   /// Thread-safe; called from engine worker threads.
   void publish(const std::string& line);
 
@@ -84,6 +98,7 @@ class JsonLineBroadcaster {
   net::TcpListener listener_;
   std::thread acceptor_;
   std::atomic<bool> stop_{false};
+  int writeTimeoutMs_ = kDefaultWriteTimeoutMs;
   mutable std::mutex mu_;
   std::vector<net::TcpConn> subs_;
   std::size_t accepted_ = 0;
@@ -102,7 +117,7 @@ class StatsPollServer {
   StatsPollServer(const StatsPollServer&) = delete;
   StatsPollServer& operator=(const StatsPollServer&) = delete;
 
-  bool start(std::uint16_t port, Renderer render);
+  bool start(std::uint16_t port, Renderer render, bool loopbackOnly = false);
   std::uint16_t port() const { return listener_.port(); }
   const std::string& error() const { return listener_.lastError(); }
 

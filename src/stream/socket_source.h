@@ -66,7 +66,13 @@ inline constexpr std::size_t kSocketMaxCsvLineBytes = std::size_t{1} << 20;
 
 struct SocketSourceOptions {
   enum class Format : std::uint8_t { kAuto = 0, kCsv, kBinary };
-  /// Wire format. kAuto sniffs the first four bytes per connection.
+  /// Wire format. kAuto sniffs the first four bytes per connection: the
+  /// "TSRS" magic selects binary, anything else is treated as the first
+  /// CSV bytes. Known limitation: a CSV stream whose very first row
+  /// begins with the literal characters "TSRS" (a category path starting
+  /// with that prefix) is mis-sniffed as binary and then dropped as a
+  /// protocol error on the version check — operators with such paths
+  /// must pin kCsv (`--ingest-format csv`).
   Format format = Format::kAuto;
   /// Bound on every blocking step: the accept, each read. A connection
   /// idle past this is considered dead and dropped (protocol error).

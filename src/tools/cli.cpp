@@ -62,7 +62,7 @@ constexpr const char* kUsage =
     "             [--checkpoint-dir DIR [--checkpoint-every N] [--restore]]\n"
     "             [--metrics-out FILE [--metrics-every MS]]\n"
     "             [--max-resident R [--hibernate-dir DIR]]\n"
-    "             [--anomaly-port P] [--stats-port P]\n"
+    "             [--anomaly-port P] [--stats-port P] [--loopback]\n"
     "             multiplex K generated CCD/SCD streams through the\n"
     "             task-scheduled detection engine (W shared workers over\n"
     "             per-stream queues; W defaults to the hardware threads)\n"
@@ -83,24 +83,31 @@ constexpr const char* kUsage =
     "  serve      --listen PORT [--ingest-format auto|csv|binary]\n"
     "             [--net-streams K] [--read-timeout-ms MS]\n"
     "             [--dataset ...|--hierarchy FILE] [--scale ...]\n"
-    "             [--anomaly-port P] [--stats-port P] [engine options]\n"
+    "             [--anomaly-port P] [--stats-port P] [--loopback]\n"
+    "             [engine options]\n"
     "             network mode: ingest live records over TCP instead of\n"
     "             generating them. K connections are accepted on PORT\n"
     "             (one engine stream each); every connection speaks either\n"
     "             newline-separated CSV rows (\"path,timestamp\" — `nc` a\n"
     "             trace file at it) or the framed binary stream protocol\n"
     "             (`tiresias_cli send`), auto-detected per connection\n"
-    "             unless --ingest-format pins it. Records resolve against\n"
-    "             the --dataset/--hierarchy tree (default ccd-net --scale\n"
-    "             test). PORT 0 binds an ephemeral port; the actual ports\n"
-    "             are printed on one 'serving:' line for scripting. The\n"
-    "             run ends when every connection ends (end-of-stream\n"
-    "             marker, EOF, or --read-timeout-ms of silence).\n"
+    "             unless --ingest-format pins it (auto sniffs the first\n"
+    "             four bytes: a CSV stream whose first row starts with\n"
+    "             the literal \"TSRS\" is mistaken for binary, so pin\n"
+    "             --ingest-format csv for such path names). Records\n"
+    "             resolve against the --dataset/--hierarchy tree (default\n"
+    "             ccd-net --scale test). PORT 0 binds an ephemeral port;\n"
+    "             the actual ports are printed on one 'serving:' line for\n"
+    "             scripting. The run ends when every connection ends\n"
+    "             (end-of-stream marker, EOF, or --read-timeout-ms of\n"
+    "             silence).\n"
     "             --anomaly-port streams every detected anomaly to all\n"
     "             connected subscribers as JSON lines; --stats-port\n"
     "             answers each connection with one tiresias_metrics/v1\n"
     "             JSON document (poll with `nc`). Both also work in\n"
-    "             generated mode.\n"
+    "             generated mode. All serving ports are unauthenticated\n"
+    "             and bind all interfaces by default; --loopback restricts\n"
+    "             every listener (ingest, anomaly, stats) to 127.0.0.1.\n"
     "  send       --to HOST:PORT --trace FILE [--format binary|csv]\n"
     "             [--dataset ...|--hierarchy FILE] [--scale ...]\n"
     "             [--frame N] [--timeout-ms MS]\n"
@@ -532,7 +539,7 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
                      "max-resident", "hibernate-dir", "listen",
                      "ingest-format", "net-streams", "read-timeout-ms",
                      "dataset", "hierarchy", "root-name", "anomaly-port",
-                     "stats-port"})) {
+                     "stats-port", "loopback"})) {
     return 2;
   }
   // Parse signed so "--streams -1" can't wrap around to a huge count.
@@ -617,6 +624,19 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if ((args.has("anomaly-port") && (anomalyPort < 0 || anomalyPort > 65535)) ||
       (args.has("stats-port") && (statsPort < 0 || statsPort > 65535))) {
     err << "serve: --anomaly-port/--stats-port want a port in [0, 65535]\n";
+    return 2;
+  }
+  // All serving-surface ports are unauthenticated, so offer the obvious
+  // containment: one flag restricting every listener to 127.0.0.1.
+  const bool loopback = args.has("loopback");
+  if (loopback && !args.get("loopback", "").empty()) {
+    err << "serve: --loopback takes no value\n";
+    return 2;
+  }
+  if (loopback && !listenMode && !args.has("anomaly-port") &&
+      !args.has("stats-port")) {
+    err << "serve: --loopback requires --listen, --anomaly-port, or "
+           "--stats-port\n";
     return 2;
   }
   if (maxResident < 0) {
@@ -755,7 +775,8 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
     specs.push_back(spec);
     net::ignoreSigpipe();
     ingestListener = std::make_shared<net::TcpListener>();
-    if (!ingestListener->listen(static_cast<std::uint16_t>(listenPort))) {
+    if (!ingestListener->listen(static_cast<std::uint16_t>(listenPort),
+                                loopback)) {
       err << "serve: cannot listen on port " << listenPort << ": "
           << ingestListener->lastError() << "\n";
       return 1;
@@ -835,15 +856,15 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   // the flushed "serving:" line, subscribe, and only then feed records.
   serve::StatsPollServer statsServer;
   if (args.has("anomaly-port") &&
-      !broadcaster.start(static_cast<std::uint16_t>(anomalyPort))) {
+      !broadcaster.start(static_cast<std::uint16_t>(anomalyPort), loopback)) {
     err << "serve: cannot listen on --anomaly-port " << anomalyPort << ": "
         << broadcaster.error() << "\n";
     return 1;
   }
   if (args.has("stats-port") &&
-      !statsServer.start(static_cast<std::uint16_t>(statsPort), [&eng] {
-        return serve::engineStatsJson(eng.stats());
-      })) {
+      !statsServer.start(
+          static_cast<std::uint16_t>(statsPort),
+          [&eng] { return serve::engineStatsJson(eng.stats()); }, loopback)) {
     err << "serve: cannot listen on --stats-port " << statsPort << ": "
         << statsServer.error() << "\n";
     return 1;

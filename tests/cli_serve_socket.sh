@@ -48,7 +48,9 @@ records=$(sed -n 's/^wrote \([0-9]*\) records.*/\1/p' "$DIR/generate.log")
 [ -n "$records" ] || fail "generate did not report a record count"
 
 # ---- Leg 1: framed binary protocol via `send`, with anomaly + stats ----
-"$CLI" serve --listen 0 --anomaly-port 0 --stats-port 0 \
+# --loopback: every client below connects via 127.0.0.1, so the smoke
+# also proves the restricted bind serves all three ports.
+"$CLI" serve --listen 0 --anomaly-port 0 --stats-port 0 --loopback \
     --window 16 --theta 4 >"$DIR/serve_bin.log" 2>&1 &
 PID=$!
 ingest=$(await "$DIR/serve_bin.log" 's/.*ingest=\([0-9]*\).*/\1/p')

@@ -1,0 +1,132 @@
+// Serving-surface output side: the anomaly broadcaster and the bounded
+// write primitive beneath it. The load-bearing property is the
+// slow-consumer policy from serving.h — a subscriber that connects and
+// never reads must be *dropped*, never allowed to wedge publish() (and
+// with it the engine worker calling the result sink) behind a full
+// socket buffer. These tests pin that: a timed writeAll fails instead of
+// blocking, a non-draining subscriber is evicted within a bounded number
+// of publishes, and a draining one keeps receiving intact lines.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/tcp.h"
+#include "serve/serving.h"
+
+namespace tiresias {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kTestTimeoutMs = 10'000;
+
+long long elapsedMs(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
+/// Cap a socket buffer so "peer never reads" fills it after a few KB
+/// instead of after megabytes of kernel autotuning headroom.
+void shrinkBuffer(int fd, int option) {
+  const int bytes = 8 * 1024;
+  ASSERT_EQ(
+      ::setsockopt(fd, SOL_SOCKET, option, &bytes, sizeof(bytes)), 0);
+}
+
+/// Read from `conn` until `want` bytes arrived (bounded by the test
+/// timeout), appending to `out`.
+bool readBytes(net::TcpConn& conn, std::size_t want, std::string& out) {
+  char buf[4096];
+  while (out.size() < want) {
+    std::size_t got = 0;
+    const net::IoStatus st =
+        conn.readSome(buf, sizeof(buf), got, kTestTimeoutMs);
+    if (st != net::IoStatus::kOk) return false;
+    out.append(buf, got);
+  }
+  return true;
+}
+
+TEST(TcpConnWriteAll, TimesOutInsteadOfBlockingOnFullBuffer) {
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.listen(0, /*loopbackOnly=*/true))
+      << listener.lastError();
+  net::TcpConn client = net::connectLoopback(listener.port(), kTestTimeoutMs);
+  ASSERT_TRUE(client.valid());
+  net::TcpConn server = listener.accept(kTestTimeoutMs);
+  ASSERT_TRUE(server.valid());
+  shrinkBuffer(server.fd(), SO_SNDBUF);
+  shrinkBuffer(client.fd(), SO_RCVBUF);
+
+  // The client never reads, so in-flight capacity is the (shrunken)
+  // kernel buffers; repeated writes must start failing on the deadline
+  // rather than parking this thread forever.
+  const std::string chunk(256 * 1024, 'x');
+  const auto start = Clock::now();
+  bool timedOut = false;
+  for (int i = 0; i < 200 && !timedOut; ++i) {
+    timedOut = !server.writeAll(chunk.data(), chunk.size(), /*timeoutMs=*/100);
+  }
+  EXPECT_TRUE(timedOut);
+  // Generous bound: the point is "returns", not a precise deadline.
+  EXPECT_LT(elapsedMs(start), kTestTimeoutMs);
+}
+
+TEST(JsonLineBroadcaster, DeliversLinesToDrainingSubscriber) {
+  serve::JsonLineBroadcaster bc;
+  ASSERT_TRUE(bc.start(0, /*loopbackOnly=*/true)) << bc.error();
+  net::TcpConn sub = net::connectLoopback(bc.port(), kTestTimeoutMs);
+  ASSERT_TRUE(sub.valid());
+  const auto start = Clock::now();
+  while (bc.subscribers() < 1 && elapsedMs(start) < kTestTimeoutMs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(bc.subscribers(), 1u);
+
+  const std::string line = "{\"stream\":\"s\",\"unit\":1}";
+  bc.publish(line);
+  bc.publish(line);
+  std::string got;
+  ASSERT_TRUE(readBytes(sub, 2 * (line.size() + 1), got));
+  EXPECT_EQ(got, line + "\n" + line + "\n");
+  EXPECT_EQ(bc.subscribers(), 1u);  // a reading subscriber stays
+  bc.stop();
+}
+
+TEST(JsonLineBroadcaster, DropsNonDrainingSubscriberWithinDeadline) {
+  serve::JsonLineBroadcaster bc;
+  ASSERT_TRUE(bc.start(0, /*loopbackOnly=*/true, /*writeTimeoutMs=*/100))
+      << bc.error();
+  net::TcpConn sub = net::connectLoopback(bc.port(), kTestTimeoutMs);
+  ASSERT_TRUE(sub.valid());
+  shrinkBuffer(sub.fd(), SO_RCVBUF);
+  auto start = Clock::now();
+  while (bc.subscribers() < 1 && elapsedMs(start) < kTestTimeoutMs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(bc.subscribers(), 1u);
+
+  // The subscriber never reads. Once the socket buffers fill, the next
+  // publish must hit the write deadline and evict it — publish() itself
+  // returning (rather than blocking on send) IS the regression under
+  // test; the engine's result sink calls it from worker threads.
+  const std::string line(64 * 1024, 'a');
+  start = Clock::now();
+  bool dropped = false;
+  for (int i = 0; i < 400 && !dropped; ++i) {
+    bc.publish(line);
+    dropped = bc.subscribers() == 0;
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_LT(elapsedMs(start), kTestTimeoutMs);
+  EXPECT_EQ(bc.accepted(), 1u);
+  bc.stop();
+}
+
+}  // namespace
+}  // namespace tiresias

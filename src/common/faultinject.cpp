@@ -1,0 +1,176 @@
+#include "common/faultinject.h"
+
+#if !defined(TIRESIAS_NO_FAULTINJECT)
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace tiresias::faultinject {
+
+namespace {
+
+/// Probabilities are stored in parts-per-million so the draw is one
+/// 64-bit modulo against a deterministic integer stream — no floating
+/// point in the decision path.
+constexpr std::uint64_t kPpmScale = 1'000'000;
+
+struct Plan {
+  std::uint64_t seed = 1;
+  std::uint64_t shortReadPpm = 0;
+  std::uint64_t shortWritePpm = 0;
+  std::uint64_t eintrPpm = 0;
+  std::uint64_t disconnectPpm = 0;
+  std::uint64_t acceptFailPpm = 0;
+  std::uint64_t stallPpm = 0;
+  int stallMs = 0;
+};
+
+std::atomic<bool> gArmed{false};
+std::atomic<std::uint64_t> gInjected{0};
+std::mutex gMu;  // guards gPlan + gRng; taken only while armed
+Plan gPlan;
+std::uint64_t gRng = 1;
+
+/// splitmix64: full-period, seedable, and cheap. Each call advances the
+/// shared state under gMu, so a single-threaded driver sees one fixed
+/// sequence per seed.
+std::uint64_t nextDraw() {
+  gRng += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = gRng;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool hit(std::uint64_t ppm) { return ppm > 0 && nextDraw() % kPpmScale < ppm; }
+
+/// "0.25" -> 250000 ppm. Full-field parse; [0, 1] only.
+bool parsePpm(const std::string& text, std::uint64_t& out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty() || v < 0.0 ||
+      v > 1.0) {
+    return false;
+  }
+  out = static_cast<std::uint64_t>(v * static_cast<double>(kPpmScale) + 0.5);
+  return true;
+}
+
+bool parseU64(const std::string& text, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || text.empty()) return false;
+  out = v;
+  return true;
+}
+
+bool parsePlan(const std::string& plan, Plan& out, std::string& error) {
+  std::size_t pos = 0;
+  while (pos < plan.size()) {
+    std::size_t comma = plan.find(',', pos);
+    if (comma == std::string::npos) comma = plan.size();
+    const std::string item = plan.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      error = "'" + item + "' is not key=value";
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    bool ok = true;
+    if (key == "seed") {
+      ok = parseU64(value, out.seed);
+    } else if (key == "short-read") {
+      ok = parsePpm(value, out.shortReadPpm);
+    } else if (key == "short-write") {
+      ok = parsePpm(value, out.shortWritePpm);
+    } else if (key == "eintr") {
+      ok = parsePpm(value, out.eintrPpm);
+    } else if (key == "disconnect") {
+      ok = parsePpm(value, out.disconnectPpm);
+    } else if (key == "accept-fail") {
+      ok = parsePpm(value, out.acceptFailPpm);
+    } else if (key == "stall") {
+      // P:MS — a probability alone stalls 10ms.
+      const std::size_t colon = value.find(':');
+      std::uint64_t ms = 10;
+      ok = parsePpm(value.substr(0, colon), out.stallPpm);
+      if (ok && colon != std::string::npos) {
+        ok = parseU64(value.substr(colon + 1), ms) && ms <= 60'000;
+      }
+      out.stallMs = static_cast<int>(ms);
+    } else {
+      error = "unknown key '" + key + "'";
+      return false;
+    }
+    if (!ok) {
+      error = "bad value '" + value + "' for " + key;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool arm(const std::string& plan, std::string* error) {
+  Plan parsed;
+  std::string why;
+  if (!parsePlan(plan, parsed, why)) {
+    if (error != nullptr) *error = why;
+    return false;
+  }
+  std::lock_guard lk(gMu);
+  gPlan = parsed;
+  gRng = parsed.seed;
+  gArmed.store(true, std::memory_order_release);
+  return true;
+}
+
+void disarm() { gArmed.store(false, std::memory_order_release); }
+
+bool armed() { return gArmed.load(std::memory_order_acquire); }
+
+std::uint64_t injectedCount() {
+  return gInjected.load(std::memory_order_relaxed);
+}
+
+Decision decide(Point point) {
+  Decision d;
+  if (!gArmed.load(std::memory_order_acquire)) return d;
+  std::lock_guard lk(gMu);
+  switch (point) {
+    case Point::kAccept:
+      if (hit(gPlan.acceptFailPpm)) d.kind = Decision::Kind::kAcceptFail;
+      break;
+    case Point::kRecv:
+    case Point::kSend:
+      // First match wins; the draws happen unconditionally so the
+      // sequence of RNG states is a function of the call sequence alone,
+      // not of which faults fired.
+      if (hit(gPlan.disconnectPpm)) {
+        d.kind = Decision::Kind::kDisconnect;
+      }
+      if (hit(point == Point::kRecv ? gPlan.shortReadPpm
+                                    : gPlan.shortWritePpm) &&
+          d.kind == Decision::Kind::kNone) {
+        d.kind = Decision::Kind::kShortIo;
+      }
+      if (hit(gPlan.eintrPpm) && d.kind == Decision::Kind::kNone) {
+        d.kind = Decision::Kind::kEintr;
+      }
+      if (hit(gPlan.stallPpm)) d.stallMs = gPlan.stallMs;
+      break;
+  }
+  if (d.kind != Decision::Kind::kNone || d.stallMs > 0) {
+    gInjected.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+}  // namespace tiresias::faultinject
+
+#endif  // !TIRESIAS_NO_FAULTINJECT

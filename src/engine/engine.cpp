@@ -270,6 +270,7 @@ void DetectionEngine::sampleGauges() {
     registry_->recordValue(obs::Gauge::kBusiestStreamPpm,
                            busiest * 1'000'000 / total);
   }
+  if (gaugeSampler_) gaugeSampler_(*registry_);
 }
 
 void DetectionEngine::stopSampler() {
@@ -322,6 +323,15 @@ void DetectionEngine::ingestLoop(std::size_t threadIndex) {
     // Batching starts at the pipeline's resume position: the configured
     // startTime normally, or the first unprocessed unit after a restore
     // (the already-processed prefix of a replayed source is dropped).
+    // A pipeline that has actually progressed (restored from a checkpoint
+    // or woken from hibernation) additionally seeds live sources with the
+    // position, so a source that negotiates with its producer (resumable
+    // SocketSource) can tell a reconnecting client to skip the processed
+    // prefix. Fresh pipelines (resumeTime == startTime) seed nothing —
+    // their first connection is not a resume.
+    if (s->pipeline.resumeTime() > s->pipeline.config().startTime) {
+      s->source->noteResumePoint(s->pipeline.resumeTime());
+    }
     s->batcher = std::make_unique<TimeUnitBatcher>(
         *s->source, s->pipeline.config().delta, s->pipeline.resumeTime());
     mine.emplace_back(id, s);
@@ -344,17 +354,27 @@ void DetectionEngine::ingestLoop(std::size_t threadIndex) {
       // Batch into a buffer recycled from the workers (allocation-free
       // once the pool is primed).
       batch.records = takeRecycled();
-      bool more;
+      TimeUnitBatcher::Pull pull;
       {
         // kBatchFlush covers the whole unit assembly; the source pulls
         // inside it record as kSourceFetch (nested span).
         obs::StageSpan flush(registry_.get(), obs::Stage::kBatchFlush);
-        more = stream->batcher->next(batch);
+        pull = stream->batcher->pull(batch);
       }
       stream->sourceSkipped.store(
           stream->junkBase + stream->source->skippedRecords(),
           std::memory_order_relaxed);
-      if (!more) {
+      if (pull == TimeUnitBatcher::Pull::kIdle) {
+        // The source is alive but has nothing yet (a live socket stream
+        // between connections or frames). Its bounded idle wait paced
+        // this sweep already, so count it as progress — parking in
+        // waitForSpace would wedge an all-idle sweep — and revisit; the
+        // next maybePauseIngest() keeps checkpoint quiesce responsive.
+        recycleBuffer(std::move(batch.records));
+        progressed = true;
+        continue;
+      }
+      if (pull == TimeUnitBatcher::Pull::kEnd) {
         stream->exhausted = true;
         --live;
         scheduler_->finishStream(id);

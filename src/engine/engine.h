@@ -261,6 +261,16 @@ class DetectionEngine {
   std::size_t restoreFrom(const std::string& path,
                           const ExtraReader& extra = {});
 
+  /// Extra gauges recorded on every sampler pass (after the engine's own).
+  /// Lets the embedder fold sources it owns — reconnect counters, shed
+  /// connections, injected faults — into the same registry the stats
+  /// endpoint serves. Called from the sampler thread; must be thread-safe
+  /// and must not touch the engine. Set before start().
+  using GaugeSampler = std::function<void(obs::MetricsRegistry&)>;
+  void setGaugeSampler(GaugeSampler sampler) {
+    gaugeSampler_ = std::move(sampler);
+  }
+
  private:
   struct StreamState;
 
@@ -302,6 +312,7 @@ class DetectionEngine {
   /// pointer. Shards: [0] unbound, [1..W] workers, [W+1..W+I] ingest,
   /// [W+I+1] the sampler.
   std::unique_ptr<obs::MetricsRegistry> registry_;
+  GaugeSampler gaugeSampler_;
   std::vector<std::unique_ptr<StreamState>> streams_;
   /// Distinct hierarchies behind the streams, in first-registration order.
   /// Holding the handles here is what makes addStream's lifetime promise:

@@ -14,10 +14,15 @@
 #include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
+
+#include "common/faultinject.h"
 
 namespace tiresias::net {
 
 namespace {
+
+using faultinject::Decision;
 
 /// Remaining milliseconds of a deadline started `elapsed` ago; negative
 /// total means "forever" (poll takes -1).
@@ -45,6 +50,16 @@ int pollOne(int fd, short events, int timeoutMs) {
 }
 
 void setCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+/// An injected peer stall: sleep, but never past the caller's deadline
+/// (the stall models a slow peer, not a broken timeout).
+void injectStall(int stallMs, int timeoutMs,
+                 std::chrono::steady_clock::time_point start) {
+  int ms = stallMs;
+  const int left = remainingMs(timeoutMs, start);
+  if (left >= 0 && left < ms) ms = left;
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
 
 }  // namespace
 
@@ -79,17 +94,31 @@ IoStatus TcpConn::readSome(void* dst, std::size_t n, std::size_t& got,
                            int timeoutMs) {
   got = 0;
   if (fd_ < 0) return IoStatus::kError;
-  const int ready = pollOne(fd_, POLLIN, timeoutMs);
-  if (ready == 0) return IoStatus::kTimeout;
-  if (ready < 0) return IoStatus::kError;
+  const auto start = std::chrono::steady_clock::now();
   for (;;) {
-    const ssize_t rc = ::recv(fd_, dst, n, 0);
-    if (rc > 0) {
-      got = static_cast<std::size_t>(rc);
-      return IoStatus::kOk;
+    const Decision fault = faultinject::decide(faultinject::Point::kRecv);
+    if (fault.stallMs > 0) injectStall(fault.stallMs, timeoutMs, start);
+    if (fault.kind == Decision::Kind::kDisconnect) {
+      close();
+      return IoStatus::kError;
     }
-    if (rc == 0) return IoStatus::kEof;
-    if (errno != EINTR) return IoStatus::kError;
+    const int ready = pollOne(fd_, POLLIN, remainingMs(timeoutMs, start));
+    if (ready == 0) return IoStatus::kTimeout;
+    if (ready < 0) return IoStatus::kError;
+    if (fault.kind == Decision::Kind::kEintr) {
+      continue;  // injected interruption: re-poll against the deadline
+    }
+    const std::size_t want =
+        fault.kind == Decision::Kind::kShortIo ? std::size_t{1} : n;
+    for (;;) {
+      const ssize_t rc = ::recv(fd_, dst, want, 0);
+      if (rc > 0) {
+        got = static_cast<std::size_t>(rc);
+        return IoStatus::kOk;
+      }
+      if (rc == 0) return IoStatus::kEof;
+      if (errno != EINTR) return IoStatus::kError;
+    }
   }
 }
 
@@ -119,8 +148,20 @@ bool TcpConn::writeAll(const void* src, std::size_t n, int timeoutMs) {
   std::size_t sent = 0;
   const auto start = std::chrono::steady_clock::now();
   while (sent < n) {
+    const Decision fault = faultinject::decide(faultinject::Point::kSend);
+    if (fault.stallMs > 0) injectStall(fault.stallMs, timeoutMs, start);
+    if (fault.kind == Decision::Kind::kDisconnect) {
+      close();
+      return false;
+    }
+    if (fault.kind == Decision::Kind::kEintr) {
+      if (remainingMs(timeoutMs, start) == 0) return false;
+      continue;  // injected interruption: retry the chunk
+    }
+    const std::size_t chunk =
+        fault.kind == Decision::Kind::kShortIo ? std::size_t{1} : n - sent;
     const ssize_t rc =
-        ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
+        ::send(fd_, p + sent, chunk, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (rc > 0) {
       sent += static_cast<std::size_t>(rc);
       continue;
@@ -197,7 +238,13 @@ TcpConn TcpListener::accept(int timeoutMs) {
     const int left = remainingMs(timeoutMs, start);
     const int ready = pollOne(fd_, POLLIN, left);
     if (ready <= 0) return TcpConn();  // timeout or listener error
-    const int conn = ::accept(fd_, nullptr, nullptr);
+    const Decision fault = faultinject::decide(faultinject::Point::kAccept);
+    int conn = -1;
+    if (fault.kind == Decision::Kind::kAcceptFail) {
+      errno = EMFILE;  // injected descriptor exhaustion
+    } else {
+      conn = ::accept(fd_, nullptr, nullptr);
+    }
     if (conn >= 0) {
       setCloexec(conn);
       return TcpConn(conn);
@@ -205,6 +252,20 @@ TcpConn TcpListener::accept(int timeoutMs) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
         errno == ECONNABORTED) {
       continue;  // lost the race / transient: re-poll within the deadline
+    }
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      // Resource exhaustion is a load condition, not a broken listener:
+      // descriptors and buffers free up as other connections close. Back
+      // off briefly within the deadline and keep serving.
+      int backoff = 10;
+      const int remain = remainingMs(timeoutMs, start);
+      if (remain >= 0 && remain < backoff) backoff = remain;
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      if (remainingMs(timeoutMs, start) == 0) return TcpConn();
+      continue;
     }
     return TcpConn();
   }

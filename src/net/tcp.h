@@ -107,7 +107,10 @@ class TcpListener {
 
   /// Accept one connection within `timeoutMs` (< 0 waits forever). An
   /// invalid TcpConn means timeout or a transient accept failure — the
-  /// listener stays usable either way.
+  /// listener stays usable either way. Transient errno (EINTR,
+  /// ECONNABORTED, and descriptor/buffer exhaustion: EMFILE, ENFILE,
+  /// ENOBUFS, ENOMEM) never ends the loop early: exhaustion backs off
+  /// briefly inside the deadline so closes elsewhere can free resources.
   TcpConn accept(int timeoutMs);
 
   void close();

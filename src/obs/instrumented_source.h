@@ -38,6 +38,12 @@ class InstrumentedSource final : public RecordSource {
     return inner_->skippedRecords();
   }
 
+  bool idle() const override { return inner_->idle(); }
+
+  void noteResumePoint(Timestamp time) override {
+    inner_->noteResumePoint(time);
+  }
+
  private:
   std::unique_ptr<RecordSource> inner_;
   MetricsRegistry* registry_;

@@ -36,6 +36,10 @@ constexpr const char* kGaugeNames[] = {
     "gauge.busiest_stream_ppm",      // kBusiestStreamPpm
     "gauge.resident_streams",        // kResidentStreams
     "gauge.hibernated_streams",      // kHibernatedStreams
+    "gauge.net_reconnects",          // kNetReconnects
+    "gauge.net_resumes",             // kNetResumes
+    "gauge.net_shed_connections",    // kNetShedConnections
+    "gauge.net_injected_faults",     // kNetInjectedFaults
 };
 
 // A new Stage/Gauge value without a matching name row fails here, not at

@@ -71,6 +71,10 @@ enum class Gauge : std::uint8_t {
   kBusiestStreamPpm,     // busiest stream's share of processed units, ppm
   kResidentStreams,      // streams with live in-memory pipeline state
   kHibernatedStreams,    // streams paged out to hibernation snapshots
+  kNetReconnects,        // named-stream reconnections accepted
+  kNetResumes,           // v2 handshakes answered with a real resume point
+  kNetShedConnections,   // connections refused at accept (overload shed)
+  kNetInjectedFaults,    // fault-injection decisions that fired (chaos runs)
   kGaugeCount
 };
 inline constexpr std::size_t kGaugeCount =

@@ -1,9 +1,13 @@
 #include "stream/socket_source.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
 
+#include "common/timeutil.h"
 #include "persist/snapshot.h"
+#include "stream/stream_router.h"
 
 namespace tiresias {
 
@@ -16,6 +20,14 @@ using persist::SnapshotError;
 
 constexpr std::size_t kRecordBytes = 12;  // u32 fileId + i64 timestamp
 constexpr std::size_t kCsvReadChunk = std::size_t{64} << 10;
+
+using Clock = std::chrono::steady_clock;
+
+int elapsedMs(Clock::time_point since) {
+  return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - since)
+                              .count());
+}
 
 // Byte-assembly little-endian codecs (same idiom as binary_source.cpp:
 // single moves on LE targets, correct everywhere).
@@ -47,8 +59,14 @@ void putLe64(std::uint8_t* p, std::uint64_t v) {
 
 struct SocketSource::Impl {
   enum class State : std::uint8_t { kStart, kBinary, kCsv, kDone };
+  /// One fillPending() outcome: records are ready, the stream ended, or
+  /// the bounded idle window expired while the stream merely waits
+  /// (between connections or frames — see SocketSourceOptions::pullIdleMs).
+  enum class Pull : std::uint8_t { kData, kIdle, kDone };
 
   std::shared_ptr<net::TcpListener> listener;  // null when conn was adopted
+  std::shared_ptr<StreamRouter> router;        // null unless routed
+  std::size_t slot = 0;
   net::TcpConn conn;
   const Hierarchy& hierarchy;
   SocketSourceOptions opt;
@@ -56,10 +74,37 @@ struct SocketSource::Impl {
   State state = State::kStart;
   std::size_t protocolErrors = 0;
   std::size_t unresolved = 0;
+  /// Conn-scoped failures so far, against opt.protocolErrorBudget.
+  std::size_t connFailures = 0;
   /// Monotonicity guard: the batcher requires non-decreasing time, and a
   /// misbehaving client must not be able to abort the server, so records
   /// that run backwards are skipped here.
   Timestamp lastTime = std::numeric_limits<Timestamp>::min();
+
+  // Handshake prefix the router (or a reconnect reset) left for us to
+  // replay before reading the socket.
+  std::vector<std::uint8_t> preread;
+  std::size_t prereadPos = 0;
+  bool prereadEof = false;
+  bool hadConn = false;  // a later accept is a *re*connect
+
+  // Bounded-idle bookkeeping. A pull blocks at most pullIdleMs per call
+  // (pullDeadline); idleAccumMs tracks *contiguous* idleness across calls
+  // — any arrival (a connection, a byte) resets it, and once it passes
+  // readTimeoutMs the stream gives up exactly where an unbounded wait
+  // would have timed out.
+  Clock::time_point pullDeadline{};
+  int idleAccumMs = 0;
+
+  // Resume state: records of the current (possibly incomplete) timeunit
+  // are staged and only released downstream when the next unit opens, so
+  // committedTime is always a unit boundary the client can replay from.
+  std::vector<Record> staged;
+  TimeUnit stagedUnit = 0;
+  Timestamp committedTime = kSocketNoCommit;
+  std::size_t connSkipped = 0;  // junk this connection, vs junk budget
+  std::atomic<std::size_t> reconnectCount{0};
+  std::atomic<std::size_t> resumeCount{0};
 
   // Binary mode: fileId → NodeId from the handshake table; frame staging.
   std::vector<NodeId> fileIdToNode;
@@ -78,36 +123,199 @@ struct SocketSource::Impl {
   std::vector<Record> pending;
   std::size_t pendingPos = 0;
 
-  Impl(std::shared_ptr<net::TcpListener> l, net::TcpConn c,
-       const Hierarchy& h, SocketSourceOptions o)
-      : listener(std::move(l)), conn(std::move(c)), hierarchy(h), opt(o),
-        pathCache(h) {
+  Impl(std::shared_ptr<net::TcpListener> l, std::shared_ptr<StreamRouter> r,
+       std::size_t routerSlot, net::TcpConn c, const Hierarchy& h,
+       SocketSourceOptions o)
+      : listener(std::move(l)), router(std::move(r)), slot(routerSlot),
+        conn(std::move(c)), hierarchy(h), opt(std::move(o)), pathCache(h) {
     net::ignoreSigpipe();
   }
 
-  /// Structural failure: count it, drop the connection, end the stream.
+  /// A named stream survives lost connections; a positional one is its
+  /// connection.
+  bool resumable() const { return !opt.streamName.empty(); }
+  /// Unit-granular commit staging (needs the pipeline delta).
+  bool staging() const { return resumable() && opt.unitDelta > 0; }
+
+  // ---- bounded-idle waits ----
+
+  bool idlePatienceExhausted() const {
+    return idleAccumMs >= opt.readTimeoutMs;
+  }
+
+  /// Milliseconds a single idle-type wait (accept, await, first byte of
+  /// the next protocol element) may block right now: the remaining pull
+  /// budget, capped by the stream's remaining patience.
+  int idleWaitMs() const {
+    int budget = std::max(opt.readTimeoutMs - idleAccumMs, 1);
+    if (opt.pullIdleMs > 0) {
+      const auto rem = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           pullDeadline - Clock::now())
+                           .count();
+      budget = std::min(budget, static_cast<int>(std::max<long long>(rem, 1)));
+    }
+    return budget;
+  }
+
+  // ---- reads: drain the pre-read prefix, then the socket ----
+
+  /// Bounded wait for the first byte of the next protocol element. Bytes
+  /// reset the idle clock; a timeout charges it. On kTimeout the caller
+  /// checks idlePatienceExhausted(): exhausted means the old full-timeout
+  /// expiry, otherwise it simply returns so fillPending() can yield.
+  IoStatus readIdleW(void* dst, std::size_t n, std::size_t& got) {
+    if (prereadPos < preread.size() || prereadEof) {
+      return readSomeW(dst, n, got);
+    }
+    const auto t0 = Clock::now();
+    const IoStatus st = conn.readSome(dst, n, got, idleWaitMs());
+    if (st == IoStatus::kOk) {
+      idleAccumMs = 0;
+    } else if (st == IoStatus::kTimeout) {
+      idleAccumMs += std::max(elapsedMs(t0), 1);
+    }
+    return st;
+  }
+
+  IoStatus readSomeW(void* dst, std::size_t n, std::size_t& got) {
+    if (prereadPos < preread.size()) {
+      got = std::min(n, preread.size() - prereadPos);
+      std::memcpy(dst, preread.data() + prereadPos, got);
+      prereadPos += got;
+      return IoStatus::kOk;
+    }
+    if (prereadEof) {
+      got = 0;
+      return IoStatus::kEof;
+    }
+    return conn.readSome(dst, n, got, opt.readTimeoutMs);
+  }
+
+  /// readExact over the wrapped reader: kEof only before the first byte,
+  /// EOF mid-buffer degrades to kError (TcpConn::readExact semantics).
+  IoStatus readExactW(void* dst, std::size_t n) {
+    auto* p = static_cast<std::uint8_t*>(dst);
+    std::size_t have = 0;
+    while (have < n) {
+      std::size_t got = 0;
+      const IoStatus st = readSomeW(p + have, n - have, got);
+      if (st == IoStatus::kOk) {
+        have += got;
+        continue;
+      }
+      if (st == IoStatus::kEof && have == 0) return IoStatus::kEof;
+      return st == IoStatus::kEof ? IoStatus::kError : st;
+    }
+    return IoStatus::kOk;
+  }
+
+  // ---- failure / lifecycle ----
+
+  /// Unrecoverable failure (accept window elapsed, budget exhausted):
+  /// count it, drop the connection, end the stream.
   void fail() {
     ++protocolErrors;
     conn.close();
     state = State::kDone;
   }
 
+  /// Connection-scoped failure: a resumable stream with budget left goes
+  /// back to waiting for its client to reconnect; anything else ends the
+  /// stream like fail().
+  void failConn() {
+    if (resumable() && connFailures < opt.protocolErrorBudget) {
+      ++connFailures;
+      ++protocolErrors;
+      resetForReconnect();
+      return;
+    }
+    fail();
+  }
+
+  /// Drop every per-connection artifact and await the next connection.
+  /// The staged partial unit is discarded — the reconnecting client
+  /// replays it in full from committedTime, so nothing is duplicated or
+  /// lost.
+  void resetForReconnect() {
+    conn.close();
+    state = State::kStart;
+    idleAccumMs = 0;  // the wait for the reconnect gets fresh patience
+    staged.clear();
+    lastTime = committedTime;
+    csvBuf.clear();
+    csvPos = 0;
+    csvEof = false;
+    preread.clear();
+    prereadPos = 0;
+    prereadEof = false;
+    fileIdToNode.clear();
+    connSkipped = 0;
+  }
+
   void endClean() {
+    // The client finished: release any staged partial unit downstream.
+    flushStaged();
     conn.close();
     state = State::kDone;
   }
 
-  /// Ensure pending has undelivered records. False only at end of stream.
-  bool fillPending(std::size_t& skipped) {
+  // ---- resume staging ----
+
+  void flushStaged() {
+    pending.insert(pending.end(), staged.begin(), staged.end());
+    staged.clear();
+  }
+
+  /// Deliver one accepted record — directly, or through the unit-commit
+  /// staging buffer when the stream is resumable.
+  void emit(const Record& r) {
+    if (!staging()) {
+      pending.push_back(r);
+      return;
+    }
+    const TimeUnit u = timeUnitOf(r.time, opt.unitDelta);
+    if (!staged.empty() && u != stagedUnit) {
+      // r opens a new unit, which completes the staged one: commit it.
+      // Records are monotone, so everything before unitStart(u) has now
+      // been seen — that boundary is the new replay point.
+      flushStaged();
+      committedTime = unitStart(u, opt.unitDelta);
+    }
+    if (staged.empty()) stagedUnit = u;
+    staged.push_back(r);
+  }
+
+  /// One record-level skip, honoring the per-connection junk budget.
+  /// Returns false when the budget tripped (the connection is gone).
+  bool noteJunk(std::size_t& skipped) {
+    ++skipped;
+    if (opt.junkBudgetPerConn > 0 && ++connSkipped > opt.junkBudgetPerConn) {
+      failConn();  // garbage at volume is structural, not noise
+      return false;
+    }
+    return true;
+  }
+
+  /// Ensure pending has undelivered records. kDone only at end of
+  /// stream; kIdle when the bounded pull window expired first (the stream
+  /// is alive but has nothing yet — reconnect churn included, so a
+  /// caller is never wedged by a peer that keeps connecting and dying).
+  Pull fillPending(std::size_t& skipped) {
+    const auto start = Clock::now();
+    pullDeadline = start + std::chrono::milliseconds(
+                               opt.pullIdleMs > 0 ? opt.pullIdleMs : 0);
     for (;;) {
-      if (pendingPos < pending.size()) return true;
-      if (state == State::kDone) return false;
+      if (pendingPos < pending.size()) return Pull::kData;
+      if (state == State::kDone) return Pull::kDone;
+      if (opt.pullIdleMs > 0 && elapsedMs(start) >= opt.pullIdleMs) {
+        return Pull::kIdle;
+      }
+      pending.clear();
+      pendingPos = 0;
       if (state == State::kStart) {
         negotiate();
         continue;
       }
-      pending.clear();
-      pendingPos = 0;
       if (state == State::kBinary) {
         pullBinaryFrame(skipped);
       } else {
@@ -116,80 +324,139 @@ struct SocketSource::Impl {
     }
   }
 
-  /// Accept (when listening) and detect the wire format. Leaves state at
-  /// kBinary/kCsv/kDone.
+  /// Accept (when listening/routed) and detect the wire format. Leaves
+  /// state at kBinary/kCsv/kDone — or back at kStart after a recoverable
+  /// connection failure on a resumable stream.
   void negotiate() {
     if (!conn.valid()) {
-      if (listener == nullptr || !listener->valid()) {
+      const auto t0 = Clock::now();
+      if (router != nullptr) {
+        auto routed = router->await(slot, idleWaitMs());
+        if (!routed || !routed->conn.valid()) {
+          idleAccumMs += std::max(elapsedMs(t0), 1);
+          // Nobody (re)connected yet: give up only once the patience the
+          // unbounded wait had is spent, otherwise yield to the caller.
+          if (idlePatienceExhausted()) fail();
+          return;
+        }
+        conn = std::move(routed->conn);
+        preread = std::move(routed->head);
+        prereadPos = 0;
+        prereadEof = routed->headEof;
+      } else if (listener != nullptr && listener->valid()) {
+        conn = listener->accept(idleWaitMs());
+        if (!conn.valid()) {
+          idleAccumMs += std::max(elapsedMs(t0), 1);
+          if (idlePatienceExhausted()) fail();
+          return;
+        }
+      } else {
         fail();
         return;
       }
-      conn = listener->accept(opt.readTimeoutMs);
-      if (!conn.valid()) {
-        fail();  // nobody connected within the window
-        return;
-      }
+      idleAccumMs = 0;  // a connection arrived
+      if (hadConn) reconnectCount.fetch_add(1, std::memory_order_relaxed);
     }
+    hadConn = true;
     if (opt.format == SocketSourceOptions::Format::kCsv) {
       state = State::kCsv;
       return;
     }
-    // Sniff exactly four bytes (kAuto and kBinary both need the magic;
-    // they differ only in what a mismatch means).
-    std::uint8_t head[4];
+    // Sniff the full magic + version (eight bytes): kAuto and kBinary
+    // both need them, and requiring the *whole* prefix to match is what
+    // keeps a CSV path that merely starts with "TSRS" out of the binary
+    // lane.
+    std::uint8_t head[8];
     std::size_t have = 0;
-    while (have < 4) {
+    while (have < 8) {
       std::size_t got = 0;
-      const IoStatus st =
-          conn.readSome(head + have, 4 - have, got, opt.readTimeoutMs);
+      // Before the first byte the connection is merely idle (bounded
+      // wait, yielding); once the sniff started, a stall is a protocol
+      // failure like any other truncation.
+      const IoStatus st = have == 0 ? readIdleW(head, 8, got)
+                                    : readSomeW(head + have, 8 - have, got);
       if (st == IoStatus::kOk) {
         have += got;
         continue;
       }
       if (st == IoStatus::kEof) break;
-      fail();  // timeout or socket error before the stream even started
+      if (st == IoStatus::kTimeout && have == 0 && !idlePatienceExhausted()) {
+        return;  // still kStart with a valid conn: the sniff resumes later
+      }
+      failConn();  // timeout or socket error before the stream started
       return;
     }
     if (have == 0) {
       endClean();  // connected and closed without a byte: empty stream
       return;
     }
-    if (have == 4 && le32(head) == kSocketStreamMagic) {
-      binaryHandshake();
+    std::uint32_t version = 0;
+    if (have == 8 && le32(head) == kSocketStreamMagic) {
+      const std::uint32_t v = le32(head + 4);
+      if (v == kSocketStreamVersion || v == kSocketStreamVersion2) {
+        version = v;
+      }
+    }
+    if (version != 0) {
+      binaryHandshake(version);
       return;
     }
     if (opt.format == SocketSourceOptions::Format::kBinary) {
-      fail();  // binary required but the magic is wrong/truncated
+      failConn();  // binary required but the magic/version is wrong
       return;
     }
-    // Auto + no magic: those bytes are the first CSV payload.
+    // Auto + no full magic/version match: those bytes are the first CSV
+    // payload (any remaining pre-read bytes drain through readSomeW).
     csvBuf.assign(reinterpret_cast<const char*>(head), have);
-    csvEof = have < 4;  // EOF already seen mid-sniff
+    csvEof = have < 8;  // EOF already seen mid-sniff
     state = State::kCsv;
   }
 
-  /// Post-magic binary handshake: version, table length, path table.
-  void binaryHandshake() {
-    std::uint8_t fixed[12];  // u32 version + u64 tableBytes
-    std::size_t got = 0;
-    if (conn.readExact(fixed, sizeof(fixed), got, opt.readTimeoutMs) !=
-        IoStatus::kOk) {
-      fail();
+  /// Post-sniff binary handshake: (v2: name + resume token,) table
+  /// length, path table, (v2: resume reply).
+  void binaryHandshake(std::uint32_t version) {
+    if (version == kSocketStreamVersion2) {
+      std::uint8_t lenBuf[4];
+      if (readExactW(lenBuf, sizeof(lenBuf)) != IoStatus::kOk) {
+        failConn();
+        return;
+      }
+      const std::uint32_t nameLen = le32(lenBuf);
+      if (nameLen == 0 || nameLen > kSocketMaxStreamNameBytes) {
+        failConn();
+        return;
+      }
+      std::string peerName(nameLen, '\0');
+      if (readExactW(peerName.data(), nameLen) != IoStatus::kOk) {
+        failConn();
+        return;
+      }
+      std::uint8_t tokenBuf[8];
+      if (readExactW(tokenBuf, sizeof(tokenBuf)) != IoStatus::kOk) {
+        failConn();
+        return;
+      }
+      // The token is informational (client-chosen session id); the name
+      // is the identity — and on a named slot it must be *our* name (the
+      // router guarantees it; direct wiring gets the same check).
+      if (!opt.streamName.empty() && peerName != opt.streamName) {
+        failConn();
+        return;
+      }
+    }
+    std::uint8_t sizeBuf[8];
+    if (readExactW(sizeBuf, sizeof(sizeBuf)) != IoStatus::kOk) {
+      failConn();
       return;
     }
-    if (le32(fixed) != kSocketStreamVersion) {
-      fail();
-      return;
-    }
-    const std::uint64_t tableBytes = le64(fixed + 4);
+    const std::uint64_t tableBytes = le64(sizeBuf);
     if (tableBytes > kSocketMaxTableBytes) {
-      fail();
+      failConn();
       return;
     }
     std::vector<std::uint8_t> table(static_cast<std::size_t>(tableBytes));
-    if (conn.readExact(table.data(), table.size(), got, opt.readTimeoutMs) !=
-        IoStatus::kOk) {
-      fail();
+    if (readExactW(table.data(), table.size()) != IoStatus::kOk) {
+      failConn();
       return;
     }
     try {
@@ -205,26 +472,56 @@ struct SocketSource::Impl {
       Deserializer::require(des.atEnd(),
                             "socket handshake: trailing table bytes");
     } catch (const SnapshotError&) {
-      fail();  // table framing corrupt — connection-level, never a throw
+      failConn();  // table framing corrupt — connection-level, no throw
       return;
+    }
+    if (version == kSocketStreamVersion2) {
+      // Answer with the replay point before any frame flows, so the
+      // client knows which prefix to skip.
+      std::uint8_t reply[12];
+      putLe32(reply, kSocketResumeOk);
+      putLe64(reply + 4, static_cast<std::uint64_t>(committedTime));
+      if (!conn.writeAll(reply, sizeof(reply), opt.readTimeoutMs)) {
+        failConn();
+        return;
+      }
+      if (committedTime != kSocketNoCommit) {
+        resumeCount.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     state = State::kBinary;
   }
 
-  /// Read and decode one record frame into pending. Sets kDone at the
-  /// end-of-stream marker, a clean EOF at a frame boundary, or any
-  /// structural failure.
+  /// Read and decode one record frame. Sets kDone at the end-of-stream
+  /// marker or a clean EOF (positional streams); a resumable stream
+  /// treats every EOS-less connection end as a crash and awaits the
+  /// reconnect instead.
   void pullBinaryFrame(std::size_t& skipped) {
     std::uint8_t prefix[4];
-    std::size_t got = 0;
-    const IoStatus st =
-        conn.readExact(prefix, sizeof(prefix), got, opt.readTimeoutMs);
-    if (st == IoStatus::kEof) {
-      endClean();  // frame boundary is a legal end of stream
-      return;
-    }
-    if (st != IoStatus::kOk) {
-      fail();  // timeout, reset, or EOF inside the prefix
+    std::size_t have = 0;
+    while (have < sizeof(prefix)) {
+      std::size_t got = 0;
+      // Between frames the stream is just idle (bounded wait, yielding);
+      // a stall inside the prefix is truncation.
+      const IoStatus st =
+          have == 0 ? readIdleW(prefix, sizeof(prefix), got)
+                    : readSomeW(prefix + have, sizeof(prefix) - have, got);
+      if (st == IoStatus::kOk) {
+        have += got;
+        continue;
+      }
+      if (st == IoStatus::kEof && have == 0) {
+        if (resumable()) {
+          failConn();  // no EOS: presumed crashed, await the reconnect
+        } else {
+          endClean();  // frame boundary is a legal end of stream
+        }
+        return;
+      }
+      if (st == IoStatus::kTimeout && have == 0 && !idlePatienceExhausted()) {
+        return;  // no prefix byte consumed: the frame read resumes later
+      }
+      failConn();  // timeout, reset, or EOF inside the prefix
       return;
     }
     const std::uint32_t count = le32(prefix);
@@ -233,13 +530,12 @@ struct SocketSource::Impl {
       return;
     }
     if (count > kSocketMaxFrameRecords) {
-      fail();
+      failConn();
       return;
     }
     frame.resize(static_cast<std::size_t>(count) * kRecordBytes);
-    if (conn.readExact(frame.data(), frame.size(), got, opt.readTimeoutMs) !=
-        IoStatus::kOk) {
-      fail();  // truncated frame (peer died or stalled mid-frame)
+    if (readExactW(frame.data(), frame.size()) != IoStatus::kOk) {
+      failConn();  // truncated frame (peer died or stalled mid-frame)
       return;
     }
     const std::uint8_t* rec = frame.data();
@@ -250,34 +546,34 @@ struct SocketSource::Impl {
       if (fileId >= tableSize) {
         // A file-id the handshake never announced means the framing is
         // desynchronized; records decoded before it are still delivered.
-        fail();
+        failConn();
         return;
       }
       const NodeId node = fileIdToNode[fileId];
       if (node == kInvalidNode || time < lastTime) {
-        ++skipped;
+        if (!noteJunk(skipped)) return;
         continue;
       }
       lastTime = time;
-      pending.push_back(Record{node, time});
+      emit(Record{node, time});
     }
   }
 
   void handleCsvLine(std::string_view line, std::size_t& skipped) {
-    if (line.empty()) return;
+    if (line.empty() || state == State::kDone) return;
     std::string_view pathField;
     Timestamp t = 0;
     if (!parseCsvTraceRow(line, quotedScratch, pathField, t)) {
-      ++skipped;
+      noteJunk(skipped);
       return;
     }
     const NodeId node = pathCache.resolve(pathField);
     if (node == kInvalidNode || t < lastTime) {
-      ++skipped;
+      noteJunk(skipped);
       return;
     }
     lastTime = t;
-    pending.push_back(Record{node, t});
+    emit(Record{node, t});
   }
 
   /// Consume buffered CSV lines, reading more from the socket as needed,
@@ -289,6 +585,7 @@ struct SocketSource::Impl {
         if (nl == std::string::npos) break;
         handleCsvLine(
             std::string_view(csvBuf).substr(csvPos, nl - csvPos), skipped);
+        if (state != State::kCsv) return;  // junk budget tripped
         csvPos = nl + 1;
       }
       csvBuf.erase(0, csvPos);
@@ -300,23 +597,25 @@ struct SocketSource::Impl {
         if (!csvBuf.empty()) {
           handleCsvLine(csvBuf, skipped);
           csvBuf.clear();
+          if (state != State::kCsv) return;
         }
         endClean();
         return;
       }
       if (csvBuf.size() > kSocketMaxCsvLineBytes) {
-        fail();  // a megabyte with no newline is not a CSV row
+        failConn();  // a megabyte with no newline is not a CSV row
         return;
       }
       std::size_t got = 0;
-      const IoStatus st = conn.readSome(readBuf.data(), readBuf.size(), got,
-                                        opt.readTimeoutMs);
+      const IoStatus st = readIdleW(readBuf.data(), readBuf.size(), got);
       if (st == IoStatus::kOk) {
         csvBuf.append(readBuf.data(), got);
       } else if (st == IoStatus::kEof) {
         csvEof = true;
+      } else if (st == IoStatus::kTimeout && !idlePatienceExhausted()) {
+        return;  // between rows: buffered bytes keep, the pull resumes
       } else {
-        fail();  // idle past the timeout, or the socket errored
+        failConn();  // idle past the timeout, or the socket errored
         return;
       }
     }
@@ -326,13 +625,21 @@ struct SocketSource::Impl {
 SocketSource::SocketSource(std::shared_ptr<net::TcpListener> listener,
                            const Hierarchy& hierarchy,
                            SocketSourceOptions options)
-    : impl_(std::make_unique<Impl>(std::move(listener), net::TcpConn(),
-                                   hierarchy, options)) {}
+    : impl_(std::make_unique<Impl>(std::move(listener), nullptr, 0,
+                                   net::TcpConn(), hierarchy,
+                                   std::move(options))) {}
 
 SocketSource::SocketSource(net::TcpConn conn, const Hierarchy& hierarchy,
                            SocketSourceOptions options)
-    : impl_(std::make_unique<Impl>(nullptr, std::move(conn), hierarchy,
-                                   options)) {}
+    : impl_(std::make_unique<Impl>(nullptr, nullptr, 0, std::move(conn),
+                                   hierarchy, std::move(options))) {}
+
+SocketSource::SocketSource(std::shared_ptr<StreamRouter> router,
+                           std::size_t slot, const Hierarchy& hierarchy,
+                           SocketSourceOptions options)
+    : impl_(std::make_unique<Impl>(nullptr, std::move(router), slot,
+                                   net::TcpConn(), hierarchy,
+                                   std::move(options))) {}
 
 SocketSource::~SocketSource() = default;
 
@@ -344,10 +651,38 @@ std::size_t SocketSource::unresolvedPaths() const {
   return impl_->unresolved;
 }
 
+std::size_t SocketSource::reconnects() const {
+  return impl_->reconnectCount.load(std::memory_order_relaxed);
+}
+
+std::size_t SocketSource::resumes() const {
+  return impl_->resumeCount.load(std::memory_order_relaxed);
+}
+
+void SocketSource::noteResumePoint(Timestamp time) {
+  Impl& im = *impl_;
+  if (time > im.committedTime) {
+    im.committedTime = time;
+    im.lastTime = std::max(im.lastTime, time);
+  }
+}
+
+bool SocketSource::idle() const {
+  return impl_->state != Impl::State::kDone;
+}
+
 std::optional<Record> SocketSource::next() {
   Impl& im = *impl_;
-  if (!im.fillPending(skipped_)) return std::nullopt;
-  return im.pending[im.pendingPos++];
+  for (;;) {
+    switch (im.fillPending(skipped_)) {
+      case Impl::Pull::kData:
+        return im.pending[im.pendingPos++];
+      case Impl::Pull::kDone:
+        return std::nullopt;
+      case Impl::Pull::kIdle:
+        continue;  // next() keeps the block-until-record semantics
+    }
+  }
 }
 
 std::size_t SocketSource::nextBatch(std::vector<Record>& out,
@@ -355,7 +690,13 @@ std::size_t SocketSource::nextBatch(std::vector<Record>& out,
   out.clear();
   Impl& im = *impl_;
   while (out.size() < max) {
-    if (!im.fillPending(skipped_)) break;
+    // Never touch the network while already holding deliverable records:
+    // a live stream that hasn't ended must not starve the caller of what
+    // it has (the engine's first unit would otherwise wait for a full
+    // chunk that an open-ended stream never accumulates).
+    if (im.pendingPos >= im.pending.size() && !out.empty()) break;
+    const Impl::Pull pull = im.fillPending(skipped_);
+    if (pull != Impl::Pull::kData) break;  // stream ended or merely idle
     const std::size_t take =
         std::min(max - out.size(), im.pending.size() - im.pendingPos);
     out.insert(out.end(), im.pending.begin() + im.pendingPos,
@@ -378,6 +719,24 @@ std::vector<std::uint8_t> encodeSocketHandshake(
   return out;
 }
 
+std::vector<std::uint8_t> encodeSocketHandshakeV2(
+    const std::vector<std::string>& paths, const std::string& streamName,
+    std::uint64_t resumeToken) {
+  Serializer table;
+  table.u64(paths.size());
+  for (const std::string& p : paths) table.str(p);
+  const std::size_t nameLen = streamName.size();
+  std::vector<std::uint8_t> out(28 + nameLen + table.size());
+  putLe32(out.data(), kSocketStreamMagic);
+  putLe32(out.data() + 4, kSocketStreamVersion2);
+  putLe32(out.data() + 8, static_cast<std::uint32_t>(nameLen));
+  std::memcpy(out.data() + 12, streamName.data(), nameLen);
+  putLe64(out.data() + 12 + nameLen, resumeToken);
+  putLe64(out.data() + 20 + nameLen, table.size());
+  std::memcpy(out.data() + 28 + nameLen, table.data().data(), table.size());
+  return out;
+}
+
 void appendSocketFrame(std::vector<std::uint8_t>& out, const Record* records,
                        std::size_t count) {
   std::uint8_t scratch[kRecordBytes];
@@ -393,6 +752,18 @@ void appendSocketFrame(std::vector<std::uint8_t>& out, const Record* records,
 void appendSocketEndOfStream(std::vector<std::uint8_t>& out) {
   const std::uint8_t zero[4] = {0, 0, 0, 0};
   out.insert(out.end(), zero, zero + 4);
+}
+
+bool readSocketResumeReply(net::TcpConn& conn, int timeoutMs,
+                           SocketResumeReply& out) {
+  std::uint8_t buf[12];
+  std::size_t got = 0;
+  if (conn.readExact(buf, sizeof(buf), got, timeoutMs) != IoStatus::kOk) {
+    return false;
+  }
+  out.status = le32(buf);
+  out.committedTime = static_cast<Timestamp>(le64(buf + 4));
+  return true;
 }
 
 }  // namespace tiresias

@@ -44,6 +44,22 @@ class RecordSource {
   /// surface this through RunSummary / EngineStats instead of dropping it
   /// silently. In-memory sources have nothing to skip.
   virtual std::size_t skippedRecords() const { return 0; }
+
+  /// True when the last pull returned nothing because the stream is
+  /// merely waiting for more input (a live socket between connections or
+  /// frames), not because it ended. Callers that must stay responsive —
+  /// the engine's ingest sweep, which parks for checkpoint quiesce
+  /// between pulls — treat an empty pull with idle() true as "try again
+  /// later" instead of end of stream. Replay sources are never idle.
+  virtual bool idle() const { return false; }
+
+  /// Restore hand-off: the engine calls this before the first pull with
+  /// the pipeline's resume position (the start of the first timeunit it
+  /// still needs). Sources that negotiate with a live producer — a
+  /// resumable SocketSource telling its reconnecting client which prefix
+  /// to skip — use it; replay sources ignore it (the batcher already
+  /// drops the processed prefix).
+  virtual void noteResumePoint(Timestamp /*time*/) {}
 };
 
 /// Path→NodeId resolution cache shared by every source that reads textual

@@ -1,0 +1,217 @@
+#include "stream/stream_router.h"
+
+#include <chrono>
+
+namespace tiresias {
+
+namespace {
+
+using net::IoStatus;
+
+std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void putLe32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void putLe64(std::uint8_t* p, std::uint64_t v) {
+  putLe32(p, static_cast<std::uint32_t>(v));
+  putLe32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+int remainingMs(int totalMs, std::chrono::steady_clock::time_point start) {
+  if (totalMs < 0) return -1;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const long long left = static_cast<long long>(totalMs) - elapsed;
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Accept tick: short enough that stop() is responsive, long enough that
+/// an idle router costs nothing measurable.
+constexpr int kAcceptTickMs = 200;
+
+}  // namespace
+
+StreamRouter::StreamRouter(std::shared_ptr<net::TcpListener> listener,
+                           Options options)
+    : listener_(std::move(listener)), opt_(std::move(options)) {
+  net::ignoreSigpipe();
+}
+
+StreamRouter::~StreamRouter() { stop(); }
+
+std::size_t StreamRouter::addNamedSlot(std::string name) {
+  const std::size_t id = slots_.size();
+  byName_.emplace(name, id);
+  slots_.push_back(Slot{std::move(name), {}});
+  return id;
+}
+
+std::size_t StreamRouter::addAnonymousSlot() {
+  const std::size_t id = slots_.size();
+  slots_.push_back(Slot{{}, {}});
+  ++anonymousSlots_;
+  return id;
+}
+
+void StreamRouter::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { routeLoop(); });
+}
+
+void StreamRouter::stop() {
+  stop_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StreamRouter::routeLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    net::TcpConn conn = listener_->accept(kAcceptTickMs);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (!conn.valid()) continue;  // tick elapsed or transient failure
+    routeOne(std::move(conn));
+  }
+}
+
+void StreamRouter::routeOne(net::TcpConn conn) {
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (opt_.shedPredicate && opt_.shedPredicate()) {
+    // Overloaded: refuse before reading a byte. The client sees the close
+    // and retries with backoff; no ingest queue gets deeper for it.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Routed routed;
+  if (opt_.format == SocketSourceOptions::Format::kCsv) {
+    routed.conn = std::move(conn);
+    deliverAnonymous(std::move(routed));
+    return;
+  }
+  // Sniff the magic + version — just enough to route. Everything consumed
+  // lands in `head` so the source can replay it.
+  const auto start = std::chrono::steady_clock::now();
+  std::uint8_t head[8];
+  std::size_t have = 0;
+  while (have < 8) {
+    std::size_t got = 0;
+    const IoStatus st =
+        conn.readSome(head + have, 8 - have, got,
+                      remainingMs(opt_.handshakeTimeoutMs, start));
+    if (st == IoStatus::kOk) {
+      have += got;
+      continue;
+    }
+    if (st == IoStatus::kEof) {
+      routed.headEof = true;
+      break;
+    }
+    // Stalled or errored before identifying itself: not routable.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  routed.head.assign(head, head + have);
+  const bool v2 = have == 8 && le32(head) == kSocketStreamMagic &&
+                  le32(head + 4) == kSocketStreamVersion2;
+  if (!v2) {
+    // v1 binary, CSV, or junk — all positional; the source sorts it out.
+    routed.conn = std::move(conn);
+    deliverAnonymous(std::move(routed));
+    return;
+  }
+  // v2: the name decides the slot. Read nameLen | name | token, keeping
+  // every byte in head for the source's own handshake parse.
+  std::uint8_t fixed[8];
+  std::size_t got = 0;
+  if (conn.readExact(fixed, 4, got, remainingMs(opt_.handshakeTimeoutMs,
+                                                start)) != IoStatus::kOk) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  routed.head.insert(routed.head.end(), fixed, fixed + 4);
+  const std::uint32_t nameLen = le32(fixed);
+  if (nameLen == 0 || nameLen > kSocketMaxStreamNameBytes) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::string name(nameLen, '\0');
+  if (conn.readExact(name.data(), nameLen, got,
+                     remainingMs(opt_.handshakeTimeoutMs, start)) !=
+      IoStatus::kOk) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  routed.head.insert(routed.head.end(), name.begin(), name.end());
+  if (conn.readExact(fixed, 8, got, remainingMs(opt_.handshakeTimeoutMs,
+                                                start)) != IoStatus::kOk) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  routed.head.insert(routed.head.end(), fixed, fixed + 8);
+  const auto it = byName_.find(name);  // immutable after start(): no lock
+  if (it == byName_.end()) {
+    // Tell the client this is fatal (wrong name, not a flaky network) so
+    // its retry loop stops instead of hammering us.
+    std::uint8_t reply[12];
+    putLe32(reply, kSocketResumeUnknownStream);
+    putLe64(reply + 4, static_cast<std::uint64_t>(kSocketNoCommit));
+    conn.writeAll(reply, sizeof(reply), 1'000);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  routed.conn = std::move(conn);
+  {
+    std::lock_guard lk(mu_);
+    auto& queue = slots_[it->second].queue;
+    // Newest wins: a waiting connection for the same name is a client
+    // retry we never served — drop it (RAII close) for the fresh one.
+    queue.clear();
+    queue.push_back(std::move(routed));
+  }
+  cv_.notify_all();
+}
+
+void StreamRouter::deliverAnonymous(Routed routed) {
+  {
+    std::lock_guard lk(mu_);
+    if (anonymousSlots_ == 0 || anonymous_.size() >= anonymousSlots_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    anonymous_.push_back(std::move(routed));
+  }
+  cv_.notify_all();
+}
+
+std::optional<StreamRouter::Routed> StreamRouter::await(std::size_t slot,
+                                                        int timeoutMs) {
+  std::unique_lock lk(mu_);
+  const bool named = !slots_[slot].name.empty();
+  const auto ready = [&] {
+    if (stop_.load(std::memory_order_acquire)) return true;
+    return named ? !slots_[slot].queue.empty() : !anonymous_.empty();
+  };
+  if (timeoutMs < 0) {
+    cv_.wait(lk, ready);
+  } else if (!cv_.wait_for(lk, std::chrono::milliseconds(timeoutMs), ready)) {
+    return std::nullopt;
+  }
+  auto& queue = named ? slots_[slot].queue : anonymous_;
+  if (queue.empty()) return std::nullopt;  // woken by stop()
+  Routed r = std::move(queue.front());
+  queue.pop_front();
+  return r;
+}
+
+}  // namespace tiresias

@@ -1,0 +1,132 @@
+// StreamRouter — one accept loop that routes incoming ingest connections
+// to the right SocketSource slot.
+//
+// PR 9's serving surface had K sources racing to accept from one shared
+// listener, which made stream identity *positional*: whichever source won
+// the race became that client's stream. That is fine for one-shot feeds
+// but fatally wrong for reconnects — a client that drops and dials again
+// would land on an arbitrary fresh slot. The router fixes identity:
+//
+//   - one background thread accepts every connection and reads just
+//     enough of the handshake to route it (at most the 8 sniff bytes,
+//     plus name + token for v2);
+//   - v2 connections carrying a stream name go to that name's slot — the
+//     same slot on every reconnect, so the SocketSource behind it can
+//     resume the logical stream;
+//   - v1 binary and CSV connections go to a shared first-come FIFO that
+//     anonymous slots (`--net-streams K`, the PR 9 behavior) drain;
+//   - everything the router consumed is handed to the source as a
+//     pre-read prefix, so the source's own negotiation logic runs
+//     unchanged — the router routes, it does not parse tables.
+//
+// Graceful degradation hooks live here too, because accept time is the
+// cheapest place to refuse work: a shed predicate (the CLI wires it to
+// the engine's queue lag against --shed-watermark) closes connections
+// before reading a byte, and structurally unroutable connections
+// (unknown stream name, handshake timeout, anonymous overflow) are
+// counted and closed instead of wedging a slot.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/tcp.h"
+#include "stream/socket_source.h"
+
+namespace tiresias {
+
+class StreamRouter {
+ public:
+  struct Options {
+    /// Pinned wire format (kCsv skips the sniff entirely).
+    SocketSourceOptions::Format format = SocketSourceOptions::Format::kAuto;
+    /// Deadline for the routing prefix of a handshake. A peer that
+    /// connects and stalls before identifying itself is dropped.
+    int handshakeTimeoutMs = 10'000;
+    /// Checked once per accepted connection, before any read; true means
+    /// the server is overloaded and the connection is closed on the spot
+    /// (counted in shedConnections()). Called from the router thread.
+    std::function<bool()> shedPredicate;
+  };
+
+  /// One routed connection: the socket plus whatever handshake prefix the
+  /// router consumed to route it (the source replays `head` before
+  /// reading the socket, so no byte is lost).
+  struct Routed {
+    net::TcpConn conn;
+    std::vector<std::uint8_t> head;
+    bool headEof = false;  // EOF already seen while sniffing
+  };
+
+  StreamRouter(std::shared_ptr<net::TcpListener> listener, Options options);
+  ~StreamRouter();
+
+  StreamRouter(const StreamRouter&) = delete;
+  StreamRouter& operator=(const StreamRouter&) = delete;
+
+  /// Register slots before start(). A named slot receives every v2
+  /// connection carrying `name` (newest wins if one is already waiting);
+  /// anonymous slots share one first-come FIFO of v1/CSV connections.
+  std::size_t addNamedSlot(std::string name);
+  std::size_t addAnonymousSlot();
+
+  void start();
+  /// Stops the accept thread and wakes every await() with "no connection".
+  void stop();
+
+  /// Block until a connection is routed to `slot` (or the shared FIFO for
+  /// anonymous slots), the timeout passes, or the router stops.
+  std::optional<Routed> await(std::size_t slot, int timeoutMs);
+
+  std::size_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed by the shed predicate before any read.
+  std::size_t shedConnections() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  /// Connections that could not be routed: unknown stream name, handshake
+  /// timeout/corruption, or no anonymous capacity.
+  std::size_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::string name;  // empty = anonymous (drains the shared FIFO)
+    std::deque<Routed> queue;
+  };
+
+  void routeLoop();
+  void routeOne(net::TcpConn conn);
+  void deliverAnonymous(Routed routed);
+
+  std::shared_ptr<net::TcpListener> listener_;
+  Options opt_;
+  // deque: Slot is move-only (its queue holds sockets) and growth must
+  // not relocate existing elements.
+  std::deque<Slot> slots_;
+  std::unordered_map<std::string, std::size_t> byName_;
+  std::deque<Routed> anonymous_;
+  std::size_t anonymousSlots_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> rejected_{0};
+};
+
+}  // namespace tiresias

@@ -14,33 +14,45 @@ TimeUnitBatcher::TimeUnitBatcher(RecordSource& source, Duration delta,
   TIRESIAS_EXPECT(chunkSize > 0, "chunk size must be positive");
 }
 
-bool TimeUnitBatcher::refill() {
-  if (sourceDone_) return false;
+TimeUnitBatcher::Refill TimeUnitBatcher::refill() {
+  if (sourceDone_) return Refill::kEnd;
   chunkPos_ = 0;
   const std::size_t pulled = source_.nextBatch(chunk_, chunkSize_);
   if (pulled == 0) {
+    if (source_.idle()) return Refill::kIdle;  // waiting, not ended
     sourceDone_ = true;
-    return false;
+    return Refill::kEnd;
   }
   consumed_ += pulled;
-  return true;
+  return Refill::kData;
 }
 
-bool TimeUnitBatcher::next(TimeUnitBatch& out) {
+TimeUnitBatcher::Pull TimeUnitBatcher::pull(TimeUnitBatch& out) {
   out.records.clear();
   if (!begun_) {
     // Skip records older than the first unit of interest. Sources are
     // time-ordered, so these can only lead the stream.
     const Timestamp firstStart = unitStart(nextUnit_, delta_);
     for (;;) {
-      if (chunkPos_ >= chunk_.size() && !refill()) break;
+      if (chunkPos_ >= chunk_.size()) {
+        const Refill r = refill();
+        if (r == Refill::kIdle) return Pull::kIdle;  // nothing seen yet
+        if (r == Refill::kEnd) break;
+      }
       if (chunk_[chunkPos_].time >= firstStart) break;
       ++dropped_;
       ++chunkPos_;
     }
     begun_ = true;
   }
-  if (chunkPos_ >= chunk_.size() && !refill()) return false;
+  if (!carry_.empty()) {
+    // Resume the unit a kIdle pull parked; its records lead the batch.
+    out.records.swap(carry_);
+  } else if (chunkPos_ >= chunk_.size()) {
+    const Refill r = refill();
+    if (r == Refill::kIdle) return Pull::kIdle;
+    if (r == Refill::kEnd) return Pull::kEnd;
+  }
 
   out.unit = nextUnit_;
   // This unit covers [lo, hi); comparing against the precomputed bounds
@@ -60,10 +72,31 @@ bool TimeUnitBatcher::next(TimeUnitBatch& out) {
                        chunk_.begin() + runEnd);
     chunkPos_ = runEnd;
     if (chunkPos_ < chunk_.size()) break;  // next record is a future unit
-    if (!refill()) break;                  // source exhausted mid-unit
+    const Refill r = refill();
+    if (r == Refill::kIdle) {
+      // The unit cannot be closed yet (a future record may still belong
+      // to it): park the partial and report idle.
+      carry_.swap(out.records);
+      out.records.clear();
+      return Pull::kIdle;
+    }
+    if (r == Refill::kEnd) break;  // source exhausted mid-unit
   }
   ++nextUnit_;
-  return true;
+  return Pull::kUnit;
+}
+
+bool TimeUnitBatcher::next(TimeUnitBatch& out) {
+  for (;;) {
+    switch (pull(out)) {
+      case Pull::kUnit:
+        return true;
+      case Pull::kEnd:
+        return false;
+      case Pull::kIdle:
+        continue;  // blocking semantics: retry until a unit or the end
+    }
+  }
 }
 
 void TimeUnitBatcher::saveState(persist::Serializer& out) const {
@@ -73,8 +106,14 @@ void TimeUnitBatcher::saveState(persist::Serializer& out) const {
   out.boolean(sourceDone_);
   out.u64(dropped_);
   out.u64(consumed_);
-  // Read-ahead records already pulled from the source but not yet emitted.
-  out.u64(chunk_.size() - chunkPos_);
+  // Read-ahead records already pulled from the source but not yet
+  // emitted: a partial unit parked by an idle pull first (it precedes
+  // the chunk remainder in stream order), then the chunk remainder.
+  out.u64(carry_.size() + (chunk_.size() - chunkPos_));
+  for (const Record& r : carry_) {
+    out.u32(r.category);
+    out.i64(r.time);
+  }
   for (std::size_t i = chunkPos_; i < chunk_.size(); ++i) {
     out.u32(chunk_[i].category);
     out.i64(chunk_[i].time);
@@ -105,6 +144,7 @@ void TimeUnitBatcher::loadState(persist::Deserializer& in) {
   consumed_ = consumed;
   chunk_ = std::move(chunk);
   chunkPos_ = 0;
+  carry_.clear();
 }
 
 std::optional<TimeUnitBatch> TimeUnitBatcher::next() {

@@ -46,8 +46,19 @@ class TimeUnitBatcher {
   TimeUnitBatcher(RecordSource& source, Duration delta, Timestamp startTime,
                   std::size_t chunkSize = kDefaultChunk);
 
+  /// One pull outcome: a unit was emitted, the source is transiently
+  /// idle (no unit ready *yet* — see RecordSource::idle()), or the
+  /// source is exhausted and everything buffered has been delivered.
+  enum class Pull : std::uint8_t { kUnit, kIdle, kEnd };
+
   /// Fills `out` with the next timeunit in sequence (possibly with no
-  /// records), reusing out.records' capacity. Returns false once the
+  /// records), reusing out.records' capacity. kIdle parks any partial
+  /// unit internally and leaves `out` empty: the caller may run other
+  /// work (the engine uses this window for checkpoint quiesce) and pull
+  /// again; the unit resumes where it stopped.
+  Pull pull(TimeUnitBatch& out);
+
+  /// pull() with kIdle retried until a unit or the end: false once the
   /// source is exhausted and all buffered records are delivered.
   bool next(TimeUnitBatch& out);
 
@@ -73,8 +84,11 @@ class TimeUnitBatcher {
   void loadState(persist::Deserializer& in);
 
  private:
-  /// Pulls the next chunk; false when the source is exhausted.
-  bool refill();
+  enum class Refill : std::uint8_t { kData, kIdle, kEnd };
+
+  /// Pulls the next chunk; kIdle on an empty pull from a source that is
+  /// merely waiting, kEnd once it is exhausted.
+  Refill refill();
 
   RecordSource& source_;
   Duration delta_;
@@ -82,6 +96,9 @@ class TimeUnitBatcher {
   std::vector<Record> chunk_;
   std::size_t chunkPos_ = 0;
   std::size_t chunkSize_;
+  /// Records of the in-progress unit parked by a kIdle pull (already
+  /// consumed from chunk_, not yet emitted).
+  std::vector<Record> carry_;
   bool begun_ = false;  // pre-start records are only dropped up front
   bool sourceDone_ = false;
   std::size_t dropped_ = 0;

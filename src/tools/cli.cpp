@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -8,6 +9,7 @@
 #include <fstream>
 #include <memory>
 #include <ostream>
+#include <random>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -16,6 +18,7 @@
 #include "hierarchy/builder.h"
 
 #include "analysis/seasonality.h"
+#include "common/faultinject.h"
 #include "common/table.h"
 #include "core/pipeline.h"
 #include "engine/engine.h"
@@ -26,6 +29,7 @@
 #include "serve/serving.h"
 #include "stream/binary_source.h"
 #include "stream/socket_source.h"
+#include "stream/stream_router.h"
 #include "timeseries/ewma.h"
 #include "workload/ccd.h"
 #include "workload/scd.h"
@@ -81,26 +85,42 @@ constexpr const char* kUsage =
     "             (default 1000) plus a final one after drain.\n"
     "             --shards N is deprecated: it now maps to --workers N\n"
     "  serve      --listen PORT [--ingest-format auto|csv|binary]\n"
-    "             [--net-streams K] [--read-timeout-ms MS]\n"
+    "             [--net-streams K] [--stream-names A,B,...]\n"
+    "             [--read-timeout-ms MS] [--error-budget N]\n"
+    "             [--junk-budget N] [--shed-watermark U] [--fault-plan P]\n"
     "             [--dataset ...|--hierarchy FILE] [--scale ...]\n"
+    "             [--checkpoint-dir DIR [--checkpoint-every N] [--restore]]\n"
     "             [--anomaly-port P] [--stats-port P] [--loopback]\n"
     "             [engine options]\n"
     "             network mode: ingest live records over TCP instead of\n"
-    "             generating them. K connections are accepted on PORT\n"
-    "             (one engine stream each); every connection speaks either\n"
-    "             newline-separated CSV rows (\"path,timestamp\" — `nc` a\n"
-    "             trace file at it) or the framed binary stream protocol\n"
-    "             (`tiresias_cli send`), auto-detected per connection\n"
-    "             unless --ingest-format pins it (auto sniffs the first\n"
-    "             four bytes: a CSV stream whose first row starts with\n"
-    "             the literal \"TSRS\" is mistaken for binary, so pin\n"
-    "             --ingest-format csv for such path names). Records\n"
-    "             resolve against the --dataset/--hierarchy tree (default\n"
-    "             ccd-net --scale test). PORT 0 binds an ephemeral port;\n"
-    "             the actual ports are printed on one 'serving:' line for\n"
-    "             scripting. The run ends when every connection ends\n"
-    "             (end-of-stream marker, EOF, or --read-timeout-ms of\n"
-    "             silence).\n"
+    "             generating them. K anonymous connections are accepted on\n"
+    "             PORT (one engine stream each); every connection speaks\n"
+    "             either newline-separated CSV rows (\"path,timestamp\" —\n"
+    "             `nc` a trace file at it) or the framed binary stream\n"
+    "             protocol (`tiresias_cli send`), auto-detected per\n"
+    "             connection by the full 8-byte magic+version prefix\n"
+    "             unless --ingest-format pins it. Records resolve against\n"
+    "             the --dataset/--hierarchy tree (default ccd-net --scale\n"
+    "             test). PORT 0 binds an ephemeral port; the actual ports\n"
+    "             are printed on one 'serving:' line for scripting. The\n"
+    "             run ends when every stream ends (end-of-stream marker,\n"
+    "             EOF, or --read-timeout-ms of silence).\n"
+    "             --stream-names declares named resumable streams (served\n"
+    "             beside the K anonymous ones; --net-streams defaults to 0\n"
+    "             when names are given): a `send --stream-name A` client\n"
+    "             that disconnects mid-stream may reconnect and is told\n"
+    "             the committed position to resume from, surviving up to\n"
+    "             --error-budget (default 16) dropped connections per\n"
+    "             stream. With --checkpoint-dir/--restore the resume point\n"
+    "             also survives a server crash: totals end bit-identical\n"
+    "             to an uninterrupted run. --junk-budget N drops a\n"
+    "             connection after N skipped records (0 = unlimited);\n"
+    "             --shed-watermark U refuses new connections while the\n"
+    "             engine's queue lag is at least U units.\n"
+    "             --fault-plan arms deterministic fault injection on the\n"
+    "             serving surface (chaos testing): seed=N,short-read=P,\n"
+    "             short-write=P,eintr=P,disconnect=P,accept-fail=P,\n"
+    "             stall=P[:MS] with probabilities in [0,1].\n"
     "             --anomaly-port streams every detected anomaly to all\n"
     "             connected subscribers as JSON lines; --stats-port\n"
     "             answers each connection with one tiresias_metrics/v1\n"
@@ -110,13 +130,21 @@ constexpr const char* kUsage =
     "             every listener (ingest, anomaly, stats) to 127.0.0.1.\n"
     "  send       --to HOST:PORT --trace FILE [--format binary|csv]\n"
     "             [--dataset ...|--hierarchy FILE] [--scale ...]\n"
-    "             [--frame N] [--timeout-ms MS]\n"
+    "             [--frame N] [--timeout-ms MS] [--stream-name NAME]\n"
+    "             [--retries N] [--backoff-ms MS]\n"
     "             stream a trace file into a listening serve instance.\n"
     "             binary (default): records are resolved against the\n"
     "             --dataset/--hierarchy tree (must match the server's) and\n"
     "             sent as the framed stream protocol with an end-of-stream\n"
     "             marker, --frame records per frame. csv: the file's bytes\n"
     "             are streamed verbatim.\n"
+    "             --stream-name NAME (binary only) identifies the stream\n"
+    "             by name instead of by connection: on every (re)connect\n"
+    "             the server replies with the position it has committed\n"
+    "             and the already-processed prefix is skipped. --retries N\n"
+    "             reconnects up to N times on a lost connection, with\n"
+    "             jittered exponential backoff from --backoff-ms (default\n"
+    "             200).\n"
     "\n"
     "detect/analyze/hierarchy also accept --hierarchy <paths-file> (one\n"
     "leaf path per line) instead of --dataset, for custom domains.\n"
@@ -537,7 +565,9 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
                      "window", "shards", "checkpoint-dir", "checkpoint-every",
                      "restore", "metrics-out", "metrics-every",
                      "max-resident", "hibernate-dir", "listen",
-                     "ingest-format", "net-streams", "read-timeout-ms",
+                     "ingest-format", "net-streams", "stream-names",
+                     "read-timeout-ms", "error-budget", "junk-budget",
+                     "shed-watermark", "fault-plan",
                      "dataset", "hierarchy", "root-name", "anomaly-port",
                      "stats-port", "loopback"})) {
     return 2;
@@ -549,6 +579,7 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   long long maxResident = 0;
   long long listenPort = 0, netStreamsIn = 0, readTimeoutMs = 0;
   long long anomalyPort = 0, statsPort = 0;
+  long long errorBudget = 0, junkBudget = 0, shedWatermark = 0;
   double theta = 0;
   if (!numOption(args, "serve", "streams", 4, err, streamsIn) ||
       !numOption(args, "serve", "units", 96, err, units) ||
@@ -568,6 +599,9 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
                  readTimeoutMs) ||
       !numOption(args, "serve", "anomaly-port", -1, err, anomalyPort) ||
       !numOption(args, "serve", "stats-port", -1, err, statsPort) ||
+      !numOption(args, "serve", "error-budget", 16, err, errorBudget) ||
+      !numOption(args, "serve", "junk-budget", 0, err, junkBudget) ||
+      !numOption(args, "serve", "shed-watermark", 0, err, shedWatermark) ||
       !realOption(args, "serve", "theta", 8, err, theta)) {
     return 2;
   }
@@ -575,10 +609,44 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   // socket-fed ones; the two modes' stream options are mutually
   // exclusive, everything engine-level applies to both.
   const bool listenMode = args.has("listen");
+  // A --fault-plan armed by this run is disarmed on every exit path, so
+  // in-process callers (tests) never leak chaos into the next command.
+  struct FaultInjectGuard {
+    bool armed = false;
+    ~FaultInjectGuard() {
+      if (armed) faultinject::disarm();
+    }
+  } faultGuard;
+  // Named resumable streams (--stream-names a,b,c). Parsed before the
+  // mode checks so the --net-streams default can depend on it: with names
+  // given, anonymous slots default to none.
+  std::vector<std::string> streamNames;
+  if (args.has("stream-names")) {
+    const std::string namesArg = args.get("stream-names", "");
+    std::size_t pos = 0;
+    while (pos <= namesArg.size()) {
+      const std::size_t comma = namesArg.find(',', pos);
+      const std::string name =
+          namesArg.substr(pos, comma == std::string::npos ? std::string::npos
+                                                          : comma - pos);
+      if (name.empty() || name.size() > kSocketMaxStreamNameBytes) {
+        err << "serve: --stream-names wants comma-separated names of 1.."
+            << kSocketMaxStreamNameBytes << " bytes\n";
+        return 2;
+      }
+      for (const std::string& prev : streamNames) {
+        if (prev == name) {
+          err << "serve: --stream-names lists '" << name << "' twice\n";
+          return 2;
+        }
+      }
+      streamNames.push_back(name);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
   if (listenMode) {
-    for (const char* conflicting :
-         {"streams", "units", "seed", "checkpoint-dir", "checkpoint-every",
-          "restore"}) {
+    for (const char* conflicting : {"streams", "units", "seed"}) {
       if (args.has(conflicting)) {
         err << "serve: --" << conflicting
             << " cannot be combined with --listen\n";
@@ -589,18 +657,36 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
       err << "serve: --listen wants a port in [0, 65535] (0 = ephemeral)\n";
       return 2;
     }
-    if (netStreamsIn <= 0) {
-      err << "serve: --net-streams must be positive\n";
+    // Anonymous (positional) slots: default 1, or 0 once named streams
+    // are declared — but explicit --net-streams always wins.
+    if (!args.has("net-streams") && !streamNames.empty()) netStreamsIn = 0;
+    if (netStreamsIn < 0 || (netStreamsIn == 0 && streamNames.empty())) {
+      err << "serve: --net-streams must be positive (0 allowed only with "
+             "--stream-names)\n";
       return 2;
     }
     if (readTimeoutMs <= 0) {
       err << "serve: --read-timeout-ms must be positive\n";
       return 2;
     }
+    if (errorBudget < 0 || junkBudget < 0 || shedWatermark < 0) {
+      err << "serve: --error-budget, --junk-budget and --shed-watermark "
+             "must be >= 0\n";
+      return 2;
+    }
+    if (args.has("fault-plan")) {
+      std::string planError;
+      if (!faultinject::arm(args.get("fault-plan", ""), &planError)) {
+        err << "serve: bad --fault-plan: " << planError << "\n";
+        return 2;
+      }
+      faultGuard.armed = true;
+    }
   } else {
     for (const char* listenOnly :
-         {"ingest-format", "net-streams", "read-timeout-ms", "dataset",
-          "hierarchy", "root-name"}) {
+         {"ingest-format", "net-streams", "stream-names", "read-timeout-ms",
+          "error-budget", "junk-budget", "shed-watermark", "fault-plan",
+          "dataset", "hierarchy", "root-name"}) {
       if (args.has(listenOnly)) {
         err << "serve: --" << listenOnly << " requires --listen\n";
         return 2;
@@ -701,9 +787,9 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
            "hardware thread)\n";
     return 2;
   }
-  const std::size_t streams = listenMode
-                                  ? static_cast<std::size_t>(netStreamsIn)
-                                  : static_cast<std::size_t>(streamsIn);
+  const std::size_t streams =
+      listenMode ? static_cast<std::size_t>(netStreamsIn) + streamNames.size()
+                 : static_cast<std::size_t>(streamsIn);
   const std::string scaleName = args.get("scale", "test");
   Scale scale;
   if (scaleName == "test") {
@@ -765,6 +851,7 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
   engine::DetectionEngine eng(ecfg, std::move(sink));
   std::shared_ptr<net::TcpListener> ingestListener;
+  std::shared_ptr<StreamRouter> router;
   // Borrowed views of the engine-owned sources, for post-drain protocol
   // accounting; valid for the engine's lifetime.
   std::vector<const SocketSource*> netSources;
@@ -781,23 +868,72 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
           << ingestListener->lastError() << "\n";
       return 1;
     }
-    // K sources sharing one listener: each accepts (and serves) one
-    // connection, so the run ends after K connections end.
-    for (std::size_t i = 0; i < streams; ++i) {
+    // One router thread accepts every ingest connection: v2 handshakes
+    // carrying a name land on that name's slot (every reconnect included),
+    // everything else fills the anonymous slots first-come. The run ends
+    // after every stream ends.
+    StreamRouter::Options ropt;
+    ropt.format = socketOpts.format;
+    ropt.handshakeTimeoutMs = socketOpts.readTimeoutMs;
+    if (shedWatermark > 0) {
+      // Accept-time load shedding: refuse new connections while the
+      // engine is this many units behind (checked on the router thread,
+      // stats() is thread-safe).
+      ropt.shedPredicate = [&eng,
+                            mark = static_cast<std::size_t>(shedWatermark)] {
+        return eng.stats().queueLagUnits() >= mark;
+      };
+    }
+    router = std::make_shared<StreamRouter>(ingestListener, ropt);
+    socketOpts.protocolErrorBudget = static_cast<std::size_t>(errorBudget);
+    socketOpts.junkBudgetPerConn = static_cast<std::size_t>(junkBudget);
+    const auto addNetStream = [&](const std::string& name,
+                                  SocketSourceOptions opts,
+                                  std::size_t slot) {
       PipelineConfig cfg;
       cfg.delta = spec->unit;
       cfg.detector.theta = theta;
       cfg.detector.windowLength = static_cast<std::size_t>(window);
       cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
-      const std::string name = "net-" + std::to_string(i);
       store.registerStream(name, spec->hierarchy);
       streamHier.emplace(name, &spec->hierarchy);
-      auto src = std::make_unique<SocketSource>(ingestListener,
-                                                spec->hierarchy, socketOpts);
+      auto src = std::make_unique<SocketSource>(router, slot, spec->hierarchy,
+                                                std::move(opts));
       netSources.push_back(src.get());
       eng.addStream(name, workload::sharedHierarchy(spec), cfg,
                     std::move(src));
+    };
+    // Named resumable streams first. The engine stream name is the wire
+    // name, so a checkpoint restore matches a reconnecting client's
+    // stream by the same identity.
+    for (const std::string& name : streamNames) {
+      SocketSourceOptions opts = socketOpts;
+      opts.streamName = name;
+      opts.unitDelta = spec->unit;
+      addNetStream(name, std::move(opts), router->addNamedSlot(name));
     }
+    for (long long i = 0; i < netStreamsIn; ++i) {
+      addNetStream("net-" + std::to_string(i), socketOpts,
+                   router->addAnonymousSlot());
+    }
+    // Fold the serving-surface counters into the sampled gauges the
+    // stats endpoint serves. Captures by value: the sampler thread stops
+    // inside the engine's own teardown, before either the sources (engine
+    // owned) or the router (shared_ptr) can die.
+    eng.setGaugeSampler(
+        [sources = netSources, router](obs::MetricsRegistry& reg) {
+          std::size_t reconnects = 0, resumes = 0;
+          for (const SocketSource* s : sources) {
+            reconnects += s->reconnects();
+            resumes += s->resumes();
+          }
+          reg.recordValue(obs::Gauge::kNetReconnects, reconnects);
+          reg.recordValue(obs::Gauge::kNetResumes, resumes);
+          reg.recordValue(obs::Gauge::kNetShedConnections,
+                          router->shedConnections());
+          reg.recordValue(obs::Gauge::kNetInjectedFaults,
+                          faultinject::injectedCount());
+        });
   } else {
     specs.reserve(std::size(kPresets));
     for (const Preset& preset : kPresets) {
@@ -874,6 +1010,7 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (listenMode) {
       out << " ingest=" << ingestListener->port() << " format=" << formatName
           << " net-streams=" << streams;
+      if (!streamNames.empty()) out << " named=" << streamNames.size();
     }
     if (args.has("anomaly-port")) out << " anomaly=" << broadcaster.port();
     if (args.has("stats-port")) out << " stats=" << statsServer.port();
@@ -881,6 +1018,7 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
 
   eng.start();
+  if (router) router->start();
 
   // Periodic checkpointer: snapshot whenever another --checkpoint-every
   // units have been processed. Runs beside drain(); the engine quiesces
@@ -895,6 +1033,7 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
     metricsFile.open(metricsOut, std::ios::trunc);
     if (!metricsFile) {
       err << "serve: cannot open --metrics-out '" << metricsOut << "'\n";
+      if (router) router->stop();  // wakes sources blocked in await()
       eng.stop();
       return 1;
     }
@@ -933,8 +1072,11 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
 
   const auto stats = eng.drain();
-  // Stop order matters: closing the broadcaster's subscribers is their
-  // end-of-run EOF, and the stats renderer must not outlive the engine.
+  // Stop order matters: the router's shed predicate polls the engine, so
+  // the accept thread dies first; closing the broadcaster's subscribers
+  // is their end-of-run EOF, and the stats renderer must not outlive the
+  // engine.
+  if (router) router->stop();
   broadcaster.stop();
   statsServer.stop();
   serveDone.store(true, std::memory_order_relaxed);
@@ -1018,12 +1160,23 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
   if (listenMode) {
     std::size_t protoErrors = 0, unresolved = 0;
+    std::size_t reconnects = 0, resumes = 0;
     for (const SocketSource* src : netSources) {
       protoErrors += src->protocolErrors();
       unresolved += src->unresolvedPaths();
+      reconnects += src->reconnects();
+      resumes += src->resumes();
     }
     out << "net: protocol-errors=" << protoErrors
-        << " unresolved-paths=" << unresolved;
+        << " unresolved-paths=" << unresolved
+        << " reconnects=" << reconnects << " resumes=" << resumes;
+    if (router) {
+      out << " shed=" << router->shedConnections()
+          << " rejected=" << router->rejected();
+    }
+    if (faultinject::armed()) {
+      out << " injected-faults=" << faultinject::injectedCount();
+    }
     if (args.has("anomaly-port")) {
       out << " anomaly-subscribers=" << broadcaster.accepted();
     }
@@ -1040,7 +1193,8 @@ int cmdServe(const CliArgs& args, std::ostream& out, std::ostream& err) {
 int cmdSend(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if (!checkOptions(args, err,
                     {"to", "trace", "format", "dataset", "scale", "hierarchy",
-                     "root-name", "frame", "timeout-ms"})) {
+                     "root-name", "frame", "timeout-ms", "stream-name",
+                     "retries", "backoff-ms"})) {
     return 2;
   }
   const std::string to = args.get("to", "");
@@ -1071,9 +1225,11 @@ int cmdSend(const CliArgs& args, std::ostream& out, std::ostream& err) {
     err << "send: unknown --format '" << format << "' (want binary|csv)\n";
     return 2;
   }
-  long long frameIn = 0, timeoutMs = 0;
+  long long frameIn = 0, timeoutMs = 0, retries = 0, backoffMs = 0;
   if (!numOption(args, "send", "frame", 8192, err, frameIn) ||
-      !numOption(args, "send", "timeout-ms", 30'000, err, timeoutMs)) {
+      !numOption(args, "send", "timeout-ms", 30'000, err, timeoutMs) ||
+      !numOption(args, "send", "retries", 0, err, retries) ||
+      !numOption(args, "send", "backoff-ms", 200, err, backoffMs)) {
     return 2;
   }
   if (frameIn <= 0 ||
@@ -1086,16 +1242,36 @@ int cmdSend(const CliArgs& args, std::ostream& out, std::ostream& err) {
     err << "send: --timeout-ms must be positive\n";
     return 2;
   }
-
-  net::ignoreSigpipe();
-  net::TcpConn conn = net::connectTo(host, static_cast<std::uint16_t>(portIn),
-                                     static_cast<int>(timeoutMs));
-  if (!conn.valid()) {
-    err << "send: cannot connect to " << to << "\n";
-    return 1;
+  const std::string streamName = args.get("stream-name", "");
+  if (streamName.size() > kSocketMaxStreamNameBytes ||
+      (args.has("stream-name") && streamName.empty())) {
+    err << "send: --stream-name wants 1.." << kSocketMaxStreamNameBytes
+        << " bytes\n";
+    return 2;
+  }
+  if (retries < 0 || backoffMs <= 0) {
+    err << "send: --retries must be >= 0 and --backoff-ms positive\n";
+    return 2;
+  }
+  if (format == "csv" &&
+      (args.has("stream-name") || args.has("retries") ||
+       args.has("backoff-ms"))) {
+    err << "send: --stream-name/--retries/--backoff-ms require the binary "
+           "format (csv bytes are forwarded verbatim, with no handshake to "
+           "resume from)\n";
+    return 2;
   }
 
+  net::ignoreSigpipe();
+  const auto port = static_cast<std::uint16_t>(portIn);
+
   if (format == "csv") {
+    net::TcpConn conn =
+        net::connectTo(host, port, static_cast<int>(timeoutMs));
+    if (!conn.valid()) {
+      err << "send: cannot connect to " << to << "\n";
+      return 1;
+    }
     // CSV is forwarded verbatim; the server applies CsvSource semantics.
     std::ifstream in(trace, std::ios::binary);
     if (!in) {
@@ -1124,45 +1300,128 @@ int cmdSend(const CliArgs& args, std::ostream& out, std::ostream& err) {
   // (file-id == NodeId, so records pass through unmapped).
   WorkloadSpec spec;
   if (!parseDataset(args, err, spec)) return 2;
-  std::uint64_t sent = 0, skipped = 0;
-  try {
-    const Hierarchy& h = spec.hierarchy;
-    std::vector<std::string> paths;
-    paths.reserve(h.size());
-    for (std::size_t n = 0; n < h.size(); ++n) {
-      paths.push_back(h.path(static_cast<NodeId>(n)));
-    }
-    std::vector<std::uint8_t> wire = encodeSocketHandshake(paths);
-    if (!conn.writeAll(wire.data(), wire.size())) {
-      err << "send: connection lost during handshake\n";
-      return 1;
-    }
-    const auto source = openTraceSource(trace, h);
-    std::vector<Record> batch;
-    while (source->nextBatch(batch, static_cast<std::size_t>(frameIn)) > 0) {
-      wire.clear();
-      appendSocketFrame(wire, batch.data(), batch.size());
-      if (!conn.writeAll(wire.data(), wire.size())) {
-        err << "send: connection lost after " << sent << " records\n";
+  const Hierarchy& h = spec.hierarchy;
+  std::vector<std::string> paths;
+  paths.reserve(h.size());
+  for (std::size_t n = 0; n < h.size(); ++n) {
+    paths.push_back(h.path(static_cast<NodeId>(n)));
+  }
+  // Client-chosen session token (informational — the name is the
+  // identity) which doubles as the backoff-jitter seed, so concurrent
+  // retrying clients spread out instead of reconnecting in lockstep.
+  std::random_device rd;
+  const std::uint64_t token =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  std::mt19937_64 jitterRng(token);
+  const int ioTimeout = static_cast<int>(timeoutMs);
+
+  std::uint64_t sent = 0, resumeSkipped = 0, skipped = 0;
+  std::string lastError;
+  for (long long attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      if (attempt > retries) {
+        err << "send: " << lastError << " (gave up after " << retries
+            << " retries)\n";
         return 1;
       }
-      sent += batch.size();
+      // Jittered exponential backoff, capped at 10s: delay in
+      // [base/2, base] with base = backoffMs * 2^(attempt-1).
+      const long long shift = attempt - 1 < 10 ? attempt - 1 : 10;
+      const long long base = std::min(backoffMs << shift, 10'000LL);
+      std::uniform_int_distribution<long long> jitter(base / 2, base);
+      std::this_thread::sleep_for(std::chrono::milliseconds(jitter(jitterRng)));
+      err << "send: " << lastError << "; retrying (" << attempt << "/"
+          << retries << ")\n";
     }
-    skipped = source->skippedRecords();
-    wire.clear();
-    appendSocketEndOfStream(wire);
-    if (!conn.writeAll(wire.data(), wire.size())) {
-      err << "send: connection lost at end of stream\n";
+    sent = 0;
+    resumeSkipped = 0;
+    net::TcpConn conn = net::connectTo(host, port, ioTimeout);
+    if (!conn.valid()) {
+      lastError = "cannot connect to " + to;
+      continue;
+    }
+    std::vector<std::uint8_t> wire =
+        streamName.empty()
+            ? encodeSocketHandshake(paths)
+            : encodeSocketHandshakeV2(paths, streamName, token);
+    if (!conn.writeAll(wire.data(), wire.size(), ioTimeout)) {
+      lastError = "connection lost during handshake";
+      continue;
+    }
+    // Named streams: the server answers with the position it has already
+    // committed; everything before it is skipped instead of re-sent.
+    Timestamp committed = kSocketNoCommit;
+    if (!streamName.empty()) {
+      SocketResumeReply reply;
+      if (!readSocketResumeReply(conn, ioTimeout, reply)) {
+        lastError = "no resume reply from server";
+        continue;
+      }
+      if (reply.status == kSocketResumeUnknownStream) {
+        err << "send: server does not serve a stream named '" << streamName
+            << "'\n";
+        return 1;
+      }
+      if (reply.status != kSocketResumeOk) {
+        lastError = "server shed the connection (overloaded)";
+        continue;
+      }
+      committed = reply.committedTime;
+      if (committed != kSocketNoCommit && attempt > 0) {
+        err << "send: resuming '" << streamName << "' from t=" << committed
+            << "\n";
+      }
+    }
+    // The trace reopens on every attempt; the committed prefix is
+    // dropped record by record and the rest re-framed.
+    bool lost = false;
+    try {
+      const auto source = openTraceSource(trace, h);
+      std::vector<Record> batch, keep;
+      while (source->nextBatch(batch, static_cast<std::size_t>(frameIn)) >
+             0) {
+        keep.clear();
+        for (const Record& r : batch) {
+          if (r.time < committed) {
+            ++resumeSkipped;
+          } else {
+            keep.push_back(r);
+          }
+        }
+        if (keep.empty()) continue;
+        wire.clear();
+        appendSocketFrame(wire, keep.data(), keep.size());
+        if (!conn.writeAll(wire.data(), wire.size(), ioTimeout)) {
+          lastError =
+              "connection lost after " + std::to_string(sent) + " records";
+          lost = true;
+          break;
+        }
+        sent += keep.size();
+      }
+      if (!lost) {
+        skipped = source->skippedRecords();
+        wire.clear();
+        appendSocketEndOfStream(wire);
+        if (!conn.writeAll(wire.data(), wire.size(), ioTimeout)) {
+          lastError = "connection lost at end of stream";
+          lost = true;
+        }
+      }
+    } catch (const persist::SnapshotError& e) {
+      err << "send: cannot read --trace '" << trace << "': " << e.what()
+          << "\n";
       return 1;
     }
-  } catch (const persist::SnapshotError& e) {
-    err << "send: cannot read --trace '" << trace << "': " << e.what()
-        << "\n";
-    return 1;
+    if (lost) continue;
+    conn.shutdownWrite();
+    break;
   }
-  conn.shutdownWrite();
-  out << "sent " << sent << " records to " << to << " (" << skipped
-      << " skipped)\n";
+  // resumeSkipped counts records the server had already committed — they
+  // were delivered (by an earlier attempt or an earlier process), so the
+  // logical total stays the full trace.
+  out << "sent " << (sent + resumeSkipped) << " records to " << to << " ("
+      << skipped << " skipped)\n";
   return 0;
 }
 

@@ -1,0 +1,251 @@
+// The fault-tolerance contract, end to end and in process: a named
+// client streaming through the router under an armed fault plan
+// (injected disconnects, short reads, EINTR) while the server is
+// checkpointed, destroyed mid-stream (everything in memory lost — the
+// in-process "kill -9"), rebuilt on the same port and restored, must end
+// with anomaly reports and stream summaries *bit-identical* to a clean,
+// fault-free run over the same records. The unit-granular commit
+// protocol is what makes that true: no record is delivered twice, none
+// is lost, no matter where the connections tear.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/faultinject.h"
+#include "core/pipeline.h"
+#include "engine/engine.h"
+#include "net/tcp.h"
+#include "report/concurrent_store.h"
+#include "stream/socket_source.h"
+#include "stream/source.h"
+#include "stream/stream_router.h"
+#include "timeseries/ewma.h"
+#include "workload/ccd.h"
+
+namespace tiresias {
+namespace {
+
+using engine::DetectionEngine;
+using engine::EngineConfig;
+using workload::GeneratorSource;
+using workload::Scale;
+using workload::WorkloadSpec;
+
+constexpr int kTestTimeoutMs = 10'000;
+constexpr char kStream[] = "s0";
+
+std::string tempSnapshotPath(const char* name) {
+  return std::string(::testing::TempDir()) + "chaos_" + name + "_" +
+         std::to_string(::getpid()) + ".tsnap";
+}
+
+PipelineConfig pipelineConfig(const WorkloadSpec& spec) {
+  PipelineConfig cfg;
+  cfg.delta = spec.unit;
+  cfg.detector.theta = 8.0;
+  cfg.detector.windowLength = 16;
+  cfg.detector.forecasterFactory = std::make_shared<EwmaFactory>(0.5);
+  return cfg;
+}
+
+EngineConfig engineConfig() {
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.ingestThreads = 1;
+  cfg.runBudget = 4;
+  cfg.streamQueueCapacity = 8;
+  cfg.totalQueueCapacity = 64;
+  return cfg;
+}
+
+std::vector<std::string> allPaths(const Hierarchy& h) {
+  std::vector<std::string> paths;
+  paths.reserve(h.size());
+  for (std::size_t n = 0; n < h.size(); ++n) {
+    paths.push_back(h.path(static_cast<NodeId>(n)));
+  }
+  return paths;
+}
+
+/// One `send --stream-name` attempt: connect, v2 handshake, honor the
+/// server's committed position, stream frames, optionally finish with
+/// end-of-stream. False on any failure (the caller retries) and always
+/// false without `withEos` — a phase-1 attempt is a deliberate
+/// mid-stream disconnect once everything uncommitted has been pushed.
+bool sendOnce(std::uint16_t port, const std::vector<std::string>& paths,
+              const std::vector<Record>& records, bool withEos) {
+  net::TcpConn conn = net::connectLoopback(port, 2'000);
+  if (!conn.valid()) return false;
+  const auto hs = encodeSocketHandshakeV2(paths, kStream, /*resumeToken=*/99);
+  if (!conn.writeAll(hs.data(), hs.size(), 2'000)) return false;
+  SocketResumeReply reply;
+  if (!readSocketResumeReply(conn, 5'000, reply)) return false;
+  if (reply.status != kSocketResumeOk) return false;
+  std::size_t at = 0;
+  while (at < records.size() && records[at].time < reply.committedTime) ++at;
+  while (at < records.size()) {
+    const std::size_t n = std::min<std::size_t>(32, records.size() - at);
+    std::vector<std::uint8_t> wire;
+    appendSocketFrame(wire, records.data() + at, n);
+    if (!conn.writeAll(wire.data(), wire.size(), 2'000)) return false;
+    at += n;
+  }
+  if (!withEos) return false;
+  std::vector<std::uint8_t> eos;
+  appendSocketEndOfStream(eos);
+  return conn.writeAll(eos.data(), eos.size(), 2'000);
+}
+
+TEST(ChaosNet, KillRestoreReconnectIsBitIdenticalToFaultFreeRun) {
+  WorkloadSpec spec = workload::ccdNetworkWorkload(Scale::kTest);
+  const TimeUnit kUnits = 120;
+  std::vector<Record> records;
+  {
+    GeneratorSource gen(spec, 0, kUnits, 17);
+    while (auto r = gen.next()) records.push_back(*r);
+  }
+  ASSERT_GT(records.size(), 500u);
+  const auto paths = allPaths(spec.hierarchy);
+  const PipelineConfig pcfg = pipelineConfig(spec);
+
+  // Fault-free reference: same records, no network, no interruptions.
+  report::ConcurrentAnomalyStore refStore;
+  RunSummary refSummary;
+  {
+    DetectionEngine eng(engineConfig(), refStore.sink());
+    refStore.registerStream(kStream, spec.hierarchy);
+    eng.addStream(kStream, borrowHierarchy(spec.hierarchy), pcfg,
+                  std::make_unique<VectorSource>(records));
+    eng.start();
+    eng.drain();
+    refSummary = eng.streamSummary(0);
+  }
+  ASSERT_GT(refSummary.recordsProcessed, 0u);
+
+  // Chaos leg. The listener's port is fixed up front so the restarted
+  // server can rebind it and the client never has to re-discover it.
+  const std::string path = tempSnapshotPath("restore");
+  auto listener = std::make_shared<net::TcpListener>();
+  ASSERT_TRUE(listener->listen(0, /*loopbackOnly=*/true))
+      << listener->lastError();
+  const std::uint16_t port = listener->port();
+
+  SocketSourceOptions sopt;
+  sopt.streamName = kStream;
+  sopt.unitDelta = spec.unit;
+  sopt.readTimeoutMs = kTestTimeoutMs;
+  sopt.protocolErrorBudget = 100'000;  // chaos burns many connections
+
+  ASSERT_TRUE(faultinject::arm("seed=5,disconnect=0.05,short-read=0.1,"
+                               "eintr=0.1"));
+
+  report::ConcurrentAnomalyStore lostStore;  // dies with the crash
+  lostStore.registerStream(kStream, spec.hierarchy);
+  auto eng1 = std::make_unique<DetectionEngine>(engineConfig(),
+                                                lostStore.sink());
+  auto router1 =
+      std::make_shared<StreamRouter>(listener, StreamRouter::Options{});
+  eng1->addStream(kStream, borrowHierarchy(spec.hierarchy), pcfg,
+                  std::make_unique<SocketSource>(
+                      router1, router1->addNamedSlot(kStream),
+                      spec.hierarchy, sopt));
+  eng1->start();
+  router1->start();
+
+  // The client: phase 1 keeps re-sending everything uncommitted and
+  // tearing the connection down (no end-of-stream) until the restarted
+  // server is up; phase 2 finishes the stream for real.
+  std::atomic<bool> restartReady{false};
+  std::atomic<bool> delivered{false};
+  std::thread client([&] {
+    while (!restartReady.load(std::memory_order_acquire)) {
+      sendOnce(port, paths, records, /*withEos=*/false);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    for (int i = 0; i < 500 && !delivered.load(std::memory_order_relaxed);
+         ++i) {
+      if (sendOnce(port, paths, records, /*withEos=*/true)) {
+        delivered.store(true, std::memory_order_release);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+  });
+
+  // Let real progress land (best effort — the equivalence holds wherever
+  // the checkpoint falls), snapshot, then lose everything in memory.
+  const auto progressDeadline = std::chrono::steady_clock::now() +
+                                std::chrono::seconds(60);
+  while (eng1->stats().unitsProcessed < 20 &&
+         std::chrono::steady_clock::now() < progressDeadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  eng1->checkpoint(path,
+                   [&](persist::Serializer& s) { lostStore.saveState(s); });
+  router1->stop();  // wakes the source's await() so stop() joins fast
+  eng1->stop();
+  eng1.reset();
+  router1.reset();
+  listener->close();
+  listener.reset();
+  faultinject::disarm();  // the restored leg runs clean
+
+  // Restart: rebind the same port, restore, let the client reconnect and
+  // finish. SO_REUSEADDR makes the rebind race-free against TIME_WAIT,
+  // but give the kernel a few tries anyway.
+  auto listener2 = std::make_shared<net::TcpListener>();
+  bool bound = false;
+  for (int i = 0; i < 50 && !bound; ++i) {
+    bound = listener2->listen(port, /*loopbackOnly=*/true);
+    if (!bound) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_TRUE(bound) << listener2->lastError();
+
+  report::ConcurrentAnomalyStore store;
+  store.registerStream(kStream, spec.hierarchy);
+  DetectionEngine eng(engineConfig(), store.sink());
+  auto router2 =
+      std::make_shared<StreamRouter>(listener2, StreamRouter::Options{});
+  eng.addStream(kStream, borrowHierarchy(spec.hierarchy), pcfg,
+                std::make_unique<SocketSource>(
+                    router2, router2->addNamedSlot(kStream), spec.hierarchy,
+                    sopt));
+  const std::size_t restored = eng.restoreFrom(
+      path, [&](persist::Deserializer& d) { store.loadState(d); });
+  EXPECT_EQ(restored, 1u);
+  eng.start();
+  router2->start();
+  restartReady.store(true, std::memory_order_release);
+  const auto stats = eng.drain();
+  router2->stop();
+  client.join();
+  EXPECT_TRUE(delivered.load());
+  EXPECT_EQ(stats.checkpoint.restores, 1u);
+
+  // Bit-identical to the uninterrupted run: summary and every report.
+  const RunSummary got = eng.streamSummary(0);
+  EXPECT_EQ(got.unitsProcessed, refSummary.unitsProcessed);
+  EXPECT_EQ(got.recordsProcessed, refSummary.recordsProcessed);
+  EXPECT_EQ(got.instancesDetected, refSummary.instancesDetected);
+  EXPECT_EQ(got.anomaliesReported, refSummary.anomaliesReported);
+  EXPECT_EQ(got.warmupUnitsBuffered, refSummary.warmupUnitsBuffered);
+  const auto gotReports = store.snapshot(kStream);
+  const auto wantReports = refStore.snapshot(kStream);
+  ASSERT_EQ(gotReports.size(), wantReports.size());
+  for (std::size_t k = 0; k < gotReports.size(); ++k) {
+    EXPECT_EQ(gotReports[k].anomaly, wantReports[k].anomaly);
+    EXPECT_EQ(gotReports[k].path, wantReports[k].path);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/faultinject.h"
 #include "tools/cli.h"
 
 namespace tiresias::tools {
@@ -218,6 +219,38 @@ TEST(Cli, ServeValidatesNetworkFlags) {
   EXPECT_NE(err.find("--net-streams must be positive"), std::string::npos);
 }
 
+TEST(Cli, ServeValidatesFaultToleranceFlags) {
+  std::string err;
+  // Stream names must be well-formed and unique.
+  EXPECT_EQ(run({"serve", "--listen", "0", "--stream-names", "a,,b"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("comma-separated names"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--listen", "0", "--stream-names", "a,b,a"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("lists 'a' twice"), std::string::npos);
+  // A malformed fault plan is rejected with the parser's diagnostic.
+  EXPECT_EQ(run({"serve", "--listen", "0", "--fault-plan", "bogus=1.0"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("bad --fault-plan"), std::string::npos);
+  EXPECT_NE(err.find("unknown key"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--listen", "0", "--fault-plan",
+                 "disconnect=2.0"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("bad --fault-plan"), std::string::npos);
+  // Fault injection is a listen-mode option like the rest.
+  EXPECT_EQ(run({"serve", "--streams", "1", "--units", "1", "--fault-plan",
+                 "disconnect=0.1"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("requires --listen"), std::string::npos);
+  // A failed arm must not leave the process armed.
+  EXPECT_FALSE(faultinject::armed());
+}
+
 TEST(Cli, SendValidatesArguments) {
   std::string err;
   EXPECT_EQ(run({"send", "--trace", "/tmp/x.csv"}, nullptr, &err), 2);
@@ -235,6 +268,32 @@ TEST(Cli, SendValidatesArguments) {
                 nullptr, &err),
             2);
   EXPECT_NE(err.find("unknown --format"), std::string::npos);
+  // Reconnect/resume options are binary-framing features.
+  EXPECT_EQ(run({"send", "--to", "localhost:1", "--trace", "/tmp/x.csv",
+                 "--format", "csv", "--stream-name", "s0"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("require the binary format"), std::string::npos);
+  EXPECT_EQ(run({"send", "--to", "localhost:1", "--trace", "/tmp/x.csv",
+                 "--format", "csv", "--retries", "3"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("require the binary format"), std::string::npos);
+  EXPECT_EQ(run({"send", "--to", "localhost:1", "--trace", "/tmp/x.csv",
+                 "--stream-name", ""},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--stream-name wants 1.."), std::string::npos);
+  EXPECT_EQ(run({"send", "--to", "localhost:1", "--trace", "/tmp/x.csv",
+                 "--retries", "-1"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--retries must be >= 0"), std::string::npos);
+  EXPECT_EQ(run({"send", "--to", "localhost:1", "--trace", "/tmp/x.csv",
+                 "--backoff-ms", "0"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--backoff-ms positive"), std::string::npos);
 }
 
 TEST(Cli, AnalyzeFindsDiurnalSeason) {

@@ -1,0 +1,142 @@
+// Deterministic fault injection: plan parsing must reject junk loudly,
+// armed decisions must be a pure function of (seed, call sequence), the
+// disarmed path must be inert, and the net-layer hooks must degrade the
+// way the serving surface expects (closed connections, surviving
+// listeners) — never crash.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/faultinject.h"
+#include "net/tcp.h"
+
+namespace tiresias {
+namespace {
+
+using faultinject::Decision;
+using faultinject::Point;
+
+/// Every test leaves the process disarmed (the registry is global).
+struct DisarmOnExit {
+  ~DisarmOnExit() { faultinject::disarm(); }
+};
+
+std::vector<Decision::Kind> drawKinds(Point point, std::size_t n) {
+  std::vector<Decision::Kind> kinds;
+  kinds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kinds.push_back(faultinject::decide(point).kind);
+  }
+  return kinds;
+}
+
+TEST(FaultInject, RejectsMalformedPlans) {
+  DisarmOnExit guard;
+  std::string error;
+  EXPECT_FALSE(faultinject::arm("disconnect", &error));
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+  EXPECT_FALSE(faultinject::arm("frobnicate=0.5", &error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+  EXPECT_FALSE(faultinject::arm("disconnect=1.5", &error));  // p > 1
+  EXPECT_FALSE(faultinject::arm("disconnect=-0.1", &error));
+  EXPECT_FALSE(faultinject::arm("disconnect=0.5x", &error));  // trailing junk
+  EXPECT_FALSE(faultinject::arm("seed=abc", &error));
+  EXPECT_FALSE(faultinject::arm("stall=0.5:999999", &error));  // ms cap
+  EXPECT_FALSE(faultinject::armed());  // failed arms never arm
+}
+
+TEST(FaultInject, AcceptsTheFullGrammar) {
+  DisarmOnExit guard;
+  EXPECT_TRUE(faultinject::arm(
+      "seed=7,short-read=0.1,short-write=0.1,eintr=0.2,disconnect=0.01,"
+      "accept-fail=0.05,stall=0.02:25"));
+  EXPECT_TRUE(faultinject::armed());
+  faultinject::disarm();
+  EXPECT_TRUE(faultinject::arm(""));  // empty plan: armed, all-zero rates
+  EXPECT_EQ(faultinject::decide(Point::kRecv).kind, Decision::Kind::kNone);
+}
+
+TEST(FaultInject, DisarmedDecidesNothing) {
+  faultinject::disarm();
+  const std::uint64_t before = faultinject::injectedCount();
+  for (int i = 0; i < 100; ++i) {
+    const Decision d = faultinject::decide(Point::kRecv);
+    EXPECT_EQ(d.kind, Decision::Kind::kNone);
+    EXPECT_EQ(d.stallMs, 0);
+  }
+  EXPECT_EQ(faultinject::injectedCount(), before);
+}
+
+TEST(FaultInject, SameSeedSameCallSequenceSameDecisions) {
+  DisarmOnExit guard;
+  const std::string plan =
+      "seed=11,disconnect=0.3,short-read=0.2,eintr=0.1";
+  ASSERT_TRUE(faultinject::arm(plan));
+  const auto first = drawKinds(Point::kRecv, 300);
+  faultinject::disarm();
+  ASSERT_TRUE(faultinject::arm(plan));  // re-arm resets the stream
+  EXPECT_EQ(drawKinds(Point::kRecv, 300), first);
+  // A different seed gives a different stream (identical sequences over
+  // 300 draws at these rates would be astronomically unlikely).
+  faultinject::disarm();
+  ASSERT_TRUE(faultinject::arm("seed=12,disconnect=0.3,short-read=0.2,"
+                               "eintr=0.1"));
+  EXPECT_NE(drawKinds(Point::kRecv, 300), first);
+}
+
+TEST(FaultInject, InjectedCountTracksFiredFaults) {
+  DisarmOnExit guard;
+  ASSERT_TRUE(faultinject::arm("seed=3,disconnect=1.0"));
+  const std::uint64_t before = faultinject::injectedCount();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(faultinject::decide(Point::kSend).kind,
+              Decision::Kind::kDisconnect);
+  }
+  EXPECT_EQ(faultinject::injectedCount(), before + 10);
+}
+
+// ---------------------------------------------------------------------
+// Hook behavior through the TCP layer.
+
+TEST(FaultInject, DisconnectFaultDropsTheConnection) {
+  DisarmOnExit guard;
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.listen(0, /*loopbackOnly=*/true));
+  std::thread peer([port = listener.port()] {
+    net::TcpConn c = net::connectLoopback(port, 5'000);
+    ASSERT_TRUE(c.valid());
+    const char byte = 'x';
+    (void)c.writeAll(&byte, 1, 5'000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  net::TcpConn conn = listener.accept(5'000);
+  ASSERT_TRUE(conn.valid());
+  ASSERT_TRUE(faultinject::arm("seed=1,disconnect=1.0"));
+  char buf = 0;
+  std::size_t got = 0;
+  EXPECT_EQ(conn.readSome(&buf, 1, got, 1'000), net::IoStatus::kError);
+  EXPECT_FALSE(conn.valid());  // the injected disconnect closed the fd
+  peer.join();
+}
+
+TEST(FaultInject, AcceptFaultBacksOffAndTheListenerSurvives) {
+  DisarmOnExit guard;
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.listen(0, /*loopbackOnly=*/true));
+  net::TcpConn pending = net::connectLoopback(listener.port(), 5'000);
+  ASSERT_TRUE(pending.valid());
+  // Every accept attempt fails with an injected EMFILE: the deadline
+  // elapses with backoff, the listener itself stays valid.
+  ASSERT_TRUE(faultinject::arm("seed=1,accept-fail=1.0"));
+  EXPECT_FALSE(listener.accept(200).valid());
+  EXPECT_TRUE(listener.valid());
+  // Disarmed, the queued connection is accepted normally.
+  faultinject::disarm();
+  EXPECT_TRUE(listener.accept(5'000).valid());
+}
+
+}  // namespace
+}  // namespace tiresias

@@ -34,7 +34,9 @@ std::vector<Record> drainPerRecord(RecordSource& src) {
 
 std::vector<Record> drainBatched(RecordSource& src, std::size_t max) {
   std::vector<Record> out, chunk;
-  while (src.nextBatch(chunk, max) > 0) {
+  // An empty pull with idle() true is a bounded idle wait expiring (the
+  // writer thread may not have connected yet), not the end of stream.
+  while (src.nextBatch(chunk, max) > 0 || src.idle()) {
     out.insert(out.end(), chunk.begin(), chunk.end());
   }
   return out;
@@ -127,7 +129,7 @@ TEST(SocketSource, BinaryRoundTripPerRecordAndBatched) {
     const auto first = src.next();
     ASSERT_TRUE(first);
     got.push_back(*first);
-    while (src.nextBatch(chunk, 7) > 0) {
+    while (src.nextBatch(chunk, 7) > 0 || src.idle()) {
       got.insert(got.end(), chunk.begin(), chunk.end());
     }
     EXPECT_EQ(got, want);
@@ -347,6 +349,210 @@ TEST(SocketSource, AdoptedConnectionWorksWithoutListener) {
   SocketSource src(std::move(accepted), h);
   EXPECT_EQ(drainPerRecord(src), want);
   EXPECT_EQ(src.protocolErrors(), 0u);
+  writer.join();
+}
+
+// ---------------------------------------------------------------------
+// kAuto sniff: binary requires the FULL magic + version prefix.
+
+TEST(SocketSource, AutoSniffCsvRowStartingWithMagicIsCsv) {
+  // Regression: a CSV category path that literally starts with "TSRS"
+  // used to be mistaken for binary (the old sniff checked only the four
+  // magic bytes). The version field never matches printable text, so the
+  // full 8-byte sniff keeps it in the CSV lane.
+  const auto h =
+      HierarchyBuilder::fromPaths({"TSRSROOT/leafA", "TSRSROOT/leafB"});
+  const NodeId a = h.find("TSRSROOT/leafA");
+  const NodeId b = h.find("TSRSROOT/leafB");
+  ASSERT_NE(a, kInvalidNode);
+  ASSERT_NE(b, kInvalidNode);
+  const std::string csv = "TSRSROOT/leafA,100\nTSRSROOT/leafB,200\n";
+
+  auto listener = loopbackListener();
+  std::thread writer = writeAsync(
+      listener->port(), std::vector<std::uint8_t>(csv.begin(), csv.end()));
+  SocketSource src(listener, h);  // kAuto
+  EXPECT_EQ(drainPerRecord(src),
+            (std::vector<Record>{{a, 100}, {b, 200}}));
+  EXPECT_EQ(src.skippedRecords(), 0u);
+  EXPECT_EQ(src.protocolErrors(), 0u);
+  writer.join();
+}
+
+TEST(SocketSource, AutoSniffTinyCsvUnderEightBytesIsCsv) {
+  // A whole CSV stream shorter than the sniff window (EOF mid-sniff)
+  // must still parse as CSV, not fail or hang.
+  const auto h = HierarchyBuilder::fromPaths({"a"});
+  const NodeId a = h.find("a");
+  ASSERT_NE(a, kInvalidNode);
+  const std::string csv = "a,7\n";  // 4 bytes
+  auto listener = loopbackListener();
+  std::thread writer = writeAsync(
+      listener->port(), std::vector<std::uint8_t>(csv.begin(), csv.end()));
+  SocketSource src(listener, h);
+  EXPECT_EQ(drainPerRecord(src), (std::vector<Record>{{a, 7}}));
+  EXPECT_EQ(src.protocolErrors(), 0u);
+  writer.join();
+}
+
+// ---------------------------------------------------------------------
+// v2 named-stream handshake: resume reply, reconnect, unit-granular
+// commits.
+
+TEST(SocketSource, V2HandshakeRepliesAndDelivers) {
+  const auto h = HierarchyBuilder::balanced({3, 2});
+  const auto want = sampleRecords(h, 20);
+  auto listener = loopbackListener();
+  std::thread client([port = listener->port(), &h, &want] {
+    net::TcpConn conn = net::connectLoopback(port, kTestTimeoutMs);
+    ASSERT_TRUE(conn.valid());
+    const auto hs = encodeSocketHandshakeV2(allPaths(h), "s0", 42);
+    ASSERT_TRUE(conn.writeAll(hs.data(), hs.size()));
+    SocketResumeReply reply;
+    ASSERT_TRUE(readSocketResumeReply(conn, kTestTimeoutMs, reply));
+    EXPECT_EQ(reply.status, kSocketResumeOk);
+    EXPECT_EQ(reply.committedTime, kSocketNoCommit);  // fresh stream
+    std::vector<std::uint8_t> wire;
+    appendSocketFrame(wire, want.data(), want.size());
+    appendSocketEndOfStream(wire);
+    EXPECT_TRUE(conn.writeAll(wire.data(), wire.size()));
+  });
+  SocketSourceOptions opt;
+  opt.streamName = "s0";
+  opt.unitDelta = 10;
+  SocketSource src(listener, h, opt);
+  EXPECT_EQ(drainBatched(src, 64), want);
+  EXPECT_EQ(src.protocolErrors(), 0u);
+  EXPECT_EQ(src.reconnects(), 0u);
+  EXPECT_EQ(src.resumes(), 0u);
+  client.join();
+}
+
+TEST(SocketSource, V2WrongNameIsProtocolError) {
+  const auto h = HierarchyBuilder::balanced({3, 2});
+  auto listener = loopbackListener();
+  std::thread client([port = listener->port(), &h] {
+    net::TcpConn conn = net::connectLoopback(port, kTestTimeoutMs);
+    ASSERT_TRUE(conn.valid());
+    const auto hs = encodeSocketHandshakeV2(allPaths(h), "intruder", 1);
+    EXPECT_TRUE(conn.writeAll(hs.data(), hs.size()));
+  });
+  SocketSourceOptions opt;
+  opt.streamName = "s0";
+  opt.protocolErrorBudget = 0;  // fail hard instead of awaiting reconnect
+  SocketSource src(listener, h, opt);
+  EXPECT_EQ(src.next(), std::nullopt);
+  EXPECT_EQ(src.protocolErrors(), 1u);
+  client.join();
+}
+
+TEST(SocketSource, V2ReconnectResumesFromCommittedUnit) {
+  const auto h = HierarchyBuilder::balanced({3, 2});
+  // Three timeunits of 10s: [100,110) [110,120) [120,130).
+  std::vector<Record> want;
+  const auto& leaves = h.leaves();
+  for (int i = 0; i < 30; ++i) {
+    want.push_back(
+        Record{leaves[i % leaves.size()], static_cast<Timestamp>(100 + i)});
+  }
+  auto listener = loopbackListener();
+  std::thread client([port = listener->port(), &h, &want] {
+    // Connection 1: all 30 records, then a crash (no end-of-stream).
+    {
+      net::TcpConn conn = net::connectLoopback(port, kTestTimeoutMs);
+      ASSERT_TRUE(conn.valid());
+      const auto hs = encodeSocketHandshakeV2(allPaths(h), "s0", 7);
+      ASSERT_TRUE(conn.writeAll(hs.data(), hs.size()));
+      SocketResumeReply reply;
+      ASSERT_TRUE(readSocketResumeReply(conn, kTestTimeoutMs, reply));
+      EXPECT_EQ(reply.committedTime, kSocketNoCommit);
+      std::vector<std::uint8_t> wire;
+      appendSocketFrame(wire, want.data(), want.size());
+      ASSERT_TRUE(conn.writeAll(wire.data(), wire.size()));
+    }  // RAII close without EOS = mid-stream disconnect
+    // Connection 2: the server must ask for the uncommitted suffix (the
+    // last, still-open unit) and nothing else.
+    net::TcpConn conn = net::connectLoopback(port, kTestTimeoutMs);
+    ASSERT_TRUE(conn.valid());
+    const auto hs = encodeSocketHandshakeV2(allPaths(h), "s0", 7);
+    ASSERT_TRUE(conn.writeAll(hs.data(), hs.size()));
+    SocketResumeReply reply;
+    ASSERT_TRUE(readSocketResumeReply(conn, kTestTimeoutMs, reply));
+    EXPECT_EQ(reply.status, kSocketResumeOk);
+    EXPECT_EQ(reply.committedTime, 120);  // units 100/110 committed
+    std::vector<Record> tail;
+    for (const Record& r : want) {
+      if (r.time >= reply.committedTime) tail.push_back(r);
+    }
+    std::vector<std::uint8_t> wire;
+    appendSocketFrame(wire, tail.data(), tail.size());
+    appendSocketEndOfStream(wire);
+    EXPECT_TRUE(conn.writeAll(wire.data(), wire.size()));
+  });
+  SocketSourceOptions opt;
+  opt.streamName = "s0";
+  opt.unitDelta = 10;
+  SocketSource src(listener, h, opt);
+  // Bit-identical: the replayed partial unit is delivered exactly once.
+  EXPECT_EQ(drainBatched(src, 64), want);
+  EXPECT_EQ(src.protocolErrors(), 1u);  // the EOS-less disconnect
+  EXPECT_EQ(src.reconnects(), 1u);
+  EXPECT_EQ(src.resumes(), 1u);
+  client.join();
+}
+
+TEST(SocketSource, NoteResumePointSeedsTheFirstReply) {
+  const auto h = HierarchyBuilder::balanced({3, 2});
+  const auto& leaves = h.leaves();
+  auto listener = loopbackListener();
+  std::thread client([port = listener->port(), &h, &leaves] {
+    net::TcpConn conn = net::connectLoopback(port, kTestTimeoutMs);
+    ASSERT_TRUE(conn.valid());
+    const auto hs = encodeSocketHandshakeV2(allPaths(h), "s0", 1);
+    ASSERT_TRUE(conn.writeAll(hs.data(), hs.size()));
+    SocketResumeReply reply;
+    ASSERT_TRUE(readSocketResumeReply(conn, kTestTimeoutMs, reply));
+    EXPECT_EQ(reply.committedTime, 500);  // the restore position
+    const std::vector<Record> tail = {{leaves[0], 500}, {leaves[1], 503}};
+    std::vector<std::uint8_t> wire;
+    appendSocketFrame(wire, tail.data(), tail.size());
+    appendSocketEndOfStream(wire);
+    EXPECT_TRUE(conn.writeAll(wire.data(), wire.size()));
+  });
+  SocketSourceOptions opt;
+  opt.streamName = "s0";
+  opt.unitDelta = 10;
+  SocketSource src(listener, h, opt);
+  // What the engine does after --restore, before the first pull.
+  src.noteResumePoint(500);
+  EXPECT_EQ(drainBatched(src, 64),
+            (std::vector<Record>{{leaves[0], 500}, {leaves[1], 503}}));
+  EXPECT_EQ(src.protocolErrors(), 0u);
+  EXPECT_EQ(src.resumes(), 1u);
+  client.join();
+}
+
+TEST(SocketSource, JunkBudgetDropsGarbageConnections) {
+  const auto h = HierarchyBuilder::balanced({3, 2});
+  std::vector<std::string> paths = allPaths(h);
+  paths.push_back("no/such/path");
+  const auto ghost = static_cast<NodeId>(paths.size() - 1);
+  std::vector<Record> garbage;
+  for (int i = 0; i < 50; ++i) {
+    garbage.push_back(Record{ghost, static_cast<Timestamp>(100 + i)});
+  }
+  std::vector<std::uint8_t> wire = encodeSocketHandshake(paths);
+  appendSocketFrame(wire, garbage.data(), garbage.size());
+  appendSocketEndOfStream(wire);
+
+  auto listener = loopbackListener();
+  std::thread writer = writeAsync(listener->port(), wire);
+  SocketSourceOptions opt;
+  opt.junkBudgetPerConn = 10;
+  SocketSource src(listener, h, opt);
+  EXPECT_EQ(drainBatched(src, 64).size(), 0u);
+  EXPECT_EQ(src.protocolErrors(), 1u);  // dropped at the 11th junk record
+  EXPECT_EQ(src.skippedRecords(), 11u);
   writer.join();
 }
 
